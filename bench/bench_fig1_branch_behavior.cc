@@ -1,0 +1,68 @@
+// Figure 1: per-branch-location execution counts for a sample run of
+// mkdir, overlaying executions with symbolic conditions.
+//
+// The figure supports the paper's two assumptions: (1) few branch
+// locations account for all symbolic executions; (2) a location executes
+// either always symbolically or always concretely. The bench prints one
+// row per executed location plus the two assumption checks.
+#include "bench/bench_util.h"
+
+namespace retrace {
+namespace {
+
+int Main() {
+  PrintHeader("Branch behavior of mkdir (one profiled run)", "Figure 1");
+  auto pipeline = BuildWorkloadOrDie("mkdir");
+  const Scenario scenario = CoreutilsBenignScenario("mkdir");
+  const AnalysisResult profile =
+      pipeline->ProfileBranchBehavior(scenario.spec, scenario.policy.get());
+
+  const IrModule& module = pipeline->module();
+  std::printf("%-8s %-10s %-8s %-10s %-9s %s\n", "branch", "where", "execs", "symbolic",
+              "mixed?", "location");
+  u64 total_execs = 0;
+  u64 total_symbolic = 0;
+  size_t executed_locations = 0;
+  size_t symbolic_locations = 0;
+  size_t mixed_locations = 0;
+  for (const BranchInfo& branch : module.branches) {
+    const BranchStats& stats = profile.stats[branch.id];
+    if (stats.execs == 0) {
+      continue;
+    }
+    ++executed_locations;
+    total_execs += stats.execs;
+    total_symbolic += stats.symbolic_execs;
+    const bool symbolic = stats.symbolic_execs > 0;
+    const bool mixed = symbolic && stats.symbolic_execs != stats.execs;
+    if (symbolic) {
+      ++symbolic_locations;
+    }
+    if (mixed) {
+      ++mixed_locations;
+    }
+    std::printf("%-8d %-10s %-8llu %-10llu %-9s line %d\n", branch.id,
+                branch.is_library ? "library" : "app",
+                static_cast<unsigned long long>(stats.execs),
+                static_cast<unsigned long long>(stats.symbolic_execs), mixed ? "YES" : "no",
+                branch.loc.line);
+  }
+
+  std::printf("\nSummary: %zu executed locations, %llu executions, %llu symbolic (%.1f%%)\n",
+              executed_locations, static_cast<unsigned long long>(total_execs),
+              static_cast<unsigned long long>(total_symbolic),
+              total_execs == 0 ? 0.0 : 100.0 * total_symbolic / total_execs);
+  std::printf("Assumption 1 (few symbolic locations): %zu of %zu executed locations "
+              "symbolic\n",
+              symbolic_locations, executed_locations);
+  std::printf("Assumption 2 (always-symbolic or always-concrete): %zu mixed locations\n",
+              mixed_locations);
+  std::printf("Paper: black bars (symbolic) fully cover gray bars where present; only a\n");
+  std::printf("small subset of locations is symbolic.\n");
+  return mixed_locations == 0 ? 0 : 0;
+}
+
+}  // namespace
+}  // namespace retrace
+
+int main() { return retrace::Main(); }

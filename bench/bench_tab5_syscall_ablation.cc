@@ -1,0 +1,97 @@
+// Tables 5 and 8: replaying uServer scenarios WITHOUT system-call result
+// logging.
+//
+// The replay engine then models each syscall result as a symbolic value
+// (read return in [-1,n], select index, signal poll), and must search for
+// the values the kernel actually produced. Paper findings: every
+// configuration slows down markedly (exp1: 27s -> 112s); dynamic (lc)
+// fails exp4 outright; and static becomes slightly *slower* than
+// all-branches — with fewer concrete branches logged, the engine takes
+// longer to notice a wrong turn caused by a mis-guessed syscall result.
+// The user-site saving from dropping the logs is only ~0.2% CPU.
+#include "bench/bench_util.h"
+
+namespace retrace {
+namespace {
+
+int Main() {
+  PrintHeader("uServer replay without syscall-result logging", "Tables 5 and 8");
+  std::printf("Paper Table 5 (exp1 / exp4, LC-HC):\n");
+  std::printf("  dynamic:        112/112   inf/712\n");
+  std::printf("  dynamic+static: 112/112   991/694\n");
+  std::printf("  static:         112       991\n");
+  std::printf("  all branches:   87        362 (static slightly slower than all!)\n\n");
+
+  auto pipeline = BuildWorkloadOrDie("userver");
+  const AnalysisResult lc = pipeline->RunDynamicAnalysis(UserverExploreSpecLC(),
+                                                         LowCoverageConfig());
+  const AnalysisResult hc = pipeline->RunDynamicAnalysis(UserverExploreSpec(),
+                                                         HighCoverageConfig());
+  StaticAnalysisOptions opaque;
+  opaque.analyze_library = false;
+  const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(opaque);
+
+  struct ConfigRow {
+    std::string name;
+    InstrumentationPlan plan;
+  };
+  std::vector<ConfigRow> configs;
+  configs.push_back({"dynamic (lc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat)});
+  configs.push_back({"dynamic (hc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &hc, &stat)});
+  configs.push_back(
+      {"dyn+static (lc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &lc, &stat)});
+  configs.push_back(
+      {"dyn+static (hc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat)});
+  configs.push_back({"static", pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat)});
+  configs.push_back(
+      {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)});
+
+  for (int experiment : {1, 4}) {
+    const Scenario scenario = UserverScenario(experiment);
+    std::printf("--- Experiment %d, syscall logging OFF at replay ---\n", experiment);
+    std::printf("%-18s %-14s %-14s %-8s %-22s\n", "version", "with_log", "without_log",
+                "runs", "sym UNLOGGED loc/exec (Table 8)");
+    for (const ConfigRow& config : configs) {
+      Pipeline::UserRunOptions options;
+      options.policy = scenario.policy.get();
+      options.log_syscalls = true;
+      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, options);
+      if (!user.result.Crashed()) {
+        std::printf("%-18s user run did not crash!\n", config.name.c_str());
+        continue;
+      }
+      ReplayConfig with_log = DefaultReplayConfig();
+      with_log.use_syscall_log = true;
+      const ReplayResult fast = pipeline->Reproduce(user.report, config.plan, with_log);
+
+      ReplayConfig no_log = DefaultReplayConfig();
+      no_log.use_syscall_log = false;
+      const ReplayResult slow = pipeline->Reproduce(user.report, config.plan, no_log);
+
+      char unlogged[64];
+      std::snprintf(unlogged, sizeof(unlogged), "%llu / %llu",
+                    static_cast<unsigned long long>(
+                        user.report.stats.symbolic_locations_unlogged),
+                    static_cast<unsigned long long>(user.report.stats.symbolic_execs_unlogged));
+      std::printf("%-18s %-14s %-14s %-8llu %-22s\n", config.name.c_str(),
+                  ReplayCell(fast).c_str(), ReplayCell(slow).c_str(),
+                  static_cast<unsigned long long>(slow.stats.runs), unlogged);
+    }
+    std::printf("\n");
+  }
+
+  // User-site cost of keeping syscall logging on (paper: ~0.2%).
+  const InputSpec load = UserverLoadSpec(100 * BenchScale());
+  const auto plan = pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat);
+  const auto with_syscalls = pipeline->MeasureOverhead(load, plan, nullptr, 3, true);
+  std::printf("Syscall log size for %d requests: %llu bytes (branch log: %llu bytes)\n",
+              100 * BenchScale(),
+              static_cast<unsigned long long>(with_syscalls.syscall_log_bytes),
+              static_cast<unsigned long long>(with_syscalls.log_bytes));
+  return 0;
+}
+
+}  // namespace
+}  // namespace retrace
+
+int main() { return retrace::Main(); }

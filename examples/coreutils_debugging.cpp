@@ -1,0 +1,60 @@
+// Reproducing the classic `paste -d'\' ...` crash (paper §5.2, Table 1).
+//
+// The paste delimiter-expansion loop walks past the terminating NUL when
+// the delimiter list ends in a backslash. The example records the crash
+// under all four instrumentation methods and reproduces it from each
+// report, mirroring Table 1's finding that every configuration replays
+// coreutils bugs in seconds.
+#include <cstdio>
+
+#include "src/core/pipeline.h"
+#include "src/workloads/scenarios.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  using namespace retrace;
+
+  const WorkloadSources sources = PasteWorkload();
+  auto built = Pipeline::FromSources(sources.app, sources.libs);
+  if (!built.ok()) {
+    std::printf("compile error: %s\n", built.error().ToString().c_str());
+    return 1;
+  }
+  auto pipeline = built.take();
+
+  // Pre-deployment: analyze with a benign invocation.
+  const Scenario benign = CoreutilsBenignScenario("paste");
+  AnalysisConfig dyn_config;
+  dyn_config.max_runs = 24;
+  const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign.spec, dyn_config);
+  const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
+
+  // The user runs: paste -d\ abcdefghijklmnopqrstuvwxyz
+  const Scenario bug = CoreutilsBugScenario("paste");
+  std::printf("user invocation: paste -d\\ %s\n\n", bug.spec.argv[3].c_str());
+
+  for (const InstrumentMethod method :
+       {InstrumentMethod::kDynamic, InstrumentMethod::kStatic, InstrumentMethod::kDynamicStatic,
+        InstrumentMethod::kAllBranches}) {
+    const InstrumentationPlan plan = pipeline->MakePlan(method, &dyn, &stat);
+    const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+    if (!user.result.Crashed()) {
+      std::printf("%-16s user run did not crash?!\n", InstrumentMethodName(method));
+      continue;
+    }
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+    if (!replay.reproduced) {
+      std::printf("%-16s NOT reproduced within budget\n", InstrumentMethodName(method));
+      continue;
+    }
+    std::printf("%-16s plan=%3zu locations, log=%3llu bytes -> reproduced in %llu runs; "
+                "witness delimiter arg = \"%s\"\n",
+                InstrumentMethodName(method), plan.NumInstrumented(),
+                static_cast<unsigned long long>(user.report.stats.log_bytes),
+                static_cast<unsigned long long>(replay.stats.runs),
+                replay.witness_argv[2].c_str());
+  }
+  std::printf("\nAll four configurations reproduce the crash (paper Table 1: 1-1.5s each;\n");
+  std::printf("ESD, with no branch log to follow, took 10-15s on these bugs).\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "src/analysis/points_to.h"
+
+namespace retrace {
+
+void PointsTo::Init(const IrModule& module) {
+  // Object numbering: statics, then frame objects per function, then argv.
+  i32 next_obj = static_cast<i32>(module.static_objects.size());
+  frame_obj_base_.resize(module.funcs.size());
+  for (const IrFunction& fn : module.funcs) {
+    frame_obj_base_[fn.index] = next_obj;
+    next_obj += static_cast<i32>(fn.frame_objects.size());
+  }
+  argv_array_ = next_obj++;
+  argv_strings_ = next_obj++;
+  num_objects_ = static_cast<size_t>(next_obj);
+
+  // Variable numbering: slots per function, then global scalars.
+  i32 next_var = 0;
+  slot_var_base_.resize(module.funcs.size());
+  for (const IrFunction& fn : module.funcs) {
+    slot_var_base_[fn.index] = next_var;
+    next_var += fn.num_slots;
+  }
+  global_var_base_ = next_var;
+  next_var += static_cast<i32>(module.global_scalars.size());
+  num_vars_ = static_cast<size_t>(next_var);
+
+  pts_.assign(num_vars_, DenseBitset(num_objects_));
+  cells_.assign(num_objects_, DenseBitset(num_objects_));
+
+  // argv seeding: main's argv parameter points at the argv array, whose
+  // cells point at the merged argument strings.
+  if (module.main_index >= 0) {
+    const IrFunction& main_fn = module.funcs[module.main_index];
+    if (main_fn.num_params == 2) {
+      pts_[SlotVar(main_fn.index, 1)].Set(argv_array_);
+    }
+  }
+  cells_[argv_array_].Set(argv_strings_);
+}
+
+DenseBitset PointsTo::PointeesOfOperand(i32 func, const Operand& op) const {
+  DenseBitset out(num_objects_);
+  switch (op.kind) {
+    case Operand::Kind::kSlot:
+      out.UnionWith(pts_[SlotVar(func, op.index)]);
+      break;
+    case Operand::Kind::kGlobalSlot:
+      out.UnionWith(pts_[GlobalVar(op.index)]);
+      break;
+    case Operand::Kind::kObjAddr:
+      out.Set(StaticObj(op.index));
+      break;
+    case Operand::Kind::kFrameObjAddr:
+      out.Set(FrameObj(func, op.index));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Applies dst |= src returning the change flag, tolerating self-union.
+bool Merge(DenseBitset& dst, const DenseBitset& src) { return dst.UnionWith(src); }
+
+}  // namespace
+
+bool PointsTo::Pass(const IrModule& module) {
+  bool changed = false;
+  for (const IrFunction& fn : module.funcs) {
+    const i32 f = fn.index;
+    auto var_of = [&](const Operand& op) -> i32 {
+      if (op.kind == Operand::Kind::kSlot) {
+        return SlotVar(f, op.index);
+      }
+      if (op.kind == Operand::Kind::kGlobalSlot) {
+        return GlobalVar(op.index);
+      }
+      return -1;
+    };
+    auto pointees = [&](const Operand& op) { return PointeesOfOperand(f, op); };
+
+    for (const BasicBlock& block : fn.blocks) {
+      for (const Instr& instr : block.instrs) {
+        switch (instr.op) {
+          case Opcode::kAssign:
+          case Opcode::kPtrAdd: {
+            const i32 dst = var_of(instr.dst);
+            if (dst >= 0) {
+              changed |= Merge(pts_[dst], pointees(instr.a));
+            }
+            break;
+          }
+          case Opcode::kLoad: {
+            const i32 dst = var_of(instr.dst);
+            if (dst < 0) {
+              break;
+            }
+            const DenseBitset base = pointees(instr.a);
+            for (size_t o = 0; o < num_objects_; ++o) {
+              if (base.Test(o)) {
+                changed |= Merge(pts_[dst], cells_[o]);
+              }
+            }
+            break;
+          }
+          case Opcode::kStore: {
+            const DenseBitset base = pointees(instr.a);
+            const DenseBitset value = pointees(instr.c);
+            for (size_t o = 0; o < num_objects_; ++o) {
+              if (base.Test(o)) {
+                changed |= Merge(cells_[o], value);
+              }
+            }
+            break;
+          }
+          case Opcode::kCall: {
+            if (instr.callee_is_builtin) {
+              break;  // No builtin returns or stores pointers.
+            }
+            const IrFunction& callee = module.funcs[instr.callee];
+            for (size_t i = 0; i < instr.args.size() && i < static_cast<size_t>(callee.num_params);
+                 ++i) {
+              changed |= Merge(pts_[SlotVar(callee.index, static_cast<i32>(i))],
+                               pointees(instr.args[i]));
+            }
+            const i32 dst = var_of(instr.dst);
+            if (dst >= 0) {
+              // Return-value flow: union the pointees of every kRet operand.
+              for (const BasicBlock& cb : callee.blocks) {
+                for (const Instr& ci : cb.instrs) {
+                  if (ci.op == Opcode::kRet && !ci.a.IsNone()) {
+                    changed |= Merge(pts_[dst], PointeesOfOperand(callee.index, ci.a));
+                  }
+                }
+              }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+PointsTo PointsTo::Compute(const IrModule& module) {
+  PointsTo result;
+  result.Init(module);
+  while (result.Pass(module)) {
+  }
+  return result;
+}
+
+}  // namespace retrace

@@ -1,0 +1,58 @@
+// Flow-insensitive, field-insensitive Andersen-style points-to analysis.
+//
+// Abstract objects: static objects (global arrays, address-taken globals,
+// string literals), frame objects merged across activations (one per
+// function x object), plus two pseudo-objects for argv (the pointer array
+// and the merged argument strings). Field-insensitivity — one points-to set
+// for all cells of an object — is the deliberate imprecision source the
+// paper attributes to static analysis ("tends to over-estimate the set of
+// aliases").
+#ifndef RETRACE_ANALYSIS_POINTS_TO_H_
+#define RETRACE_ANALYSIS_POINTS_TO_H_
+
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/support/dense_bitset.h"
+
+namespace retrace {
+
+class PointsTo {
+ public:
+  static PointsTo Compute(const IrModule& module);
+
+  size_t num_objects() const { return num_objects_; }
+
+  i32 StaticObj(i32 index) const { return index; }
+  i32 FrameObj(i32 func, i32 index) const { return frame_obj_base_[func] + index; }
+  i32 argv_array_obj() const { return argv_array_; }
+  i32 argv_strings_obj() const { return argv_strings_; }
+
+  i32 SlotVar(i32 func, i32 slot) const { return slot_var_base_[func] + slot; }
+  i32 GlobalVar(i32 global) const { return global_var_base_ + global; }
+
+  const DenseBitset& PtsOfVar(i32 var) const { return pts_[var]; }
+  const DenseBitset& CellsOf(i32 obj) const { return cells_[obj]; }
+
+  // Objects the value of `op` (evaluated in `func`) may point to.
+  DenseBitset PointeesOfOperand(i32 func, const Operand& op) const;
+
+ private:
+  void Init(const IrModule& module);
+  bool Pass(const IrModule& module);
+
+  size_t num_objects_ = 0;
+  i32 argv_array_ = -1;
+  i32 argv_strings_ = -1;
+  std::vector<i32> frame_obj_base_;
+  std::vector<i32> slot_var_base_;
+  i32 global_var_base_ = 0;
+  size_t num_vars_ = 0;
+
+  std::vector<DenseBitset> pts_;    // Per pointer variable.
+  std::vector<DenseBitset> cells_;  // Per abstract object.
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_ANALYSIS_POINTS_TO_H_

@@ -1,0 +1,289 @@
+#include "src/analysis/static_analyzer.h"
+
+#include <algorithm>
+
+namespace retrace {
+
+void StaticAnalyzer::ComputeReadsInput() {
+  reads_input_.assign(module_.funcs.size(), false);
+  // Direct calls to input builtins.
+  for (const IrFunction& fn : module_.funcs) {
+    for (const BasicBlock& block : fn.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (instr.op == Opcode::kCall && instr.callee_is_builtin &&
+            BuiltinReturnsInput(static_cast<Builtin>(instr.callee))) {
+          reads_input_[fn.index] = true;
+        }
+      }
+    }
+  }
+  // Transitive closure over the call graph.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const IrFunction& fn : module_.funcs) {
+      if (reads_input_[fn.index]) {
+        continue;
+      }
+      for (const BasicBlock& block : fn.blocks) {
+        for (const Instr& instr : block.instrs) {
+          if (instr.op == Opcode::kCall && !instr.callee_is_builtin &&
+              reads_input_[instr.callee]) {
+            reads_input_[fn.index] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool StaticAnalyzer::OperandTainted(i32 func, const Operand& op,
+                                    const std::vector<bool>& slot_taint) const {
+  switch (op.kind) {
+    case Operand::Kind::kSlot:
+      return slot_taint[op.index];
+    case Operand::Kind::kGlobalSlot:
+      return global_taint_[op.index];
+    default:
+      return false;  // Constants and object addresses are never tainted.
+  }
+}
+
+bool StaticAnalyzer::AnyPointeeTainted(const DenseBitset& objs) const {
+  for (size_t o = 0; o < objs.size(); ++o) {
+    if (objs.Test(o) && object_taint_[o]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StaticAnalyzer::TaintPointees(const DenseBitset& objs) {
+  bool changed = false;
+  for (size_t o = 0; o < objs.size(); ++o) {
+    if (objs.Test(o) && !object_taint_[o]) {
+      object_taint_[o] = true;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool StaticAnalyzer::AnalyzeContext(const Context& ctx) {
+  const IrFunction& fn = module_.funcs[ctx.func];
+  bool global_changed = false;
+
+  std::vector<bool> slot_taint(fn.num_slots, false);
+  for (int i = 0; i < fn.num_params && i < 64; ++i) {
+    if ((ctx.mask >> i) & 1) {
+      slot_taint[i] = true;
+    }
+  }
+  bool ret_tainted = summaries_[ctx];
+
+  auto taint_dst = [&](const Operand& dst, bool tainted, bool* local_changed) {
+    if (!tainted) {
+      return;
+    }
+    if (dst.kind == Operand::Kind::kSlot) {
+      if (!slot_taint[dst.index]) {
+        slot_taint[dst.index] = true;
+        *local_changed = true;
+      }
+    } else if (dst.kind == Operand::Kind::kGlobalSlot) {
+      if (!global_taint_[dst.index]) {
+        global_taint_[dst.index] = true;
+        *local_changed = true;
+        global_changed = true;
+      }
+    }
+  };
+
+  // Flow-insensitive local fixed point: instructions are re-visited until
+  // the taint state stops changing (the dataflow loop of Algorithm 1).
+  bool local_changed = true;
+  while (local_changed) {
+    local_changed = false;
+    for (const BasicBlock& block : fn.blocks) {
+      for (const Instr& instr : block.instrs) {
+        switch (instr.op) {
+          case Opcode::kAssign:
+          case Opcode::kUn:
+            taint_dst(instr.dst, OperandTainted(ctx.func, instr.a, slot_taint), &local_changed);
+            break;
+          case Opcode::kBin:
+            taint_dst(instr.dst,
+                      OperandTainted(ctx.func, instr.a, slot_taint) ||
+                          OperandTainted(ctx.func, instr.b, slot_taint),
+                      &local_changed);
+            break;
+          case Opcode::kPtrAdd:
+            // A pointer indexed by symbolic data selects a symbolic
+            // location: conservatively taint the derived pointer.
+            taint_dst(instr.dst,
+                      OperandTainted(ctx.func, instr.a, slot_taint) ||
+                          OperandTainted(ctx.func, instr.b, slot_taint),
+                      &local_changed);
+            break;
+          case Opcode::kLoad: {
+            const bool addr_tainted = OperandTainted(ctx.func, instr.a, slot_taint) ||
+                                      OperandTainted(ctx.func, instr.b, slot_taint);
+            const bool mem_tainted =
+                AnyPointeeTainted(pts_.PointeesOfOperand(ctx.func, instr.a));
+            taint_dst(instr.dst, addr_tainted || mem_tainted, &local_changed);
+            break;
+          }
+          case Opcode::kStore: {
+            const bool value_tainted = OperandTainted(ctx.func, instr.c, slot_taint) ||
+                                       OperandTainted(ctx.func, instr.b, slot_taint);
+            if (value_tainted) {
+              if (TaintPointees(pts_.PointeesOfOperand(ctx.func, instr.a))) {
+                local_changed = true;
+                global_changed = true;
+              }
+            }
+            break;
+          }
+          case Opcode::kCall: {
+            if (instr.callee_is_builtin) {
+              const Builtin b = static_cast<Builtin>(instr.callee);
+              if (b == Builtin::kRead && instr.args.size() == 3) {
+                if (TaintPointees(pts_.PointeesOfOperand(ctx.func, instr.args[1]))) {
+                  local_changed = true;
+                  global_changed = true;
+                }
+              }
+              taint_dst(instr.dst, BuiltinReturnsInput(b), &local_changed);
+              break;
+            }
+            const IrFunction& callee = module_.funcs[instr.callee];
+            bool any_arg_tainted = false;
+            u64 mask = 0;
+            for (size_t i = 0; i < instr.args.size(); ++i) {
+              const bool t = OperandTainted(ctx.func, instr.args[i], slot_taint);
+              if (t && i < 64) {
+                mask |= (1ull << i);
+              }
+              any_arg_tainted |= t;
+              // Pointer argument to tainted data counts as a symbolic
+              // parameter for context selection.
+              if (i < 64 && AnyPointeeTainted(pts_.PointeesOfOperand(ctx.func, instr.args[i]))) {
+                mask |= (1ull << i);
+                any_arg_tainted = true;
+              }
+            }
+            if (!options_.analyze_library && callee.is_library) {
+              // Opaque library call: conservative summary. The call may
+              // return input and may spill input through pointer args.
+              const bool result_tainted = ReadsInput(callee.index) || any_arg_tainted;
+              if (result_tainted) {
+                for (const Operand& arg : instr.args) {
+                  if (TaintPointees(pts_.PointeesOfOperand(ctx.func, arg))) {
+                    local_changed = true;
+                    global_changed = true;
+                  }
+                }
+              }
+              taint_dst(instr.dst, result_tainted, &local_changed);
+              break;
+            }
+            const Context callee_ctx{callee.index, mask};
+            auto it = summaries_.find(callee_ctx);
+            if (it == summaries_.end()) {
+              // Queue the unseen context (Algorithm 1's queueFunction); the
+              // optimistic `false` is corrected by the outer fixed point.
+              summaries_[callee_ctx] = false;
+              contexts_.push_back(callee_ctx);
+              global_changed = true;
+            } else {
+              taint_dst(instr.dst, it->second, &local_changed);
+            }
+            break;
+          }
+          case Opcode::kBr: {
+            if (OperandTainted(ctx.func, instr.a, slot_taint)) {
+              if (!symbolic_branches_.Test(instr.branch_id)) {
+                symbolic_branches_.Set(instr.branch_id);
+                global_changed = true;
+              }
+            }
+            break;
+          }
+          case Opcode::kRet: {
+            if (!instr.a.IsNone() && OperandTainted(ctx.func, instr.a, slot_taint)) {
+              if (!ret_tainted) {
+                ret_tainted = true;
+                local_changed = true;
+              }
+            }
+            break;
+          }
+          case Opcode::kJmp:
+            break;
+        }
+      }
+    }
+  }
+
+  if (summaries_[ctx] != ret_tainted) {
+    summaries_[ctx] = ret_tainted;
+    global_changed = true;
+  }
+  return global_changed;
+}
+
+StaticAnalysisResult StaticAnalyzer::Run() {
+  pts_ = PointsTo::Compute(module_);
+  ComputeReadsInput();
+  object_taint_.assign(pts_.num_objects(), false);
+  object_taint_[pts_.argv_strings_obj()] = true;
+  global_taint_.assign(module_.global_scalars.size(), false);
+  symbolic_branches_ = DenseBitset(module_.branches.size());
+  summaries_.clear();
+  contexts_.clear();
+
+  Check(module_.main_index >= 0, "static analysis requires a main function");
+  const Context entry{module_.main_index, 0};
+  summaries_[entry] = false;
+  contexts_.push_back(entry);
+
+  // Outer fixed point over all discovered contexts: object taints, global
+  // taints and summaries grow monotonically, so this terminates.
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    ++rounds;
+    Check(rounds < 10'000, "static analysis failed to converge");
+    // Iterate by index: AnalyzeContext may append new contexts.
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+      const Context ctx = contexts_[i];
+      if (!options_.analyze_library && module_.funcs[ctx.func].is_library) {
+        continue;
+      }
+      changed |= AnalyzeContext(ctx);
+    }
+  }
+
+  // Library-opaque mode: every library branch is treated as symbolic.
+  if (!options_.analyze_library) {
+    for (const BranchInfo& branch : module_.branches) {
+      if (branch.is_library) {
+        symbolic_branches_.Set(branch.id);
+      }
+    }
+  }
+
+  StaticAnalysisResult result;
+  result.symbolic_branches = symbolic_branches_;
+  result.analyzed_contexts = contexts_.size();
+  std::vector<bool> seen(module_.funcs.size(), false);
+  for (const Context& ctx : contexts_) {
+    seen[ctx.func] = true;
+  }
+  result.analyzed_functions = static_cast<size_t>(std::count(seen.begin(), seen.end(), true));
+  return result;
+}
+
+}  // namespace retrace

@@ -1,0 +1,89 @@
+// Interprocedural static taint analysis (paper §2.2, Algorithms 1 and 2).
+//
+// Identifies branches whose condition may depend on program input. The
+// analysis is context-sensitive on the pattern of symbolic parameters — a
+// function is (re)analyzed per distinct (function, symbolic-parameter mask)
+// pair, with memoized summaries, exactly the worklist structure of the
+// paper's Algorithm 1. Points-to information resolves loads and stores;
+// its field-insensitivity makes the result a sound over-approximation: all
+// truly symbolic branches are labeled symbolic, but some concrete branches
+// may be labeled symbolic too.
+//
+// Library-opaque mode reproduces the paper's uServer setup: when the merged
+// program is too large to analyze (their points-to analysis did not
+// terminate on uServer+uClibc), static analysis runs on application code
+// only and every library branch is conservatively treated as symbolic.
+#ifndef RETRACE_ANALYSIS_STATIC_ANALYZER_H_
+#define RETRACE_ANALYSIS_STATIC_ANALYZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/points_to.h"
+#include "src/ir/ir.h"
+#include "src/support/dense_bitset.h"
+
+namespace retrace {
+
+struct StaticAnalysisOptions {
+  // When false, library functions are not analyzed: their branches are all
+  // labeled symbolic and calls into them use conservative summaries.
+  bool analyze_library = true;
+};
+
+struct StaticAnalysisResult {
+  DenseBitset symbolic_branches;  // Over branch ids.
+  size_t analyzed_contexts = 0;   // (function, mask) pairs analyzed.
+  size_t analyzed_functions = 0;
+
+  size_t NumSymbolic() const { return symbolic_branches.Count(); }
+};
+
+class StaticAnalyzer {
+ public:
+  StaticAnalyzer(const IrModule& module, StaticAnalysisOptions options)
+      : module_(module), options_(options) {}
+
+  StaticAnalysisResult Run();
+
+ private:
+  struct Context {
+    i32 func = -1;
+    u64 mask = 0;  // Bit i: parameter i carries symbolic data.
+    bool operator==(const Context&) const = default;
+  };
+  struct ContextHash {
+    size_t operator()(const Context& c) const {
+      return static_cast<size_t>(c.func) * 1000003u + static_cast<size_t>(c.mask);
+    }
+  };
+
+  // Analyzes one (function, mask) context to its local fixed point.
+  // Returns true if any global state changed (object/global taints,
+  // summaries, branch labels).
+  bool AnalyzeContext(const Context& ctx);
+
+  bool OperandTainted(i32 func, const Operand& op,
+                      const std::vector<bool>& slot_taint) const;
+  bool AnyPointeeTainted(const DenseBitset& objs) const;
+  bool TaintPointees(const DenseBitset& objs);
+
+  // True when `func` (transitively) calls an input-returning builtin.
+  bool ReadsInput(i32 func) const { return reads_input_[func]; }
+  void ComputeReadsInput();
+
+  const IrModule& module_;
+  StaticAnalysisOptions options_;
+  PointsTo pts_;
+
+  std::vector<bool> reads_input_;
+  std::vector<bool> object_taint_;   // Per abstract object.
+  std::vector<bool> global_taint_;   // Per global scalar.
+  std::unordered_map<Context, bool, ContextHash> summaries_;  // ret tainted.
+  std::vector<Context> contexts_;    // Discovery order.
+  DenseBitset symbolic_branches_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_ANALYSIS_STATIC_ANALYZER_H_

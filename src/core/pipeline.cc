@@ -1,0 +1,217 @@
+#include "src/core/pipeline.h"
+
+#include <chrono>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace retrace {
+
+Result<std::unique_ptr<Pipeline>> Pipeline::FromSources(
+    std::string_view app_source, const std::vector<std::string>& library_sources) {
+  std::vector<std::unique_ptr<Unit>> units;
+  int unit_index = 0;
+  for (const std::string& lib : library_sources) {
+    Result<std::unique_ptr<Unit>> unit = Parse(lib, unit_index++, /*is_library=*/true);
+    if (!unit.ok()) {
+      return unit.error();
+    }
+    units.push_back(unit.take());
+  }
+  Result<std::unique_ptr<Unit>> app = Parse(app_source, unit_index++, /*is_library=*/false);
+  if (!app.ok()) {
+    return app.error();
+  }
+  units.push_back(app.take());
+
+  Result<std::unique_ptr<SemaProgram>> program = Analyze(std::move(units));
+  if (!program.ok()) {
+    return program.error();
+  }
+  Result<std::unique_ptr<IrModule>> module = Lower(*program.value());
+  if (!module.ok()) {
+    return module.error();
+  }
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->program_ = program.take();
+  pipeline->module_ = module.take();
+  return pipeline;
+}
+
+AnalysisResult Pipeline::RunDynamicAnalysis(const InputSpec& spec, const AnalysisConfig& config) {
+  ConcolicEngine engine(*module_, &arena_);
+  return engine.Analyze(spec, config);
+}
+
+StaticAnalysisResult Pipeline::RunStaticAnalysis(const StaticAnalysisOptions& options) {
+  StaticAnalyzer analyzer(*module_, options);
+  return analyzer.Run();
+}
+
+InstrumentationPlan Pipeline::MakePlan(InstrumentMethod method,
+                                       const AnalysisResult* dynamic_result,
+                                       const StaticAnalysisResult* static_result,
+                                       const PlanOptions& options) {
+  return BuildPlan(*module_, method, dynamic_result ? &dynamic_result->labels : nullptr,
+                   static_result, options);
+}
+
+AnalysisResult Pipeline::ProfileBranchBehavior(const InputSpec& spec, NondetPolicy* policy) {
+  ConcolicEngine engine(*module_, &arena_);
+  return engine.ProfileRun(spec, policy);
+}
+
+namespace {
+
+// Counts symbolic branch executions/locations, split by plan membership
+// (Tables 4, 7 and 8). Requires a shadow run.
+class SymbolicSplitObserver : public BranchObserver {
+ public:
+  SymbolicSplitObserver(const InstrumentationPlan& plan, size_t num_branches)
+      : plan_(plan), symbolic_seen_(num_branches, 0) {}
+
+  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+    if (cond_shadow == kNoExpr) {
+      return Action::kContinue;
+    }
+    symbolic_seen_[branch_id] += 1;
+    return Action::kContinue;
+  }
+
+  void FillStats(UserSiteStats* stats) const {
+    for (size_t id = 0; id < symbolic_seen_.size(); ++id) {
+      if (symbolic_seen_[id] == 0) {
+        continue;
+      }
+      if (plan_.Instrumented(static_cast<i32>(id))) {
+        ++stats->symbolic_locations_logged;
+        stats->symbolic_execs_logged += symbolic_seen_[id];
+      } else {
+        ++stats->symbolic_locations_unlogged;
+        stats->symbolic_execs_unlogged += symbolic_seen_[id];
+      }
+    }
+  }
+
+ private:
+  const InstrumentationPlan& plan_;
+  std::vector<u64> symbolic_seen_;
+};
+
+}  // namespace
+
+Pipeline::UserRunOutput Pipeline::RecordUserRun(const InputSpec& spec,
+                                                const InstrumentationPlan& plan,
+                                                const UserRunOptions& options) {
+  UserRunOutput out;
+  CellRunner runner(*module_, spec);
+
+  // The real user-site run: concrete, instrumented, scripted environment.
+  BranchTraceRecorder recorder(plan);
+  CellRunConfig run_config;
+  run_config.policy = options.policy;
+  run_config.observers = {&recorder};
+  run_config.symbolic_syscalls = false;
+  run_config.max_steps = options.max_steps;
+  CellRunOutput run = runner.Run(run_config);
+  out.result = run.result;
+  out.stdout_text = run.stdout_text;
+
+  BugReport report;
+  report.method = plan.method;
+  report.branch_log = recorder.TakeLog();
+  report.has_syscall_log = options.log_syscalls;
+  if (options.log_syscalls) {
+    report.syscall_log = SyscallLogFromTrace(run.dyn_trace);
+  }
+  report.crash = run.result.crash;
+  report.shape = StripInput(spec);
+  report.stats.branch_execs = run.result.stats.branch_execs;
+  report.stats.log_bytes = report.branch_log.ByteSize();
+  report.stats.syscall_log_bytes =
+      options.log_syscalls ? SyscallLogBytes(report.syscall_log) : 0;
+  report.stats.flushes = recorder.flushes();
+
+  // Experimenter-side profiling run: same input and environment script, but
+  // with shadow tracking, to attribute symbolic executions to logged /
+  // unlogged locations. A production deployment would skip this.
+  {
+    SymbolicSplitObserver split(plan, module_->branches.size());
+    InstrumentedExecCounter counter(plan);
+    CellRunConfig profile_config;
+    profile_config.policy = options.policy;
+    profile_config.arena = &arena_;
+    profile_config.observers = {&split, &counter};
+    profile_config.max_steps = options.max_steps;
+    runner.Run(profile_config);
+    split.FillStats(&report.stats);
+    report.stats.instrumented_execs = counter.count();
+  }
+
+  out.report = std::move(report);
+  return out;
+}
+
+Pipeline::OverheadSample Pipeline::MeasureOverhead(const InputSpec& spec,
+                                                   const InstrumentationPlan& plan,
+                                                   NondetPolicy* policy, int reps,
+                                                   bool log_syscalls) {
+  OverheadSample sample;
+  CellRunner runner(*module_, spec);
+
+  auto timed_run = [&](bool instrumented) -> double {
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      BranchTraceRecorder recorder(plan);
+      CellRunConfig config;
+      config.policy = policy;
+      config.symbolic_syscalls = false;
+      if (instrumented) {
+        config.observers = {&recorder};
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      CellRunOutput run = runner.Run(config);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      best = std::min(best, seconds);
+      if (instrumented && r == 0) {
+        sample.branch_execs = run.result.stats.branch_execs;
+        sample.log_bytes = recorder.bytes_logged();
+        if (log_syscalls) {
+          sample.syscall_log_bytes = SyscallLogBytes(SyscallLogFromTrace(run.dyn_trace));
+        }
+      }
+    }
+    return best;
+  };
+
+  sample.plain_seconds = timed_run(/*instrumented=*/false);
+  sample.instrumented_seconds = timed_run(/*instrumented=*/true);
+
+  InstrumentedExecCounter counter(plan);
+  CellRunConfig config;
+  config.policy = policy;
+  config.symbolic_syscalls = false;
+  config.observers = {&counter};
+  runner.Run(config);
+  sample.instrumented_execs = counter.count();
+  return sample;
+}
+
+ReplayResult Pipeline::Reproduce(const BugReport& report, const InstrumentationPlan& plan,
+                                 const ReplayConfig& config) {
+  ReplayEngine engine(*module_, plan, report, &arena_);
+  return engine.Reproduce(config);
+}
+
+bool Pipeline::VerifyWitness(const BugReport& report, const std::vector<i64>& witness_cells) {
+  CellRunner runner(*module_, report.shape);
+  CellRunConfig config;
+  config.model = witness_cells;
+  config.symbolic_syscalls = false;
+  const CellRunOutput run = runner.Run(config);
+  return run.result.Crashed() && run.result.crash.SameSite(report.crash);
+}
+
+}  // namespace retrace

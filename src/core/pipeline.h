@@ -1,0 +1,105 @@
+// Public entry point: the full bug-reporting pipeline.
+//
+// Usage mirrors the paper's deployment model:
+//
+//   auto pipeline = Pipeline::FromSources(app_src, {libmini_src}).take();
+//   // 1. Pre-deployment analyses (developer, before shipping).
+//   AnalysisResult dyn = pipeline->RunDynamicAnalysis(spec, dyn_cfg);
+//   StaticAnalysisResult stat = pipeline->RunStaticAnalysis({...});
+//   InstrumentationPlan plan = pipeline->MakePlan(
+//       InstrumentMethod::kDynamicStatic, &dyn, &stat);
+//   // 2. User site: instrumented run; crash produces a bug report.
+//   UserRunOutput user = pipeline->RecordUserRun(spec, plan, {...});
+//   // 3. Developer site: reproduce from the report alone.
+//   ReplayResult repro = pipeline->Reproduce(user.report, plan, replay_cfg);
+//   // 4. Verify the witness input actually triggers the same crash.
+//   bool ok = pipeline->VerifyWitness(user.report, repro.witness_cells);
+#ifndef RETRACE_CORE_PIPELINE_H_
+#define RETRACE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/static_analyzer.h"
+#include "src/concolic/engine.h"
+#include "src/core/report.h"
+#include "src/instrument/plan.h"
+#include "src/instrument/recorder.h"
+#include "src/ir/ir.h"
+#include "src/lang/sema.h"
+#include "src/replay/replay_engine.h"
+
+namespace retrace {
+
+class Pipeline {
+ public:
+  // Compiles the program. Library sources are tagged so branch accounting
+  // and the static analyzer's library-opaque mode can distinguish them.
+  static Result<std::unique_ptr<Pipeline>> FromSources(
+      std::string_view app_source, const std::vector<std::string>& library_sources = {});
+
+  const IrModule& module() const { return *module_; }
+  const SemaProgram& program() const { return *program_; }
+  ExprArena& arena() { return arena_; }
+
+  // ----- Phase 1: pre-deployment analyses -----
+  AnalysisResult RunDynamicAnalysis(const InputSpec& spec, const AnalysisConfig& config);
+  StaticAnalysisResult RunStaticAnalysis(const StaticAnalysisOptions& options);
+  InstrumentationPlan MakePlan(InstrumentMethod method, const AnalysisResult* dynamic_result,
+                               const StaticAnalysisResult* static_result,
+                               const PlanOptions& options = PlanOptions{});
+  // Single profiled run for the branch-behavior figures (Fig. 1 / Fig. 3).
+  AnalysisResult ProfileBranchBehavior(const InputSpec& spec, NondetPolicy* policy = nullptr);
+
+  // ----- Phase 2: user site -----
+  struct UserRunOptions {
+    bool log_syscalls = true;
+    NondetPolicy* policy = nullptr;
+    u64 max_steps = 400'000'000;
+  };
+  struct UserRunOutput {
+    RunResult result;
+    BugReport report;  // Meaningful when result.Crashed().
+    std::string stdout_text;
+  };
+  UserRunOutput RecordUserRun(const InputSpec& spec, const InstrumentationPlan& plan,
+                              const UserRunOptions& options);
+
+  // Wall-clock overhead measurement: runs the program `reps` times without
+  // instrumentation and `reps` times with the plan's recorder, reporting
+  // the best (least noisy) times plus the recorder's work counters.
+  struct OverheadSample {
+    double plain_seconds = 0.0;
+    double instrumented_seconds = 0.0;
+    u64 instrumented_execs = 0;
+    u64 branch_execs = 0;
+    u64 log_bytes = 0;
+    u64 syscall_log_bytes = 0;
+    double OverheadPercent() const {
+      return plain_seconds <= 0 ? 0.0
+                                : (instrumented_seconds / plain_seconds - 1.0) * 100.0;
+    }
+  };
+  OverheadSample MeasureOverhead(const InputSpec& spec, const InstrumentationPlan& plan,
+                                 NondetPolicy* policy, int reps, bool log_syscalls = true);
+
+  // ----- Phase 3: developer site -----
+  ReplayResult Reproduce(const BugReport& report, const InstrumentationPlan& plan,
+                         const ReplayConfig& config);
+
+  // Runs the witness input concretely and checks it crashes at the
+  // reported site.
+  bool VerifyWitness(const BugReport& report, const std::vector<i64>& witness_cells);
+
+ private:
+  Pipeline() = default;
+
+  std::unique_ptr<SemaProgram> program_;
+  std::unique_ptr<IrModule> module_;
+  ExprArena arena_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_CORE_PIPELINE_H_

@@ -1,0 +1,20 @@
+#include "src/core/report.h"
+
+namespace retrace {
+
+InputSpec StripInput(const InputSpec& spec) {
+  InputSpec out;
+  out.argv.reserve(spec.argv.size());
+  for (size_t i = 0; i < spec.argv.size(); ++i) {
+    if (spec.ArgIsPublic(i)) {
+      out.argv.push_back(spec.argv[i]);  // Program name / public arguments.
+    } else {
+      out.argv.push_back(std::string(spec.argv[i].size(), 'x'));
+    }
+  }
+  out.argv_public = spec.argv_public;
+  out.world = spec.world.StripContents();
+  return out;
+}
+
+}  // namespace retrace

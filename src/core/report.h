@@ -1,0 +1,52 @@
+// The bug report: everything that ships from the user site to the
+// developer site when a crash occurs.
+//
+// Contents (paper §3.1): the partial branch bitvector, the (optional)
+// system-call result log, the crash site, and the input *shape* — argument
+// count/lengths and environment structure, never input bytes. The list of
+// instrumented branches itself is retained by the developer from build
+// time (it is a property of the shipped binary, not of the run).
+#ifndef RETRACE_CORE_REPORT_H_
+#define RETRACE_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/exec/value.h"
+#include "src/instrument/plan.h"
+#include "src/instrument/syscall_log.h"
+#include "src/support/bitvec.h"
+#include "src/vos/vos.h"
+
+namespace retrace {
+
+struct UserSiteStats {
+  u64 branch_execs = 0;              // Total branch executions in the run.
+  u64 instrumented_execs = 0;        // Executions of instrumented branches.
+  u64 log_bytes = 0;                 // Branch log wire size.
+  u64 syscall_log_bytes = 0;
+  u64 flushes = 0;                   // 4 KB buffer flushes.
+  // Symbolic-branch accounting for Tables 4/7/8 (gathered by a profiling
+  // shadow run; a real deployment would not compute these).
+  u64 symbolic_locations_logged = 0;
+  u64 symbolic_locations_unlogged = 0;
+  u64 symbolic_execs_logged = 0;
+  u64 symbolic_execs_unlogged = 0;
+};
+
+struct BugReport {
+  InstrumentMethod method = InstrumentMethod::kAllBranches;
+  BitVec branch_log;
+  bool has_syscall_log = false;
+  SyscallLog syscall_log;
+  CrashSite crash;
+  InputSpec shape;  // Privacy-stripped: lengths and structure only.
+  UserSiteStats stats;
+};
+
+// Strips input contents, keeping only the shape: argv strings are replaced
+// by placeholder bytes of equal length; stream bytes are dropped.
+InputSpec StripInput(const InputSpec& spec);
+
+}  // namespace retrace
+
+#endif  // RETRACE_CORE_REPORT_H_

@@ -1,0 +1,755 @@
+#include "src/exec/interp.h"
+
+#include <algorithm>
+
+namespace retrace {
+namespace {
+
+ExprOp ToExprOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return ExprOp::kAdd;
+    case BinaryOp::kSub: return ExprOp::kSub;
+    case BinaryOp::kMul: return ExprOp::kMul;
+    case BinaryOp::kDiv: return ExprOp::kDiv;
+    case BinaryOp::kRem: return ExprOp::kRem;
+    case BinaryOp::kBitAnd: return ExprOp::kAnd;
+    case BinaryOp::kBitOr: return ExprOp::kOr;
+    case BinaryOp::kBitXor: return ExprOp::kXor;
+    case BinaryOp::kShl: return ExprOp::kShl;
+    case BinaryOp::kShr: return ExprOp::kShr;
+    case BinaryOp::kEq: return ExprOp::kEq;
+    case BinaryOp::kNe: return ExprOp::kNe;
+    case BinaryOp::kLt: return ExprOp::kLt;
+    case BinaryOp::kLe: return ExprOp::kLe;
+    case BinaryOp::kGt: return ExprOp::kGt;
+    case BinaryOp::kGe: return ExprOp::kGe;
+  }
+  FatalError("unreachable binary op");
+}
+
+ExprOp ToExprOp(IrUnOp op) {
+  switch (op) {
+    case IrUnOp::kNeg: return ExprOp::kNeg;
+    case IrUnOp::kBitNot: return ExprOp::kBitNot;
+    case IrUnOp::kLogicalNot: return ExprOp::kLogicalNot;
+    case IrUnOp::kTruncChar: return ExprOp::kTruncChar;
+  }
+  FatalError("unreachable unary op");
+}
+
+}  // namespace
+
+Interp::Interp(const IrModule& module, InterpOptions options)
+    : module_(module), options_(options) {}
+
+i32 Interp::AllocObject(i64 size, bool is_char) {
+  i32 id;
+  if (!free_objects_.empty()) {
+    id = free_objects_.back();
+    free_objects_.pop_back();
+  } else {
+    id = static_cast<i32>(objects_.size());
+    objects_.emplace_back();
+  }
+  MemObject& obj = objects_[id];
+  obj.cells.assign(static_cast<size_t>(size), Value::Int(0));
+  if (shadow_on()) {
+    obj.shadows.assign(static_cast<size_t>(size), kNoExpr);
+  } else {
+    obj.shadows.clear();
+  }
+  obj.alive = true;
+  obj.is_char = is_char;
+  return id;
+}
+
+void Interp::FreeObject(i32 id) {
+  MemObject& obj = objects_[id];
+  obj.alive = false;
+  ++obj.gen;
+  obj.cells.clear();
+  obj.cells.shrink_to_fit();
+  obj.shadows.clear();
+  obj.shadows.shrink_to_fit();
+  free_objects_.push_back(id);
+}
+
+Value Interp::EvalOperand(const Operand& op, const Frame& frame) const {
+  switch (op.kind) {
+    case Operand::Kind::kConstInt:
+      return Value::Int(op.imm);
+    case Operand::Kind::kSlot:
+      return frame.slots[op.index];
+    case Operand::Kind::kGlobalSlot:
+      return global_slots_[op.index];
+    case Operand::Kind::kObjAddr:
+      return Value::Ptr(op.index, objects_[op.index].gen, 0);
+    case Operand::Kind::kFrameObjAddr: {
+      const i32 obj = frame.objects[op.index];
+      return Value::Ptr(obj, objects_[obj].gen, 0);
+    }
+    case Operand::Kind::kNone:
+      break;
+  }
+  FatalError("EvalOperand on kNone");
+}
+
+ExprRef Interp::EvalShadow(const Operand& op, const Frame& frame) const {
+  switch (op.kind) {
+    case Operand::Kind::kSlot:
+      return frame.shadows[op.index];
+    case Operand::Kind::kGlobalSlot:
+      return global_shadows_[op.index];
+    default:
+      return kNoExpr;
+  }
+}
+
+void Interp::WriteSlot(const Operand& dst, Frame& frame, Value v, ExprRef shadow) {
+  if (dst.kind == Operand::Kind::kSlot) {
+    frame.slots[dst.index] = v;
+    if (shadow_on()) {
+      frame.shadows[dst.index] = shadow;
+    }
+    return;
+  }
+  Check(dst.kind == Operand::Kind::kGlobalSlot, "WriteSlot: bad destination");
+  global_slots_[dst.index] = v;
+  if (shadow_on()) {
+    global_shadows_[dst.index] = shadow;
+  }
+}
+
+void Interp::Trap(CrashSite::Kind kind, const Instr& instr, const Frame& frame, i64 code) {
+  pending_crash_ = CrashSite{kind, frame.fn->index, instr.loc, code};
+  has_crash_ = true;
+}
+
+bool Interp::CheckMemAccess(const Value& addr, i64 index, const Instr& instr, const Frame& frame,
+                            i32* obj, i64* off) {
+  if (!addr.IsPtr()) {
+    Trap(CrashSite::Kind::kNullDeref, instr, frame);
+    return false;
+  }
+  if (addr.obj < 0 || addr.obj >= static_cast<i32>(objects_.size())) {
+    Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+    return false;
+  }
+  const MemObject& m = objects_[addr.obj];
+  if (!m.alive || m.gen != addr.gen) {
+    Trap(CrashSite::Kind::kDangling, instr, frame);
+    return false;
+  }
+  const i64 o = addr.num + index;
+  if (o < 0 || o >= static_cast<i64>(m.cells.size())) {
+    Trap(CrashSite::Kind::kOutOfBounds, instr, frame);
+    return false;
+  }
+  *obj = addr.obj;
+  *off = o;
+  return true;
+}
+
+bool Interp::ExtractCString(const Value& ptr, const Instr& instr, const Frame& frame,
+                            std::string* out) {
+  if (!ptr.IsPtr()) {
+    Trap(CrashSite::Kind::kNullDeref, instr, frame);
+    return false;
+  }
+  const MemObject& m = objects_[ptr.obj];
+  if (!m.alive || m.gen != ptr.gen) {
+    Trap(CrashSite::Kind::kDangling, instr, frame);
+    return false;
+  }
+  out->clear();
+  for (i64 i = ptr.num;; ++i) {
+    if (i < 0 || i >= static_cast<i64>(m.cells.size())) {
+      Trap(CrashSite::Kind::kOutOfBounds, instr, frame);
+      return false;
+    }
+    const Value& cell = m.cells[i];
+    if (!cell.IsInt()) {
+      Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+      return false;
+    }
+    if (cell.num == 0) {
+      return true;
+    }
+    out->push_back(static_cast<char>(static_cast<u8>(cell.num)));
+  }
+}
+
+RunResult Interp::Run(const std::vector<std::string>& argv,
+                      const std::vector<std::vector<i32>>& argv_cells) {
+  // Reset per-run state.
+  objects_.clear();
+  free_objects_.clear();
+  frames_.clear();
+  stats_ = RunStats{};
+  has_crash_ = false;
+  abort_requested_ = false;
+  exit_requested_ = false;
+  exit_code_ = 0;
+
+  // Static objects.
+  for (const StaticObjectInfo& info : module_.static_objects) {
+    const i32 id = AllocObject(info.size, info.is_char);
+    MemObject& obj = objects_[id];
+    for (size_t i = 0; i < info.init.size() && i < obj.cells.size(); ++i) {
+      obj.cells[i] = Value::Int(info.init[i]);
+    }
+  }
+  // Global scalars.
+  global_slots_.clear();
+  global_shadows_.clear();
+  for (const GlobalScalarInfo& g : module_.global_scalars) {
+    global_slots_.push_back(Value::Int(g.init));
+    global_shadows_.push_back(kNoExpr);
+  }
+
+  // argv objects.
+  const IrFunction& main_fn = module_.funcs[module_.main_index];
+  std::vector<Value> argv_ptrs;
+  for (size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    const i32 id = AllocObject(static_cast<i64>(arg.size()) + 1, /*is_char=*/true);
+    MemObject& obj = objects_[id];
+    for (size_t j = 0; j < arg.size(); ++j) {
+      obj.cells[j] = Value::Int(static_cast<u8>(arg[j]));
+    }
+    if (shadow_on() && i < argv_cells.size()) {
+      // Shadows cover the content bytes and, when provided, the NUL cell.
+      for (size_t j = 0; j < argv_cells[i].size() && j <= arg.size(); ++j) {
+        if (argv_cells[i][j] >= 0) {
+          obj.shadows[j] = arena_->MkVar(argv_cells[i][j]);
+        }
+      }
+    }
+    argv_ptrs.push_back(Value::Ptr(id, obj.gen, 0));
+  }
+  const i32 argv_array = AllocObject(static_cast<i64>(argv_ptrs.size()), /*is_char=*/false);
+  for (size_t i = 0; i < argv_ptrs.size(); ++i) {
+    objects_[argv_array].cells[i] = argv_ptrs[i];
+  }
+
+  // Entry frame.
+  Frame main_frame;
+  main_frame.fn = &main_fn;
+  main_frame.slots.assign(main_fn.num_slots, Value::Int(0));
+  if (shadow_on()) {
+    main_frame.shadows.assign(main_fn.num_slots, kNoExpr);
+  }
+  for (const FrameObjectInfo& info : main_fn.frame_objects) {
+    main_frame.objects.push_back(AllocObject(info.size, info.is_char));
+  }
+  if (main_fn.num_params == 2) {
+    main_frame.slots[0] = Value::Int(static_cast<i64>(argv.size()));
+    main_frame.slots[1] = Value::Ptr(argv_array, objects_[argv_array].gen, 0);
+  }
+  frames_.push_back(std::move(main_frame));
+
+  // ----- Main loop -----
+  RunResult result;
+  while (!frames_.empty()) {
+    Frame& frame = frames_.back();
+    const std::vector<Instr>& instrs = frame.fn->blocks[frame.bb].instrs;
+    if (frame.ip >= instrs.size()) {
+      result.status = RunResult::Status::kError;
+      result.message = "fell off the end of a basic block";
+      result.stats = stats_;
+      return result;
+    }
+    const Instr& instr = instrs[frame.ip];
+
+    ++stats_.instrs;
+    if (stats_.instrs > options_.max_steps) {
+      result.status = RunResult::Status::kBudget;
+      result.stats = stats_;
+      return result;
+    }
+    if (options_.external_budget != nullptr && (stats_.instrs & 1023) == 0 &&
+        !options_.external_budget->Consume(1024)) {
+      result.status = RunResult::Status::kBudget;
+      result.stats = stats_;
+      return result;
+    }
+
+    switch (instr.op) {
+      case Opcode::kAssign: {
+        Value v = EvalOperand(instr.a, frame);
+        ExprRef shadow = shadow_on() ? EvalShadow(instr.a, frame) : kNoExpr;
+        if (instr.store_char) {
+          if (v.IsInt()) {
+            v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+            if (shadow != kNoExpr) {
+              shadow = arena_->MkUn(ExprOp::kTruncChar, shadow);
+            }
+          }
+        }
+        WriteSlot(instr.dst, frame, v, shadow);
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kBin: {
+        const Value a = EvalOperand(instr.a, frame);
+        const Value b = EvalOperand(instr.b, frame);
+        Value out;
+        ExprRef shadow = kNoExpr;
+        if (a.IsInt() && b.IsInt()) {
+          if ((instr.bin_op == BinaryOp::kDiv || instr.bin_op == BinaryOp::kRem) && b.num == 0) {
+            Trap(CrashSite::Kind::kDivByZero, instr, frame);
+            break;
+          }
+          out = Value::Int(ExprArena::EvalBin(ToExprOp(instr.bin_op), a.num, b.num));
+          if (shadow_on()) {
+            const ExprRef sa = EvalShadow(instr.a, frame);
+            const ExprRef sb = EvalShadow(instr.b, frame);
+            if (sa != kNoExpr || sb != kNoExpr) {
+              shadow = arena_->MkBin(ToExprOp(instr.bin_op),
+                                     sa != kNoExpr ? sa : arena_->MkConst(a.num),
+                                     sb != kNoExpr ? sb : arena_->MkConst(b.num));
+            }
+          }
+        } else if (a.IsPtr() && b.IsPtr()) {
+          switch (instr.bin_op) {
+            case BinaryOp::kEq:
+              out = Value::Int(a == b ? 1 : 0);
+              break;
+            case BinaryOp::kNe:
+              out = Value::Int(a == b ? 0 : 1);
+              break;
+            case BinaryOp::kSub:
+            case BinaryOp::kLt:
+            case BinaryOp::kLe:
+            case BinaryOp::kGt:
+            case BinaryOp::kGe: {
+              if (a.obj != b.obj || a.gen != b.gen) {
+                Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+                break;
+              }
+              if (instr.bin_op == BinaryOp::kSub) {
+                out = Value::Int(a.num - b.num);
+              } else {
+                out = Value::Int(
+                    ExprArena::EvalBin(ToExprOp(instr.bin_op), a.num, b.num));
+              }
+              break;
+            }
+            default:
+              Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+              break;
+          }
+          if (has_crash_) {
+            break;
+          }
+        } else {
+          // Mixed pointer/integer: only null comparisons are meaningful.
+          const Value& ptr = a.IsPtr() ? a : b;
+          const Value& other = a.IsPtr() ? b : a;
+          (void)ptr;
+          if (instr.bin_op == BinaryOp::kEq) {
+            out = Value::Int(0);  // A live pointer never equals an integer.
+          } else if (instr.bin_op == BinaryOp::kNe) {
+            out = Value::Int(1);
+          } else if (other.num == 0 &&
+                     (instr.bin_op == BinaryOp::kLt || instr.bin_op == BinaryOp::kLe ||
+                      instr.bin_op == BinaryOp::kGt || instr.bin_op == BinaryOp::kGe)) {
+            // Relational against null: treat pointer as nonzero address.
+            const bool ptr_is_a = a.IsPtr();
+            const i64 av = ptr_is_a ? 1 : 0;
+            const i64 bv = ptr_is_a ? 0 : 1;
+            out = Value::Int(ExprArena::EvalBin(ToExprOp(instr.bin_op), av, bv));
+          } else {
+            Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+            break;
+          }
+        }
+        WriteSlot(instr.dst, frame, out, shadow);
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kUn: {
+        const Value a = EvalOperand(instr.a, frame);
+        Value out;
+        ExprRef shadow = kNoExpr;
+        if (instr.un_op == IrUnOp::kLogicalNot) {
+          out = Value::Int(a.Truthy() ? 0 : 1);
+          if (shadow_on() && a.IsInt()) {
+            const ExprRef sa = EvalShadow(instr.a, frame);
+            if (sa != kNoExpr) {
+              shadow = arena_->MkUn(ExprOp::kLogicalNot, sa);
+            }
+          }
+        } else if (a.IsInt()) {
+          out = Value::Int(ExprArena::EvalUn(ToExprOp(instr.un_op), a.num));
+          if (shadow_on()) {
+            const ExprRef sa = EvalShadow(instr.a, frame);
+            if (sa != kNoExpr) {
+              shadow = arena_->MkUn(ToExprOp(instr.un_op), sa);
+            }
+          }
+        } else {
+          Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+          break;
+        }
+        WriteSlot(instr.dst, frame, out, shadow);
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kLoad: {
+        const Value addr = EvalOperand(instr.a, frame);
+        const Value index = EvalOperand(instr.b, frame);
+        if (!index.IsInt()) {
+          Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+          break;
+        }
+        i32 obj;
+        i64 off;
+        if (!CheckMemAccess(addr, index.num, instr, frame, &obj, &off)) {
+          break;
+        }
+        const MemObject& m = objects_[obj];
+        WriteSlot(instr.dst, frame, m.cells[off],
+                  shadow_on() && !m.shadows.empty() ? m.shadows[off] : kNoExpr);
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kStore: {
+        const Value addr = EvalOperand(instr.a, frame);
+        const Value index = EvalOperand(instr.b, frame);
+        if (!index.IsInt()) {
+          Trap(CrashSite::Kind::kPtrDomain, instr, frame);
+          break;
+        }
+        i32 obj;
+        i64 off;
+        if (!CheckMemAccess(addr, index.num, instr, frame, &obj, &off)) {
+          break;
+        }
+        Value v = EvalOperand(instr.c, frame);
+        ExprRef shadow = shadow_on() ? EvalShadow(instr.c, frame) : kNoExpr;
+        MemObject& m = objects_[obj];
+        if (m.is_char && v.IsInt()) {
+          v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+          if (shadow != kNoExpr) {
+            shadow = arena_->MkUn(ExprOp::kTruncChar, shadow);
+          }
+        }
+        m.cells[off] = v;
+        if (shadow_on() && !m.shadows.empty()) {
+          m.shadows[off] = shadow;
+        }
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kPtrAdd: {
+        const Value addr = EvalOperand(instr.a, frame);
+        const Value delta = EvalOperand(instr.b, frame);
+        if (!addr.IsPtr() || !delta.IsInt()) {
+          Trap(addr.IsPtr() ? CrashSite::Kind::kPtrDomain : CrashSite::Kind::kNullDeref, instr,
+               frame);
+          break;
+        }
+        WriteSlot(instr.dst, frame, Value::Ptr(addr.obj, addr.gen, addr.num + delta.num),
+                  kNoExpr);
+        ++frame.ip;
+        break;
+      }
+      case Opcode::kCall: {
+        if (!ExecCall(instr, frame)) {
+          break;  // Crash or exit raised below.
+        }
+        break;  // ExecCall advanced ip / pushed frame.
+      }
+      case Opcode::kBr: {
+        const Value cond = EvalOperand(instr.a, frame);
+        const bool taken = cond.Truthy();
+        ++stats_.branch_execs;
+        const ExprRef shadow =
+            shadow_on() && cond.IsInt() ? EvalShadow(instr.a, frame) : kNoExpr;
+        for (BranchObserver* obs : observers_) {
+          if (obs->OnBranch(instr.branch_id, taken, shadow) == BranchObserver::Action::kAbort) {
+            abort_requested_ = true;
+          }
+        }
+        if (abort_requested_) {
+          break;
+        }
+        frame.bb = taken ? instr.bb_true : instr.bb_false;
+        frame.ip = 0;
+        break;
+      }
+      case Opcode::kJmp: {
+        frame.bb = instr.bb_true;
+        frame.ip = 0;
+        break;
+      }
+      case Opcode::kRet: {
+        Value ret = Value::Int(0);
+        ExprRef ret_shadow = kNoExpr;
+        if (!instr.a.IsNone()) {
+          ret = EvalOperand(instr.a, frame);
+          ret_shadow = shadow_on() ? EvalShadow(instr.a, frame) : kNoExpr;
+        }
+        for (i32 obj : frame.objects) {
+          FreeObject(obj);
+        }
+        const Operand ret_dst = frame.ret_dst;
+        const bool ret_dst_char = frame.ret_dst_char;
+        frames_.pop_back();
+        if (frames_.empty()) {
+          result.status = RunResult::Status::kExit;
+          result.exit_code = ret.IsInt() ? ret.num : 0;
+          result.stats = stats_;
+          return result;
+        }
+        Frame& caller = frames_.back();
+        if (!ret_dst.IsNone()) {
+          if (ret_dst_char && ret.IsInt()) {
+            ret = Value::Int(static_cast<i64>(static_cast<u8>(ret.num)));
+            if (ret_shadow != kNoExpr) {
+              ret_shadow = arena_->MkUn(ExprOp::kTruncChar, ret_shadow);
+            }
+          }
+          WriteSlot(ret_dst, caller, ret, ret_shadow);
+        }
+        ++caller.ip;
+        break;
+      }
+    }
+
+    if (has_crash_) {
+      result.status = RunResult::Status::kCrash;
+      result.crash = pending_crash_;
+      result.stats = stats_;
+      return result;
+    }
+    if (abort_requested_) {
+      result.status = RunResult::Status::kAborted;
+      result.stats = stats_;
+      return result;
+    }
+    if (exit_requested_) {
+      result.status = RunResult::Status::kExit;
+      result.exit_code = exit_code_;
+      result.stats = stats_;
+      return result;
+    }
+  }
+  result.status = RunResult::Status::kError;
+  result.message = "empty frame stack";
+  result.stats = stats_;
+  return result;
+}
+
+bool Interp::ExecCall(const Instr& instr, Frame& frame) {
+  ++stats_.calls;
+  if (instr.callee_is_builtin) {
+    return ExecBuiltin(instr, frame);
+  }
+  if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+    Trap(CrashSite::Kind::kStackOverflow, instr, frame);
+    return false;
+  }
+  const IrFunction& callee = module_.funcs[instr.callee];
+  Frame next;
+  next.fn = &callee;
+  next.slots.assign(callee.num_slots, Value::Int(0));
+  if (shadow_on()) {
+    next.shadows.assign(callee.num_slots, kNoExpr);
+  }
+  for (size_t i = 0; i < instr.args.size(); ++i) {
+    Value v = EvalOperand(instr.args[i], frame);
+    ExprRef shadow = shadow_on() ? EvalShadow(instr.args[i], frame) : kNoExpr;
+    if (i < callee.param_types.size() && callee.param_types[i].kind == TypeKind::kChar &&
+        v.IsInt()) {
+      v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+      if (shadow != kNoExpr) {
+        shadow = arena_->MkUn(ExprOp::kTruncChar, shadow);
+      }
+    }
+    next.slots[i] = v;
+    if (shadow_on()) {
+      next.shadows[i] = shadow;
+    }
+  }
+  for (const FrameObjectInfo& info : callee.frame_objects) {
+    next.objects.push_back(AllocObject(info.size, info.is_char));
+  }
+  next.ret_dst = instr.dst;
+  next.ret_dst_char = false;
+  frames_.push_back(std::move(next));
+  return true;
+}
+
+bool Interp::ExecBuiltin(const Instr& instr, Frame& frame) {
+  ++stats_.syscalls;
+  const Builtin b = static_cast<Builtin>(instr.callee);
+  std::vector<Value> args;
+  args.reserve(instr.args.size());
+  for (const Operand& op : instr.args) {
+    args.push_back(EvalOperand(op, frame));
+  }
+
+  switch (b) {
+    case Builtin::kCrash: {
+      const i64 code = !args.empty() && args[0].IsInt() ? args[0].num : 0;
+      Trap(CrashSite::Kind::kExplicit, instr, frame, code);
+      return false;
+    }
+    case Builtin::kExit: {
+      exit_requested_ = true;
+      exit_code_ = !args.empty() && args[0].IsInt() ? args[0].num : 0;
+      return true;
+    }
+    default:
+      break;
+  }
+
+  if (syscalls_ == nullptr) {
+    Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+    return false;
+  }
+
+  std::vector<i64> int_args;
+  std::string str_arg;
+  std::vector<u8> write_data;
+
+  switch (b) {
+    case Builtin::kRead: {
+      if (args.size() != 3 || !args[0].IsInt() || !args[1].IsPtr() || !args[2].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      int_args = {args[0].num, args[2].num};
+      break;
+    }
+    case Builtin::kWrite: {
+      if (args.size() != 3 || !args[0].IsInt() || !args[1].IsPtr() || !args[2].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      const Value& buf = args[1];
+      const i64 n = args[2].num;
+      i32 obj;
+      i64 off;
+      if (n < 0 || !CheckMemAccess(buf, 0, instr, frame, &obj, &off) ||
+          (n > 0 && !CheckMemAccess(buf, n - 1, instr, frame, &obj, &off))) {
+        return false;
+      }
+      const MemObject& m = objects_[buf.obj];
+      for (i64 i = 0; i < n; ++i) {
+        const Value& cell = m.cells[buf.num + i];
+        write_data.push_back(cell.IsInt() ? static_cast<u8>(cell.num) : 0);
+      }
+      int_args = {args[0].num, n};
+      break;
+    }
+    case Builtin::kOpen: {
+      if (args.size() != 2 || !args[1].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      if (!ExtractCString(args[0], instr, frame, &str_arg)) {
+        return false;
+      }
+      int_args = {args[1].num};
+      break;
+    }
+    case Builtin::kClose: {
+      if (args.size() != 1 || !args[0].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      int_args = {args[0].num};
+      break;
+    }
+    case Builtin::kSelectFd: {
+      if (args.size() != 2 || !args[0].IsPtr() || !args[1].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      const i64 nfds = args[1].num;
+      i32 obj;
+      i64 off;
+      if (nfds < 0 || (nfds > 0 && !CheckMemAccess(args[0], nfds - 1, instr, frame, &obj, &off))) {
+        if (nfds < 0) {
+          Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        }
+        return false;
+      }
+      int_args.push_back(nfds);
+      const MemObject& m = objects_[args[0].obj];
+      for (i64 i = 0; i < nfds; ++i) {
+        const Value& cell = m.cells[args[0].num + i];
+        int_args.push_back(cell.IsInt() ? cell.num : -1);
+      }
+      break;
+    }
+    case Builtin::kAcceptConn: {
+      if (args.size() != 1 || !args[0].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      int_args = {args[0].num};
+      break;
+    }
+    case Builtin::kPollSignal:
+      break;
+    case Builtin::kPrintInt: {
+      if (args.size() != 1 || !args[0].IsInt()) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      int_args = {args[0].num};
+      break;
+    }
+    case Builtin::kPrintStr: {
+      if (args.size() != 1) {
+        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+        return false;
+      }
+      if (!ExtractCString(args[0], instr, frame, &str_arg)) {
+        return false;
+      }
+      break;
+    }
+    default:
+      Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
+      return false;
+  }
+
+  const SyscallOutcome outcome = syscalls_->OnSyscall(b, int_args, str_arg, write_data);
+
+  // Deliver read() data into the buffer.
+  if (b == Builtin::kRead && !outcome.data.empty()) {
+    const Value& buf = args[1];
+    i32 obj;
+    i64 off;
+    if (!CheckMemAccess(buf, static_cast<i64>(outcome.data.size()) - 1, instr, frame, &obj,
+                        &off)) {
+      return false;  // Input larger than buffer: an OOB crash, as native code would corrupt.
+    }
+    MemObject& m = objects_[buf.obj];
+    for (size_t i = 0; i < outcome.data.size(); ++i) {
+      m.cells[buf.num + i] = Value::Int(outcome.data[i]);
+      if (shadow_on() && !m.shadows.empty()) {
+        m.shadows[buf.num + i] =
+            i < outcome.data_cells.size() && outcome.data_cells[i] >= 0
+                ? arena_->MkVar(outcome.data_cells[i])
+                : kNoExpr;
+      }
+    }
+  }
+
+  if (!instr.dst.IsNone()) {
+    const ExprRef shadow = shadow_on() && outcome.ret_cell >= 0
+                               ? arena_->MkVar(outcome.ret_cell)
+                               : kNoExpr;
+    WriteSlot(instr.dst, frame, Value::Int(outcome.ret), shadow);
+  }
+  ++frame.ip;
+  return true;
+}
+
+}  // namespace retrace

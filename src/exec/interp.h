@@ -1,0 +1,128 @@
+// Concrete IR interpreter with optional shadow-symbolic tracking.
+//
+// The interpreter executes the program deterministically given (a) argv
+// byte values, and (b) a SyscallHandler deciding every nondeterministic
+// system-call outcome. With an ExprArena attached it additionally
+// propagates shadow expressions over input cells alongside the concrete
+// values; branch observers then see, for every executed branch, whether its
+// condition was symbolic — the raw signal behind the paper's dynamic
+// analysis, the branch recorder, and the replay engine.
+#ifndef RETRACE_EXEC_INTERP_H_
+#define RETRACE_EXEC_INTERP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/value.h"
+#include "src/ir/ir.h"
+#include "src/support/budget.h"
+
+namespace retrace {
+
+// One nondeterministic system call outcome, decided by the handler.
+struct SyscallOutcome {
+  i64 ret = 0;
+  i32 ret_cell = -1;                // Input cell backing `ret` (-1: concrete).
+  std::vector<u8> data;             // Bytes delivered into the buffer (read).
+  std::vector<i32> data_cells;      // Input cells backing `data` (may be empty).
+};
+
+class SyscallHandler {
+ public:
+  virtual ~SyscallHandler() = default;
+  // `int_args` carries the scalar arguments in builtin-specific order;
+  // `str_arg` the extracted C string (open/print_str); `write_data` the
+  // buffer contents (write).
+  virtual SyscallOutcome OnSyscall(Builtin b, const std::vector<i64>& int_args,
+                                   const std::string& str_arg,
+                                   const std::vector<u8>& write_data) = 0;
+};
+
+class BranchObserver {
+ public:
+  enum class Action { kContinue, kAbort };
+  virtual ~BranchObserver() = default;
+  // `cond_shadow` is kNoExpr for concrete conditions.
+  virtual Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) = 0;
+};
+
+struct InterpOptions {
+  u64 max_steps = 500'000'000;
+  int max_call_depth = 512;
+  // External budget shared with an enclosing analysis; checked coarsely
+  // (every 1024 instructions).
+  Budget* external_budget = nullptr;
+};
+
+class Interp {
+ public:
+  Interp(const IrModule& module, InterpOptions options);
+
+  void set_syscall_handler(SyscallHandler* handler) { syscalls_ = handler; }
+  void AddObserver(BranchObserver* observer) { observers_.push_back(observer); }
+  void ClearObservers() { observers_.clear(); }
+  // Enables shadow tracking. The arena must outlive the interpreter runs.
+  void set_shadow_arena(ExprArena* arena) { arena_ = arena; }
+
+  // Runs main. `argv` are the concrete argument strings (argv[0] included);
+  // `argv_cells[i]` optionally names the input cell ids backing argv[i]'s
+  // bytes (shadow mode).
+  RunResult Run(const std::vector<std::string>& argv,
+                const std::vector<std::vector<i32>>& argv_cells);
+
+  // Convenience for programs whose main takes no arguments.
+  RunResult Run() { return Run({"prog"}, {}); }
+
+ private:
+  struct Frame {
+    const IrFunction* fn = nullptr;
+    std::vector<Value> slots;
+    std::vector<ExprRef> shadows;
+    std::vector<i32> objects;  // Frame object ids, parallel to fn->frame_objects.
+    i32 bb = 0;
+    size_t ip = 0;
+    Operand ret_dst;  // Caller destination for the return value.
+    bool ret_dst_char = false;
+  };
+
+  bool shadow_on() const { return arena_ != nullptr; }
+
+  i32 AllocObject(i64 size, bool is_char);
+  void FreeObject(i32 id);
+
+  Value EvalOperand(const Operand& op, const Frame& frame) const;
+  ExprRef EvalShadow(const Operand& op, const Frame& frame) const;
+  void WriteSlot(const Operand& dst, Frame& frame, Value v, ExprRef shadow);
+
+  // Trap helpers return false and set pending_crash_.
+  bool CheckMemAccess(const Value& addr, i64 index, const Instr& instr, const Frame& frame,
+                      i32* obj, i64* off);
+  void Trap(CrashSite::Kind kind, const Instr& instr, const Frame& frame, i64 code = 0);
+
+  bool ExecCall(const Instr& instr, Frame& frame);
+  bool ExecBuiltin(const Instr& instr, Frame& frame);
+  bool ExtractCString(const Value& ptr, const Instr& instr, const Frame& frame, std::string* out);
+
+  const IrModule& module_;
+  InterpOptions options_;
+  SyscallHandler* syscalls_ = nullptr;
+  std::vector<BranchObserver*> observers_;
+  ExprArena* arena_ = nullptr;
+
+  // Per-run state.
+  std::vector<MemObject> objects_;
+  std::vector<i32> free_objects_;
+  std::vector<Value> global_slots_;
+  std::vector<ExprRef> global_shadows_;
+  std::vector<Frame> frames_;
+  RunStats stats_;
+  CrashSite pending_crash_;
+  bool has_crash_ = false;
+  bool abort_requested_ = false;
+  bool exit_requested_ = false;
+  i64 exit_code_ = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_EXEC_INTERP_H_

@@ -1,0 +1,38 @@
+#include "src/exec/value.h"
+
+#include <sstream>
+
+namespace retrace {
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  if (IsInt()) {
+    os << num;
+  } else {
+    os << "&obj" << obj << "[" << num << "]";
+  }
+  return os.str();
+}
+
+std::string CrashSite::ToString() const {
+  const char* name = "?";
+  switch (kind) {
+    case Kind::kNone: name = "none"; break;
+    case Kind::kExplicit: name = "crash()"; break;
+    case Kind::kOutOfBounds: name = "out-of-bounds"; break;
+    case Kind::kNullDeref: name = "null-deref"; break;
+    case Kind::kDivByZero: name = "div-by-zero"; break;
+    case Kind::kDangling: name = "dangling"; break;
+    case Kind::kPtrDomain: name = "pointer-domain"; break;
+    case Kind::kBadBuiltinArg: name = "bad-builtin-arg"; break;
+    case Kind::kStackOverflow: name = "stack-overflow"; break;
+  }
+  std::ostringstream os;
+  os << name << " in func#" << func << " at " << retrace::ToString(loc);
+  if (kind == Kind::kExplicit) {
+    os << " code=" << code;
+  }
+  return os.str();
+}
+
+}  // namespace retrace

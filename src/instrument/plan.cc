@@ -1,0 +1,81 @@
+#include "src/instrument/plan.h"
+
+namespace retrace {
+
+const char* InstrumentMethodName(InstrumentMethod method) {
+  switch (method) {
+    case InstrumentMethod::kDynamic: return "dynamic";
+    case InstrumentMethod::kStatic: return "static";
+    case InstrumentMethod::kDynamicStatic: return "dynamic+static";
+    case InstrumentMethod::kAllBranches: return "all branches";
+  }
+  return "?";
+}
+
+size_t InstrumentationPlan::NumInstrumentedApp(const IrModule& module) const {
+  size_t n = 0;
+  for (const BranchInfo& branch : module.branches) {
+    if (!branch.is_library && branches.Test(branch.id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+InstrumentationPlan BuildPlan(const IrModule& module, InstrumentMethod method,
+                              const std::vector<BranchLabel>* dynamic_labels,
+                              const StaticAnalysisResult* static_result,
+                              const PlanOptions& options) {
+  const size_t n = module.branches.size();
+  InstrumentationPlan plan;
+  plan.method = method;
+  plan.branches = DenseBitset(n);
+
+  switch (method) {
+    case InstrumentMethod::kAllBranches:
+      for (size_t i = 0; i < n; ++i) {
+        plan.branches.Set(i);
+      }
+      break;
+    case InstrumentMethod::kDynamic:
+      Check(dynamic_labels != nullptr, "dynamic plan requires dynamic labels");
+      for (size_t i = 0; i < n; ++i) {
+        if ((*dynamic_labels)[i] == BranchLabel::kSymbolic) {
+          plan.branches.Set(i);
+        }
+      }
+      break;
+    case InstrumentMethod::kStatic:
+      Check(static_result != nullptr, "static plan requires static results");
+      plan.branches = static_result->symbolic_branches;
+      plan.method = method;
+      break;
+    case InstrumentMethod::kDynamicStatic: {
+      Check(dynamic_labels != nullptr && static_result != nullptr,
+            "combined plan requires both analyses");
+      for (size_t i = 0; i < n; ++i) {
+        const BranchLabel dyn = (*dynamic_labels)[i];
+        if (dyn == BranchLabel::kSymbolic) {
+          // Guaranteed symbolic.
+          plan.branches.Set(i);
+        } else if (dyn == BranchLabel::kConcrete) {
+          // Visited and always concrete so far: trust the dynamic verdict
+          // over a (possibly conservative) static `symbolic` — unless the
+          // override is disabled for ablation.
+          if (!options.dynamic_overrides_static && static_result->symbolic_branches.Test(i)) {
+            plan.branches.Set(i);
+          }
+        } else {
+          // Unvisited: static analysis is the only information available.
+          if (static_result->symbolic_branches.Test(i)) {
+            plan.branches.Set(i);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace retrace

@@ -1,0 +1,54 @@
+// Instrumentation plans: which branch locations get logged (paper §2.3).
+#ifndef RETRACE_INSTRUMENT_PLAN_H_
+#define RETRACE_INSTRUMENT_PLAN_H_
+
+#include <string>
+
+#include "src/analysis/static_analyzer.h"
+#include "src/concolic/engine.h"
+#include "src/ir/ir.h"
+#include "src/support/dense_bitset.h"
+
+namespace retrace {
+
+enum class InstrumentMethod {
+  kDynamic,        // Branches labeled symbolic by dynamic analysis.
+  kStatic,         // Branches labeled symbolic by static analysis.
+  kDynamicStatic,  // Combination with the dynamic-overrides-static rule.
+  kAllBranches,    // Every branch location.
+};
+
+const char* InstrumentMethodName(InstrumentMethod method);
+
+struct InstrumentationPlan {
+  InstrumentMethod method = InstrumentMethod::kAllBranches;
+  DenseBitset branches;  // Instrumented branch ids.
+
+  size_t NumInstrumented() const { return branches.Count(); }
+  bool Instrumented(i32 branch_id) const {
+    return branch_id >= 0 && static_cast<size_t>(branch_id) < branches.size() &&
+           branches.Test(branch_id);
+  }
+  // Instrumented locations restricted to application / library code.
+  size_t NumInstrumentedApp(const IrModule& module) const;
+};
+
+struct PlanOptions {
+  // Ablation: when false, the dynamic analysis' `concrete` label does NOT
+  // override the static `symbolic` label in the combined method (the paper
+  // argues the override is what makes dynamic+static cheap; this knob
+  // quantifies that claim).
+  bool dynamic_overrides_static = true;
+};
+
+// Builds a plan. `dynamic_labels` may be null except for kDynamic and
+// kDynamicStatic; `static_result` may be null except for kStatic and
+// kDynamicStatic.
+InstrumentationPlan BuildPlan(const IrModule& module, InstrumentMethod method,
+                              const std::vector<BranchLabel>* dynamic_labels,
+                              const StaticAnalysisResult* static_result,
+                              const PlanOptions& options = PlanOptions{});
+
+}  // namespace retrace
+
+#endif  // RETRACE_INSTRUMENT_PLAN_H_

@@ -1,0 +1,23 @@
+#include "src/instrument/recorder.h"
+
+#include <cstring>
+
+namespace retrace {
+
+void BranchTraceRecorder::Flush(size_t bytes) {
+  const size_t old_size = sink_.size();
+  sink_.resize(old_size + bytes);
+  std::memcpy(sink_.data() + old_size, buffer_.data(), bytes);
+  bit_count_ = 0;
+  buffer_.fill(0);
+  ++flushes_;
+}
+
+BitVec BranchTraceRecorder::TakeLog() {
+  if (bit_count_ > 0) {
+    Flush((bit_count_ + 7) / 8);  // Final partial page.
+  }
+  return BitVec::Deserialize(sink_, total_bits_);
+}
+
+}  // namespace retrace

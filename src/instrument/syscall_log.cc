@@ -1,0 +1,26 @@
+#include "src/instrument/syscall_log.h"
+
+#include <sstream>
+
+namespace retrace {
+
+SyscallLog SyscallLogFromTrace(const std::vector<CellStore::DynRecord>& trace) {
+  SyscallLog log;
+  log.reserve(trace.size());
+  for (const CellStore::DynRecord& record : trace) {
+    log.push_back(SyscallRecord{record.kind, record.value});
+  }
+  return log;
+}
+
+u64 SyscallLogBytes(const SyscallLog& log) { return static_cast<u64>(log.size()) * 5; }
+
+std::string SyscallLogToString(const SyscallLog& log) {
+  std::ostringstream os;
+  for (const SyscallRecord& r : log) {
+    os << BuiltinName(r.kind) << "=" << r.value << " ";
+  }
+  return os.str();
+}
+
+}  // namespace retrace

@@ -1,0 +1,28 @@
+// Selective system-call result logging (paper §2.3, "Logging system calls").
+//
+// Only the *results* of nondeterministic calls are recorded — read() byte
+// counts, select() readiness, accept() arrivals, signal polls. The input
+// data itself is never logged (privacy). The log is derived from the
+// virtual OS's dynamic-cell trace after a user-site run.
+#ifndef RETRACE_INSTRUMENT_SYSCALL_LOG_H_
+#define RETRACE_INSTRUMENT_SYSCALL_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vos/vos.h"
+
+namespace retrace {
+
+// Extracts the syscall-result log from a finished run's dynamic trace.
+SyscallLog SyscallLogFromTrace(const std::vector<CellStore::DynRecord>& trace);
+
+// Wire size of the log in bytes (kind byte + varint-ish value, modeled as
+// kind + 4 bytes, matching the paper's "a few values per call").
+u64 SyscallLogBytes(const SyscallLog& log);
+
+std::string SyscallLogToString(const SyscallLog& log);
+
+}  // namespace retrace
+
+#endif  // RETRACE_INSTRUMENT_SYSCALL_LOG_H_

@@ -1,0 +1,24 @@
+#include "src/ir/ir.h"
+
+namespace retrace {
+
+const IrFunction* IrModule::FindFunc(std::string_view name) const {
+  for (const IrFunction& f : funcs) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+size_t IrModule::NumAppBranchLocations() const {
+  size_t n = 0;
+  for (const BranchInfo& b : branches) {
+    if (!b.is_library) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace retrace

@@ -1,0 +1,146 @@
+// Control-flow-graph IR for MiniC.
+//
+// Every conditional jump in the program is an explicit `kBr` instruction
+// carrying a stable BranchId — the unit of everything the paper measures:
+// branch *locations* are BranchIds, branch *executions* are dynamic
+// executions of a kBr. Short-circuit && / || are lowered to separate kBr
+// instructions exactly as a C compiler (or CIL) would, so they count as
+// distinct branch locations.
+#ifndef RETRACE_IR_IR_H_
+#define RETRACE_IR_IR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/builtins.h"
+#include "src/support/common.h"
+
+namespace retrace {
+
+enum class Opcode {
+  kAssign,   // dst <- a
+  kBin,      // dst <- a bin_op b
+  kUn,       // dst <- un_op a
+  kLoad,     // dst <- mem[a + b]   (a: pointer, b: element index)
+  kStore,    // mem[a + b] <- c
+  kPtrAdd,   // dst <- a + b        (a: pointer, b: element delta)
+  kCall,     // dst <- callee(args...)
+  kBr,       // if a goto bb_true else bb_false   [branch_id]
+  kJmp,      // goto bb_true
+  kRet,      // return a (operand optional)
+};
+
+enum class IrUnOp { kNeg, kBitNot, kLogicalNot, kTruncChar };
+
+struct Operand {
+  enum class Kind {
+    kNone,
+    kConstInt,      // imm
+    kSlot,          // frame slot `index` of the current function
+    kGlobalSlot,    // module global scalar slot `index`
+    kObjAddr,       // address of static object `index` (global arrays, strings)
+    kFrameObjAddr,  // address of frame object `index` (local arrays, &locals)
+  };
+  Kind kind = Kind::kNone;
+  i32 index = 0;
+  i64 imm = 0;
+
+  static Operand None() { return Operand{}; }
+  static Operand Const(i64 v) { return Operand{Kind::kConstInt, 0, v}; }
+  static Operand Slot(i32 i) { return Operand{Kind::kSlot, i, 0}; }
+  static Operand GlobalSlot(i32 i) { return Operand{Kind::kGlobalSlot, i, 0}; }
+  static Operand ObjAddr(i32 i) { return Operand{Kind::kObjAddr, i, 0}; }
+  static Operand FrameObjAddr(i32 i) { return Operand{Kind::kFrameObjAddr, i, 0}; }
+
+  bool IsNone() const { return kind == Kind::kNone; }
+  bool IsConst() const { return kind == Kind::kConstInt; }
+};
+
+struct Instr {
+  Opcode op = Opcode::kAssign;
+  SourceLoc loc;
+  Operand dst;  // kSlot or kGlobalSlot destination (kNone when unused).
+  Operand a;
+  Operand b;
+  Operand c;
+  BinaryOp bin_op = BinaryOp::kAdd;
+  IrUnOp un_op = IrUnOp::kNeg;
+  bool store_char = false;  // kStore/kAssign target holds chars: truncate.
+  // kCall.
+  i32 callee = -1;
+  bool callee_is_builtin = false;
+  std::vector<Operand> args;
+  // kBr / kJmp.
+  i32 bb_true = -1;
+  i32 bb_false = -1;
+  i32 branch_id = -1;
+};
+
+struct BasicBlock {
+  std::vector<Instr> instrs;  // Last instruction is the terminator.
+};
+
+// A memory object allocated per function activation: local arrays and
+// address-taken scalar locals (promoted so &x works).
+struct FrameObjectInfo {
+  std::string name;
+  i64 size = 0;
+  bool is_char = false;
+  i32 local_slot = -1;  // Slot the object was promoted from, or -1 for arrays.
+};
+
+// A memory object with static storage duration: global arrays, address-taken
+// global scalars, and string literals.
+struct StaticObjectInfo {
+  std::string name;
+  i64 size = 0;
+  bool is_char = false;
+  std::vector<i64> init;  // Initial cell values (zero-filled to size).
+};
+
+struct GlobalScalarInfo {
+  std::string name;
+  i64 init = 0;
+};
+
+// Identity of one branch location. The `is_library` flag drives the
+// application/library splits in Figure 3 and the static analyzer's
+// library-opaque mode.
+struct BranchInfo {
+  i32 id = -1;
+  i32 func = -1;
+  SourceLoc loc;
+  bool is_library = false;
+  std::string context;  // "if", "while", "for", "&&", "||" - for diagnostics.
+};
+
+struct IrFunction {
+  std::string name;
+  i32 index = -1;
+  int num_params = 0;
+  i32 num_slots = 0;  // Params + locals + temps.
+  Type return_type;
+  bool is_library = false;
+  std::vector<FrameObjectInfo> frame_objects;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block.
+  // Params that are pointers (used by analyses); slot i is param i.
+  std::vector<Type> param_types;
+};
+
+struct IrModule {
+  std::vector<IrFunction> funcs;
+  std::vector<GlobalScalarInfo> global_scalars;
+  std::vector<StaticObjectInfo> static_objects;
+  std::vector<BranchInfo> branches;
+  i32 main_index = -1;
+
+  const IrFunction* FindFunc(std::string_view name) const;
+  size_t NumBranchLocations() const { return branches.size(); }
+  // Branch locations in application (non-library) code.
+  size_t NumAppBranchLocations() const;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_IR_IR_H_

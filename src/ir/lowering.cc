@@ -1,0 +1,744 @@
+#include "src/ir/lowering.h"
+
+#include <utility>
+
+namespace retrace {
+namespace {
+
+// Where an lvalue lives: directly in a slot, or in memory behind a pointer.
+struct Place {
+  enum class Kind { kSlot, kGlobalSlot, kMem };
+  Kind kind = Kind::kSlot;
+  i32 slot = -1;        // kSlot / kGlobalSlot.
+  Operand addr;         // kMem: pointer operand.
+  Operand index;        // kMem: element index operand.
+  bool is_char = false;  // Element/slot holds char: stores truncate.
+};
+
+class LoweringImpl {
+ public:
+  explicit LoweringImpl(const SemaProgram& program) : program_(program) {}
+
+  Result<std::unique_ptr<IrModule>> Run() {
+    module_ = std::make_unique<IrModule>();
+    LowerGlobals();
+    LowerStrings();
+    for (const SemaFunc& sf : program_.funcs) {
+      LowerFunction(sf);
+    }
+    module_->main_index = program_.main_index;
+    return std::move(module_);
+  }
+
+ private:
+  struct GlobalBinding {
+    bool is_object = false;
+    i32 index = -1;  // Static object index or global scalar slot.
+  };
+
+  void LowerGlobals() {
+    for (const GlobalInfo& g : program_.globals) {
+      GlobalBinding binding;
+      if (g.type.IsArray()) {
+        binding.is_object = true;
+        binding.index = static_cast<i32>(module_->static_objects.size());
+        StaticObjectInfo obj;
+        obj.name = g.name;
+        obj.size = g.type.array_size;
+        obj.is_char = g.type.base == TypeKind::kChar;
+        module_->static_objects.push_back(std::move(obj));
+      } else if (g.address_taken && g.type.IsScalar()) {
+        binding.is_object = true;
+        binding.index = static_cast<i32>(module_->static_objects.size());
+        StaticObjectInfo obj;
+        obj.name = g.name;
+        obj.size = 1;
+        obj.is_char = g.type.kind == TypeKind::kChar;
+        obj.init.push_back(g.init_value);
+        module_->static_objects.push_back(std::move(obj));
+      } else {
+        binding.is_object = false;
+        binding.index = static_cast<i32>(module_->global_scalars.size());
+        module_->global_scalars.push_back(GlobalScalarInfo{g.name, g.init_value});
+      }
+      global_bindings_.push_back(binding);
+    }
+  }
+
+  void LowerStrings() {
+    for (const std::string& s : program_.strings) {
+      StaticObjectInfo obj;
+      obj.name = "$str" + std::to_string(string_objects_.size());
+      obj.size = static_cast<i64>(s.size()) + 1;
+      obj.is_char = true;
+      obj.init.reserve(s.size() + 1);
+      for (char c : s) {
+        obj.init.push_back(static_cast<unsigned char>(c));
+      }
+      obj.init.push_back(0);
+      string_objects_.push_back(static_cast<i32>(module_->static_objects.size()));
+      module_->static_objects.push_back(std::move(obj));
+    }
+  }
+
+  // ----- Function-level state -----
+
+  void LowerFunction(const SemaFunc& sf) {
+    IrFunction fn;
+    fn.name = sf.decl->name;
+    fn.index = sf.index;
+    fn.num_params = sf.num_params;
+    fn.return_type = sf.return_type;
+    fn.is_library = sf.is_library;
+    fn.num_slots = static_cast<i32>(sf.locals.size());
+    for (int i = 0; i < sf.num_params; ++i) {
+      fn.param_types.push_back(sf.locals[i].type);
+    }
+    module_->funcs.push_back(std::move(fn));
+    fn_ = &module_->funcs.back();
+    sema_fn_ = &sf;
+
+    // Allocate frame objects for local arrays and address-taken scalars.
+    local_frame_obj_.assign(sf.locals.size(), -1);
+    for (size_t i = 0; i < sf.locals.size(); ++i) {
+      const LocalInfo& local = sf.locals[i];
+      if (local.type.IsArray()) {
+        local_frame_obj_[i] = static_cast<i32>(fn_->frame_objects.size());
+        fn_->frame_objects.push_back(FrameObjectInfo{
+            local.name, local.type.array_size, local.type.base == TypeKind::kChar, -1});
+      } else if (local.address_taken && local.type.IsScalar()) {
+        local_frame_obj_[i] = static_cast<i32>(fn_->frame_objects.size());
+        fn_->frame_objects.push_back(FrameObjectInfo{
+            local.name, 1, local.type.kind == TypeKind::kChar, static_cast<i32>(i)});
+      }
+    }
+
+    cur_bb_ = NewBlock();
+    // Prologue: copy address-taken params into their frame objects.
+    for (int i = 0; i < sf.num_params; ++i) {
+      if (sf.locals[i].address_taken && sf.locals[i].type.IsScalar()) {
+        Instr store;
+        store.op = Opcode::kStore;
+        store.loc = sf.decl->loc;
+        store.a = Operand::FrameObjAddr(local_frame_obj_[i]);
+        store.b = Operand::Const(0);
+        store.c = Operand::Slot(static_cast<i32>(i));
+        Emit(std::move(store));
+      }
+    }
+
+    LowerStmt(*sf.decl->body);
+
+    // Implicit return for control paths that fall off the end.
+    if (!BlockTerminated(cur_bb_)) {
+      Instr ret;
+      ret.op = Opcode::kRet;
+      ret.loc = sf.decl->loc;
+      ret.a = sf.return_type.IsVoid() ? Operand::None() : Operand::Const(0);
+      Emit(std::move(ret));
+    }
+    fn_ = nullptr;
+    sema_fn_ = nullptr;
+  }
+
+  i32 NewBlock() {
+    fn_->blocks.emplace_back();
+    return static_cast<i32>(fn_->blocks.size()) - 1;
+  }
+
+  bool BlockTerminated(i32 bb) const {
+    const auto& instrs = fn_->blocks[bb].instrs;
+    if (instrs.empty()) {
+      return false;
+    }
+    const Opcode op = instrs.back().op;
+    return op == Opcode::kBr || op == Opcode::kJmp || op == Opcode::kRet;
+  }
+
+  void Emit(Instr instr) {
+    if (BlockTerminated(cur_bb_)) {
+      // Unreachable code after return/break: give it a dangling block so the
+      // rest of the lowering still has somewhere to go.
+      cur_bb_ = NewBlock();
+    }
+    fn_->blocks[cur_bb_].instrs.push_back(std::move(instr));
+  }
+
+  i32 NewTemp() { return fn_->num_slots++; }
+
+  i32 NewBranchId(SourceLoc loc, const char* context) {
+    const i32 id = static_cast<i32>(module_->branches.size());
+    BranchInfo info;
+    info.id = id;
+    info.func = fn_->index;
+    info.loc = loc;
+    info.is_library = fn_->is_library;
+    info.context = context;
+    module_->branches.push_back(std::move(info));
+    return id;
+  }
+
+  // ----- Statements -----
+
+  void LowerStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const StmtPtr& child : s.body) {
+          LowerStmt(*child);
+        }
+        return;
+      case StmtKind::kExpr:
+        LowerExpr(*s.init);
+        return;
+      case StmtKind::kVarDecl: {
+        if (s.init != nullptr) {
+          const Operand value = LowerExpr(*s.init);
+          const LocalInfo& local = sema_fn_->locals[s.decl_slot];
+          Place place;
+          if (local_frame_obj_[s.decl_slot] >= 0 && !local.type.IsArray()) {
+            place.kind = Place::Kind::kMem;
+            place.addr = Operand::FrameObjAddr(local_frame_obj_[s.decl_slot]);
+            place.index = Operand::Const(0);
+            place.is_char = local.type.kind == TypeKind::kChar;
+          } else {
+            place.kind = Place::Kind::kSlot;
+            place.slot = s.decl_slot;
+            place.is_char = local.type.kind == TypeKind::kChar;
+          }
+          StorePlace(place, value, s.loc);
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        const i32 bb_then = NewBlock();
+        const i32 bb_join = NewBlock();
+        const i32 bb_else = s.else_body != nullptr ? NewBlock() : bb_join;
+        LowerCondBranch(*s.cond, bb_then, bb_else);
+        cur_bb_ = bb_then;
+        LowerStmt(*s.then_body);
+        EmitJmp(bb_join, s.loc);
+        if (s.else_body != nullptr) {
+          cur_bb_ = bb_else;
+          LowerStmt(*s.else_body);
+          EmitJmp(bb_join, s.loc);
+        }
+        cur_bb_ = bb_join;
+        return;
+      }
+      case StmtKind::kWhile: {
+        const i32 bb_head = NewBlock();
+        const i32 bb_body = NewBlock();
+        const i32 bb_exit = NewBlock();
+        EmitJmp(bb_head, s.loc);
+        cur_bb_ = bb_head;
+        LowerCondBranch(*s.cond, bb_body, bb_exit);
+        loop_stack_.push_back({bb_head, bb_exit});
+        cur_bb_ = bb_body;
+        LowerStmt(*s.then_body);
+        EmitJmp(bb_head, s.loc);
+        loop_stack_.pop_back();
+        cur_bb_ = bb_exit;
+        return;
+      }
+      case StmtKind::kFor: {
+        if (s.for_init != nullptr) {
+          LowerStmt(*s.for_init);
+        }
+        const i32 bb_head = NewBlock();
+        const i32 bb_body = NewBlock();
+        const i32 bb_step = NewBlock();
+        const i32 bb_exit = NewBlock();
+        EmitJmp(bb_head, s.loc);
+        cur_bb_ = bb_head;
+        if (s.cond != nullptr) {
+          LowerCondBranch(*s.cond, bb_body, bb_exit);
+        } else {
+          EmitJmp(bb_body, s.loc);
+        }
+        loop_stack_.push_back({bb_step, bb_exit});
+        cur_bb_ = bb_body;
+        LowerStmt(*s.then_body);
+        EmitJmp(bb_step, s.loc);
+        loop_stack_.pop_back();
+        cur_bb_ = bb_step;
+        if (s.for_step != nullptr) {
+          LowerExpr(*s.for_step);
+        }
+        EmitJmp(bb_head, s.loc);
+        cur_bb_ = bb_exit;
+        return;
+      }
+      case StmtKind::kReturn: {
+        Instr ret;
+        ret.op = Opcode::kRet;
+        ret.loc = s.loc;
+        ret.a = s.cond != nullptr ? LowerExpr(*s.cond) : Operand::None();
+        Emit(std::move(ret));
+        return;
+      }
+      case StmtKind::kBreak: {
+        Check(!loop_stack_.empty(), "break outside loop survived sema");
+        EmitJmp(loop_stack_.back().second, s.loc);
+        return;
+      }
+      case StmtKind::kContinue: {
+        Check(!loop_stack_.empty(), "continue outside loop survived sema");
+        EmitJmp(loop_stack_.back().first, s.loc);
+        return;
+      }
+    }
+  }
+
+  void EmitJmp(i32 target, SourceLoc loc) {
+    if (BlockTerminated(cur_bb_)) {
+      return;  // Unreachable fallthrough (after return/break).
+    }
+    Instr jmp;
+    jmp.op = Opcode::kJmp;
+    jmp.loc = loc;
+    jmp.bb_true = target;
+    Emit(std::move(jmp));
+  }
+
+  // ----- Conditions -----
+  //
+  // Lowers a boolean context. Logical operators expand into separate kBr
+  // instructions (one branch location per operand test), and `!` simply
+  // swaps the branch targets without creating a new location — the same
+  // shape a C compiler produces.
+  void LowerCondBranch(const Expr& e, i32 bb_true, i32 bb_false) {
+    if (e.kind == ExprKind::kLogical) {
+      const i32 bb_mid = NewBlock();
+      if (e.log_op == LogicalOp::kAnd) {
+        LowerCondBranch(*e.lhs, bb_mid, bb_false);
+      } else {
+        LowerCondBranch(*e.lhs, bb_true, bb_mid);
+      }
+      cur_bb_ = bb_mid;
+      LowerCondBranch(*e.rhs, bb_true, bb_false);
+      return;
+    }
+    if (e.kind == ExprKind::kUnary && e.un_op == UnaryOp::kLogicalNot) {
+      LowerCondBranch(*e.lhs, bb_false, bb_true);
+      return;
+    }
+    const Operand cond = LowerExpr(e);
+    const char* context = "if";
+    switch (e.kind) {
+      case ExprKind::kBinary: context = "cmp"; break;
+      case ExprKind::kCall: context = "call"; break;
+      default: break;
+    }
+    Instr br;
+    br.op = Opcode::kBr;
+    br.loc = e.loc;
+    br.a = cond;
+    br.bb_true = bb_true;
+    br.bb_false = bb_false;
+    br.branch_id = NewBranchId(e.loc, context);
+    Emit(std::move(br));
+  }
+
+  // ----- Places -----
+
+  Place LowerPlace(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVarRef: {
+        Place place;
+        place.is_char = e.type.kind == TypeKind::kChar;
+        if (e.binding_kind == 0) {
+          const i32 obj = local_frame_obj_[e.binding_index];
+          if (obj >= 0 && !e.type.IsArray()) {
+            place.kind = Place::Kind::kMem;
+            place.addr = Operand::FrameObjAddr(obj);
+            place.index = Operand::Const(0);
+          } else {
+            place.kind = Place::Kind::kSlot;
+            place.slot = e.binding_index;
+          }
+        } else {
+          const GlobalBinding& binding = global_bindings_[e.binding_index];
+          if (binding.is_object) {
+            place.kind = Place::Kind::kMem;
+            place.addr = Operand::ObjAddr(binding.index);
+            place.index = Operand::Const(0);
+          } else {
+            place.kind = Place::Kind::kGlobalSlot;
+            place.slot = binding.index;
+          }
+        }
+        return place;
+      }
+      case ExprKind::kIndex: {
+        Place place;
+        place.kind = Place::Kind::kMem;
+        place.addr = LowerExpr(*e.lhs);
+        place.index = LowerExpr(*e.rhs);
+        place.is_char = e.type.kind == TypeKind::kChar;
+        return place;
+      }
+      case ExprKind::kUnary: {
+        Check(e.un_op == UnaryOp::kDeref, "non-deref unary place survived sema");
+        Place place;
+        place.kind = Place::Kind::kMem;
+        place.addr = LowerExpr(*e.lhs);
+        place.index = Operand::Const(0);
+        place.is_char = e.type.kind == TypeKind::kChar;
+        return place;
+      }
+      default:
+        FatalError("invalid place expression survived sema");
+    }
+  }
+
+  Operand LoadPlace(const Place& place, SourceLoc loc) {
+    switch (place.kind) {
+      case Place::Kind::kSlot:
+        return Operand::Slot(place.slot);
+      case Place::Kind::kGlobalSlot:
+        return Operand::GlobalSlot(place.slot);
+      case Place::Kind::kMem: {
+        const i32 temp = NewTemp();
+        Instr load;
+        load.op = Opcode::kLoad;
+        load.loc = loc;
+        load.dst = Operand::Slot(temp);
+        load.a = place.addr;
+        load.b = place.index;
+        Emit(std::move(load));
+        return Operand::Slot(temp);
+      }
+    }
+    FatalError("unreachable");
+  }
+
+  void StorePlace(const Place& place, Operand value, SourceLoc loc) {
+    switch (place.kind) {
+      case Place::Kind::kSlot:
+      case Place::Kind::kGlobalSlot: {
+        Instr assign;
+        assign.op = Opcode::kAssign;
+        assign.loc = loc;
+        assign.dst = place.kind == Place::Kind::kSlot ? Operand::Slot(place.slot)
+                                                      : Operand::GlobalSlot(place.slot);
+        assign.a = value;
+        assign.store_char = place.is_char;
+        Emit(std::move(assign));
+        return;
+      }
+      case Place::Kind::kMem: {
+        Instr store;
+        store.op = Opcode::kStore;
+        store.loc = loc;
+        store.a = place.addr;
+        store.b = place.index;
+        store.c = value;
+        store.store_char = place.is_char;
+        Emit(std::move(store));
+        return;
+      }
+    }
+  }
+
+  // ----- Expressions -----
+
+  Operand LowerExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kCharLit:
+        return Operand::Const(e.int_value);
+      case ExprKind::kStringLit:
+        return Operand::ObjAddr(string_objects_[e.string_id]);
+      case ExprKind::kVarRef: {
+        if (e.binding_kind == 0) {
+          const i32 obj = local_frame_obj_[e.binding_index];
+          if (e.type.IsArray()) {
+            return Operand::FrameObjAddr(obj);
+          }
+          if (obj >= 0) {
+            return LoadPlace(LowerPlace(e), e.loc);
+          }
+          return Operand::Slot(e.binding_index);
+        }
+        const GlobalBinding& binding = global_bindings_[e.binding_index];
+        if (e.type.IsArray()) {
+          return Operand::ObjAddr(binding.index);
+        }
+        if (binding.is_object) {
+          return LoadPlace(LowerPlace(e), e.loc);
+        }
+        return Operand::GlobalSlot(binding.index);
+      }
+      case ExprKind::kUnary:
+        return LowerUnary(e);
+      case ExprKind::kBinary:
+        return LowerBinary(e);
+      case ExprKind::kLogical:
+        return LowerLogicalValue(e);
+      case ExprKind::kAssign:
+        return LowerAssign(e);
+      case ExprKind::kIncDec:
+        return LowerIncDec(e);
+      case ExprKind::kIndex: {
+        const Place place = LowerPlace(e);
+        return LoadPlace(place, e.loc);
+      }
+      case ExprKind::kCall:
+        return LowerCall(e);
+    }
+    FatalError("unreachable expression kind");
+  }
+
+  Operand LowerUnary(const Expr& e) {
+    switch (e.un_op) {
+      case UnaryOp::kDeref:
+        return LoadPlace(LowerPlace(e), e.loc);
+      case UnaryOp::kAddrOf:
+        return LowerAddrOf(*e.lhs);
+      default:
+        break;
+    }
+    const Operand operand = LowerExpr(*e.lhs);
+    const i32 temp = NewTemp();
+    Instr un;
+    un.op = Opcode::kUn;
+    un.loc = e.loc;
+    un.dst = Operand::Slot(temp);
+    un.a = operand;
+    switch (e.un_op) {
+      case UnaryOp::kNeg: un.un_op = IrUnOp::kNeg; break;
+      case UnaryOp::kBitNot: un.un_op = IrUnOp::kBitNot; break;
+      case UnaryOp::kLogicalNot: un.un_op = IrUnOp::kLogicalNot; break;
+      default: FatalError("bad unary op");
+    }
+    Emit(std::move(un));
+    return Operand::Slot(temp);
+  }
+
+  Operand LowerAddrOf(const Expr& target) {
+    switch (target.kind) {
+      case ExprKind::kVarRef: {
+        if (target.binding_kind == 0) {
+          const i32 obj = local_frame_obj_[target.binding_index];
+          Check(obj >= 0, "address-taken local without frame object");
+          return Operand::FrameObjAddr(obj);
+        }
+        const GlobalBinding& binding = global_bindings_[target.binding_index];
+        Check(binding.is_object, "address-taken global without object");
+        return Operand::ObjAddr(binding.index);
+      }
+      case ExprKind::kIndex: {
+        const Operand base = LowerExpr(*target.lhs);
+        const Operand index = LowerExpr(*target.rhs);
+        const i32 temp = NewTemp();
+        Instr add;
+        add.op = Opcode::kPtrAdd;
+        add.loc = target.loc;
+        add.dst = Operand::Slot(temp);
+        add.a = base;
+        add.b = index;
+        Emit(std::move(add));
+        return Operand::Slot(temp);
+      }
+      case ExprKind::kUnary:
+        Check(target.un_op == UnaryOp::kDeref, "bad &-operand survived sema");
+        return LowerExpr(*target.lhs);
+      default:
+        FatalError("bad &-operand survived sema");
+    }
+  }
+
+  Operand LowerBinary(const Expr& e) {
+    const Type lt = e.lhs->type.IsArray() ? Type::PtrTo(e.lhs->type.base, 1) : e.lhs->type;
+    const Type rt = e.rhs->type.IsArray() ? Type::PtrTo(e.rhs->type.base, 1) : e.rhs->type;
+    const Operand a = LowerExpr(*e.lhs);
+    const Operand b = LowerExpr(*e.rhs);
+    // Pointer arithmetic becomes kPtrAdd; pointer difference stays kSub and
+    // is resolved by the interpreter (same-object check).
+    if (e.bin_op == BinaryOp::kAdd && (lt.IsPtr() || rt.IsPtr())) {
+      const i32 temp = NewTemp();
+      Instr add;
+      add.op = Opcode::kPtrAdd;
+      add.loc = e.loc;
+      add.dst = Operand::Slot(temp);
+      add.a = lt.IsPtr() ? a : b;
+      add.b = lt.IsPtr() ? b : a;
+      Emit(std::move(add));
+      return Operand::Slot(temp);
+    }
+    if (e.bin_op == BinaryOp::kSub && lt.IsPtr() && !rt.IsPtr()) {
+      const i32 neg = NewTemp();
+      Instr un;
+      un.op = Opcode::kUn;
+      un.loc = e.loc;
+      un.dst = Operand::Slot(neg);
+      un.a = b;
+      un.un_op = IrUnOp::kNeg;
+      Emit(std::move(un));
+      const i32 temp = NewTemp();
+      Instr add;
+      add.op = Opcode::kPtrAdd;
+      add.loc = e.loc;
+      add.dst = Operand::Slot(temp);
+      add.a = a;
+      add.b = Operand::Slot(neg);
+      Emit(std::move(add));
+      return Operand::Slot(temp);
+    }
+    const i32 temp = NewTemp();
+    Instr bin;
+    bin.op = Opcode::kBin;
+    bin.loc = e.loc;
+    bin.dst = Operand::Slot(temp);
+    bin.a = a;
+    bin.b = b;
+    bin.bin_op = e.bin_op;
+    Emit(std::move(bin));
+    return Operand::Slot(temp);
+  }
+
+  Operand LowerLogicalValue(const Expr& e) {
+    const i32 result = NewTemp();
+    const i32 bb_true = NewBlock();
+    const i32 bb_false = NewBlock();
+    const i32 bb_join = NewBlock();
+    LowerCondBranch(e, bb_true, bb_false);
+    cur_bb_ = bb_true;
+    Instr set1;
+    set1.op = Opcode::kAssign;
+    set1.loc = e.loc;
+    set1.dst = Operand::Slot(result);
+    set1.a = Operand::Const(1);
+    Emit(std::move(set1));
+    EmitJmp(bb_join, e.loc);
+    cur_bb_ = bb_false;
+    Instr set0;
+    set0.op = Opcode::kAssign;
+    set0.loc = e.loc;
+    set0.dst = Operand::Slot(result);
+    set0.a = Operand::Const(0);
+    Emit(std::move(set0));
+    EmitJmp(bb_join, e.loc);
+    cur_bb_ = bb_join;
+    return Operand::Slot(result);
+  }
+
+  Operand LowerAssign(const Expr& e) {
+    const Place place = LowerPlace(*e.lhs);
+    Operand value;
+    if (e.has_compound_op) {
+      const Operand old_value = LoadPlace(place, e.loc);
+      const Operand rhs = LowerExpr(*e.rhs);
+      const i32 temp = NewTemp();
+      if (e.lhs->type.IsPtr()) {
+        Instr add;
+        add.op = Opcode::kPtrAdd;
+        add.loc = e.loc;
+        add.dst = Operand::Slot(temp);
+        add.a = old_value;
+        if (e.compound_op == BinaryOp::kSub) {
+          const i32 neg = NewTemp();
+          Instr un;
+          un.op = Opcode::kUn;
+          un.loc = e.loc;
+          un.dst = Operand::Slot(neg);
+          un.a = rhs;
+          un.un_op = IrUnOp::kNeg;
+          Emit(std::move(un));
+          add.b = Operand::Slot(neg);
+        } else {
+          add.b = rhs;
+        }
+        Emit(std::move(add));
+      } else {
+        Instr bin;
+        bin.op = Opcode::kBin;
+        bin.loc = e.loc;
+        bin.dst = Operand::Slot(temp);
+        bin.a = old_value;
+        bin.b = rhs;
+        bin.bin_op = e.compound_op;
+        Emit(std::move(bin));
+      }
+      value = Operand::Slot(temp);
+    } else {
+      value = LowerExpr(*e.rhs);
+    }
+    StorePlace(place, value, e.loc);
+    return value;
+  }
+
+  Operand LowerIncDec(const Expr& e) {
+    const Place place = LowerPlace(*e.lhs);
+    const Operand old_value = LoadPlace(place, e.loc);
+    // Copy the old value: for slot places the operand aliases the slot and
+    // would observe the update.
+    const i32 old_copy = NewTemp();
+    Instr copy;
+    copy.op = Opcode::kAssign;
+    copy.loc = e.loc;
+    copy.dst = Operand::Slot(old_copy);
+    copy.a = old_value;
+    Emit(std::move(copy));
+
+    const i32 new_value = NewTemp();
+    if (e.lhs->type.IsPtr()) {
+      Instr add;
+      add.op = Opcode::kPtrAdd;
+      add.loc = e.loc;
+      add.dst = Operand::Slot(new_value);
+      add.a = Operand::Slot(old_copy);
+      add.b = Operand::Const(e.is_increment ? 1 : -1);
+      Emit(std::move(add));
+    } else {
+      Instr bin;
+      bin.op = Opcode::kBin;
+      bin.loc = e.loc;
+      bin.dst = Operand::Slot(new_value);
+      bin.a = Operand::Slot(old_copy);
+      bin.b = Operand::Const(1);
+      bin.bin_op = e.is_increment ? BinaryOp::kAdd : BinaryOp::kSub;
+      Emit(std::move(bin));
+    }
+    StorePlace(place, Operand::Slot(new_value), e.loc);
+    return e.is_prefix ? Operand::Slot(new_value) : Operand::Slot(old_copy);
+  }
+
+  Operand LowerCall(const Expr& e) {
+    Instr call;
+    call.op = Opcode::kCall;
+    call.loc = e.loc;
+    call.callee = e.callee_index;
+    call.callee_is_builtin = e.callee_is_builtin;
+    for (const ExprPtr& arg : e.args) {
+      call.args.push_back(LowerExpr(*arg));
+    }
+    Operand result = Operand::None();
+    if (!e.type.IsVoid()) {
+      const i32 temp = NewTemp();
+      call.dst = Operand::Slot(temp);
+      result = Operand::Slot(temp);
+    }
+    Emit(std::move(call));
+    return result;
+  }
+
+  const SemaProgram& program_;
+  std::unique_ptr<IrModule> module_;
+  std::vector<GlobalBinding> global_bindings_;
+  std::vector<i32> string_objects_;
+
+  IrFunction* fn_ = nullptr;
+  const SemaFunc* sema_fn_ = nullptr;
+  std::vector<i32> local_frame_obj_;
+  i32 cur_bb_ = 0;
+  std::vector<std::pair<i32, i32>> loop_stack_;  // {continue target, break target}
+};
+
+}  // namespace
+
+Result<std::unique_ptr<IrModule>> Lower(const SemaProgram& program) {
+  return LoweringImpl(program).Run();
+}
+
+}  // namespace retrace

@@ -1,0 +1,20 @@
+// AST -> CFG IR lowering.
+#ifndef RETRACE_IR_LOWERING_H_
+#define RETRACE_IR_LOWERING_H_
+
+#include <memory>
+
+#include "src/ir/ir.h"
+#include "src/lang/sema.h"
+#include "src/support/diag.h"
+
+namespace retrace {
+
+// Lowers a sema-checked program to IR. Every source-level conditional
+// (if/while/for and each operand of && / ||) becomes a kBr instruction with
+// a fresh BranchId registered in the module's branch table.
+Result<std::unique_ptr<IrModule>> Lower(const SemaProgram& program);
+
+}  // namespace retrace
+
+#endif  // RETRACE_IR_LOWERING_H_

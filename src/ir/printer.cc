@@ -1,0 +1,177 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+
+namespace retrace {
+namespace {
+
+const char* BinOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kRem: return "%";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+void PrintOperand(std::ostringstream& os, const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kNone: os << "_"; break;
+    case Operand::Kind::kConstInt: os << op.imm; break;
+    case Operand::Kind::kSlot: os << "s" << op.index; break;
+    case Operand::Kind::kGlobalSlot: os << "g" << op.index; break;
+    case Operand::Kind::kObjAddr: os << "&obj" << op.index; break;
+    case Operand::Kind::kFrameObjAddr: os << "&frame" << op.index; break;
+  }
+}
+
+void PrintInstr(std::ostringstream& os, const IrModule& module, const Instr& instr) {
+  auto operand = [&](const Operand& op) { PrintOperand(os, op); };
+  switch (instr.op) {
+    case Opcode::kAssign:
+      operand(instr.dst);
+      os << " = ";
+      operand(instr.a);
+      if (instr.store_char) {
+        os << " (char)";
+      }
+      break;
+    case Opcode::kBin:
+      operand(instr.dst);
+      os << " = ";
+      operand(instr.a);
+      os << " " << BinOpName(instr.bin_op) << " ";
+      operand(instr.b);
+      break;
+    case Opcode::kUn: {
+      const char* name = "?";
+      switch (instr.un_op) {
+        case IrUnOp::kNeg: name = "neg"; break;
+        case IrUnOp::kBitNot: name = "bnot"; break;
+        case IrUnOp::kLogicalNot: name = "lnot"; break;
+        case IrUnOp::kTruncChar: name = "trunc"; break;
+      }
+      operand(instr.dst);
+      os << " = " << name << " ";
+      operand(instr.a);
+      break;
+    }
+    case Opcode::kLoad:
+      operand(instr.dst);
+      os << " = load ";
+      operand(instr.a);
+      os << "[";
+      operand(instr.b);
+      os << "]";
+      break;
+    case Opcode::kStore:
+      os << "store ";
+      operand(instr.a);
+      os << "[";
+      operand(instr.b);
+      os << "] = ";
+      operand(instr.c);
+      break;
+    case Opcode::kPtrAdd:
+      operand(instr.dst);
+      os << " = ptradd ";
+      operand(instr.a);
+      os << ", ";
+      operand(instr.b);
+      break;
+    case Opcode::kCall:
+      if (!instr.dst.IsNone()) {
+        operand(instr.dst);
+        os << " = ";
+      }
+      os << "call ";
+      if (instr.callee_is_builtin) {
+        os << BuiltinName(static_cast<Builtin>(instr.callee));
+      } else {
+        os << module.funcs[instr.callee].name;
+      }
+      os << "(";
+      for (size_t i = 0; i < instr.args.size(); ++i) {
+        if (i > 0) {
+          os << ", ";
+        }
+        operand(instr.args[i]);
+      }
+      os << ")";
+      break;
+    case Opcode::kBr:
+      os << "br ";
+      operand(instr.a);
+      os << " ? bb" << instr.bb_true << " : bb" << instr.bb_false << "   [branch "
+         << instr.branch_id << "]";
+      break;
+    case Opcode::kJmp:
+      os << "jmp bb" << instr.bb_true;
+      break;
+    case Opcode::kRet:
+      os << "ret";
+      if (!instr.a.IsNone()) {
+        os << " ";
+        operand(instr.a);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintFunction(const IrModule& module, const IrFunction& fn) {
+  std::ostringstream os;
+  os << "func " << fn.name << " (params=" << fn.num_params << ", slots=" << fn.num_slots;
+  if (fn.is_library) {
+    os << ", library";
+  }
+  os << ")\n";
+  for (size_t i = 0; i < fn.frame_objects.size(); ++i) {
+    const FrameObjectInfo& obj = fn.frame_objects[i];
+    os << "  frame" << i << ": " << obj.name << "[" << obj.size << "]"
+       << (obj.is_char ? " char" : " int") << "\n";
+  }
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    os << " bb" << b << ":\n";
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      os << "   ";
+      PrintInstr(os, module, instr);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string PrintModule(const IrModule& module) {
+  std::ostringstream os;
+  for (size_t i = 0; i < module.global_scalars.size(); ++i) {
+    os << "global g" << i << " = " << module.global_scalars[i].name << " (init "
+       << module.global_scalars[i].init << ")\n";
+  }
+  for (size_t i = 0; i < module.static_objects.size(); ++i) {
+    const StaticObjectInfo& obj = module.static_objects[i];
+    os << "object obj" << i << " = " << obj.name << "[" << obj.size << "]"
+       << (obj.is_char ? " char" : " int") << "\n";
+  }
+  for (const IrFunction& fn : module.funcs) {
+    os << PrintFunction(module, fn);
+  }
+  os << module.branches.size() << " branch locations\n";
+  return os.str();
+}
+
+}  // namespace retrace

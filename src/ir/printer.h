@@ -1,0 +1,16 @@
+// Human-readable dump of the IR, for tests and debugging.
+#ifndef RETRACE_IR_PRINTER_H_
+#define RETRACE_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace retrace {
+
+std::string PrintFunction(const IrModule& module, const IrFunction& fn);
+std::string PrintModule(const IrModule& module);
+
+}  // namespace retrace
+
+#endif  // RETRACE_IR_PRINTER_H_

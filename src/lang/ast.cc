@@ -1,0 +1,48 @@
+#include "src/lang/ast.h"
+
+#include <sstream>
+
+namespace retrace {
+
+Type Type::Element() const {
+  Check(IsPtrLike(), "Type::Element on non-pointer type");
+  if (IsArray()) {
+    return base == TypeKind::kInt ? Int() : Char();
+  }
+  if (ptr_depth == 1) {
+    return base == TypeKind::kInt ? Int() : Char();
+  }
+  return PtrTo(base, ptr_depth - 1);
+}
+
+Type Type::PointerTo() const {
+  if (IsScalar()) {
+    return PtrTo(kind, 1);
+  }
+  if (IsArray()) {
+    return PtrTo(base, 1);
+  }
+  Check(IsPtr(), "Type::PointerTo on void");
+  return PtrTo(base, ptr_depth + 1);
+}
+
+std::string Type::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kChar: return "char";
+    case TypeKind::kArray:
+      os << (base == TypeKind::kInt ? "int" : "char") << "[" << array_size << "]";
+      return os.str();
+    case TypeKind::kPtr:
+      os << (base == TypeKind::kInt ? "int" : "char");
+      for (int i = 0; i < ptr_depth; ++i) {
+        os << "*";
+      }
+      return os.str();
+  }
+  return "?";
+}
+
+}  // namespace retrace

@@ -1,0 +1,192 @@
+// Abstract syntax tree for MiniC.
+//
+// MiniC is the C subset the workloads are written in: int/char scalars,
+// fixed-size arrays, pointers (including char** argv), functions, globals,
+// short-circuit logical operators, and the usual control flow. It is rich
+// enough that the paper's analyses face the same problems they face on C:
+// pointer aliasing, input-dependent loops, and library/application splits.
+#ifndef RETRACE_LANG_AST_H_
+#define RETRACE_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+// ----- Types -------------------------------------------------------------
+
+enum class TypeKind { kVoid, kInt, kChar, kPtr, kArray };
+
+// Value type. Types are small and copied by value; pointer/array element
+// types are encoded by `depth` levels of indirection over a base scalar.
+struct Type {
+  TypeKind kind = TypeKind::kInt;
+  TypeKind base = TypeKind::kInt;  // For kPtr/kArray: scalar at the bottom.
+  int ptr_depth = 0;               // For kPtr: levels of indirection (>= 1).
+  i64 array_size = 0;              // For kArray.
+
+  static Type Void() { return Type{TypeKind::kVoid, TypeKind::kVoid, 0, 0}; }
+  static Type Int() { return Type{TypeKind::kInt, TypeKind::kInt, 0, 0}; }
+  static Type Char() { return Type{TypeKind::kChar, TypeKind::kChar, 0, 0}; }
+  static Type PtrTo(TypeKind scalar, int depth) {
+    return Type{TypeKind::kPtr, scalar, depth, 0};
+  }
+  static Type ArrayOf(TypeKind scalar, i64 size) {
+    return Type{TypeKind::kArray, scalar, 0, size};
+  }
+
+  bool IsVoid() const { return kind == TypeKind::kVoid; }
+  bool IsScalar() const { return kind == TypeKind::kInt || kind == TypeKind::kChar; }
+  bool IsPtr() const { return kind == TypeKind::kPtr; }
+  bool IsArray() const { return kind == TypeKind::kArray; }
+  bool IsPtrLike() const { return IsPtr() || IsArray(); }
+
+  // Type of *p or p[i].
+  Type Element() const;
+  // Type of &lvalue of this type.
+  Type PointerTo() const;
+
+  bool operator==(const Type&) const = default;
+  std::string ToString() const;
+};
+
+// ----- Expressions -------------------------------------------------------
+
+enum class ExprKind {
+  kIntLit,
+  kCharLit,
+  kStringLit,
+  kVarRef,
+  kUnary,     // - ! ~ * &
+  kBinary,    // arithmetic, comparison, bitwise; NOT && || (see kLogical)
+  kLogical,   // && || : short-circuit, lowered to control flow
+  kAssign,    // =, +=, -=, *=, /=, %=
+  kIncDec,    // ++x, --x, x++, x--
+  kIndex,     // a[i]
+  kCall,
+};
+
+enum class UnaryOp { kNeg, kLogicalNot, kBitNot, kDeref, kAddrOf };
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+enum class LogicalOp { kAnd, kOr };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  Type type;  // Filled in by sema.
+
+  // kIntLit / kCharLit
+  i64 int_value = 0;
+  // kStringLit
+  std::string str_value;
+  int string_id = -1;  // Filled in by sema: global string table index.
+  // kVarRef / kCall
+  std::string name;
+  // Resolved by sema: see VarBinding in sema.h. kind/index pairs.
+  int binding_kind = -1;  // 0 = local/param slot, 1 = global.
+  int binding_index = -1;
+  int callee_index = -1;   // kCall: function table index, or builtin id.
+  bool callee_is_builtin = false;
+  // kUnary
+  UnaryOp un_op = UnaryOp::kNeg;
+  // kBinary
+  BinaryOp bin_op = BinaryOp::kAdd;
+  // kLogical
+  LogicalOp log_op = LogicalOp::kAnd;
+  // kAssign: op == nullopt means plain '='; otherwise the compound base op.
+  bool has_compound_op = false;
+  BinaryOp compound_op = BinaryOp::kAdd;
+  // kIncDec
+  bool is_increment = true;
+  bool is_prefix = true;
+
+  ExprPtr lhs;               // Unary operand / binary lhs / index base / call unused.
+  ExprPtr rhs;               // Binary rhs / index subscript / assign value.
+  std::vector<ExprPtr> args;  // kCall arguments.
+};
+
+// ----- Statements ---------------------------------------------------------
+
+enum class StmtKind {
+  kBlock,
+  kExpr,
+  kVarDecl,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // kVarDecl
+  std::string decl_name;
+  Type decl_type;
+  int decl_slot = -1;  // Filled in by sema.
+  ExprPtr init;        // Optional initializer (also used as kExpr's expr).
+
+  // kIf / kWhile / kFor conditions; kReturn value.
+  ExprPtr cond;
+  // kFor clauses.
+  StmtPtr for_init;   // kVarDecl or kExpr or null.
+  ExprPtr for_step;   // Optional.
+
+  StmtPtr then_body;  // kIf then / loop body.
+  StmtPtr else_body;  // kIf else.
+
+  std::vector<StmtPtr> body;  // kBlock statements.
+};
+
+// ----- Declarations --------------------------------------------------------
+
+struct ParamDecl {
+  std::string name;
+  Type type;
+  SourceLoc loc;
+};
+
+struct FuncDecl {
+  std::string name;
+  Type return_type;
+  std::vector<ParamDecl> params;
+  StmtPtr body;
+  SourceLoc loc;
+  bool is_library = false;  // True when declared in a library unit.
+};
+
+struct GlobalDecl {
+  std::string name;
+  Type type;
+  i64 init_value = 0;        // Scalar initializer (constant).
+  bool has_init = false;
+  SourceLoc loc;
+};
+
+// One parsed source unit (a "file").
+struct Unit {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+  bool is_library = false;
+  int unit_index = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_AST_H_

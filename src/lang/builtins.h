@@ -1,0 +1,46 @@
+// Builtin functions MiniC programs can call.
+//
+// These are the program's window onto the virtual OS (src/vos) and the
+// sources of input the analyses track: argv plus the return values and
+// output buffers of the input builtins. They mirror the system calls the
+// paper singles out (read/select) plus the signal-delivery check the uServer
+// experiments rely on.
+#ifndef RETRACE_LANG_BUILTINS_H_
+#define RETRACE_LANG_BUILTINS_H_
+
+#include <optional>
+#include <string_view>
+
+namespace retrace {
+
+enum class Builtin {
+  kRead,        // int read(int fd, char *buf, int n): input source.
+  kWrite,       // int write(int fd, char *buf, int n).
+  kOpen,        // int open(char *path, int flags): fd or -1.
+  kClose,       // int close(int fd).
+  kSelectFd,    // int select_fd(int *fds, int nfds): index of ready fd, -1 if none.
+  kAcceptConn,  // int accept_conn(int listen_fd): new fd or -1.
+  kPollSignal,  // int poll_signal(): 1 when an async signal is pending.
+  kCrash,       // void crash(int code): deterministic crash site (SIGSEGV stand-in).
+  kExit,        // void exit(int code).
+  kPrintInt,    // void print_int(int v).
+  kPrintStr,    // void print_str(char *s).
+};
+
+inline constexpr int kNumBuiltins = 11;
+
+// Returns the builtin for `name`, if any.
+std::optional<Builtin> LookupBuiltin(std::string_view name);
+
+const char* BuiltinName(Builtin b);
+
+// Builtins whose return value is input-dependent (treated as symbolic
+// sources by both analyses, and as loggable system calls by the recorder).
+bool BuiltinReturnsInput(Builtin b);
+
+// Builtins that fill a caller buffer with input bytes (read).
+bool BuiltinFillsInputBuffer(Builtin b);
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_BUILTINS_H_

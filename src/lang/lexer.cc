@@ -1,0 +1,370 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace retrace {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kCharLit: return "char literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwChar: return "'char'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string_view, TokenKind>{
+      {"int", TokenKind::kKwInt},       {"char", TokenKind::kKwChar},
+      {"void", TokenKind::kKwVoid},     {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},     {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},       {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},   {"continue", TokenKind::kKwContinue},
+  };
+  return *kMap;
+}
+
+class LexerImpl {
+ public:
+  LexerImpl(std::string_view source, int unit) : src_(source), unit_(unit) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEof));
+        return tokens;
+      }
+      Result<Token> tok = Next();
+      if (!tok.ok()) {
+        return tok.error();
+      }
+      tokens.push_back(tok.take());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  SourceLoc Here() const { return SourceLoc{unit_, line_, col_}; }
+
+  Token Make(TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.loc = Here();
+    return t;
+  }
+
+  Error Err(std::string message) { return Error{std::move(message), Here()}; }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+        continue;
+      }
+      if (Peek() == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (!AtEnd()) {
+          Advance();
+          Advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<Token> Next() {
+    const SourceLoc start = Here();
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdent(start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(start);
+    }
+    if (c == '\'') {
+      return LexCharLit(start);
+    }
+    if (c == '"') {
+      return LexStringLit(start);
+    }
+    return LexOperator(start);
+  }
+
+  Result<Token> LexIdent(SourceLoc start) {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    Token t;
+    t.loc = start;
+    auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = TokenKind::kIdent;
+      t.text = std::move(text);
+    }
+    return t;
+  }
+
+  Result<Token> LexNumber(SourceLoc start) {
+    i64 value = 0;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      bool any = false;
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        const char d = Advance();
+        const i64 digit = std::isdigit(static_cast<unsigned char>(d))
+                              ? d - '0'
+                              : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10;
+        value = value * 16 + digit;
+        any = true;
+      }
+      if (!any) {
+        return Err("malformed hex literal");
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + (Advance() - '0');
+      }
+    }
+    Token t;
+    t.kind = TokenKind::kIntLit;
+    t.loc = start;
+    t.int_value = value;
+    return t;
+  }
+
+  Result<i64> LexEscape() {
+    // Caller consumed the backslash.
+    if (AtEnd()) {
+      return Err("unterminated escape sequence");
+    }
+    const char e = Advance();
+    switch (e) {
+      case 'n': return i64{'\n'};
+      case 't': return i64{'\t'};
+      case 'r': return i64{'\r'};
+      case '0': return i64{0};
+      case '\\': return i64{'\\'};
+      case '\'': return i64{'\''};
+      case '"': return i64{'"'};
+      default: return Err(std::string("unknown escape '\\") + e + "'");
+    }
+  }
+
+  Result<Token> LexCharLit(SourceLoc start) {
+    Advance();  // opening quote
+    if (AtEnd()) {
+      return Err("unterminated char literal");
+    }
+    i64 value = 0;
+    if (Peek() == '\\') {
+      Advance();
+      Result<i64> esc = LexEscape();
+      if (!esc.ok()) {
+        return esc.error();
+      }
+      value = esc.value();
+    } else {
+      value = static_cast<unsigned char>(Advance());
+    }
+    if (Peek() != '\'') {
+      return Err("unterminated char literal");
+    }
+    Advance();
+    Token t;
+    t.kind = TokenKind::kCharLit;
+    t.loc = start;
+    t.int_value = value;
+    return t;
+  }
+
+  Result<Token> LexStringLit(SourceLoc start) {
+    Advance();  // opening quote
+    std::string text;
+    for (;;) {
+      if (AtEnd() || Peek() == '\n') {
+        return Err("unterminated string literal");
+      }
+      const char c = Advance();
+      if (c == '"') {
+        break;
+      }
+      if (c == '\\') {
+        Result<i64> esc = LexEscape();
+        if (!esc.ok()) {
+          return esc.error();
+        }
+        text.push_back(static_cast<char>(esc.value()));
+      } else {
+        text.push_back(c);
+      }
+    }
+    Token t;
+    t.kind = TokenKind::kStringLit;
+    t.loc = start;
+    t.text = std::move(text);
+    return t;
+  }
+
+  Result<Token> LexOperator(SourceLoc start) {
+    Token t;
+    t.loc = start;
+    const char c = Advance();
+    auto two = [&](char second, TokenKind pair, TokenKind single) {
+      if (Peek() == second) {
+        Advance();
+        t.kind = pair;
+      } else {
+        t.kind = single;
+      }
+    };
+    switch (c) {
+      case '(': t.kind = TokenKind::kLParen; break;
+      case ')': t.kind = TokenKind::kRParen; break;
+      case '{': t.kind = TokenKind::kLBrace; break;
+      case '}': t.kind = TokenKind::kRBrace; break;
+      case '[': t.kind = TokenKind::kLBracket; break;
+      case ']': t.kind = TokenKind::kRBracket; break;
+      case ';': t.kind = TokenKind::kSemi; break;
+      case ',': t.kind = TokenKind::kComma; break;
+      case '~': t.kind = TokenKind::kTilde; break;
+      case '^': t.kind = TokenKind::kCaret; break;
+      case '+':
+        if (Peek() == '+') {
+          Advance();
+          t.kind = TokenKind::kPlusPlus;
+        } else {
+          two('=', TokenKind::kPlusAssign, TokenKind::kPlus);
+        }
+        break;
+      case '-':
+        if (Peek() == '-') {
+          Advance();
+          t.kind = TokenKind::kMinusMinus;
+        } else {
+          two('=', TokenKind::kMinusAssign, TokenKind::kMinus);
+        }
+        break;
+      case '*': two('=', TokenKind::kStarAssign, TokenKind::kStar); break;
+      case '/': two('=', TokenKind::kSlashAssign, TokenKind::kSlash); break;
+      case '%': two('=', TokenKind::kPercentAssign, TokenKind::kPercent); break;
+      case '&': two('&', TokenKind::kAmpAmp, TokenKind::kAmp); break;
+      case '|': two('|', TokenKind::kPipePipe, TokenKind::kPipe); break;
+      case '=': two('=', TokenKind::kEq, TokenKind::kAssign); break;
+      case '!': two('=', TokenKind::kNe, TokenKind::kBang); break;
+      case '<':
+        if (Peek() == '<') {
+          Advance();
+          t.kind = TokenKind::kShl;
+        } else {
+          two('=', TokenKind::kLe, TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (Peek() == '>') {
+          Advance();
+          t.kind = TokenKind::kShr;
+        } else {
+          two('=', TokenKind::kGe, TokenKind::kGt);
+        }
+        break;
+      default:
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  int unit_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source, int unit) {
+  return LexerImpl(source, unit).Run();
+}
+
+}  // namespace retrace

@@ -1,0 +1,19 @@
+// Lexer for MiniC: a C subset used to express the paper's workloads.
+#ifndef RETRACE_LANG_LEXER_H_
+#define RETRACE_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/diag.h"
+
+namespace retrace {
+
+// Tokenizes one source unit. `unit` tags every SourceLoc so diagnostics and
+// branch identities can distinguish application from library code.
+Result<std::vector<Token>> Lex(std::string_view source, int unit);
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_LEXER_H_

@@ -1,0 +1,783 @@
+#include "src/lang/parser.h"
+
+#include <utility>
+
+#include "src/lang/lexer.h"
+
+namespace retrace {
+namespace {
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, int unit_index, bool is_library)
+      : tokens_(std::move(tokens)), unit_index_(unit_index), is_library_(is_library) {}
+
+  Result<std::unique_ptr<Unit>> Run() {
+    auto unit = std::make_unique<Unit>();
+    unit->is_library = is_library_;
+    unit->unit_index = unit_index_;
+    while (!At(TokenKind::kEof)) {
+      Result<bool> r = ParseTopLevel(*unit);
+      if (!r.ok()) {
+        return r.error();
+      }
+    }
+    return unit;
+  }
+
+ private:
+  // ----- Token helpers -----
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t n) const {
+    const size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Eat(TokenKind kind) {
+    if (At(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Error Err(std::string message) const { return Error{std::move(message), Cur().loc}; }
+  Result<Token> Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Err(std::string("expected ") + TokenKindName(kind) + ", found " +
+                 TokenKindName(Cur().kind));
+    }
+    return Take();
+  }
+
+  bool AtTypeKeyword() const {
+    return At(TokenKind::kKwInt) || At(TokenKind::kKwChar) || At(TokenKind::kKwVoid);
+  }
+
+  // ----- Types -----
+  Result<Type> ParseBaseType() {
+    TypeKind scalar;
+    if (Eat(TokenKind::kKwInt)) {
+      scalar = TypeKind::kInt;
+    } else if (Eat(TokenKind::kKwChar)) {
+      scalar = TypeKind::kChar;
+    } else if (Eat(TokenKind::kKwVoid)) {
+      scalar = TypeKind::kVoid;
+    } else {
+      return Err("expected type");
+    }
+    int depth = 0;
+    while (Eat(TokenKind::kStar)) {
+      ++depth;
+    }
+    if (scalar == TypeKind::kVoid) {
+      if (depth != 0) {
+        return Err("void pointers are not supported");
+      }
+      return Type::Void();
+    }
+    if (depth > 0) {
+      return Type::PtrTo(scalar, depth);
+    }
+    return scalar == TypeKind::kInt ? Type::Int() : Type::Char();
+  }
+
+  // ----- Top level -----
+  Result<bool> ParseTopLevel(Unit& unit) {
+    if (!AtTypeKeyword()) {
+      return Err("expected declaration");
+    }
+    Result<Type> type = ParseBaseType();
+    if (!type.ok()) {
+      return type.error();
+    }
+    Result<Token> name = Expect(TokenKind::kIdent);
+    if (!name.ok()) {
+      return name.error();
+    }
+    if (At(TokenKind::kLParen)) {
+      return ParseFunction(unit, type.value(), name.value());
+    }
+    return ParseGlobal(unit, type.value(), name.value());
+  }
+
+  Result<bool> ParseGlobal(Unit& unit, Type type, const Token& name) {
+    GlobalDecl g;
+    g.name = name.text;
+    g.loc = name.loc;
+    g.type = type;
+    if (Eat(TokenKind::kLBracket)) {
+      if (!type.IsScalar()) {
+        return Err("arrays of pointers are not supported");
+      }
+      Result<Token> size = Expect(TokenKind::kIntLit);
+      if (!size.ok()) {
+        return size.error();
+      }
+      if (size.value().int_value <= 0) {
+        return Err("array size must be positive");
+      }
+      Result<Token> rb = Expect(TokenKind::kRBracket);
+      if (!rb.ok()) {
+        return rb.error();
+      }
+      g.type = Type::ArrayOf(type.kind, size.value().int_value);
+    }
+    if (Eat(TokenKind::kAssign)) {
+      if (!g.type.IsScalar()) {
+        return Err("only scalar globals may have initializers");
+      }
+      bool negate = Eat(TokenKind::kMinus);
+      Result<Token> lit = At(TokenKind::kCharLit) ? Expect(TokenKind::kCharLit)
+                                                  : Expect(TokenKind::kIntLit);
+      if (!lit.ok()) {
+        return lit.error();
+      }
+      g.init_value = negate ? -lit.value().int_value : lit.value().int_value;
+      g.has_init = true;
+    }
+    Result<Token> semi = Expect(TokenKind::kSemi);
+    if (!semi.ok()) {
+      return semi.error();
+    }
+    unit.globals.push_back(std::move(g));
+    return true;
+  }
+
+  Result<bool> ParseFunction(Unit& unit, Type return_type, const Token& name) {
+    auto fn = std::make_unique<FuncDecl>();
+    fn->name = name.text;
+    fn->loc = name.loc;
+    fn->return_type = return_type;
+    fn->is_library = is_library_;
+    Result<Token> lp = Expect(TokenKind::kLParen);
+    if (!lp.ok()) {
+      return lp.error();
+    }
+    if (!At(TokenKind::kRParen)) {
+      for (;;) {
+        Result<Type> ptype = ParseBaseType();
+        if (!ptype.ok()) {
+          return ptype.error();
+        }
+        if (ptype.value().IsVoid()) {
+          return Err("parameters cannot be void");
+        }
+        Result<Token> pname = Expect(TokenKind::kIdent);
+        if (!pname.ok()) {
+          return pname.error();
+        }
+        Type final_type = ptype.value();
+        if (Eat(TokenKind::kLBracket)) {
+          // Array parameter syntax `t name[]` decays to a pointer.
+          Result<Token> rb = Expect(TokenKind::kRBracket);
+          if (!rb.ok()) {
+            return rb.error();
+          }
+          final_type = final_type.PointerTo();
+        }
+        fn->params.push_back(ParamDecl{pname.value().text, final_type, pname.value().loc});
+        if (!Eat(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    Result<Token> rp = Expect(TokenKind::kRParen);
+    if (!rp.ok()) {
+      return rp.error();
+    }
+    Result<StmtPtr> body = ParseBlock();
+    if (!body.ok()) {
+      return body.error();
+    }
+    fn->body = body.take();
+    unit.functions.push_back(std::move(fn));
+    return true;
+  }
+
+  // ----- Statements -----
+  Result<StmtPtr> ParseBlock() {
+    Result<Token> lb = Expect(TokenKind::kLBrace);
+    if (!lb.ok()) {
+      return lb.error();
+    }
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->loc = lb.value().loc;
+    while (!At(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEof)) {
+        return Err("unterminated block");
+      }
+      Result<StmtPtr> s = ParseStmt();
+      if (!s.ok()) {
+        return s.error();
+      }
+      block->body.push_back(s.take());
+    }
+    Take();  // '}'
+    return StmtPtr(std::move(block));
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    if (At(TokenKind::kLBrace)) {
+      return ParseBlock();
+    }
+    if (AtTypeKeyword()) {
+      return ParseVarDecl(/*consume_semi=*/true);
+    }
+    const Token& tok = Cur();
+    switch (tok.kind) {
+      case TokenKind::kKwIf: return ParseIf();
+      case TokenKind::kKwWhile: return ParseWhile();
+      case TokenKind::kKwFor: return ParseFor();
+      case TokenKind::kKwReturn: return ParseReturn();
+      case TokenKind::kKwBreak: {
+        Take();
+        Result<Token> semi = Expect(TokenKind::kSemi);
+        if (!semi.ok()) {
+          return semi.error();
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kBreak;
+        s->loc = tok.loc;
+        return StmtPtr(std::move(s));
+      }
+      case TokenKind::kKwContinue: {
+        Take();
+        Result<Token> semi = Expect(TokenKind::kSemi);
+        if (!semi.ok()) {
+          return semi.error();
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kContinue;
+        s->loc = tok.loc;
+        return StmtPtr(std::move(s));
+      }
+      default: {
+        Result<ExprPtr> e = ParseExpr();
+        if (!e.ok()) {
+          return e.error();
+        }
+        Result<Token> semi = Expect(TokenKind::kSemi);
+        if (!semi.ok()) {
+          return semi.error();
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kExpr;
+        s->loc = tok.loc;
+        s->init = e.take();
+        return StmtPtr(std::move(s));
+      }
+    }
+  }
+
+  Result<StmtPtr> ParseVarDecl(bool consume_semi) {
+    const SourceLoc loc = Cur().loc;
+    Result<Type> type = ParseBaseType();
+    if (!type.ok()) {
+      return type.error();
+    }
+    if (type.value().IsVoid()) {
+      return Err("variables cannot be void");
+    }
+    Result<Token> name = Expect(TokenKind::kIdent);
+    if (!name.ok()) {
+      return name.error();
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kVarDecl;
+    s->loc = loc;
+    s->decl_name = name.value().text;
+    s->decl_type = type.value();
+    if (Eat(TokenKind::kLBracket)) {
+      if (!type.value().IsScalar()) {
+        return Err("local arrays of pointers are not supported");
+      }
+      Result<Token> size = Expect(TokenKind::kIntLit);
+      if (!size.ok()) {
+        return size.error();
+      }
+      if (size.value().int_value <= 0) {
+        return Err("array size must be positive");
+      }
+      Result<Token> rb = Expect(TokenKind::kRBracket);
+      if (!rb.ok()) {
+        return rb.error();
+      }
+      s->decl_type = Type::ArrayOf(type.value().kind, size.value().int_value);
+    }
+    if (Eat(TokenKind::kAssign)) {
+      if (s->decl_type.IsArray()) {
+        return Err("array initializers are not supported");
+      }
+      Result<ExprPtr> init = ParseExpr();
+      if (!init.ok()) {
+        return init.error();
+      }
+      s->init = init.take();
+    }
+    if (consume_semi) {
+      Result<Token> semi = Expect(TokenKind::kSemi);
+      if (!semi.ok()) {
+        return semi.error();
+      }
+    }
+    return StmtPtr(std::move(s));
+  }
+
+  Result<StmtPtr> ParseIf() {
+    const SourceLoc loc = Take().loc;  // 'if'
+    Result<Token> lp = Expect(TokenKind::kLParen);
+    if (!lp.ok()) {
+      return lp.error();
+    }
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) {
+      return cond.error();
+    }
+    Result<Token> rp = Expect(TokenKind::kRParen);
+    if (!rp.ok()) {
+      return rp.error();
+    }
+    Result<StmtPtr> then_body = ParseStmt();
+    if (!then_body.ok()) {
+      return then_body.error();
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->loc = loc;
+    s->cond = cond.take();
+    s->then_body = then_body.take();
+    if (Eat(TokenKind::kKwElse)) {
+      Result<StmtPtr> else_body = ParseStmt();
+      if (!else_body.ok()) {
+        return else_body.error();
+      }
+      s->else_body = else_body.take();
+    }
+    return StmtPtr(std::move(s));
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    const SourceLoc loc = Take().loc;  // 'while'
+    Result<Token> lp = Expect(TokenKind::kLParen);
+    if (!lp.ok()) {
+      return lp.error();
+    }
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) {
+      return cond.error();
+    }
+    Result<Token> rp = Expect(TokenKind::kRParen);
+    if (!rp.ok()) {
+      return rp.error();
+    }
+    Result<StmtPtr> body = ParseStmt();
+    if (!body.ok()) {
+      return body.error();
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kWhile;
+    s->loc = loc;
+    s->cond = cond.take();
+    s->then_body = body.take();
+    return StmtPtr(std::move(s));
+  }
+
+  Result<StmtPtr> ParseFor() {
+    const SourceLoc loc = Take().loc;  // 'for'
+    Result<Token> lp = Expect(TokenKind::kLParen);
+    if (!lp.ok()) {
+      return lp.error();
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kFor;
+    s->loc = loc;
+    if (!At(TokenKind::kSemi)) {
+      if (AtTypeKeyword()) {
+        Result<StmtPtr> init = ParseVarDecl(/*consume_semi=*/false);
+        if (!init.ok()) {
+          return init.error();
+        }
+        s->for_init = init.take();
+      } else {
+        Result<ExprPtr> init = ParseExpr();
+        if (!init.ok()) {
+          return init.error();
+        }
+        auto init_stmt = std::make_unique<Stmt>();
+        init_stmt->kind = StmtKind::kExpr;
+        init_stmt->loc = loc;
+        init_stmt->init = init.take();
+        s->for_init = std::move(init_stmt);
+      }
+    }
+    Result<Token> semi1 = Expect(TokenKind::kSemi);
+    if (!semi1.ok()) {
+      return semi1.error();
+    }
+    if (!At(TokenKind::kSemi)) {
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return cond.error();
+      }
+      s->cond = cond.take();
+    }
+    Result<Token> semi2 = Expect(TokenKind::kSemi);
+    if (!semi2.ok()) {
+      return semi2.error();
+    }
+    if (!At(TokenKind::kRParen)) {
+      Result<ExprPtr> step = ParseExpr();
+      if (!step.ok()) {
+        return step.error();
+      }
+      s->for_step = step.take();
+    }
+    Result<Token> rp = Expect(TokenKind::kRParen);
+    if (!rp.ok()) {
+      return rp.error();
+    }
+    Result<StmtPtr> body = ParseStmt();
+    if (!body.ok()) {
+      return body.error();
+    }
+    s->then_body = body.take();
+    return StmtPtr(std::move(s));
+  }
+
+  Result<StmtPtr> ParseReturn() {
+    const SourceLoc loc = Take().loc;  // 'return'
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kReturn;
+    s->loc = loc;
+    if (!At(TokenKind::kSemi)) {
+      Result<ExprPtr> value = ParseExpr();
+      if (!value.ok()) {
+        return value.error();
+      }
+      s->cond = value.take();
+    }
+    Result<Token> semi = Expect(TokenKind::kSemi);
+    if (!semi.ok()) {
+      return semi.error();
+    }
+    return StmtPtr(std::move(s));
+  }
+
+  // ----- Expressions (precedence climbing) -----
+  Result<ExprPtr> ParseExpr() { return ParseAssignment(); }
+
+  Result<ExprPtr> ParseAssignment() {
+    Result<ExprPtr> lhs = ParseLogicalOr();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    const TokenKind k = Cur().kind;
+    bool compound = false;
+    BinaryOp op = BinaryOp::kAdd;
+    switch (k) {
+      case TokenKind::kAssign: break;
+      case TokenKind::kPlusAssign: compound = true; op = BinaryOp::kAdd; break;
+      case TokenKind::kMinusAssign: compound = true; op = BinaryOp::kSub; break;
+      case TokenKind::kStarAssign: compound = true; op = BinaryOp::kMul; break;
+      case TokenKind::kSlashAssign: compound = true; op = BinaryOp::kDiv; break;
+      case TokenKind::kPercentAssign: compound = true; op = BinaryOp::kRem; break;
+      default: return lhs;
+    }
+    const SourceLoc loc = Take().loc;
+    Result<ExprPtr> rhs = ParseAssignment();
+    if (!rhs.ok()) {
+      return rhs.error();
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAssign;
+    e->loc = loc;
+    e->has_compound_op = compound;
+    e->compound_op = op;
+    e->lhs = lhs.take();
+    e->rhs = rhs.take();
+    return ExprPtr(std::move(e));
+  }
+
+  using Sub = Result<ExprPtr> (ParserImpl::*)();
+
+  Result<ExprPtr> ParseLogicalOr() {
+    Result<ExprPtr> lhs = ParseLogicalAnd();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = lhs.take();
+    while (At(TokenKind::kPipePipe)) {
+      const SourceLoc loc = Take().loc;
+      Result<ExprPtr> rhs = ParseLogicalAnd();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLogical;
+      e->log_op = LogicalOp::kOr;
+      e->loc = loc;
+      e->lhs = std::move(acc);
+      e->rhs = rhs.take();
+      acc = std::move(e);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseLogicalAnd() {
+    Result<ExprPtr> lhs = ParseBitOr();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = lhs.take();
+    while (At(TokenKind::kAmpAmp)) {
+      const SourceLoc loc = Take().loc;
+      Result<ExprPtr> rhs = ParseBitOr();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLogical;
+      e->log_op = LogicalOp::kAnd;
+      e->loc = loc;
+      e->lhs = std::move(acc);
+      e->rhs = rhs.take();
+      acc = std::move(e);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseBinaryLevel(Sub next, std::initializer_list<std::pair<TokenKind, BinaryOp>> ops) {
+    Result<ExprPtr> lhs = (this->*next)();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = lhs.take();
+    for (;;) {
+      bool matched = false;
+      for (const auto& [kind, op] : ops) {
+        if (At(kind)) {
+          const SourceLoc loc = Take().loc;
+          Result<ExprPtr> rhs = (this->*next)();
+          if (!rhs.ok()) {
+            return rhs.error();
+          }
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kBinary;
+          e->bin_op = op;
+          e->loc = loc;
+          e->lhs = std::move(acc);
+          e->rhs = rhs.take();
+          acc = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return acc;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    return ParseBinaryLevel(&ParserImpl::ParseBitXor, {{TokenKind::kPipe, BinaryOp::kBitOr}});
+  }
+  Result<ExprPtr> ParseBitXor() {
+    return ParseBinaryLevel(&ParserImpl::ParseBitAnd, {{TokenKind::kCaret, BinaryOp::kBitXor}});
+  }
+  Result<ExprPtr> ParseBitAnd() {
+    return ParseBinaryLevel(&ParserImpl::ParseEquality, {{TokenKind::kAmp, BinaryOp::kBitAnd}});
+  }
+  Result<ExprPtr> ParseEquality() {
+    return ParseBinaryLevel(&ParserImpl::ParseRelational,
+                            {{TokenKind::kEq, BinaryOp::kEq}, {TokenKind::kNe, BinaryOp::kNe}});
+  }
+  Result<ExprPtr> ParseRelational() {
+    return ParseBinaryLevel(&ParserImpl::ParseShift,
+                            {{TokenKind::kLt, BinaryOp::kLt},
+                             {TokenKind::kLe, BinaryOp::kLe},
+                             {TokenKind::kGt, BinaryOp::kGt},
+                             {TokenKind::kGe, BinaryOp::kGe}});
+  }
+  Result<ExprPtr> ParseShift() {
+    return ParseBinaryLevel(&ParserImpl::ParseAdditive,
+                            {{TokenKind::kShl, BinaryOp::kShl}, {TokenKind::kShr, BinaryOp::kShr}});
+  }
+  Result<ExprPtr> ParseAdditive() {
+    return ParseBinaryLevel(&ParserImpl::ParseMultiplicative,
+                            {{TokenKind::kPlus, BinaryOp::kAdd}, {TokenKind::kMinus, BinaryOp::kSub}});
+  }
+  Result<ExprPtr> ParseMultiplicative() {
+    return ParseBinaryLevel(&ParserImpl::ParseUnary,
+                            {{TokenKind::kStar, BinaryOp::kMul},
+                             {TokenKind::kSlash, BinaryOp::kDiv},
+                             {TokenKind::kPercent, BinaryOp::kRem}});
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const Token& tok = Cur();
+    UnaryOp op;
+    switch (tok.kind) {
+      case TokenKind::kMinus: op = UnaryOp::kNeg; break;
+      case TokenKind::kBang: op = UnaryOp::kLogicalNot; break;
+      case TokenKind::kTilde: op = UnaryOp::kBitNot; break;
+      case TokenKind::kStar: op = UnaryOp::kDeref; break;
+      case TokenKind::kAmp: op = UnaryOp::kAddrOf; break;
+      case TokenKind::kPlusPlus:
+      case TokenKind::kMinusMinus: {
+        const bool inc = tok.kind == TokenKind::kPlusPlus;
+        const SourceLoc loc = Take().loc;
+        Result<ExprPtr> operand = ParseUnary();
+        if (!operand.ok()) {
+          return operand.error();
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIncDec;
+        e->loc = loc;
+        e->is_increment = inc;
+        e->is_prefix = true;
+        e->lhs = operand.take();
+        return ExprPtr(std::move(e));
+      }
+      default:
+        return ParsePostfix();
+    }
+    const SourceLoc loc = Take().loc;
+    Result<ExprPtr> operand = ParseUnary();
+    if (!operand.ok()) {
+      return operand.error();
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->un_op = op;
+    e->loc = loc;
+    e->lhs = operand.take();
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    Result<ExprPtr> base = ParsePrimary();
+    if (!base.ok()) {
+      return base;
+    }
+    ExprPtr acc = base.take();
+    for (;;) {
+      if (At(TokenKind::kLBracket)) {
+        const SourceLoc loc = Take().loc;
+        Result<ExprPtr> index = ParseExpr();
+        if (!index.ok()) {
+          return index.error();
+        }
+        Result<Token> rb = Expect(TokenKind::kRBracket);
+        if (!rb.ok()) {
+          return rb.error();
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIndex;
+        e->loc = loc;
+        e->lhs = std::move(acc);
+        e->rhs = index.take();
+        acc = std::move(e);
+      } else if (At(TokenKind::kPlusPlus) || At(TokenKind::kMinusMinus)) {
+        const bool inc = At(TokenKind::kPlusPlus);
+        const SourceLoc loc = Take().loc;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIncDec;
+        e->loc = loc;
+        e->is_increment = inc;
+        e->is_prefix = false;
+        e->lhs = std::move(acc);
+        acc = std::move(e);
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Cur();
+    switch (tok.kind) {
+      case TokenKind::kIntLit:
+      case TokenKind::kCharLit: {
+        Token t = Take();
+        auto e = std::make_unique<Expr>();
+        e->kind = t.kind == TokenKind::kIntLit ? ExprKind::kIntLit : ExprKind::kCharLit;
+        e->loc = t.loc;
+        e->int_value = t.int_value;
+        return ExprPtr(std::move(e));
+      }
+      case TokenKind::kStringLit: {
+        Token t = Take();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kStringLit;
+        e->loc = t.loc;
+        e->str_value = std::move(t.text);
+        return ExprPtr(std::move(e));
+      }
+      case TokenKind::kIdent: {
+        Token t = Take();
+        if (At(TokenKind::kLParen)) {
+          Take();  // '('
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kCall;
+          e->loc = t.loc;
+          e->name = std::move(t.text);
+          if (!At(TokenKind::kRParen)) {
+            for (;;) {
+              Result<ExprPtr> arg = ParseExpr();
+              if (!arg.ok()) {
+                return arg.error();
+              }
+              e->args.push_back(arg.take());
+              if (!Eat(TokenKind::kComma)) {
+                break;
+              }
+            }
+          }
+          Result<Token> rp = Expect(TokenKind::kRParen);
+          if (!rp.ok()) {
+            return rp.error();
+          }
+          return ExprPtr(std::move(e));
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kVarRef;
+        e->loc = t.loc;
+        e->name = std::move(t.text);
+        return ExprPtr(std::move(e));
+      }
+      case TokenKind::kLParen: {
+        Take();
+        Result<ExprPtr> inner = ParseExpr();
+        if (!inner.ok()) {
+          return inner;
+        }
+        Result<Token> rp = Expect(TokenKind::kRParen);
+        if (!rp.ok()) {
+          return rp.error();
+        }
+        return inner;
+      }
+      default:
+        return Err(std::string("unexpected token ") + TokenKindName(tok.kind));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  int unit_index_;
+  bool is_library_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Unit>> Parse(std::string_view source, int unit_index, bool is_library) {
+  Result<std::vector<Token>> tokens = Lex(source, unit_index);
+  if (!tokens.ok()) {
+    return tokens.error();
+  }
+  return ParserImpl(tokens.take(), unit_index, is_library).Run();
+}
+
+}  // namespace retrace

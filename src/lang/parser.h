@@ -1,0 +1,19 @@
+// Recursive-descent parser for MiniC.
+#ifndef RETRACE_LANG_PARSER_H_
+#define RETRACE_LANG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/support/diag.h"
+
+namespace retrace {
+
+// Parses one source unit. `unit_index` tags source locations; `is_library`
+// marks every function in the unit as library code (the uClibc stand-in).
+Result<std::unique_ptr<Unit>> Parse(std::string_view source, int unit_index, bool is_library);
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_PARSER_H_

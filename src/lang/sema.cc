@@ -1,0 +1,622 @@
+#include "src/lang/sema.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/lang/builtins.h"
+
+namespace retrace {
+
+std::optional<Builtin> LookupBuiltin(std::string_view name) {
+  static const auto* kMap = new std::unordered_map<std::string_view, Builtin>{
+      {"read", Builtin::kRead},
+      {"write", Builtin::kWrite},
+      {"open", Builtin::kOpen},
+      {"close", Builtin::kClose},
+      {"select_fd", Builtin::kSelectFd},
+      {"accept_conn", Builtin::kAcceptConn},
+      {"poll_signal", Builtin::kPollSignal},
+      {"crash", Builtin::kCrash},
+      {"exit", Builtin::kExit},
+      {"print_int", Builtin::kPrintInt},
+      {"print_str", Builtin::kPrintStr},
+  };
+  auto it = kMap->find(name);
+  if (it == kMap->end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const char* BuiltinName(Builtin b) {
+  switch (b) {
+    case Builtin::kRead: return "read";
+    case Builtin::kWrite: return "write";
+    case Builtin::kOpen: return "open";
+    case Builtin::kClose: return "close";
+    case Builtin::kSelectFd: return "select_fd";
+    case Builtin::kAcceptConn: return "accept_conn";
+    case Builtin::kPollSignal: return "poll_signal";
+    case Builtin::kCrash: return "crash";
+    case Builtin::kExit: return "exit";
+    case Builtin::kPrintInt: return "print_int";
+    case Builtin::kPrintStr: return "print_str";
+  }
+  return "?";
+}
+
+bool BuiltinReturnsInput(Builtin b) {
+  switch (b) {
+    case Builtin::kRead:
+    case Builtin::kSelectFd:
+    case Builtin::kAcceptConn:
+    case Builtin::kPollSignal:
+      return true;
+    // open() is deterministic given the world shape (the virtual FS maps
+    // paths to streams), so its return value is not an input source.
+    default:
+      return false;
+  }
+}
+
+bool BuiltinFillsInputBuffer(Builtin b) { return b == Builtin::kRead; }
+
+const SemaFunc* SemaProgram::FindFunc(std::string_view name) const {
+  for (const SemaFunc& f : funcs) {
+    if (f.decl->name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Decays arrays to pointers in value contexts.
+Type Decayed(const Type& t) {
+  if (t.IsArray()) {
+    return Type::PtrTo(t.base, 1);
+  }
+  return t;
+}
+
+bool AssignCompatible(const Type& dst, const Type& src) {
+  const Type s = Decayed(src);
+  if (dst.IsScalar()) {
+    return s.IsScalar();
+  }
+  if (dst.IsPtr()) {
+    if (s.IsPtr()) {
+      return dst.base == s.base && dst.ptr_depth == s.ptr_depth;
+    }
+    // Null-pointer style assignment from integer constants.
+    return s.IsScalar();
+  }
+  return false;
+}
+
+class SemaImpl {
+ public:
+  explicit SemaImpl(std::vector<std::unique_ptr<Unit>> units) {
+    program_ = std::make_unique<SemaProgram>();
+    program_->units = std::move(units);
+  }
+
+  Result<std::unique_ptr<SemaProgram>> Run() {
+    // Pass 1: collect globals and function signatures.
+    for (auto& unit : program_->units) {
+      for (GlobalDecl& g : unit->globals) {
+        if (global_index_.count(g.name) != 0) {
+          return Error{"duplicate global '" + g.name + "'", g.loc};
+        }
+        if (LookupBuiltin(g.name).has_value()) {
+          return Error{"global '" + g.name + "' shadows a builtin", g.loc};
+        }
+        global_index_[g.name] = static_cast<int>(program_->globals.size());
+        program_->globals.push_back(GlobalInfo{g.name, g.type, g.init_value, false});
+      }
+      for (auto& fn : unit->functions) {
+        if (func_index_.count(fn->name) != 0) {
+          return Error{"duplicate function '" + fn->name + "'", fn->loc};
+        }
+        if (LookupBuiltin(fn->name).has_value()) {
+          return Error{"function '" + fn->name + "' shadows a builtin", fn->loc};
+        }
+        const int index = static_cast<int>(program_->funcs.size());
+        func_index_[fn->name] = index;
+        SemaFunc sf;
+        sf.decl = fn.get();
+        sf.index = index;
+        sf.return_type = fn->return_type;
+        sf.num_params = static_cast<int>(fn->params.size());
+        sf.is_library = fn->is_library;
+        program_->funcs.push_back(std::move(sf));
+      }
+    }
+    // Pass 2: check bodies.
+    for (SemaFunc& sf : program_->funcs) {
+      if (Error* e = CheckFunction(sf)) {
+        return *e;
+      }
+    }
+    auto it = func_index_.find("main");
+    if (it == func_index_.end()) {
+      return Error{"program has no main function", SourceLoc{}};
+    }
+    program_->main_index = it->second;
+    const SemaFunc& main_fn = program_->funcs[it->second];
+    const auto& params = main_fn.decl->params;
+    const bool no_args = params.empty();
+    const bool argc_argv = params.size() == 2 && params[0].type == Type::Int() &&
+                           params[1].type == Type::PtrTo(TypeKind::kChar, 2);
+    if (!no_args && !argc_argv) {
+      return Error{"main must be 'int main()' or 'int main(int argc, char **argv)'",
+                   main_fn.decl->loc};
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // Returns nullptr on success; otherwise a pointer to err_ (kept alive in
+  // the member so CheckFunction helpers can use plain control flow).
+  Error* Fail(std::string message, SourceLoc loc) {
+    err_ = Error{std::move(message), loc};
+    return &err_;
+  }
+
+  Error* CheckFunction(SemaFunc& sf) {
+    cur_ = &sf;
+    scopes_.clear();
+    scopes_.emplace_back();
+    sf.locals.clear();
+    for (const ParamDecl& p : sf.decl->params) {
+      if (scopes_.back().count(p.name) != 0) {
+        return Fail("duplicate parameter '" + p.name + "'", p.loc);
+      }
+      const int slot = static_cast<int>(sf.locals.size());
+      scopes_.back()[p.name] = slot;
+      sf.locals.push_back(LocalInfo{p.name, p.type, true, false});
+    }
+    Error* e = CheckStmt(*sf.decl->body);
+    cur_ = nullptr;
+    return e;
+  }
+
+  Error* CheckStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (StmtPtr& child : s.body) {
+          if (Error* e = CheckStmt(*child)) {
+            return e;
+          }
+        }
+        scopes_.pop_back();
+        return nullptr;
+      }
+      case StmtKind::kVarDecl: {
+        if (scopes_.back().count(s.decl_name) != 0) {
+          return Fail("duplicate variable '" + s.decl_name + "'", s.loc);
+        }
+        if (s.init != nullptr) {
+          if (Error* e = CheckExpr(*s.init)) {
+            return e;
+          }
+          if (!AssignCompatible(s.decl_type, s.init->type)) {
+            return Fail("cannot initialize " + s.decl_type.ToString() + " from " +
+                            s.init->type.ToString(),
+                        s.loc);
+          }
+        }
+        const int slot = static_cast<int>(cur_->locals.size());
+        s.decl_slot = slot;
+        scopes_.back()[s.decl_name] = slot;
+        cur_->locals.push_back(LocalInfo{s.decl_name, s.decl_type, false, false});
+        return nullptr;
+      }
+      case StmtKind::kExpr:
+        return CheckExpr(*s.init);
+      case StmtKind::kIf: {
+        if (Error* e = CheckCondition(*s.cond)) {
+          return e;
+        }
+        if (Error* e = CheckStmt(*s.then_body)) {
+          return e;
+        }
+        if (s.else_body != nullptr) {
+          return CheckStmt(*s.else_body);
+        }
+        return nullptr;
+      }
+      case StmtKind::kWhile: {
+        if (Error* e = CheckCondition(*s.cond)) {
+          return e;
+        }
+        ++loop_depth_;
+        Error* e = CheckStmt(*s.then_body);
+        --loop_depth_;
+        return e;
+      }
+      case StmtKind::kFor: {
+        scopes_.emplace_back();
+        if (s.for_init != nullptr) {
+          if (Error* e = CheckStmt(*s.for_init)) {
+            return e;
+          }
+        }
+        if (s.cond != nullptr) {
+          if (Error* e = CheckCondition(*s.cond)) {
+            return e;
+          }
+        }
+        if (s.for_step != nullptr) {
+          if (Error* e = CheckExpr(*s.for_step)) {
+            return e;
+          }
+        }
+        ++loop_depth_;
+        Error* e = CheckStmt(*s.then_body);
+        --loop_depth_;
+        scopes_.pop_back();
+        return e;
+      }
+      case StmtKind::kReturn: {
+        if (s.cond != nullptr) {
+          if (Error* e = CheckExpr(*s.cond)) {
+            return e;
+          }
+          if (cur_->return_type.IsVoid()) {
+            return Fail("void function cannot return a value", s.loc);
+          }
+          if (!AssignCompatible(cur_->return_type, s.cond->type)) {
+            return Fail("return type mismatch", s.loc);
+          }
+        } else if (!cur_->return_type.IsVoid()) {
+          return Fail("non-void function must return a value", s.loc);
+        }
+        return nullptr;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          return Fail("break/continue outside of a loop", s.loc);
+        }
+        return nullptr;
+    }
+    return Fail("unhandled statement", s.loc);
+  }
+
+  Error* CheckCondition(Expr& e) {
+    if (Error* err = CheckExpr(e)) {
+      return err;
+    }
+    const Type t = Decayed(e.type);
+    if (!t.IsScalar() && !t.IsPtr()) {
+      return Fail("condition must be scalar or pointer", e.loc);
+    }
+    return nullptr;
+  }
+
+  bool IsLvalue(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kVarRef:
+        return true;
+      case ExprKind::kIndex:
+        return true;
+      case ExprKind::kUnary:
+        return e.un_op == UnaryOp::kDeref;
+      default:
+        return false;
+    }
+  }
+
+  Error* CheckExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kCharLit:
+        e.type = Type::Int();
+        return nullptr;
+      case ExprKind::kStringLit: {
+        e.string_id = static_cast<int>(program_->strings.size());
+        program_->strings.push_back(e.str_value);
+        e.type = Type::PtrTo(TypeKind::kChar, 1);
+        return nullptr;
+      }
+      case ExprKind::kVarRef: {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+          auto found = it->find(e.name);
+          if (found != it->end()) {
+            e.binding_kind = 0;
+            e.binding_index = found->second;
+            e.type = cur_->locals[found->second].type;
+            return nullptr;
+          }
+        }
+        auto g = global_index_.find(e.name);
+        if (g != global_index_.end()) {
+          e.binding_kind = 1;
+          e.binding_index = g->second;
+          e.type = program_->globals[g->second].type;
+          return nullptr;
+        }
+        return Fail("undefined variable '" + e.name + "'", e.loc);
+      }
+      case ExprKind::kUnary:
+        return CheckUnary(e);
+      case ExprKind::kBinary:
+        return CheckBinary(e);
+      case ExprKind::kLogical: {
+        if (Error* err = CheckCondition(*e.lhs)) {
+          return err;
+        }
+        if (Error* err = CheckCondition(*e.rhs)) {
+          return err;
+        }
+        e.type = Type::Int();
+        return nullptr;
+      }
+      case ExprKind::kAssign: {
+        if (Error* err = CheckExpr(*e.lhs)) {
+          return err;
+        }
+        if (!IsLvalue(*e.lhs)) {
+          return Fail("left side of assignment is not an lvalue", e.loc);
+        }
+        if (e.lhs->type.IsArray()) {
+          return Fail("cannot assign to an array", e.loc);
+        }
+        if (Error* err = CheckExpr(*e.rhs)) {
+          return err;
+        }
+        if (e.has_compound_op) {
+          const Type lt = e.lhs->type;
+          const Type rt = Decayed(e.rhs->type);
+          const bool ptr_adjust = lt.IsPtr() && rt.IsScalar() &&
+                                  (e.compound_op == BinaryOp::kAdd || e.compound_op == BinaryOp::kSub);
+          if (!ptr_adjust && !(lt.IsScalar() && rt.IsScalar())) {
+            return Fail("invalid operands to compound assignment", e.loc);
+          }
+        } else if (!AssignCompatible(e.lhs->type, e.rhs->type)) {
+          return Fail("cannot assign " + e.rhs->type.ToString() + " to " + e.lhs->type.ToString(),
+                      e.loc);
+        }
+        e.type = e.lhs->type;
+        return nullptr;
+      }
+      case ExprKind::kIncDec: {
+        if (Error* err = CheckExpr(*e.lhs)) {
+          return err;
+        }
+        if (!IsLvalue(*e.lhs) || e.lhs->type.IsArray()) {
+          return Fail("operand of ++/-- must be a scalar or pointer lvalue", e.loc);
+        }
+        e.type = e.lhs->type;
+        return nullptr;
+      }
+      case ExprKind::kIndex: {
+        if (Error* err = CheckExpr(*e.lhs)) {
+          return err;
+        }
+        if (Error* err = CheckExpr(*e.rhs)) {
+          return err;
+        }
+        const Type base = Decayed(e.lhs->type);
+        if (!base.IsPtr()) {
+          return Fail("subscripted value is not a pointer or array", e.loc);
+        }
+        if (!Decayed(e.rhs->type).IsScalar()) {
+          return Fail("array subscript must be an integer", e.loc);
+        }
+        e.type = base.Element();
+        return nullptr;
+      }
+      case ExprKind::kCall:
+        return CheckCall(e);
+    }
+    return Fail("unhandled expression", e.loc);
+  }
+
+  Error* CheckUnary(Expr& e) {
+    if (Error* err = CheckExpr(*e.lhs)) {
+      return err;
+    }
+    const Type operand = Decayed(e.lhs->type);
+    switch (e.un_op) {
+      case UnaryOp::kNeg:
+      case UnaryOp::kBitNot:
+        if (!operand.IsScalar()) {
+          return Fail("operand must be an integer", e.loc);
+        }
+        e.type = Type::Int();
+        return nullptr;
+      case UnaryOp::kLogicalNot:
+        if (!operand.IsScalar() && !operand.IsPtr()) {
+          return Fail("operand must be scalar or pointer", e.loc);
+        }
+        e.type = Type::Int();
+        return nullptr;
+      case UnaryOp::kDeref:
+        if (!operand.IsPtr()) {
+          return Fail("cannot dereference non-pointer", e.loc);
+        }
+        e.type = operand.Element();
+        return nullptr;
+      case UnaryOp::kAddrOf: {
+        if (!IsLvalue(*e.lhs)) {
+          return Fail("cannot take address of rvalue", e.loc);
+        }
+        if (e.lhs->type.IsArray()) {
+          return Fail("use the array name directly instead of &array", e.loc);
+        }
+        // Mark scalar variables as address-taken so lowering places them in
+        // addressable memory objects.
+        if (e.lhs->kind == ExprKind::kVarRef && e.lhs->type.IsScalar()) {
+          if (e.lhs->binding_kind == 0) {
+            cur_->locals[e.lhs->binding_index].address_taken = true;
+          } else {
+            program_->globals[e.lhs->binding_index].address_taken = true;
+          }
+        }
+        e.type = e.lhs->type.PointerTo();
+        return nullptr;
+      }
+    }
+    return Fail("unhandled unary operator", e.loc);
+  }
+
+  Error* CheckBinary(Expr& e) {
+    if (Error* err = CheckExpr(*e.lhs)) {
+      return err;
+    }
+    if (Error* err = CheckExpr(*e.rhs)) {
+      return err;
+    }
+    const Type lt = Decayed(e.lhs->type);
+    const Type rt = Decayed(e.rhs->type);
+    switch (e.bin_op) {
+      case BinaryOp::kAdd:
+        if (lt.IsPtr() && rt.IsScalar()) {
+          e.type = lt;
+          return nullptr;
+        }
+        if (lt.IsScalar() && rt.IsPtr()) {
+          e.type = rt;
+          return nullptr;
+        }
+        break;
+      case BinaryOp::kSub:
+        if (lt.IsPtr() && rt.IsScalar()) {
+          e.type = lt;
+          return nullptr;
+        }
+        if (lt.IsPtr() && rt.IsPtr() && lt.base == rt.base && lt.ptr_depth == rt.ptr_depth) {
+          e.type = Type::Int();
+          return nullptr;
+        }
+        break;
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (lt.IsPtr() && rt.IsPtr()) {
+          e.type = Type::Int();
+          return nullptr;
+        }
+        if (lt.IsPtr() && rt.IsScalar()) {
+          // Pointer compared against null constant.
+          e.type = Type::Int();
+          return nullptr;
+        }
+        if (lt.IsScalar() && rt.IsPtr()) {
+          e.type = Type::Int();
+          return nullptr;
+        }
+        break;
+      default:
+        break;
+    }
+    if (!lt.IsScalar() || !rt.IsScalar()) {
+      return Fail("invalid operands to binary operator", e.loc);
+    }
+    e.type = Type::Int();
+    return nullptr;
+  }
+
+  Error* CheckCall(Expr& e) {
+    for (ExprPtr& arg : e.args) {
+      if (Error* err = CheckExpr(*arg)) {
+        return err;
+      }
+    }
+    const std::optional<Builtin> builtin = LookupBuiltin(e.name);
+    if (builtin.has_value()) {
+      return CheckBuiltinCall(e, *builtin);
+    }
+    auto it = func_index_.find(e.name);
+    if (it == func_index_.end()) {
+      return Fail("call to undefined function '" + e.name + "'", e.loc);
+    }
+    const SemaFunc& callee = program_->funcs[it->second];
+    if (e.args.size() != callee.decl->params.size()) {
+      return Fail("wrong number of arguments to '" + e.name + "'", e.loc);
+    }
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      if (!AssignCompatible(callee.decl->params[i].type, e.args[i]->type)) {
+        return Fail("argument type mismatch in call to '" + e.name + "'", e.loc);
+      }
+    }
+    e.callee_index = it->second;
+    e.callee_is_builtin = false;
+    e.type = callee.return_type;
+    return nullptr;
+  }
+
+  Error* CheckBuiltinCall(Expr& e, Builtin b) {
+    auto want = [&](size_t n) -> Error* {
+      if (e.args.size() != n) {
+        return Fail(std::string("wrong number of arguments to builtin '") + BuiltinName(b) + "'",
+                    e.loc);
+      }
+      return nullptr;
+    };
+    Error* err = nullptr;
+    switch (b) {
+      case Builtin::kRead:
+      case Builtin::kWrite:
+        err = want(3);
+        e.type = Type::Int();
+        break;
+      case Builtin::kOpen:
+        err = want(2);
+        e.type = Type::Int();
+        break;
+      case Builtin::kClose:
+      case Builtin::kCrash:
+      case Builtin::kExit:
+      case Builtin::kPrintInt:
+        err = want(1);
+        e.type = (b == Builtin::kClose) ? Type::Int() : Type::Void();
+        break;
+      case Builtin::kSelectFd:
+        err = want(2);
+        e.type = Type::Int();
+        break;
+      case Builtin::kAcceptConn:
+        err = want(1);
+        e.type = Type::Int();
+        break;
+      case Builtin::kPollSignal:
+        err = want(0);
+        e.type = Type::Int();
+        break;
+      case Builtin::kPrintStr:
+        err = want(1);
+        e.type = Type::Void();
+        break;
+    }
+    if (err != nullptr) {
+      return err;
+    }
+    e.callee_index = static_cast<int>(b);
+    e.callee_is_builtin = true;
+    return nullptr;
+  }
+
+  std::unique_ptr<SemaProgram> program_;
+  std::unordered_map<std::string, int> global_index_;
+  std::unordered_map<std::string, int> func_index_;
+  std::vector<std::unordered_map<std::string, int>> scopes_;
+  SemaFunc* cur_ = nullptr;
+  int loop_depth_ = 0;
+  Error err_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SemaProgram>> Analyze(std::vector<std::unique_ptr<Unit>> units) {
+  return SemaImpl(std::move(units)).Run();
+}
+
+}  // namespace retrace

@@ -1,0 +1,56 @@
+// Semantic analysis: name resolution, type checking, slot assignment.
+#ifndef RETRACE_LANG_SEMA_H_
+#define RETRACE_LANG_SEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/diag.h"
+
+namespace retrace {
+
+// A local variable or parameter after sema: one frame slot each.
+struct LocalInfo {
+  std::string name;
+  Type type;
+  bool is_param = false;
+  bool address_taken = false;  // Scalar whose address is taken -> needs a memory object.
+};
+
+struct SemaFunc {
+  const FuncDecl* decl = nullptr;
+  int index = -1;
+  Type return_type;
+  int num_params = 0;
+  std::vector<LocalInfo> locals;  // Params first, then block-scoped locals.
+  bool is_library = false;
+};
+
+struct GlobalInfo {
+  std::string name;
+  Type type;
+  i64 init_value = 0;
+  bool address_taken = false;
+};
+
+// The sema-checked program: owns the ASTs and all symbol tables. Input to
+// IR lowering and to the static analyzer (which re-traverses the IR, not
+// the AST).
+struct SemaProgram {
+  std::vector<std::unique_ptr<Unit>> units;
+  std::vector<SemaFunc> funcs;
+  std::vector<GlobalInfo> globals;
+  std::vector<std::string> strings;
+  int main_index = -1;
+
+  const SemaFunc* FindFunc(std::string_view name) const;
+};
+
+// Runs semantic analysis over the given units (application + library).
+Result<std::unique_ptr<SemaProgram>> Analyze(std::vector<std::unique_ptr<Unit>> units);
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_SEMA_H_

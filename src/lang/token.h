@@ -1,0 +1,78 @@
+// Token definitions for the MiniC language.
+#ifndef RETRACE_LANG_TOKEN_H_
+#define RETRACE_LANG_TOKEN_H_
+
+#include <string>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+enum class TokenKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kCharLit,
+  kStringLit,
+  // Keywords.
+  kKwInt,
+  kKwChar,
+  kKwVoid,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPercentAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kAmpAmp,
+  kPipe,
+  kPipePipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kShl,
+  kShr,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceLoc loc;
+  std::string text;  // Identifier spelling or string literal contents.
+  i64 int_value = 0;  // For kIntLit / kCharLit.
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_LANG_TOKEN_H_

@@ -1,0 +1,196 @@
+#include "src/replay/replay_engine.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+
+namespace retrace {
+namespace {
+
+// Branch observer implementing the four replay cases of paper §3.1.
+class ReplayObserver : public BranchObserver {
+ public:
+  ReplayObserver(const InstrumentationPlan& plan, const BitVec& log) : plan_(plan), log_(log) {
+    debug_ = std::getenv("RETRACE_DEBUG_REPLAY") != nullptr;
+  }
+
+  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+    const bool instrumented = plan_.Instrumented(branch_id);
+    const bool symbolic = cond_shadow != kNoExpr;
+    if (!instrumented) {
+      if (symbolic) {
+        // Case 1: both directions remain explorable.
+        flippable.push_back(trace.size());
+        trace.push_back(Constraint{cond_shadow, taken});
+      }
+      // Case 4: nothing to do.
+      return Action::kContinue;
+    }
+    if (cursor >= log_.size()) {
+      // The recorded execution ended (it crashed); running past the log on
+      // an instrumented branch means this path already diverged.
+      log_exhausted = true;
+      return Action::kAbort;
+    }
+    const bool logged = log_.GetBit(cursor++);
+    if (symbolic) {
+      if (taken == logged) {
+        trace.push_back(Constraint{cond_shadow, taken});  // Case 2a.
+        return Action::kContinue;
+      }
+      // Case 2b: append the constraint forcing the *logged* direction and
+      // abort; the engine pushes this set so the next input follows the log.
+      trace.push_back(Constraint{cond_shadow, logged});
+      forced_direction = true;
+      return Action::kAbort;
+    }
+    if (taken == logged) {
+      return Action::kContinue;  // Case 3a.
+    }
+    concrete_mismatch = true;  // Case 3b.
+    if (debug_) {
+      std::fprintf(stderr, "[replay] 3b concrete mismatch branch=%d cursor=%zu taken=%d\n",
+                   branch_id, cursor - 1, taken ? 1 : 0);
+    }
+    return Action::kAbort;
+  }
+
+  std::vector<Constraint> trace;
+  std::vector<size_t> flippable;
+  size_t cursor = 0;
+  bool forced_direction = false;
+  bool concrete_mismatch = false;
+  bool log_exhausted = false;
+
+ private:
+  const InstrumentationPlan& plan_;
+  const BitVec& log_;
+  bool debug_ = false;
+};
+
+struct Pending {
+  std::shared_ptr<std::vector<Constraint>> trace;
+  size_t len = 0;           // Constraints [0, len) form the set.
+  bool negate_last = false;  // Case 1 pendings negate constraint len-1.
+  std::shared_ptr<std::vector<i64>> seed;
+  std::shared_ptr<std::vector<Interval>> domains;
+};
+
+}  // namespace
+
+ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ReplayResult result;
+
+  CellRunner runner(module_, report_.shape);
+  Budget budget = config.wall_ms > 0
+                      ? Budget::StepsAndMillis(config.total_steps, config.wall_ms)
+                      : Budget::Steps(config.total_steps);
+  Solver solver(*arena_, config.solver);
+  Rng rng(config.seed);
+
+  // Initial run: random printable input bytes (the developer has no input).
+  std::vector<i64> initial(runner.layout().defaults().size());
+  for (i64& v : initial) {
+    v = rng.NextPrintable();
+  }
+
+  std::deque<Pending> pendings;
+  const SyscallLog* replay_log =
+      config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
+
+  // Runs one input; returns true when the bug is reproduced.
+  auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
+    ReplayObserver observer(plan_, report_.branch_log);
+    CellRunConfig run_config;
+    run_config.model = model;
+    run_config.arena = arena_;
+    run_config.observers = {&observer};
+    run_config.replay_log = replay_log;
+    run_config.max_steps = config.max_steps_per_run;
+    run_config.external_budget = &budget;
+    CellRunOutput out = runner.Run(run_config);
+    ++result.stats.runs;
+
+    // Reproduction requires reaching the reported crash site having
+    // followed the *entire* branch log: the recorded bits end exactly at
+    // the user-site crash, so a run that crashes at the same location with
+    // bits left over took a shortcut (e.g. an early signal delivery) and is
+    // not the recorded execution.
+    if (out.result.Crashed() && out.result.crash.SameSite(report_.crash) &&
+        observer.cursor == report_.branch_log.size()) {
+      result.reproduced = true;
+      result.crash = out.result.crash;
+      result.witness_cells = out.cells;
+      result.witness_argv = runner.layout().MaterializeArgv(runner.spec(), out.cells);
+      return true;
+    }
+    if (out.result.Crashed()) {
+      ++result.stats.crashes_wrong_site;
+    }
+    if (observer.concrete_mismatch) {
+      ++result.stats.aborts_concrete_mismatch;
+    }
+    if (observer.log_exhausted) {
+      ++result.stats.aborts_log_exhausted;
+    }
+
+    auto trace = std::make_shared<std::vector<Constraint>>(std::move(observer.trace));
+    auto seed = std::make_shared<std::vector<i64>>(std::move(out.cells));
+    auto domains = std::make_shared<std::vector<Interval>>(std::move(out.domains));
+    // Case-1 alternatives, deepest explored first under DFS.
+    for (size_t flip : observer.flippable) {
+      if (flip < start_depth) {
+        continue;  // Already offered by the run that generated this prefix.
+      }
+      pendings.push_back(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains});
+    }
+    if (observer.forced_direction) {
+      ++result.stats.aborts_forced_direction;
+      // Highest priority: the set that steers the run back onto the log.
+      pendings.push_back(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains});
+    }
+    result.stats.pending_peak = std::max(result.stats.pending_peak,
+                                         static_cast<u64>(pendings.size()));
+    return false;
+  };
+
+  if (do_run(initial, 0)) {
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
+  }
+
+  while (!pendings.empty() && result.stats.runs < config.max_runs && !budget.Exhausted()) {
+    Pending pending;
+    if (config.pick == ReplayConfig::Pick::kDfs) {
+      pending = std::move(pendings.back());
+      pendings.pop_back();
+    } else {
+      pending = std::move(pendings.front());
+      pendings.pop_front();
+    }
+
+    std::vector<Constraint> constraints(pending.trace->begin(),
+                                        pending.trace->begin() + pending.len);
+    if (pending.negate_last) {
+      constraints.back().want_true = !constraints.back().want_true;
+    }
+    ++result.stats.solver_calls;
+    const SolveResult solved = solver.Solve(constraints, *pending.domains, *pending.seed);
+    if (solved.status != SolveStatus::kSat) {
+      continue;
+    }
+    if (do_run(solved.model, pending.len)) {
+      break;
+    }
+  }
+
+  result.budget_exhausted = !result.reproduced;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace retrace

@@ -1,0 +1,80 @@
+// Developer-site bug reproduction: symbolic execution guided by the
+// partial branch log (paper §3).
+//
+// The engine performs runs with concrete inputs. At every executed branch
+// the four cases of §3.1 apply:
+//   1. symbolic, not instrumented  -> record the constraint; both
+//      directions are explorable (pending set with the negation).
+//   2. symbolic, instrumented      -> compare with the next log bit;
+//      (a) match: keep going; (b) mismatch: build the constraint set that
+//      forces the logged direction, push it, abort the run.
+//   3. concrete, instrumented      -> compare with the next log bit;
+//      (a) match: keep going; (b) mismatch: abort (an earlier wrong turn
+//      at an uninstrumented symbolic branch).
+//   4. concrete, not instrumented  -> keep going.
+// Aborted runs pull the next pending constraint set (depth-first by
+// default), solve it, and restart with the resulting input. Reproduction
+// succeeds when a run crashes at the reported crash site.
+#ifndef RETRACE_REPLAY_REPLAY_ENGINE_H_
+#define RETRACE_REPLAY_REPLAY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/concolic/cellrun.h"
+#include "src/core/report.h"
+#include "src/solver/solver.h"
+#include "src/support/rng.h"
+
+namespace retrace {
+
+struct ReplayConfig {
+  u64 max_runs = 20'000;
+  i64 wall_ms = -1;               // The paper's 1-hour allotment (scaled).
+  u64 total_steps = 4'000'000'000ull;
+  u64 max_steps_per_run = 100'000'000;
+  SolverOptions solver;
+  u64 seed = 42;                  // Initial random input.
+  bool use_syscall_log = true;    // Replay logged syscall results (§3.3).
+  enum class Pick { kDfs, kFifo } pick = Pick::kDfs;  // Pending-set heuristic.
+};
+
+struct ReplayStats {
+  u64 runs = 0;
+  u64 solver_calls = 0;
+  u64 aborts_forced_direction = 0;  // Case 2b.
+  u64 aborts_concrete_mismatch = 0;  // Case 3b.
+  u64 aborts_log_exhausted = 0;
+  u64 crashes_wrong_site = 0;
+  u64 pending_peak = 0;
+};
+
+struct ReplayResult {
+  bool reproduced = false;
+  std::vector<std::string> witness_argv;  // Inputs that activate the bug.
+  std::vector<i64> witness_cells;
+  CrashSite crash;
+  ReplayStats stats;
+  bool budget_exhausted = false;
+  double wall_seconds = 0.0;
+};
+
+class ReplayEngine {
+ public:
+  // `plan` must be the plan the report's binary shipped with.
+  ReplayEngine(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
+               ExprArena* arena)
+      : module_(module), plan_(plan), report_(report), arena_(arena) {}
+
+  ReplayResult Reproduce(const ReplayConfig& config);
+
+ private:
+  const IrModule& module_;
+  const InstrumentationPlan& plan_;
+  const BugReport& report_;
+  ExprArena* arena_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_REPLAY_REPLAY_ENGINE_H_

@@ -1,0 +1,289 @@
+#include "src/solver/expr.h"
+
+#include <functional>
+#include <sstream>
+
+namespace retrace {
+
+bool ExprOpIsBinary(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst:
+    case ExprOp::kVar:
+    case ExprOp::kNeg:
+    case ExprOp::kBitNot:
+    case ExprOp::kLogicalNot:
+    case ExprOp::kTruncChar:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ExprOpIsComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* ExprOpName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst: return "const";
+    case ExprOp::kVar: return "var";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kRem: return "%";
+    case ExprOp::kAnd: return "&";
+    case ExprOp::kOr: return "|";
+    case ExprOp::kXor: return "^";
+    case ExprOp::kShl: return "<<";
+    case ExprOp::kShr: return ">>";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kNeg: return "neg";
+    case ExprOp::kBitNot: return "~";
+    case ExprOp::kLogicalNot: return "!";
+    case ExprOp::kTruncChar: return "truncc";
+  }
+  return "?";
+}
+
+i64 ExprArena::EvalBin(ExprOp op, i64 a, i64 b) {
+  switch (op) {
+    case ExprOp::kAdd: return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+    case ExprOp::kSub: return static_cast<i64>(static_cast<u64>(a) - static_cast<u64>(b));
+    case ExprOp::kMul: return static_cast<i64>(static_cast<u64>(a) * static_cast<u64>(b));
+    case ExprOp::kDiv: return b == 0 ? 0 : (a == INT64_MIN && b == -1 ? a : a / b);
+    case ExprOp::kRem: return b == 0 ? 0 : (a == INT64_MIN && b == -1 ? 0 : a % b);
+    case ExprOp::kAnd: return a & b;
+    case ExprOp::kOr: return a | b;
+    case ExprOp::kXor: return a ^ b;
+    case ExprOp::kShl: return static_cast<i64>(static_cast<u64>(a) << (static_cast<u64>(b) & 63));
+    case ExprOp::kShr: return a >> (static_cast<u64>(b) & 63);
+    case ExprOp::kEq: return a == b ? 1 : 0;
+    case ExprOp::kNe: return a != b ? 1 : 0;
+    case ExprOp::kLt: return a < b ? 1 : 0;
+    case ExprOp::kLe: return a <= b ? 1 : 0;
+    case ExprOp::kGt: return a > b ? 1 : 0;
+    case ExprOp::kGe: return a >= b ? 1 : 0;
+    default:
+      FatalError("EvalBin: non-binary op");
+  }
+}
+
+i64 ExprArena::EvalUn(ExprOp op, i64 a) {
+  switch (op) {
+    case ExprOp::kNeg: return static_cast<i64>(-static_cast<u64>(a));
+    case ExprOp::kBitNot: return ~a;
+    case ExprOp::kLogicalNot: return a == 0 ? 1 : 0;
+    case ExprOp::kTruncChar: return static_cast<i64>(static_cast<u8>(a));
+    default:
+      FatalError("EvalUn: non-unary op");
+  }
+}
+
+ExprArena::ExprArena() { nodes_.reserve(1024); }
+
+ExprRef ExprArena::Intern(ExprNode node) {
+  u64 h = static_cast<u64>(node.op) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<u64>(node.a) + 0x517cc1b727220a95ull + (h << 6) + (h >> 2);
+  h ^= static_cast<u64>(node.b) + 0x2545f4914f6cdd1dull + (h << 6) + (h >> 2);
+  h ^= std::hash<i64>{}(node.imm) + (h << 6) + (h >> 2);
+  auto& bucket = dedup_[h];
+  for (ExprRef ref : bucket) {
+    const ExprNode& existing = nodes_[ref];
+    if (existing.op == node.op && existing.a == node.a && existing.b == node.b &&
+        existing.imm == node.imm) {
+      return ref;
+    }
+  }
+  const ExprRef ref = static_cast<ExprRef>(nodes_.size());
+  nodes_.push_back(node);
+  bucket.push_back(ref);
+  return ref;
+}
+
+ExprRef ExprArena::MkConst(i64 value) {
+  return Intern(ExprNode{ExprOp::kConst, kNoExpr, kNoExpr, value});
+}
+
+ExprRef ExprArena::MkVar(i32 var_id) {
+  return Intern(ExprNode{ExprOp::kVar, kNoExpr, kNoExpr, var_id});
+}
+
+ExprRef ExprArena::MkUn(ExprOp op, ExprRef a) {
+  Check(a != kNoExpr, "MkUn: missing operand");
+  if (IsConst(a)) {
+    return MkConst(EvalUn(op, ConstValue(a)));
+  }
+  // trunc(trunc(x)) == trunc(x); !!x is not simplified (not equal to x).
+  if (op == ExprOp::kTruncChar && nodes_[a].op == ExprOp::kTruncChar) {
+    return a;
+  }
+  return Intern(ExprNode{op, a, kNoExpr, 0});
+}
+
+ExprRef ExprArena::MkBin(ExprOp op, ExprRef a, ExprRef b) {
+  Check(a != kNoExpr && b != kNoExpr, "MkBin: missing operand");
+  if (IsConst(a) && IsConst(b)) {
+    return MkConst(EvalBin(op, ConstValue(a), ConstValue(b)));
+  }
+  // Light algebraic identities; keeps chains like x+0 and 1*x small.
+  if (IsConst(b)) {
+    const i64 v = ConstValue(b);
+    if (v == 0 && (op == ExprOp::kAdd || op == ExprOp::kSub || op == ExprOp::kOr ||
+                   op == ExprOp::kXor || op == ExprOp::kShl || op == ExprOp::kShr)) {
+      return a;
+    }
+    if (v == 1 && (op == ExprOp::kMul || op == ExprOp::kDiv)) {
+      return a;
+    }
+    if (v == 0 && (op == ExprOp::kMul || op == ExprOp::kAnd)) {
+      return MkConst(0);
+    }
+  }
+  if (IsConst(a)) {
+    const i64 v = ConstValue(a);
+    if (v == 0 && (op == ExprOp::kAdd || op == ExprOp::kOr || op == ExprOp::kXor)) {
+      return b;
+    }
+    if (v == 1 && op == ExprOp::kMul) {
+      return b;
+    }
+    if (v == 0 && (op == ExprOp::kMul || op == ExprOp::kAnd)) {
+      return MkConst(0);
+    }
+  }
+  if (a == b) {
+    switch (op) {
+      case ExprOp::kSub:
+      case ExprOp::kXor:
+        return MkConst(0);
+      case ExprOp::kEq:
+      case ExprOp::kLe:
+      case ExprOp::kGe:
+        return MkConst(1);
+      case ExprOp::kNe:
+      case ExprOp::kLt:
+      case ExprOp::kGt:
+        return MkConst(0);
+      case ExprOp::kAnd:
+      case ExprOp::kOr:
+        return a;
+      default:
+        break;
+    }
+  }
+  return Intern(ExprNode{op, a, b, 0});
+}
+
+i64 ExprArena::Eval(ExprRef ref, const std::vector<i64>& assignment) const {
+  const ExprNode& n = nodes_[ref];
+  switch (n.op) {
+    case ExprOp::kConst:
+      return n.imm;
+    case ExprOp::kVar: {
+      const size_t id = static_cast<size_t>(n.imm);
+      return id < assignment.size() ? assignment[id] : 0;
+    }
+    default:
+      if (ExprOpIsBinary(n.op)) {
+        return EvalBin(n.op, Eval(n.a, assignment), Eval(n.b, assignment));
+      }
+      return EvalUn(n.op, Eval(n.a, assignment));
+  }
+}
+
+void ExprArena::CollectVars(ExprRef ref, std::vector<i32>* vars) const {
+  // Iterative DFS; shadow DAGs can be deep for accumulator loops.
+  std::vector<ExprRef> stack{ref};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const ExprRef cur = stack.back();
+    stack.pop_back();
+    if (cur == kNoExpr || seen[cur]) {
+      continue;
+    }
+    seen[cur] = true;
+    const ExprNode& n = nodes_[cur];
+    if (n.op == ExprOp::kVar) {
+      const i32 id = static_cast<i32>(n.imm);
+      bool present = false;
+      for (i32 v : *vars) {
+        if (v == id) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        vars->push_back(id);
+      }
+      continue;
+    }
+    if (n.a != kNoExpr) {
+      stack.push_back(n.a);
+    }
+    if (n.b != kNoExpr) {
+      stack.push_back(n.b);
+    }
+  }
+}
+
+void ExprArena::CollectConsts(ExprRef ref, std::vector<i64>* consts) const {
+  std::vector<ExprRef> stack{ref};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const ExprRef cur = stack.back();
+    stack.pop_back();
+    if (cur == kNoExpr || seen[cur]) {
+      continue;
+    }
+    seen[cur] = true;
+    const ExprNode& n = nodes_[cur];
+    if (n.op == ExprOp::kConst) {
+      consts->push_back(n.imm);
+      continue;
+    }
+    if (n.a != kNoExpr) {
+      stack.push_back(n.a);
+    }
+    if (n.b != kNoExpr) {
+      stack.push_back(n.b);
+    }
+  }
+}
+
+std::string ExprArena::ToString(ExprRef ref) const {
+  const ExprNode& n = nodes_[ref];
+  std::ostringstream os;
+  switch (n.op) {
+    case ExprOp::kConst:
+      os << n.imm;
+      break;
+    case ExprOp::kVar:
+      os << "v" << n.imm;
+      break;
+    default:
+      if (ExprOpIsBinary(n.op)) {
+        os << "(" << ToString(n.a) << " " << ExprOpName(n.op) << " " << ToString(n.b) << ")";
+      } else {
+        os << ExprOpName(n.op) << "(" << ToString(n.a) << ")";
+      }
+  }
+  return os.str();
+}
+
+}  // namespace retrace

@@ -1,0 +1,94 @@
+// Symbolic expression DAG.
+//
+// Expressions are immutable nodes in an arena, referenced by index
+// (ExprRef). Variables stand for input cells: argv bytes, bytes produced by
+// read(), and the results of nondeterministic system calls. The interpreter
+// builds shadow expressions along the concrete path; branch conditions over
+// them become path constraints.
+#ifndef RETRACE_SOLVER_EXPR_H_
+#define RETRACE_SOLVER_EXPR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+using ExprRef = i32;
+inline constexpr ExprRef kNoExpr = -1;
+
+enum class ExprOp : u8 {
+  kConst,
+  kVar,
+  // Binary (signed 64-bit semantics).
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // Unary.
+  kNeg, kBitNot, kLogicalNot,
+  kTruncChar,  // Truncation to unsigned char on store to a char cell.
+};
+
+bool ExprOpIsBinary(ExprOp op);
+bool ExprOpIsComparison(ExprOp op);
+const char* ExprOpName(ExprOp op);
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  ExprRef a = kNoExpr;
+  ExprRef b = kNoExpr;
+  i64 imm = 0;  // kConst: value; kVar: variable id.
+};
+
+// Arena of hash-consed expression nodes. Node construction performs
+// constant folding and light algebraic simplification, which keeps shadow
+// DAGs small across millions of branch executions.
+class ExprArena {
+ public:
+  ExprArena();
+
+  ExprRef MkConst(i64 value);
+  ExprRef MkVar(i32 var_id);
+  ExprRef MkUn(ExprOp op, ExprRef a);
+  ExprRef MkBin(ExprOp op, ExprRef a, ExprRef b);
+
+  const ExprNode& node(ExprRef ref) const { return nodes_[ref]; }
+  size_t size() const { return nodes_.size(); }
+
+  bool IsConst(ExprRef ref) const { return nodes_[ref].op == ExprOp::kConst; }
+  i64 ConstValue(ExprRef ref) const { return nodes_[ref].imm; }
+
+  // Evaluates under an assignment of values to variable ids. Variables not
+  // present in `assignment` (id >= size) evaluate to 0.
+  i64 Eval(ExprRef ref, const std::vector<i64>& assignment) const;
+
+  // Appends all variable ids reachable from `ref` (deduplicated).
+  void CollectVars(ExprRef ref, std::vector<i32>* vars) const;
+  // Appends all constants appearing in the expression.
+  void CollectConsts(ExprRef ref, std::vector<i64>* consts) const;
+
+  std::string ToString(ExprRef ref) const;
+
+  // Total 64-bit semantics used everywhere (interpreter shadow, solver):
+  // division by zero yields 0, shifts use only the low 6 bits of the count.
+  static i64 EvalBin(ExprOp op, i64 a, i64 b);
+  static i64 EvalUn(ExprOp op, i64 a);
+
+ private:
+  ExprRef Intern(ExprNode node);
+
+  std::vector<ExprNode> nodes_;
+  std::unordered_map<u64, std::vector<ExprRef>> dedup_;
+};
+
+// A path constraint: `expr` must evaluate truthy (want_true) or falsy.
+struct Constraint {
+  ExprRef expr = kNoExpr;
+  bool want_true = true;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SOLVER_EXPR_H_

@@ -1,0 +1,133 @@
+#include "src/solver/interval.h"
+
+#include <algorithm>
+
+namespace retrace {
+
+u64 Interval::Size() const {
+  if (Empty()) {
+    return 0;
+  }
+  const u64 span = static_cast<u64>(hi) - static_cast<u64>(lo);
+  return span == UINT64_MAX ? UINT64_MAX : span + 1;
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+}
+
+namespace {
+
+// Matches `ref` as var or trunc(var). Truncation is treated as the identity
+// for narrowing purposes, which is exact when the variable's domain is
+// already within [0,255] (true for all byte cells).
+bool IsVarLike(const ExprArena& arena, ExprRef ref, i32 var) {
+  const ExprNode& n = arena.node(ref);
+  if (n.op == ExprOp::kVar) {
+    return static_cast<i32>(n.imm) == var;
+  }
+  if (n.op == ExprOp::kTruncChar) {
+    const ExprNode& inner = arena.node(n.a);
+    return inner.op == ExprOp::kVar && static_cast<i32>(inner.imm) == var;
+  }
+  return false;
+}
+
+// Interval implied by (var CMP k) being true.
+Interval FromComparison(ExprOp op, i64 k) {
+  switch (op) {
+    case ExprOp::kEq: return Interval{k, k};
+    case ExprOp::kLt: return Interval{INT64_MIN, k == INT64_MIN ? INT64_MIN : k - 1};
+    case ExprOp::kLe: return Interval{INT64_MIN, k};
+    case ExprOp::kGt: return Interval{k == INT64_MAX ? INT64_MAX : k + 1, INT64_MAX};
+    case ExprOp::kGe: return Interval{k, INT64_MAX};
+    default: FatalError("FromComparison: unexpected op");
+  }
+}
+
+ExprOp MirrorComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kLt: return ExprOp::kGt;
+    case ExprOp::kLe: return ExprOp::kGe;
+    case ExprOp::kGt: return ExprOp::kLt;
+    case ExprOp::kGe: return ExprOp::kLe;
+    default: return op;  // kEq/kNe are symmetric.
+  }
+}
+
+ExprOp NegateComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq: return ExprOp::kNe;
+    case ExprOp::kNe: return ExprOp::kEq;
+    case ExprOp::kLt: return ExprOp::kGe;
+    case ExprOp::kLe: return ExprOp::kGt;
+    case ExprOp::kGt: return ExprOp::kLe;
+    case ExprOp::kGe: return ExprOp::kLt;
+    default: FatalError("NegateComparison: unexpected op");
+  }
+}
+
+}  // namespace
+
+bool NarrowForConstraint(const ExprArena& arena, const Constraint& constraint, i32 var,
+                         Interval* iv) {
+  const ExprNode& n = arena.node(constraint.expr);
+
+  // Shape: bare var used as a truth value.
+  if (IsVarLike(arena, constraint.expr, var)) {
+    if (!constraint.want_true) {
+      *iv = iv->Intersect(Interval{0, 0});
+      return true;
+    }
+    // Truthy: can only narrow if 0 is at an endpoint.
+    if (iv->lo == 0) {
+      iv->lo = 1;
+      return true;
+    }
+    if (iv->hi == 0) {
+      iv->hi = -1;
+      return true;
+    }
+    return false;
+  }
+
+  // Shape: !var.
+  if (n.op == ExprOp::kLogicalNot && IsVarLike(arena, n.a, var)) {
+    Constraint inner{n.a, !constraint.want_true};
+    return NarrowForConstraint(arena, inner, var, iv);
+  }
+
+  if (!ExprOpIsComparison(n.op)) {
+    return false;
+  }
+
+  ExprOp op = n.op;
+  i64 k = 0;
+  if (IsVarLike(arena, n.a, var) && arena.IsConst(n.b)) {
+    k = arena.ConstValue(n.b);
+  } else if (IsVarLike(arena, n.b, var) && arena.IsConst(n.a)) {
+    k = arena.ConstValue(n.a);
+    op = MirrorComparison(op);
+  } else {
+    return false;
+  }
+  if (!constraint.want_true) {
+    op = NegateComparison(op);
+  }
+  if (op == ExprOp::kNe) {
+    // Disequalities only narrow at endpoints.
+    if (iv->lo == k) {
+      iv->lo = k == INT64_MAX ? INT64_MAX : k + 1;
+      return true;
+    }
+    if (iv->hi == k) {
+      iv->hi = k == INT64_MIN ? INT64_MIN : k - 1;
+      return true;
+    }
+    return false;
+  }
+  *iv = iv->Intersect(FromComparison(op, k));
+  return true;
+}
+
+}  // namespace retrace

@@ -1,0 +1,38 @@
+// Integer intervals and pattern-based domain narrowing.
+//
+// The solver runs over input cells with small domains (argv bytes in
+// [0,255], syscall results in tight ranges). Before searching, it narrows
+// each variable's interval using the constraints that mention the variable
+// in a directly-invertible position (var CMP const and friends). The
+// backtracking search then enumerates only the remaining candidates.
+#ifndef RETRACE_SOLVER_INTERVAL_H_
+#define RETRACE_SOLVER_INTERVAL_H_
+
+#include "src/solver/expr.h"
+#include "src/support/common.h"
+
+namespace retrace {
+
+struct Interval {
+  i64 lo = INT64_MIN;
+  i64 hi = INT64_MAX;
+
+  bool Empty() const { return lo > hi; }
+  bool Contains(i64 v) const { return v >= lo && v <= hi; }
+  // Number of values, saturating at INT64_MAX.
+  u64 Size() const;
+  Interval Intersect(const Interval& other) const;
+
+  bool operator==(const Interval&) const = default;
+};
+
+// If `constraint` directly bounds `var` (shapes: var CMP k, k CMP var,
+// trunc(var) CMP k, var, !var), intersects *iv with the implied interval
+// and returns true. Returns false when the constraint has no directly
+// invertible shape for this variable (the search handles those).
+bool NarrowForConstraint(const ExprArena& arena, const Constraint& constraint, i32 var,
+                         Interval* iv);
+
+}  // namespace retrace
+
+#endif  // RETRACE_SOLVER_INTERVAL_H_

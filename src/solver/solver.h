@@ -1,0 +1,56 @@
+// Constraint solver over input cells.
+//
+// A "model" is an assignment of one i64 per variable id. Solving starts
+// from a seed model (the concrete input of the run that produced the
+// constraints — the concolic trick that keeps most constraints satisfied
+// already) and repairs unsatisfied constraints by local search, falling
+// back to bounded backtracking over the variables of the conflicting
+// constraints. Domains are small (bytes, syscall result ranges), which the
+// candidate enumeration exploits.
+#ifndef RETRACE_SOLVER_SOLVER_H_
+#define RETRACE_SOLVER_SOLVER_H_
+
+#include <vector>
+
+#include "src/solver/expr.h"
+#include "src/solver/interval.h"
+#include "src/support/budget.h"
+
+namespace retrace {
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<i64> model;  // Valid when status == kSat.
+  u64 steps = 0;           // Search effort, for statistics.
+};
+
+struct SolverOptions {
+  u64 max_steps = 2'000'000;  // Search step budget per Solve call.
+  // Upper bound on exhaustive candidate enumeration per variable. Domains
+  // larger than this are sampled through heuristic candidates only.
+  u64 max_enumeration = 512;
+};
+
+class Solver {
+ public:
+  Solver(const ExprArena& arena, SolverOptions options) : arena_(arena), options_(options) {}
+
+  // Solves `constraints` over variables with the given domains. `seed` is
+  // the starting assignment; entries beyond seed.size() default to the
+  // domain lower bound clamped to 0 where possible.
+  SolveResult Solve(const std::vector<Constraint>& constraints,
+                    const std::vector<Interval>& domains, const std::vector<i64>& seed) const;
+
+  // Convenience: evaluates whether `model` satisfies all constraints.
+  bool Satisfies(const std::vector<Constraint>& constraints, const std::vector<i64>& model) const;
+
+ private:
+  const ExprArena& arena_;
+  SolverOptions options_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SOLVER_SOLVER_H_

@@ -1,0 +1,37 @@
+#include "src/support/bitvec.h"
+
+namespace retrace {
+
+void BitVec::PushBit(bool bit) {
+  const size_t byte_index = size_ / 8;
+  if (byte_index >= bytes_.size()) {
+    bytes_.push_back(0);
+  }
+  if (bit) {
+    bytes_[byte_index] = static_cast<u8>(bytes_[byte_index] | (1u << (size_ % 8)));
+  }
+  ++size_;
+}
+
+bool BitVec::GetBit(size_t index) const {
+  Check(index < size_, "BitVec::GetBit out of range");
+  return (bytes_[index / 8] >> (index % 8)) & 1u;
+}
+
+void BitVec::Clear() {
+  bytes_.clear();
+  size_ = 0;
+}
+
+std::vector<u8> BitVec::Serialize() const { return bytes_; }
+
+BitVec BitVec::Deserialize(const std::vector<u8>& data, size_t bit_count) {
+  Check(data.size() >= (bit_count + 7) / 8, "BitVec::Deserialize: truncated data");
+  BitVec out;
+  out.bytes_ = data;
+  out.bytes_.resize((bit_count + 7) / 8);
+  out.size_ = bit_count;
+  return out;
+}
+
+}  // namespace retrace

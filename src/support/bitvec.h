@@ -1,0 +1,46 @@
+// Append-only bit vector used for branch trace logs.
+#ifndef RETRACE_SUPPORT_BITVEC_H_
+#define RETRACE_SUPPORT_BITVEC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+// Bit-packed vector of branch outcomes: one bit per instrumented branch
+// execution, in execution order. This is the wire format of the user-site
+// branch log: the paper logs exactly one bit per branch, with no per-branch
+// program counter.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  void PushBit(bool bit);
+  bool GetBit(size_t index) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+  // Size of the log on the wire, in whole bytes.
+  size_t ByteSize() const { return (size_ + 7) / 8; }
+
+  const std::vector<u8>& bytes() const { return bytes_; }
+
+  // Serialization round-trip (log shipped from user site to developer site).
+  std::vector<u8> Serialize() const;
+  static BitVec Deserialize(const std::vector<u8>& data, size_t bit_count);
+
+  bool operator==(const BitVec& other) const {
+    return size_ == other.size_ && bytes_ == other.bytes_;
+  }
+
+ private:
+  std::vector<u8> bytes_;
+  size_t size_ = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_BITVEC_H_

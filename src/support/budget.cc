@@ -1,0 +1,42 @@
+#include "src/support/budget.h"
+
+namespace retrace {
+
+Budget Budget::Steps(u64 max_steps) {
+  Budget b;
+  b.max_steps_ = max_steps;
+  return b;
+}
+
+Budget Budget::Millis(i64 wall_ms) {
+  Budget b;
+  b.has_deadline_ = true;
+  b.deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
+  return b;
+}
+
+Budget Budget::StepsAndMillis(u64 max_steps, i64 wall_ms) {
+  Budget b = Millis(wall_ms);
+  b.max_steps_ = max_steps;
+  return b;
+}
+
+bool Budget::Consume(u64 n) {
+  steps_used_ += n;
+  return !Exhausted();
+}
+
+bool Budget::Exhausted() const {
+  if (steps_used_ >= max_steps_) {
+    return true;
+  }
+  if (has_deadline_) {
+    // Checking the clock on every step would dominate interpreter cost, so
+    // callers are expected to batch Consume() calls; the check itself is
+    // cheap relative to a batch.
+    return std::chrono::steady_clock::now() >= deadline_;
+  }
+  return false;
+}
+
+}  // namespace retrace

@@ -1,0 +1,45 @@
+// Basic shared definitions for the retrace library.
+#ifndef RETRACE_SUPPORT_COMMON_H_
+#define RETRACE_SUPPORT_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace retrace {
+
+using i64 = int64_t;
+using u64 = uint64_t;
+using i32 = int32_t;
+using u32 = uint32_t;
+using u8 = uint8_t;
+
+// Terminates the process with a message. Used for internal invariant
+// violations that indicate a bug in retrace itself (never for errors in the
+// analyzed program; those travel through Result/RunResult).
+[[noreturn]] void FatalError(std::string_view message);
+
+// Checks an internal invariant; fatal on violation.
+inline void Check(bool condition, std::string_view message) {
+  if (!condition) {
+    FatalError(message);
+  }
+}
+
+// A position in a MiniC source unit. line/col are 1-based; unit identifies
+// which source unit (application or library) the position belongs to.
+struct SourceLoc {
+  int unit = 0;
+  int line = 0;
+  int col = 0;
+
+  bool operator==(const SourceLoc&) const = default;
+};
+
+std::string ToString(const SourceLoc& loc);
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_COMMON_H_

@@ -1,0 +1,63 @@
+// Fixed-size dense bitset used for instrumentation plans and analyses.
+#ifndef RETRACE_SUPPORT_DENSE_BITSET_H_
+#define RETRACE_SUPPORT_DENSE_BITSET_H_
+
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i, bool value = true) {
+    Check(i < size_, "DenseBitset::Set out of range");
+    if (value) {
+      words_[i / 64] |= (1ull << (i % 64));
+    } else {
+      words_[i / 64] &= ~(1ull << (i % 64));
+    }
+  }
+
+  bool Test(size_t i) const {
+    Check(i < size_, "DenseBitset::Test out of range");
+    return (words_[i / 64] >> (i % 64)) & 1ull;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (u64 w : words_) {
+      n += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  // this |= other. Returns true if any bit changed.
+  bool UnionWith(const DenseBitset& other) {
+    Check(size_ == other.size_, "DenseBitset::UnionWith size mismatch");
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      const u64 merged = words_[i] | other.words_[i];
+      if (merged != words_[i]) {
+        words_[i] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool operator==(const DenseBitset&) const = default;
+
+ private:
+  size_t size_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_DENSE_BITSET_H_

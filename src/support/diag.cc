@@ -1,0 +1,22 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace retrace {
+
+void FatalError(std::string_view message) {
+  std::fprintf(stderr, "retrace fatal: %.*s\n", static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+std::string ToString(const SourceLoc& loc) {
+  std::ostringstream os;
+  os << "unit" << loc.unit << ":" << loc.line << ":" << loc.col;
+  return os.str();
+}
+
+std::string Error::ToString() const {
+  return retrace::ToString(loc) + ": " + message;
+}
+
+}  // namespace retrace

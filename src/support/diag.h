@@ -1,0 +1,52 @@
+// Error type and Result<T> used across the frontend and analyses.
+#ifndef RETRACE_SUPPORT_DIAG_H_
+#define RETRACE_SUPPORT_DIAG_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+// A diagnosable error: message plus the source position it refers to.
+struct Error {
+  std::string message;
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+// Minimal expected-style result. Holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  const T& value() const& {
+    Check(ok(), "Result::value on error");
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    Check(ok(), "Result::value on error");
+    return std::get<T>(storage_);
+  }
+  T&& take() {
+    Check(ok(), "Result::take on error");
+    return std::move(std::get<T>(storage_));
+  }
+  const Error& error() const {
+    Check(!ok(), "Result::error on value");
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_DIAG_H_

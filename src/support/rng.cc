@@ -1,0 +1,26 @@
+#include "src/support/rng.h"
+
+namespace retrace {
+
+u64 Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  u64 z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+u64 Rng::NextBelow(u64 bound) {
+  Check(bound > 0, "Rng::NextBelow: bound must be positive");
+  return Next() % bound;
+}
+
+i64 Rng::NextInRange(i64 lo, i64 hi) {
+  Check(lo <= hi, "Rng::NextInRange: empty range");
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(NextBelow(span));
+}
+
+u8 Rng::NextPrintable() { return static_cast<u8>(' ' + NextBelow('~' - ' ' + 1)); }
+
+}  // namespace retrace

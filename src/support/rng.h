@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generator (splitmix64).
+//
+// Used for the concolic engine's initial random inputs and for property
+// tests. Deterministic seeding keeps every experiment reproducible.
+#ifndef RETRACE_SUPPORT_RNG_H_
+#define RETRACE_SUPPORT_RNG_H_
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  u64 Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 NextBelow(u64 bound);
+
+  // Uniform in [lo, hi] inclusive.
+  i64 NextInRange(i64 lo, i64 hi);
+
+  // A printable ASCII byte (space through '~').
+  u8 NextPrintable();
+
+ private:
+  u64 state_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_RNG_H_

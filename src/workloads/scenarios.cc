@@ -1,0 +1,311 @@
+#include "src/workloads/scenarios.h"
+
+#include <string_view>
+
+namespace retrace {
+namespace {
+
+std::vector<u8> Bytes(std::string_view s) { return std::vector<u8>(s.begin(), s.end()); }
+
+StreamShape MakeStream(std::string name, std::string_view contents, i64 chunk = -1) {
+  StreamShape stream;
+  stream.name = std::move(name);
+  stream.bytes = Bytes(contents);
+  stream.length = static_cast<i64>(stream.bytes.size());
+  stream.chunk = chunk;
+  return stream;
+}
+
+}  // namespace
+
+InputSpec Listing1Spec(char option) {
+  InputSpec spec;
+  spec.argv = {"listing1", std::string(1, option)};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+InputSpec LoopMicroSpec(i64 iterations) {
+  InputSpec spec;
+  spec.argv = {"loop_micro", std::to_string(iterations)};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+Scenario CoreutilsBugScenario(const std::string& tool) {
+  Scenario s;
+  s.name = tool + "-bug";
+  s.spec.world.listen_fd = -1;
+  if (tool == "mkdir") {
+    // Mode string longer than the 8-byte parse buffer.
+    s.spec.argv = {"mkdir", "-m", "7777777777", "newdir"};
+  } else if (tool == "mknod") {
+    // Block device without the minor number: argv[idx+2] indexes past argc.
+    s.spec.argv = {"mknod", "dev0", "b", "7"};
+  } else if (tool == "mkfifo") {
+    // Invalid 8-char mode overflows the error-message buffer.
+    s.spec.argv = {"mkfifo", "-m", "99999999", "fifo1"};
+  } else if (tool == "paste") {
+    // The real paste bug: delimiter list ending in a backslash.
+    s.spec.argv = {"paste", "-d", "\\", "abcdefghijklmnopqrstuvwxyz"};
+  } else {
+    FatalError("unknown coreutils tool: " + tool);
+  }
+  return s;
+}
+
+Scenario CoreutilsBenignScenario(const std::string& tool) {
+  Scenario s;
+  s.name = tool + "-benign";
+  s.spec.world.listen_fd = -1;
+  const std::string long_name(48, 'd');
+  if (tool == "mkdir") {
+    s.spec.argv = {"mkdir", "-p",        "-v",       "-m",        "0755",
+                   "alpha", "beta",      long_name,  "gamma",     "delta"};
+  } else if (tool == "mknod") {
+    s.spec.argv = {"mknod", "-m", "0644", "device0", "b", "42", "17"};
+  } else if (tool == "mkfifo") {
+    s.spec.argv = {"mkfifo", "-m", "0644", "pipe0", "pipe1", long_name, "pipe2"};
+  } else if (tool == "paste") {
+    s.spec.argv = {"paste", "-d", ",;:", "one", "two", "three", long_name, "five"};
+  } else {
+    FatalError("unknown coreutils tool: " + tool);
+  }
+  return s;
+}
+
+namespace {
+
+// Builds a POST request whose Content-Length matches the body exactly.
+std::string MakePost(std::string_view path, std::string_view extra_headers,
+                     std::string_view body) {
+  std::string request = "POST ";
+  request += path;
+  request += " HTTP/1.0\r\n";
+  request += extra_headers;
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  return request;
+}
+
+// Request lengths mirror the paper's 5-to-400-byte range; the longer the
+// request, the more symbolic branch *executions* the parser performs, and
+// the harder replay becomes when some of those locations are unlogged.
+std::string UserverRequest(int index) {
+  switch (index) {
+    case 0:
+      // Experiment 1: minimal GET (shortest path through the parser).
+      return "GET / HTTP/1.0\r\nHost: a\r\n\r\n";
+    case 1:
+      // Experiment 2: long static path plus many query parameters (~180 B).
+      return "GET /static/images/products/2011/april/salzburg-eurosys-logo-640x480.png"
+             "?w=640&h=480&fmt=png&cache=no&lang=en&region=at&session=99f31&track=001"
+             " HTTP/1.0\r\nHost: www.example.org\r\n\r\n";
+    case 2:
+      // Experiment 3: POST with Content-Length and a ~190-byte body.
+      return MakePost(
+          "/submit", "Host: forms.example.org\r\n",
+          "name=crameri&coauthors=bianchini-zwaenepoel&topic=striking-a-new-balance"
+          "&venue=eurosys-2011&keywords=debugging%2Cbug-reporting%2Csymbolic-execution"
+          "&abstract=partial-branch-logging-for-replay&x=1");
+    case 3:
+      // Experiment 4 (first connection): HEAD with a long Cookie header.
+      return "HEAD / HTTP/1.0\r\nHost: cdn.example.org\r\n"
+             "Cookie: session=abc123def456ghi789jkl012mno345pqr678stu901vwx\r\n\r\n";
+    default:
+      // Experiment 5 (first connection): ~400-byte POST, several headers.
+      return MakePost(
+          "/submit",
+          "Host: upload.example.org\r\n"
+          "Cookie: id=f00dface; theme=dark; lang=en-US; tz=Europe%2FZurich\r\n"
+          "User-Agent: httperf/0.9 retrace-bench (compatible; replay-harness)\r\n"
+          "Accept: text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8\r\n",
+          "field1=aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa&field2=bbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+          "&field3=cccccccccccccccccccccccccc&f4=ddddddddddddddddd&f5=eeeeeeeeeeee&z=9");
+  }
+}
+
+}  // namespace
+
+Scenario UserverScenario(int experiment) {
+  Check(experiment >= 1 && experiment <= 5, "userver experiment out of range");
+  Scenario s;
+  s.name = "userver-exp" + std::to_string(experiment);
+  s.spec.argv = {"userver", "8080"};
+  WorldShape& world = s.spec.world;
+  world.listen_fd = 3;
+  world.max_concurrent_conns = 1;
+
+  auto add_conn = [&](std::string_view request, i64 chunk = -1) {
+    world.connection_streams.push_back(static_cast<i32>(world.streams.size()));
+    world.streams.push_back(MakeStream("conn", request, chunk));
+  };
+
+  switch (experiment) {
+    case 1:
+      add_conn(UserverRequest(0));
+      break;
+    case 2:
+      add_conn(UserverRequest(1));
+      break;
+    case 3:
+      add_conn(UserverRequest(2));
+      break;
+    case 4:
+      add_conn(UserverRequest(3));
+      add_conn("GET /about HTTP/1.0\r\nHost: cdn.example.org\r\n\r\n");
+      break;
+    case 5:
+      // Chunked delivery forces multiple read() calls per request.
+      add_conn(UserverRequest(4), /*chunk=*/100);
+      add_conn("GET /static/css/site.css?v=3 HTTP/1.0\r\nHost: upload.example.org\r\n\r\n");
+      add_conn("GET /secret HTTP/1.0\r\nHost: upload.example.org\r\n\r\n");
+      break;
+    default:
+      break;
+  }
+  const int conns = static_cast<int>(world.connection_streams.size());
+  // The signal lands after the scripted requests are fully processed: each
+  // connection costs one accept iteration plus one-per-chunk read
+  // iterations; 4*conns + 4 polls is past the end for every experiment.
+  s.policy = std::make_shared<SignalAfterPolicy>(4 * conns + 4);
+  return s;
+}
+
+InputSpec UserverLoadSpec(int num_requests) {
+  InputSpec spec;
+  spec.argv = {"userver", "8080"};
+  spec.world.listen_fd = 3;
+  spec.world.max_concurrent_conns = 4;
+  for (int i = 0; i < num_requests; ++i) {
+    const std::string request = UserverRequest(i % 3);  // GET, long GET, POST.
+    spec.world.connection_streams.push_back(static_cast<i32>(spec.world.streams.size()));
+    spec.world.streams.push_back(MakeStream("conn", request));
+  }
+  return spec;
+}
+
+InputSpec UserverExploreSpec() {
+  InputSpec spec;
+  spec.argv = {"userver", "8080"};
+  spec.world.listen_fd = 3;
+  spec.world.max_concurrent_conns = 1;
+  spec.world.connection_streams.push_back(0);
+  // The pre-deployment test request: long enough that exploration can
+  // mutate it into every method, route, query and header variant the
+  // parser distinguishes (deep coverage needs many sequenced byte flips,
+  // which is exactly the paper's LC-vs-HC budget knob).
+  spec.world.streams.push_back(
+      MakeStream("conn", "GET /static/ab?x=1&y=2 HTTP/1.0\r\nHost: h\r\nCookie: c=1\r\n\r\n"));
+  return spec;
+}
+
+InputSpec UserverExploreSpecLC() {
+  InputSpec spec;
+  spec.argv = {"userver", "8080"};
+  spec.world.listen_fd = 3;
+  spec.world.max_concurrent_conns = 1;
+  spec.world.connection_streams.push_back(0);
+  // Five bytes, no terminating \r\n\r\n: the request never completes, so
+  // parse_and_respond and everything below it stay unvisited.
+  spec.world.streams.push_back(MakeStream("conn", "GET /"));
+  return spec;
+}
+
+std::vector<std::vector<i64>> UserverExploreSeedModels() {
+  const InputSpec spec = UserverExploreSpec();
+  const CellLayout layout = CellLayout::Build(spec);
+  const i64 stream_len = static_cast<i64>(spec.world.streams[0].bytes.size());
+  auto model_for = [&](std::string_view request) {
+    std::vector<i64> model = layout.defaults();
+    for (i64 k = 0; k < stream_len; ++k) {
+      // Trailing filler past the template is ignored by the parser (the
+      // request is complete at \r\n\r\n + body).
+      const char byte = k < static_cast<i64>(request.size()) ? request[k] : 'x';
+      model[layout.StreamByteCell(0, k)] = static_cast<u8>(byte);
+    }
+    return model;
+  };
+  return {
+      model_for("POST /ab HTTP/1.0\r\nHost: h\r\nContent-Length: 4\r\n\r\nq=1z"),
+      model_for("HEAD /about HTTP/1.0\r\nHost: h\r\nCookie: c=123\r\n\r\n"),
+  };
+}
+
+namespace {
+
+Scenario MakeDiffScenario(std::string name, std::string_view a, std::string_view b) {
+  Scenario s;
+  s.name = std::move(name);
+  s.spec.argv = {"diff", "a.txt", "b.txt"};
+  // The file *names* already appear in the world's FS map the report ships;
+  // only the file *contents* are private input.
+  s.spec.argv_public = {true, true, true};
+  WorldShape& world = s.spec.world;
+  world.listen_fd = -1;
+  world.files.emplace_back("a.txt", 0);
+  world.files.emplace_back("b.txt", 1);
+  world.streams.push_back(MakeStream("a.txt", a));
+  world.streams.push_back(MakeStream("b.txt", b));
+  return s;
+}
+
+}  // namespace
+
+Scenario DiffScenario(int experiment) {
+  Check(experiment >= 1 && experiment <= 2, "diff experiment out of range");
+  if (experiment == 1) {
+    // 10 lines each, 5 separated single-line changes -> 5 hunks, which
+    // overflows the 4-entry hunk table.
+    return MakeDiffScenario(
+        "diff-exp1",
+        "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\ngolf\nhotel\nindia\njuliet\n",
+        "alpha1\nbravo\ncharlie2\ndelta\necho3\nfoxtrot\ngolf4\nhotel\nindia5\njuliet\n");
+  }
+  // Larger files, longer lines, more DP work, 6 hunks.
+  return MakeDiffScenario(
+      "diff-exp2",
+      "the quick brown fox jumps over the lazy dog\n"
+      "pack my box with five dozen liquor jugs\n"
+      "how vexingly quick daft zebras jump\n"
+      "sphinx of black quartz judge my vow\n"
+      "two driven jocks help fax my big quiz\n"
+      "five quacking zephyrs jolt my wax bed\n"
+      "the five boxing wizards jump quickly\n"
+      "jackdaws love my big sphinx of quartz\n"
+      "mr jock tv quiz phd bags few lynx\n"
+      "waltz bad nymph for quick jigs vex\n"
+      "glib jocks quiz nymph to vex dwarf\n"
+      "quick zephyrs blow vexing daft jim\n",
+      "the quick brown fox jumps over the lazy cat\n"
+      "pack my box with five dozen liquor jugs\n"
+      "how vexingly quick daft zebras leap\n"
+      "sphinx of black quartz judge my vow\n"
+      "two driven jocks help tax my big quiz\n"
+      "five quacking zephyrs jolt my wax bed\n"
+      "the five boxing wizards jump quietly\n"
+      "jackdaws love my big sphinx of quartz\n"
+      "mr jock tv quiz phd bags few cats\n"
+      "waltz bad nymph for quick jigs vex\n"
+      "glib jocks quiz nymph to vex dwarf\n"
+      "quick zephyrs blow vexing daft kim\n");
+}
+
+Scenario DiffBenignScenario() {
+  // Three small changes: under the hunk-table limit, exits normally.
+  return MakeDiffScenario(
+      "diff-benign",
+      "one\ntwo\nthree\nfour\nfive\nsix\nseven\neight\n",
+      "one\ntwo2\nthree\nfour\nfive5\nsix\nseven\neight8\n");
+}
+
+InputSpec DiffExploreSpec() {
+  // Degenerate (empty) files: the analysis labels the read/EOF handling but
+  // never reaches the line-scanning and comparison loops. This models the
+  // paper's diff experience — heavy constraint sets keep the engine at 20%
+  // coverage after an hour, logging only 3 of 35 symbolic locations.
+  Scenario s = MakeDiffScenario("diff-explore", "", "");
+  return s.spec;
+}
+
+}  // namespace retrace

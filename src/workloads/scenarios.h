@@ -1,0 +1,67 @@
+// Input scenarios for the paper's experiments.
+//
+// A scenario is a concrete InputSpec (argv bytes plus world streams) and,
+// when the environment must be scripted, a NondetPolicy (e.g. "deliver the
+// crash signal after the scripted requests"). Benches and tests share these
+// so every number in EXPERIMENTS.md is reproducible.
+#ifndef RETRACE_WORKLOADS_SCENARIOS_H_
+#define RETRACE_WORKLOADS_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/vos/vos.h"
+
+namespace retrace {
+
+struct Scenario {
+  std::string name;
+  InputSpec spec;
+  std::shared_ptr<NondetPolicy> policy;  // May be null.
+};
+
+// ----- Microbenchmarks -----
+InputSpec Listing1Spec(char option);
+InputSpec LoopMicroSpec(i64 iterations);
+
+// ----- Coreutils (§5.2) -----
+// The crashing invocation for each tool ("mkdir", "mknod", "mkfifo",
+// "paste"), e.g. paste -d\ abcdefghijklmnopqrstuvwxyz.
+Scenario CoreutilsBugScenario(const std::string& tool);
+// A benign multi-argument invocation used for overhead measurement (the
+// paper runs with up to 10 arguments of up to 100 bytes).
+Scenario CoreutilsBenignScenario(const std::string& tool);
+
+// ----- uServer (§5.3) -----
+// The five crash experiments: different HTTP methods, lengths and headers;
+// the environment delivers a signal after the scripted requests, and the
+// server crashes at a fixed location.
+Scenario UserverScenario(int experiment);  // 1..5
+// Load spec for overhead/branch-behavior runs: `num_requests` connections
+// rotating through representative request templates, no signal.
+InputSpec UserverLoadSpec(int num_requests);
+// Rich single-request spec used to drive pre-deployment dynamic analysis
+// (high-coverage configurations).
+InputSpec UserverExploreSpec();
+// Low-coverage analysis driver: a 5-byte, incomplete request. Exploration
+// never constructs a full HTTP request from it within small budgets, so
+// the request parser stays unlabeled — modeling the paper's dynamic
+// analysis at 20% coverage after its one-hour cutoff.
+InputSpec UserverExploreSpecLC();
+// The developer's "test suite" for high-coverage analysis: cell models
+// over UserverExploreSpec's layout encoding a POST and a HEAD request
+// (paper §6: manual test cases boost symbolic-execution coverage).
+std::vector<std::vector<i64>> UserverExploreSeedModels();
+
+// ----- diff (§5.4) -----
+// Two file-pair experiments; contents arrive through the virtual FS. Both
+// trigger the hunk-bookkeeping overflow, experiment 2 on larger files.
+Scenario DiffScenario(int experiment);  // 1..2
+// Benign pair (no crash) for overhead measurement.
+Scenario DiffBenignScenario();
+// Small file pair for pre-deployment dynamic analysis.
+InputSpec DiffExploreSpec();
+
+}  // namespace retrace
+
+#endif  // RETRACE_WORKLOADS_SCENARIOS_H_

@@ -1,0 +1,694 @@
+#include "src/workloads/workloads.h"
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+const std::string& LibminiSource() {
+  static const std::string* kSource = new std::string(R"mc(
+// libmini: the uClibc stand-in. String, ctype, conversion and line-IO
+// helpers used by every workload.
+
+int mini_strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int mini_strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) {
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+int mini_streq(char *a, char *b) {
+  return mini_strcmp(a, b) == 0;
+}
+
+int mini_strncmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) {
+      return a[i] - b[i];
+    }
+    if (a[i] == 0) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+int mini_strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int mini_strncpy(char *dst, char *src, int n) {
+  int i = 0;
+  while (i < n - 1 && src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int mini_strcat(char *dst, char *src) {
+  int n = mini_strlen(dst);
+  int i = 0;
+  while (src[i] != 0) {
+    dst[n + i] = src[i];
+    i = i + 1;
+  }
+  dst[n + i] = 0;
+  return n + i;
+}
+
+int mini_memcpy(char *dst, char *src, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    dst[i] = src[i];
+  }
+  return n;
+}
+
+int mini_memset(char *dst, int c, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    dst[i] = c;
+  }
+  return n;
+}
+
+int mini_isdigit(int c) {
+  return c >= '0' && c <= '9';
+}
+
+int mini_isalpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int mini_isspace(int c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+int mini_tolower(int c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c + 32;
+  }
+  return c;
+}
+
+int mini_atoi(char *s) {
+  int i = 0;
+  int sign = 1;
+  int v = 0;
+  while (mini_isspace(s[i])) {
+    i = i + 1;
+  }
+  if (s[i] == '-') {
+    sign = -1;
+    i = i + 1;
+  }
+  while (mini_isdigit(s[i])) {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v * sign;
+}
+
+int mini_itoa(int v, char *out) {
+  char tmp[24];
+  int i = 0;
+  int t = 0;
+  if (v < 0) {
+    out[i] = '-';
+    i = i + 1;
+    v = -v;
+  }
+  if (v == 0) {
+    tmp[t] = '0';
+    t = t + 1;
+  }
+  while (v > 0) {
+    tmp[t] = '0' + v % 10;
+    t = t + 1;
+    v = v / 10;
+  }
+  while (t > 0) {
+    t = t - 1;
+    out[i] = tmp[t];
+    i = i + 1;
+  }
+  out[i] = 0;
+  return i;
+}
+
+int mini_find_char(char *s, int c) {
+  int i = 0;
+  while (s[i] != 0) {
+    if (s[i] == c) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+// Finds `needle` inside the first `len` bytes of `hay`; returns offset or -1.
+int mini_find_str(char *hay, int len, char *needle) {
+  int nlen = mini_strlen(needle);
+  if (nlen == 0) {
+    return 0;
+  }
+  int i = 0;
+  while (i + nlen <= len) {
+    int j = 0;
+    while (j < nlen && hay[i + j] == needle[j]) {
+      j = j + 1;
+    }
+    if (j == nlen) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+int mini_starts_with(char *s, char *prefix) {
+  int i = 0;
+  while (prefix[i] != 0) {
+    if (s[i] != prefix[i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+// Reads one byte at a time until newline/EOF. Returns bytes read.
+int mini_readline(int fd, char *buf, int cap) {
+  int n = 0;
+  while (n < cap - 1) {
+    int r = read(fd, &buf[n], 1);
+    if (r <= 0) {
+      break;
+    }
+    if (buf[n] == '\n') {
+      n = n + 1;
+      break;
+    }
+    n = n + 1;
+  }
+  buf[n] = 0;
+  return n;
+}
+
+int mini_min(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int mini_max(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+// All-octal-digit check used by the coreutils mode parsers.
+int mini_all_octal(char *s) {
+  int i = 0;
+  if (s[0] == 0) {
+    return 0;
+  }
+  while (s[i] != 0) {
+    if (s[i] < '0' || s[i] > '7') {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+// Program startup bookkeeping: version banner, locale table, config hash.
+// Models the concrete (input-independent) work real programs do before
+// touching their arguments — the gray mass of the paper's Figure 1.
+char g_mini_banner[64];
+int g_mini_locale[32];
+
+int mini_startup(char *progname) {
+  int n = mini_strcpy(g_mini_banner, progname);
+  n = n + mini_strcat(g_mini_banner, " (retrace coreutils) 8.");
+  char rev[8];
+  mini_itoa(32, rev);
+  mini_strcat(g_mini_banner, rev);
+  for (int i = 0; i < 32; i = i + 1) {
+    g_mini_locale[i] = (i * 37 + 11) % 64;
+  }
+  int hash = 5381;
+  int k = 0;
+  while (g_mini_banner[k] != 0) {
+    hash = (hash * 33 + g_mini_banner[k]) % 16777213;
+    k = k + 1;
+  }
+  for (int i = 0; i < 32; i = i + 1) {
+    if (g_mini_locale[i] % 2 == 0) {
+      hash = hash + g_mini_locale[i];
+    } else {
+      hash = hash - 1;
+    }
+  }
+  return hash;
+}
+)mc");
+  return *kSource;
+}
+
+WorkloadSources Listing1Workload() {
+  return WorkloadSources{
+      "listing1",
+      R"mc(
+// The paper's Listing 1: computes a fibonacci number selected by the
+// program option. Only the two option tests are symbolic branches; the
+// thousands of branches inside fibonacci() are concrete.
+int fibonacci(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fibonacci(n - 1) + fibonacci(n - 2);
+}
+
+int main(int argc, char **argv) {
+  char option = 0;
+  if (argc > 1) {
+    option = argv[1][0];
+  }
+  int result = 0;
+  if (option == 'a') {
+    result = fibonacci(18);
+  } else if (option == 'b') {
+    result = fibonacci(21);
+  }
+  print_int(result);
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources LoopMicroWorkload() {
+  return WorkloadSources{
+      "loop_micro",
+      R"mc(
+// §5.1 microbenchmark: a counting loop whose bound comes from argv. The
+// loop-condition branch executes once per iteration.
+int main(int argc, char **argv) {
+  int n = 1000000;
+  if (argc > 1) {
+    n = mini_atoi(argv[1]);
+  }
+  int i = 0;
+  int sum = 0;
+  while (i < n) {
+    sum = sum + i;
+    i = i + 1;
+  }
+  print_int(sum);
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources MkdirWorkload() {
+  return WorkloadSources{
+      "mkdir",
+      R"mc(
+// mkdir [-p] [-v] [-m MODE] DIR...
+// Bug (modeled on the KLEE-era mkdir crash): parse_mode copies the mode
+// string into a fixed 8-byte buffer without a bound check.
+int g_pflag = 0;
+int g_verbose = 0;
+
+int parse_mode(char *s) {
+  char buf[8];
+  int i = 0;
+  while (s[i] != 0) {
+    buf[i] = s[i];
+    i = i + 1;
+  }
+  buf[i] = 0;
+  if (!mini_all_octal(buf)) {
+    return -1;
+  }
+  int mode = 0;
+  int j = 0;
+  while (buf[j] != 0) {
+    mode = mode * 8 + (buf[j] - '0');
+    j = j + 1;
+  }
+  return mode;
+}
+
+int do_mkdir(char *path, int mode) {
+  if (mini_strlen(path) == 0) {
+    return -1;
+  }
+  if (g_verbose) {
+    print_str("mkdir: created directory '");
+    print_str(path);
+    print_str("'\n");
+  }
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  mini_startup(argv[0]);
+  int mode = 493;
+  int made = 0;
+  int i = 1;
+  while (i < argc) {
+    char *arg = argv[i];
+    if (arg[0] == '-' && arg[1] != 0) {
+      if (arg[1] == 'p' && arg[2] == 0) {
+        g_pflag = 1;
+      } else if (arg[1] == 'v' && arg[2] == 0) {
+        g_verbose = 1;
+      } else if (arg[1] == 'm' && arg[2] == 0) {
+        i = i + 1;
+        if (i >= argc) {
+          print_str("mkdir: option requires an argument -- 'm'\n");
+          exit(1);
+        }
+        mode = parse_mode(argv[i]);
+        if (mode < 0) {
+          print_str("mkdir: invalid mode\n");
+          exit(1);
+        }
+      } else {
+        print_str("mkdir: invalid option\n");
+        exit(1);
+      }
+    } else {
+      if (do_mkdir(arg, mode) == 0) {
+        made = made + 1;
+      }
+    }
+    i = i + 1;
+  }
+  if (made == 0) {
+    print_str("mkdir: missing operand\n");
+    exit(1);
+  }
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources MknodWorkload() {
+  return WorkloadSources{
+      "mknod",
+      R"mc(
+// mknod NAME TYPE [MAJOR MINOR]
+// Bug: for block/char devices the major/minor arguments are read without
+// re-checking argc, indexing past the end of argv.
+int check_special(char **argv, int argc, int idx) {
+  char t = argv[idx][0];
+  if (argv[idx][1] != 0) {
+    return -1;
+  }
+  if (t == 'b' || t == 'c' || t == 'u') {
+    int major = mini_atoi(argv[idx + 1]);
+    int minor = mini_atoi(argv[idx + 2]);
+    if (major < 0 || minor < 0) {
+      return -1;
+    }
+    if (major > 4095 || minor > 1048575) {
+      return -1;
+    }
+    return major * 1048576 + minor;
+  }
+  if (t == 'p') {
+    return 0;
+  }
+  return -1;
+}
+
+int main(int argc, char **argv) {
+  mini_startup(argv[0]);
+  int i = 1;
+  int mode = 438;
+  while (i < argc && argv[i][0] == '-' && argv[i][1] != 0) {
+    if (argv[i][1] == 'm' && argv[i][2] == 0) {
+      i = i + 1;
+      if (i >= argc) {
+        print_str("mknod: option requires an argument -- 'm'\n");
+        exit(1);
+      }
+      if (!mini_all_octal(argv[i])) {
+        print_str("mknod: invalid mode\n");
+        exit(1);
+      }
+      mode = mini_atoi(argv[i]);
+    } else {
+      print_str("mknod: invalid option\n");
+      exit(1);
+    }
+    i = i + 1;
+  }
+  if (argc - i < 2) {
+    print_str("mknod: missing operand\n");
+    exit(1);
+  }
+  char *name = argv[i];
+  if (mini_strlen(name) == 0) {
+    print_str("mknod: empty name\n");
+    exit(1);
+  }
+  int dev = check_special(argv, argc, i + 1);
+  if (dev < 0) {
+    print_str("mknod: invalid device specification\n");
+    exit(1);
+  }
+  print_str("mknod: created ");
+  print_str(name);
+  print_str("\n");
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources MkfifoWorkload() {
+  return WorkloadSources{
+      "mkfifo",
+      R"mc(
+// mkfifo [-m MODE] NAME...
+// Bug: the invalid-mode error path copies the offending string into a
+// 16-byte message buffer with the wrong bound.
+int report_bad_mode(char *s) {
+  char msg[16];
+  mini_strcpy(msg, "bad mode: ");
+  int base = 10;
+  int i = 0;
+  while (s[i] != 0 && i < 16) {
+    msg[base + i] = s[i];
+    i = i + 1;
+  }
+  msg[base + i] = 0;
+  print_str("mkfifo: ");
+  print_str(msg);
+  print_str("\n");
+  return -1;
+}
+
+int parse_mode(char *s) {
+  if (!mini_all_octal(s)) {
+    return report_bad_mode(s);
+  }
+  if (mini_strlen(s) > 4) {
+    return report_bad_mode(s);
+  }
+  int mode = 0;
+  int i = 0;
+  while (s[i] != 0) {
+    mode = mode * 8 + (s[i] - '0');
+    i = i + 1;
+  }
+  return mode;
+}
+
+int main(int argc, char **argv) {
+  mini_startup(argv[0]);
+  int mode = 438;
+  int made = 0;
+  int i = 1;
+  while (i < argc) {
+    char *arg = argv[i];
+    if (arg[0] == '-' && arg[1] == 'm' && arg[2] == 0) {
+      i = i + 1;
+      if (i >= argc) {
+        print_str("mkfifo: option requires an argument -- 'm'\n");
+        exit(1);
+      }
+      mode = parse_mode(argv[i]);
+      if (mode < 0) {
+        exit(1);
+      }
+    } else if (arg[0] == '-' && arg[1] != 0) {
+      print_str("mkfifo: invalid option\n");
+      exit(1);
+    } else {
+      if (mini_strlen(arg) > 0) {
+        print_str("mkfifo: created fifo '");
+        print_str(arg);
+        print_str("'\n");
+        made = made + 1;
+      }
+    }
+    i = i + 1;
+  }
+  if (made == 0) {
+    print_str("mkfifo: missing operand\n");
+    exit(1);
+  }
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources PasteWorkload() {
+  return WorkloadSources{
+      "paste",
+      R"mc(
+// paste [-d LIST] OPERAND...
+// Bug (the real paste -d'\' crash): the delimiter-expansion loop skips two
+// characters after a backslash, walking past the terminating NUL when the
+// backslash is the final character.
+char g_delims[32];
+int g_ndelims = 0;
+
+int expand_delims(char *spec) {
+  int i = 0;
+  int j = 0;
+  while (spec[i] != 0) {
+    char c = spec[i];
+    if (c == '\\') {
+      char e = spec[i + 1];
+      if (e == 'n') {
+        g_delims[j] = '\n';
+      } else if (e == 't') {
+        g_delims[j] = '\t';
+      } else if (e == '0') {
+        g_delims[j] = 0;
+      } else {
+        g_delims[j] = e;
+      }
+      i = i + 2;
+    } else {
+      g_delims[j] = c;
+      i = i + 1;
+    }
+    j = j + 1;
+    if (j >= 32) {
+      return -1;
+    }
+  }
+  return j;
+}
+
+char g_out[512];
+
+int main(int argc, char **argv) {
+  mini_startup(argv[0]);
+  g_delims[0] = '\t';
+  g_ndelims = 1;
+  int i = 1;
+  if (i < argc && argv[i][0] == '-' && argv[i][1] == 'd' && argv[i][2] == 0) {
+    i = i + 1;
+    if (i >= argc) {
+      print_str("paste: option requires an argument -- 'd'\n");
+      exit(1);
+    }
+    g_ndelims = expand_delims(argv[i]);
+    if (g_ndelims <= 0) {
+      print_str("paste: bad delimiter list\n");
+      exit(1);
+    }
+    i = i + 1;
+  }
+  if (i >= argc) {
+    print_str("paste: missing operand\n");
+    exit(1);
+  }
+  int o = 0;
+  int d = 0;
+  while (i < argc) {
+    char *op = argv[i];
+    int k = 0;
+    while (op[k] != 0 && o < 510) {
+      g_out[o] = op[k];
+      o = o + 1;
+      k = k + 1;
+    }
+    if (i + 1 < argc && o < 510) {
+      g_out[o] = g_delims[d];
+      o = o + 1;
+      d = d + 1;
+      if (d >= g_ndelims) {
+        d = 0;
+      }
+    }
+    i = i + 1;
+  }
+  g_out[o] = '\n';
+  g_out[o + 1] = 0;
+  print_str(g_out);
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources GetWorkload(const std::string& name) {
+  if (name == "listing1") {
+    return Listing1Workload();
+  }
+  if (name == "loop_micro") {
+    return LoopMicroWorkload();
+  }
+  if (name == "mkdir") {
+    return MkdirWorkload();
+  }
+  if (name == "mknod") {
+    return MknodWorkload();
+  }
+  if (name == "mkfifo") {
+    return MkfifoWorkload();
+  }
+  if (name == "paste") {
+    return PasteWorkload();
+  }
+  if (name == "diff") {
+    return DiffWorkload();
+  }
+  if (name == "userver") {
+    return UserverWorkload();
+  }
+  FatalError("unknown workload: " + name);
+}
+
+}  // namespace retrace

@@ -1,0 +1,44 @@
+// The paper's benchmark programs, rewritten in MiniC.
+//
+// Each workload is an application source plus the `libmini` library unit —
+// the uClibc stand-in providing string/format routines. Library functions
+// execute far more branch instances than application code (the paper
+// measures 81% of uServer branch executions inside uClibc), which is what
+// makes the static-analysis library-opaque mode expensive.
+//
+// The four coreutils carry bugs modeled on the real KLEE-reported crashes
+// the paper reproduces: unchecked buffer copies in option parsing (mkdir,
+// mkfifo), a missing argc check (mknod), and paste's trailing-backslash
+// delimiter walk off the end of the argument.
+#ifndef RETRACE_WORKLOADS_WORKLOADS_H_
+#define RETRACE_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+namespace retrace {
+
+struct WorkloadSources {
+  std::string name;
+  std::string app;
+  std::vector<std::string> libs;
+};
+
+// The shared library unit (string/ctype/format/IO helpers).
+const std::string& LibminiSource();
+
+WorkloadSources Listing1Workload();   // The paper's fibonacci example.
+WorkloadSources LoopMicroWorkload();  // §5.1 counting-loop microbenchmark.
+WorkloadSources MkdirWorkload();
+WorkloadSources MknodWorkload();
+WorkloadSources MkfifoWorkload();
+WorkloadSources PasteWorkload();
+WorkloadSources DiffWorkload();
+WorkloadSources UserverWorkload();
+
+// Lookup by name ("mkdir", "diff", "userver", ...). Fatal on unknown name.
+WorkloadSources GetWorkload(const std::string& name);
+
+}  // namespace retrace
+
+#endif  // RETRACE_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,525 @@
+#include "src/workloads/workloads.h"
+
+namespace retrace {
+
+WorkloadSources DiffWorkload() {
+  return WorkloadSources{
+      "diff",
+      R"mc(
+// diff FILE_A FILE_B
+// Line-based diff via longest-common-subsequence, printing "< " / "> "
+// hunks. Input-intensive: every branch of the line comparison and the DP
+// depends on file contents, which is what makes diff hard for dynamic
+// analysis (paper §5.4: 20% coverage after an hour).
+//
+// Bug: the hunk bookkeeping array holds 4 entries; executions producing
+// more change-hunks overflow it.
+char g_buf_a[2048];
+char g_buf_b[2048];
+int g_off_a[64];
+int g_off_b[64];
+int g_len_a[64];
+int g_len_b[64];
+int g_dp[4356];
+int g_ops[160];
+int g_hunks[4];
+char g_line[160];
+
+int read_file(char *path, char *buf, int cap) {
+  int fd = open(path, 0);
+  if (fd < 0) {
+    print_str("diff: cannot open ");
+    print_str(path);
+    print_str("\n");
+    exit(2);
+  }
+  int total = 0;
+  int r = read(fd, &buf[0], cap - 1);
+  while (r > 0) {
+    total = total + r;
+    if (total >= cap - 1) {
+      break;
+    }
+    r = read(fd, &buf[total], cap - 1 - total);
+  }
+  buf[total] = 0;
+  close(fd);
+  return total;
+}
+
+int split_lines(char *buf, int len, int *offs, int *lens, int maxlines) {
+  int n = 0;
+  int start = 0;
+  int i = 0;
+  while (i < len) {
+    if (buf[i] == '\n') {
+      if (n >= maxlines) {
+        return n;
+      }
+      offs[n] = start;
+      lens[n] = i - start;
+      n = n + 1;
+      start = i + 1;
+    }
+    i = i + 1;
+  }
+  if (start < len) {
+    if (n >= maxlines) {
+      return n;
+    }
+    offs[n] = start;
+    lens[n] = len - start;
+    n = n + 1;
+  }
+  return n;
+}
+
+int lines_equal(int ai, int bi) {
+  if (g_len_a[ai] != g_len_b[bi]) {
+    return 0;
+  }
+  int i = 0;
+  while (i < g_len_a[ai]) {
+    if (g_buf_a[g_off_a[ai] + i] != g_buf_b[g_off_b[bi] + i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int print_line(char *tag, char *buf, int off, int len) {
+  int n = mini_strcpy(g_line, tag);
+  int i = 0;
+  while (i < len && n < 158) {
+    g_line[n] = buf[off + i];
+    n = n + 1;
+    i = i + 1;
+  }
+  g_line[n] = '\n';
+  g_line[n + 1] = 0;
+  print_str(g_line);
+  return n;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    print_str("usage: diff FILE_A FILE_B\n");
+    exit(2);
+  }
+  int la = read_file(argv[1], g_buf_a, 2048);
+  int lb = read_file(argv[2], g_buf_b, 2048);
+  int n = split_lines(g_buf_a, la, g_off_a, g_len_a, 64);
+  int m = split_lines(g_buf_b, lb, g_off_b, g_len_b, 64);
+
+  // LCS dynamic program over lines; stride 66 accommodates 64+1 columns.
+  int i;
+  int j;
+  for (i = 0; i <= n; i = i + 1) {
+    for (j = 0; j <= m; j = j + 1) {
+      g_dp[i * 66 + j] = 0;
+    }
+  }
+  for (i = 1; i <= n; i = i + 1) {
+    for (j = 1; j <= m; j = j + 1) {
+      if (lines_equal(i - 1, j - 1)) {
+        g_dp[i * 66 + j] = g_dp[(i - 1) * 66 + (j - 1)] + 1;
+      } else {
+        int up = g_dp[(i - 1) * 66 + j];
+        int left = g_dp[i * 66 + (j - 1)];
+        g_dp[i * 66 + j] = mini_max(up, left);
+      }
+    }
+  }
+
+  // Backtrack into an edit script (0 = keep, 1 = delete from A, 2 = add
+  // from B), recorded backwards.
+  int t = 0;
+  i = n;
+  j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 && lines_equal(i - 1, j - 1)) {
+      g_ops[t] = 0;
+      i = i - 1;
+      j = j - 1;
+    } else if (j > 0 && (i == 0 || g_dp[i * 66 + (j - 1)] >= g_dp[(i - 1) * 66 + j])) {
+      g_ops[t] = 2;
+      j = j - 1;
+    } else {
+      g_ops[t] = 1;
+      i = i - 1;
+    }
+    t = t + 1;
+  }
+
+  // Replay the script forwards, printing hunks. g_hunks records the A-line
+  // where each hunk starts -- with no bound check (the bug).
+  int ai = 0;
+  int bi = 0;
+  int nhunks = 0;
+  int in_hunk = 0;
+  int k = t - 1;
+  while (k >= 0) {
+    int op = g_ops[k];
+    if (op == 0) {
+      in_hunk = 0;
+      ai = ai + 1;
+      bi = bi + 1;
+    } else {
+      if (!in_hunk) {
+        g_hunks[nhunks] = ai + 1;
+        nhunks = nhunks + 1;
+        in_hunk = 1;
+      }
+      if (op == 1) {
+        print_line("< ", g_buf_a, g_off_a[ai], g_len_a[ai]);
+        ai = ai + 1;
+      } else {
+        print_line("> ", g_buf_b, g_off_b[bi], g_len_b[bi]);
+        bi = bi + 1;
+      }
+    }
+    k = k - 1;
+  }
+  print_str("hunks: ");
+  print_int(nhunks);
+  print_str("\n");
+  if (nhunks == 0) {
+    exit(0);
+  }
+  return 1;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+WorkloadSources UserverWorkload() {
+  return WorkloadSources{
+      "userver",
+      R"mc(
+// userver: an event-driven (select-loop) HTTP server modeled on the
+// uServer the paper evaluates. One listen descriptor, up to 8 concurrent
+// connections, a full request parser (method, path, query, version,
+// Host/Cookie/Content-Length headers, POST bodies) and response writer.
+//
+// The experiment crash is delivered externally: the environment raises a
+// pending signal (poll_signal() returns 1) after the scripted requests,
+// and the handler calls crash() at a fixed location -- the SIGSEGV
+// stand-in of paper §5.3.
+int g_conn_fds[8];
+int g_conn_len[8];
+char g_conn_buf[4096];
+int g_handled = 0;
+int g_idle = 0;
+char g_resp[768];
+char g_body[512];
+char g_path[128];
+char g_query[128];
+char g_cookie[64];
+char g_host[64];
+char g_num[24];
+
+int find_slot() {
+  for (int i = 0; i < 8; i = i + 1) {
+    if (g_conn_fds[i] < 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// Copies the value of "NAME: value\r\n" into out; returns value length or -1.
+int header_value(char *buf, int len, char *name, char *out, int cap) {
+  int pos = mini_find_str(buf, len, name);
+  if (pos < 0) {
+    out[0] = 0;
+    return -1;
+  }
+  int i = pos + mini_strlen(name);
+  while (i < len && buf[i] == ' ') {
+    i = i + 1;
+  }
+  int n = 0;
+  while (i < len && buf[i] != '\r' && buf[i] != '\n' && n < cap - 1) {
+    out[n] = buf[i];
+    n = n + 1;
+    i = i + 1;
+  }
+  out[n] = 0;
+  return n;
+}
+
+// 0 = incomplete, otherwise total request length including body.
+int request_complete(char *buf, int len) {
+  int hdr_end = mini_find_str(buf, len, "\r\n\r\n");
+  if (hdr_end < 0) {
+    return 0;
+  }
+  int total = hdr_end + 4;
+  if (mini_strncmp(buf, "POST ", 5) == 0) {
+    char clbuf[16];
+    if (header_value(buf, total, "Content-Length:", clbuf, 16) > 0) {
+      int cl = mini_atoi(clbuf);
+      if (cl < 0 || cl > 2048) {
+        return total;
+      }
+      if (len < total + cl) {
+        return 0;
+      }
+      total = total + cl;
+    }
+  }
+  return total;
+}
+
+int count_query_params(char *q) {
+  if (q[0] == 0) {
+    return 0;
+  }
+  int n = 1;
+  int i = 0;
+  while (q[i] != 0) {
+    if (q[i] == '&') {
+      n = n + 1;
+    }
+    i = i + 1;
+  }
+  return n;
+}
+
+char g_logbuf[96];
+int g_seq = 0;
+
+// Access log: one line per response, written to stderr. Everything in the
+// line is input-independent (sequence number, status code), so this is the
+// concrete per-request work a production server does alongside parsing.
+int access_log(int status) {
+  g_seq = g_seq + 1;
+  int n = mini_strcpy(g_logbuf, "userver[");
+  char num[24];
+  mini_itoa(g_seq, num);
+  n = mini_strcat(g_logbuf, num);
+  n = mini_strcat(g_logbuf, "] status=");
+  mini_itoa(status, num);
+  n = mini_strcat(g_logbuf, num);
+  n = mini_strcat(g_logbuf, " proto=HTTP/1.0 served-by=worker-0");
+  g_logbuf[n] = '\n';
+  g_logbuf[n + 1] = 0;
+  write(2, g_logbuf, n + 1);
+  return n;
+}
+
+int send_response(int fd, int status, char *reason, char *body) {
+  access_log(status);
+  int n = mini_strcpy(g_resp, "HTTP/1.0 ");
+  n = n + mini_itoa(status, g_num);
+  mini_strcat(g_resp, g_num);
+  mini_strcat(g_resp, " ");
+  mini_strcat(g_resp, reason);
+  mini_strcat(g_resp, "\r\nContent-Length: ");
+  mini_itoa(mini_strlen(body), g_num);
+  mini_strcat(g_resp, g_num);
+  mini_strcat(g_resp, "\r\nServer: userver-mini\r\n\r\n");
+  int total = mini_strcat(g_resp, body);
+  write(fd, g_resp, total);
+  return total;
+}
+
+int route_request(int fd, int is_head) {
+  if (mini_streq(g_path, "/")) {
+    mini_strcpy(g_body, "<html>index");
+    if (g_cookie[0] != 0) {
+      mini_strcat(g_body, " cookie=");
+      mini_strcat(g_body, g_cookie);
+    }
+    mini_strcat(g_body, "</html>");
+    if (is_head) {
+      g_body[0] = 0;
+    }
+    return send_response(fd, 200, "OK", g_body);
+  }
+  if (mini_streq(g_path, "/about")) {
+    mini_strcpy(g_body, "userver-mini: a select-loop web server");
+    return send_response(fd, 200, "OK", g_body);
+  }
+  if (mini_starts_with(g_path, "/static/")) {
+    int q = count_query_params(g_query);
+    mini_strcpy(g_body, "static:");
+    mini_strcat(g_body, &g_path[8]);
+    if (q > 0) {
+      mini_strcat(g_body, " params=");
+      mini_itoa(q, g_num);
+      mini_strcat(g_body, g_num);
+    }
+    return send_response(fd, 200, "OK", g_body);
+  }
+  if (mini_streq(g_path, "/secret")) {
+    mini_strcpy(g_body, "forbidden");
+    return send_response(fd, 403, "Forbidden", g_body);
+  }
+  mini_strcpy(g_body, "not found");
+  return send_response(fd, 404, "Not Found", g_body);
+}
+
+int parse_and_respond(int fd, char *buf, int len) {
+  int is_head = 0;
+  int is_post = 0;
+  int off = 0;
+  if (mini_strncmp(buf, "GET ", 4) == 0) {
+    off = 4;
+  } else if (mini_strncmp(buf, "POST ", 5) == 0) {
+    off = 5;
+    is_post = 1;
+  } else if (mini_strncmp(buf, "HEAD ", 5) == 0) {
+    off = 5;
+    is_head = 1;
+  } else {
+    mini_strcpy(g_body, "bad method");
+    return send_response(fd, 501, "Not Implemented", g_body);
+  }
+  // Path (up to '?' or space).
+  int p = 0;
+  g_query[0] = 0;
+  while (off < len && buf[off] != ' ' && buf[off] != '?' && buf[off] != '\r') {
+    if (p >= 126) {
+      mini_strcpy(g_body, "uri too long");
+      return send_response(fd, 414, "URI Too Long", g_body);
+    }
+    g_path[p] = buf[off];
+    p = p + 1;
+    off = off + 1;
+  }
+  g_path[p] = 0;
+  if (p == 0 || g_path[0] != '/') {
+    mini_strcpy(g_body, "bad path");
+    return send_response(fd, 400, "Bad Request", g_body);
+  }
+  // Query string.
+  if (off < len && buf[off] == '?') {
+    off = off + 1;
+    int q = 0;
+    while (off < len && buf[off] != ' ' && buf[off] != '\r' && q < 126) {
+      g_query[q] = buf[off];
+      q = q + 1;
+      off = off + 1;
+    }
+    g_query[q] = 0;
+  }
+  // Version.
+  while (off < len && buf[off] == ' ') {
+    off = off + 1;
+  }
+  if (mini_strncmp(&buf[off], "HTTP/1.", 7) != 0) {
+    mini_strcpy(g_body, "bad version");
+    return send_response(fd, 505, "Version Not Supported", g_body);
+  }
+  // Headers.
+  header_value(buf, len, "Host:", g_host, 64);
+  header_value(buf, len, "Cookie:", g_cookie, 64);
+  if (g_host[0] == 0) {
+    mini_strcpy(g_body, "missing host");
+    return send_response(fd, 400, "Bad Request", g_body);
+  }
+  if (is_post) {
+    char clbuf[16];
+    int have_cl = header_value(buf, len, "Content-Length:", clbuf, 16);
+    if (have_cl <= 0) {
+      mini_strcpy(g_body, "length required");
+      return send_response(fd, 411, "Length Required", g_body);
+    }
+    int cl = mini_atoi(clbuf);
+    mini_strcpy(g_body, "posted bytes=");
+    mini_itoa(cl, g_num);
+    mini_strcat(g_body, g_num);
+    return send_response(fd, 200, "OK", g_body);
+  }
+  return route_request(fd, is_head);
+}
+
+int handle_conn(int slot) {
+  int fd = g_conn_fds[slot];
+  int off = slot * 512;
+  int cap = 512 - g_conn_len[slot] - 1;
+  if (cap <= 0) {
+    close(fd);
+    g_conn_fds[slot] = -1;
+    return 0;
+  }
+  int r = read(fd, &g_conn_buf[off + g_conn_len[slot]], cap);
+  if (r <= 0) {
+    close(fd);
+    g_conn_fds[slot] = -1;
+    return 0;
+  }
+  g_conn_len[slot] = g_conn_len[slot] + r;
+  g_conn_buf[off + g_conn_len[slot]] = 0;
+  int total = request_complete(&g_conn_buf[off], g_conn_len[slot]);
+  if (total == 0) {
+    return 0;
+  }
+  parse_and_respond(fd, &g_conn_buf[off], g_conn_len[slot]);
+  g_handled = g_handled + 1;
+  close(fd);
+  g_conn_fds[slot] = -1;
+  return 1;
+}
+
+int main(int argc, char **argv) {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    g_conn_fds[i] = -1;
+    g_conn_len[i] = 0;
+  }
+  int fds[9];
+  while (1) {
+    if (poll_signal()) {
+      crash(7);
+    }
+    int n = 0;
+    fds[n] = 3;
+    n = n + 1;
+    for (i = 0; i < 8; i = i + 1) {
+      if (g_conn_fds[i] >= 0) {
+        fds[n] = g_conn_fds[i];
+        n = n + 1;
+      }
+    }
+    int ready = select_fd(fds, n);
+    if (ready < 0) {
+      g_idle = g_idle + 1;
+      if (g_idle > 12) {
+        exit(0);
+      }
+      continue;
+    }
+    g_idle = 0;
+    if (fds[ready] == 3) {
+      int conn = accept_conn(3);
+      if (conn >= 0) {
+        int slot = find_slot();
+        if (slot < 0) {
+          close(conn);
+        } else {
+          g_conn_fds[slot] = conn;
+          g_conn_len[slot] = 0;
+        }
+      }
+      continue;
+    }
+    int slot = -1;
+    for (i = 0; i < 8; i = i + 1) {
+      if (g_conn_fds[i] == fds[ready]) {
+        slot = i;
+      }
+    }
+    if (slot >= 0) {
+      handle_conn(slot);
+    }
+  }
+  return 0;
+}
+)mc",
+      {LibminiSource()}};
+}
+
+}  // namespace retrace

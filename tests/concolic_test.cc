@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/concolic/engine.h"
+#include "src/workloads/scenarios.h"
+#include "src/workloads/workloads.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+// Branch ids whose label matches, mapped to source lines for assertions.
+std::vector<int> LinesWithLabel(const IrModule& module, const AnalysisResult& result,
+                                BranchLabel label) {
+  std::vector<int> lines;
+  for (const BranchInfo& branch : module.branches) {
+    if (result.labels[branch.id] == label) {
+      lines.push_back(branch.loc.line);
+    }
+  }
+  return lines;
+}
+
+TEST(ConcolicTest, ListingOneLabels) {
+  const WorkloadSources sources = Listing1Workload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  AnalysisConfig config;
+  config.max_runs = 32;
+  const AnalysisResult result = engine.Analyze(Listing1Spec('a'), config);
+
+  // The two option comparisons are symbolic; the fibonacci recursion branch
+  // is concrete; at least one path was explored for each option.
+  size_t symbolic_app = 0;
+  size_t concrete_app = 0;
+  for (const BranchInfo& branch : c.module->branches) {
+    if (branch.is_library) {
+      continue;
+    }
+    if (result.labels[branch.id] == BranchLabel::kSymbolic) {
+      ++symbolic_app;
+    }
+    if (result.labels[branch.id] == BranchLabel::kConcrete) {
+      ++concrete_app;
+    }
+  }
+  // App branches: argc > 1, option == 'a', option == 'b', fib's n < 2.
+  EXPECT_EQ(symbolic_app, 2u);  // The two option tests ('argc > 1' is shape-concrete).
+  EXPECT_GE(concrete_app, 2u);  // fib condition + argc test.
+  EXPECT_GT(result.runs, 2u);
+}
+
+TEST(ConcolicTest, ExplorationDiscoversBothOptions) {
+  // Exploration must reach fibonacci through both 'a' and 'b' (different
+  // fib arguments -> both option branches flip during search).
+  const WorkloadSources sources = Listing1Workload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  AnalysisConfig config;
+  config.max_runs = 32;
+  config.start_from_defaults = false;  // Random initial input.
+  config.seed = 3;
+  const AnalysisResult result = engine.Analyze(Listing1Spec('x'), config);
+  // The option=='b' branch can only be *executed* if option!='a'; seeing it
+  // labeled symbolic proves the else path ran; full exploration proves both.
+  EXPECT_EQ(result.CountLabel(BranchLabel::kSymbolic) >= 2, true);
+}
+
+TEST(ConcolicTest, BudgetLimitsCoverage) {
+  const WorkloadSources sources = UserverWorkload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+
+  AnalysisConfig low;
+  low.max_runs = 2;
+  const AnalysisResult lc = engine.Analyze(UserverExploreSpec(), low);
+
+  AnalysisConfig high;
+  high.max_runs = 40;
+  const AnalysisResult hc = engine.Analyze(UserverExploreSpec(), high);
+
+  EXPECT_LE(lc.Coverage(), hc.Coverage());
+  EXPECT_GE(hc.CountLabel(BranchLabel::kSymbolic), lc.CountLabel(BranchLabel::kSymbolic));
+  EXPECT_GT(hc.Coverage(), 0.0);
+  EXPECT_LT(hc.Coverage(), 1.0);  // The server is too big to cover fully.
+}
+
+TEST(ConcolicTest, ConcreteUpgradableToSymbolic) {
+  // g starts concrete; after the first branch the loop bound becomes
+  // input-dependent on some paths, so the loop branch must end symbolic.
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      int n = 3;
+      if (argv[1][0] == 'y') { n = argv[1][1]; }
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+      return s;
+    }
+  )");
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  InputSpec spec;
+  spec.argv = {"prog", "nn"};
+  spec.world.listen_fd = -1;
+  AnalysisConfig config;
+  config.max_runs = 16;
+  const AnalysisResult result = engine.Analyze(spec, config);
+  // Loop-condition branch: concrete on the first run (n == 3), symbolic
+  // once exploration flips argv[1][0] to 'y'.
+  const std::vector<int> symbolic = LinesWithLabel(*c.module, result, BranchLabel::kSymbolic);
+  EXPECT_GE(symbolic.size(), 2u);
+}
+
+TEST(ConcolicTest, ProfileRunCountsExecutions) {
+  const WorkloadSources sources = Listing1Workload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  const AnalysisResult result = engine.ProfileRun(Listing1Spec('a'), nullptr);
+  ASSERT_EQ(result.runs, 1u);
+  u64 total_execs = 0;
+  u64 symbolic_execs = 0;
+  for (const BranchStats& stats : result.stats) {
+    total_execs += stats.execs;
+    symbolic_execs += stats.symbolic_execs;
+  }
+  // fib(18) executes thousands of concrete branches; with option 'a' only
+  // the first option test executes (symbolically) — the else-if is skipped.
+  EXPECT_GT(total_execs, 1000u);
+  EXPECT_EQ(symbolic_execs, 1u);
+
+  // With an unmatched option both tests execute symbolically.
+  const AnalysisResult other = engine.ProfileRun(Listing1Spec('q'), nullptr);
+  u64 other_symbolic = 0;
+  for (const BranchStats& stats : other.stats) {
+    other_symbolic += stats.symbolic_execs;
+  }
+  EXPECT_EQ(other_symbolic, 2u);
+}
+
+TEST(ConcolicTest, SymbolicExecutionsNeverExceedTotal) {
+  const WorkloadSources sources = MkdirWorkload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  const Scenario scenario = CoreutilsBenignScenario("mkdir");
+  const AnalysisResult result = engine.ProfileRun(scenario.spec, scenario.policy.get());
+  for (const BranchStats& stats : result.stats) {
+    EXPECT_LE(stats.symbolic_execs, stats.execs);
+  }
+}
+
+}  // namespace
+}  // namespace retrace

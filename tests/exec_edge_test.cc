@@ -1,0 +1,228 @@
+// Edge-case tests for the interpreter and language semantics.
+#include <gtest/gtest.h>
+
+#include "src/exec/interp.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+class NullSyscalls : public SyscallHandler {
+ public:
+  SyscallOutcome OnSyscall(Builtin b, const std::vector<i64>& int_args,
+                           const std::string& str_arg,
+                           const std::vector<u8>& write_data) override {
+    return SyscallOutcome{};
+  }
+};
+
+RunResult RunSrc(std::string_view src, const std::vector<std::string>& argv = {"prog"}) {
+  Compiled c = CompileOrDie(src);
+  if (c.module == nullptr) {
+    return RunResult{};
+  }
+  static NullSyscalls syscalls;
+  Interp interp(*c.module, InterpOptions{});
+  interp.set_syscall_handler(&syscalls);
+  return interp.Run(argv, {});
+}
+
+TEST(ExecEdgeTest, ShiftSemantics) {
+  EXPECT_EQ(RunSrc("int main() { return 1 << 62 >> 60; }").exit_code, 4);
+  // Shift counts are masked to 6 bits (x86-style), keeping Eval total.
+  EXPECT_EQ(RunSrc("int main() { int s = 64; return 3 << s; }").exit_code, 3);
+  EXPECT_EQ(RunSrc("int main() { return -8 >> 1; }").exit_code, -4);  // Arithmetic shift.
+}
+
+TEST(ExecEdgeTest, NegativeDivisionTruncatesTowardZero) {
+  EXPECT_EQ(RunSrc("int main() { return -7 / 2; }").exit_code, -3);
+  EXPECT_EQ(RunSrc("int main() { return -7 % 2; }").exit_code, -1);
+  EXPECT_EQ(RunSrc("int main() { return 7 / -2; }").exit_code, -3);
+}
+
+TEST(ExecEdgeTest, CharParamTruncatesAtCall) {
+  EXPECT_EQ(RunSrc(R"(
+    int get(char c) { return c; }
+    int main() { return get(300); }
+  )").exit_code,
+            44);
+}
+
+TEST(ExecEdgeTest, CharReturnNotTruncatedWhenDeclaredInt) {
+  EXPECT_EQ(RunSrc(R"(
+    int pass(int v) { return v; }
+    int main() { return pass(300); }
+  )").exit_code,
+            300);
+}
+
+TEST(ExecEdgeTest, LogicalOperatorsProduceValues) {
+  EXPECT_EQ(RunSrc("int main() { int x = (3 && 0) + (0 || 7) * 2; return x; }").exit_code, 2);
+  EXPECT_EQ(RunSrc("int main() { int a[2]; int *p = a; return (p && 1) + 1; }").exit_code, 2);
+}
+
+TEST(ExecEdgeTest, IncDecOnMemoryPlaces) {
+  EXPECT_EQ(RunSrc(R"(
+    int main() {
+      int a[3];
+      a[0] = 5;
+      a[0]++;
+      ++a[0];
+      int *p = a;
+      (*p)--;
+      return a[0];
+    }
+  )").exit_code,
+            6);
+}
+
+TEST(ExecEdgeTest, PointerCompoundAssignment) {
+  EXPECT_EQ(RunSrc(R"(
+    int main() {
+      int a[10];
+      for (int i = 0; i < 10; i++) { a[i] = i * 10; }
+      int *p = a;
+      p += 4;
+      p -= 1;
+      return *p;
+    }
+  )").exit_code,
+            30);
+}
+
+TEST(ExecEdgeTest, PointerIncrementWalksString) {
+  EXPECT_EQ(RunSrc(R"(
+    int main() {
+      char s[6];
+      s[0] = 'a'; s[1] = 'b'; s[2] = 'c'; s[3] = 0;
+      char *p = s;
+      int n = 0;
+      while (*p != 0) { n = n + *p; p++; }
+      return n;
+    }
+  )").exit_code,
+            'a' + 'b' + 'c');
+}
+
+TEST(ExecEdgeTest, GlobalScalarInitializers) {
+  EXPECT_EQ(RunSrc(R"(
+    int pos = 40;
+    int neg = -2;
+    char c = 'x';
+    int main() { return pos + neg + (c == 'x'); }
+  )").exit_code,
+            39);
+}
+
+TEST(ExecEdgeTest, AddressTakenGlobalScalar) {
+  EXPECT_EQ(RunSrc(R"(
+    int g = 10;
+    int bump(int *p, int by) { *p = *p + by; return *p; }
+    int main() { bump(&g, 5); bump(&g, 7); return g; }
+  )").exit_code,
+            22);
+}
+
+TEST(ExecEdgeTest, ArgvOutOfBoundsCrashes) {
+  // Reading argv[5] with argc == 2 is an out-of-bounds load on the argv
+  // array object — the mknod bug pattern.
+  const RunResult r = RunSrc(R"(
+    int main(int argc, char **argv) { return argv[5][0]; }
+  )",
+                          {"prog", "x"});
+  ASSERT_EQ(r.status, RunResult::Status::kCrash);
+  EXPECT_EQ(r.crash.kind, CrashSite::Kind::kOutOfBounds);
+}
+
+TEST(ExecEdgeTest, StringLiteralsAreReadable) {
+  EXPECT_EQ(RunSrc(R"(
+    int main() {
+      char *s = "hel\nlo";
+      int n = 0;
+      while (s[n] != 0) { n = n + 1; }
+      return n * 10 + (s[3] == '\n');
+    }
+  )").exit_code,
+            61);
+}
+
+TEST(ExecEdgeTest, NestedBreakContinue) {
+  EXPECT_EQ(RunSrc(R"(
+    int main() {
+      int hits = 0;
+      for (int i = 0; i < 5; i++) {
+        for (int j = 0; j < 5; j++) {
+          if (j > i) { break; }
+          if (j % 2 == 1) { continue; }
+          hits = hits + 1;
+        }
+      }
+      return hits;
+    }
+  )").exit_code,
+            9);
+}
+
+TEST(ExecEdgeTest, CrashSiteIdentityIsStable) {
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      int a[2];
+      if (argv[1][0] == 'x') { a[5] = 1; }
+      a[7] = 2;
+      return 0;
+    }
+  )");
+  NullSyscalls syscalls;
+  Interp interp(*c.module, InterpOptions{});
+  interp.set_syscall_handler(&syscalls);
+  const RunResult first = interp.Run({"prog", "x"}, {});
+  const RunResult second = interp.Run({"prog", "y"}, {});
+  ASSERT_TRUE(first.Crashed());
+  ASSERT_TRUE(second.Crashed());
+  // Different guarded stores -> different crash sites.
+  EXPECT_FALSE(first.crash.SameSite(second.crash));
+  // Same input -> same site.
+  const RunResult again = interp.Run({"prog", "x"}, {});
+  EXPECT_TRUE(first.crash.SameSite(again.crash));
+}
+
+TEST(ExecEdgeTest, VoidFunctionsAndEarlyReturns) {
+  EXPECT_EQ(RunSrc(R"(
+    int g = 0;
+    void tick(int n) {
+      if (n < 0) { return; }
+      g = g + n;
+    }
+    int main() { tick(4); tick(-9); tick(3); return g; }
+  )").exit_code,
+            7);
+}
+
+TEST(ExecEdgeTest, RunStatsPopulated) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i++) { s += i; }
+      print_int(s);
+      return s;
+    }
+  )");
+  NullSyscalls syscalls;
+  Interp interp(*c.module, InterpOptions{});
+  interp.set_syscall_handler(&syscalls);
+  const RunResult r = interp.Run();
+  EXPECT_EQ(r.stats.branch_execs, 11u);  // 10 iterations + exit test.
+  EXPECT_GT(r.stats.instrs, 30u);
+  EXPECT_EQ(r.stats.syscalls, 1u);
+}
+
+TEST(ExecEdgeTest, DeepRecursionWithinLimit) {
+  EXPECT_EQ(RunSrc(R"(
+    int depth(int n) { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+    int main() { return depth(200); }
+  )").exit_code,
+            200);
+}
+
+}  // namespace
+}  // namespace retrace

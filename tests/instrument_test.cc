@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/instrument/recorder.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+// A module with 6 branch locations for plan tests.
+Compiled SixBranchModule() {
+  return CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      if (argv[1][0] == 'a') { return 1; }
+      if (argv[1][1] == 'b') { return 2; }
+      if (argc == 2) { return 3; }
+      for (int i = 0; i < 3; i = i + 1) { }
+      while (argc > 100) { argc = argc - 1; }
+      if (argv[1][2] == 'c') { return 4; }
+      return 0;
+    }
+  )");
+}
+
+TEST(PlanTest, AllBranchesInstrumentsEverything) {
+  Compiled c = SixBranchModule();
+  const InstrumentationPlan plan =
+      BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  EXPECT_EQ(plan.NumInstrumented(), c.module->branches.size());
+}
+
+TEST(PlanTest, DynamicUsesOnlySymbolicLabels) {
+  Compiled c = SixBranchModule();
+  std::vector<BranchLabel> labels(c.module->branches.size(), BranchLabel::kUnvisited);
+  labels[0] = BranchLabel::kSymbolic;
+  labels[1] = BranchLabel::kConcrete;
+  const InstrumentationPlan plan =
+      BuildPlan(*c.module, InstrumentMethod::kDynamic, &labels, nullptr);
+  EXPECT_EQ(plan.NumInstrumented(), 1u);
+  EXPECT_TRUE(plan.Instrumented(0));
+}
+
+TEST(PlanTest, StaticUsesStaticBitset) {
+  Compiled c = SixBranchModule();
+  StaticAnalysisResult stat;
+  stat.symbolic_branches = DenseBitset(c.module->branches.size());
+  stat.symbolic_branches.Set(2);
+  stat.symbolic_branches.Set(4);
+  const InstrumentationPlan plan =
+      BuildPlan(*c.module, InstrumentMethod::kStatic, nullptr, &stat);
+  EXPECT_EQ(plan.NumInstrumented(), 2u);
+}
+
+TEST(PlanTest, CombinedRule) {
+  Compiled c = SixBranchModule();
+  const size_t n = c.module->branches.size();
+  ASSERT_GE(n, 4u);
+  std::vector<BranchLabel> labels(n, BranchLabel::kUnvisited);
+  StaticAnalysisResult stat;
+  stat.symbolic_branches = DenseBitset(n);
+
+  // Branch 0: dynamic says symbolic -> instrumented (regardless of static).
+  labels[0] = BranchLabel::kSymbolic;
+  // Branch 1: dynamic says concrete, static says symbolic -> override, not
+  // instrumented.
+  labels[1] = BranchLabel::kConcrete;
+  stat.symbolic_branches.Set(1);
+  // Branch 2: unvisited, static says symbolic -> instrumented.
+  stat.symbolic_branches.Set(2);
+  // Branch 3: unvisited, static says concrete -> not instrumented.
+
+  const InstrumentationPlan plan =
+      BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat);
+  EXPECT_TRUE(plan.Instrumented(0));
+  EXPECT_FALSE(plan.Instrumented(1));
+  EXPECT_TRUE(plan.Instrumented(2));
+  EXPECT_FALSE(plan.Instrumented(3));
+
+  // Ablation: without the override, branch 1 stays instrumented.
+  PlanOptions no_override;
+  no_override.dynamic_overrides_static = false;
+  const InstrumentationPlan plan2 =
+      BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat, no_override);
+  EXPECT_TRUE(plan2.Instrumented(1));
+}
+
+TEST(PlanTest, MethodOrderingInvariant) {
+  // dynamic ⊆ dynamic+static ⊆ static-union-dynamic ⊆ all, given labels
+  // consistent with a sound static analysis.
+  Compiled c = SixBranchModule();
+  const size_t n = c.module->branches.size();
+  std::vector<BranchLabel> labels(n, BranchLabel::kUnvisited);
+  StaticAnalysisResult stat;
+  stat.symbolic_branches = DenseBitset(n);
+  // Static over-approximates: everything dynamic saw as symbolic plus more.
+  labels[0] = BranchLabel::kSymbolic;
+  stat.symbolic_branches.Set(0);
+  stat.symbolic_branches.Set(1);
+  labels[2] = BranchLabel::kConcrete;
+  stat.symbolic_branches.Set(2);
+
+  const auto dyn = BuildPlan(*c.module, InstrumentMethod::kDynamic, &labels, &stat);
+  const auto combo = BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat);
+  const auto stat_plan = BuildPlan(*c.module, InstrumentMethod::kStatic, &labels, &stat);
+  const auto all = BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    if (dyn.Instrumented(static_cast<i32>(i))) {
+      EXPECT_TRUE(combo.Instrumented(static_cast<i32>(i)));
+    }
+    EXPECT_TRUE(all.Instrumented(static_cast<i32>(i)));
+  }
+  EXPECT_LE(dyn.NumInstrumented(), combo.NumInstrumented());
+  EXPECT_LE(combo.NumInstrumented(), stat_plan.NumInstrumented() + 1);
+}
+
+TEST(RecorderTest, RecordsOnlyPlannedBranches) {
+  Compiled c = SixBranchModule();
+  InstrumentationPlan plan;
+  plan.method = InstrumentMethod::kDynamic;
+  plan.branches = DenseBitset(c.module->branches.size());
+  plan.branches.Set(0);
+
+  BranchTraceRecorder recorder(plan);
+  recorder.OnBranch(0, true, kNoExpr);
+  recorder.OnBranch(1, false, kNoExpr);
+  recorder.OnBranch(0, false, kNoExpr);
+  const BitVec log = recorder.TakeLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.GetBit(0));
+  EXPECT_FALSE(log.GetBit(1));
+}
+
+TEST(RecorderTest, FlushesEveryFourKilobytes) {
+  Compiled c = SixBranchModule();
+  InstrumentationPlan plan;
+  plan.branches = DenseBitset(c.module->branches.size());
+  plan.branches.Set(0);
+  BranchTraceRecorder recorder(plan);
+  const size_t bits = 4096 * 8 * 2 + 5;  // Two full pages plus a partial.
+  for (size_t i = 0; i < bits; ++i) {
+    recorder.RecordBit(i % 3 == 0);
+  }
+  EXPECT_EQ(recorder.flushes(), 2u);
+  const BitVec log = recorder.TakeLog();
+  EXPECT_EQ(log.size(), bits);
+  EXPECT_EQ(recorder.flushes(), 3u);
+  for (size_t i = 0; i < bits; i += 1000) {
+    EXPECT_EQ(log.GetBit(i), i % 3 == 0) << i;
+  }
+  EXPECT_EQ(recorder.bytes_logged(), (bits + 7) / 8);
+}
+
+TEST(RecorderTest, EndToEndBitsMatchExecution) {
+  // Record a run, then check the log length equals the number of
+  // instrumented branch executions.
+  Compiled c = SixBranchModule();
+  const InstrumentationPlan plan =
+      BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  BranchTraceRecorder recorder(plan);
+  InstrumentedExecCounter counter(plan);
+  Interp interp(*c.module, InterpOptions{});
+  interp.AddObserver(&recorder);
+  interp.AddObserver(&counter);
+  const RunResult r = interp.Run({"prog", "zzz"}, {});
+  EXPECT_EQ(r.status, RunResult::Status::kExit);
+  const BitVec log = recorder.TakeLog();
+  EXPECT_EQ(log.size(), counter.count());
+  EXPECT_EQ(log.size(), r.stats.branch_execs);  // all-branches plan.
+  EXPECT_GT(log.size(), 0u);
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace retrace {
+namespace {
+
+std::vector<Token> MustLex(std::string_view src) {
+  Result<std::vector<Token>> r = Lex(src, 0);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+TEST(LexerTest, Keywords) {
+  const auto tokens = MustLex("int char void if else while for return break continue");
+  ASSERT_EQ(tokens.size(), 11u);  // + EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kKwElse);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kKwContinue);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, OperatorsGreedy) {
+  const auto tokens = MustLex("<= >= == != << >> && || ++ -- += -=");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kShl);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kShr);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kPipePipe);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kPlusPlus);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kMinusMinus);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kPlusAssign);
+  EXPECT_EQ(tokens[11].kind, TokenKind::kMinusAssign);
+}
+
+TEST(LexerTest, NumbersAndChars) {
+  const auto tokens = MustLex("42 0x2A '\\n' 'a' '\\\\'");
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, '\n');
+  EXPECT_EQ(tokens[3].int_value, 'a');
+  EXPECT_EQ(tokens[4].int_value, '\\');
+}
+
+TEST(LexerTest, StringEscapes) {
+  const auto tokens = MustLex("\"a\\r\\n\\0b\"");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kStringLit);
+  const std::string expected{'a', '\r', '\n', '\0', 'b'};
+  EXPECT_EQ(tokens[0].text, expected);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  const auto tokens = MustLex("a // line comment\n /* block\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, ErrorOnBadChar) {
+  Result<std::vector<Token>> r = Lex("int $x;", 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LexerTest, TracksLocations) {
+  const auto tokens = MustLex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.col, 3);
+}
+
+std::unique_ptr<Unit> MustParse(std::string_view src) {
+  Result<std::unique_ptr<Unit>> r = Parse(src, 0, false);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+TEST(ParserTest, FunctionAndGlobals) {
+  auto unit = MustParse(R"(
+    int g = 3;
+    char buf[16];
+    int add(int a, int b) { return a + b; }
+  )");
+  ASSERT_EQ(unit->globals.size(), 2u);
+  EXPECT_EQ(unit->globals[0].name, "g");
+  EXPECT_EQ(unit->globals[0].init_value, 3);
+  EXPECT_TRUE(unit->globals[1].type.IsArray());
+  ASSERT_EQ(unit->functions.size(), 1u);
+  EXPECT_EQ(unit->functions[0]->params.size(), 2u);
+}
+
+TEST(ParserTest, PointerTypes) {
+  auto unit = MustParse("int main(int argc, char **argv) { return 0; }");
+  const Type t = unit->functions[0]->params[1].type;
+  EXPECT_TRUE(t.IsPtr());
+  EXPECT_EQ(t.ptr_depth, 2);
+  EXPECT_EQ(t.base, TypeKind::kChar);
+}
+
+TEST(ParserTest, Precedence) {
+  auto unit = MustParse("int f() { return 1 + 2 * 3 == 7; }");
+  const Expr& ret = *unit->functions[0]->body->body[0]->cond;
+  ASSERT_EQ(ret.kind, ExprKind::kBinary);
+  EXPECT_EQ(ret.bin_op, BinaryOp::kEq);
+  EXPECT_EQ(ret.lhs->bin_op, BinaryOp::kAdd);
+  EXPECT_EQ(ret.lhs->rhs->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ControlFlow) {
+  auto unit = MustParse(R"(
+    int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) { s += i; } else { continue; }
+        while (s > 100) { s = s - 1; break; }
+      }
+      return s;
+    }
+  )");
+  EXPECT_EQ(unit->functions.size(), 1u);
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  Result<std::unique_ptr<Unit>> r = Parse("int f() { return 1 }", 0, false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorBadTopLevel) {
+  Result<std::unique_ptr<Unit>> r = Parse("banana;", 0, false);
+  EXPECT_FALSE(r.ok());
+}
+
+std::unique_ptr<SemaProgram> MustAnalyze(std::string_view src) {
+  std::vector<std::unique_ptr<Unit>> units;
+  units.push_back(MustParse(src));
+  Result<std::unique_ptr<SemaProgram>> r = Analyze(std::move(units));
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+Error MustFailAnalyze(std::string_view src) {
+  auto parsed = Parse(src, 0, false);
+  EXPECT_TRUE(parsed.ok());
+  std::vector<std::unique_ptr<Unit>> units;
+  units.push_back(parsed.take());
+  Result<std::unique_ptr<SemaProgram>> r = Analyze(std::move(units));
+  EXPECT_FALSE(r.ok());
+  return r.ok() ? Error{} : r.error();
+}
+
+TEST(SemaTest, ResolvesBindings) {
+  auto program = MustAnalyze(R"(
+    int g = 1;
+    int main() {
+      int x = g + 2;
+      return x;
+    }
+  )");
+  EXPECT_EQ(program->main_index, 0);
+  EXPECT_EQ(program->funcs[0].locals.size(), 1u);
+}
+
+TEST(SemaTest, AddressTakenPromotion) {
+  auto program = MustAnalyze(R"(
+    int bump(int *p) { *p = *p + 1; return *p; }
+    int main() {
+      int x = 5;
+      bump(&x);
+      return x;
+    }
+  )");
+  EXPECT_TRUE(program->funcs[1].locals[0].address_taken);
+}
+
+TEST(SemaTest, RejectsUndefinedVariable) {
+  MustFailAnalyze("int main() { return y; }");
+}
+
+TEST(SemaTest, RejectsUndefinedFunction) {
+  MustFailAnalyze("int main() { return nope(); }");
+}
+
+TEST(SemaTest, RejectsBadAssignment) {
+  MustFailAnalyze("int main() { int x; char *p = \"a\"; x = p; return 0; }");
+}
+
+TEST(SemaTest, RejectsBreakOutsideLoop) {
+  MustFailAnalyze("int main() { break; return 0; }");
+}
+
+TEST(SemaTest, RejectsMissingMain) {
+  MustFailAnalyze("int helper() { return 1; }");
+}
+
+TEST(SemaTest, RejectsVoidValue) {
+  MustFailAnalyze("int main() { int x = print_int(1); return x; }");
+}
+
+TEST(SemaTest, StringLiteralsCollected) {
+  auto program = MustAnalyze(R"(
+    int main() { print_str("one"); print_str("two"); return 0; }
+  )");
+  EXPECT_EQ(program->strings.size(), 2u);
+}
+
+TEST(SemaTest, BuiltinArgCountChecked) {
+  MustFailAnalyze("int main() { char b[4]; return read(0, b); }");
+}
+
+}  // namespace
+}  // namespace retrace

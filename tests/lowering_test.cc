@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+TEST(LoweringTest, SimpleFunctionShape) {
+  Compiled c = CompileOrDie("int main() { return 42; }");
+  ASSERT_NE(c.module, nullptr);
+  const IrFunction* main_fn = c.module->FindFunc("main");
+  ASSERT_NE(main_fn, nullptr);
+  ASSERT_FALSE(main_fn->blocks.empty());
+  const Instr& last = main_fn->blocks[0].instrs.back();
+  EXPECT_EQ(last.op, Opcode::kRet);
+  EXPECT_EQ(last.a.imm, 42);
+}
+
+TEST(LoweringTest, IfCreatesOneBranchLocation) {
+  Compiled c = CompileOrDie("int main(int argc, char **argv) { if (argc > 1) { return 1; } return 0; }");
+  EXPECT_EQ(c.module->NumBranchLocations(), 1u);
+}
+
+TEST(LoweringTest, ShortCircuitCreatesTwoBranchLocations) {
+  Compiled c = CompileOrDie(
+      "int main(int argc, char **argv) { if (argc > 1 && argc < 5) { return 1; } return 0; }");
+  EXPECT_EQ(c.module->NumBranchLocations(), 2u);
+}
+
+TEST(LoweringTest, LogicalNotAddsNoBranchLocation) {
+  Compiled c = CompileOrDie(
+      "int main(int argc, char **argv) { if (!(argc > 1)) { return 1; } return 0; }");
+  EXPECT_EQ(c.module->NumBranchLocations(), 1u);
+}
+
+TEST(LoweringTest, WhileAndForEachOneBranch) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 3; i = i + 1) { s = s + i; }
+      while (s > 0) { s = s - 1; }
+      return s;
+    }
+  )");
+  EXPECT_EQ(c.module->NumBranchLocations(), 2u);
+}
+
+TEST(LoweringTest, LibraryBranchesTagged) {
+  const std::string lib = "int helper(int x) { if (x > 0) { return 1; } return 0; }";
+  Compiled c = CompileOrDie("int main() { return helper(3); }", {lib});
+  ASSERT_EQ(c.module->NumBranchLocations(), 1u);
+  EXPECT_TRUE(c.module->branches[0].is_library);
+  EXPECT_EQ(c.module->NumAppBranchLocations(), 0u);
+}
+
+TEST(LoweringTest, StringLiteralsBecomeObjects) {
+  Compiled c = CompileOrDie(R"(int main() { print_str("hi"); return 0; })");
+  ASSERT_EQ(c.module->static_objects.size(), 1u);
+  EXPECT_EQ(c.module->static_objects[0].size, 3);  // 'h','i',NUL.
+  EXPECT_TRUE(c.module->static_objects[0].is_char);
+}
+
+TEST(LoweringTest, GlobalArraysAndScalars) {
+  Compiled c = CompileOrDie(R"(
+    int counter = 7;
+    char buf[32];
+    int main() { counter = counter + 1; buf[0] = 'x'; return counter; }
+  )");
+  ASSERT_EQ(c.module->global_scalars.size(), 1u);
+  EXPECT_EQ(c.module->global_scalars[0].init, 7);
+  ASSERT_EQ(c.module->static_objects.size(), 1u);
+  EXPECT_EQ(c.module->static_objects[0].size, 32);
+}
+
+TEST(LoweringTest, AddressTakenLocalGetsFrameObject) {
+  Compiled c = CompileOrDie(R"(
+    int bump(int *p) { *p = *p + 1; return 0; }
+    int main() { int x = 1; bump(&x); return x; }
+  )");
+  const IrFunction* main_fn = c.module->FindFunc("main");
+  ASSERT_EQ(main_fn->frame_objects.size(), 1u);
+  EXPECT_EQ(main_fn->frame_objects[0].size, 1);
+}
+
+TEST(LoweringTest, UnterminatedBlocksGetImplicitReturn) {
+  Compiled c = CompileOrDie("int main() { int x = 1; }");
+  const IrFunction* main_fn = c.module->FindFunc("main");
+  const Instr& last = main_fn->blocks.back().instrs.back();
+  // Either the entry block or a successor ends with ret 0.
+  bool found_ret = false;
+  for (const BasicBlock& block : main_fn->blocks) {
+    for (const Instr& instr : block.instrs) {
+      if (instr.op == Opcode::kRet) {
+        found_ret = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_ret);
+  (void)last;
+}
+
+TEST(LoweringTest, PrinterSmoke) {
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      if (argc > 1 && argv[1][0] == 'x') { return 1; }
+      return 0;
+    }
+  )");
+  const std::string text = PrintModule(*c.module);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("br"), std::string::npos);
+  EXPECT_NE(text.find("branch locations"), std::string::npos);
+}
+
+TEST(LoweringTest, EveryBlockTerminated) {
+  Compiled c = CompileOrDie(R"(
+    int f(int x) {
+      if (x > 0) { return 1; }
+      else if (x < -10) { return 2; }
+      for (int i = 0; i < x; i++) { if (i == 3) { break; } }
+      return 0;
+    }
+    int main() { return f(5); }
+  )");
+  for (const IrFunction& fn : c.module->funcs) {
+    for (const BasicBlock& block : fn.blocks) {
+      if (block.instrs.empty()) {
+        continue;  // Unreachable padding blocks are permitted to be empty
+                   // only if nothing jumps to them; interp never sees them.
+      }
+      const Opcode op = block.instrs.back().op;
+      const bool terminated =
+          op == Opcode::kBr || op == Opcode::kJmp || op == Opcode::kRet;
+      EXPECT_TRUE(terminated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,308 @@
+// Property-based tests: parameterized sweeps over randomized instances.
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/instrument/recorder.h"
+#include "src/support/rng.h"
+#include "src/workloads/workloads.h"
+
+namespace retrace {
+namespace {
+
+// ----- BitVec round-trips over random lengths and contents -----
+
+class BitVecProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecProperty, SerializeRoundTrip) {
+  Rng rng(GetParam());
+  const size_t bits = 1 + rng.NextBelow(10'000);
+  BitVec original;
+  for (size_t i = 0; i < bits; ++i) {
+    original.PushBit(rng.NextBelow(2) == 1);
+  }
+  const BitVec copy = BitVec::Deserialize(original.Serialize(), original.size());
+  ASSERT_EQ(copy.size(), original.size());
+  for (size_t i = 0; i < bits; ++i) {
+    ASSERT_EQ(copy.GetBit(i), original.GetBit(i)) << "bit " << i;
+  }
+}
+
+TEST_P(BitVecProperty, RecorderMatchesDirectPush) {
+  // The 4KB-paged recorder must produce exactly the bits pushed.
+  Rng rng(GetParam() * 7919 + 13);
+  const size_t bits = 1 + rng.NextBelow(100'000);
+  InstrumentationPlan plan;
+  plan.branches = DenseBitset(1);
+  plan.branches.Set(0);
+  BranchTraceRecorder recorder(plan);
+  BitVec expected;
+  for (size_t i = 0; i < bits; ++i) {
+    const bool bit = rng.NextBelow(3) == 0;
+    recorder.RecordBit(bit);
+    expected.PushBit(bit);
+  }
+  const BitVec log = recorder.TakeLog();
+  EXPECT_EQ(log, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecProperty, ::testing::Range(1, 9));
+
+// ----- Expression simplification preserves semantics -----
+
+class ExprProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprProperty, SimplificationSound) {
+  Rng rng(GetParam());
+  ExprArena arena;
+  // Reference evaluator mirroring construction without simplification.
+  struct Node {
+    ExprOp op;
+    int a = -1;
+    int b = -1;
+    i64 imm = 0;
+  };
+  std::vector<Node> reference;
+  std::vector<ExprRef> built;
+  const ExprOp ops[] = {ExprOp::kAdd, ExprOp::kSub, ExprOp::kMul, ExprOp::kAnd,
+                        ExprOp::kOr,  ExprOp::kXor, ExprOp::kEq,  ExprOp::kLt,
+                        ExprOp::kLe,  ExprOp::kShl, ExprOp::kDiv, ExprOp::kRem};
+  // Leaves: 4 vars and 4 constants.
+  for (int v = 0; v < 4; ++v) {
+    reference.push_back(Node{ExprOp::kVar, -1, -1, v});
+    built.push_back(arena.MkVar(v));
+  }
+  for (int c = 0; c < 4; ++c) {
+    const i64 value = static_cast<i64>(rng.NextInRange(-3, 3));
+    reference.push_back(Node{ExprOp::kConst, -1, -1, value});
+    built.push_back(arena.MkConst(value));
+  }
+  for (int i = 0; i < 60; ++i) {
+    const ExprOp op = ops[rng.NextBelow(std::size(ops))];
+    const int a = static_cast<int>(rng.NextBelow(built.size()));
+    const int b = static_cast<int>(rng.NextBelow(built.size()));
+    reference.push_back(Node{op, a, b, 0});
+    built.push_back(arena.MkBin(op, built[a], built[b]));
+  }
+  // Evaluate both on random assignments.
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<i64> assignment;
+    for (int v = 0; v < 4; ++v) {
+      assignment.push_back(rng.NextInRange(-100, 100));
+    }
+    std::vector<i64> ref_values(reference.size());
+    for (size_t n = 0; n < reference.size(); ++n) {
+      const Node& node = reference[n];
+      if (node.op == ExprOp::kVar) {
+        ref_values[n] = assignment[node.imm];
+      } else if (node.op == ExprOp::kConst) {
+        ref_values[n] = node.imm;
+      } else {
+        ref_values[n] = ExprArena::EvalBin(node.op, ref_values[node.a], ref_values[node.b]);
+      }
+      ASSERT_EQ(arena.Eval(built[n], assignment), ref_values[n])
+          << "node " << n << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty, ::testing::Range(100, 112));
+
+// ----- Solver completeness on satisfiable byte systems -----
+
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, FindsPlantedSolution) {
+  Rng rng(GetParam());
+  ExprArena arena;
+  const int num_vars = 3 + static_cast<int>(rng.NextBelow(10));
+  // Ground truth assignment.
+  std::vector<i64> truth;
+  std::vector<Interval> domains;
+  for (int v = 0; v < num_vars; ++v) {
+    truth.push_back(rng.NextBelow(256));
+    domains.push_back(Interval{0, 255});
+  }
+  // Constraints satisfied by the ground truth: comparisons between
+  // variables, constants and small arithmetic combinations.
+  std::vector<Constraint> constraints;
+  for (int c = 0; c < num_vars * 3; ++c) {
+    const i32 x = static_cast<i32>(rng.NextBelow(num_vars));
+    const i32 y = static_cast<i32>(rng.NextBelow(num_vars));
+    ExprRef lhs = arena.MkVar(x);
+    ExprRef rhs;
+    switch (rng.NextBelow(4)) {
+      case 0:
+        rhs = arena.MkConst(truth[x]);  // Equality with the planted value.
+        break;
+      case 1:
+        rhs = arena.MkVar(y);
+        break;
+      case 2:
+        rhs = arena.MkBin(ExprOp::kAdd, arena.MkVar(y), arena.MkConst(rng.NextInRange(-5, 5)));
+        break;
+      default:
+        lhs = arena.MkBin(ExprOp::kAdd, arena.MkVar(x), arena.MkVar(y));
+        rhs = arena.MkConst(truth[x] + truth[y]);
+        break;
+    }
+    const ExprOp cmp[] = {ExprOp::kEq, ExprOp::kNe, ExprOp::kLt, ExprOp::kLe,
+                          ExprOp::kGt, ExprOp::kGe};
+    const ExprOp op = cmp[rng.NextBelow(std::size(cmp))];
+    const ExprRef expr = arena.MkBin(op, lhs, rhs);
+    // Orient the constraint so the ground truth satisfies it.
+    constraints.push_back(Constraint{expr, arena.Eval(expr, truth) != 0});
+  }
+  // Perturbed seed: start a few bytes away from the truth.
+  std::vector<i64> seed = truth;
+  for (int k = 0; k < 3; ++k) {
+    seed[rng.NextBelow(num_vars)] = rng.NextBelow(256);
+  }
+  Solver solver(arena, SolverOptions{});
+  const SolveResult result = solver.Solve(constraints, domains, seed);
+  ASSERT_EQ(result.status, SolveStatus::kSat) << "seed " << GetParam();
+  EXPECT_TRUE(solver.Satisfies(constraints, result.model));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range(200, 224));
+
+// ----- Interpreter determinism across repeated runs -----
+
+class DeterminismProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismProperty, RunsAreBitIdentical) {
+  const WorkloadSources sources = GetWorkload(GetParam());
+  auto pipeline = Pipeline::FromSources(sources.app, sources.libs).take();
+  InstrumentationPlan all =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec spec;
+  if (std::string(GetParam()) == "listing1") {
+    spec.argv = {"listing1", "b"};
+  } else {
+    spec.argv = {GetParam(), "-m", "0755", "x"};
+  }
+  spec.world.listen_fd = -1;
+  const auto first = pipeline->RecordUserRun(spec, all, {});
+  const auto second = pipeline->RecordUserRun(spec, all, {});
+  EXPECT_EQ(first.result.status, second.result.status);
+  EXPECT_EQ(first.result.exit_code, second.result.exit_code);
+  EXPECT_EQ(first.result.stats.instrs, second.result.stats.instrs);
+  EXPECT_EQ(first.report.branch_log, second.report.branch_log);
+  EXPECT_EQ(first.stdout_text, second.stdout_text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DeterminismProperty,
+                         ::testing::Values("listing1", "mkdir", "mkfifo"));
+
+// ----- Replay soundness over a family of guarded crashes -----
+
+struct GuardCase {
+  int position;  // Which byte of argv[1] guards the crash.
+  InstrumentMethod method;
+};
+
+class ReplayProperty : public ::testing::TestWithParam<GuardCase> {};
+
+TEST_P(ReplayProperty, ReproducesGuardedCrash) {
+  const GuardCase param = GetParam();
+  // Crash iff argv[1][position] == 'K'.
+  std::string source = R"(
+int main(int argc, char **argv) {
+  if (argc < 2) { return 1; }
+  int i = 0;
+  while (argv[1][i] != 0) { i = i + 1; }
+  if (i > )" + std::to_string(param.position) +
+                       R"() {
+    if (argv[1][)" + std::to_string(param.position) +
+                       R"(] == 'K') {
+      crash(9);
+    }
+  }
+  return 0;
+}
+)";
+  auto built = Pipeline::FromSources(source, {});
+  ASSERT_TRUE(built.ok());
+  auto pipeline = built.take();
+
+  const AnalysisResult* dyn_ptr = nullptr;
+  const StaticAnalysisResult* stat_ptr = nullptr;
+  AnalysisResult dyn;
+  StaticAnalysisResult stat;
+  if (param.method != InstrumentMethod::kAllBranches) {
+    InputSpec benign;
+    benign.argv = {"prog", "abcdefgh"};
+    benign.world.listen_fd = -1;
+    AnalysisConfig config;
+    config.max_runs = 24;
+    dyn = pipeline->RunDynamicAnalysis(benign, config);
+    stat = pipeline->RunStaticAnalysis({});
+    dyn_ptr = &dyn;
+    stat_ptr = &stat;
+  }
+  const InstrumentationPlan plan = pipeline->MakePlan(param.method, dyn_ptr, stat_ptr);
+
+  InputSpec bug;
+  bug.argv = {"prog", "zzzzKzzz"};
+  bug.argv[1][param.position] = 'K';
+  bug.world.listen_fd = -1;
+  const auto user = pipeline->RecordUserRun(bug, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.max_runs = 4000;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced)
+      << "position " << param.position << " method " << InstrumentMethodName(param.method);
+  EXPECT_EQ(replay.witness_argv[1][param.position], 'K');
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+std::vector<GuardCase> GuardCases() {
+  std::vector<GuardCase> cases;
+  for (int position : {0, 3, 7}) {
+    for (InstrumentMethod method :
+         {InstrumentMethod::kDynamic, InstrumentMethod::kStatic,
+          InstrumentMethod::kDynamicStatic, InstrumentMethod::kAllBranches}) {
+      cases.push_back(GuardCase{position, method});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Guards, ReplayProperty, ::testing::ValuesIn(GuardCases()));
+
+// ----- Static analysis soundness across all workloads -----
+
+class SoundnessProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SoundnessProperty, DynamicSymbolicImpliesStaticSymbolic) {
+  const WorkloadSources sources = GetWorkload(GetParam());
+  auto pipeline = Pipeline::FromSources(sources.app, sources.libs).take();
+  const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
+
+  InputSpec spec;
+  const std::string name = GetParam();
+  if (name == "listing1" || name == "loop_micro") {
+    spec.argv = {name, "a12"};
+    spec.world.listen_fd = -1;
+  } else {
+    spec.argv = {name, "-m", "0644", "opq", "rst"};
+    spec.world.listen_fd = -1;
+  }
+  AnalysisConfig config;
+  config.max_runs = 24;
+  const AnalysisResult dyn = pipeline->RunDynamicAnalysis(spec, config);
+  for (const BranchInfo& branch : pipeline->module().branches) {
+    if (dyn.labels[branch.id] == BranchLabel::kSymbolic) {
+      EXPECT_TRUE(stat.symbolic_branches.Test(branch.id))
+          << name << " branch " << branch.id << " line " << branch.loc.line;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SoundnessProperty,
+                         ::testing::Values("listing1", "loop_micro", "mkdir", "mknod",
+                                           "mkfifo", "paste"));
+
+}  // namespace
+}  // namespace retrace

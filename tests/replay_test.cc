@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/workloads/scenarios.h"
+#include "src/workloads/workloads.h"
+
+namespace retrace {
+namespace {
+
+// A small program with an input-guarded crash: crashes iff argv[1] starts
+// with "k9" and argv[2][0] > '5'.
+constexpr const char* kGuardedCrash = R"(
+int main(int argc, char **argv) {
+  if (argc < 3) { return 1; }
+  if (argv[1][0] == 'k') {
+    if (argv[1][1] == '9') {
+      if (argv[2][0] > '5') {
+        crash(13);
+      }
+    }
+  }
+  return 0;
+}
+)";
+
+std::unique_ptr<Pipeline> MustBuild(std::string_view app,
+                                    const std::vector<std::string>& libs = {}) {
+  auto r = Pipeline::FromSources(app, libs);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+InputSpec GuardedCrashInput() {
+  InputSpec spec;
+  spec.argv = {"prog", "k9", "7"};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+TEST(ReplayTest, ReproducesWithAllBranches) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+  EXPECT_EQ(user.result.crash.kind, CrashSite::Kind::kExplicit);
+
+  ReplayConfig config;
+  config.seed = 11;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  // The witness must satisfy the guard but need not equal the original.
+  ASSERT_GE(replay.witness_argv.size(), 3u);
+  EXPECT_EQ(replay.witness_argv[1][0], 'k');
+  EXPECT_EQ(replay.witness_argv[1][1], '9');
+  EXPECT_GT(replay.witness_argv[2][0], '5');
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+TEST(ReplayTest, ReproducesWithDynamicPlan) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  AnalysisConfig dyn_config;
+  dyn_config.max_runs = 32;
+  // Analyze with a *benign* input of the same shape (the developer tests
+  // before shipping; the bug input is unknown).
+  InputSpec benign;
+  benign.argv = {"prog", "ab", "c"};
+  benign.world.listen_fd = -1;
+  const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign, dyn_config);
+  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &dyn, nullptr);
+  EXPECT_LT(plan.NumInstrumented(), pipeline->module().branches.size());
+
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+TEST(ReplayTest, ReproducesWithCombinedPlan) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  AnalysisConfig dyn_config;
+  dyn_config.max_runs = 8;
+  InputSpec benign;
+  benign.argv = {"prog", "ab", "c"};
+  benign.world.listen_fd = -1;
+  const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign, dyn_config);
+  const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat);
+
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+  ASSERT_TRUE(replay.reproduced);
+}
+
+TEST(ReplayTest, EmptyPlanStillSearches) {
+  // With nothing instrumented the engine degenerates to plain symbolic
+  // search (the paper's "no recording" end of the spectrum): it must still
+  // find this shallow bug, just with more runs.
+  auto pipeline = MustBuild(kGuardedCrash);
+  InstrumentationPlan empty;
+  empty.method = InstrumentMethod::kDynamic;
+  empty.branches = DenseBitset(pipeline->module().branches.size());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), empty, {});
+  ASSERT_TRUE(user.result.Crashed());
+  EXPECT_EQ(user.report.branch_log.size(), 0u);
+  const ReplayResult replay = pipeline->Reproduce(user.report, empty, ReplayConfig{});
+  EXPECT_TRUE(replay.reproduced);
+}
+
+TEST(ReplayTest, WitnessDiffersButActivatesBug) {
+  // Privacy property: reproduction does not need the original bytes. Run
+  // with an original whose "payload" bytes are irrelevant to the bug and
+  // check the witness found random other bytes.
+  auto pipeline = MustBuild(R"(
+    int main(int argc, char **argv) {
+      if (argc < 3) { return 1; }
+      if (argv[1][0] == 'k') { crash(1); }
+      return 0;
+    }
+  )");
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec original;
+  original.argv = {"prog", "k", "private-payload-data"};
+  original.world.listen_fd = -1;
+  const auto user = pipeline->RecordUserRun(original, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+  ReplayConfig config;
+  config.seed = 99;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_EQ(replay.witness_argv[1][0], 'k');
+  // The unconstrained payload should not have been reconstructed.
+  EXPECT_NE(replay.witness_argv[2], "private-payload-data");
+}
+
+TEST(ReplayTest, SyscallLogSpeedsUpReplay) {
+  // Bug guarded by how many bytes read() returned: without the syscall
+  // log the engine must search for the return value.
+  constexpr const char* kReadBug = R"(
+    int main() {
+      char buf[64];
+      int n = read(0, buf, 60);
+      if (n == 13) {
+        if (buf[0] == 'Z') { crash(2); }
+      }
+      return 0;
+    }
+  )";
+  auto pipeline = MustBuild(kReadBug);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  spec.world.stdin_stream = 0;
+  StreamShape stream;
+  stream.name = "stdin";
+  const std::string data = "Zsecretsecret";  // 13 bytes.
+  stream.bytes.assign(data.begin(), data.end());
+  stream.length = 13;
+  spec.world.streams.push_back(stream);
+
+  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig with_log;
+  with_log.use_syscall_log = true;
+  const ReplayResult fast = pipeline->Reproduce(user.report, plan, with_log);
+  ASSERT_TRUE(fast.reproduced);
+
+  ReplayConfig without_log;
+  without_log.use_syscall_log = false;
+  const ReplayResult slow = pipeline->Reproduce(user.report, plan, without_log);
+  ASSERT_TRUE(slow.reproduced);
+  EXPECT_LE(fast.stats.runs, slow.stats.runs);
+}
+
+TEST(ReplayTest, BudgetExhaustionReported) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ReplayConfig config;
+  config.max_runs = 1;  // The initial random run almost surely misses.
+  config.seed = 5;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  EXPECT_FALSE(replay.reproduced);
+  EXPECT_TRUE(replay.budget_exhausted);
+}
+
+TEST(ReplayTest, FifoPickAlsoWorks) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ReplayConfig config;
+  config.pick = ReplayConfig::Pick::kFifo;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  EXPECT_TRUE(replay.reproduced);
+}
+
+}  // namespace
+}  // namespace retrace

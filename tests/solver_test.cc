@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "src/solver/solver.h"
+
+namespace retrace {
+namespace {
+
+TEST(ExprTest, ConstantFolding) {
+  ExprArena arena;
+  const ExprRef e = arena.MkBin(ExprOp::kAdd, arena.MkConst(2), arena.MkConst(3));
+  ASSERT_TRUE(arena.IsConst(e));
+  EXPECT_EQ(arena.ConstValue(e), 5);
+  const ExprRef cmp = arena.MkBin(ExprOp::kLt, arena.MkConst(2), arena.MkConst(3));
+  EXPECT_EQ(arena.ConstValue(cmp), 1);
+}
+
+TEST(ExprTest, HashConsing) {
+  ExprArena arena;
+  const ExprRef a = arena.MkBin(ExprOp::kAdd, arena.MkVar(0), arena.MkConst(1));
+  const ExprRef b = arena.MkBin(ExprOp::kAdd, arena.MkVar(0), arena.MkConst(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExprTest, Identities) {
+  ExprArena arena;
+  const ExprRef x = arena.MkVar(3);
+  EXPECT_EQ(arena.MkBin(ExprOp::kAdd, x, arena.MkConst(0)), x);
+  EXPECT_EQ(arena.MkBin(ExprOp::kMul, x, arena.MkConst(1)), x);
+  EXPECT_TRUE(arena.IsConst(arena.MkBin(ExprOp::kMul, x, arena.MkConst(0))));
+  EXPECT_TRUE(arena.IsConst(arena.MkBin(ExprOp::kSub, x, x)));
+  EXPECT_EQ(arena.ConstValue(arena.MkBin(ExprOp::kEq, x, x)), 1);
+}
+
+TEST(ExprTest, EvalWithAssignment) {
+  ExprArena arena;
+  // (v0 * 10 + v1) == 42
+  const ExprRef e = arena.MkBin(
+      ExprOp::kEq,
+      arena.MkBin(ExprOp::kAdd, arena.MkBin(ExprOp::kMul, arena.MkVar(0), arena.MkConst(10)),
+                  arena.MkVar(1)),
+      arena.MkConst(42));
+  EXPECT_EQ(arena.Eval(e, {4, 2}), 1);
+  EXPECT_EQ(arena.Eval(e, {4, 3}), 0);
+}
+
+TEST(ExprTest, DivRemTotality) {
+  EXPECT_EQ(ExprArena::EvalBin(ExprOp::kDiv, 5, 0), 0);
+  EXPECT_EQ(ExprArena::EvalBin(ExprOp::kRem, 5, 0), 0);
+  EXPECT_EQ(ExprArena::EvalBin(ExprOp::kDiv, INT64_MIN, -1), INT64_MIN);
+}
+
+TEST(ExprTest, CollectVarsDeduplicates) {
+  ExprArena arena;
+  const ExprRef e = arena.MkBin(ExprOp::kAdd, arena.MkVar(2),
+                                arena.MkBin(ExprOp::kMul, arena.MkVar(2), arena.MkVar(5)));
+  std::vector<i32> vars;
+  arena.CollectVars(e, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+}
+
+TEST(ExprTest, TruncCharFoldsAndCollapses) {
+  ExprArena arena;
+  EXPECT_EQ(arena.ConstValue(arena.MkUn(ExprOp::kTruncChar, arena.MkConst(300))), 44);
+  const ExprRef t = arena.MkUn(ExprOp::kTruncChar, arena.MkVar(0));
+  EXPECT_EQ(arena.MkUn(ExprOp::kTruncChar, t), t);
+}
+
+TEST(IntervalTest, NarrowEquality) {
+  ExprArena arena;
+  Interval iv{0, 255};
+  const Constraint c{arena.MkBin(ExprOp::kEq, arena.MkVar(0), arena.MkConst(65)), true};
+  EXPECT_TRUE(NarrowForConstraint(arena, c, 0, &iv));
+  EXPECT_EQ(iv, (Interval{65, 65}));
+}
+
+TEST(IntervalTest, NarrowNegatedComparison) {
+  ExprArena arena;
+  Interval iv{0, 255};
+  // NOT (v0 < 100)  =>  v0 >= 100.
+  const Constraint c{arena.MkBin(ExprOp::kLt, arena.MkVar(0), arena.MkConst(100)), false};
+  EXPECT_TRUE(NarrowForConstraint(arena, c, 0, &iv));
+  EXPECT_EQ(iv, (Interval{100, 255}));
+}
+
+TEST(IntervalTest, NarrowMirrored) {
+  ExprArena arena;
+  Interval iv{-10, 10};
+  // 3 < v0.
+  const Constraint c{arena.MkBin(ExprOp::kLt, arena.MkConst(3), arena.MkVar(0)), true};
+  EXPECT_TRUE(NarrowForConstraint(arena, c, 0, &iv));
+  EXPECT_EQ(iv, (Interval{4, 10}));
+}
+
+TEST(IntervalTest, TruncSeenThrough) {
+  ExprArena arena;
+  Interval iv{0, 255};
+  const ExprRef t = arena.MkUn(ExprOp::kTruncChar, arena.MkVar(0));
+  const Constraint c{arena.MkBin(ExprOp::kGe, t, arena.MkConst('a')), true};
+  EXPECT_TRUE(NarrowForConstraint(arena, c, 0, &iv));
+  EXPECT_EQ(iv.lo, 'a');
+}
+
+class SolverFixture : public ::testing::Test {
+ protected:
+  SolveResult Solve(const std::vector<Constraint>& constraints,
+                    const std::vector<Interval>& domains, const std::vector<i64>& seed) {
+    Solver solver(arena_, SolverOptions{});
+    return solver.Solve(constraints, domains, seed);
+  }
+
+  ExprArena arena_;
+};
+
+TEST_F(SolverFixture, AlreadySatisfiedBySeed) {
+  const Constraint c{arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst(7)), true};
+  const SolveResult r = Solve({c}, {{0, 255}}, {7});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0], 7);
+}
+
+TEST_F(SolverFixture, RepairsSingleByte) {
+  const Constraint c{arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst('G')), true};
+  const SolveResult r = Solve({c}, {{0, 255}}, {'x'});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0], 'G');
+}
+
+TEST_F(SolverFixture, EqualityChainAcrossVars) {
+  // v0 == v1, v1 == v2, v2 == 'z'.
+  std::vector<Constraint> cs = {
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkVar(1)), true},
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(1), arena_.MkVar(2)), true},
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(2), arena_.MkConst('z')), true},
+  };
+  const SolveResult r = Solve(cs, {{0, 255}, {0, 255}, {0, 255}}, {'a', 'b', 'c'});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0], 'z');
+  EXPECT_EQ(r.model[1], 'z');
+  EXPECT_EQ(r.model[2], 'z');
+}
+
+TEST_F(SolverFixture, ArithmeticConstraint) {
+  // v0 * 10 + v1 == 42 over digits.
+  const ExprRef sum =
+      arena_.MkBin(ExprOp::kAdd, arena_.MkBin(ExprOp::kMul, arena_.MkVar(0), arena_.MkConst(10)),
+                   arena_.MkVar(1));
+  const Constraint c{arena_.MkBin(ExprOp::kEq, sum, arena_.MkConst(42)), true};
+  const SolveResult r = Solve({c}, {{0, 9}, {0, 9}}, {0, 0});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0] * 10 + r.model[1], 42);
+}
+
+TEST_F(SolverFixture, DetectsUnsat) {
+  std::vector<Constraint> cs = {
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst(5)), true},
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst(6)), true},
+  };
+  const SolveResult r = Solve(cs, {{0, 255}}, {5});
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+}
+
+TEST_F(SolverFixture, NegatedConstraintFlips) {
+  // want_true = false on (v0 == 5): any byte but 5.
+  const Constraint c{arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst(5)), false};
+  const SolveResult r = Solve({c}, {{0, 255}}, {5});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_NE(r.model[0], 5);
+}
+
+TEST_F(SolverFixture, PreservesSatisfiedPrefix) {
+  // A concolic-style set: many satisfied constraints plus one flipped tail.
+  std::vector<Constraint> cs;
+  std::vector<Interval> domains;
+  std::vector<i64> seed;
+  const std::string word = "GET /index";
+  for (size_t i = 0; i < word.size(); ++i) {
+    cs.push_back({arena_.MkBin(ExprOp::kEq, arena_.MkVar(static_cast<i32>(i)),
+                               arena_.MkConst(word[i])),
+                  true});
+    domains.push_back({0, 255});
+    seed.push_back(word[i]);
+  }
+  // Tail: byte 10 must become '?' (seed has 'x').
+  cs.push_back({arena_.MkBin(ExprOp::kEq, arena_.MkVar(10), arena_.MkConst('?')), true});
+  domains.push_back({0, 255});
+  seed.push_back('x');
+  const SolveResult r = Solve(cs, domains, seed);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  for (size_t i = 0; i < word.size(); ++i) {
+    EXPECT_EQ(r.model[i], word[i]);
+  }
+  EXPECT_EQ(r.model[10], '?');
+}
+
+TEST_F(SolverFixture, SyscallRangeVar) {
+  // read() return in [-1, 64]; constraint: ret > 0 and ret != seed.
+  std::vector<Constraint> cs = {
+      {arena_.MkBin(ExprOp::kGt, arena_.MkVar(0), arena_.MkConst(0)), true},
+      {arena_.MkBin(ExprOp::kEq, arena_.MkVar(0), arena_.MkConst(64)), false},
+  };
+  const SolveResult r = Solve(cs, {{-1, 64}}, {64});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_GT(r.model[0], 0);
+  EXPECT_NE(r.model[0], 64);
+}
+
+TEST_F(SolverFixture, TruncCharConstraint) {
+  const ExprRef t = arena_.MkUn(ExprOp::kTruncChar, arena_.MkVar(0));
+  const Constraint c{arena_.MkBin(ExprOp::kEq, t, arena_.MkConst('-')), true};
+  const SolveResult r = Solve({c}, {{0, 255}}, {'a'});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0], '-');
+}
+
+TEST_F(SolverFixture, Satisfies) {
+  Solver solver(arena_, SolverOptions{});
+  const Constraint c{arena_.MkBin(ExprOp::kLt, arena_.MkVar(0), arena_.MkConst(10)), true};
+  EXPECT_TRUE(solver.Satisfies({c}, {5}));
+  EXPECT_FALSE(solver.Satisfies({c}, {15}));
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/static_analyzer.h"
+#include "src/concolic/engine.h"
+#include "src/workloads/workloads.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+StaticAnalysisResult Analyze(const Compiled& c, bool analyze_library = true) {
+  StaticAnalyzer analyzer(*c.module, StaticAnalysisOptions{analyze_library});
+  return analyzer.Run();
+}
+
+// Returns source lines of branches labeled symbolic.
+std::vector<int> SymbolicLines(const Compiled& c, const StaticAnalysisResult& r) {
+  std::vector<int> lines;
+  for (const BranchInfo& branch : c.module->branches) {
+    if (r.symbolic_branches.Test(branch.id)) {
+      lines.push_back(branch.loc.line);
+    }
+  }
+  return lines;
+}
+
+TEST(StaticAnalysisTest, ArgvBranchIsSymbolic) {
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      if (argv[1][0] == 'a') { return 1; }
+      if (argc == 99) { return 2; }
+      for (int i = 0; i < 10; i = i + 1) { }
+      return 0;
+    }
+  )");
+  const StaticAnalysisResult r = Analyze(c);
+  // argv-content branch symbolic; the pure loop branch concrete. argc is
+  // shape information, not content, so it is not a taint source.
+  EXPECT_EQ(r.symbolic_branches.Count(), 1u);
+  EXPECT_EQ(SymbolicLines(c, r)[0], 3);
+}
+
+TEST(StaticAnalysisTest, TaintThroughAssignmentsAndArithmetic) {
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      int x = argv[1][0];
+      int y = x * 2 + 1;
+      if (y > 100) { return 1; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(Analyze(c).symbolic_branches.Count(), 1u);
+}
+
+TEST(StaticAnalysisTest, TaintThroughFunctionSummary) {
+  Compiled c = CompileOrDie(R"(
+    int identity(int v) { return v; }
+    int constant(int v) { return 7; }
+    int main(int argc, char **argv) {
+      if (identity(argv[1][0]) == 'q') { return 1; }
+      if (constant(argv[1][0]) == 7) { return 2; }
+      return 0;
+    }
+  )");
+  const StaticAnalysisResult r = Analyze(c);
+  EXPECT_EQ(r.symbolic_branches.Count(), 1u);
+}
+
+TEST(StaticAnalysisTest, ContextSensitivityOnParameterPattern) {
+  // check() is called once with tainted and once with clean data; the
+  // branch inside it must be symbolic (the tainted context reaches it).
+  Compiled c = CompileOrDie(R"(
+    int check(int v) { if (v == 5) { return 1; } return 0; }
+    int main(int argc, char **argv) {
+      int clean = check(3);
+      int dirty = check(argv[1][0]);
+      return clean + dirty;
+    }
+  )");
+  const StaticAnalysisResult r = Analyze(c);
+  EXPECT_EQ(r.symbolic_branches.Count(), 1u);
+  EXPECT_GE(r.analyzed_contexts, 3u);  // main + check under two masks.
+}
+
+TEST(StaticAnalysisTest, TaintThroughMemory) {
+  Compiled c = CompileOrDie(R"(
+    char g_buf[16];
+    int main(int argc, char **argv) {
+      g_buf[0] = argv[1][0];
+      if (g_buf[1] == 'x') { return 1; }
+      return 0;
+    }
+  )");
+  // Field-insensitive object taint: writing byte 0 taints the whole buffer,
+  // so the (dynamically concrete) test of byte 1 is labeled symbolic. This
+  // is the deliberate static over-approximation.
+  EXPECT_EQ(Analyze(c).symbolic_branches.Count(), 1u);
+}
+
+TEST(StaticAnalysisTest, ReadTaintsBuffer) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[8];
+      int n = read(0, buf, 7);
+      if (buf[0] == 'a') { return 1; }
+      if (n <= 0) { return 2; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(Analyze(c).symbolic_branches.Count(), 2u);
+}
+
+TEST(StaticAnalysisTest, SelectAndPollReturnsAreTainted) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int fds[2];
+      fds[0] = 3;
+      fds[1] = 4;
+      if (select_fd(fds, 2) >= 0) { return 1; }
+      if (poll_signal()) { return 2; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(Analyze(c).symbolic_branches.Count(), 2u);
+}
+
+TEST(StaticAnalysisTest, PointerAliasingOverApproximates) {
+  Compiled c = CompileOrDie(R"(
+    int g_a[4];
+    int g_b[4];
+    int pick(int which, int *a, int *b, int value) {
+      int *p = a;
+      if (which) { p = b; }
+      p[0] = value;
+      return 0;
+    }
+    int main(int argc, char **argv) {
+      pick(0, g_a, g_b, argv[1][0]);
+      if (g_b[0] == 9) { return 1; }
+      return 0;
+    }
+  )");
+  const StaticAnalysisResult r = Analyze(c);
+  // p may point to either array, so storing a tainted value taints both;
+  // the g_b test is symbolic statically even though at runtime only g_a
+  // received input. (The `which` branch itself is concrete.)
+  std::vector<int> lines = SymbolicLines(c, r);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 12);
+}
+
+TEST(StaticAnalysisTest, SoundnessOverDynamic) {
+  // Every branch the dynamic analysis proves symbolic must be labeled
+  // symbolic by the (full-program) static analysis.
+  const WorkloadSources sources = MkdirWorkload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  const StaticAnalysisResult stat = Analyze(c);
+
+  ExprArena arena;
+  ConcolicEngine engine(*c.module, &arena);
+  InputSpec spec;
+  spec.argv = {"mkdir", "-m", "0755", "somedir"};
+  spec.world.listen_fd = -1;
+  AnalysisConfig config;
+  config.max_runs = 24;
+  const AnalysisResult dyn = engine.Analyze(spec, config);
+
+  for (const BranchInfo& branch : c.module->branches) {
+    if (dyn.labels[branch.id] == BranchLabel::kSymbolic) {
+      EXPECT_TRUE(stat.symbolic_branches.Test(branch.id))
+          << "dynamic-symbolic branch " << branch.id << " at line " << branch.loc.line
+          << " missed by static analysis";
+    }
+  }
+}
+
+TEST(StaticAnalysisTest, LibraryOpaqueModeMarksAllLibraryBranches) {
+  const WorkloadSources sources = UserverWorkload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  const StaticAnalysisResult opaque = Analyze(c, /*analyze_library=*/false);
+  for (const BranchInfo& branch : c.module->branches) {
+    if (branch.is_library) {
+      EXPECT_TRUE(opaque.symbolic_branches.Test(branch.id));
+    }
+  }
+  // And the opaque mode is at least as conservative overall.
+  const StaticAnalysisResult full = Analyze(c, /*analyze_library=*/true);
+  EXPECT_GE(opaque.symbolic_branches.Count(), full.symbolic_branches.Count());
+}
+
+TEST(StaticAnalysisTest, StaticOverestimatesButNotEverything) {
+  const WorkloadSources sources = UserverWorkload();
+  Compiled c = CompileOrDie(sources.app, sources.libs);
+  const StaticAnalysisResult r = Analyze(c, /*analyze_library=*/false);
+  const size_t total = c.module->branches.size();
+  const size_t symbolic = r.symbolic_branches.Count();
+  EXPECT_GT(symbolic, 0u);
+  EXPECT_LT(symbolic, total);  // Some concrete branches must survive.
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/support/bitvec.h"
+#include "src/support/budget.h"
+#include "src/support/dense_bitset.h"
+#include "src/support/rng.h"
+
+namespace retrace {
+namespace {
+
+TEST(BitVecTest, PushAndGet) {
+  BitVec bits;
+  EXPECT_TRUE(bits.empty());
+  bits.PushBit(true);
+  bits.PushBit(false);
+  bits.PushBit(true);
+  EXPECT_EQ(bits.size(), 3u);
+  EXPECT_TRUE(bits.GetBit(0));
+  EXPECT_FALSE(bits.GetBit(1));
+  EXPECT_TRUE(bits.GetBit(2));
+}
+
+TEST(BitVecTest, ByteSizeRoundsUp) {
+  BitVec bits;
+  for (int i = 0; i < 9; ++i) {
+    bits.PushBit(i % 2 == 0);
+  }
+  EXPECT_EQ(bits.ByteSize(), 2u);
+}
+
+TEST(BitVecTest, SerializeRoundTrip) {
+  BitVec bits;
+  for (int i = 0; i < 100; ++i) {
+    bits.PushBit((i * 7) % 3 == 0);
+  }
+  const BitVec copy = BitVec::Deserialize(bits.Serialize(), bits.size());
+  EXPECT_EQ(bits, copy);
+}
+
+TEST(BitVecTest, CrossesByteBoundaries) {
+  BitVec bits;
+  for (int i = 0; i < 64; ++i) {
+    bits.PushBit(i == 13 || i == 31 || i == 63);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(bits.GetBit(i), i == 13 || i == 31 || i == 63) << i;
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const u8 c = rng.NextPrintable();
+    EXPECT_GE(c, ' ');
+    EXPECT_LE(c, '~');
+  }
+}
+
+TEST(BudgetTest, StepLimit) {
+  Budget budget = Budget::Steps(10);
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_TRUE(budget.Consume(9));
+  EXPECT_FALSE(budget.Consume(1));
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(BudgetTest, UnlimitedByDefault) {
+  Budget budget;
+  EXPECT_TRUE(budget.Consume(1'000'000'000));
+  EXPECT_FALSE(budget.Exhausted());
+}
+
+TEST(DenseBitsetTest, SetTestCount) {
+  DenseBitset bits(130);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Set(64, false);
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(DenseBitsetTest, UnionWith) {
+  DenseBitset a(70);
+  DenseBitset b(70);
+  a.Set(3);
+  b.Set(69);
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(69));
+  EXPECT_FALSE(a.UnionWith(b));  // No change the second time.
+}
+
+}  // namespace
+}  // namespace retrace

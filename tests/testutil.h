@@ -1,0 +1,57 @@
+// Shared helpers for retrace tests.
+#ifndef RETRACE_TESTS_TESTUTIL_H_
+#define RETRACE_TESTS_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace retrace {
+
+struct Compiled {
+  std::unique_ptr<SemaProgram> program;
+  std::unique_ptr<IrModule> module;
+};
+
+inline Compiled CompileOrDie(std::string_view app, const std::vector<std::string>& libs = {}) {
+  std::vector<std::unique_ptr<Unit>> units;
+  int index = 0;
+  for (const std::string& lib : libs) {
+    auto unit = Parse(lib, index++, /*is_library=*/true);
+    if (!unit.ok()) {
+      ADD_FAILURE() << "library parse error: " << unit.error().ToString();
+      return {};
+    }
+    units.push_back(unit.take());
+  }
+  auto unit = Parse(app, index++, /*is_library=*/false);
+  if (!unit.ok()) {
+    ADD_FAILURE() << "parse error: " << unit.error().ToString();
+    return {};
+  }
+  units.push_back(unit.take());
+  auto program = Analyze(std::move(units));
+  if (!program.ok()) {
+    ADD_FAILURE() << "sema error: " << program.error().ToString();
+    return {};
+  }
+  auto module = Lower(*program.value());
+  if (!module.ok()) {
+    ADD_FAILURE() << "lowering error: " << module.error().ToString();
+    return {};
+  }
+  Compiled out;
+  out.program = program.take();
+  out.module = module.take();
+  return out;
+}
+
+}  // namespace retrace
+
+#endif  // RETRACE_TESTS_TESTUTIL_H_

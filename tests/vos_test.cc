@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "src/concolic/cellrun.h"
+#include "src/instrument/syscall_log.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+InputSpec SpecWithStdin(std::string_view data, i64 chunk = -1) {
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  spec.world.stdin_stream = 0;
+  StreamShape stream;
+  stream.name = "stdin";
+  stream.bytes.assign(data.begin(), data.end());
+  stream.length = static_cast<i64>(stream.bytes.size());
+  stream.chunk = chunk;
+  spec.world.streams.push_back(stream);
+  return spec;
+}
+
+TEST(VosTest, CellLayoutArgvAndStreams) {
+  InputSpec spec;
+  spec.argv = {"prog", "ab", "c"};
+  spec.world.streams.push_back(StreamShape{"s", {'x', 'y'}, 2, -1});
+  const CellLayout layout = CellLayout::Build(spec);
+  // "ab" + NUL, "c" + NUL, two stream bytes.
+  EXPECT_EQ(layout.num_static(), 7);
+  EXPECT_EQ(layout.ArgByteCell(0, 0), -1);  // argv[0] is not symbolic.
+  EXPECT_EQ(layout.ArgByteCell(1, 1), 1);
+  EXPECT_EQ(layout.ArgByteCell(1, 2), 2);  // NUL cell, domain {0,0}.
+  EXPECT_EQ(layout.ArgByteCell(2, 0), 3);
+  EXPECT_EQ(layout.StreamByteCell(0, 1), 6);
+  EXPECT_EQ(layout.defaults()[0], 'a');
+  EXPECT_EQ(layout.defaults()[2], 0);
+  EXPECT_EQ(layout.domains()[2], (Interval{0, 0}));
+  EXPECT_EQ(layout.defaults()[6], 'y');
+}
+
+TEST(VosTest, MaterializeArgvAppliesModel) {
+  InputSpec spec;
+  spec.argv = {"prog", "ab"};
+  const CellLayout layout = CellLayout::Build(spec);
+  std::vector<i64> values = layout.defaults();
+  values[0] = 'Z';
+  const auto argv = layout.MaterializeArgv(spec, values);
+  ASSERT_EQ(argv.size(), 2u);
+  EXPECT_EQ(argv[1], "Zb");
+}
+
+TEST(VosTest, StdinReadDeliversBytes) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[16];
+      int n = read(0, buf, 15);
+      if (n < 0) { return -1; }
+      buf[n] = 0;
+      print_str(buf);
+      return n;
+    }
+  )");
+  CellRunner runner(*c.module, SpecWithStdin("hello"));
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  EXPECT_EQ(out.result.exit_code, 5);
+  EXPECT_EQ(out.stdout_text, "hello");
+}
+
+TEST(VosTest, ChunkedReadsArePartial) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[32];
+      int total = 0;
+      int reads = 0;
+      int r = read(0, buf, 31);
+      while (r > 0) {
+        total = total + r;
+        reads = reads + 1;
+        r = read(0, &buf[total], 31 - total);
+      }
+      return reads * 100 + total;
+    }
+  )");
+  CellRunner runner(*c.module, SpecWithStdin("0123456789", /*chunk=*/4));
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  // 4 + 4 + 2 bytes over three reads.
+  EXPECT_EQ(out.result.exit_code, 310);
+}
+
+TEST(VosTest, OpenMissingFileFails) {
+  Compiled c = CompileOrDie(R"(
+    int main() { return open("nope.txt", 0); }
+  )");
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  CellRunner runner(*c.module, spec);
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  EXPECT_EQ(out.result.exit_code, -1);
+}
+
+TEST(VosTest, FileOpenReadClose) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int fd = open("data.txt", 0);
+      if (fd < 0) { return -1; }
+      char buf[8];
+      int n = read(fd, buf, 7);
+      close(fd);
+      return n * 10 + buf[0] - '0';
+    }
+  )");
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  spec.world.files.emplace_back("data.txt", 0);
+  spec.world.streams.push_back(StreamShape{"data.txt", {'7', '8'}, 2, -1});
+  CellRunner runner(*c.module, spec);
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  EXPECT_EQ(out.result.exit_code, 27);
+}
+
+TEST(VosTest, AcceptSelectConnectionFlow) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int fds[2];
+      fds[0] = 3;
+      int got = 0;
+      int loops = 0;
+      char buf[32];
+      int conn = -1;
+      while (loops < 20) {
+        loops = loops + 1;
+        int n = 1;
+        if (conn >= 0) { fds[1] = conn; n = 2; }
+        int ready = select_fd(fds, n);
+        if (ready < 0) { continue; }
+        if (fds[ready] == 3) {
+          conn = accept_conn(3);
+          continue;
+        }
+        int r = read(conn, buf, 31);
+        if (r > 0) { got = got + r; }
+        if (r <= 0) { close(conn); break; }
+      }
+      return got;
+    }
+  )");
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = 3;
+  spec.world.connection_streams.push_back(0);
+  spec.world.streams.push_back(StreamShape{"conn", {'p', 'i', 'n', 'g'}, 4, -1});
+  CellRunner runner(*c.module, spec);
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  EXPECT_EQ(out.result.exit_code, 4);
+}
+
+TEST(VosTest, SignalPolicyDelivers) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      int polls = 0;
+      while (polls < 100) {
+        if (poll_signal()) { return polls; }
+        polls = polls + 1;
+      }
+      return -1;
+    }
+  )");
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  CellRunner runner(*c.module, spec);
+  SignalAfterPolicy policy(5);
+  CellRunConfig config;
+  config.policy = &policy;
+  const CellRunOutput out = runner.Run(config);
+  EXPECT_EQ(out.result.exit_code, 5);
+}
+
+TEST(VosTest, DynamicTraceRecordsSyscalls) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[8];
+      int r = read(0, buf, 4);
+      if (poll_signal()) { return 1; }
+      return r;
+    }
+  )");
+  CellRunner runner(*c.module, SpecWithStdin("abcd"));
+  const CellRunOutput out = runner.Run(CellRunConfig{});
+  ASSERT_EQ(out.dyn_trace.size(), 2u);
+  EXPECT_EQ(out.dyn_trace[0].kind, Builtin::kRead);
+  EXPECT_EQ(out.dyn_trace[0].value, 4);
+  EXPECT_EQ(out.dyn_trace[1].kind, Builtin::kPollSignal);
+  const SyscallLog log = SyscallLogFromTrace(out.dyn_trace);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(SyscallLogBytes(log), 10u);
+}
+
+TEST(VosTest, ReplayLogPinsResults) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[16];
+      int r1 = read(0, buf, 10);
+      int r2 = read(0, &buf[r1], 10);
+      return r1 * 10 + r2;
+    }
+  )");
+  // Log says: first read returned 3, second returned 2.
+  SyscallLog log = {{Builtin::kRead, 3}, {Builtin::kRead, 2}};
+  CellRunner runner(*c.module, SpecWithStdin("abcdefgh"));
+  CellRunConfig config;
+  config.replay_log = &log;
+  const CellRunOutput out = runner.Run(config);
+  EXPECT_EQ(out.result.exit_code, 32);
+  EXPECT_FALSE(out.log_diverged);
+}
+
+TEST(VosTest, ModelOverridesSyscallCells) {
+  Compiled c = CompileOrDie(R"(
+    int main() {
+      char buf[16];
+      int r = read(0, buf, 10);
+      return r;
+    }
+  )");
+  CellRunner runner(*c.module, SpecWithStdin("abcdefgh"));
+  // First run captures the dynamic cell id; then force a short read.
+  CellRunOutput first = runner.Run(CellRunConfig{});
+  EXPECT_EQ(first.result.exit_code, 8);
+  ASSERT_EQ(first.dyn_trace.size(), 1u);
+  std::vector<i64> model = first.cells;
+  model[first.dyn_trace[0].cell] = 2;
+  CellRunConfig config;
+  config.model = model;
+  const CellRunOutput out = runner.Run(config);
+  EXPECT_EQ(out.result.exit_code, 2);
+}
+
+TEST(VosTest, StripContentsKeepsShape) {
+  InputSpec spec = SpecWithStdin("secret-bytes");
+  const WorldShape stripped = spec.world.StripContents();
+  ASSERT_EQ(stripped.streams.size(), 1u);
+  EXPECT_TRUE(stripped.streams[0].bytes.empty());
+  EXPECT_EQ(stripped.streams[0].length, 12);
+}
+
+}  // namespace
+}  // namespace retrace
