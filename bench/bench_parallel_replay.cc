@@ -1,0 +1,104 @@
+// Parallel replay scheduler: wall-clock speedup at 1/2/4/8 workers.
+//
+// Workload: the uServer crash experiments under the *dynamic (lc)* plan —
+// the paper's hardest replay configuration (low-coverage dynamic analysis
+// leaves the request parser unlogged, so the engine searches a wide
+// pending-set frontier; Table 3 shows cells from 27s to inf). This is
+// exactly the axis the multi-worker scheduler attacks: N workers explore
+// the frontier concurrently with work-stealing, a shared tried-set, and
+// first-crash-wins cancellation.
+//
+// Speedup has two sources: hardware parallelism (one interpreter per
+// core) and *search diversification* — each worker starts from a distinct
+// random input, so the fleet covers the input space the way N independent
+// sequential engines would, but sharing one frontier. Diversification
+// alone can be superlinear: scenarios whose sequential search exhausts
+// the budget (inf) can fall in seconds. On a single-core host all of the
+// measured speedup is diversification.
+#include <cinttypes>
+#include <iterator>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace retrace {
+namespace {
+
+constexpr u32 kWorkerCounts[] = {1, 2, 4, 8};
+constexpr int kExperiments[] = {1, 2, 3, 4};  // e5 exceeds the cap at every count.
+
+int Main() {
+  PrintHeader("Parallel replay speedup (uServer, dynamic (lc) plan)",
+              "Table 3's hardest column, scaled");
+  auto pipeline = BuildWorkloadOrDie("userver");
+  const AnalysisResult lc =
+      pipeline->RunDynamicAnalysis(UserverExploreSpecLC(), LowCoverageConfig());
+  StaticAnalysisOptions opaque;
+  opaque.analyze_library = false;
+  const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(opaque);
+  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat);
+
+  const i64 cap_ms = 30'000 * static_cast<i64>(BenchScale());
+  std::printf("budget %" PRId64 "s per cell; 'inf' = not reproduced within budget\n\n",
+              cap_ms / 1000);
+  std::printf("%-12s", "experiment");
+  for (const u32 workers : kWorkerCounts) {
+    std::printf(" %14s", (std::to_string(workers) + " worker(s)").c_str());
+  }
+  std::printf("\n");
+
+  double total_seconds[std::size(kWorkerCounts)] = {};
+  for (const int experiment : kExperiments) {
+    const Scenario scenario = UserverScenario(experiment);
+    Pipeline::UserRunOptions options;
+    options.policy = scenario.policy.get();
+    const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
+    if (!user.result.Crashed()) {
+      std::printf("exp %d: user run did not crash!\n", experiment);
+      continue;
+    }
+    std::printf("exp %-8d", experiment);
+    for (size_t i = 0; i < std::size(kWorkerCounts); ++i) {
+      ReplayConfig config = DefaultReplayConfig();
+      config.wall_ms = cap_ms;
+      config.num_workers = kWorkerCounts[i];
+      const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+      // Budget-capped cells charge the full cap, like the paper's inf rows.
+      total_seconds[i] +=
+          replay.reproduced ? replay.wall_seconds : static_cast<double>(cap_ms) / 1000.0;
+      char cell[64];
+      if (replay.reproduced) {
+        std::snprintf(cell, sizeof(cell), "%.2fs/%" PRIu64 "r", replay.wall_seconds,
+                      replay.stats.runs);
+      } else {
+        std::snprintf(cell, sizeof(cell), "inf/%" PRIu64 "r", replay.stats.runs);
+      }
+      std::printf(" %14s", cell);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-12s", "total");
+  for (const double seconds : total_seconds) {
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%.2fs", seconds);
+    std::printf(" %14s", cell);
+  }
+  std::printf("\n%-12s", "speedup");
+  for (const double seconds : total_seconds) {
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%.2fx",
+                  seconds > 0 ? total_seconds[0] / seconds : 0.0);
+    std::printf(" %14s", cell);
+  }
+  std::printf("\n\nhardware threads: %u (single-core hosts measure pure search\n"
+              "diversification; multi-core hosts add interpreter parallelism)\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}
+
+}  // namespace
+}  // namespace retrace
+
+int main() { return retrace::Main(); }

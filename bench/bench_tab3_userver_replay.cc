@@ -42,6 +42,9 @@ int Main() {
   configs.push_back(
       {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)});
 
+  std::printf("replay workers: %u (RETRACE_REPLAY_WORKERS; >1 engages the parallel\n"
+              "scheduler — see bench_parallel_replay for the speedup sweep)\n\n",
+              ReplayWorkers());
   std::printf("Paper Table 3 (LC/HC seconds; inf = exceeded 1h):\n");
   std::printf("  dynamic:        27/27  2877/79  inf/170  inf/287  inf/168\n");
   std::printf("  dynamic+static: 27/27  79/79    532/170  175/175  248/168\n");

@@ -59,12 +59,25 @@ inline AnalysisConfig HighCoverageConfig() {
   return config;
 }
 
+// Replay worker count for the table benches: RETRACE_REPLAY_WORKERS
+// (default 1, the sequential engine, so historical numbers stay
+// comparable; bench_parallel_replay sweeps counts explicitly).
+inline u32 ReplayWorkers() {
+  const char* env = std::getenv("RETRACE_REPLAY_WORKERS");
+  if (env == nullptr) {
+    return 1;
+  }
+  const int workers = std::atoi(env);
+  return workers > 0 ? static_cast<u32>(workers) : 1;
+}
+
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
   ReplayConfig config;
   config.wall_ms = 20'000 * static_cast<i64>(BenchScale());
   config.max_runs = 50'000;
   config.seed = 31;
+  config.num_workers = ReplayWorkers();
   return config;
 }
 

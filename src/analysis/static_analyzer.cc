@@ -38,7 +38,7 @@ void StaticAnalyzer::ComputeReadsInput() {
   }
 }
 
-bool StaticAnalyzer::OperandTainted(i32 func, const Operand& op,
+bool StaticAnalyzer::OperandTainted([[maybe_unused]] i32 func, const Operand& op,
                                     const std::vector<bool>& slot_taint) const {
   switch (op.kind) {
     case Operand::Kind::kSlot:

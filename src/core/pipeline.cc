@@ -71,7 +71,7 @@ class SymbolicSplitObserver : public BranchObserver {
   SymbolicSplitObserver(const InstrumentationPlan& plan, size_t num_branches)
       : plan_(plan), symbolic_seen_(num_branches, 0) {}
 
-  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+  Action OnBranch(i32 branch_id, bool /*taken*/, ExprRef cond_shadow) override {
     if (cond_shadow == kNoExpr) {
       return Action::kContinue;
     }
@@ -201,6 +201,8 @@ Pipeline::OverheadSample Pipeline::MeasureOverhead(const InputSpec& spec,
 
 ReplayResult Pipeline::Reproduce(const BugReport& report, const InstrumentationPlan& plan,
                                  const ReplayConfig& config) {
+  // The shared arena only backs the sequential path; parallel workers
+  // build thread-confined arenas of their own.
   ReplayEngine engine(*module_, plan, report, &arena_);
   return engine.Reproduce(config);
 }

@@ -85,8 +85,14 @@ class Pipeline {
                                  NondetPolicy* policy, int reps, bool log_syscalls = true);
 
   // ----- Phase 3: developer site -----
+  // `config.num_workers` > 1 runs the parallel replay scheduler; use
+  // DefaultReplayWorkers() to saturate the host.
   ReplayResult Reproduce(const BugReport& report, const InstrumentationPlan& plan,
                          const ReplayConfig& config);
+
+  // Replay worker count that saturates this host; the resolution applied
+  // to ReplayConfig::num_workers == 0.
+  static u32 DefaultReplayWorkers() { return retrace::DefaultReplayWorkers(); }
 
   // Runs the witness input concretely and checks it crashes at the
   // reported site.

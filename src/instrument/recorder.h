@@ -21,7 +21,7 @@ class BranchTraceRecorder : public BranchObserver {
  public:
   explicit BranchTraceRecorder(const InstrumentationPlan& plan) : plan_(plan) {}
 
-  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+  Action OnBranch(i32 branch_id, bool taken, ExprRef /*cond_shadow*/) override {
     if (plan_.Instrumented(branch_id)) {
       RecordBit(taken);
     }
@@ -68,7 +68,7 @@ class InstrumentedExecCounter : public BranchObserver {
  public:
   explicit InstrumentedExecCounter(const InstrumentationPlan& plan) : plan_(plan) {}
 
-  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+  Action OnBranch(i32 branch_id, bool /*taken*/, ExprRef /*cond_shadow*/) override {
     if (plan_.Instrumented(branch_id)) {
       ++count_;
     }

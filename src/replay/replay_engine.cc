@@ -1,9 +1,17 @@
 #include "src/replay/replay_engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "src/support/stop_token.h"
+#include "src/support/workqueue.h"
 
 namespace retrace {
 namespace {
@@ -69,6 +77,22 @@ class ReplayObserver : public BranchObserver {
   bool debug_ = false;
 };
 
+// First-crash-wins cancellation: aborts an in-flight run once another
+// worker has reproduced the bug, instead of letting it finish a pointless
+// multi-million-step execution.
+class CancelObserver : public BranchObserver {
+ public:
+  explicit CancelObserver(const StopSource& stop) : stop_(stop) {}
+
+  Action OnBranch(i32 /*branch_id*/, bool /*taken*/, ExprRef /*cond_shadow*/) override {
+    return stop_.StopRequested() ? Action::kAbort : Action::kContinue;
+  }
+
+ private:
+  const StopSource& stop_;
+};
+
+// Sequential frontier entry: constraints live in the engine's arena.
 struct Pending {
   std::shared_ptr<std::vector<Constraint>> trace;
   size_t len = 0;           // Constraints [0, len) form the set.
@@ -77,9 +101,33 @@ struct Pending {
   std::shared_ptr<std::vector<Interval>> domains;
 };
 
+// Parallel frontier entry: constraints travel arena-independently so any
+// worker can import them into its private arena. `len`/`negate_last`
+// mirror Pending; `seed`/`domains` are immutable snapshots of the
+// producing run.
+struct ParallelPending {
+  std::shared_ptr<const PortableTrace> trace;
+  size_t len = 0;
+  bool negate_last = false;
+  std::shared_ptr<const std::vector<i64>> seed;
+  std::shared_ptr<const std::vector<Interval>> domains;
+};
+
 }  // namespace
 
+u32 DefaultReplayWorkers() {
+  return std::clamp(std::thread::hardware_concurrency(), 1u, 16u);
+}
+
 ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
+  const u32 workers = config.num_workers == 0 ? DefaultReplayWorkers() : config.num_workers;
+  if (workers <= 1) {
+    return ReproduceSequential(config);
+  }
+  return ReproduceParallel(config, workers);
+}
+
+ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   ReplayResult result;
 
@@ -99,6 +147,21 @@ ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
   std::deque<Pending> pendings;
   const SyscallLog* replay_log =
       config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
+
+  // Mirrors the aggregate counters into the single worker entry, keeping
+  // the per-worker view lossless at any worker count.
+  auto finish = [&]() {
+    ReplayWorkerStats worker;
+    worker.runs = result.stats.runs;
+    worker.solver_calls = result.stats.solver_calls;
+    worker.aborts_forced_direction = result.stats.aborts_forced_direction;
+    worker.aborts_concrete_mismatch = result.stats.aborts_concrete_mismatch;
+    worker.aborts_log_exhausted = result.stats.aborts_log_exhausted;
+    worker.crashes_wrong_site = result.stats.crashes_wrong_site;
+    result.stats.per_worker = {worker};
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
 
   // Runs one input; returns true when the bug is reproduced.
   auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
@@ -157,19 +220,19 @@ ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
   };
 
   if (do_run(initial, 0)) {
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    finish();
     return result;
   }
 
   while (!pendings.empty() && result.stats.runs < config.max_runs && !budget.Exhausted()) {
     Pending pending;
-    if (config.pick == ReplayConfig::Pick::kDfs) {
-      pending = std::move(pendings.back());
-      pendings.pop_back();
-    } else {
+    if (config.pick == ReplayConfig::Pick::kFifo) {
       pending = std::move(pendings.front());
       pendings.pop_front();
+    } else {
+      // kDfs; kPortfolio degenerates to DFS with a single worker.
+      pending = std::move(pendings.back());
+      pendings.pop_back();
     }
 
     std::vector<Constraint> constraints(pending.trace->begin(),
@@ -186,6 +249,211 @@ ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
       break;
     }
   }
+
+  result.budget_exhausted = !result.reproduced;
+  finish();
+  return result;
+}
+
+ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num_workers) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ReplayResult result;
+
+  // Shared scheduler state. Everything the workers share is either
+  // immutable (module, plan, report), synchronized here (frontier, dedup
+  // registry, winner slot), or lock-free (stop flag, run admission).
+  WorkStealingQueue<ParallelPending> frontier(num_workers);
+  StopSource stop;
+  std::mutex winner_mu;
+  bool have_winner = false;
+  std::mutex dedup_mu;
+  std::unordered_set<u64> tried;
+  std::atomic<u64> runs_admitted{0};
+  std::vector<ReplayWorkerStats> worker_stats(num_workers);
+
+  const SyscallLog* replay_log =
+      config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
+
+  auto worker_fn = [&](u32 wid) {
+    ReplayWorkerStats& ws = worker_stats[wid];
+    // Thread-confined execution context: arena, interpreter harness and
+    // solver are all single-threaded by design.
+    ExprArena arena;
+    CellRunner runner(module_, report_.shape);
+    Solver solver(arena, config.solver);
+    Rng rng(config.seed + 0x9e3779b97f4a7c15ull * wid);
+    const u64 step_share = std::max<u64>(1, config.total_steps / num_workers);
+    Budget budget = config.wall_ms > 0 ? Budget::StepsAndMillis(step_share, config.wall_ms)
+                                       : Budget::Steps(step_share);
+
+    auto pop_order = [&]() -> PopOrder {
+      switch (config.pick) {
+        case ReplayConfig::Pick::kDfs:
+          return PopOrder::kNewestFirst;
+        case ReplayConfig::Pick::kFifo:
+          return PopOrder::kOldestFirst;
+        case ReplayConfig::Pick::kPortfolio:
+          // Worker 0: DFS. Worker 1: FIFO. The rest: randomized DFS,
+          // each with a distinct stream from the per-worker rng.
+          if (wid == 0) {
+            return PopOrder::kNewestFirst;
+          }
+          if (wid == 1) {
+            return PopOrder::kOldestFirst;
+          }
+          return (rng.Next() & 1) != 0 ? PopOrder::kNewestFirst : PopOrder::kOldestFirst;
+      }
+      return PopOrder::kNewestFirst;
+    };
+
+    // Runs one input; returns true when the search is over for this worker
+    // (it reproduced the bug, or lost the race to another worker's crash).
+    auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
+      ReplayObserver observer(plan_, report_.branch_log);
+      CancelObserver cancel(stop);
+      CellRunConfig run_config;
+      run_config.model = model;
+      run_config.arena = &arena;
+      run_config.observers = {&observer, &cancel};
+      run_config.replay_log = replay_log;
+      run_config.max_steps = config.max_steps_per_run;
+      run_config.external_budget = &budget;
+      CellRunOutput out = runner.Run(run_config);
+      ++ws.runs;
+
+      if (out.result.Crashed() && out.result.crash.SameSite(report_.crash) &&
+          observer.cursor == report_.branch_log.size()) {
+        std::lock_guard<std::mutex> lock(winner_mu);
+        if (!have_winner) {
+          have_winner = true;
+          result.reproduced = true;
+          result.crash = out.result.crash;
+          result.witness_cells = out.cells;
+          result.witness_argv = runner.layout().MaterializeArgv(runner.spec(), out.cells);
+          stop.RequestStop();
+          frontier.Close();
+        }
+        return true;
+      }
+      if (stop.StopRequested()) {
+        // Aborted by first-crash-wins cancellation; the partial trace does
+        // not describe a real divergence, so publish nothing.
+        ++ws.cancelled_runs;
+        return true;
+      }
+      if (out.result.Crashed()) {
+        ++ws.crashes_wrong_site;
+      }
+      if (observer.concrete_mismatch) {
+        ++ws.aborts_concrete_mismatch;
+      }
+      if (observer.log_exhausted) {
+        ++ws.aborts_log_exhausted;
+      }
+      if (observer.forced_direction) {
+        ++ws.aborts_forced_direction;
+      }
+
+      bool any_flip = false;
+      for (size_t flip : observer.flippable) {
+        if (flip >= start_depth) {
+          any_flip = true;
+          break;
+        }
+      }
+      if (any_flip || observer.forced_direction) {
+        // One export per run; all pendings of this run share the snapshot.
+        auto trace = std::make_shared<const PortableTrace>(ExportTrace(arena, observer.trace));
+        auto seed = std::make_shared<const std::vector<i64>>(std::move(out.cells));
+        auto domains = std::make_shared<const std::vector<Interval>>(std::move(out.domains));
+        // Case-1 alternatives, deepest explored first under DFS.
+        for (size_t flip : observer.flippable) {
+          if (flip < start_depth) {
+            continue;  // Already offered by the run that generated this prefix.
+          }
+          frontier.Push(wid, ParallelPending{trace, flip + 1, /*negate_last=*/true, seed,
+                                             domains});
+        }
+        if (observer.forced_direction) {
+          // Highest priority under DFS: steers the run back onto the log.
+          frontier.Push(wid, ParallelPending{trace, trace->constraints.size(),
+                                             /*negate_last=*/false, seed, domains});
+        }
+      }
+      return false;
+    };
+
+    // Worker-private initial random input. Worker 0 draws exactly the
+    // sequential engine's initial input; the others diversify the start of
+    // the search.
+    bool done = false;
+    if (!stop.StopRequested() && !budget.Exhausted() &&
+        runs_admitted.fetch_add(1) < config.max_runs) {
+      std::vector<i64> initial(runner.layout().defaults().size());
+      for (i64& v : initial) {
+        v = rng.NextPrintable();
+      }
+      done = do_run(initial, 0);
+    }
+
+    while (!done && !stop.StopRequested() && !budget.Exhausted()) {
+      ParallelPending pending;
+      bool stolen = false;
+      if (!frontier.Pop(wid, pop_order(), &pending, &stolen)) {
+        break;  // Frontier drained, cancelled, or run cap reached.
+      }
+      if (stolen) {
+        ++ws.steals;
+      }
+      const u64 fp = FingerprintConstraints(*pending.trace, pending.len, pending.negate_last);
+      {
+        std::lock_guard<std::mutex> lock(dedup_mu);
+        if (!tried.insert(fp).second) {
+          ++ws.dedup_skips;
+          continue;
+        }
+      }
+      std::vector<Constraint> constraints =
+          ImportConstraints(*pending.trace, pending.len, pending.negate_last, &arena);
+      ++ws.solver_calls;
+      const SolveResult solved = solver.Solve(constraints, *pending.domains, *pending.seed);
+      if (solved.status != SolveStatus::kSat) {
+        continue;
+      }
+      if (runs_admitted.fetch_add(1) >= config.max_runs) {
+        // Global run cap: the whole search is over, not just this worker.
+        frontier.Close();
+        break;
+      }
+      done = do_run(solved.model, pending.len);
+    }
+    frontier.Retire();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (u32 wid = 0; wid < num_workers; ++wid) {
+    threads.emplace_back(worker_fn, wid);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Lossless aggregation: every per-worker counter sums into exactly one
+  // aggregate field.
+  for (const ReplayWorkerStats& ws : worker_stats) {
+    result.stats.runs += ws.runs;
+    result.stats.solver_calls += ws.solver_calls;
+    result.stats.aborts_forced_direction += ws.aborts_forced_direction;
+    result.stats.aborts_concrete_mismatch += ws.aborts_concrete_mismatch;
+    result.stats.aborts_log_exhausted += ws.aborts_log_exhausted;
+    result.stats.crashes_wrong_site += ws.crashes_wrong_site;
+    result.stats.steals += ws.steals;
+    result.stats.dedup_skips += ws.dedup_skips;
+    result.stats.cancelled_runs += ws.cancelled_runs;
+  }
+  result.stats.pending_peak = frontier.peak();
+  result.stats.per_worker = std::move(worker_stats);
 
   result.budget_exhausted = !result.reproduced;
   result.wall_seconds =

@@ -15,6 +15,16 @@
 // Aborted runs pull the next pending constraint set (depth-first by
 // default), solve it, and restart with the resulting input. Reproduction
 // succeeds when a run crashes at the reported crash site.
+//
+// With num_workers > 1 the pending-set frontier becomes a shared
+// work-stealing queue and N workers run independent concolic executions —
+// each with a private interpreter, expression arena and solver (none of
+// which are thread-safe), exchanging pending sets in arena-portable form.
+// A shared fingerprint registry dedups constraint sets that several
+// workers discover independently, and the first worker to reproduce the
+// crash cancels the rest (first-crash-wins). num_workers == 1 runs the
+// original sequential loop and is bit-identical to the pre-parallel
+// engine.
 #ifndef RETRACE_REPLAY_REPLAY_ENGINE_H_
 #define RETRACE_REPLAY_REPLAY_ENGINE_H_
 
@@ -36,7 +46,29 @@ struct ReplayConfig {
   SolverOptions solver;
   u64 seed = 42;                  // Initial random input.
   bool use_syscall_log = true;    // Replay logged syscall results (§3.3).
-  enum class Pick { kDfs, kFifo } pick = Pick::kDfs;  // Pending-set heuristic.
+  // Pending-set heuristic. kPortfolio is only meaningful with
+  // num_workers > 1: worker 0 runs DFS, worker 1 FIFO, and the rest
+  // randomized DFS with per-worker seeds, so one search discipline's
+  // pathology does not stall the whole fleet.
+  enum class Pick { kDfs, kFifo, kPortfolio } pick = Pick::kDfs;
+  // Concolic executions in flight. 1 = the original sequential engine;
+  // 0 = one per hardware thread.
+  u32 num_workers = 1;
+};
+
+// Counters for one worker of the parallel scheduler. The aggregate
+// ReplayStats sums these losslessly, so `stats.runs` etc. keep their
+// pre-parallel meaning at any worker count.
+struct ReplayWorkerStats {
+  u64 runs = 0;
+  u64 solver_calls = 0;
+  u64 aborts_forced_direction = 0;   // Case 2b.
+  u64 aborts_concrete_mismatch = 0;  // Case 3b.
+  u64 aborts_log_exhausted = 0;
+  u64 crashes_wrong_site = 0;
+  u64 steals = 0;        // Pending sets taken from another worker's deque.
+  u64 dedup_skips = 0;   // Pending sets dropped: already tried fleet-wide.
+  u64 cancelled_runs = 0;  // Runs aborted by first-crash-wins cancellation.
 };
 
 struct ReplayStats {
@@ -47,7 +79,19 @@ struct ReplayStats {
   u64 aborts_log_exhausted = 0;
   u64 crashes_wrong_site = 0;
   u64 pending_peak = 0;
+  u64 steals = 0;
+  u64 dedup_skips = 0;
+  u64 cancelled_runs = 0;
+  // One entry per worker (a single entry mirroring the totals when the
+  // sequential engine ran). Sum of any counter over per_worker equals the
+  // aggregate above.
+  std::vector<ReplayWorkerStats> per_worker;
 };
+
+// Worker count that saturates the host: hardware threads clamped to
+// [1, 16] (frontier contention outgrows the benefit beyond that for
+// interpreter-bound runs). This is the resolution of num_workers == 0.
+u32 DefaultReplayWorkers();
 
 struct ReplayResult {
   bool reproduced = false;
@@ -61,7 +105,9 @@ struct ReplayResult {
 
 class ReplayEngine {
  public:
-  // `plan` must be the plan the report's binary shipped with.
+  // `plan` must be the plan the report's binary shipped with. `arena` is
+  // used by the sequential path only; parallel workers build private
+  // arenas (shared hash-consing is not thread-safe).
   ReplayEngine(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
                ExprArena* arena)
       : module_(module), plan_(plan), report_(report), arena_(arena) {}
@@ -69,6 +115,9 @@ class ReplayEngine {
   ReplayResult Reproduce(const ReplayConfig& config);
 
  private:
+  ReplayResult ReproduceSequential(const ReplayConfig& config);
+  ReplayResult ReproduceParallel(const ReplayConfig& config, u32 num_workers);
+
   const IrModule& module_;
   const InstrumentationPlan& plan_;
   const BugReport& report_;

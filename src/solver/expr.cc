@@ -1,5 +1,6 @@
 #include "src/solver/expr.h"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
@@ -264,6 +265,122 @@ void ExprArena::CollectConsts(ExprRef ref, std::vector<i64>* consts) const {
       stack.push_back(n.b);
     }
   }
+}
+
+PortableTrace ExportTrace(const ExprArena& arena, const std::vector<Constraint>& constraints) {
+  PortableTrace out;
+  // Work proportional to the trace's reachable set, not the arena:
+  // worker arenas grow monotonically across a search, so a full-arena
+  // scan per export would turn quadratic over a long run. Arena refs are
+  // append-ordered (children always carry smaller refs than parents), so
+  // sorting the reachable refs yields a topological order for free.
+  std::unordered_map<ExprRef, ExprRef> remap;  // Doubles as the seen-set.
+  std::vector<ExprRef> reachable;
+  std::vector<ExprRef> stack;
+  auto visit = [&](ExprRef ref) {
+    if (ref != kNoExpr && remap.emplace(ref, kNoExpr).second) {
+      reachable.push_back(ref);
+      stack.push_back(ref);
+    }
+  };
+  for (const Constraint& c : constraints) {
+    visit(c.expr);
+  }
+  while (!stack.empty()) {
+    const ExprNode& n = arena.node(stack.back());
+    stack.pop_back();
+    visit(n.a);
+    visit(n.b);
+  }
+  std::sort(reachable.begin(), reachable.end());
+  out.nodes.reserve(reachable.size());
+  for (const ExprRef ref : reachable) {
+    ExprNode node = arena.node(ref);
+    if (node.a != kNoExpr) {
+      node.a = remap.at(node.a);
+    }
+    if (node.b != kNoExpr) {
+      node.b = remap.at(node.b);
+    }
+    remap[ref] = static_cast<ExprRef>(out.nodes.size());
+    out.nodes.push_back(node);
+  }
+  out.constraints.reserve(constraints.size());
+  for (const Constraint& c : constraints) {
+    out.constraints.push_back(
+        Constraint{c.expr == kNoExpr ? kNoExpr : remap.at(c.expr), c.want_true});
+  }
+  return out;
+}
+
+std::vector<Constraint> ImportConstraints(const PortableTrace& trace, size_t len,
+                                          bool negate_last, ExprArena* arena) {
+  Check(len <= trace.constraints.size(), "ImportConstraints: len out of range");
+  // Rebuild through the public constructors so interning and folding
+  // invariants hold in the target arena. Exported nodes are already in
+  // canonical (folded) form, so re-interning is structure-preserving.
+  std::vector<ExprRef> remap(trace.nodes.size(), kNoExpr);
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    const ExprNode& n = trace.nodes[i];
+    switch (n.op) {
+      case ExprOp::kConst:
+        remap[i] = arena->MkConst(n.imm);
+        break;
+      case ExprOp::kVar:
+        remap[i] = arena->MkVar(static_cast<i32>(n.imm));
+        break;
+      default:
+        if (ExprOpIsBinary(n.op)) {
+          remap[i] = arena->MkBin(n.op, remap[n.a], remap[n.b]);
+        } else {
+          remap[i] = arena->MkUn(n.op, remap[n.a]);
+        }
+    }
+  }
+  std::vector<Constraint> out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    const Constraint& c = trace.constraints[i];
+    out.push_back(Constraint{c.expr == kNoExpr ? kNoExpr : remap[c.expr], c.want_true});
+  }
+  if (negate_last && !out.empty()) {
+    out.back().want_true = !out.back().want_true;
+  }
+  return out;
+}
+
+u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last) {
+  Check(len <= trace.constraints.size(), "FingerprintConstraints: len out of range");
+  auto mix = [](u64 h, u64 v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h * 0xff51afd7ed558ccdull;
+  };
+  // Bottom-up structural hashes; topological order guarantees children are
+  // hashed before their parents.
+  std::vector<u64> node_hash(trace.nodes.size(), 0);
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    const ExprNode& n = trace.nodes[i];
+    u64 h = mix(0x243f6a8885a308d3ull, static_cast<u64>(n.op));
+    h = mix(h, static_cast<u64>(n.imm));
+    if (n.a != kNoExpr) {
+      h = mix(h, node_hash[n.a]);
+    }
+    if (n.b != kNoExpr) {
+      h = mix(h, node_hash[n.b]);
+    }
+    node_hash[i] = h;
+  }
+  u64 h = 0x13198a2e03707344ull;
+  for (size_t i = 0; i < len; ++i) {
+    const Constraint& c = trace.constraints[i];
+    bool want = c.want_true;
+    if (negate_last && i + 1 == len) {
+      want = !want;
+    }
+    h = mix(h, c.expr == kNoExpr ? 0 : node_hash[c.expr]);
+    h = mix(h, want ? 1 : 2);
+  }
+  return h;
 }
 
 std::string ExprArena::ToString(ExprRef ref) const {

@@ -89,6 +89,35 @@ struct Constraint {
   bool want_true = true;
 };
 
+// Arena-independent snapshot of a constraint trace. The parallel replay
+// scheduler publishes pending constraint sets through a shared frontier;
+// because every worker owns a private ExprArena (hash-consing is not
+// thread-safe), the sets travel in this portable form and are re-interned
+// into the consuming worker's arena. `nodes` is in topological order
+// (children strictly precede parents); node fields a/b and Constraint::expr
+// index into `nodes` instead of an arena.
+struct PortableTrace {
+  std::vector<ExprNode> nodes;
+  std::vector<Constraint> constraints;
+};
+
+// Snapshots `constraints` (all of them) out of `arena`.
+PortableTrace ExportTrace(const ExprArena& arena, const std::vector<Constraint>& constraints);
+
+// Re-interns the nodes of `trace` into `arena` and returns constraints
+// [0, len), negating the last one when `negate_last` — the pending-set
+// shape of the replay frontier. Because arenas apply identical folding and
+// interning rules, importing an exported trace reproduces the structure
+// exactly.
+std::vector<Constraint> ImportConstraints(const PortableTrace& trace, size_t len,
+                                          bool negate_last, ExprArena* arena);
+
+// Structural fingerprint of constraints [0, len) (with the optional
+// negation), stable across arenas. The scheduler's shared dedup key:
+// two workers whose runs produced structurally identical pending sets
+// solve it only once.
+u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last);
+
 }  // namespace retrace
 
 #endif  // RETRACE_SOLVER_EXPR_H_

@@ -1,0 +1,31 @@
+// Cooperative cancellation for multi-worker searches.
+//
+// A StopSource is shared by reference between the scheduler and its
+// workers; the first worker to succeed requests a stop and everyone else
+// observes it at their next check point (worker loop iterations and, via
+// a branch observer, inside long interpreter runs). Deliberately minimal —
+// no callbacks, no ownership — because workers are joined before the
+// source dies.
+#ifndef RETRACE_SUPPORT_STOP_TOKEN_H_
+#define RETRACE_SUPPORT_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace retrace {
+
+class StopSource {
+ public:
+  StopSource() = default;
+  StopSource(const StopSource&) = delete;
+  StopSource& operator=(const StopSource&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  bool StopRequested() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_STOP_TOKEN_H_

@@ -1,0 +1,152 @@
+// MPMC work-stealing frontier for the parallel replay scheduler.
+//
+// Each worker owns a deque (its DFS stack). Owners push to the back and
+// pop according to their heuristic: back (newest first — depth-first) or
+// front (oldest first — breadth/FIFO). A worker whose deque is empty
+// steals the *front* of another worker's deque: the oldest, shallowest
+// entry, i.e. the root of the largest untouched subtree — the classic
+// work-stealing discipline that keeps thieves out of the owner's hot end.
+//
+// Pop() blocks when the whole frontier is empty, because a busy worker may
+// still publish more work. Termination is detected when every worker is
+// blocked in Pop() at once (nobody is running, so nobody can produce), or
+// when Close() is called (first-crash-wins cancellation). A single mutex
+// guards all deques: frontier operations are microseconds apart while the
+// work items between them (solver call + interpreter run) are milliseconds,
+// so contention is irrelevant and the simple design is provably safe.
+#ifndef RETRACE_SUPPORT_WORKQUEUE_H_
+#define RETRACE_SUPPORT_WORKQUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+enum class PopOrder {
+  kNewestFirst,  // Depth-first: continue the deepest path.
+  kOldestFirst,  // FIFO: widen the search.
+};
+
+template <typename T>
+class WorkStealingQueue {
+ public:
+  explicit WorkStealingQueue(size_t num_workers)
+      : queues_(num_workers), active_(num_workers) {}
+
+  // Publishes one item onto `worker`'s deque.
+  void Push(size_t worker, T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queues_[worker].push_back(std::move(item));
+      ++total_;
+      peak_ = total_ > peak_ ? total_ : peak_;
+    }
+    cv_.notify_one();
+  }
+
+  // Takes one item for `worker`: its own deque first (per `order`), then a
+  // steal from the front of the fullest other deque. Blocks while the
+  // frontier is empty but some worker is still busy. Returns false when the
+  // search is over: every worker is blocked here at once (frontier drained)
+  // or Close() was called. `stolen` reports whether the item came from
+  // another worker's deque.
+  bool Pop(size_t worker, PopOrder order, T* out, bool* stolen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (closed_) {
+        return false;
+      }
+      if (total_ > 0) {
+        std::deque<T>& own = queues_[worker];
+        if (!own.empty()) {
+          if (order == PopOrder::kNewestFirst) {
+            *out = std::move(own.back());
+            own.pop_back();
+          } else {
+            *out = std::move(own.front());
+            own.pop_front();
+          }
+          --total_;
+          *stolen = false;
+          return true;
+        }
+        size_t victim = queues_.size();
+        size_t victim_size = 0;
+        for (size_t i = 0; i < queues_.size(); ++i) {
+          if (i != worker && queues_[i].size() > victim_size) {
+            victim = i;
+            victim_size = queues_[i].size();
+          }
+        }
+        Check(victim < queues_.size(), "WorkStealingQueue: total_ > 0 but no victim");
+        *out = std::move(queues_[victim].front());
+        queues_[victim].pop_front();
+        --total_;
+        *stolen = true;
+        return true;
+      }
+      ++waiting_;
+      if (waiting_ >= active_) {
+        // Every still-active worker is here and the frontier is empty:
+        // nothing can ever be produced again. Wake the other waiters so
+        // they observe closed_.
+        closed_ = true;
+        cv_.notify_all();
+        return false;
+      }
+      cv_.wait(lock, [this] { return total_ > 0 || closed_; });
+      --waiting_;
+    }
+  }
+
+  // Ends the search: every blocked and future Pop() returns false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Permanently removes one worker from termination accounting (its private
+  // budget died). Call exactly once per exiting worker; without this the
+  // remaining workers could block in Pop() forever waiting for a producer
+  // that already left.
+  void Retire() {
+    bool close = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Check(active_ > 0, "WorkStealingQueue: Retire underflow");
+      --active_;
+      close = total_ == 0 && waiting_ >= active_;
+      closed_ = closed_ || close;
+    }
+    if (close) {
+      cv_.notify_all();
+    }
+  }
+
+  // High-water mark of items resident across all deques.
+  u64 peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<T>> queues_;
+  u64 total_ = 0;
+  u64 peak_ = 0;
+  size_t waiting_ = 0;
+  size_t active_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SUPPORT_WORKQUEUE_H_

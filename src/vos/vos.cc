@@ -289,7 +289,7 @@ SyscallOutcome VirtualOs::DoWrite(const std::vector<i64>& int_args,
   return out;
 }
 
-SyscallOutcome VirtualOs::DoOpen(const std::string& path, i64 flags) {
+SyscallOutcome VirtualOs::DoOpen(const std::string& path, [[maybe_unused]] i64 flags) {
   SyscallOutcome out;
   for (const auto& [name, stream] : shape_.files) {
     if (name == path) {

@@ -111,7 +111,10 @@ class CellLayout {
 class NondetPolicy {
  public:
   virtual ~NondetPolicy() = default;
-  virtual i64 DefaultFor(Builtin kind, int occurrence, i64 natural) { return natural; }
+  virtual i64 DefaultFor([[maybe_unused]] Builtin kind, [[maybe_unused]] int occurrence,
+                         i64 natural) {
+    return natural;
+  }
 };
 
 // Delivers poll_signal() == 1 on exactly the `occurrence`-th poll (0-based).

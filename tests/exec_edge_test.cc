@@ -9,9 +9,9 @@ namespace {
 
 class NullSyscalls : public SyscallHandler {
  public:
-  SyscallOutcome OnSyscall(Builtin b, const std::vector<i64>& int_args,
-                           const std::string& str_arg,
-                           const std::vector<u8>& write_data) override {
+  SyscallOutcome OnSyscall(Builtin /*b*/, const std::vector<i64>& /*int_args*/,
+                           const std::string& /*str_arg*/,
+                           const std::vector<u8>& /*write_data*/) override {
     return SyscallOutcome{};
   }
 };
