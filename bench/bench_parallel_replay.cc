@@ -16,8 +16,10 @@
 // the budget (inf) can fall in seconds. On a single-core host all of the
 // measured speedup is diversification.
 #include <cinttypes>
+#include <cstdlib>
 #include <iterator>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -25,7 +27,23 @@ namespace retrace {
 namespace {
 
 constexpr u32 kWorkerCounts[] = {1, 2, 4, 8};
-constexpr int kExperiments[] = {1, 2, 3, 4};  // e5 exceeds the cap at every count.
+
+// Default sweep: experiments 1-4 (e5 historically exceeds the cap at every
+// count — target it explicitly with RETRACE_BENCH_EXPERIMENTS=5, usually
+// together with RETRACE_REPLAY_PICK=logbits).
+std::vector<int> Experiments() {
+  const char* env = std::getenv("RETRACE_BENCH_EXPERIMENTS");
+  if (env == nullptr) {
+    return {1, 2, 3, 4};
+  }
+  std::vector<int> out;
+  for (const char* c = env; *c != '\0'; ++c) {
+    if (*c >= '1' && *c <= '5') {
+      out.push_back(*c - '0');
+    }
+  }
+  return out.empty() ? std::vector<int>{1, 2, 3, 4} : out;
+}
 
 int Main() {
   PrintHeader("Parallel replay speedup (uServer, dynamic (lc) plan)",
@@ -39,8 +57,12 @@ int Main() {
   const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat);
 
   const i64 cap_ms = 30'000 * static_cast<i64>(BenchScale());
-  std::printf("budget %" PRId64 "s per cell; 'inf' = not reproduced within budget\n\n",
+  std::printf("budget %" PRId64 "s per cell; 'inf' = not reproduced within budget\n",
               cap_ms / 1000);
+  std::printf("solver cache: %s (RETRACE_SOLVER_CACHE=0 disables the incremental layer)\n",
+              SolverCacheEnabled() ? "on" : "off");
+  std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|portfolio)\n\n",
+              ReplayPickName());
   std::printf("%-12s", "experiment");
   for (const u32 workers : kWorkerCounts) {
     std::printf(" %14s", (std::to_string(workers) + " worker(s)").c_str());
@@ -48,7 +70,10 @@ int Main() {
   std::printf("\n");
 
   double total_seconds[std::size(kWorkerCounts)] = {};
-  for (const int experiment : kExperiments) {
+  u64 total_sat_hits = 0;
+  u64 total_unsat_hits = 0;
+  u64 total_slices_solved = 0;
+  for (const int experiment : Experiments()) {
     const Scenario scenario = UserverScenario(experiment);
     Pipeline::UserRunOptions options;
     options.policy = scenario.policy.get();
@@ -66,6 +91,9 @@ int Main() {
       // Budget-capped cells charge the full cap, like the paper's inf rows.
       total_seconds[i] +=
           replay.reproduced ? replay.wall_seconds : static_cast<double>(cap_ms) / 1000.0;
+      total_sat_hits += replay.stats.slice_sat_hits;
+      total_unsat_hits += replay.stats.slice_unsat_hits;
+      total_slices_solved += replay.stats.slices_solved;
       char cell[64];
       if (replay.reproduced) {
         std::snprintf(cell, sizeof(cell), "%.2fs/%" PRIu64 "r", replay.wall_seconds,
@@ -92,7 +120,14 @@ int Main() {
                   seconds > 0 ? total_seconds[0] / seconds : 0.0);
     std::printf(" %14s", cell);
   }
-  std::printf("\n\nhardware threads: %u (single-core hosts measure pure search\n"
+  const u64 lookups = total_sat_hits + total_unsat_hits + total_slices_solved;
+  std::printf("\n\nslice cache (all cells): %" PRIu64 " sat hits, %" PRIu64
+              " unsat hits, %" PRIu64 " solved, hit rate %.1f%%\n",
+              total_sat_hits, total_unsat_hits, total_slices_solved,
+              lookups > 0 ? 100.0 * static_cast<double>(total_sat_hits + total_unsat_hits) /
+                                static_cast<double>(lookups)
+                          : 0.0);
+  std::printf("hardware threads: %u (single-core hosts measure pure search\n"
               "diversification; multi-core hosts add interpreter parallelism)\n",
               std::thread::hardware_concurrency());
   return 0;

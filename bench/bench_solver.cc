@@ -1,0 +1,170 @@
+// Incremental solving layer microbenchmark: partitioned vs. monolithic
+// solves, slice caches cold vs. warm.
+//
+// Workload: synthetic constraint sets shaped like replay pendings — S
+// independent slices (one per small group of input cells), each a short
+// equality/ordering chain, solved from a deliberately violating seed so
+// the local search has real repair work. Four configurations:
+//
+//   monolithic    the plain Solver over the whole set per call
+//   partitioned   IncrementalSolver, no cache (union-find slices only)
+//   cache-cold    IncrementalSolver, fresh SliceCache every call
+//   cache-warm    IncrementalSolver, one SliceCache across calls
+//
+// Emits BENCH_solver.json (machine-readable) next to the human table so
+// the perf trajectory is tracked from PR 2 on.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/solver/incremental.h"
+
+namespace retrace {
+namespace {
+
+constexpr int kSlices = 24;        // Independent components per set.
+constexpr int kVarsPerSlice = 3;   // Cells per component.
+
+struct Problem {
+  ExprArena arena;
+  std::vector<Constraint> constraints;
+  std::vector<Interval> domains;
+  std::vector<i64> seed;
+};
+
+// One slice over vars [base, base+2]: v0 == 'k', v0 + v1 > 150, v1 != v2.
+// The seed violates every slice, so each needs genuine repair.
+void AddSlice(Problem* p, i32 base) {
+  ExprArena& a = p->arena;
+  const ExprRef v0 = a.MkVar(base);
+  const ExprRef v1 = a.MkVar(base + 1);
+  const ExprRef v2 = a.MkVar(base + 2);
+  p->constraints.push_back({a.MkBin(ExprOp::kEq, v0, a.MkConst('k')), true});
+  p->constraints.push_back(
+      {a.MkBin(ExprOp::kGt, a.MkBin(ExprOp::kAdd, v0, v1), a.MkConst(150)), true});
+  p->constraints.push_back({a.MkBin(ExprOp::kNe, v1, v2), true});
+}
+
+std::unique_ptr<Problem> MakeProblem() {
+  auto p = std::make_unique<Problem>();
+  for (int s = 0; s < kSlices; ++s) {
+    AddSlice(p.get(), static_cast<i32>(s * kVarsPerSlice));
+  }
+  const size_t num_vars = static_cast<size_t>(kSlices) * kVarsPerSlice;
+  p->domains.assign(num_vars, Interval{0, 255});
+  p->seed.assign(num_vars, 0);  // Violates every constraint chain.
+  return p;
+}
+
+struct Row {
+  std::string name;
+  u64 iters = 0;
+  double ns_per_solve = 0;
+  u64 slices_solved = 0;
+  u64 sat_hits = 0;
+};
+
+template <typename Fn>
+Row Measure(const std::string& name, u64 iters, Fn&& solve_once) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < iters; ++i) {
+    solve_once();
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count();
+  Row row;
+  row.name = name;
+  row.iters = iters;
+  row.ns_per_solve = ns / static_cast<double>(iters);
+  return row;
+}
+
+int Main() {
+  PrintHeader("Incremental solver: partition + slice-cache microbenchmark",
+              "the PR 2 solving layer; no direct paper analogue");
+  const u64 iters = 200 * static_cast<u64>(BenchScale());
+  auto p = MakeProblem();
+  const SolverOptions options;
+  std::printf("%d slices x %d vars, %zu constraints, %" PRIu64 " solves per config\n\n",
+              kSlices, kVarsPerSlice, p->constraints.size(), iters);
+
+  std::vector<Row> rows;
+
+  {
+    Solver solver(p->arena, options);
+    rows.push_back(Measure("monolithic", iters, [&] {
+      const SolveResult r = solver.Solve(p->constraints, p->domains, p->seed);
+      Check(r.status == SolveStatus::kSat, "bench_solver: monolithic must solve");
+    }));
+  }
+  {
+    IncrementalSolver inc(p->arena, options, nullptr);
+    rows.push_back(Measure("partitioned", iters, [&] {
+      const SolveResult r = inc.Solve(
+          ConstraintSpan(p->constraints.data(), p->constraints.size()), p->domains, p->seed);
+      Check(r.status == SolveStatus::kSat, "bench_solver: partitioned must solve");
+    }));
+    rows.back().slices_solved = inc.stats().slices_solved;
+  }
+  {
+    rows.push_back(Measure("cache-cold", iters, [&] {
+      // A fresh cache per solve: pays partition + key hashing + stores,
+      // never hits. The honest lower bound for first-contact pendings.
+      SliceCache cache;
+      IncrementalSolver fresh(p->arena, options, &cache);
+      const SolveResult r = fresh.Solve(
+          ConstraintSpan(p->constraints.data(), p->constraints.size()), p->domains, p->seed);
+      Check(r.status == SolveStatus::kSat, "bench_solver: cache-cold must solve");
+    }));
+  }
+  {
+    SliceCache cache;
+    IncrementalSolver inc(p->arena, options, &cache);
+    rows.push_back(Measure("cache-warm", iters, [&] {
+      const SolveResult r = inc.Solve(
+          ConstraintSpan(p->constraints.data(), p->constraints.size()), p->domains, p->seed);
+      Check(r.status == SolveStatus::kSat, "bench_solver: cache-warm must solve");
+    }));
+    rows.back().slices_solved = inc.stats().slices_solved;
+    rows.back().sat_hits = inc.stats().slice_sat_hits;
+  }
+
+  std::printf("%-14s %14s %14s %12s %12s\n", "config", "ns/solve", "vs monolithic",
+              "slicesolves", "sat hits");
+  const double base = rows[0].ns_per_solve;
+  for (const Row& row : rows) {
+    std::printf("%-14s %14.0f %13.2fx %12" PRIu64 " %12" PRIu64 "\n", row.name.c_str(),
+                row.ns_per_solve, base / row.ns_per_solve, row.slices_solved, row.sat_hits);
+  }
+
+  FILE* json = std::fopen("BENCH_solver.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_solver.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"solver\",\n  \"slices\": %d,\n  \"constraints\": %zu,\n"
+               "  \"iters\": %" PRIu64 ",\n  \"results\": [\n",
+               kSlices, p->constraints.size(), iters);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"ns_per_solve\": %.1f, \"speedup_vs_monolithic\": "
+                 "%.3f, \"slices_solved\": %" PRIu64 ", \"sat_hits\": %" PRIu64 "}%s\n",
+                 row.name.c_str(), row.ns_per_solve, base / row.ns_per_solve, row.slices_solved,
+                 row.sat_hits, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_solver.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace retrace
+
+int main() { return retrace::Main(); }

@@ -71,6 +71,49 @@ inline u32 ReplayWorkers() {
   return workers > 0 ? static_cast<u32>(workers) : 1;
 }
 
+// Pending-pick heuristic for the table benches: RETRACE_REPLAY_PICK =
+// dfs (default) | fifo | logbits | portfolio. logbits is the ROADMAP bet
+// for uServer experiment 5: prioritize pendings whose prefix consumed
+// the most branch-log bits.
+inline ReplayConfig::Pick ReplayPick() {
+  const char* env = std::getenv("RETRACE_REPLAY_PICK");
+  if (env == nullptr) {
+    return ReplayConfig::Pick::kDfs;
+  }
+  const std::string pick = env;
+  if (pick == "fifo") {
+    return ReplayConfig::Pick::kFifo;
+  }
+  if (pick == "logbits") {
+    return ReplayConfig::Pick::kLogBits;
+  }
+  if (pick == "portfolio") {
+    return ReplayConfig::Pick::kPortfolio;
+  }
+  return ReplayConfig::Pick::kDfs;
+}
+
+// Name of the *resolved* pick (not the raw env string, which may be an
+// unrecognized value that silently fell back to DFS).
+inline const char* ReplayPickName() {
+  switch (ReplayPick()) {
+    case ReplayConfig::Pick::kFifo: return "fifo";
+    case ReplayConfig::Pick::kLogBits: return "logbits";
+    case ReplayConfig::Pick::kPortfolio: return "portfolio";
+    case ReplayConfig::Pick::kDfs: break;
+  }
+  return "dfs";
+}
+
+// Incremental-solver layer knob for the table benches, mirroring
+// RETRACE_REPLAY_WORKERS: RETRACE_SOLVER_CACHE=0 disables the
+// partition/slice-cache pipeline (the monolithic solver of the original
+// engine); unset or nonzero leaves it on.
+inline bool SolverCacheEnabled() {
+  const char* env = std::getenv("RETRACE_SOLVER_CACHE");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
   ReplayConfig config;
@@ -78,6 +121,8 @@ inline ReplayConfig DefaultReplayConfig() {
   config.max_runs = 50'000;
   config.seed = 31;
   config.num_workers = ReplayWorkers();
+  config.solver_cache = SolverCacheEnabled();
+  config.pick = ReplayPick();
   return config;
 }
 

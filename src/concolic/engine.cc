@@ -207,12 +207,11 @@ AnalysisResult ConcolicEngine::Analyze(const InputSpec& spec, const AnalysisConf
       ++syscall_flips[key];
     }
 
-    // Build the constraint set: prefix plus the negated constraint.
-    std::vector<Constraint> constraints(pending.trace->begin(),
-                                        pending.trace->begin() + pending.flip);
-    Constraint negated = (*pending.trace)[pending.flip];
-    negated.want_true = !negated.want_true;
-    constraints.push_back(negated);
+    // The constraint set — the prefix through `flip` with the flip
+    // negated — is exactly a negate-last view of the trace: solve over it
+    // directly instead of materializing a copy per pending.
+    const ConstraintSpan constraints(pending.trace->data(), pending.flip + 1,
+                                     /*negate_last=*/true);
 
     ++result.solver_calls;
     const SolveResult solved = solver.Solve(constraints, *pending.domains, *pending.seed);

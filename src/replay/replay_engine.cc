@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdlib>
 #include <deque>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/solver/incremental.h"
 #include "src/support/stop_token.h"
 #include "src/support/workqueue.h"
 
@@ -31,6 +33,7 @@ class ReplayObserver : public BranchObserver {
         // Case 1: both directions remain explorable.
         flippable.push_back(trace.size());
         trace.push_back(Constraint{cond_shadow, taken});
+        bits_at.push_back(cursor);
       }
       // Case 4: nothing to do.
       return Action::kContinue;
@@ -45,11 +48,13 @@ class ReplayObserver : public BranchObserver {
     if (symbolic) {
       if (taken == logged) {
         trace.push_back(Constraint{cond_shadow, taken});  // Case 2a.
+        bits_at.push_back(cursor);
         return Action::kContinue;
       }
       // Case 2b: append the constraint forcing the *logged* direction and
       // abort; the engine pushes this set so the next input follows the log.
       trace.push_back(Constraint{cond_shadow, logged});
+      bits_at.push_back(cursor);
       forced_direction = true;
       return Action::kAbort;
     }
@@ -65,6 +70,9 @@ class ReplayObserver : public BranchObserver {
   }
 
   std::vector<Constraint> trace;
+  // Log bits consumed when each trace entry was recorded — the priority
+  // of the pending set ending at that constraint under Pick::kLogBits.
+  std::vector<size_t> bits_at;
   std::vector<size_t> flippable;
   size_t cursor = 0;
   bool forced_direction = false;
@@ -99,6 +107,7 @@ struct Pending {
   bool negate_last = false;  // Case 1 pendings negate constraint len-1.
   std::shared_ptr<std::vector<i64>> seed;
   std::shared_ptr<std::vector<Interval>> domains;
+  u64 log_bits = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
 };
 
 // Parallel frontier entry: constraints travel arena-independently so any
@@ -136,6 +145,14 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
                       ? Budget::StepsAndMillis(config.total_steps, config.wall_ms)
                       : Budget::Steps(config.total_steps);
   Solver solver(*arena_, config.solver);
+  // Incremental layer (partition + slice caches); disabled falls back to
+  // the monolithic solver — the bit-identical pre-parallel engine.
+  std::unique_ptr<SliceCache> slice_cache;
+  std::unique_ptr<IncrementalSolver> incremental;
+  if (config.solver_cache) {
+    slice_cache = std::make_unique<SliceCache>();
+    incremental = std::make_unique<IncrementalSolver>(*arena_, config.solver, slice_cache.get());
+  }
   Rng rng(config.seed);
 
   // Initial run: random printable input bytes (the developer has no input).
@@ -145,12 +162,29 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   }
 
   std::deque<Pending> pendings;
+  // Under kLogBits the deque doubles as max-heap storage on log_bits (the
+  // pick is fixed for the whole search), so pops stay O(log n) instead of
+  // a linear scan over frontiers that reach tens of thousands of entries.
+  const bool heap_pick = config.pick == ReplayConfig::Pick::kLogBits;
+  auto bits_less = [](const Pending& a, const Pending& b) { return a.log_bits < b.log_bits; };
+  auto publish = [&](Pending pending) {
+    pendings.push_back(std::move(pending));
+    if (heap_pick) {
+      std::push_heap(pendings.begin(), pendings.end(), bits_less);
+    }
+  };
   const SyscallLog* replay_log =
       config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
 
   // Mirrors the aggregate counters into the single worker entry, keeping
   // the per-worker view lossless at any worker count.
   auto finish = [&]() {
+    if (incremental != nullptr) {
+      const IncrementalStats& inc = incremental->stats();
+      result.stats.slices_solved = inc.slices_solved;
+      result.stats.slice_sat_hits = inc.slice_sat_hits;
+      result.stats.slice_unsat_hits = inc.slice_unsat_hits;
+    }
     ReplayWorkerStats worker;
     worker.runs = result.stats.runs;
     worker.solver_calls = result.stats.solver_calls;
@@ -158,6 +192,9 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     worker.aborts_concrete_mismatch = result.stats.aborts_concrete_mismatch;
     worker.aborts_log_exhausted = result.stats.aborts_log_exhausted;
     worker.crashes_wrong_site = result.stats.crashes_wrong_site;
+    worker.slices_solved = result.stats.slices_solved;
+    worker.slice_sat_hits = result.stats.slice_sat_hits;
+    worker.slice_unsat_hits = result.stats.slice_unsat_hits;
     result.stats.per_worker = {worker};
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -207,12 +244,14 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
       if (flip < start_depth) {
         continue;  // Already offered by the run that generated this prefix.
       }
-      pendings.push_back(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains});
+      publish(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains,
+                      observer.bits_at[flip]});
     }
     if (observer.forced_direction) {
       ++result.stats.aborts_forced_direction;
       // Highest priority: the set that steers the run back onto the log.
-      pendings.push_back(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains});
+      publish(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains,
+                      observer.cursor});
     }
     result.stats.pending_peak = std::max(result.stats.pending_peak,
                                          static_cast<u64>(pendings.size()));
@@ -229,19 +268,23 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     if (config.pick == ReplayConfig::Pick::kFifo) {
       pending = std::move(pendings.front());
       pendings.pop_front();
+    } else if (heap_pick) {
+      // Deepest on-log progress first (max-heap; tie order unspecified).
+      std::pop_heap(pendings.begin(), pendings.end(), bits_less);
+      pending = std::move(pendings.back());
+      pendings.pop_back();
     } else {
       // kDfs; kPortfolio degenerates to DFS with a single worker.
       pending = std::move(pendings.back());
       pendings.pop_back();
     }
 
-    std::vector<Constraint> constraints(pending.trace->begin(),
-                                        pending.trace->begin() + pending.len);
-    if (pending.negate_last) {
-      constraints.back().want_true = !constraints.back().want_true;
-    }
+    // Solve over a view of the trace prefix — no per-pop copy.
+    const ConstraintSpan set(pending.trace->data(), pending.len, pending.negate_last);
     ++result.stats.solver_calls;
-    const SolveResult solved = solver.Solve(constraints, *pending.domains, *pending.seed);
+    const SolveResult solved = incremental != nullptr
+                                   ? incremental->Solve(set, *pending.domains, *pending.seed)
+                                   : solver.Solve(set, *pending.domains, *pending.seed);
     if (solved.status != SolveStatus::kSat) {
       continue;
     }
@@ -270,6 +313,12 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   std::unordered_set<u64> tried;
   std::atomic<u64> runs_admitted{0};
   std::vector<ReplayWorkerStats> worker_stats(num_workers);
+  // Fleet-wide slice verdict store: once any worker proves a slice
+  // SAT/UNSAT, every worker reuses the verdict (null = layer disabled).
+  std::unique_ptr<SliceCache> slice_cache;
+  if (config.solver_cache) {
+    slice_cache = std::make_unique<SliceCache>();
+  }
 
   const SyscallLog* replay_log =
       config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
@@ -281,6 +330,10 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     ExprArena arena;
     CellRunner runner(module_, report_.shape);
     Solver solver(arena, config.solver);
+    std::unique_ptr<IncrementalSolver> incremental;
+    if (config.solver_cache) {
+      incremental = std::make_unique<IncrementalSolver>(arena, config.solver, slice_cache.get());
+    }
     Rng rng(config.seed + 0x9e3779b97f4a7c15ull * wid);
     const u64 step_share = std::max<u64>(1, config.total_steps / num_workers);
     Budget budget = config.wall_ms > 0 ? Budget::StepsAndMillis(step_share, config.wall_ms)
@@ -292,14 +345,20 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
           return PopOrder::kNewestFirst;
         case ReplayConfig::Pick::kFifo:
           return PopOrder::kOldestFirst;
+        case ReplayConfig::Pick::kLogBits:
+          return PopOrder::kHighestPriority;
         case ReplayConfig::Pick::kPortfolio:
-          // Worker 0: DFS. Worker 1: FIFO. The rest: randomized DFS,
-          // each with a distinct stream from the per-worker rng.
+          // Worker 0: DFS. Worker 1: FIFO. Worker 2: log-bits priority.
+          // The rest: randomized DFS, each with a distinct stream from
+          // the per-worker rng.
           if (wid == 0) {
             return PopOrder::kNewestFirst;
           }
           if (wid == 1) {
             return PopOrder::kOldestFirst;
+          }
+          if (wid == 2) {
+            return PopOrder::kHighestPriority;
           }
           return (rng.Next() & 1) != 0 ? PopOrder::kNewestFirst : PopOrder::kOldestFirst;
       }
@@ -372,15 +431,47 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
             continue;  // Already offered by the run that generated this prefix.
           }
           frontier.Push(wid, ParallelPending{trace, flip + 1, /*negate_last=*/true, seed,
-                                             domains});
+                                             domains},
+                        /*priority=*/observer.bits_at[flip]);
         }
         if (observer.forced_direction) {
           // Highest priority under DFS: steers the run back onto the log.
           frontier.Push(wid, ParallelPending{trace, trace->constraints.size(),
-                                             /*negate_last=*/false, seed, domains});
+                                             /*negate_last=*/false, seed, domains},
+                        /*priority=*/observer.cursor);
         }
       }
       return false;
+    };
+
+    // Per-worker import memo: sibling pendings share the same portable
+    // trace, so the full trace is re-interned into this worker's arena
+    // once — and its node hashes computed once — and every pop solves
+    // over a prefix view and fingerprints over the memoized hashes. No
+    // per-pop import, constraint-vector copy, or whole-trace rehash.
+    // Keyed by raw pointer; the keepalive vector pins every keyed trace
+    // so a recycled allocation address can never alias a retired one.
+    struct ImportedTrace {
+      std::vector<Constraint> constraints;
+      std::vector<u64> node_hash;
+    };
+    std::unordered_map<const PortableTrace*, ImportedTrace> import_memo;
+    std::vector<std::shared_ptr<const PortableTrace>> import_keepalive;
+    auto imported_trace =
+        [&](const std::shared_ptr<const PortableTrace>& t) -> const ImportedTrace& {
+      auto it = import_memo.find(t.get());
+      if (it != import_memo.end()) {
+        return it->second;
+      }
+      if (import_memo.size() >= 64) {  // Bound resident snapshots.
+        import_memo.clear();
+        import_keepalive.clear();
+      }
+      import_keepalive.push_back(t);
+      ImportedTrace imported{
+          ImportConstraints(*t, t->constraints.size(), /*negate_last=*/false, &arena),
+          PortableNodeHashes(*t)};
+      return import_memo.emplace(t.get(), std::move(imported)).first->second;
     };
 
     // Worker-private initial random input. Worker 0 draws exactly the
@@ -396,36 +487,62 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       done = do_run(initial, 0);
     }
 
+    // Batched frontier solves: pop up to K pendings per frontier visit and
+    // solve them back to back before running any model. Sibling pendings
+    // share almost every slice, so the batch's first solve warms the cache
+    // for the rest; runs follow in pop order.
+    const size_t batch_cap = std::max<u32>(1, config.solve_batch);
+    std::vector<ParallelPending> batch;
+    struct ReadyRun {
+      std::vector<i64> model;
+      size_t len = 0;
+    };
+    std::vector<ReadyRun> ready;
     while (!done && !stop.StopRequested() && !budget.Exhausted()) {
-      ParallelPending pending;
-      bool stolen = false;
-      if (!frontier.Pop(wid, pop_order(), &pending, &stolen)) {
+      u64 stolen = 0;
+      if (!frontier.PopBatch(wid, pop_order(), batch_cap, &batch, &stolen)) {
         break;  // Frontier drained, cancelled, or run cap reached.
       }
-      if (stolen) {
-        ++ws.steals;
-      }
-      const u64 fp = FingerprintConstraints(*pending.trace, pending.len, pending.negate_last);
-      {
-        std::lock_guard<std::mutex> lock(dedup_mu);
-        if (!tried.insert(fp).second) {
-          ++ws.dedup_skips;
-          continue;
+      ws.steals += stolen;
+      ready.clear();
+      for (const ParallelPending& pending : batch) {
+        const ImportedTrace& imported = imported_trace(pending.trace);
+        const u64 fp = FingerprintConstraints(*pending.trace, pending.len, pending.negate_last,
+                                              imported.node_hash);
+        {
+          std::lock_guard<std::mutex> lock(dedup_mu);
+          if (!tried.insert(fp).second) {
+            ++ws.dedup_skips;
+            continue;
+          }
+        }
+        const ConstraintSpan set(imported.constraints.data(), pending.len, pending.negate_last);
+        ++ws.solver_calls;
+        SolveResult solved =
+            incremental != nullptr ? incremental->Solve(set, *pending.domains, *pending.seed)
+                                   : solver.Solve(set, *pending.domains, *pending.seed);
+        if (solved.status == SolveStatus::kSat) {
+          ready.push_back(ReadyRun{std::move(solved.model), pending.len});
         }
       }
-      std::vector<Constraint> constraints =
-          ImportConstraints(*pending.trace, pending.len, pending.negate_last, &arena);
-      ++ws.solver_calls;
-      const SolveResult solved = solver.Solve(constraints, *pending.domains, *pending.seed);
-      if (solved.status != SolveStatus::kSat) {
-        continue;
+      for (ReadyRun& run : ready) {
+        if (done || stop.StopRequested() || budget.Exhausted()) {
+          break;
+        }
+        if (runs_admitted.fetch_add(1) >= config.max_runs) {
+          // Global run cap: the whole search is over, not just this worker.
+          frontier.Close();
+          done = true;
+          break;
+        }
+        done = do_run(run.model, run.len);
       }
-      if (runs_admitted.fetch_add(1) >= config.max_runs) {
-        // Global run cap: the whole search is over, not just this worker.
-        frontier.Close();
-        break;
-      }
-      done = do_run(solved.model, pending.len);
+    }
+    if (incremental != nullptr) {
+      const IncrementalStats& inc = incremental->stats();
+      ws.slices_solved = inc.slices_solved;
+      ws.slice_sat_hits = inc.slice_sat_hits;
+      ws.slice_unsat_hits = inc.slice_unsat_hits;
     }
     frontier.Retire();
   };
@@ -451,6 +568,9 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     result.stats.steals += ws.steals;
     result.stats.dedup_skips += ws.dedup_skips;
     result.stats.cancelled_runs += ws.cancelled_runs;
+    result.stats.slices_solved += ws.slices_solved;
+    result.stats.slice_sat_hits += ws.slice_sat_hits;
+    result.stats.slice_unsat_hits += ws.slice_unsat_hits;
   }
   result.stats.pending_peak = frontier.peak();
   result.stats.per_worker = std::move(worker_stats);

@@ -46,14 +46,28 @@ struct ReplayConfig {
   SolverOptions solver;
   u64 seed = 42;                  // Initial random input.
   bool use_syscall_log = true;    // Replay logged syscall results (§3.3).
-  // Pending-set heuristic. kPortfolio is only meaningful with
-  // num_workers > 1: worker 0 runs DFS, worker 1 FIFO, and the rest
-  // randomized DFS with per-worker seeds, so one search discipline's
-  // pathology does not stall the whole fleet.
-  enum class Pick { kDfs, kFifo, kPortfolio } pick = Pick::kDfs;
+  // Pending-set heuristic. kLogBits prioritizes pendings whose prefix
+  // consumed the most branch-log bits — the deepest on-log progress — the
+  // bet for scenarios where DFS/FIFO drown in off-log subtrees.
+  // kPortfolio is only meaningful with num_workers > 1: worker 0 runs
+  // DFS, worker 1 FIFO, worker 2 log-bits, and the rest randomized DFS
+  // with per-worker seeds, so one search discipline's pathology does not
+  // stall the whole fleet.
+  enum class Pick { kDfs, kFifo, kPortfolio, kLogBits } pick = Pick::kDfs;
   // Concolic executions in flight. 1 = the original sequential engine;
   // 0 = one per hardware thread.
   u32 num_workers = 1;
+  // Incremental solving layer: partition each pending set into
+  // independent slices and share slice SAT/UNSAT verdicts fleet-wide
+  // (src/solver/incremental.h). Off = the monolithic solver of the
+  // original engine; num_workers == 1 with this off is bit-identical to
+  // the pre-parallel sequential engine.
+  bool solver_cache = true;
+  // Pendings a parallel worker pops (and solves) per frontier visit.
+  // Batching lets sibling pendings — which share almost all slices — hit
+  // the caches back to back while the worker holds its own deque's items
+  // anyway; extras beyond the first never come from stealing.
+  u32 solve_batch = 8;
 };
 
 // Counters for one worker of the parallel scheduler. The aggregate
@@ -69,6 +83,10 @@ struct ReplayWorkerStats {
   u64 steals = 0;        // Pending sets taken from another worker's deque.
   u64 dedup_skips = 0;   // Pending sets dropped: already tried fleet-wide.
   u64 cancelled_runs = 0;  // Runs aborted by first-crash-wins cancellation.
+  // Incremental solving layer (zero when ReplayConfig::solver_cache off).
+  u64 slices_solved = 0;     // Constraint slices sent to the local search.
+  u64 slice_sat_hits = 0;    // Slices satisfied from the fleet-wide cache.
+  u64 slice_unsat_hits = 0;  // Pendings rejected by the UNSAT cache.
 };
 
 struct ReplayStats {
@@ -82,6 +100,9 @@ struct ReplayStats {
   u64 steals = 0;
   u64 dedup_skips = 0;
   u64 cancelled_runs = 0;
+  u64 slices_solved = 0;
+  u64 slice_sat_hits = 0;
+  u64 slice_unsat_hits = 0;
   // One entry per worker (a single entry mirroring the totals when the
   // sequential engine ran). Sum of any counter over per_worker equals the
   // aggregate above.

@@ -349,27 +349,76 @@ std::vector<Constraint> ImportConstraints(const PortableTrace& trace, size_t len
   return out;
 }
 
-u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last) {
-  Check(len <= trace.constraints.size(), "FingerprintConstraints: len out of range");
-  auto mix = [](u64 h, u64 v) {
-    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    return h * 0xff51afd7ed558ccdull;
-  };
-  // Bottom-up structural hashes; topological order guarantees children are
-  // hashed before their parents.
+namespace {
+
+// Node hash shared by FingerprintConstraints (over portable nodes) and
+// ExprArena::StructuralHash (over arena nodes): the two must agree so a
+// slice solved from an imported trace hits cache entries produced from
+// native arena expressions.
+u64 NodeHash(const ExprNode& n, u64 hash_a, u64 hash_b) {
+  u64 h = HashMix(0x243f6a8885a308d3ull, static_cast<u64>(n.op));
+  h = HashMix(h, static_cast<u64>(n.imm));
+  if (n.a != kNoExpr) {
+    h = HashMix(h, hash_a);
+  }
+  if (n.b != kNoExpr) {
+    h = HashMix(h, hash_b);
+  }
+  return h;
+}
+
+}  // namespace
+
+u64 ExprArena::StructuralHash(ExprRef ref) const {
+  if (struct_hash_.size() < nodes_.size()) {
+    struct_hash_.resize(nodes_.size(), 0);
+  }
+  std::vector<ExprRef> stack{ref};
+  while (!stack.empty()) {
+    const ExprRef cur = stack.back();
+    if (struct_hash_[cur] != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const ExprNode& n = nodes_[cur];
+    bool ready = true;
+    if (n.a != kNoExpr && struct_hash_[n.a] == 0) {
+      stack.push_back(n.a);
+      ready = false;
+    }
+    if (n.b != kNoExpr && struct_hash_[n.b] == 0) {
+      stack.push_back(n.b);
+      ready = false;
+    }
+    if (!ready) {
+      continue;
+    }
+    const u64 h = NodeHash(n, n.a != kNoExpr ? struct_hash_[n.a] : 0,
+                           n.b != kNoExpr ? struct_hash_[n.b] : 0);
+    struct_hash_[cur] = h != 0 ? h : 1;  // 0 is the not-yet-computed mark.
+    stack.pop_back();
+  }
+  return struct_hash_[ref];
+}
+
+std::vector<u64> PortableNodeHashes(const PortableTrace& trace) {
+  // Topological order guarantees children are hashed before their parents.
   std::vector<u64> node_hash(trace.nodes.size(), 0);
   for (size_t i = 0; i < trace.nodes.size(); ++i) {
     const ExprNode& n = trace.nodes[i];
-    u64 h = mix(0x243f6a8885a308d3ull, static_cast<u64>(n.op));
-    h = mix(h, static_cast<u64>(n.imm));
-    if (n.a != kNoExpr) {
-      h = mix(h, node_hash[n.a]);
-    }
-    if (n.b != kNoExpr) {
-      h = mix(h, node_hash[n.b]);
-    }
-    node_hash[i] = h;
+    node_hash[i] = NodeHash(n, n.a != kNoExpr ? node_hash[n.a] : 0,
+                            n.b != kNoExpr ? node_hash[n.b] : 0);
   }
+  return node_hash;
+}
+
+u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last) {
+  return FingerprintConstraints(trace, len, negate_last, PortableNodeHashes(trace));
+}
+
+u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last,
+                           const std::vector<u64>& node_hash) {
+  Check(len <= trace.constraints.size(), "FingerprintConstraints: len out of range");
   u64 h = 0x13198a2e03707344ull;
   for (size_t i = 0; i < len; ++i) {
     const Constraint& c = trace.constraints[i];
@@ -377,8 +426,8 @@ u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_l
     if (negate_last && i + 1 == len) {
       want = !want;
     }
-    h = mix(h, c.expr == kNoExpr ? 0 : node_hash[c.expr]);
-    h = mix(h, want ? 1 : 2);
+    h = HashMix(h, c.expr == kNoExpr ? 0 : node_hash[c.expr]);
+    h = HashMix(h, want ? 1 : 2);
   }
   return h;
 }

@@ -35,6 +35,14 @@ bool ExprOpIsBinary(ExprOp op);
 bool ExprOpIsComparison(ExprOp op);
 const char* ExprOpName(ExprOp op);
 
+// Hash mixing step shared by every structural fingerprint in the solver
+// (node hashes, constraint-set fingerprints, slice-cache keys). One
+// formula everywhere keeps arena-side and portable-side hashes equal.
+inline u64 HashMix(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h * 0xff51afd7ed558ccdull;
+}
+
 struct ExprNode {
   ExprOp op = ExprOp::kConst;
   ExprRef a = kNoExpr;
@@ -71,6 +79,13 @@ class ExprArena {
 
   std::string ToString(ExprRef ref) const;
 
+  // Arena-independent structural hash of the sub-DAG rooted at `ref`:
+  // equal for structurally identical expressions built in different
+  // arenas (it uses the same node mixing as FingerprintConstraints).
+  // Memoized per node — nodes are immutable and refs append-only, so each
+  // node is hashed at most once per arena lifetime.
+  u64 StructuralHash(ExprRef ref) const;
+
   // Total 64-bit semantics used everywhere (interpreter shadow, solver):
   // division by zero yields 0, shifts use only the low 6 bits of the count.
   static i64 EvalBin(ExprOp op, i64 a, i64 b);
@@ -81,12 +96,38 @@ class ExprArena {
 
   std::vector<ExprNode> nodes_;
   std::unordered_map<u64, std::vector<ExprRef>> dedup_;
+  mutable std::vector<u64> struct_hash_;  // 0 = not yet computed.
 };
 
 // A path constraint: `expr` must evaluate truthy (want_true) or falsy.
 struct Constraint {
   ExprRef expr = kNoExpr;
   bool want_true = true;
+};
+
+// Non-owning view of a constraint-set prefix with an optional negation of
+// the last element — the pending-set shape of the replay frontier. Lets
+// the solver walk a trace prefix directly instead of materializing a
+// fresh (prefix-copied, last-negated) vector for every frontier pop. The
+// view does not own the storage; it must not outlive the trace.
+struct ConstraintSpan {
+  const Constraint* data = nullptr;
+  size_t count = 0;
+  bool negate_last = false;
+
+  ConstraintSpan() = default;
+  ConstraintSpan(const Constraint* d, size_t n, bool negate = false)
+      : data(d), count(n), negate_last(negate) {}
+
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  Constraint operator[](size_t i) const {
+    Constraint c = data[i];
+    if (negate_last && i + 1 == count) {
+      c.want_true = !c.want_true;
+    }
+    return c;
+  }
 };
 
 // Arena-independent snapshot of a constraint trace. The parallel replay
@@ -112,11 +153,20 @@ PortableTrace ExportTrace(const ExprArena& arena, const std::vector<Constraint>&
 std::vector<Constraint> ImportConstraints(const PortableTrace& trace, size_t len,
                                           bool negate_last, ExprArena* arena);
 
+// Bottom-up structural hashes of every node of `trace` (children precede
+// parents, so one forward pass suffices). Reusable across
+// FingerprintConstraints calls on the same trace — batch siblings on the
+// replay frontier share one trace, so workers memoize this per trace.
+std::vector<u64> PortableNodeHashes(const PortableTrace& trace);
+
 // Structural fingerprint of constraints [0, len) (with the optional
 // negation), stable across arenas. The scheduler's shared dedup key:
 // two workers whose runs produced structurally identical pending sets
-// solve it only once.
+// solve it only once. The node_hash overload is the per-pop hot path;
+// `node_hash` must be PortableNodeHashes(trace).
 u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last);
+u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last,
+                           const std::vector<u64>& node_hash);
 
 }  // namespace retrace
 

@@ -1,0 +1,237 @@
+#include "src/solver/incremental.h"
+
+#include <algorithm>
+
+namespace retrace {
+
+bool SliceCache::LookupSat(u64 key, SliceModel* model) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sat.find(key);
+  if (it == shard.sat.end()) {
+    return false;
+  }
+  *model = it->second;
+  return true;
+}
+
+bool SliceCache::LookupUnsat(u64 key, u64 check) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.unsat.find(key);
+  return it != shard.unsat.end() && it->second == check;
+}
+
+void SliceCache::StoreSat(u64 key, SliceModel model) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sat.emplace(key, std::move(model));
+}
+
+void SliceCache::StoreUnsat(u64 key, u64 check) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.unsat.emplace(key, check);
+}
+
+u64 SliceCache::sat_entries() const {
+  u64 n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.sat.size();
+  }
+  return n;
+}
+
+u64 SliceCache::unsat_entries() const {
+  u64 n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.unsat.size();
+  }
+  return n;
+}
+
+const std::vector<i32>& IncrementalSolver::VarsOf(ExprRef expr) {
+  auto it = vars_memo_.find(expr);
+  if (it != vars_memo_.end()) {
+    return it->second;
+  }
+  std::vector<i32> vars;
+  arena_.CollectVars(expr, &vars);
+  return vars_memo_.emplace(expr, std::move(vars)).first->second;
+}
+
+SolveResult IncrementalSolver::Solve(ConstraintSpan constraints,
+                                     const std::vector<Interval>& domains,
+                                     const std::vector<i64>& seed) {
+  const size_t n = constraints.size();
+  SolveResult result;
+
+  // Union-find over constraint indices, merged through shared variables.
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = i;
+  }
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  std::unordered_map<i32, size_t> var_owner;  // var -> first constraint seen.
+  i32 max_var = -1;
+  for (size_t i = 0; i < n; ++i) {
+    for (const i32 v : VarsOf(constraints[i].expr)) {
+      max_var = std::max(max_var, v);
+      auto [it, fresh] = var_owner.emplace(v, i);
+      if (!fresh) {
+        unite(i, it->second);
+      }
+    }
+  }
+
+  // Constant constraints (fully folded conditions) form no slice: they
+  // hold or fail regardless of any model.
+  for (size_t i = 0; i < n; ++i) {
+    const Constraint c = constraints[i];
+    if (!VarsOf(c.expr).empty()) {
+      continue;
+    }
+    if ((arena_.Eval(c.expr, {}) != 0) != c.want_true) {
+      result.status = SolveStatus::kUnsat;
+      return result;
+    }
+  }
+
+  // Group constraints into slices, ordered by first appearance so slice
+  // keys are deterministic for a given trace prefix.
+  std::unordered_map<size_t, size_t> root_slice;
+  std::vector<std::vector<size_t>> slices;
+  for (size_t i = 0; i < n; ++i) {
+    if (VarsOf(constraints[i].expr).empty()) {
+      continue;
+    }
+    const size_t root = find(i);
+    auto [it, fresh] = root_slice.emplace(root, slices.size());
+    if (fresh) {
+      slices.emplace_back();
+    }
+    slices[it->second].push_back(i);
+  }
+
+  // Base model: the seed clamped into domains (the same initialization the
+  // monolithic solver applies), stitched over slice by slice below.
+  std::vector<i64> model(std::max<size_t>(seed.size(), static_cast<size_t>(max_var) + 1), 0);
+  for (size_t i = 0; i < model.size(); ++i) {
+    const Interval dom = i < domains.size() ? domains[i] : Interval{0, 255};
+    model[i] = std::clamp(i < seed.size() ? seed[i] : 0, dom.lo, dom.hi);
+  }
+
+  std::vector<Constraint> slice_constraints;
+  std::vector<i32> slice_vars;
+  for (const std::vector<size_t>& slice : slices) {
+    ++stats_.slices_total;
+
+    // Key: constraint structure + polarity in trace order, then each
+    // mentioned variable with its domain (ascending, deduplicated).
+    // `check` accumulates the same content from an independent seed; the
+    // UNSAT cache requires both to match, so masking a SAT slice takes a
+    // simultaneous 128-bit collision.
+    slice_vars.clear();
+    u64 key = 0x452821e638d01377ull;
+    u64 check = 0xbe5466cf34e90c6cull;
+    for (const size_t ci : slice) {
+      const Constraint c = constraints[ci];
+      const u64 expr_hash = arena_.StructuralHash(c.expr);
+      key = HashMix(key, expr_hash);
+      key = HashMix(key, c.want_true ? 1 : 2);
+      check = HashMix(check, c.want_true ? 1 : 2);
+      check = HashMix(check, expr_hash);
+      const std::vector<i32>& vars = VarsOf(c.expr);
+      slice_vars.insert(slice_vars.end(), vars.begin(), vars.end());
+    }
+    std::sort(slice_vars.begin(), slice_vars.end());
+    slice_vars.erase(std::unique(slice_vars.begin(), slice_vars.end()), slice_vars.end());
+    for (const i32 v : slice_vars) {
+      const Interval dom =
+          static_cast<size_t>(v) < domains.size() ? domains[v] : Interval{0, 255};
+      key = HashMix(key, static_cast<u64>(v));
+      key = dom.MixInto(key);
+      check = dom.MixInto(check);
+      check = HashMix(check, static_cast<u64>(v));
+    }
+
+    slice_constraints.clear();
+    for (const size_t ci : slice) {
+      slice_constraints.push_back(constraints[ci]);
+    }
+
+    if (cache_ != nullptr) {
+      if (cache_->LookupUnsat(key, check)) {
+        ++stats_.slice_unsat_hits;
+        result.status = SolveStatus::kUnsat;
+        result.steps = 0;
+        return result;
+      }
+      SliceCache::SliceModel cached;
+      if (cache_->LookupSat(key, &cached)) {
+        for (const auto& [v, value] : cached) {
+          if (static_cast<size_t>(v) < model.size()) {
+            model[v] = value;
+          }
+        }
+        // Revalidate against the live constraints: a fingerprint collision
+        // (or any cache bug) degrades to a miss instead of a wrong model.
+        if (solver_.Satisfies(slice_constraints, model)) {
+          ++stats_.slice_sat_hits;
+          continue;
+        }
+        for (const i32 v : slice_vars) {  // Undo the misapplied sub-model.
+          if (static_cast<size_t>(v) < model.size()) {
+            const Interval dom =
+                static_cast<size_t>(v) < domains.size() ? domains[v] : Interval{0, 255};
+            model[v] = std::clamp(static_cast<size_t>(v) < seed.size() ? seed[v] : 0, dom.lo,
+                                  dom.hi);
+          }
+        }
+      }
+    }
+
+    ++stats_.slices_solved;
+    SolveResult sub = solver_.Solve(slice_constraints, domains, seed);
+    result.steps += sub.steps;
+    if (sub.status == SolveStatus::kUnsat) {
+      if (cache_ != nullptr) {
+        cache_->StoreUnsat(key, check);
+      }
+      result.status = SolveStatus::kUnsat;
+      return result;
+    }
+    if (sub.status != SolveStatus::kSat) {
+      result.status = SolveStatus::kUnknown;
+      return result;
+    }
+    SliceCache::SliceModel sub_model;
+    sub_model.reserve(slice_vars.size());
+    for (const i32 v : slice_vars) {
+      const i64 value = static_cast<size_t>(v) < sub.model.size() ? sub.model[v] : 0;
+      sub_model.emplace_back(v, value);
+      if (static_cast<size_t>(v) < model.size()) {
+        model[v] = value;
+      }
+    }
+    if (cache_ != nullptr) {
+      cache_->StoreSat(key, std::move(sub_model));
+    }
+  }
+
+  result.status = SolveStatus::kSat;
+  result.model = std::move(model);
+  return result;
+}
+
+}  // namespace retrace

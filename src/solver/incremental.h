@@ -1,0 +1,113 @@
+// Incremental solving layer between the replay frontier and the
+// local-search solver.
+//
+// Pending constraint sets popped from one search share long prefixes
+// (they are prefixes of the same traces, differing in the last flipped
+// branch), and most constraints touch disjoint input cells. The layer
+// exploits both properties:
+//
+//   1. Independence partitioning: union-find over shared variables splits
+//      a set into connected components ("slices") that are satisfiable
+//      independently; the full model is stitched from per-slice
+//      sub-models. A flipped last branch only re-solves the slice it
+//      touches — the untouched slices reuse their prior sub-model.
+//   2. Fleet-wide slice caches: a sharded solution cache and UNSAT cache,
+//      keyed by arena-independent structural fingerprints of the slice
+//      (constraint structure + polarity + the domains of every variable
+//      the slice mentions), shared by all workers of a search. Once any
+//      worker proves a slice SAT or UNSAT, no worker solves it again.
+//
+// Soundness: the key covers structure, polarity and domains, so a hit is
+// the *same* subproblem — a cached model is revalidated against the live
+// constraints before use (a fingerprint collision therefore degrades to
+// a cache miss, never to a wrong model), and UNSAT entries carry a
+// second, independently-seeded fingerprint of the same content, so
+// masking a SAT slice requires a simultaneous 128-bit collision. Seeds
+// are deliberately excluded from the key: they steer which model the
+// search finds, never whether one exists. Only sound verdicts are cached
+// — kUnknown (budget-truncated) results are not.
+#ifndef RETRACE_SOLVER_INCREMENTAL_H_
+#define RETRACE_SOLVER_INCREMENTAL_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/solver/solver.h"
+
+namespace retrace {
+
+// Shared (thread-safe) SAT/UNSAT verdict store, sharded to keep the
+// per-lookup critical section off the fleet's hot path. One instance
+// lives per reproduction search and is shared by every worker.
+class SliceCache {
+ public:
+  // Sub-model of one slice: (variable, value), ascending by variable.
+  using SliceModel = std::vector<std::pair<i32, i64>>;
+
+  // Returns true and fills `model` when `key` has a cached solution.
+  bool LookupSat(u64 key, SliceModel* model) const;
+  // Returns true when (key, check) is a proven-unsatisfiable slice.
+  // `check` is the second fingerprint of the slice content; an entry only
+  // matches when both agree (SAT hits are revalidated against the live
+  // constraints instead, so they need no check key).
+  bool LookupUnsat(u64 key, u64 check) const;
+
+  void StoreSat(u64 key, SliceModel model);
+  void StoreUnsat(u64 key, u64 check);
+
+  // Entry counts across all shards (bench/test introspection).
+  u64 sat_entries() const;
+  u64 unsat_entries() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<u64, SliceModel> sat;
+    std::unordered_map<u64, u64> unsat;  // key -> check fingerprint.
+  };
+  Shard& ShardFor(u64 key) const { return shards_[(key >> 59) % kShards]; }
+
+  mutable Shard shards_[kShards];
+};
+
+struct IncrementalStats {
+  u64 slices_total = 0;      // Slices encountered across all Solve calls.
+  u64 slices_solved = 0;     // Slices actually sent to the local search.
+  u64 slice_sat_hits = 0;    // Slices satisfied straight from the cache.
+  u64 slice_unsat_hits = 0;  // Sets rejected straight from the UNSAT cache.
+};
+
+// Per-worker facade: partitions each incoming set, consults the shared
+// caches per slice, solves only the missing slices with the wrapped
+// local-search solver, and stitches the sub-models into a full model.
+// Not thread-safe (wraps a thread-confined arena + solver); share the
+// SliceCache across workers, not the IncrementalSolver.
+class IncrementalSolver {
+ public:
+  // `cache` may be null: partition-only mode (no cross-call reuse).
+  IncrementalSolver(const ExprArena& arena, SolverOptions options, SliceCache* cache)
+      : arena_(arena), solver_(arena, options), cache_(cache) {}
+
+  SolveResult Solve(ConstraintSpan constraints, const std::vector<Interval>& domains,
+                    const std::vector<i64>& seed);
+
+  const IncrementalStats& stats() const { return stats_; }
+
+ private:
+  // Memoized per-expression variable sets; pendings of one search name the
+  // same expressions over and over.
+  const std::vector<i32>& VarsOf(ExprRef expr);
+
+  const ExprArena& arena_;
+  Solver solver_;
+  SliceCache* cache_;
+  IncrementalStats stats_;
+  std::unordered_map<ExprRef, std::vector<i32>> vars_memo_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SOLVER_INCREMENTAL_H_

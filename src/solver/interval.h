@@ -24,6 +24,14 @@ struct Interval {
   Interval Intersect(const Interval& other) const;
 
   bool operator==(const Interval&) const = default;
+
+  // Folds the interval's bounds into a running fingerprint. Slice-cache
+  // keys include each variable's domain: a slice verdict (model or UNSAT)
+  // is only valid for the exact domains it was proved under.
+  u64 MixInto(u64 h) const {
+    h = HashMix(h, static_cast<u64>(lo));
+    return HashMix(h, static_cast<u64>(hi));
+  }
 };
 
 // If `constraint` directly bounds `var` (shapes: var CMP k, k CMP var,

@@ -15,7 +15,7 @@ bool ConstraintHolds(const ExprArena& arena, const Constraint& c, const std::vec
 // Search state shared by the repair loop.
 struct SearchCtx {
   const ExprArena& arena;
-  const std::vector<Constraint>& constraints;
+  ConstraintSpan constraints;
   const std::vector<Interval>& domains;
   const std::vector<i64>& seed;
   // var -> indices of constraints mentioning it.
@@ -202,18 +202,16 @@ bool Backtrack(SearchCtx& ctx, const BacktrackPlan& plan, size_t depth, std::vec
 
 }  // namespace
 
-bool Solver::Satisfies(const std::vector<Constraint>& constraints,
-                       const std::vector<i64>& model) const {
-  for (const Constraint& c : constraints) {
-    if (!ConstraintHolds(arena_, c, model)) {
+bool Solver::Satisfies(ConstraintSpan constraints, const std::vector<i64>& model) const {
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (!ConstraintHolds(arena_, constraints[i], model)) {
       return false;
     }
   }
   return true;
 }
 
-SolveResult Solver::Solve(const std::vector<Constraint>& constraints,
-                          const std::vector<Interval>& domains,
+SolveResult Solver::Solve(ConstraintSpan constraints, const std::vector<Interval>& domains,
                           const std::vector<i64>& seed) const {
   SearchCtx ctx{arena_, constraints, domains, seed, {}, {}, 0, options_.max_steps};
 

@@ -39,12 +39,21 @@ class Solver {
 
   // Solves `constraints` over variables with the given domains. `seed` is
   // the starting assignment; entries beyond seed.size() default to the
-  // domain lower bound clamped to 0 where possible.
+  // domain lower bound clamped to 0 where possible. The span form is the
+  // primitive: frontier pops solve straight over a trace-prefix view
+  // (optionally negating the last constraint) without copying the set.
+  SolveResult Solve(ConstraintSpan constraints, const std::vector<Interval>& domains,
+                    const std::vector<i64>& seed) const;
   SolveResult Solve(const std::vector<Constraint>& constraints,
-                    const std::vector<Interval>& domains, const std::vector<i64>& seed) const;
+                    const std::vector<Interval>& domains, const std::vector<i64>& seed) const {
+    return Solve(ConstraintSpan(constraints.data(), constraints.size()), domains, seed);
+  }
 
   // Convenience: evaluates whether `model` satisfies all constraints.
-  bool Satisfies(const std::vector<Constraint>& constraints, const std::vector<i64>& model) const;
+  bool Satisfies(ConstraintSpan constraints, const std::vector<i64>& model) const;
+  bool Satisfies(const std::vector<Constraint>& constraints, const std::vector<i64>& model) const {
+    return Satisfies(ConstraintSpan(constraints.data(), constraints.size()), model);
+  }
 
  private:
   const ExprArena& arena_;

@@ -1,11 +1,13 @@
 // MPMC work-stealing frontier for the parallel replay scheduler.
 //
 // Each worker owns a deque (its DFS stack). Owners push to the back and
-// pop according to their heuristic: back (newest first — depth-first) or
-// front (oldest first — breadth/FIFO). A worker whose deque is empty
-// steals the *front* of another worker's deque: the oldest, shallowest
-// entry, i.e. the root of the largest untouched subtree — the classic
-// work-stealing discipline that keeps thieves out of the owner's hot end.
+// pop according to their heuristic: back (newest first — depth-first),
+// front (oldest first — breadth/FIFO), or the entry with the highest
+// priority (the log-bits discipline: pendings whose prefix consumed the
+// most branch-log bits first). A worker whose deque is empty steals the
+// *front* of another worker's deque: the oldest, shallowest entry, i.e.
+// the root of the largest untouched subtree — the classic work-stealing
+// discipline that keeps thieves out of the owner's hot end.
 //
 // Pop() blocks when the whole frontier is empty, because a busy worker may
 // still publish more work. Termination is detected when every worker is
@@ -13,13 +15,16 @@
 // when Close() is called (first-crash-wins cancellation). A single mutex
 // guards all deques: frontier operations are microseconds apart while the
 // work items between them (solver call + interpreter run) are milliseconds,
-// so contention is irrelevant and the simple design is provably safe.
+// so contention is irrelevant and the simple design is provably safe. The
+// same reasoning covers the highest-priority pop's linear scan.
 #ifndef RETRACE_SUPPORT_WORKQUEUE_H_
 #define RETRACE_SUPPORT_WORKQUEUE_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/support/common.h"
@@ -27,8 +32,9 @@
 namespace retrace {
 
 enum class PopOrder {
-  kNewestFirst,  // Depth-first: continue the deepest path.
-  kOldestFirst,  // FIFO: widen the search.
+  kNewestFirst,      // Depth-first: continue the deepest path.
+  kOldestFirst,      // FIFO: widen the search.
+  kHighestPriority,  // Largest Push() priority first; ties break newest.
 };
 
 template <typename T>
@@ -37,11 +43,12 @@ class WorkStealingQueue {
   explicit WorkStealingQueue(size_t num_workers)
       : queues_(num_workers), active_(num_workers) {}
 
-  // Publishes one item onto `worker`'s deque.
-  void Push(size_t worker, T item) {
+  // Publishes one item onto `worker`'s deque. `priority` only matters to
+  // kHighestPriority consumers; the other orders ignore it.
+  void Push(size_t worker, T item, u64 priority = 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queues_[worker].push_back(std::move(item));
+      queues_[worker].push_back(Entry{std::move(item), priority});
       ++total_;
       peak_ = total_ > peak_ ? total_ : peak_;
     }
@@ -56,51 +63,43 @@ class WorkStealingQueue {
   // another worker's deque.
   bool Pop(size_t worker, PopOrder order, T* out, bool* stolen) {
     std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      if (closed_) {
-        return false;
-      }
-      if (total_ > 0) {
-        std::deque<T>& own = queues_[worker];
-        if (!own.empty()) {
-          if (order == PopOrder::kNewestFirst) {
-            *out = std::move(own.back());
-            own.pop_back();
-          } else {
-            *out = std::move(own.front());
-            own.pop_front();
-          }
-          --total_;
-          *stolen = false;
-          return true;
-        }
-        size_t victim = queues_.size();
-        size_t victim_size = 0;
-        for (size_t i = 0; i < queues_.size(); ++i) {
-          if (i != worker && queues_[i].size() > victim_size) {
-            victim = i;
-            victim_size = queues_[i].size();
-          }
-        }
-        Check(victim < queues_.size(), "WorkStealingQueue: total_ > 0 but no victim");
-        *out = std::move(queues_[victim].front());
-        queues_[victim].pop_front();
-        --total_;
-        *stolen = true;
-        return true;
-      }
-      ++waiting_;
-      if (waiting_ >= active_) {
-        // Every still-active worker is here and the frontier is empty:
-        // nothing can ever be produced again. Wake the other waiters so
-        // they observe closed_.
-        closed_ = true;
-        cv_.notify_all();
-        return false;
-      }
-      cv_.wait(lock, [this] { return total_ > 0 || closed_; });
-      --waiting_;
+    if (!WaitForItem(lock)) {
+      return false;
     }
+    if (!queues_[worker].empty()) {
+      *out = TakeOwnLocked(worker, order);
+      *stolen = false;
+    } else {
+      *out = StealLocked(worker);
+      *stolen = true;
+    }
+    return true;
+  }
+
+  // Takes up to `max_items` for `worker` in one frontier visit: the first
+  // item with full Pop() semantics (blocking, stealing), the rest
+  // opportunistically from the worker's *own* deque only — extras are
+  // never stolen, so a batching worker cannot starve other thieves.
+  // Returns false when the search is over; otherwise `out` holds 1 to
+  // `max_items` items in pop order and `stolen` counts stolen ones (0/1).
+  bool PopBatch(size_t worker, PopOrder order, size_t max_items, std::vector<T>* out,
+                u64* stolen) {
+    out->clear();
+    *stolen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!WaitForItem(lock)) {
+      return false;
+    }
+    if (!queues_[worker].empty()) {
+      out->push_back(TakeOwnLocked(worker, order));
+    } else {
+      out->push_back(StealLocked(worker));
+      ++*stolen;
+    }
+    while (out->size() < max_items && !queues_[worker].empty()) {
+      out->push_back(TakeOwnLocked(worker, order));
+    }
+    return true;
   }
 
   // Ends the search: every blocked and future Pop() returns false.
@@ -137,9 +136,95 @@ class WorkStealingQueue {
   }
 
  private:
+  struct Entry {
+    T item;
+    u64 priority = 0;
+  };
+
+  // Blocks until the frontier has an item. Returns false when the search
+  // is over (closed, or every active worker waits here at once).
+  bool WaitForItem(std::unique_lock<std::mutex>& lock) {
+    for (;;) {
+      if (closed_) {
+        return false;
+      }
+      if (total_ > 0) {
+        return true;
+      }
+      ++waiting_;
+      if (waiting_ >= active_) {
+        // Every still-active worker is here and the frontier is empty:
+        // nothing can ever be produced again. Wake the other waiters so
+        // they observe closed_.
+        closed_ = true;
+        cv_.notify_all();
+        return false;
+      }
+      cv_.wait(lock, [this] { return total_ > 0 || closed_; });
+      --waiting_;
+    }
+  }
+
+  // Removes one entry from `worker`'s own (non-empty) deque per `order`.
+  T TakeOwnLocked(size_t worker, PopOrder order) {
+    std::deque<Entry>& own = queues_[worker];
+    size_t idx = 0;
+    switch (order) {
+      case PopOrder::kNewestFirst:
+        idx = own.size() - 1;
+        break;
+      case PopOrder::kOldestFirst:
+        idx = 0;
+        break;
+      case PopOrder::kHighestPriority:
+        // >= keeps the scan's last maximum: the newest among ties, so
+        // equal-priority entries still behave depth-first. The pop then
+        // swap-removes instead of erasing from the middle: the scan is
+        // unavoidably O(n), but shifting half the deque while holding
+        // mu_ is not (ties thereafter prefer the newest *remaining*
+        // entry, which internal compaction approximates).
+        for (size_t i = 1; i < own.size(); ++i) {
+          if (own[i].priority >= own[idx].priority) {
+            idx = i;
+          }
+        }
+        if (idx + 1 != own.size()) {
+          std::swap(own[idx], own.back());
+        }
+        idx = own.size() - 1;
+        break;
+    }
+    T item = std::move(own[idx].item);
+    if (idx + 1 == own.size()) {
+      own.pop_back();
+    } else {
+      own.erase(own.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    --total_;
+    return item;
+  }
+
+  // Steals the front of the fullest other deque; requires total_ > 0 and
+  // an empty own deque.
+  T StealLocked(size_t worker) {
+    size_t victim = queues_.size();
+    size_t victim_size = 0;
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      if (i != worker && queues_[i].size() > victim_size) {
+        victim = i;
+        victim_size = queues_[i].size();
+      }
+    }
+    Check(victim < queues_.size(), "WorkStealingQueue: total_ > 0 but no victim");
+    T item = std::move(queues_[victim].front().item);
+    queues_[victim].pop_front();
+    --total_;
+    return item;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<std::deque<T>> queues_;
+  std::vector<std::deque<Entry>> queues_;
   u64 total_ = 0;
   u64 peak_ = 0;
   size_t waiting_ = 0;

@@ -1,0 +1,337 @@
+// Tests for the incremental solving layer (src/solver/incremental.h):
+// independence partitioning, fleet-wide slice caches, the log-bits
+// priority frontier, and their wiring into the replay engine.
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/solver/incremental.h"
+#include "src/support/workqueue.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+// ----- Partition correctness -----
+
+// Three independent components over nine byte cells; the seed violates
+// every one, so each slice needs genuine repair. The stitched model must
+// satisfy the *whole* set.
+TEST(IncrementalSolverTest, StitchedModelSatisfiesWholeSet) {
+  ExprArena arena;
+  std::vector<Constraint> cs;
+  for (i32 base = 0; base < 9; base += 3) {
+    const ExprRef v0 = arena.MkVar(base);
+    const ExprRef v1 = arena.MkVar(base + 1);
+    const ExprRef v2 = arena.MkVar(base + 2);
+    cs.push_back({arena.MkBin(ExprOp::kEq, v0, arena.MkConst('a' + base)), true});
+    cs.push_back({arena.MkBin(ExprOp::kGt, arena.MkBin(ExprOp::kAdd, v0, v1),
+                              arena.MkConst(200)), true});
+    cs.push_back({arena.MkBin(ExprOp::kNe, v1, v2), true});
+  }
+  const std::vector<Interval> domains(9, Interval{0, 255});
+  const std::vector<i64> seed(9, 0);
+
+  IncrementalSolver inc(arena, SolverOptions{}, nullptr);
+  const SolveResult r = inc.Solve(ConstraintSpan(cs.data(), cs.size()), domains, seed);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+
+  Solver plain(arena, SolverOptions{});
+  EXPECT_TRUE(plain.Satisfies(cs, r.model));
+  // The set really was split: three components, each solved separately.
+  EXPECT_EQ(inc.stats().slices_total, 3u);
+  EXPECT_EQ(inc.stats().slices_solved, 3u);
+}
+
+TEST(IncrementalSolverTest, NegateLastViewOnlyAffectsLastConstraint) {
+  ExprArena arena;
+  const ExprRef x = arena.MkVar(0);
+  const ExprRef y = arena.MkVar(1);
+  std::vector<Constraint> cs{{arena.MkBin(ExprOp::kEq, x, arena.MkConst(7)), true},
+                             {arena.MkBin(ExprOp::kEq, y, arena.MkConst(9)), true}};
+  const std::vector<Interval> domains(2, Interval{0, 255});
+
+  IncrementalSolver inc(arena, SolverOptions{}, nullptr);
+  const SolveResult r =
+      inc.Solve(ConstraintSpan(cs.data(), cs.size(), /*negate_last=*/true), domains, {0, 0});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model[0], 7);   // First constraint untouched by the view.
+  EXPECT_NE(r.model[1], 9);   // Last constraint negated.
+}
+
+// The monolithic solver over a negate-last span must be bit-identical to
+// the legacy materialize-prefix-and-negate vector path — this is what
+// makes the cache-off engine the bit-identical pre-parallel engine.
+TEST(IncrementalSolverTest, SpanSolveMatchesCopiedVectorSolve) {
+  ExprArena arena;
+  std::vector<Constraint> trace;
+  for (i32 v = 0; v < 6; ++v) {
+    trace.push_back({arena.MkBin(ExprOp::kGt, arena.MkVar(v), arena.MkConst(40 + v)), true});
+  }
+  const std::vector<Interval> domains(6, Interval{0, 255});
+  const std::vector<i64> seed(6, 10);
+  Solver solver(arena, SolverOptions{});
+
+  for (size_t len = 1; len <= trace.size(); ++len) {
+    // Legacy shape: copy the prefix, negate the last constraint.
+    std::vector<Constraint> copied(trace.begin(), trace.begin() + len);
+    copied.back().want_true = !copied.back().want_true;
+    const SolveResult from_copy = solver.Solve(copied, domains, seed);
+    const SolveResult from_span =
+        solver.Solve(ConstraintSpan(trace.data(), len, /*negate_last=*/true), domains, seed);
+    ASSERT_EQ(from_copy.status, from_span.status) << "len=" << len;
+    EXPECT_EQ(from_copy.model, from_span.model) << "len=" << len;
+    EXPECT_EQ(from_copy.steps, from_span.steps) << "len=" << len;
+  }
+}
+
+TEST(IncrementalSolverTest, FalseConstantConstraintIsUnsat) {
+  ExprArena arena;
+  std::vector<Constraint> cs{{arena.MkConst(0), true}};
+  IncrementalSolver inc(arena, SolverOptions{}, nullptr);
+  const SolveResult r = inc.Solve(ConstraintSpan(cs.data(), cs.size()), {}, {});
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+}
+
+TEST(IncrementalSolverTest, UnsatSliceRejectsWholeSet) {
+  ExprArena arena;
+  const ExprRef x = arena.MkVar(0);
+  const ExprRef y = arena.MkVar(1);
+  // Slice {x}: satisfiable. Slice {y}: y == 3 && y == 5, unsatisfiable.
+  std::vector<Constraint> cs{{arena.MkBin(ExprOp::kEq, x, arena.MkConst(1)), true},
+                             {arena.MkBin(ExprOp::kEq, y, arena.MkConst(3)), true},
+                             {arena.MkBin(ExprOp::kEq, y, arena.MkConst(5)), true}};
+  const std::vector<Interval> domains(2, Interval{0, 255});
+  SliceCache cache;
+  IncrementalSolver inc(arena, SolverOptions{}, &cache);
+  const SolveResult r = inc.Solve(ConstraintSpan(cs.data(), cs.size()), domains, {0, 0});
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.unsat_entries(), 1u);
+}
+
+// ----- Slice caches -----
+
+// The same structural slice built in two different arenas (different
+// interning histories) must share cache entries, and the hit must produce
+// a model that still satisfies the consumer's live constraints.
+TEST(IncrementalSolverTest, CacheHitsAcrossArenasStaySound) {
+  SliceCache cache;
+  auto build = [](ExprArena* arena, int noise) {
+    for (int i = 0; i < noise; ++i) {
+      arena->MkVar(100 + i);  // Shift raw refs between the arenas.
+    }
+    const ExprRef x = arena->MkVar(0);
+    const ExprRef y = arena->MkVar(1);
+    return std::vector<Constraint>{
+        {arena->MkBin(ExprOp::kEq, x, arena->MkConst('q')), true},
+        {arena->MkBin(ExprOp::kGt, y, arena->MkConst(200)), true}};
+  };
+  const std::vector<Interval> domains(2, Interval{0, 255});
+
+  ExprArena a;
+  const std::vector<Constraint> ca = build(&a, 0);
+  IncrementalSolver inc_a(a, SolverOptions{}, &cache);
+  const SolveResult ra = inc_a.Solve(ConstraintSpan(ca.data(), ca.size()), domains, {0, 0});
+  ASSERT_EQ(ra.status, SolveStatus::kSat);
+  EXPECT_EQ(inc_a.stats().slice_sat_hits, 0u);
+  EXPECT_EQ(inc_a.stats().slices_solved, 2u);
+
+  ExprArena b;
+  const std::vector<Constraint> cb = build(&b, 7);
+  IncrementalSolver inc_b(b, SolverOptions{}, &cache);
+  const SolveResult rb = inc_b.Solve(ConstraintSpan(cb.data(), cb.size()), domains, {0, 0});
+  ASSERT_EQ(rb.status, SolveStatus::kSat);
+  EXPECT_EQ(inc_b.stats().slice_sat_hits, 2u);  // Both slices from the cache.
+  EXPECT_EQ(inc_b.stats().slices_solved, 0u);
+  Solver plain_b(b, SolverOptions{});
+  EXPECT_TRUE(plain_b.Satisfies(cb, rb.model));
+}
+
+// An UNSAT verdict is keyed to the exact domains it was proved under: the
+// same constraint over a wider domain is a different subproblem and must
+// still come back SAT.
+TEST(IncrementalSolverTest, UnsatCacheNeverMasksSatSet) {
+  ExprArena arena;
+  const ExprRef x = arena.MkVar(0);
+  std::vector<Constraint> cs{{arena.MkBin(ExprOp::kGt, x, arena.MkConst(5)), true}};
+  SliceCache cache;
+  IncrementalSolver inc(arena, SolverOptions{}, &cache);
+
+  const SolveResult narrow =
+      inc.Solve(ConstraintSpan(cs.data(), cs.size()), {Interval{0, 5}}, {0});
+  ASSERT_EQ(narrow.status, SolveStatus::kUnsat);
+  ASSERT_EQ(cache.unsat_entries(), 1u);
+
+  const SolveResult wide =
+      inc.Solve(ConstraintSpan(cs.data(), cs.size()), {Interval{0, 255}}, {0});
+  ASSERT_EQ(wide.status, SolveStatus::kSat);
+  EXPECT_GT(wide.model[0], 5);
+  EXPECT_EQ(inc.stats().slice_unsat_hits, 0u);  // Wider domain = new key.
+}
+
+// Warm solves hit every slice, and the hits keep producing valid models.
+TEST(IncrementalSolverTest, WarmCacheHitsStayValid) {
+  ExprArena arena;
+  const ExprRef x = arena.MkVar(0);
+  const ExprRef y = arena.MkVar(1);
+  std::vector<Constraint> cs{{arena.MkBin(ExprOp::kEq, x, arena.MkConst(9)), true},
+                             {arena.MkBin(ExprOp::kLt, y, arena.MkConst(4)), true}};
+  const std::vector<Interval> domains(2, Interval{0, 255});
+  SliceCache cache;
+  IncrementalSolver inc(arena, SolverOptions{}, &cache);
+  Solver plain(arena, SolverOptions{});
+
+  for (int round = 0; round < 3; ++round) {
+    const SolveResult r = inc.Solve(ConstraintSpan(cs.data(), cs.size()), domains, {0, 200});
+    ASSERT_EQ(r.status, SolveStatus::kSat);
+    EXPECT_TRUE(plain.Satisfies(cs, r.model));
+  }
+  EXPECT_EQ(inc.stats().slices_solved, 2u);      // First round only.
+  EXPECT_EQ(inc.stats().slice_sat_hits, 4u);     // Two slices x two rounds.
+}
+
+// ----- Log-bits priority frontier -----
+
+TEST(IncrementalSolverTest, WorkQueueHighestPriorityOrder) {
+  WorkStealingQueue<int> queue(2);
+  queue.Push(0, 1, /*priority=*/10);
+  queue.Push(0, 2, /*priority=*/30);
+  queue.Push(0, 3, /*priority=*/20);
+  queue.Push(0, 4, /*priority=*/30);  // Ties break newest: 4 before 2.
+
+  int out = 0;
+  bool stolen = false;
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestPriority, &out, &stolen));
+  EXPECT_EQ(out, 4);
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestPriority, &out, &stolen));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestPriority, &out, &stolen));
+  EXPECT_EQ(out, 3);
+  // Thieves still take the victim's front (oldest), priority or not.
+  ASSERT_TRUE(queue.Pop(1, PopOrder::kHighestPriority, &out, &stolen));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(stolen);
+}
+
+TEST(IncrementalSolverTest, WorkQueuePopBatchDrainsOwnDequeOnly) {
+  WorkStealingQueue<int> queue(2);
+  queue.Push(0, 1);
+  queue.Push(0, 2);
+  queue.Push(1, 9);
+
+  std::vector<int> out;
+  u64 stolen = 0;
+  // Own deque first: both items, newest first, no steal of worker 1's item.
+  ASSERT_TRUE(queue.PopBatch(0, PopOrder::kNewestFirst, 8, &out, &stolen));
+  EXPECT_EQ(out, (std::vector<int>{2, 1}));
+  EXPECT_EQ(stolen, 0u);
+  // Empty own deque: the first (and only the first) item may be stolen.
+  ASSERT_TRUE(queue.PopBatch(0, PopOrder::kNewestFirst, 8, &out, &stolen));
+  EXPECT_EQ(out, (std::vector<int>{9}));
+  EXPECT_EQ(stolen, 1u);
+}
+
+// ----- Engine wiring -----
+
+constexpr const char* kDeepGuardedCrash = R"(
+int main(int argc, char **argv) {
+  if (argc < 3) { return 1; }
+  int hits = 0;
+  if (argv[1][0] == 'a') { hits = hits + 1; }
+  if (argv[1][1] == 'b') { hits = hits + 1; }
+  if (argv[1][2] == 'c') { hits = hits + 1; }
+  if (argv[2][0] > 'm') { hits = hits + 1; }
+  if (hits == 4) { crash(7); }
+  return 0;
+}
+)";
+
+std::unique_ptr<Pipeline> MustBuild(std::string_view app) {
+  auto r = Pipeline::FromSources(app, {});
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+InputSpec DeepGuardedCrashInput() {
+  InputSpec spec;
+  spec.argv = {"prog", "abc", "z"};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+// Cache soundness end to end at 1 and 4 workers: with the layer on, the
+// engine still reproduces and the witness verifies; the layer actually
+// engaged (slices were solved / hit).
+TEST(IncrementalSolverTest, EngineCacheSoundAtOneAndFourWorkers) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  for (const u32 workers : {1u, 4u}) {
+    ReplayConfig config;
+    config.num_workers = workers;
+    config.solver_cache = true;
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced) << workers << " workers";
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+    EXPECT_GT(replay.stats.slices_solved + replay.stats.slice_sat_hits +
+                  replay.stats.slice_unsat_hits,
+              0u)
+        << workers << " workers";
+  }
+}
+
+// With the layer off, the engine must not report slice activity (and the
+// sequential path is the bit-identical legacy loop: the monolithic branch
+// is pinned by SpanSolveMatchesCopiedVectorSolve above, and the loop
+// around it is unchanged when solver_cache is false).
+TEST(IncrementalSolverTest, EngineCacheOffReportsNoSliceActivity) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.solver_cache = false;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_EQ(replay.stats.slices_solved, 0u);
+  EXPECT_EQ(replay.stats.slice_sat_hits, 0u);
+  EXPECT_EQ(replay.stats.slice_unsat_hits, 0u);
+}
+
+// Pick::kLogBits reproduces at both worker counts, and the new counters
+// aggregate losslessly across workers.
+TEST(IncrementalSolverTest, LogBitsPickReproduces) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  for (const u32 workers : {1u, 4u}) {
+    ReplayConfig config;
+    config.num_workers = workers;
+    config.pick = ReplayConfig::Pick::kLogBits;
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced) << workers << " workers";
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+
+    u64 solved = 0;
+    u64 sat_hits = 0;
+    u64 unsat_hits = 0;
+    for (const ReplayWorkerStats& w : replay.stats.per_worker) {
+      solved += w.slices_solved;
+      sat_hits += w.slice_sat_hits;
+      unsat_hits += w.slice_unsat_hits;
+    }
+    EXPECT_EQ(replay.stats.slices_solved, solved);
+    EXPECT_EQ(replay.stats.slice_sat_hits, sat_hits);
+    EXPECT_EQ(replay.stats.slice_unsat_hits, unsat_hits);
+  }
+}
+
+}  // namespace
+}  // namespace retrace
