@@ -1,4 +1,5 @@
-// Parallel replay scheduler: wall-clock speedup at 1/2/4/8 workers.
+// Parallel + distributed replay scheduler: wall-clock speedup over a
+// shards x workers grid.
 //
 // Workload: the uServer crash experiments under the *dynamic (lc)* plan —
 // the paper's hardest replay configuration (low-coverage dynamic analysis
@@ -6,15 +7,21 @@
 // pending-set frontier; Table 3 shows cells from 27s to inf). This is
 // exactly the axis the multi-worker scheduler attacks: N workers explore
 // the frontier concurrently with work-stealing, a shared tried-set, and
-// first-crash-wins cancellation.
+// first-crash-wins cancellation. RETRACE_REPLAY_SHARDS adds the process
+// dimension: each shard count in the list gets its own table, where
+// "SxW" means S forked shard processes running W worker threads each,
+// seeded from a partition of the coordinator's scouted frontier and
+// gossiping slice-cache verdicts over the wire (src/dist/).
 //
 // Speedup has two sources: hardware parallelism (one interpreter per
-// core) and *search diversification* — each worker starts from a distinct
-// random input, so the fleet covers the input space the way N independent
-// sequential engines would, but sharing one frontier. Diversification
-// alone can be superlinear: scenarios whose sequential search exhausts
-// the budget (inf) can fall in seconds. On a single-core host all of the
-// measured speedup is diversification.
+// core) and *search diversification* — every worker of every shard
+// starts from a distinct random input, so the fleet covers the input
+// space the way S*W independent sequential engines would, but sharing
+// frontiers and verdicts. Diversification alone can be superlinear:
+// scenarios whose sequential search exhausts the budget (inf) can fall
+// in seconds. On a single-core host all of the measured speedup is
+// diversification. Wire overhead is reported honestly per table: total
+// bytes shipped both ways and the verdicts gossiped between shards.
 #include <cinttypes>
 #include <cstdlib>
 #include <iterator>
@@ -26,7 +33,14 @@
 namespace retrace {
 namespace {
 
-constexpr u32 kWorkerCounts[] = {1, 2, 4, 8};
+// Worker counts per table: the historical 1/2/4/8 sweep in-process; the
+// ISSUE's {1,2,4} grid once shard processes multiply the fleet.
+std::vector<u32> WorkerCounts(u32 shards) {
+  if (shards <= 1) {
+    return {1, 2, 4, 8};
+  }
+  return {1, 2, 4};
+}
 
 // Default sweep: experiments 1-4 (e5 historically exceeds the cap at every
 // count — target it explicitly with RETRACE_BENCH_EXPERIMENTS=5, usually
@@ -61,73 +75,96 @@ int Main() {
               cap_ms / 1000);
   std::printf("solver cache: %s (RETRACE_SOLVER_CACHE=0 disables the incremental layer)\n",
               SolverCacheEnabled() ? "on" : "off");
-  std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|portfolio)\n\n",
+  std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|portfolio)\n",
               ReplayPickName());
-  std::printf("%-12s", "experiment");
-  for (const u32 workers : kWorkerCounts) {
-    std::printf(" %14s", (std::to_string(workers) + " worker(s)").c_str());
-  }
-  std::printf("\n");
+  std::printf("shard sweep: RETRACE_REPLAY_SHARDS (comma list, default 1 = in-process)\n");
 
-  double total_seconds[std::size(kWorkerCounts)] = {};
-  u64 total_sat_hits = 0;
-  u64 total_unsat_hits = 0;
-  u64 total_slices_solved = 0;
-  for (const int experiment : Experiments()) {
-    const Scenario scenario = UserverScenario(experiment);
-    Pipeline::UserRunOptions options;
-    options.policy = scenario.policy.get();
-    const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
-    if (!user.result.Crashed()) {
-      std::printf("exp %d: user run did not crash!\n", experiment);
-      continue;
+  const std::vector<int> experiments = Experiments();
+  for (const u32 shards : ReplayShardsSweep()) {
+    const std::vector<u32> worker_counts = WorkerCounts(shards);
+    std::printf("\n--- %u shard(s) x {", shards);
+    for (size_t i = 0; i < worker_counts.size(); ++i) {
+      std::printf("%s%u", i == 0 ? "" : ",", worker_counts[i]);
     }
-    std::printf("exp %-8d", experiment);
-    for (size_t i = 0; i < std::size(kWorkerCounts); ++i) {
-      ReplayConfig config = DefaultReplayConfig();
-      config.wall_ms = cap_ms;
-      config.num_workers = kWorkerCounts[i];
-      const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
-      // Budget-capped cells charge the full cap, like the paper's inf rows.
-      total_seconds[i] +=
-          replay.reproduced ? replay.wall_seconds : static_cast<double>(cap_ms) / 1000.0;
-      total_sat_hits += replay.stats.slice_sat_hits;
-      total_unsat_hits += replay.stats.slice_unsat_hits;
-      total_slices_solved += replay.stats.slices_solved;
-      char cell[64];
-      if (replay.reproduced) {
-        std::snprintf(cell, sizeof(cell), "%.2fs/%" PRIu64 "r", replay.wall_seconds,
-                      replay.stats.runs);
-      } else {
-        std::snprintf(cell, sizeof(cell), "inf/%" PRIu64 "r", replay.stats.runs);
-      }
-      std::printf(" %14s", cell);
-      std::fflush(stdout);
+    std::printf("} worker(s) ---\n%-12s", "experiment");
+    for (const u32 workers : worker_counts) {
+      char head[32];
+      std::snprintf(head, sizeof(head), "%ux%u", shards, workers);
+      std::printf(" %14s", head);
     }
     std::printf("\n");
+
+    std::vector<double> total_seconds(worker_counts.size(), 0.0);
+    u64 total_sat_hits = 0;
+    u64 total_unsat_hits = 0;
+    u64 total_slices_solved = 0;
+    u64 total_wire_bytes = 0;
+    u64 total_verdicts_gossiped = 0;
+    for (const int experiment : experiments) {
+      const Scenario scenario = UserverScenario(experiment);
+      Pipeline::UserRunOptions options;
+      options.policy = scenario.policy.get();
+      const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
+      if (!user.result.Crashed()) {
+        std::printf("exp %d: user run did not crash!\n", experiment);
+        continue;
+      }
+      std::printf("exp %-8d", experiment);
+      for (size_t i = 0; i < worker_counts.size(); ++i) {
+        ReplayConfig config = DefaultReplayConfig();
+        config.wall_ms = cap_ms;
+        config.num_workers = worker_counts[i];
+        config.num_shards = shards;
+        const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+        // Budget-capped cells charge the full cap, like the paper's inf rows.
+        total_seconds[i] +=
+            replay.reproduced ? replay.wall_seconds : static_cast<double>(cap_ms) / 1000.0;
+        total_sat_hits += replay.stats.slice_sat_hits;
+        total_unsat_hits += replay.stats.slice_unsat_hits;
+        total_slices_solved += replay.stats.slices_solved;
+        total_wire_bytes += replay.stats.wire_bytes_tx + replay.stats.wire_bytes_rx;
+        total_verdicts_gossiped += replay.stats.verdicts_gossiped;
+        char cell[64];
+        if (replay.reproduced) {
+          std::snprintf(cell, sizeof(cell), "%.2fs/%" PRIu64 "r", replay.wall_seconds,
+                        replay.stats.runs);
+        } else {
+          std::snprintf(cell, sizeof(cell), "inf/%" PRIu64 "r", replay.stats.runs);
+        }
+        std::printf(" %14s", cell);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+
+    std::printf("%-12s", "total");
+    for (const double seconds : total_seconds) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.2fs", seconds);
+      std::printf(" %14s", cell);
+    }
+    std::printf("\n%-12s", "speedup");
+    for (const double seconds : total_seconds) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.2fx",
+                    seconds > 0 ? total_seconds[0] / seconds : 0.0);
+      std::printf(" %14s", cell);
+    }
+    const u64 lookups = total_sat_hits + total_unsat_hits + total_slices_solved;
+    std::printf("\nslice cache (all cells): %" PRIu64 " sat hits, %" PRIu64
+                " unsat hits, %" PRIu64 " solved, hit rate %.1f%%\n",
+                total_sat_hits, total_unsat_hits, total_slices_solved,
+                lookups > 0 ? 100.0 * static_cast<double>(total_sat_hits + total_unsat_hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0);
+    if (shards > 1) {
+      std::printf("wire overhead (all cells): %.1f KB shipped, %" PRIu64
+                  " verdicts gossiped between shards\n",
+                  static_cast<double>(total_wire_bytes) / 1024.0, total_verdicts_gossiped);
+    }
   }
 
-  std::printf("\n%-12s", "total");
-  for (const double seconds : total_seconds) {
-    char cell[64];
-    std::snprintf(cell, sizeof(cell), "%.2fs", seconds);
-    std::printf(" %14s", cell);
-  }
-  std::printf("\n%-12s", "speedup");
-  for (const double seconds : total_seconds) {
-    char cell[64];
-    std::snprintf(cell, sizeof(cell), "%.2fx",
-                  seconds > 0 ? total_seconds[0] / seconds : 0.0);
-    std::printf(" %14s", cell);
-  }
-  const u64 lookups = total_sat_hits + total_unsat_hits + total_slices_solved;
-  std::printf("\n\nslice cache (all cells): %" PRIu64 " sat hits, %" PRIu64
-              " unsat hits, %" PRIu64 " solved, hit rate %.1f%%\n",
-              total_sat_hits, total_unsat_hits, total_slices_solved,
-              lookups > 0 ? 100.0 * static_cast<double>(total_sat_hits + total_unsat_hits) /
-                                static_cast<double>(lookups)
-                          : 0.0);
-  std::printf("hardware threads: %u (single-core hosts measure pure search\n"
+  std::printf("\nhardware threads: %u (single-core hosts measure pure search\n"
               "diversification; multi-core hosts add interpreter parallelism)\n",
               std::thread::hardware_concurrency());
   return 0;

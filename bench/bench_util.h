@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/pipeline.h"
 #include "src/workloads/scenarios.h"
@@ -114,6 +115,41 @@ inline bool SolverCacheEnabled() {
   return env == nullptr || std::atoi(env) != 0;
 }
 
+// Distributed-shard knob: RETRACE_REPLAY_SHARDS is a comma-separated
+// list of shard counts ("1,2,4"). bench_parallel_replay sweeps the whole
+// list; the table benches (through DefaultReplayConfig) use the first
+// entry. Default {1}: everything stays in-process and historical numbers
+// remain comparable.
+inline std::vector<u32> ReplayShardsSweep() {
+  const char* env = std::getenv("RETRACE_REPLAY_SHARDS");
+  std::vector<u32> out;
+  if (env != nullptr) {
+    int value = 0;
+    bool in_number = false;
+    for (const char* c = env;; ++c) {
+      if (*c >= '0' && *c <= '9') {
+        value = value * 10 + (*c - '0');
+        in_number = true;
+      } else {
+        if (in_number && value > 0) {
+          out.push_back(static_cast<u32>(value));
+        }
+        value = 0;
+        in_number = false;
+        if (*c == '\0') {
+          break;
+        }
+      }
+    }
+  }
+  if (out.empty()) {
+    out.push_back(1);
+  }
+  return out;
+}
+
+inline u32 ReplayShards() { return ReplayShardsSweep().front(); }
+
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
   ReplayConfig config;
@@ -121,6 +157,7 @@ inline ReplayConfig DefaultReplayConfig() {
   config.max_runs = 50'000;
   config.seed = 31;
   config.num_workers = ReplayWorkers();
+  config.num_shards = ReplayShards();
   config.solver_cache = SolverCacheEnabled();
   config.pick = ReplayPick();
   return config;

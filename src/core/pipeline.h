@@ -85,8 +85,10 @@ class Pipeline {
                                  NondetPolicy* policy, int reps, bool log_syscalls = true);
 
   // ----- Phase 3: developer site -----
-  // `config.num_workers` > 1 runs the parallel replay scheduler; use
-  // DefaultReplayWorkers() to saturate the host.
+  // `config.num_workers` > 1 runs the parallel replay scheduler (use
+  // DefaultReplayWorkers() to saturate the host); `config.num_shards` > 1
+  // additionally forks shard processes (call from a single-threaded
+  // context — see src/dist/coordinator.h).
   ReplayResult Reproduce(const BugReport& report, const InstrumentationPlan& plan,
                          const ReplayConfig& config);
 

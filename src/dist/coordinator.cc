@@ -1,0 +1,369 @@
+#include "src/dist/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/dist/shard.h"
+#include "src/dist/wire.h"
+
+namespace retrace {
+namespace {
+
+// Runaway backstop for shard processes: one process per frontier
+// partition stops paying off long before this.
+constexpr u32 kMaxShards = 64;
+
+// Grace period past the configured wall budget before the coordinator
+// hard-kills shards that stopped responding.
+constexpr i64 kKillGraceMs = 30'000;
+
+struct ShardProc {
+  pid_t pid = -1;
+  std::unique_ptr<WireChannel> chan;
+  bool done = false;
+  bool have_result = false;
+  WireShardResult res;
+};
+
+// Counts the verdicts in a batch without decoding it (no allocations on
+// the relay hot path — the payload is forwarded verbatim anyway).
+u64 CountVerdicts(const WireFrame& frame) {
+  WireReader r(frame.payload.data(), frame.payload.size());
+  u32 sat_count = 0;
+  if (!r.U32(&sat_count) || !r.FitsCount(sat_count, 8 + 4)) {
+    return 0;
+  }
+  for (u32 i = 0; i < sat_count; ++i) {
+    u64 key = 0;
+    u32 model_count = 0;
+    if (!r.U64(&key) || !r.U32(&model_count) || !r.Skip(static_cast<size_t>(model_count) * 12)) {
+      return 0;
+    }
+  }
+  u32 unsat_count = 0;
+  if (!r.U32(&unsat_count) || !r.FitsCount(unsat_count, 16)) {
+    return 0;
+  }
+  return static_cast<u64>(sat_count) + unsat_count;
+}
+
+}  // namespace
+
+ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationPlan& plan,
+                                  const BugReport& report, const ReplayConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed_seconds = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  const u32 num_shards = std::clamp(config.num_shards, 2u, kMaxShards);
+
+  // ----- 1. Scout: grow (or finish) the frontier in-process. -----
+  ExprArena arena;
+  ReplayEngine scout(module, plan, report, &arena);
+  ReplayConfig scout_cfg = config;
+  scout_cfg.num_shards = 1;
+  const u64 scout_cap = std::max<u64>(4, 2 * num_shards);
+  ReplayEngine::HarvestOutput harvest =
+      scout.HarvestFrontier(scout_cfg, std::min(scout_cap, config.max_runs),
+                            /*target_frontier=*/4 * num_shards);
+  ReplayResult result = std::move(harvest.result);
+  result.stats.harvest_runs = result.stats.runs;
+  if (result.reproduced || result.stats.runs >= config.max_runs ||
+      harvest.frontier.empty()) {
+    // Solved it, exhausted the run cap, or there is nothing to shard
+    // (frontier drained — the search space is smaller than the scout).
+    result.budget_exhausted = !result.reproduced;
+    result.wall_seconds = elapsed_seconds();
+    return result;
+  }
+  // Shards re-aggregate their own per-worker view; the scout's counters
+  // stay in the aggregate, labelled by harvest_runs.
+  result.stats.per_worker.clear();
+
+  // ----- 2. Partition: deepest-first, dealt round-robin. -----
+  std::vector<PortablePending> frontier = std::move(harvest.frontier);
+  std::stable_sort(frontier.begin(), frontier.end(),
+                   [](const PortablePending& a, const PortablePending& b) {
+                     return a.priority > b.priority;
+                   });
+  std::vector<std::vector<PortablePending>> parts(num_shards);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    parts[i % num_shards].push_back(std::move(frontier[i]));
+  }
+
+  // Per-shard budget: the remaining run cap and step budget divided
+  // evenly; the wall clock is global, minus what the scout spent.
+  ReplayConfig shard_cfg = config;
+  shard_cfg.num_shards = 1;
+  shard_cfg.max_runs = std::max<u64>(1, (config.max_runs - result.stats.runs) / num_shards);
+  shard_cfg.total_steps = std::max<u64>(1, config.total_steps / num_shards);
+  if (config.wall_ms > 0) {
+    shard_cfg.wall_ms =
+        std::max<i64>(1, config.wall_ms - static_cast<i64>(elapsed_seconds() * 1000.0));
+  }
+
+  // ----- 3. Fork the shard fleet. -----
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<ShardProc> procs(num_shards);
+  std::vector<int> parent_fds;
+  for (u32 s = 0; s < num_shards; ++s) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      procs[s].done = true;
+      continue;
+    }
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: drop every coordinator-side fd, run the shard, and leave
+      // without touching the inherited process state (atexit, stdio).
+      ::close(fds[0]);
+      for (const int parent_fd : parent_fds) {
+        ::close(parent_fd);
+      }
+      const bool ok = RunShard(module, plan, report, shard_cfg, s, fds[1]);
+      ::_exit(ok ? 0 : 1);
+    }
+    ::close(fds[1]);
+    if (pid < 0) {
+      ::close(fds[0]);
+      procs[s].done = true;
+      continue;
+    }
+    parent_fds.push_back(fds[0]);
+    procs[s].pid = pid;
+    procs[s].chan = std::make_unique<WireChannel>(fds[0]);
+  }
+
+  // A shard that failed to spawn must not silently orphan its frontier
+  // partition (the reproducing input may live only in that subtree):
+  // re-deal dead shards' entries round-robin over the live ones.
+  std::vector<u32> live;
+  for (u32 s = 0; s < num_shards; ++s) {
+    if (!procs[s].done && procs[s].chan != nullptr) {
+      live.push_back(s);
+    }
+  }
+  if (live.empty()) {
+    // The whole fleet failed to spawn: the scout's result is all we have.
+    result.budget_exhausted = !result.reproduced;
+    result.wall_seconds = elapsed_seconds();
+    return result;
+  }
+  if (live.size() < num_shards) {
+    size_t deal = 0;
+    for (u32 s = 0; s < num_shards; ++s) {
+      if (procs[s].chan != nullptr && !procs[s].done) {
+        continue;
+      }
+      for (PortablePending& pending : parts[s]) {
+        parts[live[deal++ % live.size()]].push_back(std::move(pending));
+      }
+      parts[s].clear();
+    }
+  }
+
+  // Handshake, pendings first: shards buffer kPending frames in any
+  // order and only reconcile the count against kHello at kStart, so the
+  // coordinator can still re-deal a partition whose shard breaks during
+  // the sends — the same no-orphaned-subtree invariant as above, for
+  // failures detected after fork. All coordinator traffic is queued
+  // non-blocking (flushed on every Poll), so the relay loop below can
+  // never stall in a write while a shard stalls writing to us.
+  // Sweeps converge: a sweep only repeats after a send failure, and each
+  // failure permanently removes one shard from the rotation.
+  std::vector<u64> pendings_queued(num_shards, 0);
+  for (bool redealt = true; redealt;) {
+    redealt = false;
+    for (const u32 s : live) {
+      if (procs[s].done) {
+        continue;
+      }
+      WireChannel& chan = *procs[s].chan;
+      while (pendings_queued[s] < parts[s].size()) {
+        WireWriter w;
+        EncodePending(parts[s][pendings_queued[s]], &w);
+        if (!chan.Queue(WireMsg::kPending, w.buf(), /*droppable=*/false)) {
+          procs[s].done = true;
+          // Undelivered remainder re-deals round-robin to the shards
+          // still standing; the next sweep ships it.
+          std::vector<u32> targets;
+          for (const u32 other : live) {
+            if (other != s && !procs[other].done) {
+              targets.push_back(other);
+            }
+          }
+          for (size_t j = pendings_queued[s], deal = 0; j < parts[s].size() && !targets.empty();
+               ++j, ++deal) {
+            parts[targets[deal % targets.size()]].push_back(std::move(parts[s][j]));
+            redealt = true;
+          }
+          parts[s].clear();
+          break;
+        }
+        ++pendings_queued[s];
+      }
+    }
+  }
+  for (const u32 s : live) {
+    if (procs[s].done) {
+      continue;
+    }
+    WireChannel& chan = *procs[s].chan;
+    WireWriter hello;
+    EncodeHello(WireHello{s, num_shards, static_cast<u32>(pendings_queued[s])}, &hello);
+    if (!chan.Queue(WireMsg::kHello, hello.buf(), /*droppable=*/false) ||
+        !chan.Queue(WireMsg::kStart, {}, /*droppable=*/false)) {
+      procs[s].done = true;
+    }
+  }
+
+  // ----- 4. Relay loop: gossip verdicts, watch for the first crash. -----
+  bool have_winner = false;
+  u32 winner = 0;
+  u64 verdicts_gossiped = 0;
+  auto broadcast_stop = [&](u32 except) {
+    for (u32 s = 0; s < num_shards; ++s) {
+      if (s != except && !procs[s].done && procs[s].chan != nullptr) {
+        procs[s].chan->Queue(WireMsg::kStop, {}, /*droppable=*/false);
+      }
+    }
+  };
+  const i64 kill_after_ms = config.wall_ms > 0 ? config.wall_ms + kKillGraceMs : -1;
+  std::vector<struct pollfd> pfds;
+  for (;;) {
+    // One poll() over every open channel (not a per-channel timeout, so
+    // relay latency stays flat in the shard count), then a non-blocking
+    // drain+flush per channel.
+    pfds.clear();
+    for (u32 s = 0; s < num_shards; ++s) {
+      if (!procs[s].done && procs[s].chan != nullptr) {
+        struct pollfd pfd = {};
+        pfd.fd = procs[s].chan->fd();
+        pfd.events = POLLIN;
+        pfds.push_back(pfd);
+      }
+    }
+    if (!pfds.empty()) {
+      ::poll(pfds.data(), pfds.size(), 10);
+    }
+    bool any_open = false;
+    for (u32 s = 0; s < num_shards; ++s) {
+      ShardProc& proc = procs[s];
+      if (proc.done || proc.chan == nullptr) {
+        continue;
+      }
+      any_open = true;
+      std::vector<WireFrame> frames;
+      const WireChannel::RecvStatus status = proc.chan->Poll(0, &frames);
+      for (const WireFrame& frame : frames) {
+        if (frame.type == WireMsg::kVerdicts) {
+          verdicts_gossiped += CountVerdicts(frame);
+          for (u32 peer = 0; peer < num_shards; ++peer) {
+            if (peer != s && !procs[peer].done && procs[peer].chan != nullptr) {
+              // Best-effort: a relay dropped under backpressure only
+              // costs that peer a re-prove.
+              procs[peer].chan->Queue(WireMsg::kVerdicts, frame.payload, /*droppable=*/true);
+            }
+          }
+        } else if (frame.type == WireMsg::kResult) {
+          WireReader r(frame.payload.data(), frame.payload.size());
+          if (DecodeShardResult(&r, &proc.res)) {
+            proc.have_result = true;
+            if (proc.res.result.reproduced && !have_winner) {
+              have_winner = true;
+              winner = s;
+              broadcast_stop(s);
+            }
+          }
+          proc.done = true;
+        }
+      }
+      if (!proc.done && status != WireChannel::RecvStatus::kOk) {
+        proc.done = true;  // Shard died or its stream is untrustworthy.
+      }
+    }
+    if (!any_open) {
+      break;
+    }
+    if (kill_after_ms > 0 && elapsed_seconds() * 1000.0 > static_cast<double>(kill_after_ms)) {
+      for (ShardProc& proc : procs) {
+        if (!proc.done && proc.pid > 0) {
+          ::kill(proc.pid, SIGKILL);
+          proc.done = true;
+        }
+      }
+      break;
+    }
+  }
+  for (ShardProc& proc : procs) {
+    if (proc.pid > 0) {
+      int wstatus = 0;
+      ::waitpid(proc.pid, &wstatus, 0);
+    }
+  }
+
+  // ----- 5. Shard-aware aggregation. -----
+  for (u32 s = 0; s < num_shards; ++s) {
+    const ShardProc& proc = procs[s];
+    ReplayShardStats shard_stats;
+    shard_stats.shard_id = s;
+    if (proc.chan != nullptr) {
+      shard_stats.wire_bytes_tx = proc.chan->tx_bytes();
+      shard_stats.wire_bytes_rx = proc.chan->rx_bytes();
+      result.stats.wire_bytes_tx += shard_stats.wire_bytes_tx;
+      result.stats.wire_bytes_rx += shard_stats.wire_bytes_rx;
+    }
+    if (proc.have_result) {
+      const ReplayStats& ss = proc.res.result.stats;
+      shard_stats.reproduced = proc.res.result.reproduced;
+      shard_stats.runs = ss.runs;
+      shard_stats.solver_calls = ss.solver_calls;
+      shard_stats.pendings_seeded = proc.res.pendings_seeded;
+      shard_stats.verdicts_published = proc.res.verdicts_published;
+      shard_stats.verdicts_imported = proc.res.verdicts_imported;
+      shard_stats.wall_seconds = proc.res.result.wall_seconds;
+      result.stats.runs += ss.runs;
+      result.stats.solver_calls += ss.solver_calls;
+      result.stats.aborts_forced_direction += ss.aborts_forced_direction;
+      result.stats.aborts_concrete_mismatch += ss.aborts_concrete_mismatch;
+      result.stats.aborts_log_exhausted += ss.aborts_log_exhausted;
+      result.stats.crashes_wrong_site += ss.crashes_wrong_site;
+      result.stats.steals += ss.steals;
+      result.stats.dedup_skips += ss.dedup_skips;
+      result.stats.cancelled_runs += ss.cancelled_runs;
+      result.stats.slices_solved += ss.slices_solved;
+      result.stats.slice_sat_hits += ss.slice_sat_hits;
+      result.stats.slice_unsat_hits += ss.slice_unsat_hits;
+      result.stats.slice_evictions += ss.slice_evictions;
+      result.stats.pending_peak = std::max(result.stats.pending_peak, ss.pending_peak);
+      result.stats.per_worker.insert(result.stats.per_worker.end(), ss.per_worker.begin(),
+                                     ss.per_worker.end());
+    }
+    result.stats.per_shard.push_back(shard_stats);
+  }
+  result.stats.verdicts_gossiped = verdicts_gossiped;
+  if (have_winner) {
+    const ReplayResult& won = procs[winner].res.result;
+    result.reproduced = true;
+    result.witness_argv = won.witness_argv;
+    result.witness_cells = won.witness_cells;
+    result.crash = won.crash;
+  }
+  result.budget_exhausted = !result.reproduced;
+  result.wall_seconds = elapsed_seconds();
+  return result;
+}
+
+}  // namespace retrace

@@ -1,0 +1,40 @@
+// Coordinator of the distributed (multi-process) replay scheduler.
+//
+// ReplayConfig::num_shards > 1 routes ReplayEngine::Reproduce here. The
+// coordinator:
+//   1. Scouts: runs a bounded in-process search (HarvestFrontier) to
+//      grow an initial pending-set frontier — or to reproduce the bug
+//      outright, in which case no process is ever forked.
+//   2. Shards: forks num_shards child processes connected by socketpairs,
+//      ships each its partition of the frontier over the wire format
+//      (deep pendings interleaved round-robin so every shard gets a mix),
+//      and divides the run/step budget evenly.
+//   3. Relays: gossips freshly proved slice-cache verdicts hub-and-spoke
+//      between shards — the prover's journal drains to the coordinator,
+//      which forwards the frames verbatim to every other shard — so the
+//      fleet-wide cache hit rate survives the process split.
+//   4. Finishes: the first kResult with a reproduced crash wins; everyone
+//      else receives kStop, reports its final stats, and exits. Stats
+//      aggregate shard-aware: per-worker entries concatenate across
+//      shards, per_shard carries the process/wire breakdown, and the
+//      scout's contribution is labelled harvest_runs.
+#ifndef RETRACE_DIST_COORDINATOR_H_
+#define RETRACE_DIST_COORDINATOR_H_
+
+#include "src/replay/replay_engine.h"
+
+namespace retrace {
+
+/// \brief Multi-process reproduction entry point.
+///
+/// Requires config.num_shards > 1. Forks on the calling thread — call
+/// from a single-threaded context (forking a multi-threaded process
+/// would clone held locks into the children). Never throws; a shard that
+/// dies mid-search simply contributes nothing. **Thread safety:** not
+/// reentrant; one distributed search per process at a time.
+ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationPlan& plan,
+                                  const BugReport& report, const ReplayConfig& config);
+
+}  // namespace retrace
+
+#endif  // RETRACE_DIST_COORDINATOR_H_

@@ -1,0 +1,225 @@
+#include "src/dist/shard.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/dist/wire.h"
+#include "src/solver/incremental.h"
+
+namespace retrace {
+namespace {
+
+// Gossip cadence: how long the pump waits on the socket per iteration.
+// Verdict deltas and stop messages are observed with at most this
+// latency, which is noise next to the multi-millisecond runs they steer.
+constexpr int kPumpPollMs = 20;
+
+// Ships every verdict journaled since the last drain. Returns the number
+// of verdicts published (0 when there was nothing to send).
+u64 PublishVerdicts(SliceCache* cache, WireChannel* chan) {
+  WireVerdicts delta;
+  cache->DrainJournal(&delta.sat, &delta.unsat);
+  if (delta.sat.empty() && delta.unsat.empty()) {
+    return 0;
+  }
+  WireWriter w;
+  EncodeVerdicts(delta, &w);
+  if (!chan->Send(WireMsg::kVerdicts, w.buf())) {
+    return 0;
+  }
+  return delta.sat.size() + delta.unsat.size();
+}
+
+// Merges a gossiped verdict batch; returns how many verdicts it carried.
+u64 MergeVerdicts(const WireFrame& frame, SliceCache* cache) {
+  WireReader r(frame.payload.data(), frame.payload.size());
+  WireVerdicts verdicts;
+  if (!DecodeVerdicts(&r, &verdicts)) {
+    return 0;  // Digest-checked upstream; a decode failure is a peer bug.
+  }
+  const u64 n = verdicts.sat.size() + verdicts.unsat.size();
+  for (SliceCache::SatEntry& entry : verdicts.sat) {
+    cache->MergeSat(entry.key, std::move(entry.model));
+  }
+  for (const SliceCache::UnsatEntry& entry : verdicts.unsat) {
+    cache->MergeUnsat(entry.key, entry.check);
+  }
+  return n;
+}
+
+}  // namespace
+
+bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
+              const ReplayConfig& config, u32 shard_id, int fd) {
+  WireChannel chan(fd);
+
+  // ----- Handshake: hello, seed frontier, start. -----
+  // Frames that legitimately follow kStart in the same read batch (a
+  // verdict another shard proved before we finished starting, or an
+  // early stop) are carried over to the search phase, not treated as a
+  // protocol violation.
+  WireHello hello;
+  bool have_hello = false;
+  bool started = false;
+  bool stopped_early = false;
+  std::vector<PortablePending> seed_frontier;
+  std::vector<WireFrame> carried_over;
+  std::unordered_map<u64, std::vector<std::shared_ptr<const PortableTrace>>> trace_dedup;
+  while (!started) {
+    std::vector<WireFrame> frames;
+    const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
+    if (status != WireChannel::RecvStatus::kOk) {
+      return false;  // Coordinator died or speaks another version.
+    }
+    for (WireFrame& frame : frames) {
+      if (started) {
+        carried_over.push_back(std::move(frame));
+        continue;
+      }
+      switch (frame.type) {
+        case WireMsg::kHello: {
+          WireReader r(frame.payload.data(), frame.payload.size());
+          if (!DecodeHello(&r, &hello) || hello.shard_id != shard_id) {
+            return false;
+          }
+          have_hello = true;
+          break;
+        }
+        case WireMsg::kPending: {
+          WireReader r(frame.payload.data(), frame.payload.size());
+          PortablePending pending;
+          if (!DecodePending(&r, &pending)) {
+            return false;
+          }
+          // Sibling pendings of one scouted run arrive as separate frames
+          // but described the same trace before encoding; re-share a
+          // structurally identical snapshot so the workers' per-trace
+          // import memo works as well here as it does in-process. Equal
+          // fingerprints alone are not trusted — the nodes are compared.
+          const u64 fp = FingerprintConstraints(*pending.trace,
+                                                pending.trace->constraints.size(),
+                                                /*negate_last=*/false);
+          bool shared = false;
+          for (const auto& seen : trace_dedup[fp]) {
+            if (seen->nodes == pending.trace->nodes &&
+                seen->constraints == pending.trace->constraints) {
+              pending.trace = seen;
+              shared = true;
+              break;
+            }
+          }
+          if (!shared) {
+            trace_dedup[fp].push_back(pending.trace);
+          }
+          seed_frontier.push_back(std::move(pending));
+          break;
+        }
+        case WireMsg::kStart:
+          started = true;
+          break;
+        case WireMsg::kStop:
+          stopped_early = true;  // Race won elsewhere before we started.
+          started = true;
+          break;
+        default:
+          return false;
+      }
+    }
+  }
+  if (stopped_early) {
+    return true;
+  }
+  if (!have_hello || seed_frontier.size() != hello.pending_count) {
+    return false;
+  }
+
+  // ----- Search, with the gossip pump on this thread. -----
+  std::unique_ptr<SliceCache> cache;
+  if (config.solver_cache) {
+    cache = std::make_unique<SliceCache>(config.slice_cache_capacity);
+    cache->EnableJournal();
+  }
+  std::atomic<bool> cancel{false};
+  ExprArena arena;
+  ReplayEngine engine(module, plan, report, &arena);
+  ShardContext ctx;
+  ctx.seed_frontier = std::move(seed_frontier);
+  const u64 pendings_seeded = hello.pending_count;
+  ctx.cache = cache.get();
+  ctx.cancel = &cancel;
+  // Distinct rng streams per shard: worker w of shard s draws from stream
+  // s * 1024 + w + 1, so no two workers in the fleet share an initial
+  // input — and none repeats the coordinator's scout (stream 0), whose
+  // subtree already shipped as the seed frontier.
+  ctx.rng_stream = static_cast<u64>(shard_id) * 1024 + 1;
+
+  ReplayResult result;
+  std::atomic<bool> done{false};
+  std::thread search([&] {
+    result = engine.ReproduceShard(config, &ctx);
+    done.store(true, std::memory_order_release);
+  });
+
+  u64 verdicts_published = 0;
+  u64 verdicts_imported = 0;
+  bool channel_ok = true;
+  // Frames that arrived bundled with the handshake are served first.
+  for (const WireFrame& frame : carried_over) {
+    if (frame.type == WireMsg::kStop) {
+      cancel.store(true, std::memory_order_release);
+    } else if (frame.type == WireMsg::kVerdicts && cache != nullptr) {
+      verdicts_imported += MergeVerdicts(frame, cache.get());
+    }
+  }
+  carried_over.clear();
+  while (!done.load(std::memory_order_acquire)) {
+    if (!channel_ok) {
+      // Coordinator is gone: searching on is pointless (nobody can hear
+      // the answer) — wind down and exit.
+      cancel.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPumpPollMs));
+      continue;
+    }
+    std::vector<WireFrame> frames;
+    const WireChannel::RecvStatus status = chan.Poll(kPumpPollMs, &frames);
+    if (status != WireChannel::RecvStatus::kOk) {
+      channel_ok = false;
+      continue;
+    }
+    for (const WireFrame& frame : frames) {
+      if (frame.type == WireMsg::kStop) {
+        cancel.store(true, std::memory_order_release);
+      } else if (frame.type == WireMsg::kVerdicts && cache != nullptr) {
+        verdicts_imported += MergeVerdicts(frame, cache.get());
+      }
+    }
+    if (cache != nullptr) {
+      verdicts_published += PublishVerdicts(cache.get(), &chan);
+    }
+  }
+  search.join();
+
+  if (!channel_ok) {
+    return false;
+  }
+  // Final flush so a verdict proved in the last pump interval still
+  // reaches slower shards, then the result.
+  if (cache != nullptr) {
+    verdicts_published += PublishVerdicts(cache.get(), &chan);
+  }
+  WireShardResult shard_result;
+  shard_result.result = std::move(result);
+  shard_result.verdicts_published = verdicts_published;
+  shard_result.verdicts_imported = verdicts_imported;
+  shard_result.pendings_seeded = pendings_seeded;
+  WireWriter w;
+  EncodeShardResult(shard_result, &w);
+  return chan.Send(WireMsg::kResult, w.buf());
+}
+
+}  // namespace retrace

@@ -1,0 +1,33 @@
+// Shard-process side of the distributed replay scheduler.
+//
+// A shard is forked by the coordinator (src/dist/coordinator.h) and
+// inherits the compiled module, the instrumentation plan and the bug
+// report by copy-on-write memory — only frontier entries, slice verdicts
+// and the final result cross the process boundary, over the wire format
+// of src/dist/wire.h.
+#ifndef RETRACE_DIST_SHARD_H_
+#define RETRACE_DIST_SHARD_H_
+
+#include "src/replay/replay_engine.h"
+
+namespace retrace {
+
+/// \brief Runs one shard to completion over the coordinator socket `fd`.
+///
+/// Protocol, in order: receive kHello (refusing version mismatches at the
+/// framing layer), receive `pending_count` kPending frames, receive
+/// kStart, then search. While searching, a gossip pump on the main thread
+/// ships freshly proved slice verdicts to the coordinator and merges
+/// verdict batches gossiped back from other shards; a kStop frame cancels
+/// the search (first-crash-wins). Ends by sending kResult.
+///
+/// Takes ownership of `fd`. Never throws and never writes to stdio — the
+/// caller is a forked child that must _exit() immediately after. Returns
+/// false when the protocol broke down (coordinator vanished, corrupt or
+/// version-skewed frames).
+bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
+              const ReplayConfig& config, u32 shard_id, int fd);
+
+}  // namespace retrace
+
+#endif  // RETRACE_DIST_SHARD_H_

@@ -1,0 +1,678 @@
+#include "src/dist/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace retrace {
+namespace {
+
+// Frame header: magic u32 | version u16 | type u16 | payload_len u32 |
+// digest u64.
+constexpr size_t kHeaderSize = 4 + 2 + 2 + 4 + 8;
+// Hard ceiling on one payload. The largest real frames (verdict batches,
+// shard results) are a few MB; anything near this is a corrupt length.
+constexpr u32 kMaxPayload = 256u * 1024u * 1024u;
+
+void PutLE(u64 v, size_t bytes, std::vector<u8>* out) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<u8>(v >> (8 * i)));
+  }
+}
+
+u64 GetLE(const u8* p, size_t bytes) {
+  u64 v = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<u64>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::U16(u16 v) { PutLE(v, 2, &buf_); }
+void WireWriter::U32(u32 v) { PutLE(v, 4, &buf_); }
+void WireWriter::U64(u64 v) { PutLE(v, 8, &buf_); }
+
+void WireWriter::F64(double v) {
+  u64 bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<u32>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool WireReader::Raw(void* out, size_t n) {
+  if (!ok_ || n_ - off_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, p_ + off_, n);
+  off_ += n;
+  return true;
+}
+
+bool WireReader::U8(u8* v) { return Raw(v, 1); }
+
+bool WireReader::U16(u16* v) {
+  u8 raw[2];
+  if (!Raw(raw, 2)) {
+    return false;
+  }
+  *v = static_cast<u16>(GetLE(raw, 2));
+  return true;
+}
+
+bool WireReader::U32(u32* v) {
+  u8 raw[4];
+  if (!Raw(raw, 4)) {
+    return false;
+  }
+  *v = static_cast<u32>(GetLE(raw, 4));
+  return true;
+}
+
+bool WireReader::U64(u64* v) {
+  u8 raw[8];
+  if (!Raw(raw, 8)) {
+    return false;
+  }
+  *v = GetLE(raw, 8);
+  return true;
+}
+
+bool WireReader::I64(i64* v) {
+  u64 raw = 0;
+  if (!U64(&raw)) {
+    return false;
+  }
+  *v = static_cast<i64>(raw);
+  return true;
+}
+
+bool WireReader::I32(i32* v) {
+  u32 raw = 0;
+  if (!U32(&raw)) {
+    return false;
+  }
+  *v = static_cast<i32>(raw);
+  return true;
+}
+
+bool WireReader::F64(double* v) {
+  u64 bits = 0;
+  if (!U64(&bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::Str(std::string* s) {
+  u32 len = 0;
+  if (!U32(&len) || !FitsCount(len, 1)) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(p_ + off_), len);
+  off_ += len;
+  return true;
+}
+
+bool WireReader::FitsCount(u64 count, size_t min_bytes_each) {
+  if (!ok_ || count > remaining() / (min_bytes_each == 0 ? 1 : min_bytes_each)) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool WireReader::Skip(size_t n) {
+  if (!ok_ || n_ - off_ < n) {
+    ok_ = false;
+    return false;
+  }
+  off_ += n;
+  return true;
+}
+
+u64 WireDigest(const u8* data, size_t n) {
+  u64 h = 0x2545f4914f6cdd1dull;
+  // Mix 8 bytes at a time, then the tail byte by byte.
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h = HashMix(h, GetLE(data + i, 8));
+  }
+  for (; i < n; ++i) {
+    h = HashMix(h, data[i]);
+  }
+  return HashMix(h, n);
+}
+
+void AppendFrame(WireMsg type, const std::vector<u8>& payload, std::vector<u8>* out) {
+  PutLE(kWireMagic, 4, out);
+  PutLE(kWireVersion, 2, out);
+  PutLE(static_cast<u16>(type), 2, out);
+  PutLE(static_cast<u32>(payload.size()), 4, out);
+  PutLE(WireDigest(payload.data(), payload.size()), 8, out);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void FrameParser::Append(const u8* data, size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameStatus FrameParser::Next(WireFrame* out) {
+  if (fatal_ != FrameStatus::kNeedMore) {
+    return fatal_;
+  }
+  if (buf_.size() - off_ < kHeaderSize) {
+    return FrameStatus::kNeedMore;
+  }
+  const u8* h = buf_.data() + off_;
+  if (static_cast<u32>(GetLE(h, 4)) != kWireMagic) {
+    return fatal_ = FrameStatus::kCorrupt;
+  }
+  if (static_cast<u16>(GetLE(h + 4, 2)) != kWireVersion) {
+    return fatal_ = FrameStatus::kVersionMismatch;
+  }
+  const u16 type = static_cast<u16>(GetLE(h + 6, 2));
+  const u32 len = static_cast<u32>(GetLE(h + 8, 4));
+  const u64 digest = GetLE(h + 12, 8);
+  if (len > kMaxPayload) {
+    return fatal_ = FrameStatus::kCorrupt;
+  }
+  if (buf_.size() - off_ < kHeaderSize + len) {
+    return FrameStatus::kNeedMore;
+  }
+  const u8* payload = h + kHeaderSize;
+  if (WireDigest(payload, len) != digest) {
+    return fatal_ = FrameStatus::kCorrupt;
+  }
+  out->type = static_cast<WireMsg>(type);
+  out->payload.assign(payload, payload + len);
+  off_ += kHeaderSize + len;
+  // Compact once the consumed prefix dominates, so a long-lived stream
+  // does not grow without bound.
+  if (off_ > 1u << 20 && off_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  return FrameStatus::kFrame;
+}
+
+// ----- Message payload codecs -----
+
+void EncodeHello(const WireHello& hello, WireWriter* w) {
+  w->U32(hello.shard_id);
+  w->U32(hello.num_shards);
+  w->U32(hello.pending_count);
+}
+
+bool DecodeHello(WireReader* r, WireHello* out) {
+  return r->U32(&out->shard_id) && r->U32(&out->num_shards) && r->U32(&out->pending_count);
+}
+
+void EncodePending(const PortablePending& pending, WireWriter* w) {
+  const PortableTrace& trace = *pending.trace;
+  w->U32(static_cast<u32>(trace.nodes.size()));
+  for (const ExprNode& node : trace.nodes) {
+    w->U8(static_cast<u8>(node.op));
+    w->I32(node.a);
+    w->I32(node.b);
+    w->I64(node.imm);
+  }
+  w->U32(static_cast<u32>(trace.constraints.size()));
+  for (const Constraint& c : trace.constraints) {
+    w->I32(c.expr);
+    w->U8(c.want_true ? 1 : 0);
+  }
+  w->U64(pending.len);
+  w->U8(pending.negate_last ? 1 : 0);
+  w->U32(static_cast<u32>(pending.seed->size()));
+  for (const i64 v : *pending.seed) {
+    w->I64(v);
+  }
+  w->U32(static_cast<u32>(pending.domains->size()));
+  for (const Interval& dom : *pending.domains) {
+    w->I64(dom.lo);
+    w->I64(dom.hi);
+  }
+  w->U64(pending.priority);
+}
+
+bool DecodePending(WireReader* r, PortablePending* out) {
+  auto trace = std::make_shared<PortableTrace>();
+  u32 node_count = 0;
+  if (!r->U32(&node_count) || !r->FitsCount(node_count, 1 + 4 + 4 + 8)) {
+    return false;
+  }
+  trace->nodes.reserve(node_count);
+  for (u32 i = 0; i < node_count; ++i) {
+    ExprNode node;
+    u8 op = 0;
+    if (!r->U8(&op) || !r->I32(&node.a) || !r->I32(&node.b) || !r->I64(&node.imm)) {
+      return false;
+    }
+    if (op > static_cast<u8>(ExprOp::kTruncChar)) {
+      return false;
+    }
+    node.op = static_cast<ExprOp>(op);
+    // Topological invariant: children strictly precede parents, so the
+    // importing arena can re-intern in one forward pass.
+    const auto child_ok = [i](ExprRef ref) {
+      return ref == kNoExpr || (ref >= 0 && static_cast<u32>(ref) < i);
+    };
+    if (!child_ok(node.a) || !child_ok(node.b)) {
+      return false;
+    }
+    trace->nodes.push_back(node);
+  }
+  u32 constraint_count = 0;
+  if (!r->U32(&constraint_count) || !r->FitsCount(constraint_count, 4 + 1)) {
+    return false;
+  }
+  trace->constraints.reserve(constraint_count);
+  for (u32 i = 0; i < constraint_count; ++i) {
+    Constraint c;
+    u8 want = 0;
+    if (!r->I32(&c.expr) || !r->U8(&want)) {
+      return false;
+    }
+    if (c.expr < 0 || static_cast<u32>(c.expr) >= node_count) {
+      return false;
+    }
+    c.want_true = want != 0;
+    trace->constraints.push_back(c);
+  }
+  u64 len = 0;
+  u8 negate = 0;
+  if (!r->U64(&len) || len > constraint_count || !r->U8(&negate)) {
+    return false;
+  }
+  u32 seed_count = 0;
+  if (!r->U32(&seed_count) || !r->FitsCount(seed_count, 8)) {
+    return false;
+  }
+  auto seed = std::make_shared<std::vector<i64>>();
+  seed->reserve(seed_count);
+  for (u32 i = 0; i < seed_count; ++i) {
+    i64 v = 0;
+    if (!r->I64(&v)) {
+      return false;
+    }
+    seed->push_back(v);
+  }
+  u32 domain_count = 0;
+  if (!r->U32(&domain_count) || !r->FitsCount(domain_count, 16)) {
+    return false;
+  }
+  auto domains = std::make_shared<std::vector<Interval>>();
+  domains->reserve(domain_count);
+  for (u32 i = 0; i < domain_count; ++i) {
+    Interval dom;
+    if (!r->I64(&dom.lo) || !r->I64(&dom.hi)) {
+      return false;
+    }
+    domains->push_back(dom);
+  }
+  u64 priority = 0;
+  if (!r->U64(&priority) || !r->ok()) {
+    return false;
+  }
+  // Variable ids must name real input cells: seed/domains snapshots cover
+  // every cell of the producing run, so an id past both is hostile or
+  // corrupt — and would otherwise make the consuming solver size its
+  // model vector to max_var + 1 (a multi-GB allocation for a forged id).
+  const u64 var_limit = std::max<u64>(seed_count, domain_count);
+  for (const ExprNode& node : trace->nodes) {
+    if (node.op == ExprOp::kVar &&
+        (node.imm < 0 || static_cast<u64>(node.imm) >= var_limit)) {
+      return false;
+    }
+  }
+  out->trace = std::move(trace);
+  out->len = static_cast<size_t>(len);
+  out->negate_last = negate != 0;
+  out->seed = std::move(seed);
+  out->domains = std::move(domains);
+  out->priority = priority;
+  return true;
+}
+
+void EncodeVerdicts(const WireVerdicts& verdicts, WireWriter* w) {
+  w->U32(static_cast<u32>(verdicts.sat.size()));
+  for (const SliceCache::SatEntry& entry : verdicts.sat) {
+    w->U64(entry.key);
+    w->U32(static_cast<u32>(entry.model.size()));
+    for (const auto& [var, value] : entry.model) {
+      w->I32(var);
+      w->I64(value);
+    }
+  }
+  w->U32(static_cast<u32>(verdicts.unsat.size()));
+  for (const SliceCache::UnsatEntry& entry : verdicts.unsat) {
+    w->U64(entry.key);
+    w->U64(entry.check);
+  }
+}
+
+bool DecodeVerdicts(WireReader* r, WireVerdicts* out) {
+  u32 sat_count = 0;
+  if (!r->U32(&sat_count) || !r->FitsCount(sat_count, 8 + 4)) {
+    return false;
+  }
+  out->sat.reserve(sat_count);
+  for (u32 i = 0; i < sat_count; ++i) {
+    SliceCache::SatEntry entry;
+    u32 model_count = 0;
+    if (!r->U64(&entry.key) || !r->U32(&model_count) || !r->FitsCount(model_count, 4 + 8)) {
+      return false;
+    }
+    entry.model.reserve(model_count);
+    for (u32 j = 0; j < model_count; ++j) {
+      i32 var = 0;
+      i64 value = 0;
+      if (!r->I32(&var) || !r->I64(&value)) {
+        return false;
+      }
+      entry.model.emplace_back(var, value);
+    }
+    out->sat.push_back(std::move(entry));
+  }
+  u32 unsat_count = 0;
+  if (!r->U32(&unsat_count) || !r->FitsCount(unsat_count, 16)) {
+    return false;
+  }
+  out->unsat.reserve(unsat_count);
+  for (u32 i = 0; i < unsat_count; ++i) {
+    SliceCache::UnsatEntry entry;
+    if (!r->U64(&entry.key) || !r->U64(&entry.check)) {
+      return false;
+    }
+    out->unsat.push_back(entry);
+  }
+  return r->ok();
+}
+
+namespace {
+
+void EncodeWorkerStats(const ReplayWorkerStats& w, WireWriter* out) {
+  out->U64(w.runs);
+  out->U64(w.solver_calls);
+  out->U64(w.aborts_forced_direction);
+  out->U64(w.aborts_concrete_mismatch);
+  out->U64(w.aborts_log_exhausted);
+  out->U64(w.crashes_wrong_site);
+  out->U64(w.steals);
+  out->U64(w.dedup_skips);
+  out->U64(w.cancelled_runs);
+  out->U64(w.slices_solved);
+  out->U64(w.slice_sat_hits);
+  out->U64(w.slice_unsat_hits);
+}
+
+bool DecodeWorkerStats(WireReader* r, ReplayWorkerStats* w) {
+  return r->U64(&w->runs) && r->U64(&w->solver_calls) && r->U64(&w->aborts_forced_direction) &&
+         r->U64(&w->aborts_concrete_mismatch) && r->U64(&w->aborts_log_exhausted) &&
+         r->U64(&w->crashes_wrong_site) && r->U64(&w->steals) && r->U64(&w->dedup_skips) &&
+         r->U64(&w->cancelled_runs) && r->U64(&w->slices_solved) &&
+         r->U64(&w->slice_sat_hits) && r->U64(&w->slice_unsat_hits);
+}
+
+void EncodeStats(const ReplayStats& s, WireWriter* out) {
+  out->U64(s.runs);
+  out->U64(s.solver_calls);
+  out->U64(s.aborts_forced_direction);
+  out->U64(s.aborts_concrete_mismatch);
+  out->U64(s.aborts_log_exhausted);
+  out->U64(s.crashes_wrong_site);
+  out->U64(s.pending_peak);
+  out->U64(s.steals);
+  out->U64(s.dedup_skips);
+  out->U64(s.cancelled_runs);
+  out->U64(s.slices_solved);
+  out->U64(s.slice_sat_hits);
+  out->U64(s.slice_unsat_hits);
+  out->U64(s.slice_evictions);
+  out->U32(static_cast<u32>(s.per_worker.size()));
+  for (const ReplayWorkerStats& w : s.per_worker) {
+    EncodeWorkerStats(w, out);
+  }
+}
+
+bool DecodeStats(WireReader* r, ReplayStats* s) {
+  if (!(r->U64(&s->runs) && r->U64(&s->solver_calls) && r->U64(&s->aborts_forced_direction) &&
+        r->U64(&s->aborts_concrete_mismatch) && r->U64(&s->aborts_log_exhausted) &&
+        r->U64(&s->crashes_wrong_site) && r->U64(&s->pending_peak) && r->U64(&s->steals) &&
+        r->U64(&s->dedup_skips) && r->U64(&s->cancelled_runs) && r->U64(&s->slices_solved) &&
+        r->U64(&s->slice_sat_hits) && r->U64(&s->slice_unsat_hits) &&
+        r->U64(&s->slice_evictions))) {
+    return false;
+  }
+  u32 worker_count = 0;
+  if (!r->U32(&worker_count) || !r->FitsCount(worker_count, 12 * 8)) {
+    return false;
+  }
+  s->per_worker.resize(worker_count);
+  for (u32 i = 0; i < worker_count; ++i) {
+    if (!DecodeWorkerStats(r, &s->per_worker[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeShardResult(const WireShardResult& shard, WireWriter* w) {
+  const ReplayResult& result = shard.result;
+  w->U8(result.reproduced ? 1 : 0);
+  w->U8(result.budget_exhausted ? 1 : 0);
+  w->F64(result.wall_seconds);
+  w->U32(static_cast<u32>(result.witness_argv.size()));
+  for (const std::string& arg : result.witness_argv) {
+    w->Str(arg);
+  }
+  w->U32(static_cast<u32>(result.witness_cells.size()));
+  for (const i64 cell : result.witness_cells) {
+    w->I64(cell);
+  }
+  w->U8(static_cast<u8>(result.crash.kind));
+  w->I32(result.crash.func);
+  w->I32(result.crash.loc.unit);
+  w->I32(result.crash.loc.line);
+  w->I32(result.crash.loc.col);
+  w->I64(result.crash.code);
+  EncodeStats(result.stats, w);
+  w->U64(shard.verdicts_published);
+  w->U64(shard.verdicts_imported);
+  w->U64(shard.pendings_seeded);
+}
+
+bool DecodeShardResult(WireReader* r, WireShardResult* out) {
+  ReplayResult& result = out->result;
+  u8 reproduced = 0;
+  u8 exhausted = 0;
+  if (!r->U8(&reproduced) || !r->U8(&exhausted) || !r->F64(&result.wall_seconds)) {
+    return false;
+  }
+  result.reproduced = reproduced != 0;
+  result.budget_exhausted = exhausted != 0;
+  u32 argv_count = 0;
+  if (!r->U32(&argv_count) || !r->FitsCount(argv_count, 4)) {
+    return false;
+  }
+  result.witness_argv.resize(argv_count);
+  for (u32 i = 0; i < argv_count; ++i) {
+    if (!r->Str(&result.witness_argv[i])) {
+      return false;
+    }
+  }
+  u32 cell_count = 0;
+  if (!r->U32(&cell_count) || !r->FitsCount(cell_count, 8)) {
+    return false;
+  }
+  result.witness_cells.resize(cell_count);
+  for (u32 i = 0; i < cell_count; ++i) {
+    if (!r->I64(&result.witness_cells[i])) {
+      return false;
+    }
+  }
+  u8 kind = 0;
+  if (!r->U8(&kind) || kind > static_cast<u8>(CrashSite::Kind::kStackOverflow)) {
+    return false;
+  }
+  result.crash.kind = static_cast<CrashSite::Kind>(kind);
+  if (!r->I32(&result.crash.func) || !r->I32(&result.crash.loc.unit) ||
+      !r->I32(&result.crash.loc.line) || !r->I32(&result.crash.loc.col) ||
+      !r->I64(&result.crash.code)) {
+    return false;
+  }
+  if (!DecodeStats(r, &result.stats)) {
+    return false;
+  }
+  return r->U64(&out->verdicts_published) && r->U64(&out->verdicts_imported) &&
+         r->U64(&out->pendings_seeded) && r->ok();
+}
+
+// ----- Transport -----
+
+namespace {
+
+// Backlog ceiling past which droppable (gossip) frames are discarded
+// instead of queued. Critical frames (handshake, stop) queue regardless.
+constexpr size_t kMaxQueuedBytes = 8u * 1024u * 1024u;
+
+}  // namespace
+
+WireChannel::WireChannel(WireChannel&& other) noexcept
+    : fd_(other.fd_),
+      broken_(other.broken_),
+      parser_(std::move(other.parser_)),
+      out_(std::move(other.out_)),
+      out_off_(other.out_off_),
+      tx_(other.tx_),
+      rx_(other.rx_),
+      dropped_(other.dropped_) {
+  other.fd_ = -1;
+}
+
+WireChannel::~WireChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool WireChannel::Flush(bool blocking) {
+  if (fd_ < 0 || broken_) {
+    return false;
+  }
+  while (out_off_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_, out_.size() - out_off_,
+                             MSG_NOSIGNAL | (blocking ? 0 : MSG_DONTWAIT));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;  // Socket full right now; the rest flushes later.
+      }
+      broken_ = true;
+      return false;
+    }
+    out_off_ += static_cast<size_t>(n);
+    tx_ += static_cast<u64>(n);
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > kMaxQueuedBytes / 2 && out_off_ * 2 > out_.size()) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(out_off_));
+    out_off_ = 0;
+  }
+  return true;
+}
+
+bool WireChannel::Send(WireMsg type, const std::vector<u8>& payload) {
+  if (fd_ < 0 || broken_) {
+    return false;
+  }
+  AppendFrame(type, payload, &out_);
+  return Flush(/*blocking=*/true);
+}
+
+bool WireChannel::Queue(WireMsg type, const std::vector<u8>& payload, bool droppable) {
+  if (fd_ < 0 || broken_) {
+    return false;
+  }
+  if (droppable && out_.size() - out_off_ > kMaxQueuedBytes) {
+    ++dropped_;
+    Flush(/*blocking=*/false);
+    return false;
+  }
+  AppendFrame(type, payload, &out_);
+  Flush(/*blocking=*/false);
+  return !broken_;
+}
+
+WireChannel::RecvStatus WireChannel::Poll(int timeout_ms, std::vector<WireFrame>* out) {
+  if (fd_ < 0) {
+    return RecvStatus::kClosed;
+  }
+  Flush(/*blocking=*/false);
+  struct pollfd pfd = {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  bool saw_eof = false;
+  int wait_ms = timeout_ms;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    wait_ms = 0;  // Only the first poll blocks; drain without waiting.
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return RecvStatus::kClosed;
+    }
+    if (ready == 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      break;
+    }
+    u8 buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return RecvStatus::kClosed;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    rx_ += static_cast<u64>(n);
+    parser_.Append(buf, static_cast<size_t>(n));
+  }
+  for (;;) {
+    WireFrame frame;
+    const FrameStatus status = parser_.Next(&frame);
+    if (status == FrameStatus::kFrame) {
+      out->push_back(std::move(frame));
+      continue;
+    }
+    if (status == FrameStatus::kNeedMore) {
+      break;
+    }
+    return status == FrameStatus::kVersionMismatch ? RecvStatus::kVersionMismatch
+                                                   : RecvStatus::kCorrupt;
+  }
+  return saw_eof ? RecvStatus::kClosed : RecvStatus::kOk;
+}
+
+}  // namespace retrace

@@ -1,0 +1,240 @@
+// Versioned binary wire format for the distributed replay scheduler.
+//
+// Everything that crosses a shard process boundary travels in frames:
+//
+//   | magic u32 | version u16 | type u16 | payload_len u32 | digest u64 |
+//   | payload bytes ...                                                |
+//
+// All integers are little-endian fixed width. `digest` is a structural
+// hash of the payload (the solver's HashMix chain), so a corrupted frame
+// is rejected before any payload decoding; a frame whose version differs
+// from kWireVersion is refused outright (no cross-version decoding —
+// shards are forked from the coordinator's binary, so a mismatch means a
+// build skew bug, not a negotiation opportunity). Truncated input is
+// never an error at the framing layer: FrameParser reports kNeedMore and
+// waits for the rest of the stream.
+//
+// Payload codecs (pendings, verdict batches, shard results) are
+// bounds-checked: a decoder that runs past the payload, sees an absurd
+// count, or finds a non-topological trace reference fails the decode
+// instead of allocating or reading garbage.
+#ifndef RETRACE_DIST_WIRE_H_
+#define RETRACE_DIST_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/replay/replay_engine.h"
+#include "src/solver/incremental.h"
+
+namespace retrace {
+
+inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
+inline constexpr u16 kWireVersion = 1;
+
+/// Message types carried in the frame header.
+enum class WireMsg : u16 {
+  kHello = 1,     // Coordinator -> shard: shard id + fleet shape.
+  kPending = 2,   // Coordinator -> shard: one seed-frontier entry.
+  kStart = 3,     // Coordinator -> shard: frontier complete, begin search.
+  kVerdicts = 4,  // Both ways: batch of slice-cache SAT/UNSAT verdicts.
+  kStop = 5,      // Coordinator -> shard: first-crash-wins cancellation.
+  kResult = 6,    // Shard -> coordinator: final result + stats.
+};
+
+/// \brief Append-only little-endian payload writer.
+/// Not thread-safe; one writer per frame under construction.
+class WireWriter {
+ public:
+  void U8(u8 v) { buf_.push_back(v); }
+  void U16(u16 v);
+  void U32(u32 v);
+  void U64(u64 v);
+  void I64(i64 v) { U64(static_cast<u64>(v)); }
+  void I32(i32 v) { U32(static_cast<u32>(v)); }
+  void F64(double v);
+  void Str(const std::string& s);
+
+  const std::vector<u8>& buf() const { return buf_; }
+  std::vector<u8> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+/// \brief Bounds-checked little-endian payload reader.
+///
+/// Every getter returns false (and poisons the reader) on overrun; a
+/// poisoned reader fails all subsequent reads, so codecs can check ok()
+/// once at the end. Borrows the buffer; must not outlive it.
+class WireReader {
+ public:
+  WireReader(const u8* data, size_t size) : p_(data), n_(size) {}
+
+  bool U8(u8* v);
+  bool U16(u16* v);
+  bool U32(u32* v);
+  bool U64(u64* v);
+  bool I64(i64* v);
+  bool I32(i32* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+  /// Guard for count-prefixed vectors: fails unless at least
+  /// `count * min_bytes_each` bytes remain — rejects absurd counts on
+  /// corrupt frames before any allocation.
+  bool FitsCount(u64 count, size_t min_bytes_each);
+  /// Advances past `n` bytes without reading them (allocation-free
+  /// skip-scans, e.g. counting a verdict batch on the relay hot path).
+  bool Skip(size_t n);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return n_ - off_; }
+
+ private:
+  bool Raw(void* out, size_t n);
+
+  const u8* p_;
+  size_t n_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+/// Structural digest of a payload (HashMix chain over the bytes).
+u64 WireDigest(const u8* data, size_t n);
+
+struct WireFrame {
+  WireMsg type = WireMsg::kStop;
+  std::vector<u8> payload;
+};
+
+/// Appends one complete frame (header + payload) to `out`.
+void AppendFrame(WireMsg type, const std::vector<u8>& payload, std::vector<u8>* out);
+
+enum class FrameStatus {
+  kFrame,            // A complete, verified frame was produced.
+  kNeedMore,         // Truncated so far; feed more bytes.
+  kCorrupt,          // Bad magic, impossible length, or digest mismatch.
+  kVersionMismatch,  // Peer speaks a different kWireVersion.
+};
+
+/// \brief Incremental frame reassembler over a byte stream.
+///
+/// Feed arbitrary chunks with Append(); Next() yields frames as they
+/// complete. kCorrupt and kVersionMismatch are sticky: a stream that
+/// failed once cannot be trusted to resynchronize. Not thread-safe.
+class FrameParser {
+ public:
+  void Append(const u8* data, size_t n);
+  FrameStatus Next(WireFrame* out);
+
+ private:
+  std::vector<u8> buf_;
+  size_t off_ = 0;
+  FrameStatus fatal_ = FrameStatus::kNeedMore;  // Sticky failure state.
+};
+
+// ----- Message payload codecs -----
+
+struct WireHello {
+  u32 shard_id = 0;
+  u32 num_shards = 0;
+  u32 pending_count = 0;  // kPending frames to expect before kStart.
+};
+
+void EncodeHello(const WireHello& hello, WireWriter* w);
+bool DecodeHello(WireReader* r, WireHello* out);
+
+/// PortablePending <-> bytes. Decode validates trace topology: node
+/// children must strictly precede their parents and constraint roots must
+/// index real nodes, so a hostile or corrupt frame cannot produce a trace
+/// the importing arena would walk out of bounds.
+void EncodePending(const PortablePending& pending, WireWriter* w);
+bool DecodePending(WireReader* r, PortablePending* out);
+
+struct WireVerdicts {
+  std::vector<SliceCache::SatEntry> sat;
+  std::vector<SliceCache::UnsatEntry> unsat;
+};
+
+void EncodeVerdicts(const WireVerdicts& verdicts, WireWriter* w);
+bool DecodeVerdicts(WireReader* r, WireVerdicts* out);
+
+/// Final shard report: the shard's ReplayResult (aggregate + per-worker
+/// stats; per_shard is filled by the coordinator, not the shard) plus its
+/// gossip counters.
+struct WireShardResult {
+  ReplayResult result;
+  u64 verdicts_published = 0;
+  u64 verdicts_imported = 0;
+  u64 pendings_seeded = 0;  // Echo of the coordinator's kPending count.
+};
+
+void EncodeShardResult(const WireShardResult& result, WireWriter* w);
+bool DecodeShardResult(WireReader* r, WireShardResult* out);
+
+// ----- Transport -----
+
+/// \brief One end of a coordinator<->shard socketpair.
+///
+/// Owns the fd (closed on destruction). Receives are poll-driven and
+/// reassembled by a FrameParser; counts raw bytes both ways for the
+/// honest wire-overhead report in ReplayStats. Not thread-safe: one
+/// thread per channel end.
+///
+/// Two send disciplines, chosen so the two ends can never deadlock on
+/// full socket buffers: the shard end uses blocking Send() (full write,
+/// EINTR-safe, SIGPIPE suppressed), while the coordinator end uses
+/// Queue() — frames append to an in-memory backlog flushed
+/// opportunistically (non-blocking) on every Queue()/Poll(), so the
+/// relay loop always returns to reading. With one side guaranteed to
+/// keep draining, the other side's blocking writes always complete.
+class WireChannel {
+ public:
+  explicit WireChannel(int fd) : fd_(fd) {}
+  WireChannel(const WireChannel&) = delete;
+  WireChannel& operator=(const WireChannel&) = delete;
+  WireChannel(WireChannel&& other) noexcept;
+  ~WireChannel();
+
+  /// Frames and sends one message, blocking until fully written (any
+  /// queued backlog flushes first, preserving frame order). False on a
+  /// broken peer.
+  bool Send(WireMsg type, const std::vector<u8>& payload);
+
+  /// Frames one message onto the non-blocking send backlog and flushes
+  /// whatever the socket accepts right now. When `droppable` and the
+  /// backlog is over its cap, the frame is discarded instead (gossip is
+  /// best-effort: a dropped verdict batch only costs a re-prove);
+  /// non-droppable frames are queued regardless. False when the frame
+  /// was dropped or the peer is broken.
+  bool Queue(WireMsg type, const std::vector<u8>& payload, bool droppable);
+
+  enum class RecvStatus { kOk, kClosed, kCorrupt, kVersionMismatch };
+  /// Flushes queued sends, then waits up to `timeout_ms` for readable
+  /// data and appends every frame that completed to `out`. kOk with an
+  /// empty append simply means "nothing yet".
+  RecvStatus Poll(int timeout_ms, std::vector<WireFrame>* out);
+
+  u64 tx_bytes() const { return tx_; }
+  u64 rx_bytes() const { return rx_; }
+  u64 dropped_frames() const { return dropped_; }
+  int fd() const { return fd_; }
+
+ private:
+  // Writes as much of `out_` as the socket accepts; `blocking` waits for
+  // all of it. Marks the channel broken on a hard error.
+  bool Flush(bool blocking);
+
+  int fd_ = -1;
+  bool broken_ = false;
+  FrameParser parser_;
+  std::vector<u8> out_;
+  size_t out_off_ = 0;
+  u64 tx_ = 0;
+  u64 rx_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_DIST_WIRE_H_

@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/dist/coordinator.h"
 #include "src/solver/incremental.h"
 #include "src/support/stop_token.h"
 #include "src/support/workqueue.h"
@@ -100,6 +101,19 @@ class CancelObserver : public BranchObserver {
   const StopSource& stop_;
 };
 
+// The reproduction predicate, shared verbatim by the sequential,
+// parallel and scout loops (they must accept identical witnesses or the
+// distributed path diverges from the in-process one). Reproduction
+// requires reaching the reported crash site having consumed the *entire*
+// branch log: the recorded bits end exactly at the user-site crash, so a
+// run that crashes at the same location with bits left over took a
+// shortcut (e.g. an early signal delivery) and is not the recorded
+// execution.
+bool IsReproduction(const RunResult& run, size_t log_cursor, const BugReport& report) {
+  return run.Crashed() && run.crash.SameSite(report.crash) &&
+         log_cursor == report.branch_log.size();
+}
+
 // Sequential frontier entry: constraints live in the engine's arena.
 struct Pending {
   std::shared_ptr<std::vector<Constraint>> trace;
@@ -110,18 +124,6 @@ struct Pending {
   u64 log_bits = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
 };
 
-// Parallel frontier entry: constraints travel arena-independently so any
-// worker can import them into its private arena. `len`/`negate_last`
-// mirror Pending; `seed`/`domains` are immutable snapshots of the
-// producing run.
-struct ParallelPending {
-  std::shared_ptr<const PortableTrace> trace;
-  size_t len = 0;
-  bool negate_last = false;
-  std::shared_ptr<const std::vector<i64>> seed;
-  std::shared_ptr<const std::vector<Interval>> domains;
-};
-
 }  // namespace
 
 u32 DefaultReplayWorkers() {
@@ -129,11 +131,24 @@ u32 DefaultReplayWorkers() {
 }
 
 ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
+  if (config.num_shards > 1) {
+    // Multi-process mode: the coordinator forks shard processes, each of
+    // which re-enters this engine through ReproduceShard.
+    return ReproduceDistributed(module_, plan_, report_, config);
+  }
   const u32 workers = config.num_workers == 0 ? DefaultReplayWorkers() : config.num_workers;
   if (workers <= 1) {
     return ReproduceSequential(config);
   }
-  return ReproduceParallel(config, workers);
+  return ReproduceParallel(config, workers, /*shard=*/nullptr);
+}
+
+ReplayResult ReplayEngine::ReproduceShard(const ReplayConfig& config, ShardContext* shard) {
+  // Even a single worker runs the parallel scheduler here: the seed
+  // frontier, shared cache and external cancellation all hang off it.
+  const u32 workers = std::max(1u, config.num_workers == 0 ? DefaultReplayWorkers()
+                                                          : config.num_workers);
+  return ReproduceParallel(config, workers, shard);
 }
 
 ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
@@ -150,7 +165,7 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   std::unique_ptr<SliceCache> slice_cache;
   std::unique_ptr<IncrementalSolver> incremental;
   if (config.solver_cache) {
-    slice_cache = std::make_unique<SliceCache>();
+    slice_cache = std::make_unique<SliceCache>(config.slice_cache_capacity);
     incremental = std::make_unique<IncrementalSolver>(*arena_, config.solver, slice_cache.get());
   }
   Rng rng(config.seed);
@@ -184,6 +199,7 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
       result.stats.slices_solved = inc.slices_solved;
       result.stats.slice_sat_hits = inc.slice_sat_hits;
       result.stats.slice_unsat_hits = inc.slice_unsat_hits;
+      result.stats.slice_evictions = slice_cache->evictions();
     }
     ReplayWorkerStats worker;
     worker.runs = result.stats.runs;
@@ -213,13 +229,7 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     CellRunOutput out = runner.Run(run_config);
     ++result.stats.runs;
 
-    // Reproduction requires reaching the reported crash site having
-    // followed the *entire* branch log: the recorded bits end exactly at
-    // the user-site crash, so a run that crashes at the same location with
-    // bits left over took a shortcut (e.g. an early signal delivery) and is
-    // not the recorded execution.
-    if (out.result.Crashed() && out.result.crash.SameSite(report_.crash) &&
-        observer.cursor == report_.branch_log.size()) {
+    if (IsReproduction(out.result, observer.cursor, report_)) {
       result.reproduced = true;
       result.crash = out.result.crash;
       result.witness_cells = out.cells;
@@ -298,14 +308,15 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   return result;
 }
 
-ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num_workers) {
+ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num_workers,
+                                             ShardContext* shard) {
   const auto t0 = std::chrono::steady_clock::now();
   ReplayResult result;
 
   // Shared scheduler state. Everything the workers share is either
   // immutable (module, plan, report), synchronized here (frontier, dedup
   // registry, winner slot), or lock-free (stop flag, run admission).
-  WorkStealingQueue<ParallelPending> frontier(num_workers);
+  WorkStealingQueue<PortablePending> frontier(num_workers);
   StopSource stop;
   std::mutex winner_mu;
   bool have_winner = false;
@@ -315,9 +326,27 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   std::vector<ReplayWorkerStats> worker_stats(num_workers);
   // Fleet-wide slice verdict store: once any worker proves a slice
   // SAT/UNSAT, every worker reuses the verdict (null = layer disabled).
-  std::unique_ptr<SliceCache> slice_cache;
-  if (config.solver_cache) {
-    slice_cache = std::make_unique<SliceCache>();
+  // A distributed shard shares its process-wide cache instead — the
+  // gossip pump merges remote verdicts into it concurrently.
+  std::unique_ptr<SliceCache> owned_cache;
+  SliceCache* slice_cache = shard != nullptr ? shard->cache : nullptr;
+  if (slice_cache == nullptr && config.solver_cache) {
+    owned_cache = std::make_unique<SliceCache>(config.slice_cache_capacity);
+    slice_cache = owned_cache.get();
+  }
+  const u64 rng_stream = shard != nullptr ? shard->rng_stream : 0;
+
+  // Coordinator-shipped frontier: distributed shards start from their
+  // partition of the scout's pending sets, spread round-robin over the
+  // worker deques (workers still perform their own initial random runs —
+  // cross-shard search diversification is part of the speedup).
+  if (shard != nullptr) {
+    for (size_t i = 0; i < shard->seed_frontier.size(); ++i) {
+      PortablePending pending = std::move(shard->seed_frontier[i]);
+      const u64 priority = pending.priority;
+      frontier.Push(i % num_workers, std::move(pending), priority);
+    }
+    shard->seed_frontier.clear();
   }
 
   const SyscallLog* replay_log =
@@ -332,9 +361,9 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     Solver solver(arena, config.solver);
     std::unique_ptr<IncrementalSolver> incremental;
     if (config.solver_cache) {
-      incremental = std::make_unique<IncrementalSolver>(arena, config.solver, slice_cache.get());
+      incremental = std::make_unique<IncrementalSolver>(arena, config.solver, slice_cache);
     }
-    Rng rng(config.seed + 0x9e3779b97f4a7c15ull * wid);
+    Rng rng(config.seed + 0x9e3779b97f4a7c15ull * (wid + rng_stream));
     const u64 step_share = std::max<u64>(1, config.total_steps / num_workers);
     Budget budget = config.wall_ms > 0 ? Budget::StepsAndMillis(step_share, config.wall_ms)
                                        : Budget::Steps(step_share);
@@ -380,8 +409,7 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       CellRunOutput out = runner.Run(run_config);
       ++ws.runs;
 
-      if (out.result.Crashed() && out.result.crash.SameSite(report_.crash) &&
-          observer.cursor == report_.branch_log.size()) {
+      if (IsReproduction(out.result, observer.cursor, report_)) {
         std::lock_guard<std::mutex> lock(winner_mu);
         if (!have_winner) {
           have_winner = true;
@@ -426,19 +454,23 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
         auto seed = std::make_shared<const std::vector<i64>>(std::move(out.cells));
         auto domains = std::make_shared<const std::vector<Interval>>(std::move(out.domains));
         // Case-1 alternatives, deepest explored first under DFS.
+        // PortablePending::priority is the single source of truth; the
+        // queue's priority argument always mirrors it.
+        auto publish = [&](PortablePending pending) {
+          const u64 priority = pending.priority;
+          frontier.Push(wid, std::move(pending), priority);
+        };
         for (size_t flip : observer.flippable) {
           if (flip < start_depth) {
             continue;  // Already offered by the run that generated this prefix.
           }
-          frontier.Push(wid, ParallelPending{trace, flip + 1, /*negate_last=*/true, seed,
-                                             domains},
-                        /*priority=*/observer.bits_at[flip]);
+          publish(PortablePending{trace, flip + 1, /*negate_last=*/true, seed, domains,
+                                  observer.bits_at[flip]});
         }
         if (observer.forced_direction) {
           // Highest priority under DFS: steers the run back onto the log.
-          frontier.Push(wid, ParallelPending{trace, trace->constraints.size(),
-                                             /*negate_last=*/false, seed, domains},
-                        /*priority=*/observer.cursor);
+          publish(PortablePending{trace, trace->constraints.size(), /*negate_last=*/false,
+                                  seed, domains, observer.cursor});
         }
       }
       return false;
@@ -492,7 +524,7 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     // share almost every slice, so the batch's first solve warms the cache
     // for the rest; runs follow in pop order.
     const size_t batch_cap = std::max<u32>(1, config.solve_batch);
-    std::vector<ParallelPending> batch;
+    std::vector<PortablePending> batch;
     struct ReadyRun {
       std::vector<i64> model;
       size_t len = 0;
@@ -505,7 +537,7 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       }
       ws.steals += stolen;
       ready.clear();
-      for (const ParallelPending& pending : batch) {
+      for (const PortablePending& pending : batch) {
         const ImportedTrace& imported = imported_trace(pending.trace);
         const u64 fp = FingerprintConstraints(*pending.trace, pending.len, pending.negate_last,
                                               imported.node_hash);
@@ -547,6 +579,26 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     frontier.Retire();
   };
 
+  // External first-crash-wins: a pump thread translates the coordinator's
+  // cancel flag into the in-process stop + frontier close, so workers
+  // blocked in Pop() wake up too. Polling at millisecond granularity is
+  // negligible next to the interpreter runs it interrupts.
+  std::atomic<bool> workers_done{false};
+  std::thread cancel_pump;
+  if (shard != nullptr && shard->cancel != nullptr) {
+    const std::atomic<bool>* cancel = shard->cancel;
+    cancel_pump = std::thread([&stop, &frontier, &workers_done, cancel] {
+      while (!workers_done.load(std::memory_order_acquire)) {
+        if (cancel->load(std::memory_order_acquire)) {
+          stop.RequestStop();
+          frontier.Close();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
   for (u32 wid = 0; wid < num_workers; ++wid) {
@@ -554,6 +606,10 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   }
   for (std::thread& t : threads) {
     t.join();
+  }
+  workers_done.store(true, std::memory_order_release);
+  if (cancel_pump.joinable()) {
+    cancel_pump.join();
   }
 
   // Lossless aggregation: every per-worker counter sums into exactly one
@@ -574,11 +630,139 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   }
   result.stats.pending_peak = frontier.peak();
   result.stats.per_worker = std::move(worker_stats);
+  if (slice_cache != nullptr) {
+    result.stats.slice_evictions = slice_cache->evictions();
+  }
 
   result.budget_exhausted = !result.reproduced;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
+}
+
+ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& config,
+                                                          u64 max_runs,
+                                                          size_t target_frontier) {
+  const auto t0 = std::chrono::steady_clock::now();
+  HarvestOutput out;
+  ReplayResult& result = out.result;
+
+  CellRunner runner(module_, report_.shape);
+  Budget budget = config.wall_ms > 0
+                      ? Budget::StepsAndMillis(config.total_steps, config.wall_ms)
+                      : Budget::Steps(config.total_steps);
+  Solver solver(*arena_, config.solver);
+  Rng rng(config.seed);
+
+  std::vector<i64> initial(runner.layout().defaults().size());
+  for (i64& v : initial) {
+    v = rng.NextPrintable();
+  }
+
+  const SyscallLog* replay_log =
+      config.use_syscall_log && report_.has_syscall_log ? &report_.syscall_log : nullptr;
+
+  // The scout reuses the sequential frontier shape (arena-resident traces)
+  // and exports whatever survives at the end.
+  std::deque<Pending> pendings;
+
+  auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
+    ReplayObserver observer(plan_, report_.branch_log);
+    CellRunConfig run_config;
+    run_config.model = model;
+    run_config.arena = arena_;
+    run_config.observers = {&observer};
+    run_config.replay_log = replay_log;
+    run_config.max_steps = config.max_steps_per_run;
+    run_config.external_budget = &budget;
+    CellRunOutput run_out = runner.Run(run_config);
+    ++result.stats.runs;
+
+    if (IsReproduction(run_out.result, observer.cursor, report_)) {
+      result.reproduced = true;
+      result.crash = run_out.result.crash;
+      result.witness_cells = run_out.cells;
+      result.witness_argv = runner.layout().MaterializeArgv(runner.spec(), run_out.cells);
+      return true;
+    }
+    if (run_out.result.Crashed()) {
+      ++result.stats.crashes_wrong_site;
+    }
+    if (observer.concrete_mismatch) {
+      ++result.stats.aborts_concrete_mismatch;
+    }
+    if (observer.log_exhausted) {
+      ++result.stats.aborts_log_exhausted;
+    }
+
+    auto trace = std::make_shared<std::vector<Constraint>>(std::move(observer.trace));
+    auto seed = std::make_shared<std::vector<i64>>(std::move(run_out.cells));
+    auto domains = std::make_shared<std::vector<Interval>>(std::move(run_out.domains));
+    for (size_t flip : observer.flippable) {
+      if (flip < start_depth) {
+        continue;
+      }
+      pendings.push_back(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains,
+                                 observer.bits_at[flip]});
+    }
+    if (observer.forced_direction) {
+      ++result.stats.aborts_forced_direction;
+      pendings.push_back(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains,
+                                 observer.cursor});
+    }
+    result.stats.pending_peak =
+        std::max(result.stats.pending_peak, static_cast<u64>(pendings.size()));
+    return false;
+  };
+
+  bool reproduced = do_run(initial, 0);
+  // Keep scouting (DFS) until the frontier is wide enough to shard, the
+  // scout budget runs out, or the bug falls before any shard is needed.
+  while (!reproduced && !pendings.empty() && pendings.size() < target_frontier &&
+         result.stats.runs < max_runs && !budget.Exhausted()) {
+    Pending pending = std::move(pendings.back());
+    pendings.pop_back();
+    const ConstraintSpan set(pending.trace->data(), pending.len, pending.negate_last);
+    ++result.stats.solver_calls;
+    const SolveResult solved = solver.Solve(set, *pending.domains, *pending.seed);
+    if (solved.status != SolveStatus::kSat) {
+      continue;
+    }
+    reproduced = do_run(solved.model, pending.len);
+  }
+
+  // Export the surviving frontier arena-independently, one snapshot per
+  // distinct trace (sibling pendings share it, exactly like the parallel
+  // scheduler's per-run export).
+  std::unordered_map<const std::vector<Constraint>*, std::shared_ptr<const PortableTrace>>
+      exported;
+  for (Pending& pending : pendings) {
+    auto it = exported.find(pending.trace.get());
+    if (it == exported.end()) {
+      it = exported
+               .emplace(pending.trace.get(),
+                        std::make_shared<const PortableTrace>(ExportTrace(*arena_,
+                                                                          *pending.trace)))
+               .first;
+    }
+    out.frontier.push_back(PortablePending{
+        it->second, pending.len, pending.negate_last,
+        std::shared_ptr<const std::vector<i64>>(pending.seed),
+        std::shared_ptr<const std::vector<Interval>>(pending.domains), pending.log_bits});
+  }
+
+  ReplayWorkerStats worker;
+  worker.runs = result.stats.runs;
+  worker.solver_calls = result.stats.solver_calls;
+  worker.aborts_forced_direction = result.stats.aborts_forced_direction;
+  worker.aborts_concrete_mismatch = result.stats.aborts_concrete_mismatch;
+  worker.aborts_log_exhausted = result.stats.aborts_log_exhausted;
+  worker.crashes_wrong_site = result.stats.crashes_wrong_site;
+  result.stats.per_worker = {worker};
+  result.budget_exhausted = !result.reproduced && budget.Exhausted();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
 }
 
 }  // namespace retrace

@@ -13,26 +13,32 @@
 //      at an uninstrumented symbolic branch).
 //   4. concrete, not instrumented  -> keep going.
 // Aborted runs pull the next pending constraint set (depth-first by
-// default), solve it, and restart with the resulting input. Reproduction
-// succeeds when a run crashes at the reported crash site.
+// default), solve it over a prefix view of its trace (no per-pop copy),
+// and restart with the resulting input. Reproduction succeeds when a run
+// crashes at the reported crash site.
 //
-// With num_workers > 1 the pending-set frontier becomes a shared
-// work-stealing queue and N workers run independent concolic executions —
-// each with a private interpreter, expression arena and solver (none of
-// which are thread-safe), exchanging pending sets in arena-portable form.
-// A shared fingerprint registry dedups constraint sets that several
-// workers discover independently, and the first worker to reproduce the
-// crash cancels the rest (first-crash-wins). num_workers == 1 runs the
-// original sequential loop and is bit-identical to the pre-parallel
-// engine.
+// Three schedulers, selected by ReplayConfig:
+//   - num_workers == 1, num_shards <= 1: the original sequential loop,
+//     bit-identical to the pre-parallel engine when solver_cache is off.
+//   - num_workers > 1: N threads with thread-confined interpreter/arena/
+//     solver contexts share a work-stealing frontier, exchange pending
+//     sets in arena-portable form, dedup tried sets fleet-wide, share
+//     slice verdicts through a SliceCache, and cancel on first crash.
+//   - num_shards > 1: the coordinator in src/dist/ forks num_shards
+//     processes, each running the thread scheduler above; pending sets
+//     and slice verdicts travel between them over a versioned binary
+//     wire format (src/dist/wire.h).
 #ifndef RETRACE_REPLAY_REPLAY_ENGINE_H_
 #define RETRACE_REPLAY_REPLAY_ENGINE_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/concolic/cellrun.h"
 #include "src/core/report.h"
+#include "src/solver/incremental.h"
 #include "src/solver/solver.h"
 #include "src/support/rng.h"
 
@@ -54,15 +60,28 @@ struct ReplayConfig {
   // with per-worker seeds, so one search discipline's pathology does not
   // stall the whole fleet.
   enum class Pick { kDfs, kFifo, kPortfolio, kLogBits } pick = Pick::kDfs;
-  // Concolic executions in flight. 1 = the original sequential engine;
-  // 0 = one per hardware thread.
+  // Concolic executions in flight *per process*. 1 = the original
+  // sequential engine; 0 = one per hardware thread.
   u32 num_workers = 1;
+  // Replay shard processes. <= 1 keeps everything in-process (the engine
+  // above, bit-identical to its pre-distributed behavior). N > 1 forks N
+  // shard processes — each running num_workers threads — from a
+  // coordinator that partitions an initial pending-set frontier across
+  // them, gossips slice-cache verdicts between them, and cancels the
+  // fleet on the first reproduced crash (src/dist/coordinator.h). Fork
+  // happens on the calling thread; call from a single-threaded context.
+  u32 num_shards = 1;
   // Incremental solving layer: partition each pending set into
   // independent slices and share slice SAT/UNSAT verdicts fleet-wide
   // (src/solver/incremental.h). Off = the monolithic solver of the
   // original engine; num_workers == 1 with this off is bit-identical to
   // the pre-parallel sequential engine.
   bool solver_cache = true;
+  // Upper bound on resident SliceCache entries (0 = unbounded, the
+  // historical behavior). Long-horizon daemons reusing one search budget
+  // across reports want a bound; evictions surface in
+  // ReplayStats::slice_evictions.
+  u64 slice_cache_capacity = 0;
   // Pendings a parallel worker pops (and solves) per frontier visit.
   // Batching lets sibling pendings — which share almost all slices — hit
   // the caches back to back while the worker holds its own deque's items
@@ -70,9 +89,9 @@ struct ReplayConfig {
   u32 solve_batch = 8;
 };
 
-// Counters for one worker of the parallel scheduler. The aggregate
-// ReplayStats sums these losslessly, so `stats.runs` etc. keep their
-// pre-parallel meaning at any worker count.
+/// Counters for one worker of the parallel scheduler. The aggregate
+/// ReplayStats sums these losslessly, so `stats.runs` etc. keep their
+/// pre-parallel meaning at any worker count.
 struct ReplayWorkerStats {
   u64 runs = 0;
   u64 solver_calls = 0;
@@ -89,6 +108,30 @@ struct ReplayWorkerStats {
   u64 slice_unsat_hits = 0;  // Pendings rejected by the UNSAT cache.
 };
 
+/// Counters for one shard process of the distributed scheduler
+/// (ReplayConfig::num_shards > 1), reported back over the wire and
+/// paired with the coordinator's transport byte counts.
+struct ReplayShardStats {
+  u32 shard_id = 0;
+  bool reproduced = false;   // This shard won the first-crash-wins race.
+  u64 runs = 0;
+  u64 solver_calls = 0;
+  u64 pendings_seeded = 0;       // Frontier entries shipped at start.
+  u64 verdicts_published = 0;    // Slice verdicts this shard gossiped out.
+  u64 verdicts_imported = 0;     // Verdicts merged in from other shards.
+  u64 wire_bytes_tx = 0;         // Coordinator -> shard bytes.
+  u64 wire_bytes_rx = 0;         // Shard -> coordinator bytes.
+  double wall_seconds = 0.0;
+};
+
+/// Aggregate search statistics.
+///
+/// Single process: every counter is the lossless sum over `per_worker`.
+/// Distributed (num_shards > 1): counters additionally include the
+/// coordinator's scout runs (`harvest_runs` of `runs` happened in the
+/// coordinator before sharding), `per_worker` concatenates every shard's
+/// workers in shard order, and `per_shard` carries the per-process and
+/// wire-transport breakdown.
 struct ReplayStats {
   u64 runs = 0;
   u64 solver_calls = 0;
@@ -103,10 +146,21 @@ struct ReplayStats {
   u64 slices_solved = 0;
   u64 slice_sat_hits = 0;
   u64 slice_unsat_hits = 0;
+  // Entries dropped by the slice-cache LRU bound (0 while
+  // slice_cache_capacity == 0; summed over shards when distributed).
+  u64 slice_evictions = 0;
+  // ----- Distributed mode only (all zero when num_shards <= 1) -----
+  u64 harvest_runs = 0;       // Coordinator scout runs before sharding.
+  u64 wire_bytes_tx = 0;      // Total bytes coordinator -> shards.
+  u64 wire_bytes_rx = 0;      // Total bytes shards -> coordinator.
+  u64 verdicts_gossiped = 0;  // Slice verdicts relayed between shards.
   // One entry per worker (a single entry mirroring the totals when the
-  // sequential engine ran). Sum of any counter over per_worker equals the
-  // aggregate above.
+  // sequential engine ran). In-process: sum of any counter over
+  // per_worker equals the aggregate above. Distributed: aggregates are
+  // per_worker sums plus the coordinator's harvest_runs contributions.
   std::vector<ReplayWorkerStats> per_worker;
+  // One entry per shard process; empty unless num_shards > 1.
+  std::vector<ReplayShardStats> per_shard;
 };
 
 // Worker count that saturates the host: hardware threads clamped to
@@ -124,20 +178,86 @@ struct ReplayResult {
   double wall_seconds = 0.0;
 };
 
+/// A frontier entry in arena-portable form: the shape pending sets take
+/// whenever they leave the producing worker's arena — onto the shared
+/// in-process frontier, or across the process boundary in distributed
+/// mode (encoded by src/dist/wire.h).
+///
+/// **Ownership:** `trace`, `seed` and `domains` are immutable shared
+/// snapshots; sibling pendings of one run alias the same trace. The
+/// constraint set is `trace->constraints[0, len)` with the last entry
+/// negated when `negate_last`.
+struct PortablePending {
+  std::shared_ptr<const PortableTrace> trace;
+  size_t len = 0;
+  bool negate_last = false;
+  std::shared_ptr<const std::vector<i64>> seed;
+  std::shared_ptr<const std::vector<Interval>> domains;
+  u64 priority = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
+};
+
+/// External state injected into one distributed shard's in-process
+/// search. All pointers are borrowed; the caller (the shard main loop in
+/// src/dist/shard.cc) must keep them alive until ReproduceShard returns.
+struct ShardContext {
+  /// Frontier entries shipped by the coordinator, distributed round-robin
+  /// over the workers' deques before the search starts.
+  std::vector<PortablePending> seed_frontier;
+  /// Shared verdict store (thread-safe); null = engine-private cache.
+  /// The shard's gossip pump drains/merges it concurrently with the
+  /// search.
+  SliceCache* cache = nullptr;
+  /// First-crash-wins across processes: when another shard reproduces
+  /// the bug, the coordinator's stop message sets this flag and the
+  /// engine winds down (runs abort, the frontier closes).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Offsets every worker's rng stream so shards explore from distinct
+  /// initial inputs; 0 keeps the in-process streams.
+  u64 rng_stream = 0;
+};
+
+/// \brief The developer-site reproduction engine.
+///
+/// **Thread safety:** a ReplayEngine instance is not thread-safe; one
+/// reproduction call at a time. Internally Reproduce spawns worker
+/// threads (num_workers > 1) and — via src/dist/ — shard processes
+/// (num_shards > 1); forking happens on the calling thread, so call from
+/// a single-threaded context when num_shards > 1.
+///
+/// **Ownership:** borrows module/plan/report/arena; all must outlive the
+/// engine. `arena` is used by the sequential path only; parallel workers
+/// build private arenas (shared hash-consing is not thread-safe).
 class ReplayEngine {
  public:
-  // `plan` must be the plan the report's binary shipped with. `arena` is
-  // used by the sequential path only; parallel workers build private
-  // arenas (shared hash-consing is not thread-safe).
+  /// `plan` must be the plan the report's binary shipped with.
   ReplayEngine(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
                ExprArena* arena)
       : module_(module), plan_(plan), report_(report), arena_(arena) {}
 
   ReplayResult Reproduce(const ReplayConfig& config);
 
+  /// Bounded scout search used by the distributed coordinator: runs the
+  /// sequential loop for at most `max_runs` runs or until the live
+  /// frontier holds at least `target_frontier` pendings, then returns the
+  /// un-consumed frontier in portable form (ready to ship to shards).
+  /// `out.result.reproduced` short-circuits the whole distributed search.
+  struct HarvestOutput {
+    ReplayResult result;
+    std::vector<PortablePending> frontier;
+  };
+  HarvestOutput HarvestFrontier(const ReplayConfig& config, u64 max_runs,
+                                size_t target_frontier);
+
+  /// One distributed shard's in-process search: the parallel scheduler
+  /// (even for num_workers == 1) with `shard`'s seed frontier, shared
+  /// cache and external cancellation wired in. Exposed for src/dist/ and
+  /// tests; `Reproduce` is the normal entry point.
+  ReplayResult ReproduceShard(const ReplayConfig& config, ShardContext* shard);
+
  private:
   ReplayResult ReproduceSequential(const ReplayConfig& config);
-  ReplayResult ReproduceParallel(const ReplayConfig& config, u32 num_workers);
+  ReplayResult ReproduceParallel(const ReplayConfig& config, u32 num_workers,
+                                 ShardContext* shard);
 
   const IrModule& module_;
   const InstrumentationPlan& plan_;

@@ -48,6 +48,8 @@ struct ExprNode {
   ExprRef a = kNoExpr;
   ExprRef b = kNoExpr;
   i64 imm = 0;  // kConst: value; kVar: variable id.
+
+  bool operator==(const ExprNode&) const = default;
 };
 
 // Arena of hash-consed expression nodes. Node construction performs
@@ -103,6 +105,8 @@ class ExprArena {
 struct Constraint {
   ExprRef expr = kNoExpr;
   bool want_true = true;
+
+  bool operator==(const Constraint&) const = default;
 };
 
 // Non-owning view of a constraint-set prefix with an optional negation of
@@ -131,12 +135,14 @@ struct ConstraintSpan {
 };
 
 // Arena-independent snapshot of a constraint trace. The parallel replay
-// scheduler publishes pending constraint sets through a shared frontier;
-// because every worker owns a private ExprArena (hash-consing is not
-// thread-safe), the sets travel in this portable form and are re-interned
-// into the consuming worker's arena. `nodes` is in topological order
-// (children strictly precede parents); node fields a/b and Constraint::expr
-// index into `nodes` instead of an arena.
+// scheduler publishes pending constraint sets through a shared frontier,
+// and the distributed scheduler ships them between shard processes
+// (src/dist/wire.h encodes exactly this struct); because every worker
+// owns a private ExprArena (hash-consing is not thread-safe), the sets
+// travel in this portable form and are re-interned into the consuming
+// worker's arena. `nodes` is in topological order (children strictly
+// precede parents); node fields a/b and Constraint::expr index into
+// `nodes` instead of an arena.
 struct PortableTrace {
   std::vector<ExprNode> nodes;
   std::vector<Constraint> constraints;

@@ -1,8 +1,34 @@
 #include "src/solver/incremental.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace retrace {
+
+SliceCache::SliceCache(u64 capacity)
+    : per_shard_cap_(capacity == 0 ? 0 : std::max<u64>(1, (capacity + kShards - 1) / kShards)) {}
+
+void SliceCache::TouchLocked(Shard& shard, std::list<LruKey>::iterator pos) const {
+  if (per_shard_cap_ != 0) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, pos);
+  }
+}
+
+void SliceCache::EvictLocked(Shard& shard) {
+  if (per_shard_cap_ == 0) {
+    return;
+  }
+  while (shard.sat.size() + shard.unsat.size() > per_shard_cap_) {
+    const LruKey victim = shard.lru.back();
+    shard.lru.pop_back();
+    if (victim.is_sat) {
+      shard.sat.erase(victim.key);
+    } else {
+      shard.unsat.erase(victim.key);
+    }
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 bool SliceCache::LookupSat(u64 key, SliceModel* model) const {
   Shard& shard = ShardFor(key);
@@ -11,7 +37,8 @@ bool SliceCache::LookupSat(u64 key, SliceModel* model) const {
   if (it == shard.sat.end()) {
     return false;
   }
-  *model = it->second;
+  TouchLocked(shard, it->second.pos);
+  *model = it->second.model;
   return true;
 }
 
@@ -19,19 +46,76 @@ bool SliceCache::LookupUnsat(u64 key, u64 check) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.unsat.find(key);
-  return it != shard.unsat.end() && it->second == check;
+  if (it == shard.unsat.end() || it->second.check != check) {
+    return false;
+  }
+  TouchLocked(shard, it->second.pos);
+  return true;
+}
+
+void SliceCache::StoreSatImpl(u64 key, SliceModel model, bool journal) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sat.find(key);
+  if (it != shard.sat.end()) {
+    TouchLocked(shard, it->second.pos);  // First store wins; refresh recency.
+    return;
+  }
+  if (journal) {
+    shard.sat_journal.push_back(SatEntry{key, model});
+  }
+  std::list<LruKey>::iterator pos = shard.lru.end();
+  if (per_shard_cap_ != 0) {
+    pos = shard.lru.insert(shard.lru.begin(), LruKey{key, /*is_sat=*/true});
+  }
+  shard.sat.emplace(key, SatNode{std::move(model), pos});
+  EvictLocked(shard);
+}
+
+void SliceCache::StoreUnsatImpl(u64 key, u64 check, bool journal) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.unsat.find(key);
+  if (it != shard.unsat.end()) {
+    TouchLocked(shard, it->second.pos);
+    return;
+  }
+  if (journal) {
+    shard.unsat_journal.push_back(UnsatEntry{key, check});
+  }
+  std::list<LruKey>::iterator pos = shard.lru.end();
+  if (per_shard_cap_ != 0) {
+    pos = shard.lru.insert(shard.lru.begin(), LruKey{key, /*is_sat=*/false});
+  }
+  shard.unsat.emplace(key, UnsatNode{check, pos});
+  EvictLocked(shard);
 }
 
 void SliceCache::StoreSat(u64 key, SliceModel model) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.sat.emplace(key, std::move(model));
+  StoreSatImpl(key, std::move(model), journal_.load(std::memory_order_acquire));
 }
 
 void SliceCache::StoreUnsat(u64 key, u64 check) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.unsat.emplace(key, check);
+  StoreUnsatImpl(key, check, journal_.load(std::memory_order_acquire));
+}
+
+void SliceCache::MergeSat(u64 key, SliceModel model) {
+  StoreSatImpl(key, std::move(model), /*journal=*/false);
+}
+
+void SliceCache::MergeUnsat(u64 key, u64 check) {
+  StoreUnsatImpl(key, check, /*journal=*/false);
+}
+
+void SliceCache::DrainJournal(std::vector<SatEntry>* sat, std::vector<UnsatEntry>* unsat) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::move(shard.sat_journal.begin(), shard.sat_journal.end(), std::back_inserter(*sat));
+    shard.sat_journal.clear();
+    std::move(shard.unsat_journal.begin(), shard.unsat_journal.end(),
+              std::back_inserter(*unsat));
+    shard.unsat_journal.clear();
+  }
 }
 
 u64 SliceCache::sat_entries() const {

@@ -29,6 +29,8 @@
 #ifndef RETRACE_SOLVER_INCREMENTAL_H_
 #define RETRACE_SOLVER_INCREMENTAL_H_
 
+#include <atomic>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -38,38 +40,112 @@
 
 namespace retrace {
 
-// Shared (thread-safe) SAT/UNSAT verdict store, sharded to keep the
-// per-lookup critical section off the fleet's hot path. One instance
-// lives per reproduction search and is shared by every worker.
+/// \brief Shared SAT/UNSAT slice-verdict store.
+///
+/// Sharded internally to keep the per-lookup critical section off the
+/// fleet's hot path. One instance lives per reproduction search (or per
+/// distributed shard process) and is shared by every worker.
+///
+/// **Thread safety:** every public method is safe to call concurrently
+/// from any number of threads; each internal shard is guarded by its own
+/// mutex. **Ownership:** the cache is owned by whoever created the search
+/// (engine or shard main loop) and must outlive every `IncrementalSolver`
+/// that points at it.
 class SliceCache {
  public:
-  // Sub-model of one slice: (variable, value), ascending by variable.
+  /// Sub-model of one slice: (variable, value), ascending by variable.
   using SliceModel = std::vector<std::pair<i32, i64>>;
 
-  // Returns true and fills `model` when `key` has a cached solution.
+  /// A cached solution, in the wire/gossip exchange shape.
+  struct SatEntry {
+    u64 key = 0;
+    SliceModel model;
+  };
+  /// A cached UNSAT verdict: primary key plus the independently-seeded
+  /// check fingerprint of the same slice content.
+  struct UnsatEntry {
+    u64 key = 0;
+    u64 check = 0;
+  };
+
+  /// \param capacity Upper bound on resident entries (SAT + UNSAT
+  ///   together), approximately enforced: the bound is split evenly over
+  ///   the internal shards (minimum one entry per shard), each of which
+  ///   evicts least-recently-used entries independently. 0 = unbounded —
+  ///   the pre-LRU behavior, bit-identical for any search that fits in
+  ///   memory.
+  explicit SliceCache(u64 capacity = 0);
+
+  /// Returns true and fills `model` when `key` has a cached solution.
+  /// A hit refreshes the entry's LRU position when the cache is bounded.
   bool LookupSat(u64 key, SliceModel* model) const;
-  // Returns true when (key, check) is a proven-unsatisfiable slice.
-  // `check` is the second fingerprint of the slice content; an entry only
-  // matches when both agree (SAT hits are revalidated against the live
-  // constraints instead, so they need no check key).
+  /// Returns true when (key, check) is a proven-unsatisfiable slice.
+  /// `check` is the second fingerprint of the slice content; an entry only
+  /// matches when both agree (SAT hits are revalidated against the live
+  /// constraints instead, so they need no check key).
   bool LookupUnsat(u64 key, u64 check) const;
 
+  /// Stores a locally proved verdict. First store wins; a duplicate store
+  /// only refreshes recency. Journaled for gossip when EnableJournal()
+  /// was called.
   void StoreSat(u64 key, SliceModel model);
   void StoreUnsat(u64 key, u64 check);
 
-  // Entry counts across all shards (bench/test introspection).
+  /// Stores a verdict learned from another shard's gossip. Identical to
+  /// Store*, except the entry is never journaled — so a verdict is
+  /// re-broadcast by its prover only, never echoed around the ring.
+  void MergeSat(u64 key, SliceModel model);
+  void MergeUnsat(u64 key, u64 check);
+
+  /// Switches on journaling of locally proved verdicts (off by default;
+  /// the single-process engine never pays for it). Call before sharing
+  /// the cache with workers.
+  void EnableJournal() { journal_.store(true, std::memory_order_release); }
+
+  /// Moves every verdict journaled since the previous drain into the
+  /// output vectors (appended). The distributed shard's gossip pump calls
+  /// this periodically and ships the delta to its peers.
+  void DrainJournal(std::vector<SatEntry>* sat, std::vector<UnsatEntry>* unsat);
+
+  /// Entry counts across all shards (bench/test introspection).
   u64 sat_entries() const;
   u64 unsat_entries() const;
+  /// Entries dropped by the LRU bound so far (0 while unbounded).
+  u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
 
  private:
   static constexpr size_t kShards = 16;
+  // LRU bookkeeping: one recency list per shard, front = most recent.
+  struct LruKey {
+    u64 key = 0;
+    bool is_sat = false;
+  };
+  struct SatNode {
+    SliceModel model;
+    std::list<LruKey>::iterator pos;  // Valid only when bounded.
+  };
+  struct UnsatNode {
+    u64 check = 0;
+    std::list<LruKey>::iterator pos;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<u64, SliceModel> sat;
-    std::unordered_map<u64, u64> unsat;  // key -> check fingerprint.
+    std::unordered_map<u64, SatNode> sat;
+    std::unordered_map<u64, UnsatNode> unsat;
+    std::list<LruKey> lru;
+    std::vector<SatEntry> sat_journal;
+    std::vector<UnsatEntry> unsat_journal;
   };
   Shard& ShardFor(u64 key) const { return shards_[(key >> 59) % kShards]; }
 
+  void StoreSatImpl(u64 key, SliceModel model, bool journal);
+  void StoreUnsatImpl(u64 key, u64 check, bool journal);
+  void TouchLocked(Shard& shard, std::list<LruKey>::iterator pos) const;
+  void EvictLocked(Shard& shard);
+
+  u64 per_shard_cap_ = 0;  // 0 = unbounded.
+  std::atomic<bool> journal_{false};
+  mutable std::atomic<u64> evictions_{0};
   mutable Shard shards_[kShards];
 };
 
@@ -80,14 +156,19 @@ struct IncrementalStats {
   u64 slice_unsat_hits = 0;  // Sets rejected straight from the UNSAT cache.
 };
 
-// Per-worker facade: partitions each incoming set, consults the shared
-// caches per slice, solves only the missing slices with the wrapped
-// local-search solver, and stitches the sub-models into a full model.
-// Not thread-safe (wraps a thread-confined arena + solver); share the
-// SliceCache across workers, not the IncrementalSolver.
+/// \brief Per-worker solving facade over the shared slice caches.
+///
+/// Partitions each incoming set, consults the shared caches per slice,
+/// solves only the missing slices with the wrapped local-search solver,
+/// and stitches the sub-models into a full model.
+///
+/// **Thread safety:** NOT thread-safe — it wraps a thread-confined arena
+/// and solver. Share the `SliceCache` across workers, never the
+/// `IncrementalSolver`. **Ownership:** borrows `arena` and `cache`; both
+/// must outlive the solver.
 class IncrementalSolver {
  public:
-  // `cache` may be null: partition-only mode (no cross-call reuse).
+  /// `cache` may be null: partition-only mode (no cross-call reuse).
   IncrementalSolver(const ExprArena& arena, SolverOptions options, SliceCache* cache)
       : arena_(arena), solver_(arena, options), cache_(cache) {}
 

@@ -14,6 +14,7 @@ using i64 = int64_t;
 using u64 = uint64_t;
 using i32 = int32_t;
 using u32 = uint32_t;
+using u16 = uint16_t;
 using u8 = uint8_t;
 
 // Terminates the process with a message. Used for internal invariant

@@ -37,14 +37,29 @@ enum class PopOrder {
   kHighestPriority,  // Largest Push() priority first; ties break newest.
 };
 
+/// \brief MPMC work-stealing frontier (see the file comment for the
+/// scheduling discipline).
+///
+/// **Thread safety:** every method is safe from any thread; one mutex
+/// guards all deques (see the file comment for why that is the right
+/// trade). **Ownership:** the queue owns pushed items until popped;
+/// the creator must keep the queue alive until every worker returned
+/// from its final Pop()/Retire().
+///
+/// **Lifecycle contract:** construct with the worker count, then each
+/// worker must call Retire() exactly once on exit — termination
+/// detection counts active workers, and a missing Retire() leaves the
+/// remaining workers blocked in Pop() forever.
 template <typename T>
 class WorkStealingQueue {
  public:
   explicit WorkStealingQueue(size_t num_workers)
       : queues_(num_workers), active_(num_workers) {}
 
-  // Publishes one item onto `worker`'s deque. `priority` only matters to
-  // kHighestPriority consumers; the other orders ignore it.
+  /// Publishes one item onto `worker`'s deque. `priority` only matters to
+  /// kHighestPriority consumers; the other orders ignore it. Safe to call
+  /// before the workers start (the distributed scheduler seeds shard
+  /// frontiers this way).
   void Push(size_t worker, T item, u64 priority = 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -55,12 +70,12 @@ class WorkStealingQueue {
     cv_.notify_one();
   }
 
-  // Takes one item for `worker`: its own deque first (per `order`), then a
-  // steal from the front of the fullest other deque. Blocks while the
-  // frontier is empty but some worker is still busy. Returns false when the
-  // search is over: every worker is blocked here at once (frontier drained)
-  // or Close() was called. `stolen` reports whether the item came from
-  // another worker's deque.
+  /// Takes one item for `worker`: its own deque first (per `order`), then a
+  /// steal from the front of the fullest other deque. Blocks while the
+  /// frontier is empty but some worker is still busy. Returns false when the
+  /// search is over: every worker is blocked here at once (frontier drained)
+  /// or Close() was called. `stolen` reports whether the item came from
+  /// another worker's deque.
   bool Pop(size_t worker, PopOrder order, T* out, bool* stolen) {
     std::unique_lock<std::mutex> lock(mu_);
     if (!WaitForItem(lock)) {
@@ -76,12 +91,12 @@ class WorkStealingQueue {
     return true;
   }
 
-  // Takes up to `max_items` for `worker` in one frontier visit: the first
-  // item with full Pop() semantics (blocking, stealing), the rest
-  // opportunistically from the worker's *own* deque only — extras are
-  // never stolen, so a batching worker cannot starve other thieves.
-  // Returns false when the search is over; otherwise `out` holds 1 to
-  // `max_items` items in pop order and `stolen` counts stolen ones (0/1).
+  /// Takes up to `max_items` for `worker` in one frontier visit: the first
+  /// item with full Pop() semantics (blocking, stealing), the rest
+  /// opportunistically from the worker's *own* deque only — extras are
+  /// never stolen, so a batching worker cannot starve other thieves.
+  /// Returns false when the search is over; otherwise `out` holds 1 to
+  /// `max_items` items in pop order and `stolen` counts stolen ones (0/1).
   bool PopBatch(size_t worker, PopOrder order, size_t max_items, std::vector<T>* out,
                 u64* stolen) {
     out->clear();
@@ -102,7 +117,9 @@ class WorkStealingQueue {
     return true;
   }
 
-  // Ends the search: every blocked and future Pop() returns false.
+  /// Ends the search: every blocked and future Pop() returns false.
+  /// Callable from any thread — first-crash-wins cancellation and the
+  /// distributed cancel pump both use it.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -111,10 +128,10 @@ class WorkStealingQueue {
     cv_.notify_all();
   }
 
-  // Permanently removes one worker from termination accounting (its private
-  // budget died). Call exactly once per exiting worker; without this the
-  // remaining workers could block in Pop() forever waiting for a producer
-  // that already left.
+  /// Permanently removes one worker from termination accounting (its private
+  /// budget died). Call exactly once per exiting worker; without this the
+  /// remaining workers could block in Pop() forever waiting for a producer
+  /// that already left.
   void Retire() {
     bool close = false;
     {
@@ -129,7 +146,7 @@ class WorkStealingQueue {
     }
   }
 
-  // High-water mark of items resident across all deques.
+  /// High-water mark of items resident across all deques.
   u64 peak() const {
     std::lock_guard<std::mutex> lock(mu_);
     return peak_;

@@ -1,0 +1,213 @@
+// End-to-end tests for the distributed (multi-process) replay scheduler:
+// 2-shard reproduction of the miniature crash scenarios, in-process
+// parity for num_shards <= 1, and shard-aware stats aggregation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/pipeline.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+// Crashes iff argv[1] starts with "k9" and argv[2][0] > '5' (the
+// miniature scenario of replay_parallel_test.cc).
+constexpr const char* kGuardedCrash = R"(
+int main(int argc, char **argv) {
+  if (argc < 3) { return 1; }
+  if (argv[1][0] == 'k') {
+    if (argv[1][1] == '9') {
+      if (argv[2][0] > '5') {
+        crash(13);
+      }
+    }
+  }
+  return 0;
+}
+)";
+
+// Wider search space: enough frontier for the scout to actually ship
+// pending sets to both shards.
+constexpr const char* kDeepGuardedCrash = R"(
+int main(int argc, char **argv) {
+  if (argc < 3) { return 1; }
+  int hits = 0;
+  if (argv[1][0] == 'a') { hits = hits + 1; }
+  if (argv[1][1] == 'b') { hits = hits + 1; }
+  if (argv[1][2] == 'c') { hits = hits + 1; }
+  if (argv[2][0] > 'm') { hits = hits + 1; }
+  if (hits == 4) { crash(7); }
+  return 0;
+}
+)";
+
+std::unique_ptr<Pipeline> MustBuild(std::string_view app) {
+  auto r = Pipeline::FromSources(app, {});
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToString());
+  return r.take();
+}
+
+InputSpec GuardedCrashInput() {
+  InputSpec spec;
+  spec.argv = {"prog", "k9", "7"};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+InputSpec DeepGuardedCrashInput() {
+  InputSpec spec;
+  spec.argv = {"prog", "abc", "z"};
+  spec.world.listen_fd = -1;
+  return spec;
+}
+
+TEST(DistReplayTest, TwoShardsReproduceGuardedCrash) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 2;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  ASSERT_GE(replay.witness_argv.size(), 3u);
+  EXPECT_EQ(replay.witness_argv[1][0], 'k');
+  EXPECT_EQ(replay.witness_argv[1][1], '9');
+  EXPECT_GT(replay.witness_argv[2][0], '5');
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+TEST(DistReplayTest, TwoShardsReproduceDeepCrashAndAggregateStats) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 2;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+
+  // Shard-aware aggregation: one per_shard entry per process; aggregate
+  // runs = scout runs + every shard worker's runs.
+  const ReplayStats& s = replay.stats;
+  ASSERT_EQ(s.per_shard.size(), 2u);
+  EXPECT_EQ(s.per_shard[0].shard_id, 0u);
+  EXPECT_EQ(s.per_shard[1].shard_id, 1u);
+  const u64 worker_runs = std::accumulate(
+      s.per_worker.begin(), s.per_worker.end(), u64{0},
+      [](u64 acc, const ReplayWorkerStats& w) { return acc + w.runs; });
+  EXPECT_EQ(s.runs, s.harvest_runs + worker_runs);
+  const u64 shard_runs =
+      std::accumulate(s.per_shard.begin(), s.per_shard.end(), u64{0},
+                      [](u64 acc, const ReplayShardStats& sh) { return acc + sh.runs; });
+  EXPECT_EQ(worker_runs, shard_runs);
+  // The wire was actually used: handshake + results at minimum.
+  EXPECT_GT(s.wire_bytes_tx, 0u);
+  EXPECT_GT(s.wire_bytes_rx, 0u);
+  // Reproduced and the scout did not finish => some shard did. (Several
+  // shards may genuinely reproduce before the stop lands; each reports
+  // its own truth.)
+  int winners = 0;
+  for (const ReplayShardStats& sh : s.per_shard) {
+    winners += sh.reproduced ? 1 : 0;
+  }
+  EXPECT_GE(winners, 1);
+}
+
+TEST(DistReplayTest, ScoutShortCircuitsWithoutForking) {
+  // With a wide-open run budget and the trivial scenario, the scout's
+  // bounded sequential search reproduces the crash before any shard is
+  // forked: no wire traffic, no per-shard entries.
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 4;  // Scout cap = max(4, 2*shards) = 8 runs.
+  config.seed = 11;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  if (replay.stats.per_shard.empty()) {
+    // Scout finished the job: the distributed layer added zero overhead.
+    EXPECT_EQ(replay.stats.wire_bytes_tx, 0u);
+    EXPECT_EQ(replay.stats.wire_bytes_rx, 0u);
+    EXPECT_EQ(replay.stats.runs, replay.stats.harvest_runs);
+  }
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+TEST(DistReplayTest, SingleShardConfigStaysInProcess) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig base;
+  base.seed = 11;
+  const ReplayResult a = pipeline->Reproduce(user.report, plan, base);
+
+  ReplayConfig explicit_one = base;
+  explicit_one.num_shards = 1;
+  const ReplayResult b = pipeline->Reproduce(user.report, plan, explicit_one);
+
+  // num_shards == 1 must be byte-for-byte the in-process engine: same
+  // witness, same counters, no distributed bookkeeping.
+  ASSERT_TRUE(a.reproduced);
+  ASSERT_TRUE(b.reproduced);
+  EXPECT_EQ(a.witness_cells, b.witness_cells);
+  EXPECT_EQ(a.witness_argv, b.witness_argv);
+  EXPECT_EQ(a.stats.runs, b.stats.runs);
+  EXPECT_EQ(a.stats.solver_calls, b.stats.solver_calls);
+  EXPECT_TRUE(b.stats.per_shard.empty());
+  EXPECT_EQ(b.stats.wire_bytes_tx, 0u);
+  EXPECT_EQ(b.stats.harvest_runs, 0u);
+}
+
+TEST(DistReplayTest, TwoShardsReproduceSyscallBug) {
+  constexpr const char* kReadBug = R"(
+    int main() {
+      char buf[64];
+      int n = read(0, buf, 60);
+      if (n == 13) {
+        if (buf[0] == 'Z') { crash(2); }
+      }
+      return 0;
+    }
+  )";
+  auto pipeline = MustBuild(kReadBug);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  spec.world.stdin_stream = 0;
+  StreamShape stream;
+  stream.name = "stdin";
+  const std::string data = "Zsecretsecret";  // 13 bytes.
+  stream.bytes.assign(data.begin(), data.end());
+  stream.length = 13;
+  spec.world.streams.push_back(stream);
+
+  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 1;  // 2 processes x 1 thread.
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,330 @@
+// Wire-format tests for the distributed replay scheduler: byte-exact
+// round trips for every payload codec, truncated/corrupt-frame
+// rejection, and version-mismatch refusal.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dist/wire.h"
+#include "src/support/rng.h"
+
+namespace retrace {
+namespace {
+
+PortablePending MakePending(ExprArena* arena, u64 salt) {
+  const ExprRef x = arena->MkVar(static_cast<i32>(salt % 5));
+  const ExprRef y = arena->MkVar(static_cast<i32>(salt % 5) + 1);
+  const ExprRef sum = arena->MkBin(ExprOp::kAdd, x, y);
+  const ExprRef cmp = arena->MkBin(ExprOp::kGt, sum, arena->MkConst(static_cast<i64>(salt)));
+  const ExprRef odd = arena->MkBin(ExprOp::kAnd, x, arena->MkConst(1));
+  std::vector<Constraint> constraints{{cmp, true}, {odd, (salt & 1) != 0}};
+
+  PortablePending pending;
+  pending.trace = std::make_shared<const PortableTrace>(ExportTrace(*arena, constraints));
+  pending.len = 2;
+  pending.negate_last = (salt & 2) != 0;
+  // Cover every variable id the trace can mention (ids run to salt%5+1):
+  // decode validates var ids against the snapshot sizes.
+  pending.seed = std::make_shared<const std::vector<i64>>(
+      std::vector<i64>{static_cast<i64>(salt), -7, 300, 4, 5, 6, 7, 8});
+  pending.domains = std::make_shared<const std::vector<Interval>>(std::vector<Interval>{
+      {0, 255}, {-128, 127}, {0, static_cast<i64>(salt % 100)}, {0, 9}, {0, 9}, {0, 9},
+      {0, 9}, {0, 9}});
+  pending.priority = salt * 31;
+  return pending;
+}
+
+std::vector<u8> EncodePendingPayload(const PortablePending& pending) {
+  WireWriter w;
+  EncodePending(pending, &w);
+  return w.Take();
+}
+
+TEST(DistWireTest, PendingRoundTripsByteExactly) {
+  ExprArena arena;
+  const PortablePending original = MakePending(&arena, 42);
+  const std::vector<u8> payload = EncodePendingPayload(original);
+
+  WireReader r(payload.data(), payload.size());
+  PortablePending decoded;
+  ASSERT_TRUE(DecodePending(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  EXPECT_EQ(decoded.trace->nodes, original.trace->nodes);
+  EXPECT_EQ(decoded.trace->constraints, original.trace->constraints);
+  EXPECT_EQ(decoded.len, original.len);
+  EXPECT_EQ(decoded.negate_last, original.negate_last);
+  EXPECT_EQ(*decoded.seed, *original.seed);
+  EXPECT_EQ(*decoded.domains, *original.domains);
+  EXPECT_EQ(decoded.priority, original.priority);
+
+  // Re-encoding the decoded pending reproduces the exact bytes.
+  EXPECT_EQ(EncodePendingPayload(decoded), payload);
+}
+
+// Property-style sweep: randomized expression DAGs survive encode ->
+// decode -> encode with identical bytes, and the decoded trace
+// fingerprints identically (the cross-shard dedup invariant).
+TEST(DistWireTest, PendingRoundTripProperty) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 50; ++iter) {
+    ExprArena arena;
+    std::vector<ExprRef> pool;
+    for (int i = 0; i < 4; ++i) {
+      pool.push_back(arena.MkVar(i));
+      pool.push_back(arena.MkConst(static_cast<i64>(rng.Next() % 1000) - 500));
+    }
+    for (int i = 0; i < 12; ++i) {
+      const ExprOp op = static_cast<ExprOp>(
+          static_cast<u8>(ExprOp::kAdd) +
+          rng.Next() % (static_cast<u8>(ExprOp::kGe) - static_cast<u8>(ExprOp::kAdd) + 1));
+      const ExprRef a = pool[rng.Next() % pool.size()];
+      const ExprRef b = pool[rng.Next() % pool.size()];
+      pool.push_back(arena.MkBin(op, a, b));
+    }
+    std::vector<Constraint> constraints;
+    for (int i = 0; i < 3; ++i) {
+      constraints.push_back(
+          Constraint{pool[pool.size() - 1 - static_cast<size_t>(i)], (rng.Next() & 1) != 0});
+    }
+
+    PortablePending pending;
+    pending.trace = std::make_shared<const PortableTrace>(ExportTrace(arena, constraints));
+    pending.len = 1 + rng.Next() % constraints.size();
+    pending.negate_last = (rng.Next() & 1) != 0;
+    std::vector<i64> seed;
+    for (int i = 0; i < 5; ++i) {
+      seed.push_back(static_cast<i64>(rng.Next()));
+    }
+    pending.seed = std::make_shared<const std::vector<i64>>(std::move(seed));
+    std::vector<Interval> domains;
+    for (int i = 0; i < 5; ++i) {
+      const i64 lo = static_cast<i64>(rng.Next() % 100);
+      domains.push_back(Interval{lo, lo + static_cast<i64>(rng.Next() % 100)});
+    }
+    pending.domains = std::make_shared<const std::vector<Interval>>(std::move(domains));
+    pending.priority = rng.Next();
+
+    const std::vector<u8> payload = EncodePendingPayload(pending);
+    WireReader r(payload.data(), payload.size());
+    PortablePending decoded;
+    ASSERT_TRUE(DecodePending(&r, &decoded)) << "iter " << iter;
+    EXPECT_EQ(EncodePendingPayload(decoded), payload) << "iter " << iter;
+    EXPECT_EQ(FingerprintConstraints(*decoded.trace, decoded.len, decoded.negate_last),
+              FingerprintConstraints(*pending.trace, pending.len, pending.negate_last))
+        << "iter " << iter;
+  }
+}
+
+TEST(DistWireTest, VerdictsRoundTrip) {
+  WireVerdicts verdicts;
+  verdicts.sat.push_back(SliceCache::SatEntry{0xdeadbeefull, {{0, 42}, {3, -1}}});
+  verdicts.sat.push_back(SliceCache::SatEntry{0x1234ull, {}});
+  verdicts.unsat.push_back(SliceCache::UnsatEntry{77, 78});
+
+  WireWriter w;
+  EncodeVerdicts(verdicts, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireVerdicts decoded;
+  ASSERT_TRUE(DecodeVerdicts(&r, &decoded));
+  ASSERT_EQ(decoded.sat.size(), 2u);
+  EXPECT_EQ(decoded.sat[0].key, 0xdeadbeefull);
+  EXPECT_EQ(decoded.sat[0].model,
+            (SliceCache::SliceModel{{0, 42}, {3, -1}}));
+  EXPECT_TRUE(decoded.sat[1].model.empty());
+  ASSERT_EQ(decoded.unsat.size(), 1u);
+  EXPECT_EQ(decoded.unsat[0].key, 77u);
+  EXPECT_EQ(decoded.unsat[0].check, 78u);
+}
+
+TEST(DistWireTest, ShardResultRoundTrip) {
+  WireShardResult shard;
+  shard.result.reproduced = true;
+  shard.result.budget_exhausted = false;
+  shard.result.wall_seconds = 1.5;
+  shard.result.witness_argv = {"prog", "k9", "7"};
+  shard.result.witness_cells = {107, 57, 0};
+  shard.result.crash.kind = CrashSite::Kind::kExplicit;
+  shard.result.crash.func = 3;
+  shard.result.crash.loc = SourceLoc{1, 12, 7};
+  shard.result.crash.code = 13;
+  shard.result.stats.runs = 99;
+  shard.result.stats.slice_sat_hits = 1234;
+  shard.result.stats.slice_evictions = 5;
+  ReplayWorkerStats worker;
+  worker.runs = 50;
+  worker.dedup_skips = 4;
+  shard.result.stats.per_worker = {worker, worker};
+  shard.verdicts_published = 7;
+  shard.verdicts_imported = 11;
+  shard.pendings_seeded = 3;
+
+  WireWriter w;
+  EncodeShardResult(shard, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireShardResult decoded;
+  ASSERT_TRUE(DecodeShardResult(&r, &decoded));
+  EXPECT_TRUE(decoded.result.reproduced);
+  EXPECT_EQ(decoded.result.witness_argv, shard.result.witness_argv);
+  EXPECT_EQ(decoded.result.witness_cells, shard.result.witness_cells);
+  EXPECT_TRUE(decoded.result.crash.SameSite(shard.result.crash));
+  EXPECT_EQ(decoded.result.crash.code, 13);
+  EXPECT_DOUBLE_EQ(decoded.result.wall_seconds, 1.5);
+  EXPECT_EQ(decoded.result.stats.runs, 99u);
+  EXPECT_EQ(decoded.result.stats.slice_sat_hits, 1234u);
+  EXPECT_EQ(decoded.result.stats.slice_evictions, 5u);
+  ASSERT_EQ(decoded.result.stats.per_worker.size(), 2u);
+  EXPECT_EQ(decoded.result.stats.per_worker[1].runs, 50u);
+  EXPECT_EQ(decoded.result.stats.per_worker[1].dedup_skips, 4u);
+  EXPECT_EQ(decoded.verdicts_published, 7u);
+  EXPECT_EQ(decoded.verdicts_imported, 11u);
+  EXPECT_EQ(decoded.pendings_seeded, 3u);
+}
+
+// ----- Framing -----
+
+std::vector<u8> OneFrame(WireMsg type, const std::vector<u8>& payload) {
+  std::vector<u8> bytes;
+  AppendFrame(type, payload, &bytes);
+  return bytes;
+}
+
+TEST(DistWireTest, FrameParserYieldsCompleteFrames) {
+  const std::vector<u8> payload{1, 2, 3, 4, 5};
+  std::vector<u8> stream = OneFrame(WireMsg::kVerdicts, payload);
+  AppendFrame(WireMsg::kStop, {}, &stream);
+
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, WireMsg::kVerdicts);
+  EXPECT_EQ(frame.payload, payload);
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, WireMsg::kStop);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore);
+}
+
+// Every strict prefix of a frame is "need more", never corrupt and never
+// a frame: a shard reading a slow socket must simply wait.
+TEST(DistWireTest, TruncatedFramesAreNeverAccepted) {
+  const std::vector<u8> stream = OneFrame(WireMsg::kPending, {9, 8, 7, 6, 5, 4, 3, 2, 1});
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameParser parser;
+    parser.Append(stream.data(), cut);
+    WireFrame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore) << "cut " << cut;
+  }
+}
+
+TEST(DistWireTest, CorruptPayloadIsRejectedByDigest) {
+  const std::vector<u8> payload{10, 20, 30, 40};
+  std::vector<u8> stream = OneFrame(WireMsg::kVerdicts, payload);
+  stream.back() ^= 0x01;  // Flip one payload bit.
+
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kCorrupt);
+  // Sticky: the stream is not trusted to resynchronize.
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kCorrupt);
+}
+
+TEST(DistWireTest, BadMagicIsRejected) {
+  std::vector<u8> stream = OneFrame(WireMsg::kStop, {});
+  stream[0] ^= 0xff;
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kCorrupt);
+}
+
+TEST(DistWireTest, VersionMismatchIsRefused) {
+  std::vector<u8> stream = OneFrame(WireMsg::kHello, {1, 2, 3});
+  // Bytes 4..5 carry the version (little-endian, after the u32 magic).
+  stream[4] = static_cast<u8>((kWireVersion + 1) & 0xff);
+  stream[5] = static_cast<u8>(((kWireVersion + 1) >> 8) & 0xff);
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kVersionMismatch);
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kVersionMismatch);
+}
+
+// Corrupt *payloads* that pass framing (e.g. a buggy peer rather than a
+// damaged stream) must still be rejected by the bounds-checked decoders.
+TEST(DistWireTest, DecoderRejectsNonTopologicalTrace) {
+  WireWriter w;
+  // One node whose child points at itself (must strictly precede).
+  w.U32(1);                   // node count
+  w.U8(static_cast<u8>(ExprOp::kNeg));
+  w.I32(0);                   // a = 0, but this IS node 0 -> invalid.
+  w.I32(-1);
+  w.I64(0);
+  w.U32(0);                   // constraints
+  w.U64(0);                   // len
+  w.U8(0);                    // negate_last
+  w.U32(0);                   // seed
+  w.U32(0);                   // domains
+  w.U64(0);                   // priority
+  WireReader r(w.buf().data(), w.buf().size());
+  PortablePending decoded;
+  EXPECT_FALSE(DecodePending(&r, &decoded));
+}
+
+// A digest-valid frame with a forged variable id must not reach the
+// solver: model vectors size to max_var + 1, so a 2^30 id would be a
+// multi-GB allocation in the consuming shard.
+TEST(DistWireTest, DecoderRejectsVariableIdsBeyondSnapshots) {
+  WireWriter w;
+  w.U32(1);  // One node: kVar with an id far past the seed/domain sizes.
+  w.U8(static_cast<u8>(ExprOp::kVar));
+  w.I32(-1);
+  w.I32(-1);
+  w.I64(1 << 30);
+  w.U32(1);  // One constraint over it.
+  w.I32(0);
+  w.U8(1);
+  w.U64(1);  // len
+  w.U8(0);   // negate_last
+  w.U32(2);  // seed: two cells.
+  w.I64(0);
+  w.I64(0);
+  w.U32(2);  // domains: two cells.
+  w.I64(0);
+  w.I64(255);
+  w.I64(0);
+  w.I64(255);
+  w.U64(0);  // priority
+  WireReader r(w.buf().data(), w.buf().size());
+  PortablePending decoded;
+  EXPECT_FALSE(DecodePending(&r, &decoded));
+}
+
+TEST(DistWireTest, DecoderRejectsAbsurdCounts) {
+  WireWriter w;
+  w.U32(0x7fffffff);  // Claims ~2B nodes in a 4-byte payload.
+  WireReader r(w.buf().data(), w.buf().size());
+  PortablePending decoded;
+  EXPECT_FALSE(DecodePending(&r, &decoded));
+
+  WireWriter w2;
+  w2.U32(0x7fffffff);
+  WireReader r2(w2.buf().data(), w2.buf().size());
+  WireVerdicts verdicts;
+  EXPECT_FALSE(DecodeVerdicts(&r2, &verdicts));
+}
+
+TEST(DistWireTest, DecoderRejectsTruncatedPayload) {
+  ExprArena arena;
+  const std::vector<u8> payload = EncodePendingPayload(MakePending(&arena, 9));
+  for (const size_t cut : {payload.size() - 1, payload.size() / 2, size_t{3}}) {
+    WireReader r(payload.data(), cut);
+    PortablePending decoded;
+    EXPECT_FALSE(DecodePending(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace retrace

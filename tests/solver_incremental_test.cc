@@ -5,6 +5,7 @@
 
 #include "src/core/pipeline.h"
 #include "src/solver/incremental.h"
+#include "src/support/rng.h"
 #include "src/support/workqueue.h"
 #include "tests/testutil.h"
 
@@ -331,6 +332,125 @@ TEST(IncrementalSolverTest, LogBitsPickReproduces) {
     EXPECT_EQ(replay.stats.slice_sat_hits, sat_hits);
     EXPECT_EQ(replay.stats.slice_unsat_hits, unsat_hits);
   }
+}
+
+// ----- SliceCache LRU bound + gossip journal -----
+
+// Keys that land in one internal cache shard (the shard index is the top
+// five bits), so per-shard eviction order is observable.
+constexpr u64 ShardKey(u64 i) { return (0x1ull << 59) | i; }
+
+TEST(IncrementalSolverTest, SliceCacheCapacityBoundsEntries) {
+  SliceCache cache(/*capacity=*/32);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    if ((i & 1) != 0) {
+      cache.StoreSat(rng.Next(), {{0, i}});
+    } else {
+      cache.StoreUnsat(rng.Next(), rng.Next());
+    }
+  }
+  EXPECT_LE(cache.sat_entries() + cache.unsat_entries(), 32u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(IncrementalSolverTest, SliceCacheEvictsLeastRecentlyUsed) {
+  // Capacity 32 over 16 internal shards = 2 entries per shard.
+  SliceCache cache(/*capacity=*/32);
+  cache.StoreSat(ShardKey(1), {{0, 10}});
+  cache.StoreSat(ShardKey(2), {{0, 20}});
+  // Touch key 1 so key 2 is now the least recently used.
+  SliceCache::SliceModel model;
+  ASSERT_TRUE(cache.LookupSat(ShardKey(1), &model));
+  cache.StoreSat(ShardKey(3), {{0, 30}});  // Evicts key 2, not key 1.
+  EXPECT_TRUE(cache.LookupSat(ShardKey(1), &model));
+  EXPECT_EQ(model, (SliceCache::SliceModel{{0, 10}}));
+  EXPECT_FALSE(cache.LookupSat(ShardKey(2), &model));
+  EXPECT_TRUE(cache.LookupSat(ShardKey(3), &model));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(IncrementalSolverTest, SliceCacheUnboundedNeverEvicts) {
+  SliceCache cache;  // Default: unbounded, the historical behavior.
+  for (u64 i = 0; i < 1000; ++i) {
+    cache.StoreSat(i * 0x9e3779b97f4a7c15ull, {{0, 1}});
+  }
+  EXPECT_EQ(cache.sat_entries(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(IncrementalSolverTest, SliceCacheJournalDrainsOnlyLocalStores) {
+  SliceCache cache;
+  cache.EnableJournal();
+  cache.StoreSat(ShardKey(1), {{0, 5}});
+  cache.StoreUnsat(ShardKey(2), 99);
+  // Gossip-merged entries must not re-enter the journal (no echo).
+  cache.MergeSat(ShardKey(3), {{1, 6}});
+  cache.MergeUnsat(ShardKey(4), 100);
+  // A duplicate store journals nothing (first store won).
+  cache.StoreSat(ShardKey(1), {{0, 7}});
+
+  std::vector<SliceCache::SatEntry> sat;
+  std::vector<SliceCache::UnsatEntry> unsat;
+  cache.DrainJournal(&sat, &unsat);
+  ASSERT_EQ(sat.size(), 1u);
+  EXPECT_EQ(sat[0].key, ShardKey(1));
+  EXPECT_EQ(sat[0].model, (SliceCache::SliceModel{{0, 5}}));
+  ASSERT_EQ(unsat.size(), 1u);
+  EXPECT_EQ(unsat[0].key, ShardKey(2));
+  EXPECT_EQ(unsat[0].check, 99u);
+
+  // Drained: the next drain is empty; merged entries are still served.
+  sat.clear();
+  unsat.clear();
+  cache.DrainJournal(&sat, &unsat);
+  EXPECT_TRUE(sat.empty());
+  EXPECT_TRUE(unsat.empty());
+  SliceCache::SliceModel model;
+  EXPECT_TRUE(cache.LookupSat(ShardKey(3), &model));
+  EXPECT_TRUE(cache.LookupUnsat(ShardKey(4), 100));
+}
+
+// The engine-level knob: a tiny capacity must force evictions during a
+// real search and surface them in the aggregate stats, without breaking
+// reproduction (evicted verdicts are simply re-proved). The scenario has
+// 32 independent byte guards — 32 distinct slice keys — so a capacity of
+// 16 (one entry per internal cache shard) evicts by pigeonhole no matter
+// how the keys spread.
+TEST(IncrementalSolverTest, EngineHonorsSliceCacheCapacity) {
+  std::string src = "int main(int argc, char **argv) {\n"
+                    "  if (argc < 2) { return 1; }\n"
+                    "  int hits = 0;\n";
+  std::string input;
+  for (int i = 0; i < 32; ++i) {
+    src += "  if (argv[1][" + std::to_string(i) + "] == 'a') { hits = hits + 1; }\n";
+    input += 'a';
+  }
+  src += "  if (hits == 32) { crash(9); }\n  return 0;\n}\n";
+  auto pipeline = MustBuild(src);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec spec;
+  spec.argv = {"prog", input};
+  spec.world.listen_fd = -1;
+  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  for (const u32 workers : {1u, 4u}) {
+    ReplayConfig config;
+    config.num_workers = workers;
+    config.slice_cache_capacity = 16;
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced) << workers << " workers";
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+    EXPECT_GT(replay.stats.slice_evictions, 0u) << workers << " workers";
+  }
+  // Unbounded default reports zero evictions on the same scenario.
+  ReplayConfig unbounded;
+  unbounded.num_workers = 4;
+  const ReplayResult base = pipeline->Reproduce(user.report, plan, unbounded);
+  ASSERT_TRUE(base.reproduced);
+  EXPECT_EQ(base.stats.slice_evictions, 0u);
 }
 
 }  // namespace

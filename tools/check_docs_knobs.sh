@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Knob-consistency check between docs/BENCHMARKS.md and the source tree.
+#
+# Fails when:
+#   1. a RETRACE_* environment knob read by the source (std::getenv) is
+#      not documented in docs/BENCHMARKS.md, or
+#   2. a RETRACE_* name mentioned in docs/BENCHMARKS.md appears nowhere
+#      in the repo (stale documentation).
+#
+# Run from the repo root: tools/check_docs_knobs.sh
+set -u
+cd "$(dirname "$0")/.."
+
+doc="docs/BENCHMARKS.md"
+if [ ! -f "$doc" ]; then
+  echo "FAIL: $doc does not exist"
+  exit 1
+fi
+
+doc_knobs=$(grep -oE 'RETRACE_[A-Z0-9_]+' "$doc" | sort -u)
+src_knobs=$(grep -rhoE 'getenv\("RETRACE_[A-Z0-9_]+"\)' src bench tests tools 2>/dev/null |
+  grep -oE 'RETRACE_[A-Z0-9_]+' | sort -u)
+
+fail=0
+for knob in $src_knobs; do
+  if ! printf '%s\n' "$doc_knobs" | grep -qx "$knob"; then
+    echo "FAIL: env knob $knob is read by the source but missing from $doc"
+    fail=1
+  fi
+done
+for knob in $doc_knobs; do
+  if ! grep -rq "$knob" src bench tests tools CMakeLists.txt .github 2>/dev/null; then
+    echo "FAIL: $doc documents $knob but nothing in the repo mentions it"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: $doc and the source agree on every RETRACE_* knob"
+fi
+exit "$fail"
