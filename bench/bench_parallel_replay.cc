@@ -78,6 +78,9 @@ int Main() {
   std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|portfolio)\n",
               ReplayPickName());
   std::printf("shard sweep: RETRACE_REPLAY_SHARDS (comma list, default 1 = in-process)\n");
+  std::printf("shard transport: %s (RETRACE_REPLAY_TRANSPORT=fork|tcp; tcp = loopback\n"
+              "self-spawn, the same wire path a remote retrace_shardd takes)\n",
+              ReplayTransportName());
 
   const std::vector<int> experiments = Experiments();
   for (const u32 shards : ReplayShardsSweep()) {
@@ -100,6 +103,21 @@ int Main() {
     u64 total_slices_solved = 0;
     u64 total_wire_bytes = 0;
     u64 total_verdicts_gossiped = 0;
+    // Per-shard aggregation over every cell of this table: process-level
+    // runs, wire traffic (re-balance frames included — they ride the
+    // same channels the byte counters watch) and re-balance activity.
+    struct ShardAgg {
+      u64 runs = 0;
+      u64 seeded = 0;
+      u64 wire_tx = 0;
+      u64 wire_rx = 0;
+      u64 verdicts_out = 0;
+      u64 verdicts_in = 0;
+      u64 pendings_exported = 0;
+      u64 pendings_imported = 0;
+      u64 rebalance_rounds = 0;
+    };
+    std::vector<ShardAgg> shard_agg(shards);
     for (const int experiment : experiments) {
       const Scenario scenario = UserverScenario(experiment);
       Pipeline::UserRunOptions options;
@@ -124,6 +142,21 @@ int Main() {
         total_slices_solved += replay.stats.slices_solved;
         total_wire_bytes += replay.stats.wire_bytes_tx + replay.stats.wire_bytes_rx;
         total_verdicts_gossiped += replay.stats.verdicts_gossiped;
+        for (const ReplayShardStats& sh : replay.stats.per_shard) {
+          if (sh.shard_id >= shard_agg.size()) {
+            continue;
+          }
+          ShardAgg& agg = shard_agg[sh.shard_id];
+          agg.runs += sh.runs;
+          agg.seeded += sh.pendings_seeded;
+          agg.wire_tx += sh.wire_bytes_tx;
+          agg.wire_rx += sh.wire_bytes_rx;
+          agg.verdicts_out += sh.verdicts_published;
+          agg.verdicts_in += sh.verdicts_imported;
+          agg.pendings_exported += sh.pendings_exported;
+          agg.pendings_imported += sh.pendings_imported;
+          agg.rebalance_rounds += sh.rebalance_rounds;
+        }
         char cell[64];
         if (replay.reproduced) {
           std::snprintf(cell, sizeof(cell), "%.2fs/%" PRIu64 "r", replay.wall_seconds,
@@ -161,6 +194,17 @@ int Main() {
       std::printf("wire overhead (all cells): %.1f KB shipped, %" PRIu64
                   " verdicts gossiped between shards\n",
                   static_cast<double>(total_wire_bytes) / 1024.0, total_verdicts_gossiped);
+      std::printf("per-shard summary (all cells; re-balance frames ride the counted wire):\n");
+      for (u32 s = 0; s < shards; ++s) {
+        const ShardAgg& agg = shard_agg[s];
+        std::printf("  shard %u: %" PRIu64 " runs, %" PRIu64 " seeded, %.1f KB tx / %.1f KB rx"
+                    ", %" PRIu64 " verdicts out / %" PRIu64 " in, %" PRIu64 " exported / %"
+                    PRIu64 " imported pendings, %" PRIu64 " rebalance rounds\n",
+                    s, agg.runs, agg.seeded, static_cast<double>(agg.wire_tx) / 1024.0,
+                    static_cast<double>(agg.wire_rx) / 1024.0, agg.verdicts_out,
+                    agg.verdicts_in, agg.pendings_exported, agg.pendings_imported,
+                    agg.rebalance_rounds);
+      }
     }
   }
 

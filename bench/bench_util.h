@@ -150,6 +150,34 @@ inline std::vector<u32> ReplayShardsSweep() {
 
 inline u32 ReplayShards() { return ReplayShardsSweep().front(); }
 
+// Distributed transport knob: RETRACE_REPLAY_TRANSPORT = fork (default,
+// socketpairs on this host) | tcp (listener + loopback self-spawned
+// shards — the same path a remote retrace_shardd takes). Only matters
+// when the shard count is > 1.
+inline ReplayTransport ReplayTransportMode() {
+  const char* env = std::getenv("RETRACE_REPLAY_TRANSPORT");
+  if (env != nullptr && std::string(env) == "tcp") {
+    return ReplayTransport::kTcp;
+  }
+  return ReplayTransport::kFork;
+}
+
+inline const char* ReplayTransportName() {
+  return ReplayTransportMode() == ReplayTransport::kTcp ? "tcp" : "fork";
+}
+
+// Shard gossip pump cadence: RETRACE_GOSSIP_INTERVAL_MS (default 20).
+// Bounds the latency of verdict gossip, stop delivery and re-balance
+// traffic; the engine clamps it to [1, 1000].
+inline int GossipIntervalMs() {
+  const char* env = std::getenv("RETRACE_GOSSIP_INTERVAL_MS");
+  if (env == nullptr) {
+    return 20;
+  }
+  const int ms = std::atoi(env);
+  return ms > 0 ? ms : 20;
+}
+
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
   ReplayConfig config;
@@ -160,6 +188,8 @@ inline ReplayConfig DefaultReplayConfig() {
   config.num_shards = ReplayShards();
   config.solver_cache = SolverCacheEnabled();
   config.pick = ReplayPick();
+  config.transport = ReplayTransportMode();
+  config.gossip_interval_ms = GossipIntervalMs();
   return config;
 }
 

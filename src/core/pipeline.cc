@@ -36,6 +36,11 @@ Result<std::unique_ptr<Pipeline>> Pipeline::FromSources(
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->program_ = program.take();
   pipeline->module_ = module.take();
+  // Retained so Reproduce can ship the program to TCP replay shards on
+  // other hosts (lowering is deterministic — a rebuilt module has the
+  // same branch ids as this one).
+  pipeline->app_source_ = std::string(app_source);
+  pipeline->lib_sources_ = library_sources;
   return pipeline;
 }
 
@@ -204,6 +209,14 @@ ReplayResult Pipeline::Reproduce(const BugReport& report, const InstrumentationP
   // The shared arena only backs the sequential path; parallel workers
   // build thread-confined arenas of their own.
   ReplayEngine engine(*module_, plan, report, &arena_);
+  if (config.transport == ReplayTransport::kTcp && config.program.app.empty()) {
+    // TCP shards rebuild the module from source; fill in what this
+    // pipeline was compiled from unless the caller overrode it.
+    ReplayConfig with_program = config;
+    with_program.program.app = app_source_;
+    with_program.program.libs = lib_sources_;
+    return engine.Reproduce(with_program);
+  }
   return engine.Reproduce(config);
 }
 

@@ -105,6 +105,11 @@ class Pipeline {
 
   std::unique_ptr<SemaProgram> program_;
   std::unique_ptr<IrModule> module_;
+  // Sources this pipeline was compiled from; shipped to TCP replay
+  // shards (ReplayTransport::kTcp) so remote hosts can rebuild the
+  // module deterministically.
+  std::string app_source_;
+  std::vector<std::string> lib_sources_;
   ExprArena arena_;
 };
 

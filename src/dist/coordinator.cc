@@ -1,20 +1,17 @@
 #include "src/dist/coordinator.h"
 
 #include <poll.h>
-#include <signal.h>
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/dist/shard.h"
+#include "src/dist/transport.h"
 #include "src/dist/wire.h"
 
 namespace retrace {
@@ -29,7 +26,6 @@ constexpr u32 kMaxShards = 64;
 constexpr i64 kKillGraceMs = 30'000;
 
 struct ShardProc {
-  pid_t pid = -1;
   std::unique_ptr<WireChannel> chan;
   bool done = false;
   bool have_result = false;
@@ -58,10 +54,51 @@ u64 CountVerdicts(const WireFrame& frame) {
   return static_cast<u64>(sat_count) + unsat_count;
 }
 
+// Builds the transport selected by the config. The fork transport runs
+// RunShard in each child (module/plan/report inherited copy-on-write);
+// the TCP transport ships the whole job — program sources included — to
+// whoever connects, and self-spawns loopback joiners when no remote
+// daemon is configured.
+std::unique_ptr<Transport> MakeTransport(const IrModule& module, const InstrumentationPlan& plan,
+                                         const BugReport& report, const ReplayConfig& shard_cfg,
+                                         const ReplayConfig& config) {
+  if (config.transport == ReplayTransport::kTcp) {
+    WireJob job;
+    job.config = shard_cfg;
+    job.plan = plan;
+    job.report = report;
+    WireWriter w;
+    EncodeJob(job, &w);
+    return std::make_unique<TcpTransport>(
+        config.tcp_listen, config.shard_endpoints, w.Take(),
+        [](const std::string& endpoint) {
+          const int fd = TcpConnect(endpoint);
+          return fd >= 0 && ServeShardJob(fd, "loopback-selfspawn");
+        });
+  }
+  return std::make_unique<LocalForkTransport>([&module, &plan, &report, shard_cfg](
+                                                  u32 slot, int fd) {
+    return RunShard(module, plan, report, shard_cfg, slot, fd);
+  });
+}
+
 }  // namespace
 
 ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationPlan& plan,
-                                  const BugReport& report, const ReplayConfig& config) {
+                                  const BugReport& report, const ReplayConfig& user_config) {
+  // TCP shards rebuild the module from shipped sources; without them
+  // every joiner would pass the handshake and then reject the job one
+  // by one, silently collapsing the search to the scout. Fall back to
+  // the fork transport (same semantics, this host only) and say so —
+  // Pipeline::Reproduce fills the sources automatically, this path is
+  // direct ReplayEngine users.
+  ReplayConfig config = user_config;
+  if (config.transport == ReplayTransport::kTcp && config.program.app.empty()) {
+    std::fprintf(stderr,
+                 "[dist] tcp transport requires ReplayConfig::program sources "
+                 "(Pipeline::Reproduce fills them); using fork transport instead\n");
+    config.transport = ReplayTransport::kFork;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   auto elapsed_seconds = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -113,37 +150,16 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
         std::max<i64>(1, config.wall_ms - static_cast<i64>(elapsed_seconds() * 1000.0));
   }
 
-  // ----- 3. Fork the shard fleet. -----
-  std::fflush(stdout);
-  std::fflush(stderr);
+  // ----- 3. Spawn/connect the shard fleet (transport-agnostic). -----
+  std::unique_ptr<Transport> transport = MakeTransport(module, plan, report, shard_cfg, config);
+  std::vector<std::unique_ptr<WireChannel>> channels = transport->Start(num_shards);
   std::vector<ShardProc> procs(num_shards);
-  std::vector<int> parent_fds;
   for (u32 s = 0; s < num_shards; ++s) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    if (channels[s] != nullptr) {
+      procs[s].chan = std::move(channels[s]);
+    } else {
       procs[s].done = true;
-      continue;
     }
-    const pid_t pid = ::fork();
-    if (pid == 0) {
-      // Child: drop every coordinator-side fd, run the shard, and leave
-      // without touching the inherited process state (atexit, stdio).
-      ::close(fds[0]);
-      for (const int parent_fd : parent_fds) {
-        ::close(parent_fd);
-      }
-      const bool ok = RunShard(module, plan, report, shard_cfg, s, fds[1]);
-      ::_exit(ok ? 0 : 1);
-    }
-    ::close(fds[1]);
-    if (pid < 0) {
-      ::close(fds[0]);
-      procs[s].done = true;
-      continue;
-    }
-    parent_fds.push_back(fds[0]);
-    procs[s].pid = pid;
-    procs[s].chan = std::make_unique<WireChannel>(fds[0]);
   }
 
   // A shard that failed to spawn must not silently orphan its frontier
@@ -157,6 +173,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
   }
   if (live.empty()) {
     // The whole fleet failed to spawn: the scout's result is all we have.
+    transport->Reap();
     result.budget_exhausted = !result.reproduced;
     result.wall_seconds = elapsed_seconds();
     return result;
@@ -229,7 +246,8 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     }
   }
 
-  // ----- 4. Relay loop: gossip verdicts, watch for the first crash. -----
+  // ----- 4. Relay loop: gossip verdicts, route re-balance traffic,
+  // watch for the first crash. -----
   bool have_winner = false;
   u32 winner = 0;
   u64 verdicts_gossiped = 0;
@@ -240,6 +258,90 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       }
     }
   };
+
+  // Re-balance routing: a starved shard's kWorkRequest is forwarded to a
+  // donor (round-robin over the other live shards); the donor's
+  // kPendingExport answer routes back to whoever asked it first
+  // (per-donor FIFO — a donor answers requests in arrival order). The
+  // FIFO records the request's sequence number so answers the
+  // coordinator fabricates on a dead donor's behalf still carry the
+  // echo the requester's state machine matches on.
+  struct PendingRequest {
+    u32 requester = 0;
+    u64 seq = 0;
+  };
+  std::vector<std::deque<PendingRequest>> donor_queue(num_shards);
+  u32 donor_rr = 0;
+  auto send_empty_export = [&](const PendingRequest& request) {
+    if (procs[request.requester].done || procs[request.requester].chan == nullptr) {
+      return;
+    }
+    WirePendingExport empty;
+    empty.requester_shard_id = request.requester;
+    empty.seq = request.seq;
+    WireWriter w;
+    EncodePendingExport(empty, &w);
+    // Liveness, not best-effort: the requester's give-up counter waits
+    // on hearing an answer.
+    procs[request.requester].chan->Queue(WireMsg::kPendingExport, w.buf(),
+                                         /*droppable=*/false);
+  };
+  auto route_work_request = [&](u32 requester, const WireFrame& frame) {
+    WireWorkRequest request;
+    WireReader r(frame.payload.data(), frame.payload.size());
+    if (!DecodeWorkRequest(&r, &request)) {
+      return;  // Digest-checked upstream; a malformed request is a peer bug.
+    }
+    const PendingRequest pending{requester, request.seq};
+    for (u32 step = 0; step < num_shards; ++step) {
+      const u32 donor = (donor_rr + step) % num_shards;
+      if (donor == requester || procs[donor].done || procs[donor].chan == nullptr) {
+        continue;
+      }
+      donor_rr = donor + 1;
+      donor_queue[donor].push_back(pending);
+      procs[donor].chan->Queue(WireMsg::kWorkRequest, frame.payload, /*droppable=*/false);
+      return;
+    }
+    send_empty_export(pending);  // Nobody left to donate.
+  };
+  // A shard that finishes (or dies) while peers wait on it as a donor
+  // must not leave them hanging: answer on its behalf.
+  auto flush_donor_queue = [&](u32 donor) {
+    for (const PendingRequest& request : donor_queue[donor]) {
+      send_empty_export(request);
+    }
+    donor_queue[donor].clear();
+  };
+  // Re-homes a batch of real pendings whose addressee is gone: any live
+  // shard's pump imports unsolicited batches. Only when nobody at all
+  // is left does the carve die (the fleet is ending anyway).
+  auto reroute_export = [&](u32 from, const WireFrame& frame) {
+    for (u32 step = 0; step < num_shards; ++step) {
+      const u32 target = (donor_rr + step) % num_shards;
+      if (target == from || procs[target].done || procs[target].chan == nullptr) {
+        continue;
+      }
+      donor_rr = target + 1;
+      procs[target].chan->Queue(WireMsg::kPendingExport, frame.payload, /*droppable=*/false);
+      return;
+    }
+    // No peer left: hand it back to the sender if it still searches
+    // (e.g. a donor whose requester died in a 2-shard fleet).
+    if (!procs[from].done && procs[from].chan != nullptr) {
+      procs[from].chan->Queue(WireMsg::kPendingExport, frame.payload, /*droppable=*/false);
+    }
+  };
+  // Reads just enough of a kPendingExport payload to tell whether it
+  // carries any pendings (re-routing empty answers would be noise).
+  auto export_carries_work = [](const WireFrame& frame) {
+    WireReader r(frame.payload.data(), frame.payload.size());
+    u32 requester = 0;
+    u64 seq = 0;
+    u32 count = 0;
+    return r.U32(&requester) && r.U64(&seq) && r.U32(&count) && count > 0;
+  };
+
   const i64 kill_after_ms = config.wall_ms > 0 ? config.wall_ms + kKillGraceMs : -1;
   std::vector<struct pollfd> pfds;
   for (;;) {
@@ -277,6 +379,30 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
               procs[peer].chan->Queue(WireMsg::kVerdicts, frame.payload, /*droppable=*/true);
             }
           }
+        } else if (frame.type == WireMsg::kWorkRequest) {
+          route_work_request(s, frame);
+        } else if (frame.type == WireMsg::kPendingExport) {
+          if (!donor_queue[s].empty()) {
+            // Donor answered: forward verbatim to the requester at the
+            // head of this donor's FIFO. A requester that finished
+            // while the answer was in flight — common when a frontier
+            // drains moments before its crash lands — must not take
+            // the carve down with it: re-home real pendings to any
+            // live shard (pumps import unsolicited batches).
+            const PendingRequest request = donor_queue[s].front();
+            donor_queue[s].pop_front();
+            if (!procs[request.requester].done &&
+                procs[request.requester].chan != nullptr) {
+              procs[request.requester].chan->Queue(WireMsg::kPendingExport, frame.payload,
+                                                   /*droppable=*/false);
+            } else if (export_carries_work(frame)) {
+              reroute_export(s, frame);
+            }
+          } else if (export_carries_work(frame)) {
+            // Unsolicited: a finishing shard returned a carve it could
+            // no longer use. Keep the work in the fleet.
+            reroute_export(s, frame);
+          }
         } else if (frame.type == WireMsg::kResult) {
           WireReader r(frame.payload.data(), frame.payload.size());
           if (DecodeShardResult(&r, &proc.res)) {
@@ -293,26 +419,22 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       if (!proc.done && status != WireChannel::RecvStatus::kOk) {
         proc.done = true;  // Shard died or its stream is untrustworthy.
       }
+      if (proc.done) {
+        flush_donor_queue(s);
+      }
     }
     if (!any_open) {
       break;
     }
     if (kill_after_ms > 0 && elapsed_seconds() * 1000.0 > static_cast<double>(kill_after_ms)) {
+      transport->Kill();
       for (ShardProc& proc : procs) {
-        if (!proc.done && proc.pid > 0) {
-          ::kill(proc.pid, SIGKILL);
-          proc.done = true;
-        }
+        proc.done = true;
       }
       break;
     }
   }
-  for (ShardProc& proc : procs) {
-    if (proc.pid > 0) {
-      int wstatus = 0;
-      ::waitpid(proc.pid, &wstatus, 0);
-    }
-  }
+  transport->Reap();
 
   // ----- 5. Shard-aware aggregation. -----
   for (u32 s = 0; s < num_shards; ++s) {
@@ -333,6 +455,9 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       shard_stats.pendings_seeded = proc.res.pendings_seeded;
       shard_stats.verdicts_published = proc.res.verdicts_published;
       shard_stats.verdicts_imported = proc.res.verdicts_imported;
+      shard_stats.pendings_exported = ss.pendings_exported;
+      shard_stats.pendings_imported = ss.pendings_imported;
+      shard_stats.rebalance_rounds = ss.rebalance_rounds;
       shard_stats.wall_seconds = proc.res.result.wall_seconds;
       result.stats.runs += ss.runs;
       result.stats.solver_calls += ss.solver_calls;
@@ -347,6 +472,9 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       result.stats.slice_sat_hits += ss.slice_sat_hits;
       result.stats.slice_unsat_hits += ss.slice_unsat_hits;
       result.stats.slice_evictions += ss.slice_evictions;
+      result.stats.pendings_exported += ss.pendings_exported;
+      result.stats.pendings_imported += ss.pendings_imported;
+      result.stats.rebalance_rounds += ss.rebalance_rounds;
       result.stats.pending_peak = std::max(result.stats.pending_peak, ss.pending_peak);
       result.stats.per_worker.insert(result.stats.per_worker.end(), ss.per_worker.begin(),
                                      ss.per_worker.end());

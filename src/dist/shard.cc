@@ -1,5 +1,6 @@
 #include "src/dist/shard.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -8,16 +9,26 @@
 #include <utility>
 #include <vector>
 
-#include "src/dist/wire.h"
+#include "src/core/pipeline.h"
 #include "src/solver/incremental.h"
 
 namespace retrace {
 namespace {
 
-// Gossip cadence: how long the pump waits on the socket per iteration.
-// Verdict deltas and stop messages are observed with at most this
-// latency, which is noise next to the multi-millisecond runs they steer.
-constexpr int kPumpPollMs = 20;
+// Re-balance tuning. The watermark is per-worker: once fewer than ~2
+// pendings per worker remain, a drained deque is imminent and the shard
+// asks the fleet for work. A request carves at most kRebalanceBatch
+// entries from the donor; after kMaxEmptyResponses consecutive empty (or
+// timed-out) answers the shard stops holding its frontier open and lets
+// normal termination proceed — re-arming if work ever reappears.
+constexpr u32 kRebalanceBatch = 16;
+constexpr int kMaxEmptyResponses = 2;
+
+i64 NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Ships every verdict journaled since the last drain. Returns the number
 // of verdicts published (0 when there was nothing to send).
@@ -52,17 +63,38 @@ u64 MergeVerdicts(const WireFrame& frame, SliceCache* cache) {
   return n;
 }
 
+// Answers a relayed kWorkRequest: carves the deepest frontier entries
+// (or an honest "nothing to spare") back to the coordinator, which
+// routes them to the starved requester.
+void AnswerWorkRequest(const WireFrame& frame, FrontierPort* port, WireChannel* chan) {
+  WireWorkRequest request;
+  WireReader r(frame.payload.data(), frame.payload.size());
+  WirePendingExport batch;
+  if (DecodeWorkRequest(&r, &request)) {
+    // Echo the requester's identity and sequence so the answer can be
+    // matched against (exactly) the request it serves.
+    batch.requester_shard_id = request.shard_id;
+    batch.seq = request.seq;
+    port->Export(std::min(request.want, kRebalanceBatch), &batch.pendings);
+  }
+  // Respond even when empty (or the request was malformed): the
+  // requester's give-up counter depends on hearing an answer.
+  WireWriter w;
+  EncodePendingExport(batch, &w);
+  chan->Send(WireMsg::kPendingExport, w.buf());
+}
+
 }  // namespace
 
-bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
-              const ReplayConfig& config, u32 shard_id, int fd) {
-  WireChannel chan(fd);
-
+bool RunShardOn(WireChannel& chan, const IrModule& module, const InstrumentationPlan& plan,
+                const BugReport& report, const ReplayConfig& config, u32 expected_shard_id,
+                std::vector<WireFrame> preread) {
   // ----- Handshake: hello, seed frontier, start. -----
   // Frames that legitimately follow kStart in the same read batch (a
-  // verdict another shard proved before we finished starting, or an
-  // early stop) are carried over to the search phase, not treated as a
-  // protocol violation.
+  // verdict another shard proved before we finished starting, an early
+  // stop, or re-balance traffic from an already-searching peer) are
+  // carried over to the search phase, not treated as a protocol
+  // violation.
   WireHello hello;
   bool have_hello = false;
   bool started = false;
@@ -71,10 +103,15 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
   std::vector<WireFrame> carried_over;
   std::unordered_map<u64, std::vector<std::shared_ptr<const PortableTrace>>> trace_dedup;
   while (!started) {
-    std::vector<WireFrame> frames;
-    const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
-    if (status != WireChannel::RecvStatus::kOk) {
-      return false;  // Coordinator died or speaks another version.
+    // Frames the caller pre-read (bundled behind kJob) come first; only
+    // then does the channel get polled, preserving stream order.
+    std::vector<WireFrame> frames = std::move(preread);
+    preread.clear();
+    if (frames.empty()) {
+      const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
+      if (status != WireChannel::RecvStatus::kOk) {
+        return false;  // Coordinator died or speaks another version.
+      }
     }
     for (WireFrame& frame : frames) {
       if (started) {
@@ -84,7 +121,8 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
       switch (frame.type) {
         case WireMsg::kHello: {
           WireReader r(frame.payload.data(), frame.payload.size());
-          if (!DecodeHello(&r, &hello) || hello.shard_id != shard_id) {
+          if (!DecodeHello(&r, &hello) ||
+              (expected_shard_id != kAnyShardId && hello.shard_id != expected_shard_id)) {
             return false;
           }
           have_hello = true;
@@ -147,16 +185,30 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
   std::atomic<bool> cancel{false};
   ExprArena arena;
   ReplayEngine engine(module, plan, report, &arena);
+  FrontierPort port;
   ShardContext ctx;
   ctx.seed_frontier = std::move(seed_frontier);
   const u64 pendings_seeded = hello.pending_count;
   ctx.cache = cache.get();
   ctx.cancel = &cancel;
+  ctx.port = &port;
   // Distinct rng streams per shard: worker w of shard s draws from stream
   // s * 1024 + w + 1, so no two workers in the fleet share an initial
   // input — and none repeats the coordinator's scout (stream 0), whose
   // subtree already shipped as the seed frontier.
-  ctx.rng_stream = static_cast<u64>(shard_id) * 1024 + 1;
+  ctx.rng_stream = static_cast<u64>(hello.shard_id) * 1024 + 1;
+
+  // Re-balancing only makes sense with peers to trade with. Arm the
+  // frontier hold *before* the search starts: a shard seeded with
+  // nothing would otherwise drain, declare termination and exit in the
+  // gap before the pump's first watermark check.
+  const bool rebalance = hello.num_shards > 1;
+  const u32 workers = std::max(
+      1u, config.num_workers == 0 ? DefaultReplayWorkers() : config.num_workers);
+  const size_t low_watermark = 2 * static_cast<size_t>(workers);
+  if (rebalance) {
+    port.HoldOpen();
+  }
 
   ReplayResult result;
   std::atomic<bool> done{false};
@@ -165,16 +217,81 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
     done.store(true, std::memory_order_release);
   });
 
+  const int pump_ms = std::clamp(config.gossip_interval_ms, 1, 1000);
+  const i64 response_timeout_ms = std::max<i64>(250, 10 * pump_ms);
+  // Empty answers in the fleet's first moments mean "not ready", not
+  // "nothing to spare": peers may still be handshaking or pre-attach
+  // (their Export sees no frontier yet). Until this grace passes, empty
+  // answers re-request without burning a give-up strike — otherwise a
+  // zero-seeded shard could strike out against donors that were merely
+  // slow to boot and idle away the whole search.
+  const i64 strikes_armed_at_ms = NowMs() + 500;
   u64 verdicts_published = 0;
   u64 verdicts_imported = 0;
+  u64 rebalance_rounds = 0;
+  u64 rebalance_seq = 0;
+  bool request_outstanding = false;
+  i64 request_sent_ms = 0;
+  int empty_responses = 0;
   bool channel_ok = true;
+  // Carves that could not enter the frontier (search already over):
+  // returned to the coordinator before kResult so the work stays in the
+  // fleet instead of dying with this shard.
+  std::vector<PortablePending> orphaned_imports;
+
+  auto handle_frame = [&](const WireFrame& frame) {
+    switch (frame.type) {
+      case WireMsg::kStop:
+        cancel.store(true, std::memory_order_release);
+        break;
+      case WireMsg::kVerdicts:
+        if (cache != nullptr) {
+          verdicts_imported += MergeVerdicts(frame, cache.get());
+        }
+        break;
+      case WireMsg::kWorkRequest:
+        // A starved peer, via the coordinator: we are the donor.
+        AnswerWorkRequest(frame, &port, &chan);
+        break;
+      case WireMsg::kPendingExport: {
+        WireReader r(frame.payload.data(), frame.payload.size());
+        WirePendingExport batch;
+        if (!DecodePendingExport(&r, &batch)) {
+          break;  // Digest-checked upstream; a decode failure is a peer bug.
+        }
+        // Only the echo of the request we are actually waiting on drives
+        // the give-up state machine: a stale answer to a timed-out
+        // request (or a returned carve relayed our way) must not clear
+        // the outstanding flag or count as an empty strike.
+        const bool matches_outstanding = request_outstanding &&
+                                         batch.requester_shard_id == hello.shard_id &&
+                                         batch.seq == rebalance_seq;
+        if (matches_outstanding) {
+          request_outstanding = false;
+          if (!batch.pendings.empty()) {
+            empty_responses = 0;
+          } else if (NowMs() >= strikes_armed_at_ms) {
+            ++empty_responses;
+          }
+        }
+        // Work is imported no matter whose answer it was — dropping
+        // re-balanced pendings is never right. (The handle is copied in:
+        // a failed Import must still own the pending to return it.)
+        for (PortablePending& pending : batch.pendings) {
+          if (!port.Import(PortablePending(pending))) {
+            orphaned_imports.push_back(std::move(pending));
+          }
+        }
+        break;
+      }
+      default:
+        break;  // Unknown relay traffic is a peer bug, not ours to die on.
+    }
+  };
+
   // Frames that arrived bundled with the handshake are served first.
   for (const WireFrame& frame : carried_over) {
-    if (frame.type == WireMsg::kStop) {
-      cancel.store(true, std::memory_order_release);
-    } else if (frame.type == WireMsg::kVerdicts && cache != nullptr) {
-      verdicts_imported += MergeVerdicts(frame, cache.get());
-    }
+    handle_frame(frame);
   }
   carried_over.clear();
   while (!done.load(std::memory_order_acquire)) {
@@ -182,24 +299,55 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
       // Coordinator is gone: searching on is pointless (nobody can hear
       // the answer) — wind down and exit.
       cancel.store(true, std::memory_order_release);
-      std::this_thread::sleep_for(std::chrono::milliseconds(kPumpPollMs));
+      std::this_thread::sleep_for(std::chrono::milliseconds(pump_ms));
       continue;
     }
     std::vector<WireFrame> frames;
-    const WireChannel::RecvStatus status = chan.Poll(kPumpPollMs, &frames);
+    const WireChannel::RecvStatus status = chan.Poll(pump_ms, &frames);
     if (status != WireChannel::RecvStatus::kOk) {
       channel_ok = false;
       continue;
     }
     for (const WireFrame& frame : frames) {
-      if (frame.type == WireMsg::kStop) {
-        cancel.store(true, std::memory_order_release);
-      } else if (frame.type == WireMsg::kVerdicts && cache != nullptr) {
-        verdicts_imported += MergeVerdicts(frame, cache.get());
-      }
+      handle_frame(frame);
     }
     if (cache != nullptr) {
       verdicts_published += PublishVerdicts(cache.get(), &chan);
+    }
+    // ----- Re-balance state machine (requester side). -----
+    if (rebalance && !cancel.load(std::memory_order_acquire)) {
+      const size_t frontier_size = port.size();
+      if (frontier_size >= low_watermark) {
+        empty_responses = 0;  // Work came back (ours or imported): re-arm.
+      }
+      if (request_outstanding && NowMs() - request_sent_ms > response_timeout_ms) {
+        request_outstanding = false;  // Donor died or relay lost: count as empty.
+        if (NowMs() >= strikes_armed_at_ms) {
+          ++empty_responses;
+        }
+      }
+      if (!request_outstanding) {
+        if (empty_responses >= kMaxEmptyResponses) {
+          // The fleet has nothing for us right now. Stop holding the
+          // frontier open so a genuinely finished search can terminate;
+          // the counter re-arms above if work reappears.
+          port.ReleaseHold();
+        } else if (frontier_size < low_watermark) {
+          port.HoldOpen();
+          ++rebalance_seq;
+          WireWriter w;
+          EncodeWorkRequest(
+              WireWorkRequest{hello.shard_id, kRebalanceBatch, frontier_size, rebalance_seq},
+              &w);
+          if (chan.Send(WireMsg::kWorkRequest, w.buf())) {
+            request_outstanding = true;
+            request_sent_ms = NowMs();
+            ++rebalance_rounds;
+          } else {
+            channel_ok = false;
+          }
+        }
+      }
     }
   }
   search.join();
@@ -207,11 +355,38 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
   if (!channel_ok) {
     return false;
   }
+  // Drain frames that raced against the search's end: late work
+  // requests get an (empty — the frontier is gone) answer so peers'
+  // give-up counters stay live, and re-balanced batches that can no
+  // longer enter the frontier join the orphan list.
+  {
+    std::vector<WireFrame> tail;
+    chan.Poll(0, &tail);
+    for (const WireFrame& frame : tail) {
+      if (frame.type == WireMsg::kWorkRequest || frame.type == WireMsg::kPendingExport) {
+        handle_frame(frame);
+      }
+    }
+  }
+  // Return carves this shard could not use to the coordinator, which
+  // re-routes them to a live peer — real pendings a donor removed from
+  // its frontier must not die with us. The echo names us (seq 0), so no
+  // receiver mistakes the batch for its own outstanding answer.
+  if (!orphaned_imports.empty()) {
+    WirePendingExport returned;
+    returned.requester_shard_id = hello.shard_id;
+    returned.seq = 0;
+    returned.pendings = std::move(orphaned_imports);
+    WireWriter w;
+    EncodePendingExport(returned, &w);
+    chan.Send(WireMsg::kPendingExport, w.buf());
+  }
   // Final flush so a verdict proved in the last pump interval still
   // reaches slower shards, then the result.
   if (cache != nullptr) {
     verdicts_published += PublishVerdicts(cache.get(), &chan);
   }
+  result.stats.rebalance_rounds = rebalance_rounds;
   WireShardResult shard_result;
   shard_result.result = std::move(result);
   shard_result.verdicts_published = verdicts_published;
@@ -220,6 +395,62 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
   WireWriter w;
   EncodeShardResult(shard_result, &w);
   return chan.Send(WireMsg::kResult, w.buf());
+}
+
+bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
+              const ReplayConfig& config, u32 shard_id, int fd) {
+  WireChannel chan(fd);
+  return RunShardOn(chan, module, plan, report, config, shard_id);
+}
+
+bool ServeShardJob(int fd, const std::string& ident, u32 worker_override) {
+  WireChannel chan(fd);
+  WireWriter join_writer;
+  EncodeJoin(WireJoin{ident, worker_override}, &join_writer);
+  if (!chan.Send(WireMsg::kJoin, join_writer.buf())) {
+    return false;
+  }
+  // The job frame carries full program sources; give a slow coordinator
+  // (or a big program) a generous-but-bounded window.
+  const i64 deadline = NowMs() + 60'000;
+  std::vector<WireFrame> frames;
+  while (frames.empty()) {
+    const i64 remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      return false;
+    }
+    const WireChannel::RecvStatus status =
+        chan.Poll(static_cast<int>(std::min<i64>(remaining, 200)), &frames);
+    if (status != WireChannel::RecvStatus::kOk) {
+      return false;
+    }
+  }
+  if (frames[0].type != WireMsg::kJob) {
+    return false;
+  }
+  WireJob job;
+  {
+    WireReader r(frames[0].payload.data(), frames[0].payload.size());
+    if (!DecodeJob(&r, &job)) {
+      return false;
+    }
+  }
+  if (job.config.program.app.empty()) {
+    return false;
+  }
+  if (worker_override > 0) {
+    job.config.num_workers = worker_override;
+  }
+  auto built = Pipeline::FromSources(job.config.program.app, job.config.program.libs);
+  if (!built.ok()) {
+    return false;  // Source skew between coordinator and daemon builds.
+  }
+  std::unique_ptr<Pipeline> pipeline = built.take();
+  // Frames bundled behind kJob in the same read batch (the coordinator
+  // pipelines kPending/kHello/kStart immediately) are handed through so
+  // nothing already parsed is lost.
+  return RunShardOn(chan, pipeline->module(), job.plan, job.report, job.config, kAnyShardId,
+                    std::vector<WireFrame>(frames.begin() + 1, frames.end()));
 }
 
 }  // namespace retrace

@@ -1,32 +1,71 @@
 // Shard-process side of the distributed replay scheduler.
 //
-// A shard is forked by the coordinator (src/dist/coordinator.h) and
-// inherits the compiled module, the instrumentation plan and the bug
-// report by copy-on-write memory — only frontier entries, slice verdicts
-// and the final result cross the process boundary, over the wire format
-// of src/dist/wire.h.
+// A shard joins the fleet over either transport (src/dist/transport.h):
+//   - forked by the coordinator over a socketpair, inheriting the
+//     compiled module, the instrumentation plan and the bug report by
+//     copy-on-write memory (RunShard), or
+//   - connected over TCP — possibly from another host — in which case it
+//     first handshakes kJoin/kJob and rebuilds the module from the
+//     program sources the job ships (ServeShardJob; lowering is
+//     deterministic, so branch ids match the coordinator's).
+// Either way, only frontier entries, slice verdicts, re-balanced
+// pendings and the final result cross the process boundary, over the
+// wire format of src/dist/wire.h.
 #ifndef RETRACE_DIST_SHARD_H_
 #define RETRACE_DIST_SHARD_H_
 
+#include <string>
+
+#include "src/dist/wire.h"
 #include "src/replay/replay_engine.h"
 
 namespace retrace {
 
-/// \brief Runs one shard to completion over the coordinator socket `fd`.
+/// Sentinel for RunShardOn: accept whatever shard id the coordinator's
+/// kHello assigns (a TCP joiner does not know its slot in advance; a
+/// forked child does and passes its slot to catch cross-wiring bugs).
+inline constexpr u32 kAnyShardId = 0xffffffffu;
+
+/// \brief Runs one shard to completion over an established channel.
 ///
 /// Protocol, in order: receive kHello (refusing version mismatches at the
 /// framing layer), receive `pending_count` kPending frames, receive
 /// kStart, then search. While searching, a gossip pump on the main thread
-/// ships freshly proved slice verdicts to the coordinator and merges
-/// verdict batches gossiped back from other shards; a kStop frame cancels
-/// the search (first-crash-wins). Ends by sending kResult.
+/// (cadence ReplayConfig::gossip_interval_ms) ships freshly proved slice
+/// verdicts to the coordinator, merges verdict batches gossiped back from
+/// other shards, and — when the fleet has more than one shard — runs the
+/// re-balance protocol: kWorkRequest when the local frontier drains below
+/// its watermark, kPendingExport answers carved from the frontier when a
+/// starved peer asks. A kStop frame cancels the search (first-crash-wins).
+/// Ends by sending kResult.
 ///
-/// Takes ownership of `fd`. Never throws and never writes to stdio — the
-/// caller is a forked child that must _exit() immediately after. Returns
-/// false when the protocol broke down (coordinator vanished, corrupt or
-/// version-skewed frames).
+/// `preread` holds frames the caller already pulled off the channel
+/// (ServeShardJob may read kPending/kHello bytes bundled behind kJob);
+/// they are served before any new poll, preserving stream order.
+///
+/// Never throws. Returns false when the protocol broke down (coordinator
+/// vanished, corrupt or version-skewed frames, wrong shard id).
+bool RunShardOn(WireChannel& chan, const IrModule& module, const InstrumentationPlan& plan,
+                const BugReport& report, const ReplayConfig& config, u32 expected_shard_id,
+                std::vector<WireFrame> preread = {});
+
+/// \brief Fork-transport entry point: wraps `fd` and runs RunShardOn.
+///
+/// Takes ownership of `fd`. Never writes to stdio — the caller is a
+/// forked child that must _exit() immediately after.
 bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
               const ReplayConfig& config, u32 shard_id, int fd);
+
+/// \brief TCP-transport entry point: serves one job on a connected
+/// coordinator socket.
+///
+/// Sends kJoin (tagged `ident`), receives kJob, rebuilds the pipeline
+/// from the shipped program sources, then runs RunShardOn. When
+/// `worker_override` > 0 it replaces the job's num_workers (a remote
+/// host knows its own core count better than the coordinator does).
+/// Takes ownership of `fd`; never writes to stdio (callers log). Used by
+/// tools/retrace_shardd and the TCP transport's loopback self-spawn.
+bool ServeShardJob(int fd, const std::string& ident, u32 worker_override = 0);
 
 }  // namespace retrace
 

@@ -1,0 +1,136 @@
+// Transport seam of the distributed replay scheduler.
+//
+// The coordinator (src/dist/coordinator.cc) speaks the wire protocol of
+// src/dist/wire.h over one WireChannel per shard and does not care how
+// those channels came to exist. A Transport owns exactly that concern:
+//
+//   - LocalForkTransport: fork() + AF_UNIX socketpairs on this host —
+//     the historical (and default) deployment, where shards inherit the
+//     compiled module by copy-on-write and no job frame is ever sent.
+//   - TcpTransport: a TCP listener on the coordinator; shards join by
+//     connecting (tools/retrace_shardd, possibly from another host) and
+//     handshake with kJoin, after which the coordinator ships the full
+//     search job (program sources + plan + report + config) as a kJob
+//     frame. With ReplayConfig::shard_endpoints set the coordinator
+//     dials out to waiting `retrace_shardd --listen` daemons instead;
+//     with neither, it self-spawns local children that connect back over
+//     loopback — the full TCP path without any remote host, which is
+//     what the tests and the CI smoke leg exercise.
+//
+// Everything after Start() — seeding frontiers, verdict gossip, work
+// re-balancing, first-crash-wins — is transport-agnostic.
+#ifndef RETRACE_DIST_TRANSPORT_H_
+#define RETRACE_DIST_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dist/wire.h"
+
+namespace retrace {
+
+/// Resolves "host:port" (IPv4; empty host = 127.0.0.1) and binds a
+/// listening socket. Port 0 binds an ephemeral port. Returns the fd, or
+/// -1 on failure; `bound_endpoint` (optional) receives the actual
+/// "host:port" after binding.
+int TcpListen(const std::string& endpoint, std::string* bound_endpoint);
+
+/// Connects to "host:port" (IPv4 or resolvable name). Returns the
+/// connected fd with TCP_NODELAY set, or -1 on failure.
+int TcpConnect(const std::string& endpoint);
+
+/// \brief How shard processes come to exist and get wired to the
+/// coordinator.
+///
+/// **Thread safety:** none — the coordinator drives a Transport from the
+/// single thread that called ReproduceDistributed. **Lifecycle:** call
+/// Start() once; Kill() at most once after Start(); Reap() exactly once
+/// before destruction when Start() was called.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Establishes one coordinator->shard channel per slot. A null entry
+  /// means that shard failed to spawn/connect — the coordinator re-deals
+  /// its frontier partition over the survivors, so a partial fleet still
+  /// covers the whole search space.
+  virtual std::vector<std::unique_ptr<WireChannel>> Start(u32 num_shards) = 0;
+
+  /// Hard-stops stragglers past the wall-budget grace: SIGKILL for local
+  /// children; remote shards cannot be signalled and instead observe
+  /// their socket closing when the coordinator drops the channel.
+  virtual void Kill() = 0;
+
+  /// Reaps (waitpid) every local child Start() created. No-op for
+  /// purely remote fleets.
+  virtual void Reap() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// \brief fork() + socketpair transport (single host, default).
+class LocalForkTransport : public Transport {
+ public:
+  /// `shard_main` runs inside each forked child with (slot, child_fd)
+  /// and must not return control to the inherited process state — its
+  /// return value becomes the child's _exit status.
+  using ShardMain = std::function<bool(u32 slot, int fd)>;
+
+  explicit LocalForkTransport(ShardMain shard_main) : shard_main_(std::move(shard_main)) {}
+
+  std::vector<std::unique_ptr<WireChannel>> Start(u32 num_shards) override;
+  void Kill() override;
+  void Reap() override;
+  const char* name() const override { return "fork"; }
+
+ private:
+  ShardMain shard_main_;
+  std::vector<int> pids_;  // -1 for slots that failed to spawn.
+};
+
+/// \brief TCP transport: listener on the coordinator, kJoin/kJob
+/// handshake per shard connection.
+class TcpTransport : public Transport {
+ public:
+  /// Runs in a self-spawned child (loopback mode): connect to
+  /// `endpoint` and serve one job. Return value = child exit status.
+  using SelfSpawnMain = std::function<bool(const std::string& endpoint)>;
+
+  /// `job` is the encoded WireJob payload shipped to every shard after
+  /// its kJoin. `endpoints` are dialed out to. With no endpoints and an
+  /// *ephemeral* listen port (":0" — unknowable to remote hosts), the
+  /// transport forks `self_spawn` children that connect back over
+  /// loopback; a fixed listen port instead waits for real inbound
+  /// joiners (`retrace_shardd <host:port>`).
+  TcpTransport(std::string listen_endpoint, std::vector<std::string> endpoints,
+               std::vector<u8> job, SelfSpawnMain self_spawn);
+  ~TcpTransport() override;
+
+  std::vector<std::unique_ptr<WireChannel>> Start(u32 num_shards) override;
+  void Kill() override;
+  void Reap() override;
+  const char* name() const override { return "tcp"; }
+
+  /// Actual "host:port" after binding (ephemeral port resolved); empty
+  /// until Start().
+  const std::string& bound_endpoint() const { return bound_; }
+
+ private:
+  // Completes the shard-side of one connection: waits for kJoin, ships
+  // the job. Returns the ready channel or null on handshake failure.
+  std::unique_ptr<WireChannel> Handshake(int fd, i64 deadline_ms);
+
+  std::string listen_;
+  std::vector<std::string> endpoints_;
+  std::vector<u8> job_;
+  SelfSpawnMain self_spawn_;
+  std::string bound_;
+  int listen_fd_ = -1;
+  std::vector<int> pids_;  // Self-spawned children only.
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_DIST_TRANSPORT_H_

@@ -403,6 +403,25 @@ bool DecodeVerdicts(WireReader* r, WireVerdicts* out) {
 
 namespace {
 
+void EncodeCrashSite(const CrashSite& crash, WireWriter* w) {
+  w->U8(static_cast<u8>(crash.kind));
+  w->I32(crash.func);
+  w->I32(crash.loc.unit);
+  w->I32(crash.loc.line);
+  w->I32(crash.loc.col);
+  w->I64(crash.code);
+}
+
+bool DecodeCrashSite(WireReader* r, CrashSite* out) {
+  u8 kind = 0;
+  if (!r->U8(&kind) || kind > static_cast<u8>(CrashSite::Kind::kStackOverflow)) {
+    return false;
+  }
+  out->kind = static_cast<CrashSite::Kind>(kind);
+  return r->I32(&out->func) && r->I32(&out->loc.unit) && r->I32(&out->loc.line) &&
+         r->I32(&out->loc.col) && r->I64(&out->code);
+}
+
 void EncodeWorkerStats(const ReplayWorkerStats& w, WireWriter* out) {
   out->U64(w.runs);
   out->U64(w.solver_calls);
@@ -441,6 +460,9 @@ void EncodeStats(const ReplayStats& s, WireWriter* out) {
   out->U64(s.slice_sat_hits);
   out->U64(s.slice_unsat_hits);
   out->U64(s.slice_evictions);
+  out->U64(s.pendings_exported);
+  out->U64(s.pendings_imported);
+  out->U64(s.rebalance_rounds);
   out->U32(static_cast<u32>(s.per_worker.size()));
   for (const ReplayWorkerStats& w : s.per_worker) {
     EncodeWorkerStats(w, out);
@@ -453,7 +475,8 @@ bool DecodeStats(WireReader* r, ReplayStats* s) {
         r->U64(&s->crashes_wrong_site) && r->U64(&s->pending_peak) && r->U64(&s->steals) &&
         r->U64(&s->dedup_skips) && r->U64(&s->cancelled_runs) && r->U64(&s->slices_solved) &&
         r->U64(&s->slice_sat_hits) && r->U64(&s->slice_unsat_hits) &&
-        r->U64(&s->slice_evictions))) {
+        r->U64(&s->slice_evictions) && r->U64(&s->pendings_exported) &&
+        r->U64(&s->pendings_imported) && r->U64(&s->rebalance_rounds))) {
     return false;
   }
   u32 worker_count = 0;
@@ -484,12 +507,7 @@ void EncodeShardResult(const WireShardResult& shard, WireWriter* w) {
   for (const i64 cell : result.witness_cells) {
     w->I64(cell);
   }
-  w->U8(static_cast<u8>(result.crash.kind));
-  w->I32(result.crash.func);
-  w->I32(result.crash.loc.unit);
-  w->I32(result.crash.loc.line);
-  w->I32(result.crash.loc.col);
-  w->I64(result.crash.code);
+  EncodeCrashSite(result.crash, w);
   EncodeStats(result.stats, w);
   w->U64(shard.verdicts_published);
   w->U64(shard.verdicts_imported);
@@ -525,14 +543,7 @@ bool DecodeShardResult(WireReader* r, WireShardResult* out) {
       return false;
     }
   }
-  u8 kind = 0;
-  if (!r->U8(&kind) || kind > static_cast<u8>(CrashSite::Kind::kStackOverflow)) {
-    return false;
-  }
-  result.crash.kind = static_cast<CrashSite::Kind>(kind);
-  if (!r->I32(&result.crash.func) || !r->I32(&result.crash.loc.unit) ||
-      !r->I32(&result.crash.loc.line) || !r->I32(&result.crash.loc.col) ||
-      !r->I64(&result.crash.code)) {
+  if (!DecodeCrashSite(r, &result.crash)) {
     return false;
   }
   if (!DecodeStats(r, &result.stats)) {
@@ -540,6 +551,373 @@ bool DecodeShardResult(WireReader* r, WireShardResult* out) {
   }
   return r->U64(&out->verdicts_published) && r->U64(&out->verdicts_imported) &&
          r->U64(&out->pendings_seeded) && r->ok();
+}
+
+void EncodeJoin(const WireJoin& join, WireWriter* w) {
+  w->Str(join.ident);
+  w->U32(join.num_workers);
+}
+
+bool DecodeJoin(WireReader* r, WireJoin* out) {
+  if (!r->Str(&out->ident) || out->ident.size() > 256) {
+    return false;  // An identity tag this long is hostile, not helpful.
+  }
+  if (!r->U32(&out->num_workers) || out->num_workers > 4096) {
+    return false;
+  }
+  return r->ok();
+}
+
+void EncodeWorkRequest(const WireWorkRequest& request, WireWriter* w) {
+  w->U32(request.shard_id);
+  w->U32(request.want);
+  w->U64(request.frontier_size);
+  w->U64(request.seq);
+}
+
+bool DecodeWorkRequest(WireReader* r, WireWorkRequest* out) {
+  if (!r->U32(&out->shard_id) || !r->U32(&out->want) || !r->U64(&out->frontier_size) ||
+      !r->U64(&out->seq)) {
+    return false;
+  }
+  // A zero or absurd ask is a peer bug (or a forged frame): refuse rather
+  // than letting a donor carve its whole frontier into one frame.
+  return out->want >= 1 && out->want <= kMaxWorkRequestWant && r->ok();
+}
+
+void EncodePendingExport(const WirePendingExport& batch, WireWriter* w) {
+  w->U32(batch.requester_shard_id);
+  w->U64(batch.seq);
+  w->U32(static_cast<u32>(batch.pendings.size()));
+  for (const PortablePending& pending : batch.pendings) {
+    EncodePending(pending, w);
+  }
+}
+
+bool DecodePendingExport(WireReader* r, WirePendingExport* out) {
+  u32 count = 0;
+  // Smallest possible pending encoding: empty trace/constraints/seed/
+  // domains = 4+4+8+1+4+4+8 bytes.
+  if (!r->U32(&out->requester_shard_id) || !r->U64(&out->seq) || !r->U32(&count) ||
+      count > kMaxWorkRequestWant || !r->FitsCount(count, 33)) {
+    return false;
+  }
+  out->pendings.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    PortablePending pending;
+    if (!DecodePending(r, &pending)) {
+      return false;
+    }
+    out->pendings.push_back(std::move(pending));
+  }
+  return r->ok();
+}
+
+// ----- Job codec (TCP transport handshake) -----
+
+namespace {
+
+// Ceilings for job payloads accepted from the network by a listening
+// retrace_shardd. Generous for any real program in this repo; a frame
+// near them is hostile or corrupt.
+constexpr u32 kMaxJobStrings = 4096;      // argv entries, streams, files.
+constexpr i64 kMaxJobStreamLen = 1 << 24; // Logical stream length (cells!).
+constexpr u32 kMaxJobBranches = 1 << 24;  // Plan bitset size.
+constexpr u64 kMaxJobLogBits = 1ull << 32;
+
+void EncodeConfig(const ReplayConfig& c, WireWriter* w) {
+  w->U64(c.max_runs);
+  w->I64(c.wall_ms);
+  w->U64(c.total_steps);
+  w->U64(c.max_steps_per_run);
+  w->U64(c.solver.max_steps);
+  w->U64(c.solver.max_enumeration);
+  w->U64(c.seed);
+  w->U8(c.use_syscall_log ? 1 : 0);
+  w->U8(static_cast<u8>(c.pick));
+  w->U32(c.num_workers);
+  w->U8(c.solver_cache ? 1 : 0);
+  w->U64(c.slice_cache_capacity);
+  w->U32(c.solve_batch);
+  w->I32(c.gossip_interval_ms);
+}
+
+bool DecodeConfig(WireReader* r, ReplayConfig* c) {
+  u8 use_log = 0;
+  u8 pick = 0;
+  u8 cache = 0;
+  if (!(r->U64(&c->max_runs) && r->I64(&c->wall_ms) && r->U64(&c->total_steps) &&
+        r->U64(&c->max_steps_per_run) && r->U64(&c->solver.max_steps) &&
+        r->U64(&c->solver.max_enumeration) && r->U64(&c->seed) && r->U8(&use_log) &&
+        r->U8(&pick) && r->U32(&c->num_workers) && r->U8(&cache) &&
+        r->U64(&c->slice_cache_capacity) && r->U32(&c->solve_batch) &&
+        r->I32(&c->gossip_interval_ms))) {
+    return false;
+  }
+  if (pick > static_cast<u8>(ReplayConfig::Pick::kLogBits) || c->num_workers > 4096 ||
+      c->solve_batch > 65536) {
+    return false;
+  }
+  c->use_syscall_log = use_log != 0;
+  c->pick = static_cast<ReplayConfig::Pick>(pick);
+  c->solver_cache = cache != 0;
+  // A shipped job always runs one in-process shard search on the remote
+  // side; transport fields never nest.
+  c->num_shards = 1;
+  c->transport = ReplayTransport::kFork;
+  c->shard_endpoints.clear();
+  c->program = ReplayProgramSources{};
+  return true;
+}
+
+void EncodePlan(const InstrumentationPlan& plan, WireWriter* w) {
+  w->U8(static_cast<u8>(plan.method));
+  const u32 size = static_cast<u32>(plan.branches.size());
+  w->U32(size);
+  for (u32 byte = 0; byte * 8 < size; ++byte) {
+    u8 packed = 0;
+    for (u32 bit = 0; bit < 8 && byte * 8 + bit < size; ++bit) {
+      packed |= static_cast<u8>(plan.branches.Test(byte * 8 + bit) ? 1u << bit : 0u);
+    }
+    w->U8(packed);
+  }
+}
+
+bool DecodePlan(WireReader* r, InstrumentationPlan* out) {
+  u8 method = 0;
+  u32 size = 0;
+  if (!r->U8(&method) || method > static_cast<u8>(InstrumentMethod::kAllBranches) ||
+      !r->U32(&size) || size > kMaxJobBranches || !r->FitsCount((size + 7) / 8, 1)) {
+    return false;
+  }
+  out->method = static_cast<InstrumentMethod>(method);
+  out->branches = DenseBitset(size);
+  for (u32 byte = 0; byte * 8 < size; ++byte) {
+    u8 packed = 0;
+    if (!r->U8(&packed)) {
+      return false;
+    }
+    for (u32 bit = 0; bit < 8 && byte * 8 + bit < size; ++bit) {
+      if ((packed >> bit) & 1u) {
+        out->branches.Set(byte * 8 + bit);
+      }
+    }
+  }
+  return true;
+}
+
+void EncodeInputShape(const InputSpec& spec, WireWriter* w) {
+  w->U32(static_cast<u32>(spec.argv.size()));
+  for (const std::string& arg : spec.argv) {
+    w->Str(arg);
+  }
+  w->U32(static_cast<u32>(spec.argv_public.size()));
+  for (const bool is_public : spec.argv_public) {
+    w->U8(is_public ? 1 : 0);
+  }
+  const WorldShape& world = spec.world;
+  w->U32(static_cast<u32>(world.streams.size()));
+  for (const StreamShape& stream : world.streams) {
+    w->Str(stream.name);
+    w->U32(static_cast<u32>(stream.bytes.size()));
+    for (const u8 byte : stream.bytes) {
+      w->U8(byte);
+    }
+    w->I64(stream.length);
+    w->I64(stream.chunk);
+  }
+  w->U32(static_cast<u32>(world.files.size()));
+  for (const auto& [path, stream] : world.files) {
+    w->Str(path);
+    w->I32(stream);
+  }
+  w->I32(world.stdin_stream);
+  w->U32(static_cast<u32>(world.connection_streams.size()));
+  for (const i32 stream : world.connection_streams) {
+    w->I32(stream);
+  }
+  w->I32(world.max_concurrent_conns);
+  w->I32(world.listen_fd);
+}
+
+bool DecodeInputShape(WireReader* r, InputSpec* out) {
+  u32 argc = 0;
+  if (!r->U32(&argc) || argc > kMaxJobStrings || !r->FitsCount(argc, 4)) {
+    return false;
+  }
+  out->argv.resize(argc);
+  for (u32 i = 0; i < argc; ++i) {
+    if (!r->Str(&out->argv[i])) {
+      return false;
+    }
+  }
+  u32 public_count = 0;
+  if (!r->U32(&public_count) || public_count > kMaxJobStrings ||
+      !r->FitsCount(public_count, 1)) {
+    return false;
+  }
+  out->argv_public.resize(public_count);
+  for (u32 i = 0; i < public_count; ++i) {
+    u8 is_public = 0;
+    if (!r->U8(&is_public)) {
+      return false;
+    }
+    out->argv_public[i] = is_public != 0;
+  }
+  WorldShape& world = out->world;
+  u32 stream_count = 0;
+  if (!r->U32(&stream_count) || stream_count > kMaxJobStrings ||
+      !r->FitsCount(stream_count, 4 + 4 + 8 + 8)) {
+    return false;
+  }
+  world.streams.resize(stream_count);
+  i64 total_stream_cells = 0;
+  for (StreamShape& stream : world.streams) {
+    u32 byte_count = 0;
+    if (!r->Str(&stream.name) || !r->U32(&byte_count) || !r->FitsCount(byte_count, 1)) {
+      return false;
+    }
+    stream.bytes.resize(byte_count);
+    for (u32 i = 0; i < byte_count; ++i) {
+      if (!r->U8(&stream.bytes[i])) {
+        return false;
+      }
+    }
+    // Logical lengths size the input-cell layout in the consuming shard:
+    // a forged multi-GB length — per stream or summed across 4096 tiny
+    // stream records — would be a memory bomb.
+    if (!r->I64(&stream.length) || stream.length < 0 || stream.length > kMaxJobStreamLen ||
+        !r->I64(&stream.chunk) || stream.chunk < -1) {
+      return false;
+    }
+    total_stream_cells += stream.length;
+    if (total_stream_cells > kMaxJobStreamLen) {
+      return false;
+    }
+  }
+  const auto stream_index_ok = [stream_count](i32 index) {
+    return index >= -1 && (index < 0 || static_cast<u32>(index) < stream_count);
+  };
+  u32 file_count = 0;
+  if (!r->U32(&file_count) || file_count > kMaxJobStrings || !r->FitsCount(file_count, 4 + 4)) {
+    return false;
+  }
+  world.files.resize(file_count);
+  for (auto& [path, stream] : world.files) {
+    if (!r->Str(&path) || !r->I32(&stream) || !stream_index_ok(stream)) {
+      return false;
+    }
+  }
+  if (!r->I32(&world.stdin_stream) || !stream_index_ok(world.stdin_stream)) {
+    return false;
+  }
+  u32 conn_count = 0;
+  if (!r->U32(&conn_count) || conn_count > kMaxJobStrings || !r->FitsCount(conn_count, 4)) {
+    return false;
+  }
+  world.connection_streams.resize(conn_count);
+  for (i32& stream : world.connection_streams) {
+    if (!r->I32(&stream) || !stream_index_ok(stream)) {
+      return false;
+    }
+  }
+  if (!r->I32(&world.max_concurrent_conns) || world.max_concurrent_conns < 0 ||
+      world.max_concurrent_conns > 4096) {
+    return false;
+  }
+  return r->I32(&world.listen_fd) && world.listen_fd >= -1;
+}
+
+void EncodeReport(const BugReport& report, WireWriter* w) {
+  w->U8(static_cast<u8>(report.method));
+  w->U64(report.branch_log.size());
+  const std::vector<u8> log_bytes = report.branch_log.Serialize();
+  w->U32(static_cast<u32>(log_bytes.size()));
+  for (const u8 byte : log_bytes) {
+    w->U8(byte);
+  }
+  w->U8(report.has_syscall_log ? 1 : 0);
+  w->U32(static_cast<u32>(report.syscall_log.size()));
+  for (const SyscallRecord& record : report.syscall_log) {
+    w->U8(static_cast<u8>(record.kind));
+    w->I64(record.value);
+  }
+  EncodeCrashSite(report.crash, w);
+  EncodeInputShape(report.shape, w);
+}
+
+bool DecodeReport(WireReader* r, BugReport* out) {
+  u8 method = 0;
+  if (!r->U8(&method) || method > static_cast<u8>(InstrumentMethod::kAllBranches)) {
+    return false;
+  }
+  out->method = static_cast<InstrumentMethod>(method);
+  u64 bit_count = 0;
+  u32 byte_count = 0;
+  if (!r->U64(&bit_count) || bit_count > kMaxJobLogBits || !r->U32(&byte_count) ||
+      byte_count != (bit_count + 7) / 8 || !r->FitsCount(byte_count, 1)) {
+    return false;
+  }
+  std::vector<u8> log_bytes(byte_count);
+  for (u32 i = 0; i < byte_count; ++i) {
+    if (!r->U8(&log_bytes[i])) {
+      return false;
+    }
+  }
+  out->branch_log = BitVec::Deserialize(log_bytes, static_cast<size_t>(bit_count));
+  u8 has_log = 0;
+  u32 record_count = 0;
+  if (!r->U8(&has_log) || !r->U32(&record_count) || !r->FitsCount(record_count, 1 + 8)) {
+    return false;
+  }
+  out->has_syscall_log = has_log != 0;
+  out->syscall_log.resize(record_count);
+  for (SyscallRecord& record : out->syscall_log) {
+    u8 kind = 0;
+    if (!r->U8(&kind) || kind >= static_cast<u8>(kNumBuiltins) || !r->I64(&record.value)) {
+      return false;
+    }
+    record.kind = static_cast<Builtin>(kind);
+  }
+  return DecodeCrashSite(r, &out->crash) && DecodeInputShape(r, &out->shape);
+}
+
+}  // namespace
+
+void EncodeJob(const WireJob& job, WireWriter* w) {
+  EncodeConfig(job.config, w);
+  w->Str(job.config.program.app);
+  w->U32(static_cast<u32>(job.config.program.libs.size()));
+  for (const std::string& lib : job.config.program.libs) {
+    w->Str(lib);
+  }
+  EncodePlan(job.plan, w);
+  EncodeReport(job.report, w);
+}
+
+bool DecodeJob(WireReader* r, WireJob* out) {
+  // DecodeConfig resets program/transport fields; the sources decoded
+  // next are re-attached so the consumer sees one coherent config.
+  if (!DecodeConfig(r, &out->config)) {
+    return false;
+  }
+  if (!r->Str(&out->config.program.app)) {
+    return false;
+  }
+  u32 lib_count = 0;
+  if (!r->U32(&lib_count) || lib_count > kMaxJobStrings || !r->FitsCount(lib_count, 4)) {
+    return false;
+  }
+  out->config.program.libs.resize(lib_count);
+  for (u32 i = 0; i < lib_count; ++i) {
+    if (!r->Str(&out->config.program.libs[i])) {
+      return false;
+    }
+  }
+  if (!DecodePlan(r, &out->plan)) {
+    return false;
+  }
+  return DecodeReport(r, &out->report) && r->ok();
 }
 
 // ----- Transport -----

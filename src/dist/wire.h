@@ -30,16 +30,24 @@
 namespace retrace {
 
 inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
-inline constexpr u16 kWireVersion = 1;
+// v2: kJoin/kJob handshake (TCP transport), kWorkRequest/kPendingExport
+// (frontier re-balancing), re-balance counters in the stats codec.
+inline constexpr u16 kWireVersion = 2;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {
-  kHello = 1,     // Coordinator -> shard: shard id + fleet shape.
-  kPending = 2,   // Coordinator -> shard: one seed-frontier entry.
-  kStart = 3,     // Coordinator -> shard: frontier complete, begin search.
+  kHello = 1,    // Coordinator -> shard: shard id + fleet shape.
+  kPending = 2,  // Coordinator -> shard: one seed-frontier entry.
+  kStart = 3,    // Coordinator -> shard: frontier complete, begin search.
   kVerdicts = 4,  // Both ways: batch of slice-cache SAT/UNSAT verdicts.
   kStop = 5,      // Coordinator -> shard: first-crash-wins cancellation.
   kResult = 6,    // Shard -> coordinator: final result + stats.
+  // ----- TCP transport handshake (never seen on fork socketpairs) -----
+  kJoin = 7,  // Shard -> coordinator: first frame after connect.
+  kJob = 8,   // Coordinator -> shard: program sources + plan + report + config.
+  // ----- Frontier re-balancing -----
+  kWorkRequest = 9,     // Starved shard -> coordinator -> donor shard.
+  kPendingExport = 10,  // Donor shard -> coordinator -> starved shard.
 };
 
 /// \brief Append-only little-endian payload writer.
@@ -171,6 +179,72 @@ struct WireShardResult {
 
 void EncodeShardResult(const WireShardResult& result, WireWriter* w);
 bool DecodeShardResult(WireReader* r, WireShardResult* out);
+
+/// First frame a TCP shard sends after connecting (either direction of
+/// dialing): identifies the joiner. The framing layer has already
+/// enforced the wire version by the time this decodes. Both fields are
+/// advisory/diagnostic: the daemon applies its own --workers override
+/// locally after kJob decodes — the coordinator validates but does not
+/// act on this echo.
+struct WireJoin {
+  std::string ident;       // Free-form "host/pid" tag for diagnostics.
+  u32 num_workers = 0;     // Worker threads the daemon will use (0 = job's).
+};
+
+void EncodeJoin(const WireJoin& join, WireWriter* w);
+bool DecodeJoin(WireReader* r, WireJoin* out);
+
+/// Everything a remote host needs to run one shard search: the program
+/// sources (lowering is deterministic, so a rebuilt module has the same
+/// branch ids as the coordinator's), the instrumentation plan, the bug
+/// report, and the search-relevant ReplayConfig subset. Decode validates
+/// aggressively — counts against the payload, enum ranges, stream/file
+/// indices, log-length consistency — because a listening retrace_shardd
+/// accepts this frame from the network.
+struct WireJob {
+  ReplayConfig config;  // Transport fields reset to in-process defaults.
+  InstrumentationPlan plan;
+  BugReport report;
+};
+
+void EncodeJob(const WireJob& job, WireWriter* w);
+bool DecodeJob(WireReader* r, WireJob* out);
+
+/// Re-balance request from a shard whose frontier drained below its
+/// watermark. The coordinator relays it to a donor shard verbatim (the
+/// requester field routes the eventual export back).
+struct WireWorkRequest {
+  u32 shard_id = 0;        // Requester (diagnostics; routing is per-channel).
+  u32 want = 1;            // Max pendings the requester asks for.
+  u64 frontier_size = 0;   // Requester's resident frontier at send time.
+  u64 seq = 0;             // Requester-local sequence, echoed by the donor.
+};
+
+/// Ceiling on WireWorkRequest::want — a hostile or corrupt request must
+/// not make a donor carve up its whole frontier in one frame.
+inline constexpr u32 kMaxWorkRequestWant = 4096;
+
+void EncodeWorkRequest(const WireWorkRequest& request, WireWriter* w);
+bool DecodeWorkRequest(WireReader* r, WireWorkRequest* out);
+
+/// Batch of frontier entries carved from a donor. Reuses the pending
+/// codec entry by entry; an empty batch is a valid "nothing to spare"
+/// answer (the requester needs it to re-arm or give up).
+///
+/// `requester_shard_id`/`seq` echo the WireWorkRequest being answered,
+/// so a receiver can tell "the answer to MY outstanding request" from a
+/// stale answer to a timed-out one or an unsolicited batch (a carve
+/// returned to the fleet because its requester finished): work is
+/// always imported, but only a matching echo advances the requester's
+/// give-up state machine.
+struct WirePendingExport {
+  u32 requester_shard_id = 0;
+  u64 seq = 0;
+  std::vector<PortablePending> pendings;
+};
+
+void EncodePendingExport(const WirePendingExport& batch, WireWriter* w);
+bool DecodePendingExport(WireReader* r, WirePendingExport* out);
 
 // ----- Transport -----
 

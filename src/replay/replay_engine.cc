@@ -130,6 +130,99 @@ u32 DefaultReplayWorkers() {
   return std::clamp(std::thread::hardware_concurrency(), 1u, 16u);
 }
 
+// ----- FrontierPort: the re-balance window into a live frontier -----
+//
+// Lock order: port mutex, then (inside WorkStealingQueue calls) the
+// queue mutex — never the reverse, so Attach/Detach cannot deadlock
+// against a pump mid-Import/Export.
+
+void FrontierPort::Attach(WorkStealingQueue<PortablePending>* frontier, u32 num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frontier_ = frontier;
+  num_workers_ = std::max(1u, num_workers);
+  ever_attached_ = true;
+  // A hold acquired before the search started (the pump arms re-balancing
+  // ahead of the first worker run) transfers onto the live queue.
+  if (held_) {
+    frontier_->AddProducer();
+  }
+  // Imports that raced ahead of the frontier's existence land now.
+  for (PortablePending& pending : pre_attach_imports_) {
+    const u64 priority = pending.priority;
+    frontier_->Push(import_cursor_++ % num_workers_, std::move(pending), priority);
+  }
+  pre_attach_imports_.clear();
+}
+
+void FrontierPort::Detach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frontier_ != nullptr && held_) {
+    frontier_->Retire();
+    held_ = false;
+  }
+  frontier_ = nullptr;
+}
+
+bool FrontierPort::Import(PortablePending pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frontier_ == nullptr) {
+    if (ever_attached_) {
+      return false;  // Search over: too late for this pending.
+    }
+    pre_attach_imports_.push_back(std::move(pending));
+    imported_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // A closed frontier will never be popped again (termination or run
+  // cap): refusing lets the pump return the pending to the fleet
+  // instead of burying it in a queue that is about to be destroyed.
+  const u64 priority = pending.priority;
+  if (!frontier_->PushIfOpen(import_cursor_ % num_workers_, std::move(pending), priority)) {
+    return false;
+  }
+  ++import_cursor_;
+  imported_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t FrontierPort::Export(size_t max_items, std::vector<PortablePending>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frontier_ == nullptr) {
+    return 0;
+  }
+  // Never starve ourselves to feed a peer: keep ~2 entries per worker.
+  const size_t n = frontier_->ExportDeepest(max_items, 2 * num_workers_, out);
+  exported_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+size_t FrontierPort::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_ == nullptr ? 0 : frontier_->size();
+}
+
+void FrontierPort::HoldOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (held_) {
+    return;
+  }
+  held_ = true;
+  if (frontier_ != nullptr) {
+    frontier_->AddProducer();
+  }
+}
+
+void FrontierPort::ReleaseHold() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!held_) {
+    return;
+  }
+  held_ = false;
+  if (frontier_ != nullptr) {
+    frontier_->Retire();
+  }
+}
+
 ReplayResult ReplayEngine::Reproduce(const ReplayConfig& config) {
   if (config.num_shards > 1) {
     // Multi-process mode: the coordinator forks shard processes, each of
@@ -347,6 +440,11 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       frontier.Push(i % num_workers, std::move(pending), priority);
     }
     shard->seed_frontier.clear();
+    // Publish the frontier to the re-balance port before any worker can
+    // drain it: the gossip pump may import/export from here on.
+    if (shard->port != nullptr) {
+      shard->port->Attach(&frontier, num_workers);
+    }
   }
 
   const SyscallLog* replay_log =
@@ -632,6 +730,12 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   result.stats.per_worker = std::move(worker_stats);
   if (slice_cache != nullptr) {
     result.stats.slice_evictions = slice_cache->evictions();
+  }
+  if (shard != nullptr && shard->port != nullptr) {
+    // Unbind before the frontier dies; the counters survive Detach.
+    shard->port->Detach();
+    result.stats.pendings_imported = shard->port->imported();
+    result.stats.pendings_exported = shard->port->exported();
   }
 
   result.budget_exhausted = !result.reproduced;

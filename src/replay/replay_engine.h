@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,22 @@
 #include "src/support/rng.h"
 
 namespace retrace {
+
+/// How distributed shard processes are connected to the coordinator
+/// (only consulted when ReplayConfig::num_shards > 1).
+enum class ReplayTransport {
+  kFork,  // fork() + socketpairs on this host (the historical default).
+  kTcp,   // TCP sockets: remote hosts join via tools/retrace_shardd.
+};
+
+/// Program sources a TCP shard needs to rebuild the module on a remote
+/// host (lowering is deterministic, so branch ids match the
+/// coordinator's). Filled automatically by Pipeline::Reproduce; required
+/// whenever transport == kTcp.
+struct ReplayProgramSources {
+  std::string app;
+  std::vector<std::string> libs;
+};
 
 struct ReplayConfig {
   u64 max_runs = 20'000;
@@ -87,6 +104,33 @@ struct ReplayConfig {
   // the caches back to back while the worker holds its own deque's items
   // anyway; extras beyond the first never come from stealing.
   u32 solve_batch = 8;
+  // ----- Distributed mode only (ignored when num_shards <= 1) -----
+  // Shard transport. kFork (default) forks children over socketpairs —
+  // bit-identical to the pre-transport coordinator. kTcp makes the
+  // coordinator listen on `tcp_listen` and accept shard connections:
+  // remote hosts join the fleet by running `retrace_shardd <host:port>`
+  // against a *fixed* listen port; with `shard_endpoints` set the
+  // coordinator instead dials out to daemons waiting in `retrace_shardd
+  // --listen` mode; with neither — and the default ephemeral listen
+  // port ":0", which no remote host could target — the coordinator
+  // self-spawns local children that connect over loopback (the full TCP
+  // path on one machine, used by tests/CI).
+  ReplayTransport transport = ReplayTransport::kFork;
+  // Coordinator listen address for kTcp, "host:port"; port 0 binds an
+  // ephemeral port (loopback self-spawn and tests).
+  std::string tcp_listen = "127.0.0.1:0";
+  // kTcp dial-out targets: "host:port" per waiting `retrace_shardd
+  // --listen` daemon. Fewer endpoints than shards leaves the remaining
+  // slots to inbound connections on `tcp_listen`.
+  std::vector<std::string> shard_endpoints;
+  // Shard gossip pump cadence in milliseconds: how long the pump waits on
+  // the coordinator socket per iteration, which bounds the latency of
+  // verdict gossip, stop delivery and re-balance traffic. Clamped to
+  // [1, 1000].
+  int gossip_interval_ms = 20;
+  // Program sources for kTcp (see ReplayProgramSources). Ignored by
+  // kFork, which inherits the module by copy-on-write.
+  ReplayProgramSources program;
 };
 
 /// Counters for one worker of the parallel scheduler. The aggregate
@@ -119,6 +163,9 @@ struct ReplayShardStats {
   u64 pendings_seeded = 0;       // Frontier entries shipped at start.
   u64 verdicts_published = 0;    // Slice verdicts this shard gossiped out.
   u64 verdicts_imported = 0;     // Verdicts merged in from other shards.
+  u64 pendings_exported = 0;     // Frontier entries carved off for starved peers.
+  u64 pendings_imported = 0;     // Re-balanced entries merged into this frontier.
+  u64 rebalance_rounds = 0;      // kWorkRequest cycles this shard initiated.
   u64 wire_bytes_tx = 0;         // Coordinator -> shard bytes.
   u64 wire_bytes_rx = 0;         // Shard -> coordinator bytes.
   double wall_seconds = 0.0;
@@ -154,6 +201,12 @@ struct ReplayStats {
   u64 wire_bytes_tx = 0;      // Total bytes coordinator -> shards.
   u64 wire_bytes_rx = 0;      // Total bytes shards -> coordinator.
   u64 verdicts_gossiped = 0;  // Slice verdicts relayed between shards.
+  // Frontier re-balancing (summed over shards when distributed): entries
+  // exported to / imported from peers via kWorkRequest/kPendingExport,
+  // and how many request cycles ran.
+  u64 pendings_exported = 0;
+  u64 pendings_imported = 0;
+  u64 rebalance_rounds = 0;
   // One entry per worker (a single entry mirroring the totals when the
   // sequential engine ran). In-process: sum of any counter over
   // per_worker equals the aggregate above. Distributed: aggregates are
@@ -196,6 +249,70 @@ struct PortablePending {
   u64 priority = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
 };
 
+template <typename T>
+class WorkStealingQueue;
+
+/// \brief Thread-safe window into a running shard search's frontier —
+/// the export hook behind distributed work re-balancing.
+///
+/// The shard main loop (src/dist/shard.cc) owns a FrontierPort and hands
+/// it to ReproduceShard via ShardContext::port; the engine attaches its
+/// live frontier on entry and detaches before tearing it down. The
+/// shard's gossip pump concurrently uses the port to:
+///   - Import() pendings re-balanced from loaded peers,
+///   - Export() the deepest local entries for starved peers,
+///   - HoldOpen()/ReleaseHold() keep a drained frontier from declaring
+///     termination while a re-balance request is in flight.
+///
+/// **Thread safety:** every method is safe from any thread; an internal
+/// mutex serializes against Attach/Detach, so calls after Detach are
+/// harmless no-ops. **Ownership:** borrows the queue between Attach and
+/// Detach; counters survive Detach so the engine can fold them into
+/// ReplayStats.
+class FrontierPort {
+ public:
+  /// Binds the port to a live frontier. Engine-side only.
+  void Attach(WorkStealingQueue<PortablePending>* frontier, u32 num_workers);
+  /// Unbinds (releasing any outstanding hold). Engine-side only; must be
+  /// called before the frontier is destroyed.
+  void Detach();
+
+  /// Pushes one re-balanced pending into the frontier (worker deques
+  /// round-robin). Imports that race ahead of Attach are buffered and
+  /// flushed when the frontier appears, so an answer to the pump's first
+  /// request can never be lost to startup timing. False only after
+  /// Detach (search over) — then the pending is dropped, which costs the
+  /// fleet nothing but a re-prove.
+  bool Import(PortablePending pending);
+  /// Carves up to `max_items` of the deepest entries for a starved peer,
+  /// keeping at least ~2 per worker locally. Returns the count (0 when
+  /// detached or the frontier has nothing to spare).
+  size_t Export(size_t max_items, std::vector<PortablePending>* out);
+  /// Resident frontier size (0 when detached).
+  size_t size() const;
+
+  /// Registers/releases an external-producer hold on the frontier: while
+  /// held, a drained frontier with every worker blocked waits instead of
+  /// terminating — an imported pending may still arrive. Idempotent;
+  /// Detach releases an outstanding hold.
+  void HoldOpen();
+  void ReleaseHold();
+
+  u64 imported() const { return imported_; }
+  u64 exported() const { return exported_; }
+
+ private:
+  mutable std::mutex mu_;
+  WorkStealingQueue<PortablePending>* frontier_ = nullptr;
+  u32 num_workers_ = 1;
+  size_t import_cursor_ = 0;
+  bool held_ = false;
+  bool ever_attached_ = false;
+  std::vector<PortablePending> pre_attach_imports_;
+  std::atomic<u64> imported_{0};
+  std::atomic<u64> exported_{0};
+};
+
 /// External state injected into one distributed shard's in-process
 /// search. All pointers are borrowed; the caller (the shard main loop in
 /// src/dist/shard.cc) must keep them alive until ReproduceShard returns.
@@ -214,6 +331,11 @@ struct ShardContext {
   /// Offsets every worker's rng stream so shards explore from distinct
   /// initial inputs; 0 keeps the in-process streams.
   u64 rng_stream = 0;
+  /// Frontier re-balance hook: when non-null, ReproduceShard attaches
+  /// its live frontier here so the shard's gossip pump can import/export
+  /// pendings mid-search, and folds the port's counters into
+  /// ReplayStats::{pendings_imported,pendings_exported} on exit.
+  FrontierPort* port = nullptr;
 };
 
 /// \brief The developer-site reproduction engine.

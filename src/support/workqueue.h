@@ -117,6 +117,71 @@ class WorkStealingQueue {
     return true;
   }
 
+  /// Registers an external producer (e.g. the distributed re-balance
+  /// pump, which may inject work into an otherwise drained frontier).
+  /// While registered, termination detection treats it like one more
+  /// active worker, so an empty frontier with every worker blocked does
+  /// NOT end the search — the producer might still Push(). Balance every
+  /// AddProducer() with exactly one Retire(), or the workers block
+  /// forever.
+  void AddProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_;
+  }
+
+  /// Items currently resident across all deques.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<size_t>(total_);
+  }
+
+  /// Push that refuses once the queue is closed (checked under the same
+  /// lock, so there is no close/push race). A closed frontier will never
+  /// be popped again — external producers must learn their item was NOT
+  /// accepted so they can re-home it instead of losing it.
+  bool PushIfOpen(size_t worker, T item, u64 priority = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      queues_[worker].push_back(Entry{std::move(item), priority});
+      ++total_;
+      peak_ = total_ > peak_ ? total_ : peak_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Carves up to `max_items` of the *deepest* entries (deque backs,
+  /// fullest deque first) for export to a starved peer, never draining
+  /// the frontier below `min_keep`. Items leave in the exported order;
+  /// any priority metadata must live inside T (PortablePending carries
+  /// its own `priority`). Returns the number exported. Safe from any
+  /// thread; exporting nothing is not an error.
+  size_t ExportDeepest(size_t max_items, size_t min_keep, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t exported = 0;
+    while (exported < max_items && total_ > min_keep) {
+      size_t victim = queues_.size();
+      size_t victim_size = 0;
+      for (size_t i = 0; i < queues_.size(); ++i) {
+        if (queues_[i].size() > victim_size) {
+          victim = i;
+          victim_size = queues_[i].size();
+        }
+      }
+      if (victim == queues_.size()) {
+        break;
+      }
+      out->push_back(std::move(queues_[victim].back().item));
+      queues_[victim].pop_back();
+      --total_;
+      ++exported;
+    }
+    return exported;
+  }
+
   /// Ends the search: every blocked and future Pop() returns false.
   /// Callable from any thread — first-crash-wins cancellation and the
   /// distributed cancel pump both use it.

@@ -1,11 +1,19 @@
 // End-to-end tests for the distributed (multi-process) replay scheduler:
-// 2-shard reproduction of the miniature crash scenarios, in-process
-// parity for num_shards <= 1, and shard-aware stats aggregation.
+// 2-shard reproduction of the miniature crash scenarios over both
+// transports (fork socketpairs and TCP loopback), in-process parity for
+// num_shards <= 1, shard-aware stats aggregation, and the frontier
+// re-balance protocol (a deliberately starved shard must end with
+// pendings_imported > 0).
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "src/core/pipeline.h"
+#include "src/dist/shard.h"
+#include "src/dist/wire.h"
 #include "tests/testutil.h"
 
 namespace retrace {
@@ -172,6 +180,320 @@ TEST(DistReplayTest, SingleShardConfigStaysInProcess) {
   EXPECT_TRUE(b.stats.per_shard.empty());
   EXPECT_EQ(b.stats.wire_bytes_tx, 0u);
   EXPECT_EQ(b.stats.harvest_runs, 0u);
+}
+
+// ----- TCP loopback transport -----
+//
+// transport = kTcp with no shard_endpoints self-spawns local children
+// that connect back over 127.0.0.1 and handshake kJoin/kJob — including
+// the full program-source ship and module rebuild a remote
+// retrace_shardd would do. Only the host boundary is missing.
+
+TEST(DistReplayTest, TcpTwoShardsReproduceGuardedCrash) {
+  auto pipeline = MustBuild(kGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 2;
+  config.transport = ReplayTransport::kTcp;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  ASSERT_GE(replay.witness_argv.size(), 3u);
+  EXPECT_EQ(replay.witness_argv[1][0], 'k');
+  EXPECT_EQ(replay.witness_argv[1][1], '9');
+  EXPECT_GT(replay.witness_argv[2][0], '5');
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+}
+
+TEST(DistReplayTest, TcpTwoShardsReproduceDeepCrashWithWireStats) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 2;
+  config.transport = ReplayTransport::kTcp;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+  // The job ship (sources + plan + report) makes the TCP handshake far
+  // heavier than the fork transport's: the byte counters must see it.
+  const ReplayStats& s = replay.stats;
+  ASSERT_EQ(s.per_shard.size(), 2u);
+  EXPECT_GT(s.wire_bytes_tx, 0u);
+  EXPECT_GT(s.wire_bytes_rx, 0u);
+  const u64 worker_runs = std::accumulate(
+      s.per_worker.begin(), s.per_worker.end(), u64{0},
+      [](u64 acc, const ReplayWorkerStats& w) { return acc + w.runs; });
+  EXPECT_EQ(s.runs, s.harvest_runs + worker_runs);
+}
+
+TEST(DistReplayTest, TcpTwoShardsReproduceSyscallBug) {
+  constexpr const char* kReadBug = R"(
+    int main() {
+      char buf[64];
+      int n = read(0, buf, 60);
+      if (n == 13) {
+        if (buf[0] == 'Z') { crash(2); }
+      }
+      return 0;
+    }
+  )";
+  auto pipeline = MustBuild(kReadBug);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  InputSpec spec;
+  spec.argv = {"prog"};
+  spec.world.listen_fd = -1;
+  spec.world.stdin_stream = 0;
+  StreamShape stream;
+  stream.name = "stdin";
+  const std::string data = "Zsecretsecret";  // 13 bytes.
+  stream.bytes.assign(data.begin(), data.end());
+  stream.length = 13;
+  spec.world.streams.push_back(stream);
+
+  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 1;  // 2 processes x 1 thread, over TCP loopback.
+  config.transport = ReplayTransport::kTcp;
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+}
+
+// ----- Frontier re-balancing -----
+
+// Drives one shard directly over a socketpair, with the test acting as
+// the coordinator: the shard is seeded with an empty frontier and a
+// 1-step run budget, so every local run aborts without producing
+// pendings — guaranteed starvation. The shard must send kWorkRequest,
+// import the pendings the "coordinator" exports back, and report
+// pendings_imported > 0 in its final stats.
+TEST(DistReplayTest, StarvedShardImportsReBalancedWork) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  // Nothing instrumented: every symbolic branch is a case-1 flip, so one
+  // scouted run yields several pendings to donate (an all-branches log
+  // leaves only forced-direction pendings — a deliberately narrow
+  // frontier).
+  InstrumentationPlan plan;
+  plan.method = InstrumentMethod::kDynamic;
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  // Real pendings to donate: harvest a small frontier the same way the
+  // coordinator's scout does (one run, so nothing is consumed yet).
+  ReplayConfig harvest_cfg;
+  ReplayEngine scout(pipeline->module(), plan, user.report, &pipeline->arena());
+  ReplayEngine::HarvestOutput harvest = scout.HarvestFrontier(harvest_cfg, /*max_runs=*/1,
+                                                              /*target_frontier=*/100);
+  ASSERT_FALSE(harvest.frontier.empty());
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ReplayConfig shard_cfg;
+  shard_cfg.num_workers = 2;
+  shard_cfg.max_steps_per_run = 1;  // Every run aborts: nothing pends.
+  shard_cfg.gossip_interval_ms = 5;
+  bool shard_ok = false;
+  std::thread shard([&] {
+    shard_ok = RunShard(pipeline->module(), plan, user.report, shard_cfg, /*shard_id=*/0,
+                        fds[1]);
+  });
+
+  WireChannel chan(fds[0]);
+  {
+    WireWriter hello;
+    EncodeHello(WireHello{/*shard_id=*/0, /*num_shards=*/2, /*pending_count=*/0}, &hello);
+    ASSERT_TRUE(chan.Send(WireMsg::kHello, hello.buf()));
+    ASSERT_TRUE(chan.Send(WireMsg::kStart, {}));
+  }
+
+  const size_t donated = std::min<size_t>(4, harvest.frontier.size());
+  bool donated_once = false;
+  u64 requests_seen = 0;
+  bool have_result = false;
+  WireShardResult result;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!have_result && std::chrono::steady_clock::now() < deadline) {
+    std::vector<WireFrame> frames;
+    const WireChannel::RecvStatus status = chan.Poll(50, &frames);
+    ASSERT_NE(status, WireChannel::RecvStatus::kCorrupt);
+    ASSERT_NE(status, WireChannel::RecvStatus::kVersionMismatch);
+    for (const WireFrame& frame : frames) {
+      if (frame.type == WireMsg::kWorkRequest) {
+        WireReader r(frame.payload.data(), frame.payload.size());
+        WireWorkRequest request;
+        ASSERT_TRUE(DecodeWorkRequest(&r, &request));
+        EXPECT_EQ(request.shard_id, 0u);
+        ++requests_seen;
+        WirePendingExport batch;
+        batch.requester_shard_id = request.shard_id;
+        batch.seq = request.seq;
+        if (!donated_once) {
+          donated_once = true;
+          for (size_t i = 0; i < donated; ++i) {
+            batch.pendings.push_back(harvest.frontier[i]);
+          }
+        }
+        WireWriter w;
+        EncodePendingExport(batch, &w);
+        ASSERT_TRUE(chan.Send(WireMsg::kPendingExport, w.buf()));
+      } else if (frame.type == WireMsg::kResult) {
+        WireReader r(frame.payload.data(), frame.payload.size());
+        ASSERT_TRUE(DecodeShardResult(&r, &result));
+        have_result = true;
+      }
+      // Verdict gossip is ignored: this coordinator has no peers.
+    }
+    if (status == WireChannel::RecvStatus::kClosed && !have_result) {
+      break;
+    }
+  }
+  shard.join();
+
+  ASSERT_TRUE(have_result) << "shard never reported a result";
+  EXPECT_TRUE(shard_ok);
+  EXPECT_GE(requests_seen, 1u);
+  // The starved shard imported the donated work and counted it.
+  EXPECT_GT(result.result.stats.pendings_imported, 0u);
+  EXPECT_LE(result.result.stats.pendings_imported, donated);
+  EXPECT_GE(result.result.stats.rebalance_rounds, 1u);
+}
+
+// A loaded shard must answer a relayed kWorkRequest by carving off its
+// deepest frontier entries (donor side of the protocol), and the carve
+// shows up in pendings_exported. The busy loop keeps each run long
+// enough that the frontier cannot drain between the request and the
+// pump's answer; the requester retries on empty answers regardless, the
+// way a real starved shard does.
+TEST(DistReplayTest, LoadedShardExportsWorkOnRequest) {
+  // The busy loop makes every run take real wall time, so the frontier
+  // cannot drain between the relayed request and the pump's answer.
+  constexpr const char* kBusyDeepGuardedCrash = R"(
+int main(int argc, char **argv) {
+  if (argc < 3) { return 1; }
+  int i = 0;
+  while (i < 500000) { i = i + 1; }
+  int hits = 0;
+  if (argv[1][0] == 'a') { hits = hits + 1; }
+  if (argv[1][1] == 'b') { hits = hits + 1; }
+  if (argv[1][2] == 'c') { hits = hits + 1; }
+  if (argv[2][0] > 'm') { hits = hits + 1; }
+  if (hits == 4) { crash(7); }
+  return 0;
+}
+)";
+  auto pipeline = MustBuild(kBusyDeepGuardedCrash);
+  InstrumentationPlan plan;  // Nothing instrumented: wide case-1 frontier.
+  plan.method = InstrumentMethod::kDynamic;
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig harvest_cfg;
+  ReplayEngine scout(pipeline->module(), plan, user.report, &pipeline->arena());
+  ReplayEngine::HarvestOutput harvest = scout.HarvestFrontier(harvest_cfg, /*max_runs=*/1,
+                                                              /*target_frontier=*/100);
+  ASSERT_FALSE(harvest.frontier.empty());
+  // Tile the harvest into a deep seed list: plenty resident in the
+  // queue for the donor to carve while its one worker is mid-run.
+  std::vector<PortablePending> seeds;
+  while (seeds.size() < 20) {
+    seeds.push_back(harvest.frontier[seeds.size() % harvest.frontier.size()]);
+  }
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ReplayConfig shard_cfg;
+  shard_cfg.num_workers = 1;
+  shard_cfg.solve_batch = 2;  // Leave most of the frontier in the queue.
+  shard_cfg.max_runs = 4;     // Bound the shard's life; runs are slow.
+  shard_cfg.gossip_interval_ms = 5;
+  bool shard_ok = false;
+  std::thread shard([&] {
+    shard_ok = RunShard(pipeline->module(), plan, user.report, shard_cfg, /*shard_id=*/1,
+                        fds[1]);
+  });
+
+  WireChannel chan(fds[0]);
+  // Seed the shard, then play the starving peer via the coordinator
+  // relay.
+  for (const PortablePending& pending : seeds) {
+    WireWriter w;
+    EncodePending(pending, &w);
+    ASSERT_TRUE(chan.Send(WireMsg::kPending, w.buf()));
+  }
+  {
+    WireWriter hello;
+    EncodeHello(WireHello{/*shard_id=*/1, /*num_shards=*/2, static_cast<u32>(seeds.size())},
+                &hello);
+    ASSERT_TRUE(chan.Send(WireMsg::kHello, hello.buf()));
+    ASSERT_TRUE(chan.Send(WireMsg::kStart, {}));
+  }
+  auto send_request = [&chan] {
+    WireWriter w;
+    EncodeWorkRequest(WireWorkRequest{/*shard_id=*/0, /*want=*/4, /*frontier_size=*/0}, &w);
+    ASSERT_TRUE(chan.Send(WireMsg::kWorkRequest, w.buf()));
+  };
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // Let the search attach.
+  send_request();
+
+  u64 pendings_received = 0;
+  bool have_result = false;
+  WireShardResult result;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!have_result && std::chrono::steady_clock::now() < deadline) {
+    std::vector<WireFrame> frames;
+    const WireChannel::RecvStatus status = chan.Poll(50, &frames);
+    ASSERT_NE(status, WireChannel::RecvStatus::kCorrupt);
+    ASSERT_NE(status, WireChannel::RecvStatus::kVersionMismatch);
+    for (const WireFrame& frame : frames) {
+      if (frame.type == WireMsg::kPendingExport) {
+        WireReader r(frame.payload.data(), frame.payload.size());
+        WirePendingExport batch;
+        ASSERT_TRUE(DecodePendingExport(&r, &batch));
+        pendings_received += batch.pendings.size();
+        if (batch.pendings.empty() && pendings_received == 0) {
+          send_request();  // Donor had nothing to spare yet: ask again.
+        }
+      } else if (frame.type == WireMsg::kWorkRequest) {
+        // The shard itself may starve later and ask back: always answer
+        // (empty, echoing the request), or it waits out its response
+        // timeout before exiting.
+        WireReader r(frame.payload.data(), frame.payload.size());
+        WireWorkRequest request;
+        ASSERT_TRUE(DecodeWorkRequest(&r, &request));
+        WirePendingExport empty;
+        empty.requester_shard_id = request.shard_id;
+        empty.seq = request.seq;
+        WireWriter w;
+        EncodePendingExport(empty, &w);
+        ASSERT_TRUE(chan.Send(WireMsg::kPendingExport, w.buf()));
+      } else if (frame.type == WireMsg::kResult) {
+        WireReader r(frame.payload.data(), frame.payload.size());
+        ASSERT_TRUE(DecodeShardResult(&r, &result));
+        have_result = true;
+      }
+    }
+    if (status == WireChannel::RecvStatus::kClosed && !have_result) {
+      break;
+    }
+  }
+  shard.join();
+
+  ASSERT_TRUE(have_result) << "shard never reported a result";
+  EXPECT_TRUE(shard_ok);
+  EXPECT_GT(pendings_received, 0u);
+  EXPECT_EQ(result.result.stats.pendings_exported, pendings_received);
 }
 
 TEST(DistReplayTest, TwoShardsReproduceSyscallBug) {

@@ -155,6 +155,9 @@ TEST(DistWireTest, ShardResultRoundTrip) {
   worker.runs = 50;
   worker.dedup_skips = 4;
   shard.result.stats.per_worker = {worker, worker};
+  shard.result.stats.pendings_exported = 21;
+  shard.result.stats.pendings_imported = 22;
+  shard.result.stats.rebalance_rounds = 23;
   shard.verdicts_published = 7;
   shard.verdicts_imported = 11;
   shard.pendings_seeded = 3;
@@ -176,6 +179,9 @@ TEST(DistWireTest, ShardResultRoundTrip) {
   ASSERT_EQ(decoded.result.stats.per_worker.size(), 2u);
   EXPECT_EQ(decoded.result.stats.per_worker[1].runs, 50u);
   EXPECT_EQ(decoded.result.stats.per_worker[1].dedup_skips, 4u);
+  EXPECT_EQ(decoded.result.stats.pendings_exported, 21u);
+  EXPECT_EQ(decoded.result.stats.pendings_imported, 22u);
+  EXPECT_EQ(decoded.result.stats.rebalance_rounds, 23u);
   EXPECT_EQ(decoded.verdicts_published, 7u);
   EXPECT_EQ(decoded.verdicts_imported, 11u);
   EXPECT_EQ(decoded.pendings_seeded, 3u);
@@ -323,6 +329,317 @@ TEST(DistWireTest, DecoderRejectsTruncatedPayload) {
     WireReader r(payload.data(), cut);
     PortablePending decoded;
     EXPECT_FALSE(DecodePending(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+// ----- Re-balance messages (kWorkRequest / kPendingExport) -----
+
+TEST(DistWireTest, WorkRequestRoundTripsByteExactly) {
+  const WireWorkRequest original{3, 16, 421, 99};
+  WireWriter w;
+  EncodeWorkRequest(original, &w);
+  const std::vector<u8> payload = w.Take();
+
+  WireReader r(payload.data(), payload.size());
+  WireWorkRequest decoded;
+  ASSERT_TRUE(DecodeWorkRequest(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.shard_id, 3u);
+  EXPECT_EQ(decoded.want, 16u);
+  EXPECT_EQ(decoded.frontier_size, 421u);
+  EXPECT_EQ(decoded.seq, 99u);
+
+  WireWriter w2;
+  EncodeWorkRequest(decoded, &w2);
+  EXPECT_EQ(w2.buf(), payload);
+}
+
+TEST(DistWireTest, WorkRequestRejectsHostileWantAndTruncation) {
+  // A zero ask and an absurd ask are both refused — a donor must never
+  // carve its whole frontier because of one forged frame.
+  for (const u32 want : {0u, kMaxWorkRequestWant + 1, 0xffffffffu}) {
+    WireWriter w;
+    EncodeWorkRequest(WireWorkRequest{0, want, 0}, &w);
+    WireReader r(w.buf().data(), w.buf().size());
+    WireWorkRequest decoded;
+    EXPECT_FALSE(DecodeWorkRequest(&r, &decoded)) << "want " << want;
+  }
+  WireWriter w;
+  EncodeWorkRequest(WireWorkRequest{1, 8, 99}, &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WireWorkRequest decoded;
+    EXPECT_FALSE(DecodeWorkRequest(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireTest, PendingExportRoundTripsByteExactlyAndRandomized) {
+  Rng rng(777);
+  for (int iter = 0; iter < 20; ++iter) {
+    ExprArena arena;
+    WirePendingExport batch;
+    batch.requester_shard_id = static_cast<u32>(rng.Next() % 64);
+    batch.seq = rng.Next();
+    const size_t count = rng.Next() % 5;  // Empty batches are legal answers.
+    for (size_t i = 0; i < count; ++i) {
+      batch.pendings.push_back(MakePending(&arena, rng.Next() % 1000));
+    }
+    WireWriter w;
+    EncodePendingExport(batch, &w);
+    const std::vector<u8> payload = w.Take();
+
+    WireReader r(payload.data(), payload.size());
+    WirePendingExport decoded;
+    ASSERT_TRUE(DecodePendingExport(&r, &decoded)) << "iter " << iter;
+    EXPECT_EQ(r.remaining(), 0u) << "iter " << iter;
+    EXPECT_EQ(decoded.requester_shard_id, batch.requester_shard_id) << "iter " << iter;
+    EXPECT_EQ(decoded.seq, batch.seq) << "iter " << iter;
+    ASSERT_EQ(decoded.pendings.size(), batch.pendings.size()) << "iter " << iter;
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(FingerprintConstraints(*decoded.pendings[i].trace, decoded.pendings[i].len,
+                                       decoded.pendings[i].negate_last),
+                FingerprintConstraints(*batch.pendings[i].trace, batch.pendings[i].len,
+                                       batch.pendings[i].negate_last))
+          << "iter " << iter << " pending " << i;
+    }
+    WireWriter w2;
+    EncodePendingExport(decoded, &w2);
+    EXPECT_EQ(w2.buf(), payload) << "iter " << iter;
+  }
+}
+
+TEST(DistWireTest, PendingExportRejectsTruncationAndAbsurdCounts) {
+  ExprArena arena;
+  WirePendingExport batch;
+  batch.pendings.push_back(MakePending(&arena, 5));
+  batch.pendings.push_back(MakePending(&arena, 6));
+  WireWriter w;
+  EncodePendingExport(batch, &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WirePendingExport decoded;
+    EXPECT_FALSE(DecodePendingExport(&r, &decoded)) << "cut " << cut;
+  }
+
+  WireWriter absurd;
+  absurd.U32(0);           // requester
+  absurd.U64(0);           // seq
+  absurd.U32(0x7fffffff);  // Claims ~2B pendings in a 4-byte tail.
+  WireReader r(absurd.buf().data(), absurd.buf().size());
+  WirePendingExport decoded;
+  EXPECT_FALSE(DecodePendingExport(&r, &decoded));
+
+  // Over the per-frame export cap, even if the payload were big enough.
+  WireWriter capped;
+  capped.U32(0);
+  capped.U64(0);
+  capped.U32(kMaxWorkRequestWant + 1);
+  for (u32 i = 0; i < (kMaxWorkRequestWant + 1) * 33; ++i) {
+    capped.U8(0);
+  }
+  WireReader r2(capped.buf().data(), capped.buf().size());
+  EXPECT_FALSE(DecodePendingExport(&r2, &decoded));
+}
+
+TEST(DistWireTest, ReBalanceFramesAreDigestChecked) {
+  // Same framing rigor as every other message: one flipped payload bit
+  // is rejected before any re-balance decoding runs.
+  WireWriter w;
+  EncodeWorkRequest(WireWorkRequest{2, 8, 17}, &w);
+  std::vector<u8> stream = OneFrame(WireMsg::kWorkRequest, w.buf());
+  stream.back() ^= 0x40;
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kCorrupt);
+}
+
+// ----- TCP handshake messages (kJoin / kJob) -----
+
+TEST(DistWireTest, JoinRoundTripsAndRejectsHostileIdent) {
+  WireJoin join;
+  join.ident = "host-a/4242";
+  join.num_workers = 8;
+  WireWriter w;
+  EncodeJoin(join, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireJoin decoded;
+  ASSERT_TRUE(DecodeJoin(&r, &decoded));
+  EXPECT_EQ(decoded.ident, join.ident);
+  EXPECT_EQ(decoded.num_workers, 8u);
+
+  WireJoin hostile;
+  hostile.ident = std::string(100'000, 'x');
+  WireWriter w2;
+  EncodeJoin(hostile, &w2);
+  WireReader r2(w2.buf().data(), w2.buf().size());
+  EXPECT_FALSE(DecodeJoin(&r2, &decoded));
+}
+
+WireJob MakeJob() {
+  WireJob job;
+  job.config.max_runs = 777;
+  job.config.wall_ms = 1234;
+  job.config.total_steps = 999;
+  job.config.max_steps_per_run = 88;
+  job.config.solver.max_steps = 555;
+  job.config.solver.max_enumeration = 66;
+  job.config.seed = 0xabcdef;
+  job.config.use_syscall_log = true;
+  job.config.pick = ReplayConfig::Pick::kLogBits;
+  job.config.num_workers = 3;
+  job.config.solver_cache = false;
+  job.config.slice_cache_capacity = 99;
+  job.config.solve_batch = 5;
+  job.config.gossip_interval_ms = 7;
+  job.config.program.app = "int main() { return 0; }";
+  job.config.program.libs = {"int helper() { return 1; }"};
+  job.plan.method = InstrumentMethod::kDynamic;
+  job.plan.branches = DenseBitset(10);
+  job.plan.branches.Set(1);
+  job.plan.branches.Set(3);
+  job.plan.branches.Set(9);
+  job.report.method = InstrumentMethod::kDynamic;
+  for (int i = 0; i < 13; ++i) {
+    job.report.branch_log.PushBit((i % 3) == 0);
+  }
+  job.report.has_syscall_log = true;
+  job.report.syscall_log = {{Builtin::kRead, 13}, {Builtin::kPollSignal, 1}};
+  job.report.crash.kind = CrashSite::Kind::kExplicit;
+  job.report.crash.func = 2;
+  job.report.crash.loc = SourceLoc{0, 5, 3};
+  job.report.crash.code = 7;
+  job.report.shape.argv = {"prog", "k9", "7"};
+  job.report.shape.argv_public = {false, true};
+  StreamShape stream;
+  stream.name = "stdin";
+  stream.length = 13;
+  stream.chunk = -1;
+  job.report.shape.world.streams.push_back(stream);
+  job.report.shape.world.files.emplace_back("/tmp/x", 0);
+  job.report.shape.world.stdin_stream = 0;
+  job.report.shape.world.connection_streams = {0};
+  job.report.shape.world.max_concurrent_conns = 2;
+  job.report.shape.world.listen_fd = -1;
+  return job;
+}
+
+std::vector<u8> EncodeJobPayload(const WireJob& job) {
+  WireWriter w;
+  EncodeJob(job, &w);
+  return w.Take();
+}
+
+TEST(DistWireTest, JobRoundTripsByteExactly) {
+  const WireJob job = MakeJob();
+  const std::vector<u8> payload = EncodeJobPayload(job);
+
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  EXPECT_EQ(decoded.config.max_runs, 777u);
+  EXPECT_EQ(decoded.config.wall_ms, 1234);
+  EXPECT_EQ(decoded.config.total_steps, 999u);
+  EXPECT_EQ(decoded.config.max_steps_per_run, 88u);
+  EXPECT_EQ(decoded.config.solver.max_steps, 555u);
+  EXPECT_EQ(decoded.config.solver.max_enumeration, 66u);
+  EXPECT_EQ(decoded.config.seed, 0xabcdefu);
+  EXPECT_TRUE(decoded.config.use_syscall_log);
+  EXPECT_EQ(decoded.config.pick, ReplayConfig::Pick::kLogBits);
+  EXPECT_EQ(decoded.config.num_workers, 3u);
+  EXPECT_FALSE(decoded.config.solver_cache);
+  EXPECT_EQ(decoded.config.slice_cache_capacity, 99u);
+  EXPECT_EQ(decoded.config.solve_batch, 5u);
+  EXPECT_EQ(decoded.config.gossip_interval_ms, 7);
+  // A shipped job never nests transports or shard counts.
+  EXPECT_EQ(decoded.config.num_shards, 1u);
+  EXPECT_EQ(decoded.config.transport, ReplayTransport::kFork);
+  EXPECT_EQ(decoded.config.program.app, job.config.program.app);
+  ASSERT_EQ(decoded.config.program.libs.size(), 1u);
+  EXPECT_EQ(decoded.config.program.libs[0], job.config.program.libs[0]);
+
+  EXPECT_EQ(decoded.plan.method, InstrumentMethod::kDynamic);
+  EXPECT_EQ(decoded.plan.branches, job.plan.branches);
+
+  EXPECT_EQ(decoded.report.method, InstrumentMethod::kDynamic);
+  EXPECT_EQ(decoded.report.branch_log, job.report.branch_log);
+  ASSERT_TRUE(decoded.report.has_syscall_log);
+  ASSERT_EQ(decoded.report.syscall_log.size(), 2u);
+  EXPECT_EQ(decoded.report.syscall_log[0].kind, Builtin::kRead);
+  EXPECT_EQ(decoded.report.syscall_log[0].value, 13);
+  EXPECT_TRUE(decoded.report.crash.SameSite(job.report.crash));
+  EXPECT_EQ(decoded.report.shape.argv, job.report.shape.argv);
+  EXPECT_EQ(decoded.report.shape.argv_public, job.report.shape.argv_public);
+  ASSERT_EQ(decoded.report.shape.world.streams.size(), 1u);
+  EXPECT_EQ(decoded.report.shape.world.streams[0].name, "stdin");
+  EXPECT_EQ(decoded.report.shape.world.streams[0].length, 13);
+  EXPECT_EQ(decoded.report.shape.world.files, job.report.shape.world.files);
+  EXPECT_EQ(decoded.report.shape.world.stdin_stream, 0);
+  EXPECT_EQ(decoded.report.shape.world.connection_streams,
+            job.report.shape.world.connection_streams);
+  EXPECT_EQ(decoded.report.shape.world.max_concurrent_conns, 2);
+  EXPECT_EQ(decoded.report.shape.world.listen_fd, -1);
+
+  EXPECT_EQ(EncodeJobPayload(decoded), payload);
+}
+
+TEST(DistWireTest, JobDecodeRejectsTruncationEverywhere) {
+  // Every strict prefix must fail cleanly — a listening retrace_shardd
+  // feeds this decoder bytes from the network.
+  const std::vector<u8> payload = EncodeJobPayload(MakeJob());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireReader r(payload.data(), cut);
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireTest, JobDecodeRejectsHostilePayloads) {
+  // Forged enum values.
+  {
+    WireJob job = MakeJob();
+    job.config.pick = static_cast<ReplayConfig::Pick>(9);
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  {
+    WireJob job = MakeJob();
+    job.plan.method = static_cast<InstrumentMethod>(11);
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  {
+    WireJob job = MakeJob();
+    job.report.syscall_log[0].kind = static_cast<Builtin>(200);
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  // A forged stream length would size the consuming shard's input-cell
+  // layout: refuse memory bombs.
+  {
+    WireJob job = MakeJob();
+    job.report.shape.world.streams[0].length = i64{1} << 40;
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  // A file table naming a stream that does not exist.
+  {
+    WireJob job = MakeJob();
+    job.report.shape.world.files[0].second = 7;
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
   }
 }
 

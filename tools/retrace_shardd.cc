@@ -1,0 +1,125 @@
+// retrace_shardd: remote shard daemon for the distributed replay
+// scheduler's TCP transport.
+//
+// A replay coordinator running with ReplayConfig::transport = kTcp
+// listens on host:port; this daemon joins its fleet from any machine
+// that can reach it. The coordinator ships the whole job over the wire
+// (program sources + instrumentation plan + bug report + search config,
+// digest-checked and version-gated), the daemon rebuilds the module
+// locally — lowering is deterministic, so branch ids match — runs one
+// shard search, streams verdict gossip and re-balance traffic while it
+// runs, and reports the result.
+//
+// Usage:
+//   retrace_shardd <host:port>             join a coordinator, serve one
+//                                          job, exit (0 = clean).
+//   retrace_shardd --listen <host:port>    wait for coordinators to dial
+//                                          in (ReplayConfig::
+//                                          shard_endpoints); serves jobs
+//                                          until killed.
+// Options:
+//   --workers N   override the job's worker-thread count (0 = job's
+//                 value; a remote host knows its own core count best).
+//   --retry N     connect mode: retry the connection N times, 1s apart
+//                 (a fleet launcher may start daemons before the
+//                 coordinator binds its port).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/dist/shard.h"
+#include "src/dist/transport.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <host:port> [--workers N] [--retry N]\n"
+               "       %s --listen <host:port> [--workers N]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  bool listen_mode = false;
+  unsigned workers = 0;
+  int retries = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--listen") {
+      listen_mode = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      // Clamp to the wire codec's sanity cap; a negative or absurd value
+      // would otherwise be rejected by the coordinator's DecodeJoin with
+      // nothing to tell the operator why.
+      const int parsed = std::atoi(argv[++i]);
+      if (parsed < 0 || parsed > 4096) {
+        std::fprintf(stderr, "retrace_shardd: --workers %d out of range [0, 4096]\n", parsed);
+        return 2;
+      }
+      workers = static_cast<unsigned>(parsed);
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (target.empty()) {
+    return Usage(argv[0]);
+  }
+
+  char host_buf[256] = "shardd";
+  ::gethostname(host_buf, sizeof(host_buf) - 1);
+  const std::string ident = std::string(host_buf) + "/" + std::to_string(::getpid());
+
+  if (listen_mode) {
+    std::string bound;
+    const int listen_fd = retrace::TcpListen(target, &bound);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "retrace_shardd: cannot listen on %s\n", target.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "retrace_shardd: waiting for coordinators on %s\n", bound.c_str());
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        continue;
+      }
+      std::fprintf(stderr, "retrace_shardd: coordinator connected, serving job\n");
+      const bool ok = retrace::ServeShardJob(fd, ident, workers);
+      std::fprintf(stderr, "retrace_shardd: job %s\n", ok ? "done" : "failed");
+    }
+  }
+
+  int fd = -1;
+  for (int attempt = 0; attempt <= retries && fd < 0; ++attempt) {
+    if (attempt > 0) {
+      ::sleep(1);
+    }
+    fd = retrace::TcpConnect(target);
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "retrace_shardd: cannot reach coordinator at %s\n", target.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "retrace_shardd: joined fleet at %s as %s\n", target.c_str(),
+               ident.c_str());
+  const bool ok = retrace::ServeShardJob(fd, ident, workers);
+  std::fprintf(stderr, "retrace_shardd: job %s\n", ok ? "done" : "failed");
+  return ok ? 0 : 1;
+}
