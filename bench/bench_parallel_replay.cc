@@ -22,6 +22,7 @@
 // in seconds. On a single-core host all of the measured speedup is
 // diversification. Wire overhead is reported honestly per table: total
 // bytes shipped both ways and the verdicts gossiped between shards.
+#include <array>
 #include <cinttypes>
 #include <cstdlib>
 #include <iterator>
@@ -70,13 +71,24 @@ int Main() {
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(opaque);
   const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat);
 
-  const i64 cap_ms = 30'000 * static_cast<i64>(BenchScale());
-  std::printf("budget %" PRId64 "s per cell; 'inf' = not reproduced within budget\n",
-              cap_ms / 1000);
+  const i64 cap_ms = BenchCapMs(30'000 * static_cast<i64>(BenchScale()));
+  // The exp-5 offensive knobs: corpus seeds come from the lc dynamic
+  // analysis above — exactly the paper's "leverage the dynamic analysis"
+  // move, now feeding replay instead of the plan alone.
+  const bool corpus_enabled = ReplayCorpusEnabled();
+  const std::vector<std::vector<i64>>& corpus = lc.corpus;
+  std::printf("budget %" PRId64 ".%03" PRId64 "s per cell; 'inf' = not reproduced within "
+              "budget (RETRACE_BENCH_CAP_MS overrides)\n",
+              cap_ms / 1000, cap_ms % 1000);
   std::printf("solver cache: %s (RETRACE_SOLVER_CACHE=0 disables the incremental layer)\n",
               SolverCacheEnabled() ? "on" : "off");
-  std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|portfolio)\n",
+  std::printf("pick heuristic: %s (RETRACE_REPLAY_PICK=dfs|fifo|logbits|direction|portfolio)\n",
               ReplayPickName());
+  std::printf("subsumption pruning: %s (RETRACE_REPLAY_PRUNE=1 enables)\n",
+              ReplayPruneEnabled() ? "on" : "off");
+  std::printf("corpus seeding: %s, %zu dynamic-analysis seeds (RETRACE_REPLAY_CORPUS=1 "
+              "enables)\n",
+              corpus_enabled ? "on" : "off", corpus.size());
   std::printf("shard sweep: RETRACE_REPLAY_SHARDS (comma list, default 1 = in-process)\n");
   std::printf("shard transport: %s (RETRACE_REPLAY_TRANSPORT=fork|tcp; tcp = loopback\n"
               "self-spawn, the same wire path a remote retrace_shardd takes)\n",
@@ -103,6 +115,12 @@ int Main() {
     u64 total_slices_solved = 0;
     u64 total_wire_bytes = 0;
     u64 total_verdicts_gossiped = 0;
+    u64 total_pruned = 0;
+    u64 total_corpus_runs = 0;
+    u64 total_promotions = 0;
+    u64 total_runs = 0;
+    std::array<u64, kNumDisciplines> disc_runs{};
+    std::array<u64, kNumDisciplines> disc_on_log{};
     // Per-shard aggregation over every cell of this table: process-level
     // runs, wire traffic (re-balance frames included — they ride the
     // same channels the byte counters watch) and re-balance activity.
@@ -133,6 +151,9 @@ int Main() {
         config.wall_ms = cap_ms;
         config.num_workers = worker_counts[i];
         config.num_shards = shards;
+        if (corpus_enabled) {
+          config.corpus_seeds = corpus;
+        }
         const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
         // Budget-capped cells charge the full cap, like the paper's inf rows.
         total_seconds[i] +=
@@ -142,6 +163,14 @@ int Main() {
         total_slices_solved += replay.stats.slices_solved;
         total_wire_bytes += replay.stats.wire_bytes_tx + replay.stats.wire_bytes_rx;
         total_verdicts_gossiped += replay.stats.verdicts_gossiped;
+        total_pruned += replay.stats.pendings_pruned;
+        total_corpus_runs += replay.stats.corpus_runs;
+        total_promotions += replay.stats.promotions;
+        total_runs += replay.stats.runs;
+        for (size_t d = 0; d < kNumDisciplines; ++d) {
+          disc_runs[d] += replay.stats.discipline_runs[d];
+          disc_on_log[d] += replay.stats.discipline_on_log[d];
+        }
         for (const ReplayShardStats& sh : replay.stats.per_shard) {
           if (sh.shard_id >= shard_agg.size()) {
             continue;
@@ -190,6 +219,20 @@ int Main() {
                 lookups > 0 ? 100.0 * static_cast<double>(total_sat_hits + total_unsat_hits) /
                                   static_cast<double>(lookups)
                             : 0.0);
+    std::printf("search quality (all cells): %" PRIu64 " pendings pruned, %" PRIu64
+                " corpus runs, %" PRIu64 " promotions (%" PRIu64 " runs total)\n",
+                total_pruned, total_corpus_runs, total_promotions, total_runs);
+    std::printf("per-discipline on-log rates:");
+    for (size_t d = 0; d < kNumDisciplines; ++d) {
+      if (disc_runs[d] == 0) {
+        continue;
+      }
+      std::printf(" %s %" PRIu64 "/%" PRIu64 " (%.1f%%)", SearchDisciplineName(d),
+                  disc_on_log[d], disc_runs[d],
+                  100.0 * static_cast<double>(disc_on_log[d]) /
+                      static_cast<double>(disc_runs[d]));
+    }
+    std::printf("\n");
     if (shards > 1) {
       std::printf("wire overhead (all cells): %.1f KB shipped, %" PRIu64
                   " verdicts gossiped between shards\n",

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/support/env.h"
 #include "src/workloads/scenarios.h"
 #include "src/workloads/workloads.h"
 
@@ -31,14 +32,19 @@ inline std::unique_ptr<Pipeline> BuildWorkloadOrDie(const std::string& name) {
 }
 
 // Environment-tunable scale factor so CI runs stay fast while full runs can
-// approach the paper's sizes (RETRACE_BENCH_SCALE=10 etc.).
+// approach the paper's sizes (RETRACE_BENCH_SCALE=10 etc.). Parsed
+// strictly (src/support/env.h): garbage fails loudly instead of silently
+// running an unscaled bench.
 inline int BenchScale() {
-  const char* env = std::getenv("RETRACE_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1;
-  }
-  const int scale = std::atoi(env);
-  return scale > 0 ? scale : 1;
+  return static_cast<int>(EnvKnobI64("RETRACE_BENCH_SCALE", 1, 1, 1'000'000));
+}
+
+// Per-cell replay wall budget override in milliseconds. Unset uses the
+// caller's default (30 s x scale for bench_parallel_replay, 20 s x scale
+// for the table benches); CI's exp-5 smoke leg sets a short cap so the
+// leg exercises the stats without burning minutes per inf cell.
+inline i64 BenchCapMs(i64 default_ms) {
+  return EnvKnobI64("RETRACE_BENCH_CAP_MS", default_ms, 1, 86'400'000);
 }
 
 // The paper's LC (1h) / HC (2h) dynamic-analysis budgets, scaled to
@@ -62,44 +68,51 @@ inline AnalysisConfig HighCoverageConfig() {
 
 // Replay worker count for the table benches: RETRACE_REPLAY_WORKERS
 // (default 1, the sequential engine, so historical numbers stay
-// comparable; bench_parallel_replay sweeps counts explicitly).
+// comparable; bench_parallel_replay sweeps counts explicitly). Strictly
+// parsed: a negative or garbage count aborts instead of silently
+// running sequentially.
 inline u32 ReplayWorkers() {
-  const char* env = std::getenv("RETRACE_REPLAY_WORKERS");
-  if (env == nullptr) {
-    return 1;
-  }
-  const int workers = std::atoi(env);
-  return workers > 0 ? static_cast<u32>(workers) : 1;
+  return static_cast<u32>(EnvKnobI64("RETRACE_REPLAY_WORKERS", 1, 1, 4096));
 }
 
 // Pending-pick heuristic for the table benches: RETRACE_REPLAY_PICK =
-// dfs (default) | fifo | logbits | portfolio. logbits is the ROADMAP bet
-// for uServer experiment 5: prioritize pendings whose prefix consumed
-// the most branch-log bits.
+// dfs (default) | fifo | logbits | direction | portfolio. logbits was
+// PR 2's exp-5 bet (deepest on-log prefix first); direction is PR 5's
+// (most forced logged directions first). An unrecognized value aborts —
+// a typo silently falling back to DFS produced untrustworthy sweeps.
 inline ReplayConfig::Pick ReplayPick() {
   const char* env = std::getenv("RETRACE_REPLAY_PICK");
   if (env == nullptr) {
     return ReplayConfig::Pick::kDfs;
   }
   const std::string pick = env;
+  if (pick == "dfs") {
+    return ReplayConfig::Pick::kDfs;
+  }
   if (pick == "fifo") {
     return ReplayConfig::Pick::kFifo;
   }
   if (pick == "logbits") {
     return ReplayConfig::Pick::kLogBits;
   }
+  if (pick == "direction") {
+    return ReplayConfig::Pick::kDirection;
+  }
   if (pick == "portfolio") {
     return ReplayConfig::Pick::kPortfolio;
   }
-  return ReplayConfig::Pick::kDfs;
+  std::fprintf(stderr,
+               "RETRACE_REPLAY_PICK: invalid value '%s' "
+               "(expected dfs|fifo|logbits|direction|portfolio)\n",
+               env);
+  std::exit(2);
 }
 
-// Name of the *resolved* pick (not the raw env string, which may be an
-// unrecognized value that silently fell back to DFS).
 inline const char* ReplayPickName() {
   switch (ReplayPick()) {
     case ReplayConfig::Pick::kFifo: return "fifo";
     case ReplayConfig::Pick::kLogBits: return "logbits";
+    case ReplayConfig::Pick::kDirection: return "direction";
     case ReplayConfig::Pick::kPortfolio: return "portfolio";
     case ReplayConfig::Pick::kDfs: break;
   }
@@ -107,12 +120,29 @@ inline const char* ReplayPickName() {
 }
 
 // Incremental-solver layer knob for the table benches, mirroring
-// RETRACE_REPLAY_WORKERS: RETRACE_SOLVER_CACHE=0 disables the
+// RETRACE_REPLAY_WORKERS: RETRACE_SOLVER_CACHE=0/off/false disables the
 // partition/slice-cache pipeline (the monolithic solver of the original
-// engine); unset or nonzero leaves it on.
+// engine); unset or 1/on/true leaves it on. Strictly parsed —
+// historically `RETRACE_SOLVER_CACHE=true` atoi'd to 0 and *disabled*
+// the cache the user asked for.
 inline bool SolverCacheEnabled() {
-  const char* env = std::getenv("RETRACE_SOLVER_CACHE");
-  return env == nullptr || std::atoi(env) != 0;
+  return EnvKnobBool("RETRACE_SOLVER_CACHE", true);
+}
+
+// Prefix-subsumption pruning knob (ReplayConfig::prune_subsumed):
+// RETRACE_REPLAY_PRUNE=1 drops pendings whose constraint set was already
+// executed or published, at Push time. Off by default so the historical
+// run counts stay comparable.
+inline bool ReplayPruneEnabled() {
+  return EnvKnobBool("RETRACE_REPLAY_PRUNE", false);
+}
+
+// Corpus-seeding knob: RETRACE_REPLAY_CORPUS=1 hands the dynamic
+// analysis' model corpus (AnalysisResult::corpus) to the replay engine
+// as ReplayConfig::corpus_seeds. Only bench_parallel_replay wires it (it
+// owns the dynamic-analysis result); off by default.
+inline bool ReplayCorpusEnabled() {
+  return EnvKnobBool("RETRACE_REPLAY_CORPUS", false);
 }
 
 // Distributed-shard knob: RETRACE_REPLAY_SHARDS is a comma-separated
@@ -166,28 +196,24 @@ inline const char* ReplayTransportName() {
   return ReplayTransportMode() == ReplayTransport::kTcp ? "tcp" : "fork";
 }
 
-// Shard gossip pump cadence: RETRACE_GOSSIP_INTERVAL_MS (default 20).
-// Bounds the latency of verdict gossip, stop delivery and re-balance
-// traffic; the engine clamps it to [1, 1000].
+// Shard gossip pump cadence: RETRACE_GOSSIP_INTERVAL_MS (default 20),
+// within the engine's [1, 1000] clamp. Strictly parsed: a garbage
+// cadence aborts instead of silently pumping at the default.
 inline int GossipIntervalMs() {
-  const char* env = std::getenv("RETRACE_GOSSIP_INTERVAL_MS");
-  if (env == nullptr) {
-    return 20;
-  }
-  const int ms = std::atoi(env);
-  return ms > 0 ? ms : 20;
+  return static_cast<int>(EnvKnobI64("RETRACE_GOSSIP_INTERVAL_MS", 20, 1, 1000));
 }
 
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
   ReplayConfig config;
-  config.wall_ms = 20'000 * static_cast<i64>(BenchScale());
+  config.wall_ms = BenchCapMs(20'000 * static_cast<i64>(BenchScale()));
   config.max_runs = 50'000;
   config.seed = 31;
   config.num_workers = ReplayWorkers();
   config.num_shards = ReplayShards();
   config.solver_cache = SolverCacheEnabled();
   config.pick = ReplayPick();
+  config.prune_subsumed = ReplayPruneEnabled();
   config.transport = ReplayTransportMode();
   config.gossip_interval_ms = GossipIntervalMs();
   return config;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/support/dense_bitset.h"
@@ -134,8 +135,26 @@ AnalysisResult ConcolicEngine::Analyze(const InputSpec& spec, const AnalysisConf
   DenseBitset cov_taken(module_.branches.size());
   DenseBitset cov_not_taken(module_.branches.size());
 
+  // Model-corpus collection: every distinct input that actually runs is
+  // a dynamic-analysis discovery worth handing to replay (the corpus-
+  // seeded search). Deduplicated by content hash, capped by corpus_max.
+  std::unordered_set<u64> corpus_seen;
+  auto harvest_corpus = [&](const std::vector<i64>& model) {
+    if (config.corpus_max == 0 || result.corpus.size() >= config.corpus_max) {
+      return;
+    }
+    u64 h = 0x9e3779b97f4a7c15ull;
+    for (const i64 v : model) {
+      h = HashMix(h, static_cast<u64>(v));
+    }
+    if (corpus_seen.insert(h).second) {
+      result.corpus.push_back(model);
+    }
+  };
+
   auto do_run = [&](const std::vector<i64>& model,
                     size_t start_depth) -> void {
+    harvest_corpus(model);
     PathCollector collector(&result.labels, &result.stats, &cov_taken, &cov_not_taken);
     CellRunConfig run_config;
     run_config.model = model;

@@ -44,6 +44,10 @@ struct AnalysisConfig {
   // deep byte-ladders (protocol keywords, header names) defeat pure
   // constraint negation, but exploration radiates outward from each seed.
   std::vector<std::vector<i64>> extra_seed_models;
+  // Upper bound on the model corpus recorded into AnalysisResult::corpus
+  // (deduplicated inputs the exploration actually ran, in discovery
+  // order). 0 disables collection entirely.
+  u64 corpus_max = 64;
 };
 
 struct AnalysisResult {
@@ -52,6 +56,12 @@ struct AnalysisResult {
   u64 runs = 0;
   u64 solver_calls = 0;
   bool budget_exhausted = false;
+  // The dynamic-analysis corpus: deduplicated concrete input models the
+  // exploration ran (initial input, extra seeds, and every solver-derived
+  // input), capped at AnalysisConfig::corpus_max. Replay's corpus-seeded
+  // search (ReplayConfig::corpus_seeds) starts shard workers from these
+  // instead of random bytes alone.
+  std::vector<std::vector<i64>> corpus;
 
   size_t CountLabel(BranchLabel label) const;
   // Visited branch locations / total branch locations.

@@ -143,6 +143,29 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
   // evenly; the wall clock is global, minus what the scout spent.
   ReplayConfig shard_cfg = config;
   shard_cfg.num_shards = 1;
+  // Clamp the corpus to what the kJob codec accepts, or every shard
+  // would reject the job at decode. Applied to the fork path too so the
+  // two transports search identically.
+  if (shard_cfg.corpus_seeds.size() > kMaxJobCorpusSeeds) {
+    std::fprintf(stderr, "[dist] corpus_seeds clamped from %zu to %u (wire job ceiling)\n",
+                 shard_cfg.corpus_seeds.size(), kMaxJobCorpusSeeds);
+    shard_cfg.corpus_seeds.resize(kMaxJobCorpusSeeds);
+  }
+  u64 corpus_cells = 0;
+  for (size_t i = 0; i < shard_cfg.corpus_seeds.size();) {
+    const size_t cells = shard_cfg.corpus_seeds[i].size();
+    if (cells > kMaxJobCorpusCells || corpus_cells + cells > kMaxJobCorpusTotalCells) {
+      std::fprintf(stderr,
+                   "[dist] corpus seed %zu dropped: %zu cells over the wire ceiling "
+                   "(per-seed or total)\n",
+                   i, cells);
+      shard_cfg.corpus_seeds.erase(shard_cfg.corpus_seeds.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+    } else {
+      corpus_cells += cells;
+      ++i;
+    }
+  }
   shard_cfg.max_runs = std::max<u64>(1, (config.max_runs - result.stats.runs) / num_shards);
   shard_cfg.total_steps = std::max<u64>(1, config.total_steps / num_shards);
   if (config.wall_ms > 0) {
@@ -458,6 +481,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       shard_stats.pendings_exported = ss.pendings_exported;
       shard_stats.pendings_imported = ss.pendings_imported;
       shard_stats.rebalance_rounds = ss.rebalance_rounds;
+      shard_stats.pendings_pruned = ss.pendings_pruned;
       shard_stats.wall_seconds = proc.res.result.wall_seconds;
       result.stats.runs += ss.runs;
       result.stats.solver_calls += ss.solver_calls;
@@ -475,6 +499,13 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       result.stats.pendings_exported += ss.pendings_exported;
       result.stats.pendings_imported += ss.pendings_imported;
       result.stats.rebalance_rounds += ss.rebalance_rounds;
+      result.stats.pendings_pruned += ss.pendings_pruned;
+      result.stats.corpus_runs += ss.corpus_runs;
+      result.stats.promotions += ss.promotions;
+      for (size_t d = 0; d < kNumDisciplines; ++d) {
+        result.stats.discipline_runs[d] += ss.discipline_runs[d];
+        result.stats.discipline_on_log[d] += ss.discipline_on_log[d];
+      }
       result.stats.pending_peak = std::max(result.stats.pending_peak, ss.pending_peak);
       result.stats.per_worker.insert(result.stats.per_worker.end(), ss.per_worker.begin(),
                                      ss.per_worker.end());

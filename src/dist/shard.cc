@@ -197,6 +197,10 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
   // input — and none repeats the coordinator's scout (stream 0), whose
   // subtree already shipped as the seed frontier.
   ctx.rng_stream = static_cast<u64>(hello.shard_id) * 1024 + 1;
+  // Corpus-seed partition key: shard s runs seeds with index
+  // % num_shards == s, so the fleet covers the corpus without repeats.
+  ctx.shard_id = hello.shard_id;
+  ctx.num_shards = std::max(1u, hello.num_shards);
 
   // Re-balancing only makes sense with peers to trade with. Arm the
   // frontier hold *before* the search starts: a shard seeded with

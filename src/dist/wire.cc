@@ -245,6 +245,7 @@ void EncodePending(const PortablePending& pending, WireWriter* w) {
     w->I64(dom.hi);
   }
   w->U64(pending.priority);
+  w->U64(pending.dir_score);
 }
 
 bool DecodePending(WireReader* r, PortablePending* out) {
@@ -323,7 +324,8 @@ bool DecodePending(WireReader* r, PortablePending* out) {
     domains->push_back(dom);
   }
   u64 priority = 0;
-  if (!r->U64(&priority) || !r->ok()) {
+  u64 dir_score = 0;
+  if (!r->U64(&priority) || !r->U64(&dir_score) || !r->ok()) {
     return false;
   }
   // Variable ids must name real input cells: seed/domains snapshots cover
@@ -343,6 +345,7 @@ bool DecodePending(WireReader* r, PortablePending* out) {
   out->seed = std::move(seed);
   out->domains = std::move(domains);
   out->priority = priority;
+  out->dir_score = dir_score;
   return true;
 }
 
@@ -435,6 +438,9 @@ void EncodeWorkerStats(const ReplayWorkerStats& w, WireWriter* out) {
   out->U64(w.slices_solved);
   out->U64(w.slice_sat_hits);
   out->U64(w.slice_unsat_hits);
+  out->U64(w.pendings_pruned);
+  out->U64(w.corpus_runs);
+  out->U64(w.promotions);
 }
 
 bool DecodeWorkerStats(WireReader* r, ReplayWorkerStats* w) {
@@ -442,7 +448,8 @@ bool DecodeWorkerStats(WireReader* r, ReplayWorkerStats* w) {
          r->U64(&w->aborts_concrete_mismatch) && r->U64(&w->aborts_log_exhausted) &&
          r->U64(&w->crashes_wrong_site) && r->U64(&w->steals) && r->U64(&w->dedup_skips) &&
          r->U64(&w->cancelled_runs) && r->U64(&w->slices_solved) &&
-         r->U64(&w->slice_sat_hits) && r->U64(&w->slice_unsat_hits);
+         r->U64(&w->slice_sat_hits) && r->U64(&w->slice_unsat_hits) &&
+         r->U64(&w->pendings_pruned) && r->U64(&w->corpus_runs) && r->U64(&w->promotions);
 }
 
 void EncodeStats(const ReplayStats& s, WireWriter* out) {
@@ -463,6 +470,15 @@ void EncodeStats(const ReplayStats& s, WireWriter* out) {
   out->U64(s.pendings_exported);
   out->U64(s.pendings_imported);
   out->U64(s.rebalance_rounds);
+  out->U64(s.pendings_pruned);
+  out->U64(s.corpus_runs);
+  out->U64(s.promotions);
+  for (const u64 v : s.discipline_runs) {
+    out->U64(v);
+  }
+  for (const u64 v : s.discipline_on_log) {
+    out->U64(v);
+  }
   out->U32(static_cast<u32>(s.per_worker.size()));
   for (const ReplayWorkerStats& w : s.per_worker) {
     EncodeWorkerStats(w, out);
@@ -476,11 +492,22 @@ bool DecodeStats(WireReader* r, ReplayStats* s) {
         r->U64(&s->dedup_skips) && r->U64(&s->cancelled_runs) && r->U64(&s->slices_solved) &&
         r->U64(&s->slice_sat_hits) && r->U64(&s->slice_unsat_hits) &&
         r->U64(&s->slice_evictions) && r->U64(&s->pendings_exported) &&
-        r->U64(&s->pendings_imported) && r->U64(&s->rebalance_rounds))) {
+        r->U64(&s->pendings_imported) && r->U64(&s->rebalance_rounds) &&
+        r->U64(&s->pendings_pruned) && r->U64(&s->corpus_runs) && r->U64(&s->promotions))) {
     return false;
   }
+  for (u64& v : s->discipline_runs) {
+    if (!r->U64(&v)) {
+      return false;
+    }
+  }
+  for (u64& v : s->discipline_on_log) {
+    if (!r->U64(&v)) {
+      return false;
+    }
+  }
   u32 worker_count = 0;
-  if (!r->U32(&worker_count) || !r->FitsCount(worker_count, 12 * 8)) {
+  if (!r->U32(&worker_count) || !r->FitsCount(worker_count, 15 * 8)) {
     return false;
   }
   s->per_worker.resize(worker_count);
@@ -640,27 +667,61 @@ void EncodeConfig(const ReplayConfig& c, WireWriter* w) {
   w->U64(c.slice_cache_capacity);
   w->U32(c.solve_batch);
   w->I32(c.gossip_interval_ms);
+  w->U8(c.prune_subsumed ? 1 : 0);
+  w->U32(static_cast<u32>(c.corpus_seeds.size()));
+  for (const std::vector<i64>& seed : c.corpus_seeds) {
+    w->U32(static_cast<u32>(seed.size()));
+    for (const i64 v : seed) {
+      w->I64(v);
+    }
+  }
 }
 
 bool DecodeConfig(WireReader* r, ReplayConfig* c) {
   u8 use_log = 0;
   u8 pick = 0;
   u8 cache = 0;
+  u8 prune = 0;
   if (!(r->U64(&c->max_runs) && r->I64(&c->wall_ms) && r->U64(&c->total_steps) &&
         r->U64(&c->max_steps_per_run) && r->U64(&c->solver.max_steps) &&
         r->U64(&c->solver.max_enumeration) && r->U64(&c->seed) && r->U8(&use_log) &&
         r->U8(&pick) && r->U32(&c->num_workers) && r->U8(&cache) &&
         r->U64(&c->slice_cache_capacity) && r->U32(&c->solve_batch) &&
-        r->I32(&c->gossip_interval_ms))) {
+        r->I32(&c->gossip_interval_ms) && r->U8(&prune))) {
     return false;
   }
-  if (pick > static_cast<u8>(ReplayConfig::Pick::kLogBits) || c->num_workers > 4096 ||
+  if (pick > static_cast<u8>(ReplayConfig::Pick::kDirection) || c->num_workers > 4096 ||
       c->solve_batch > 65536) {
     return false;
+  }
+  // Corpus seeds ride the config: bounded counts (a listening
+  // retrace_shardd decodes this straight off the network) and sized
+  // against the payload before any allocation.
+  u32 corpus_count = 0;
+  if (!r->U32(&corpus_count) || corpus_count > kMaxJobCorpusSeeds ||
+      !r->FitsCount(corpus_count, 4)) {
+    return false;
+  }
+  c->corpus_seeds.clear();
+  c->corpus_seeds.reserve(corpus_count);
+  for (u32 i = 0; i < corpus_count; ++i) {
+    u32 cell_count = 0;
+    if (!r->U32(&cell_count) || cell_count > kMaxJobCorpusCells ||
+        !r->FitsCount(cell_count, 8)) {
+      return false;
+    }
+    std::vector<i64> seed(cell_count);
+    for (u32 j = 0; j < cell_count; ++j) {
+      if (!r->I64(&seed[j])) {
+        return false;
+      }
+    }
+    c->corpus_seeds.push_back(std::move(seed));
   }
   c->use_syscall_log = use_log != 0;
   c->pick = static_cast<ReplayConfig::Pick>(pick);
   c->solver_cache = cache != 0;
+  c->prune_subsumed = prune != 0;
   // A shipped job always runs one in-process shard search on the remote
   // side; transport fields never nest.
   c->num_shards = 1;

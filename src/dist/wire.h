@@ -32,7 +32,11 @@ namespace retrace {
 inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
 // v2: kJoin/kJob handshake (TCP transport), kWorkRequest/kPendingExport
 // (frontier re-balancing), re-balance counters in the stats codec.
-inline constexpr u16 kWireVersion = 2;
+// v3: search-quality layer — pending dir_score (Pick::kDirection key),
+// prune/corpus config fields (corpus seeds ride the kJob config codec),
+// pendings_pruned/corpus_runs/promotions + per-discipline run accounting
+// in the stats codecs.
+inline constexpr u16 kWireVersion = 3;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {
@@ -223,6 +227,19 @@ struct WireWorkRequest {
 /// Ceiling on WireWorkRequest::want — a hostile or corrupt request must
 /// not make a donor carve up its whole frontier in one frame.
 inline constexpr u32 kMaxWorkRequestWant = 4096;
+
+/// Ceilings the kJob config codec enforces on corpus seeds (a listening
+/// retrace_shardd decodes them off the network). The coordinator clamps
+/// the outgoing config to these before encoding, so an oversized corpus
+/// degrades to "ship the first seeds that fit" instead of every shard
+/// rejecting the job at decode. The *total* bound matters independently
+/// of the per-seed ones: 1024 seeds x 2^20 cells would encode past the
+/// frame layer's whole-payload cap and the job would be dropped as
+/// corrupt, so the clamp keeps the corpus a small fraction of it
+/// (2^22 cells = 32 MiB encoded).
+inline constexpr u32 kMaxJobCorpusSeeds = 1024;
+inline constexpr u32 kMaxJobCorpusCells = 1u << 20;
+inline constexpr u64 kMaxJobCorpusTotalCells = 1ull << 22;
 
 void EncodeWorkRequest(const WireWorkRequest& request, WireWriter* w);
 bool DecodeWorkRequest(WireReader* r, WireWorkRequest* out);

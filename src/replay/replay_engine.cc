@@ -35,6 +35,7 @@ class ReplayObserver : public BranchObserver {
         flippable.push_back(trace.size());
         trace.push_back(Constraint{cond_shadow, taken});
         bits_at.push_back(cursor);
+        dir_at.push_back(logged_forced);
       }
       // Case 4: nothing to do.
       return Action::kContinue;
@@ -50,12 +51,14 @@ class ReplayObserver : public BranchObserver {
       if (taken == logged) {
         trace.push_back(Constraint{cond_shadow, taken});  // Case 2a.
         bits_at.push_back(cursor);
+        dir_at.push_back(logged_forced++);
         return Action::kContinue;
       }
       // Case 2b: append the constraint forcing the *logged* direction and
       // abort; the engine pushes this set so the next input follows the log.
       trace.push_back(Constraint{cond_shadow, logged});
       bits_at.push_back(cursor);
+      dir_at.push_back(logged_forced++);
       forced_direction = true;
       return Action::kAbort;
     }
@@ -74,8 +77,15 @@ class ReplayObserver : public BranchObserver {
   // Log bits consumed when each trace entry was recorded — the priority
   // of the pending set ending at that constraint under Pick::kLogBits.
   std::vector<size_t> bits_at;
+  // Logged directions (case-2 constraints) in the trace *before* each
+  // entry — the Pick::kDirection score of a flip at that entry: how many
+  // logged directions the flip's constraint set forces. A forced-
+  // direction (2b) full set scores `logged_forced` itself, which counts
+  // its own forcing constraint.
+  std::vector<u64> dir_at;
   std::vector<size_t> flippable;
   size_t cursor = 0;
+  u64 logged_forced = 0;
   bool forced_direction = false;
   bool concrete_mismatch = false;
   bool log_exhausted = false;
@@ -121,8 +131,29 @@ struct Pending {
   bool negate_last = false;  // Case 1 pendings negate constraint len-1.
   std::shared_ptr<std::vector<i64>> seed;
   std::shared_ptr<std::vector<Interval>> domains;
-  u64 log_bits = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
+  u64 log_bits = 0;   // Log bits the prefix consumed (Pick::kLogBits key).
+  u64 dir_bits = 0;   // Logged directions forced (Pick::kDirection key).
 };
+
+// Discipline a fixed (non-portfolio) pick runs — the attribution slot in
+// ReplayStats::discipline_runs. kPortfolio degenerates to DFS with one
+// worker, so it maps there.
+SearchDiscipline DisciplineOfPick(ReplayConfig::Pick pick) {
+  switch (pick) {
+    case ReplayConfig::Pick::kFifo: return SearchDiscipline::kFifo;
+    case ReplayConfig::Pick::kLogBits: return SearchDiscipline::kLogBits;
+    case ReplayConfig::Pick::kDirection: return SearchDiscipline::kDirection;
+    case ReplayConfig::Pick::kDfs:
+    case ReplayConfig::Pick::kPortfolio: break;
+  }
+  return SearchDiscipline::kDfs;
+}
+
+// Adaptive promotion cadence: an adaptive worker re-evaluates every
+// kPromoteInterval of its own runs, and a fixed discipline is eligible
+// once the fleet has attributed kPromoteMinRuns runs to it.
+constexpr u64 kPromoteInterval = 32;
+constexpr u64 kPromoteMinRuns = 16;
 
 }  // namespace
 
@@ -149,7 +180,8 @@ void FrontierPort::Attach(WorkStealingQueue<PortablePending>* frontier, u32 num_
   // Imports that raced ahead of the frontier's existence land now.
   for (PortablePending& pending : pre_attach_imports_) {
     const u64 priority = pending.priority;
-    frontier_->Push(import_cursor_++ % num_workers_, std::move(pending), priority);
+    const u64 direction = pending.dir_score;
+    frontier_->Push(import_cursor_++ % num_workers_, std::move(pending), priority, direction);
   }
   pre_attach_imports_.clear();
 }
@@ -177,7 +209,9 @@ bool FrontierPort::Import(PortablePending pending) {
   // cap): refusing lets the pump return the pending to the fleet
   // instead of burying it in a queue that is about to be destroyed.
   const u64 priority = pending.priority;
-  if (!frontier_->PushIfOpen(import_cursor_ % num_workers_, std::move(pending), priority)) {
+  const u64 direction = pending.dir_score;
+  if (!frontier_->PushIfOpen(import_cursor_ % num_workers_, std::move(pending), priority,
+                             direction)) {
     return false;
   }
   ++import_cursor_;
@@ -270,12 +304,27 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   }
 
   std::deque<Pending> pendings;
-  // Under kLogBits the deque doubles as max-heap storage on log_bits (the
-  // pick is fixed for the whole search), so pops stay O(log n) instead of
-  // a linear scan over frontiers that reach tens of thousands of entries.
-  const bool heap_pick = config.pick == ReplayConfig::Pick::kLogBits;
-  auto bits_less = [](const Pending& a, const Pending& b) { return a.log_bits < b.log_bits; };
-  auto publish = [&](Pending pending) {
+  // Under kLogBits/kDirection the deque doubles as max-heap storage on
+  // the pick's key (the pick is fixed for the whole search), so pops stay
+  // O(log n) instead of a linear scan over frontiers that reach tens of
+  // thousands of entries.
+  const bool heap_pick = config.pick == ReplayConfig::Pick::kLogBits ||
+                         config.pick == ReplayConfig::Pick::kDirection;
+  const bool dir_pick = config.pick == ReplayConfig::Pick::kDirection;
+  auto bits_less = [dir_pick](const Pending& a, const Pending& b) {
+    return (dir_pick ? a.dir_bits : a.log_bits) < (dir_pick ? b.dir_bits : b.log_bits);
+  };
+  // Prefix-subsumption index (prune_subsumed): fingerprints of every
+  // executed constraint prefix and every published pending set.
+  std::unique_ptr<FingerprintSet> subsumed;
+  if (config.prune_subsumed) {
+    subsumed = std::make_unique<FingerprintSet>();
+  }
+  auto publish = [&](Pending pending, u64 fp) {
+    if (subsumed != nullptr && !subsumed->Insert(fp)) {
+      ++result.stats.pendings_pruned;
+      return;
+    }
     pendings.push_back(std::move(pending));
     if (heap_pick) {
       std::push_heap(pendings.begin(), pendings.end(), bits_less);
@@ -294,6 +343,9 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
       result.stats.slice_unsat_hits = inc.slice_unsat_hits;
       result.stats.slice_evictions = slice_cache->evictions();
     }
+    const size_t disc = static_cast<size_t>(DisciplineOfPick(config.pick));
+    result.stats.discipline_runs[disc] = result.stats.runs;
+    result.stats.discipline_on_log[disc] = result.stats.aborts_forced_direction;
     ReplayWorkerStats worker;
     worker.runs = result.stats.runs;
     worker.solver_calls = result.stats.solver_calls;
@@ -304,6 +356,8 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     worker.slices_solved = result.stats.slices_solved;
     worker.slice_sat_hits = result.stats.slice_sat_hits;
     worker.slice_unsat_hits = result.stats.slice_unsat_hits;
+    worker.pendings_pruned = result.stats.pendings_pruned;
+    worker.corpus_runs = result.stats.corpus_runs;
     result.stats.per_worker = {worker};
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -342,26 +396,62 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     auto trace = std::make_shared<std::vector<Constraint>>(std::move(observer.trace));
     auto seed = std::make_shared<std::vector<i64>>(std::move(out.cells));
     auto domains = std::make_shared<std::vector<Interval>>(std::move(out.domains));
+    // Prefix fingerprints for the subsumption index: chain[i] covers
+    // constraints [0, i) as stored. Every *executed* prefix enters the
+    // index (a forced-direction trace's final constraint was not executed
+    // in its stored polarity — it is the 2b pending set itself, inserted
+    // by its own publish below).
+    std::vector<u64> chain;
+    if (subsumed != nullptr) {
+      chain.resize(trace->size() + 1);
+      chain[0] = kConstraintFingerprintSeed;
+      for (size_t i = 0; i < trace->size(); ++i) {
+        chain[i + 1] = ExtendConstraintFingerprint(
+            chain[i], arena_->StructuralHash((*trace)[i].expr), (*trace)[i].want_true);
+      }
+      const size_t executed = trace->size() - (observer.forced_direction ? 1 : 0);
+      for (size_t i = 1; i <= executed; ++i) {
+        subsumed->Insert(chain[i]);
+      }
+    }
     // Case-1 alternatives, deepest explored first under DFS.
     for (size_t flip : observer.flippable) {
       if (flip < start_depth) {
         continue;  // Already offered by the run that generated this prefix.
       }
+      const u64 fp = subsumed != nullptr
+                         ? ExtendConstraintFingerprint(
+                               chain[flip], arena_->StructuralHash((*trace)[flip].expr),
+                               !(*trace)[flip].want_true)
+                         : 0;
       publish(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains,
-                      observer.bits_at[flip]});
+                      observer.bits_at[flip], observer.dir_at[flip]},
+              fp);
     }
     if (observer.forced_direction) {
       ++result.stats.aborts_forced_direction;
       // Highest priority: the set that steers the run back onto the log.
       publish(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains,
-                      observer.cursor});
+                      observer.cursor, observer.logged_forced},
+              subsumed != nullptr ? chain[trace->size()] : 0);
     }
     result.stats.pending_peak = std::max(result.stats.pending_peak,
                                          static_cast<u64>(pendings.size()));
     return false;
   };
 
-  if (do_run(initial, 0)) {
+  bool found = do_run(initial, 0);
+  // Corpus seeds: dynamic-analysis-discovered inputs run right after the
+  // initial random run, so the frontier starts from exploration's deep
+  // prefixes too. Empty by default — the legacy path is untouched.
+  for (const std::vector<i64>& seed_model : config.corpus_seeds) {
+    if (found || result.stats.runs >= config.max_runs || budget.Exhausted()) {
+      break;
+    }
+    ++result.stats.corpus_runs;
+    found = do_run(seed_model, 0);
+  }
+  if (found) {
     finish();
     return result;
   }
@@ -428,6 +518,18 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     slice_cache = owned_cache.get();
   }
   const u64 rng_stream = shard != nullptr ? shard->rng_stream : 0;
+  // Fleet-wide prefix-subsumption index (prune_subsumed): fingerprints
+  // of every executed prefix and every published pending, shared by all
+  // workers so cross-worker duplicates die at Push time.
+  std::unique_ptr<FingerprintSet> subsumed;
+  if (config.prune_subsumed) {
+    subsumed = std::make_unique<FingerprintSet>();
+  }
+  // Per-discipline run accounting for the adaptive promotion layer:
+  // completed runs and forced-direction (on-log) aborts attributed to
+  // the discipline whose pop produced the run.
+  std::array<std::atomic<u64>, kNumDisciplines> disc_runs{};
+  std::array<std::atomic<u64>, kNumDisciplines> disc_on_log{};
 
   // Coordinator-shipped frontier: distributed shards start from their
   // partition of the scout's pending sets, spread round-robin over the
@@ -436,8 +538,16 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   if (shard != nullptr) {
     for (size_t i = 0; i < shard->seed_frontier.size(); ++i) {
       PortablePending pending = std::move(shard->seed_frontier[i]);
+      if (subsumed != nullptr) {
+        // Seed entries are unique per shard (the coordinator dealt them),
+        // but indexing them lets the search prune its own rediscoveries
+        // of the scout's subtrees.
+        subsumed->Insert(FingerprintConstraints(*pending.trace, pending.len,
+                                                pending.negate_last));
+      }
       const u64 priority = pending.priority;
-      frontier.Push(i % num_workers, std::move(pending), priority);
+      const u64 direction = pending.dir_score;
+      frontier.Push(i % num_workers, std::move(pending), priority, direction);
     }
     shard->seed_frontier.clear();
     // Publish the frontier to the re-balance port before any worker can
@@ -466,30 +576,63 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     Budget budget = config.wall_ms > 0 ? Budget::StepsAndMillis(step_share, config.wall_ms)
                                        : Budget::Steps(step_share);
 
+    // The worker's current search discipline. Fixed picks map directly;
+    // under kPortfolio workers 0-3 run the four fixed disciplines and
+    // the rest start adaptive (randomized DFS/FIFO) until the promotion
+    // layer moves them onto whichever fixed discipline earns the best
+    // on-log-run rate.
+    SearchDiscipline disc = DisciplineOfPick(config.pick);
+    const bool adaptive = config.pick == ReplayConfig::Pick::kPortfolio && wid >= 4;
+    if (config.pick == ReplayConfig::Pick::kPortfolio) {
+      switch (wid) {
+        case 0: disc = SearchDiscipline::kDfs; break;
+        case 1: disc = SearchDiscipline::kFifo; break;
+        case 2: disc = SearchDiscipline::kLogBits; break;
+        case 3: disc = SearchDiscipline::kDirection; break;
+        default: disc = SearchDiscipline::kRandom; break;
+      }
+    }
     auto pop_order = [&]() -> PopOrder {
-      switch (config.pick) {
-        case ReplayConfig::Pick::kDfs:
+      switch (disc) {
+        case SearchDiscipline::kDfs:
           return PopOrder::kNewestFirst;
-        case ReplayConfig::Pick::kFifo:
+        case SearchDiscipline::kFifo:
           return PopOrder::kOldestFirst;
-        case ReplayConfig::Pick::kLogBits:
+        case SearchDiscipline::kLogBits:
           return PopOrder::kHighestPriority;
-        case ReplayConfig::Pick::kPortfolio:
-          // Worker 0: DFS. Worker 1: FIFO. Worker 2: log-bits priority.
-          // The rest: randomized DFS, each with a distinct stream from
-          // the per-worker rng.
-          if (wid == 0) {
-            return PopOrder::kNewestFirst;
-          }
-          if (wid == 1) {
-            return PopOrder::kOldestFirst;
-          }
-          if (wid == 2) {
-            return PopOrder::kHighestPriority;
-          }
+        case SearchDiscipline::kDirection:
+          return PopOrder::kHighestDirection;
+        case SearchDiscipline::kRandom:
           return (rng.Next() & 1) != 0 ? PopOrder::kNewestFirst : PopOrder::kOldestFirst;
       }
       return PopOrder::kNewestFirst;
+    };
+    // Promotes an adaptive worker onto the best-earning fixed discipline
+    // (on-log rate = forced-direction aborts per completed run), once
+    // some fixed discipline has enough attributed runs to rank.
+    auto maybe_promote = [&]() {
+      SearchDiscipline best = disc;
+      double best_rate = -1.0;
+      for (size_t d = 0; d < static_cast<size_t>(SearchDiscipline::kRandom); ++d) {
+        const u64 runs = disc_runs[d].load(std::memory_order_relaxed);
+        if (runs < kPromoteMinRuns) {
+          continue;
+        }
+        const double rate = static_cast<double>(disc_on_log[d].load(std::memory_order_relaxed)) /
+                            static_cast<double>(runs);
+        if (rate > best_rate) {
+          best_rate = rate;
+          best = static_cast<SearchDiscipline>(d);
+        }
+      }
+      // Only a discipline that actually earns on-log runs is worth
+      // switching to: an all-zero field would otherwise collapse every
+      // adaptive worker onto DFS (first index) and destroy the
+      // randomized diversification the portfolio exists to preserve.
+      if (best_rate > 0.0 && best != disc) {
+        disc = best;
+        ++ws.promotions;
+      }
     };
 
     // Runs one input; returns true when the search is over for this worker
@@ -538,6 +681,12 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       if (observer.forced_direction) {
         ++ws.aborts_forced_direction;
       }
+      // Promotion accounting: this completed run earns (or costs) its
+      // discipline's on-log rate.
+      disc_runs[static_cast<size_t>(disc)].fetch_add(1, std::memory_order_relaxed);
+      if (observer.forced_direction) {
+        disc_on_log[static_cast<size_t>(disc)].fetch_add(1, std::memory_order_relaxed);
+      }
 
       bool any_flip = false;
       for (size_t flip : observer.flippable) {
@@ -551,24 +700,57 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
         auto trace = std::make_shared<const PortableTrace>(ExportTrace(arena, observer.trace));
         auto seed = std::make_shared<const std::vector<i64>>(std::move(out.cells));
         auto domains = std::make_shared<const std::vector<Interval>>(std::move(out.domains));
+        // Prefix fingerprints for the subsumption index (chain[i] covers
+        // constraints [0, i) as stored); every executed prefix enters the
+        // index — a forced-direction trace's final constraint was not
+        // executed in its stored polarity, so it only enters via its own
+        // publish below.
+        std::vector<u64> chain;
+        std::vector<u64> node_hash;
+        if (subsumed != nullptr) {
+          node_hash = PortableNodeHashes(*trace);
+          const std::vector<Constraint>& cs = trace->constraints;
+          chain.resize(cs.size() + 1);
+          chain[0] = kConstraintFingerprintSeed;
+          for (size_t i = 0; i < cs.size(); ++i) {
+            chain[i + 1] =
+                ExtendConstraintFingerprint(chain[i], node_hash[cs[i].expr], cs[i].want_true);
+          }
+          const size_t executed = cs.size() - (observer.forced_direction ? 1 : 0);
+          for (size_t i = 1; i <= executed; ++i) {
+            subsumed->Insert(chain[i]);
+          }
+        }
         // Case-1 alternatives, deepest explored first under DFS.
-        // PortablePending::priority is the single source of truth; the
-        // queue's priority argument always mirrors it.
-        auto publish = [&](PortablePending pending) {
+        // PortablePending::priority/dir_score are the single source of
+        // truth; the queue's key arguments always mirror them.
+        auto publish = [&](PortablePending pending, u64 fp) {
+          if (subsumed != nullptr && !subsumed->Insert(fp)) {
+            ++ws.pendings_pruned;
+            return;
+          }
           const u64 priority = pending.priority;
-          frontier.Push(wid, std::move(pending), priority);
+          const u64 direction = pending.dir_score;
+          frontier.Push(wid, std::move(pending), priority, direction);
         };
         for (size_t flip : observer.flippable) {
           if (flip < start_depth) {
             continue;  // Already offered by the run that generated this prefix.
           }
+          const u64 fp = subsumed != nullptr
+                             ? ExtendConstraintFingerprint(
+                                   chain[flip], node_hash[trace->constraints[flip].expr],
+                                   !trace->constraints[flip].want_true)
+                             : 0;
           publish(PortablePending{trace, flip + 1, /*negate_last=*/true, seed, domains,
-                                  observer.bits_at[flip]});
+                                  observer.bits_at[flip], observer.dir_at[flip]},
+                  fp);
         }
         if (observer.forced_direction) {
           // Highest priority under DFS: steers the run back onto the log.
           publish(PortablePending{trace, trace->constraints.size(), /*negate_last=*/false,
-                                  seed, domains, observer.cursor});
+                                  seed, domains, observer.cursor, observer.logged_forced},
+                  subsumed != nullptr ? chain[trace->constraints.size()] : 0);
         }
       }
       return false;
@@ -617,6 +799,29 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       done = do_run(initial, 0);
     }
 
+    // Corpus seeds: the fleet's slice of the dynamic-analysis corpus,
+    // partitioned so no seed runs twice — shard s owns seeds with
+    // index % num_shards == s, and this worker takes every num_workers-th
+    // of the shard's slice.
+    const u32 corpus_shard = shard != nullptr ? shard->shard_id : 0;
+    const u32 corpus_shards = shard != nullptr ? std::max(1u, shard->num_shards) : 1;
+    for (size_t i = 0; !done && i < config.corpus_seeds.size(); ++i) {
+      if (i % corpus_shards != corpus_shard % corpus_shards ||
+          (i / corpus_shards) % num_workers != wid) {
+        continue;
+      }
+      if (stop.StopRequested() || budget.Exhausted()) {
+        break;
+      }
+      if (runs_admitted.fetch_add(1) >= config.max_runs) {
+        frontier.Close();
+        done = true;
+        break;
+      }
+      ++ws.corpus_runs;
+      done = do_run(config.corpus_seeds[i], 0);
+    }
+
     // Batched frontier solves: pop up to K pendings per frontier visit and
     // solve them back to back before running any model. Sibling pendings
     // share almost every slice, so the batch's first solve warms the cache
@@ -628,7 +833,12 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       size_t len = 0;
     };
     std::vector<ReadyRun> ready;
+    u64 runs_at_last_promotion = ws.runs;
     while (!done && !stop.StopRequested() && !budget.Exhausted()) {
+      if (adaptive && ws.runs - runs_at_last_promotion >= kPromoteInterval) {
+        runs_at_last_promotion = ws.runs;
+        maybe_promote();
+      }
       u64 stolen = 0;
       if (!frontier.PopBatch(wid, pop_order(), batch_cap, &batch, &stolen)) {
         break;  // Frontier drained, cancelled, or run cap reached.
@@ -725,6 +935,13 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     result.stats.slices_solved += ws.slices_solved;
     result.stats.slice_sat_hits += ws.slice_sat_hits;
     result.stats.slice_unsat_hits += ws.slice_unsat_hits;
+    result.stats.pendings_pruned += ws.pendings_pruned;
+    result.stats.corpus_runs += ws.corpus_runs;
+    result.stats.promotions += ws.promotions;
+  }
+  for (size_t d = 0; d < kNumDisciplines; ++d) {
+    result.stats.discipline_runs[d] = disc_runs[d].load(std::memory_order_relaxed);
+    result.stats.discipline_on_log[d] = disc_on_log[d].load(std::memory_order_relaxed);
   }
   result.stats.pending_peak = frontier.peak();
   result.stats.per_worker = std::move(worker_stats);
@@ -807,12 +1024,12 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
         continue;
       }
       pendings.push_back(Pending{trace, flip + 1, /*negate_last=*/true, seed, domains,
-                                 observer.bits_at[flip]});
+                                 observer.bits_at[flip], observer.dir_at[flip]});
     }
     if (observer.forced_direction) {
       ++result.stats.aborts_forced_direction;
       pendings.push_back(Pending{trace, trace->size(), /*negate_last=*/false, seed, domains,
-                                 observer.cursor});
+                                 observer.cursor, observer.logged_forced});
     }
     result.stats.pending_peak =
         std::max(result.stats.pending_peak, static_cast<u64>(pendings.size()));
@@ -852,7 +1069,8 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
     out.frontier.push_back(PortablePending{
         it->second, pending.len, pending.negate_last,
         std::shared_ptr<const std::vector<i64>>(pending.seed),
-        std::shared_ptr<const std::vector<Interval>>(pending.domains), pending.log_bits});
+        std::shared_ptr<const std::vector<Interval>>(pending.domains), pending.log_bits,
+        pending.dir_bits});
   }
 
   ReplayWorkerStats worker;

@@ -31,6 +31,7 @@
 #ifndef RETRACE_REPLAY_REPLAY_ENGINE_H_
 #define RETRACE_REPLAY_REPLAY_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -72,11 +73,21 @@ struct ReplayConfig {
   // Pending-set heuristic. kLogBits prioritizes pendings whose prefix
   // consumed the most branch-log bits — the deepest on-log progress — the
   // bet for scenarios where DFS/FIFO drown in off-log subtrees.
+  // kDirection prioritizes pendings whose constraint set *forces* the
+  // most logged directions (the case-2a/2b constraints of §3.1 — the
+  // observer signal behind aborts_forced_direction): unlike raw log
+  // bits, concrete instrumented branches consume bits without binding
+  // the solver to the log, so kDirection ranks by how hard the set
+  // actually pins the run to the recorded execution.
   // kPortfolio is only meaningful with num_workers > 1: worker 0 runs
-  // DFS, worker 1 FIFO, worker 2 log-bits, and the rest randomized DFS
-  // with per-worker seeds, so one search discipline's pathology does not
-  // stall the whole fleet.
-  enum class Pick { kDfs, kFifo, kPortfolio, kLogBits } pick = Pick::kDfs;
+  // DFS, worker 1 FIFO, worker 2 log-bits, worker 3 direction-aware, and
+  // the rest adaptive — they start as randomized DFS with per-worker
+  // seeds and periodically promote themselves to whichever fixed
+  // discipline is producing the best on-log-run rate
+  // (aborts_forced_direction / runs) on this scenario, so one search
+  // discipline's pathology does not stall the whole fleet and the best
+  // one gains workers over time (ReplayStats::promotions).
+  enum class Pick { kDfs, kFifo, kPortfolio, kLogBits, kDirection } pick = Pick::kDfs;
   // Concolic executions in flight *per process*. 1 = the original
   // sequential engine; 0 = one per hardware thread.
   u32 num_workers = 1;
@@ -104,6 +115,24 @@ struct ReplayConfig {
   // the caches back to back while the worker holds its own deque's items
   // anyway; extras beyond the first never come from stealing.
   u32 solve_batch = 8;
+  // Prefix-subsumption pruning: drop a pending at Push time when a
+  // structurally identical constraint set was already executed by some
+  // run or already published to the frontier (fleet-wide FingerprintSet;
+  // ReplayStats::pendings_pruned). Sound — the pruned pending's subtree
+  // stays reachable through its subsumer — but it changes run counts,
+  // so it defaults off: the 1-worker legacy path is bit-identical only
+  // with it off.
+  bool prune_subsumed = false;
+  // Dynamic-analysis corpus seeds: concrete input-cell models (the shape
+  // of AnalysisResult::corpus / AnalysisConfig::extra_seed_models) run
+  // by the fleet right after each worker's initial random input, so the
+  // search radiates from exploration-discovered prefixes (deep protocol
+  // byte-ladders) instead of random bytes alone. Partitioned across the
+  // fleet: shard s runs seeds with index % num_shards == s, and within a
+  // shard workers split that slice round-robin — no seed runs twice.
+  // Ships to remote shards inside the kJob config codec. Empty (the
+  // default) changes nothing.
+  std::vector<std::vector<i64>> corpus_seeds;
   // ----- Distributed mode only (ignored when num_shards <= 1) -----
   // Shard transport. kFork (default) forks children over socketpairs —
   // bit-identical to the pre-transport coordinator. kTcp makes the
@@ -133,6 +162,24 @@ struct ReplayConfig {
   ReplayProgramSources program;
 };
 
+/// The search disciplines a portfolio fleet runs, in the index order of
+/// ReplayStats::discipline_runs/discipline_on_log. kRandom is the
+/// adaptive workers' starting state; promotion moves them onto one of
+/// the four fixed disciplines.
+enum class SearchDiscipline : u8 { kDfs = 0, kFifo, kLogBits, kDirection, kRandom };
+inline constexpr size_t kNumDisciplines = 5;
+
+inline const char* SearchDisciplineName(size_t d) {
+  switch (static_cast<SearchDiscipline>(d)) {
+    case SearchDiscipline::kDfs: return "dfs";
+    case SearchDiscipline::kFifo: return "fifo";
+    case SearchDiscipline::kLogBits: return "logbits";
+    case SearchDiscipline::kDirection: return "direction";
+    case SearchDiscipline::kRandom: return "random";
+  }
+  return "?";
+}
+
 /// Counters for one worker of the parallel scheduler. The aggregate
 /// ReplayStats sums these losslessly, so `stats.runs` etc. keep their
 /// pre-parallel meaning at any worker count.
@@ -150,6 +197,10 @@ struct ReplayWorkerStats {
   u64 slices_solved = 0;     // Constraint slices sent to the local search.
   u64 slice_sat_hits = 0;    // Slices satisfied from the fleet-wide cache.
   u64 slice_unsat_hits = 0;  // Pendings rejected by the UNSAT cache.
+  // Search-quality layer (all zero unless the matching knob is on).
+  u64 pendings_pruned = 0;  // Dropped at Push by the subsumption index.
+  u64 corpus_runs = 0;      // Runs seeded from ReplayConfig::corpus_seeds.
+  u64 promotions = 0;       // Times this adaptive worker switched discipline.
 };
 
 /// Counters for one shard process of the distributed scheduler
@@ -166,6 +217,7 @@ struct ReplayShardStats {
   u64 pendings_exported = 0;     // Frontier entries carved off for starved peers.
   u64 pendings_imported = 0;     // Re-balanced entries merged into this frontier.
   u64 rebalance_rounds = 0;      // kWorkRequest cycles this shard initiated.
+  u64 pendings_pruned = 0;       // Pendings this shard's subsumption index dropped.
   u64 wire_bytes_tx = 0;         // Coordinator -> shard bytes.
   u64 wire_bytes_rx = 0;         // Shard -> coordinator bytes.
   double wall_seconds = 0.0;
@@ -196,6 +248,20 @@ struct ReplayStats {
   // Entries dropped by the slice-cache LRU bound (0 while
   // slice_cache_capacity == 0; summed over shards when distributed).
   u64 slice_evictions = 0;
+  // ----- Search-quality layer (PR 5) -----
+  // Pendings dropped at Push time by the prefix-subsumption index (0
+  // while prune_subsumed is off; summed over workers and shards).
+  u64 pendings_pruned = 0;
+  // Runs whose input came from ReplayConfig::corpus_seeds.
+  u64 corpus_runs = 0;
+  // Adaptive-worker discipline switches under Pick::kPortfolio.
+  u64 promotions = 0;
+  // Per-discipline run accounting (SearchDiscipline index order):
+  // completed (non-cancelled) runs attributed to the discipline whose
+  // pop produced them, and how many of those ended in a forced logged
+  // direction (case 2b) — the on-log rate the promotion layer ranks by.
+  std::array<u64, kNumDisciplines> discipline_runs{};
+  std::array<u64, kNumDisciplines> discipline_on_log{};
   // ----- Distributed mode only (all zero when num_shards <= 1) -----
   u64 harvest_runs = 0;       // Coordinator scout runs before sharding.
   u64 wire_bytes_tx = 0;      // Total bytes coordinator -> shards.
@@ -246,7 +312,8 @@ struct PortablePending {
   bool negate_last = false;
   std::shared_ptr<const std::vector<i64>> seed;
   std::shared_ptr<const std::vector<Interval>> domains;
-  u64 priority = 0;  // Log bits the prefix consumed (Pick::kLogBits key).
+  u64 priority = 0;   // Log bits the prefix consumed (Pick::kLogBits key).
+  u64 dir_score = 0;  // Logged directions the set forces (Pick::kDirection key).
 };
 
 template <typename T>
@@ -331,6 +398,11 @@ struct ShardContext {
   /// Offsets every worker's rng stream so shards explore from distinct
   /// initial inputs; 0 keeps the in-process streams.
   u64 rng_stream = 0;
+  /// This shard's slot and the fleet size — the corpus-seed partition key
+  /// (shard s runs seeds with index % num_shards == s). The in-process
+  /// defaults (0 of 1) run every seed.
+  u32 shard_id = 0;
+  u32 num_shards = 1;
   /// Frontier re-balance hook: when non-null, ReproduceShard attaches
   /// its live frontier here so the shard's gossip pump can import/export
   /// pendings mid-search, and folds the port's counters into

@@ -419,15 +419,14 @@ u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_l
 u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last,
                            const std::vector<u64>& node_hash) {
   Check(len <= trace.constraints.size(), "FingerprintConstraints: len out of range");
-  u64 h = 0x13198a2e03707344ull;
+  u64 h = kConstraintFingerprintSeed;
   for (size_t i = 0; i < len; ++i) {
     const Constraint& c = trace.constraints[i];
     bool want = c.want_true;
     if (negate_last && i + 1 == len) {
       want = !want;
     }
-    h = HashMix(h, c.expr == kNoExpr ? 0 : node_hash[c.expr]);
-    h = HashMix(h, want ? 1 : 2);
+    h = ExtendConstraintFingerprint(h, c.expr == kNoExpr ? 0 : node_hash[c.expr], want);
   }
   return h;
 }

@@ -174,6 +174,25 @@ u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_l
 u64 FingerprintConstraints(const PortableTrace& trace, size_t len, bool negate_last,
                            const std::vector<u64>& node_hash);
 
+// The chain primitives behind FingerprintConstraints, exposed so the
+// replay engine's prefix-subsumption index can fingerprint every prefix
+// of one trace in a single forward pass:
+//
+//   fp([0, 0))     = kConstraintFingerprintSeed
+//   fp([0, i + 1)) = ExtendConstraintFingerprint(fp([0, i)), hash_i, want_i)
+//
+// where hash_i is the constraint expression's structural hash (arena
+// StructuralHash or PortableNodeHashes entry — the two agree). A
+// negate-last pending set fingerprints as the chain with the final
+// step's polarity flipped, which is exactly the fingerprint of a run
+// that *executed* the opposite direction at that constraint — the
+// subsumption identity the pruning layer relies on.
+inline constexpr u64 kConstraintFingerprintSeed = 0x13198a2e03707344ull;
+
+inline u64 ExtendConstraintFingerprint(u64 fp, u64 expr_hash, bool want_true) {
+  return HashMix(HashMix(fp, expr_hash), want_true ? 1 : 2);
+}
+
 }  // namespace retrace
 
 #endif  // RETRACE_SOLVER_EXPR_H_

@@ -3,8 +3,10 @@
 // Each worker owns a deque (its DFS stack). Owners push to the back and
 // pop according to their heuristic: back (newest first — depth-first),
 // front (oldest first — breadth/FIFO), or the entry with the highest
-// priority (the log-bits discipline: pendings whose prefix consumed the
-// most branch-log bits first). A worker whose deque is empty steals the
+// priority key (two independent keys per entry: `priority`, the log-bits
+// discipline — pendings whose prefix consumed the most branch-log bits —
+// and `direction`, the direction-aware discipline — pendings whose
+// constraint set forces the most logged directions). A worker whose deque is empty steals the
 // *front* of another worker's deque: the oldest, shallowest entry, i.e.
 // the root of the largest untouched subtree — the classic work-stealing
 // discipline that keeps thieves out of the owner's hot end.
@@ -20,10 +22,12 @@
 #ifndef RETRACE_SUPPORT_WORKQUEUE_H_
 #define RETRACE_SUPPORT_WORKQUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <numeric>
 #include <utility>
 #include <vector>
 
@@ -32,9 +36,10 @@
 namespace retrace {
 
 enum class PopOrder {
-  kNewestFirst,      // Depth-first: continue the deepest path.
-  kOldestFirst,      // FIFO: widen the search.
-  kHighestPriority,  // Largest Push() priority first; ties break newest.
+  kNewestFirst,       // Depth-first: continue the deepest path.
+  kOldestFirst,       // FIFO: widen the search.
+  kHighestPriority,   // Largest Push() priority first; ties break newest.
+  kHighestDirection,  // Largest Push() direction key first; ties break newest.
 };
 
 /// \brief MPMC work-stealing frontier (see the file comment for the
@@ -57,13 +62,15 @@ class WorkStealingQueue {
       : queues_(num_workers), active_(num_workers) {}
 
   /// Publishes one item onto `worker`'s deque. `priority` only matters to
-  /// kHighestPriority consumers; the other orders ignore it. Safe to call
+  /// kHighestPriority consumers and `direction` to kHighestDirection ones
+  /// (a portfolio fleet runs both disciplines over one frontier, so each
+  /// entry carries both keys); the other orders ignore them. Safe to call
   /// before the workers start (the distributed scheduler seeds shard
   /// frontiers this way).
-  void Push(size_t worker, T item, u64 priority = 0) {
+  void Push(size_t worker, T item, u64 priority = 0, u64 direction = 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queues_[worker].push_back(Entry{std::move(item), priority});
+      queues_[worker].push_back(Entry{std::move(item), priority, direction});
       ++total_;
       peak_ = total_ > peak_ ? total_ : peak_;
     }
@@ -111,8 +118,16 @@ class WorkStealingQueue {
       out->push_back(StealLocked(worker));
       ++*stolen;
     }
-    while (out->size() < max_items && !queues_[worker].empty()) {
-      out->push_back(TakeOwnLocked(worker, order));
+    if (order == PopOrder::kHighestPriority || order == PopOrder::kHighestDirection) {
+      // Batched priority take: one selection pass + swap-removals instead
+      // of re-running TakeOwnLocked's O(n) scan once per extra.
+      if (out->size() < max_items) {
+        TakeOwnTopLocked(worker, order, max_items - out->size(), out);
+      }
+    } else {
+      while (out->size() < max_items && !queues_[worker].empty()) {
+        out->push_back(TakeOwnLocked(worker, order));
+      }
     }
     return true;
   }
@@ -139,13 +154,13 @@ class WorkStealingQueue {
   /// lock, so there is no close/push race). A closed frontier will never
   /// be popped again — external producers must learn their item was NOT
   /// accepted so they can re-home it instead of losing it.
-  bool PushIfOpen(size_t worker, T item, u64 priority = 0) {
+  bool PushIfOpen(size_t worker, T item, u64 priority = 0, u64 direction = 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) {
         return false;
       }
-      queues_[worker].push_back(Entry{std::move(item), priority});
+      queues_[worker].push_back(Entry{std::move(item), priority, direction});
       ++total_;
       peak_ = total_ > peak_ ? total_ : peak_;
     }
@@ -157,10 +172,16 @@ class WorkStealingQueue {
   /// fullest deque first) for export to a starved peer, never draining
   /// the frontier below `min_keep`. Items leave in the exported order;
   /// any priority metadata must live inside T (PortablePending carries
-  /// its own `priority`). Returns the number exported. Safe from any
-  /// thread; exporting nothing is not an error.
+  /// its own `priority`). Returns the number exported — always 0 once the
+  /// queue is closed: a closed frontier will never be popped again
+  /// (first-crash-wins or termination), so carving pendings off it for a
+  /// peer would only ship work the fleet has already decided not to do.
+  /// Safe from any thread; exporting nothing is not an error.
   size_t ExportDeepest(size_t max_items, size_t min_keep, std::vector<T>* out) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return 0;
+    }
     size_t exported = 0;
     while (exported < max_items && total_ > min_keep) {
       size_t victim = queues_.size();
@@ -221,7 +242,14 @@ class WorkStealingQueue {
   struct Entry {
     T item;
     u64 priority = 0;
+    u64 direction = 0;
   };
+
+  // Priority key an entry contributes under `order` (only the two
+  // priority orders call this).
+  static u64 KeyOf(const Entry& entry, PopOrder order) {
+    return order == PopOrder::kHighestDirection ? entry.direction : entry.priority;
+  }
 
   // Blocks until the frontier has an item. Returns false when the search
   // is over (closed, or every active worker waits here at once).
@@ -259,6 +287,7 @@ class WorkStealingQueue {
         idx = 0;
         break;
       case PopOrder::kHighestPriority:
+      case PopOrder::kHighestDirection:
         // >= keeps the scan's last maximum: the newest among ties, so
         // equal-priority entries still behave depth-first. The pop then
         // swap-removes instead of erasing from the middle: the scan is
@@ -266,7 +295,7 @@ class WorkStealingQueue {
         // mu_ is not (ties thereafter prefer the newest *remaining*
         // entry, which internal compaction approximates).
         for (size_t i = 1; i < own.size(); ++i) {
-          if (own[i].priority >= own[idx].priority) {
+          if (KeyOf(own[i], order) >= KeyOf(own[idx], order)) {
             idx = i;
           }
         }
@@ -284,6 +313,45 @@ class WorkStealingQueue {
     }
     --total_;
     return item;
+  }
+
+  // Takes up to `want` of the highest-key entries from `worker`'s own
+  // deque in one selection pass (nth_element over indices), appending the
+  // items in descending-key order — the batched form of the priority
+  // take. Vacated slots are swap-removed highest-index-first (the back is
+  // never a still-pending selected slot), so a batch costs one scan and
+  // O(1) removals instead of one full scan per item. Ties break newest
+  // (largest index) first, matching the single take's tie rule.
+  void TakeOwnTopLocked(size_t worker, PopOrder order, size_t want, std::vector<T>* out) {
+    std::deque<Entry>& own = queues_[worker];
+    const size_t take = std::min(want, own.size());
+    if (take == 0) {
+      return;
+    }
+    std::vector<size_t> idx(own.size());
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    const auto better = [&](size_t a, size_t b) {
+      const u64 ka = KeyOf(own[a], order);
+      const u64 kb = KeyOf(own[b], order);
+      return ka != kb ? ka > kb : a > b;
+    };
+    if (take < idx.size()) {
+      std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(take) - 1,
+                       idx.end(), better);
+      idx.resize(take);
+    }
+    std::sort(idx.begin(), idx.end(), better);
+    for (const size_t i : idx) {
+      out->push_back(std::move(own[i].item));
+    }
+    std::sort(idx.begin(), idx.end(), [](size_t a, size_t b) { return a > b; });
+    for (const size_t i : idx) {
+      if (i + 1 != own.size()) {
+        own[i] = std::move(own.back());
+      }
+      own.pop_back();
+    }
+    total_ -= take;
   }
 
   // Steals the front of the fullest other deque; requires total_ > 0 and

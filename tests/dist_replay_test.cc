@@ -130,6 +130,39 @@ TEST(DistReplayTest, TwoShardsReproduceDeepCrashAndAggregateStats) {
   EXPECT_GE(winners, 1);
 }
 
+// Corpus-seeded distributed replay: the fleet partitions the corpus by
+// shard id and every seeded run is counted. Seeding each shard with a
+// known witness makes the reproduction come from a corpus run (the
+// scout's bounded random search cannot find the deep crash first), so
+// corpus_runs > 0 is deterministic.
+TEST(DistReplayTest, TwoShardsReproduceFromCorpusSeeds) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  // Obtain a witness in-process first, then hand it to both shards as
+  // corpus seeds (index % 2 partitions one to each).
+  ReplayConfig warm;
+  warm.num_workers = 4;
+  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm);
+  ASSERT_TRUE(baseline.reproduced);
+
+  ReplayConfig config;
+  config.num_shards = 2;
+  config.num_workers = 1;
+  config.corpus_seeds = {baseline.witness_cells, baseline.witness_cells};
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+  if (replay.stats.harvest_runs < replay.stats.runs) {
+    // Shards actually ran (the scout did not finish on its own): the
+    // winning run was a corpus-seeded one and it was counted.
+    EXPECT_GE(replay.stats.corpus_runs, 1u);
+  }
+}
+
 TEST(DistReplayTest, ScoutShortCircuitsWithoutForking) {
   // With a wide-open run budget and the trivial scenario, the scout's
   // bounded sequential search reproduces the crash before any shard is

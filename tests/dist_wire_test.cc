@@ -3,6 +3,7 @@
 // rejection, and version-mismatch refusal.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/dist/wire.h"
@@ -31,6 +32,7 @@ PortablePending MakePending(ExprArena* arena, u64 salt) {
       {0, 255}, {-128, 127}, {0, static_cast<i64>(salt % 100)}, {0, 9}, {0, 9}, {0, 9},
       {0, 9}, {0, 9}});
   pending.priority = salt * 31;
+  pending.dir_score = salt * 7 + 1;
   return pending;
 }
 
@@ -57,6 +59,7 @@ TEST(DistWireTest, PendingRoundTripsByteExactly) {
   EXPECT_EQ(*decoded.seed, *original.seed);
   EXPECT_EQ(*decoded.domains, *original.domains);
   EXPECT_EQ(decoded.priority, original.priority);
+  EXPECT_EQ(decoded.dir_score, original.dir_score);
 
   // Re-encoding the decoded pending reproduces the exact bytes.
   EXPECT_EQ(EncodePendingPayload(decoded), payload);
@@ -154,10 +157,18 @@ TEST(DistWireTest, ShardResultRoundTrip) {
   ReplayWorkerStats worker;
   worker.runs = 50;
   worker.dedup_skips = 4;
+  worker.pendings_pruned = 6;
+  worker.corpus_runs = 3;
+  worker.promotions = 1;
   shard.result.stats.per_worker = {worker, worker};
   shard.result.stats.pendings_exported = 21;
   shard.result.stats.pendings_imported = 22;
   shard.result.stats.rebalance_rounds = 23;
+  shard.result.stats.pendings_pruned = 31;
+  shard.result.stats.corpus_runs = 17;
+  shard.result.stats.promotions = 2;
+  shard.result.stats.discipline_runs = {11, 12, 13, 14, 15};
+  shard.result.stats.discipline_on_log = {1, 2, 3, 4, 5};
   shard.verdicts_published = 7;
   shard.verdicts_imported = 11;
   shard.pendings_seeded = 3;
@@ -179,9 +190,17 @@ TEST(DistWireTest, ShardResultRoundTrip) {
   ASSERT_EQ(decoded.result.stats.per_worker.size(), 2u);
   EXPECT_EQ(decoded.result.stats.per_worker[1].runs, 50u);
   EXPECT_EQ(decoded.result.stats.per_worker[1].dedup_skips, 4u);
+  EXPECT_EQ(decoded.result.stats.per_worker[1].pendings_pruned, 6u);
+  EXPECT_EQ(decoded.result.stats.per_worker[1].corpus_runs, 3u);
+  EXPECT_EQ(decoded.result.stats.per_worker[1].promotions, 1u);
   EXPECT_EQ(decoded.result.stats.pendings_exported, 21u);
   EXPECT_EQ(decoded.result.stats.pendings_imported, 22u);
   EXPECT_EQ(decoded.result.stats.rebalance_rounds, 23u);
+  EXPECT_EQ(decoded.result.stats.pendings_pruned, 31u);
+  EXPECT_EQ(decoded.result.stats.corpus_runs, 17u);
+  EXPECT_EQ(decoded.result.stats.promotions, 2u);
+  EXPECT_EQ(decoded.result.stats.discipline_runs, shard.result.stats.discipline_runs);
+  EXPECT_EQ(decoded.result.stats.discipline_on_log, shard.result.stats.discipline_on_log);
   EXPECT_EQ(decoded.verdicts_published, 7u);
   EXPECT_EQ(decoded.verdicts_imported, 11u);
   EXPECT_EQ(decoded.pendings_seeded, 3u);
@@ -492,6 +511,8 @@ WireJob MakeJob() {
   job.config.slice_cache_capacity = 99;
   job.config.solve_batch = 5;
   job.config.gossip_interval_ms = 7;
+  job.config.prune_subsumed = true;
+  job.config.corpus_seeds = {{65, 66, 67, 13}, {}, {120}};
   job.config.program.app = "int main() { return 0; }";
   job.config.program.libs = {"int helper() { return 1; }"};
   job.plan.method = InstrumentMethod::kDynamic;
@@ -553,6 +574,8 @@ TEST(DistWireTest, JobRoundTripsByteExactly) {
   EXPECT_EQ(decoded.config.slice_cache_capacity, 99u);
   EXPECT_EQ(decoded.config.solve_batch, 5u);
   EXPECT_EQ(decoded.config.gossip_interval_ms, 7);
+  EXPECT_TRUE(decoded.config.prune_subsumed);
+  EXPECT_EQ(decoded.config.corpus_seeds, job.config.corpus_seeds);
   // A shipped job never nests transports or shard counts.
   EXPECT_EQ(decoded.config.num_shards, 1u);
   EXPECT_EQ(decoded.config.transport, ReplayTransport::kFork);
@@ -637,6 +660,38 @@ TEST(DistWireTest, JobDecodeRejectsHostilePayloads) {
     WireJob job = MakeJob();
     job.report.shape.world.files[0].second = 7;
     const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  // More corpus seeds than any real job ships (forged count): refused
+  // before any allocation.
+  {
+    WireJob job = MakeJob();
+    job.config.corpus_seeds.assign(2000, std::vector<i64>{});
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  // A single absurd corpus model (memory bomb): refused by the per-seed
+  // cell cap even when the seed count is plausible.
+  {
+    WireJob job = MakeJob();
+    job.config.corpus_seeds = {std::vector<i64>(1, 7)};
+    std::vector<u8> payload = EncodeJobPayload(job);
+    // Find the encoded cell count (u32 value 1 followed by the lone i64
+    // cell value 7, little-endian) and inflate it past the cap.
+    const u8 needle[] = {1, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0};
+    bool patched = false;
+    for (size_t i = 0; i + sizeof(needle) <= payload.size(); ++i) {
+      if (std::equal(needle, needle + sizeof(needle), payload.begin() + i)) {
+        payload[i + 3] = 0x7f;  // count = 0x7f000001 > 1 << 20.
+        patched = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(patched);
     WireReader r(payload.data(), payload.size());
     WireJob decoded;
     EXPECT_FALSE(DecodeJob(&r, &decoded));

@@ -210,6 +210,209 @@ TEST(ReplayParallelTest, PortfolioPickReproduces) {
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 }
 
+// ----- Search-quality layer: direction pick, pruning, corpus, promotion -----
+
+// Pick::kDirection must reproduce sequentially and in a fleet — it is a
+// different pop order over the same sound frontier.
+TEST(ReplayParallelTest, DirectionPickReproduces) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  for (const u32 workers : {1u, 4u}) {
+    ReplayConfig config;
+    config.num_workers = workers;
+    config.pick = ReplayConfig::Pick::kDirection;
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced) << workers << " workers";
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+    // All completed runs are attributed to the direction discipline.
+    const size_t disc = static_cast<size_t>(SearchDiscipline::kDirection);
+    EXPECT_GT(replay.stats.discipline_runs[disc], 0u);
+    EXPECT_EQ(replay.stats.discipline_on_log[disc] > 0,
+              replay.stats.aborts_forced_direction > 0);
+  }
+}
+
+// Prune soundness: two identical corpus seeds make two workers walk the
+// same path and publish structurally identical pendings — the index must
+// drop the duplicates (pendings_pruned > 0) WITHOUT losing the crash:
+// everything a pruned pending could reach stays reachable through its
+// subsumer.
+TEST(ReplayParallelTest, SubsumptionPruneKeepsCrashReachable) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.num_workers = 2;
+  config.prune_subsumed = true;
+  // One benign input, twice: worker 0 runs seed 0, worker 1 runs the
+  // identical seed 1, so whoever publishes second collides on every set.
+  const std::vector<i64> benign(16, 120);
+  config.corpus_seeds = {benign, benign};
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+  EXPECT_GT(replay.stats.pendings_pruned, 0u);
+  // Every worker runs its corpus slice before touching the frontier, and
+  // the first crash can only land in someone's frontier phase — so at
+  // least one worker completed its corpus run (the second may have been
+  // stopped by first-crash-wins mid-phase).
+  EXPECT_GE(replay.stats.corpus_runs, 1u);
+  // Per-worker pruning aggregates losslessly.
+  u64 pruned = 0;
+  for (const ReplayWorkerStats& w : replay.stats.per_worker) {
+    pruned += w.pendings_pruned;
+  }
+  EXPECT_EQ(replay.stats.pendings_pruned, pruned);
+}
+
+// Sequential pruning: same soundness story on the single-worker loop
+// (the arena-side fingerprint chain must agree with the portable one).
+TEST(ReplayParallelTest, SequentialPruneStillReproduces) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  ReplayConfig config;
+  config.prune_subsumed = true;
+  const std::vector<i64> benign(16, 120);
+  config.corpus_seeds = {benign, benign};  // Identical runs back to back.
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  ASSERT_TRUE(replay.reproduced);
+  EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+  // The second identical corpus run re-publishes the first one's entire
+  // flippable set: every one of those duplicates must have been pruned.
+  EXPECT_GT(replay.stats.pendings_pruned, 0u);
+}
+
+// Corpus seeding: handing the fleet a witness-adjacent input makes the
+// search fall out of the corpus run (or a short push off it) — and the
+// runs are counted as corpus_runs.
+TEST(ReplayParallelTest, CorpusSeedShortCircuitsSearch) {
+  auto pipeline = MustBuild(kDeepGuardedCrash);
+  const InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  // Obtain a known witness, then replay with it as a corpus seed.
+  ReplayConfig warm;
+  warm.num_workers = 4;
+  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm);
+  ASSERT_TRUE(baseline.reproduced);
+
+  {
+    // Sequential: one initial random run, then the corpus run crashes —
+    // a cap of 3 is far too small for a cold search, so reproducing at
+    // all proves the seed did it.
+    ReplayConfig config;
+    config.max_runs = 3;
+    config.corpus_seeds = {baseline.witness_cells};
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced);
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+    EXPECT_EQ(replay.stats.corpus_runs, 1u);
+  }
+  {
+    // Fleet: one witness seed per worker — whichever corpus run lands
+    // first wins, and since the winning run IS a corpus run (counted
+    // before it starts), corpus_runs >= 1 deterministically.
+    ReplayConfig config;
+    config.num_workers = 4;
+    config.corpus_seeds = {baseline.witness_cells, baseline.witness_cells,
+                           baseline.witness_cells, baseline.witness_cells};
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    ASSERT_TRUE(replay.reproduced);
+    EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
+    EXPECT_GE(replay.stats.corpus_runs, 1u);
+  }
+}
+
+// A crash-free search under Pick::kPortfolio with more than four workers
+// runs the adaptive tail: once any fixed discipline has enough
+// attributed runs, adaptive workers promote themselves onto the best
+// on-log earner and the switch is counted.
+TEST(ReplayParallelTest, PortfolioPromotesAdaptiveWorkers) {
+  // Sixteen independent guard *locations* (unrolled, so each can be
+  // logged or left unlogged independently): the unlogged majority keeps
+  // the frontier wide enough to outlive many promotion intervals
+  // without ever reproducing (the report's crash site is made
+  // unreachable below).
+  constexpr const char* kWideSearch = R"(
+int main(int argc, char **argv) {
+  if (argc < 2) { return 1; }
+  int hits = 0;
+  if (argv[1][0] == 'a') { hits = hits + 1; }
+  if (argv[1][1] == 'b') { hits = hits + 1; }
+  if (argv[1][2] == 'c') { hits = hits + 1; }
+  if (argv[1][3] == 'd') { hits = hits + 1; }
+  if (argv[1][4] == 'e') { hits = hits + 1; }
+  if (argv[1][5] == 'f') { hits = hits + 1; }
+  if (argv[1][6] == 'g') { hits = hits + 1; }
+  if (argv[1][7] == 'h') { hits = hits + 1; }
+  if (argv[1][8] == 'i') { hits = hits + 1; }
+  if (argv[1][9] == 'j') { hits = hits + 1; }
+  if (argv[1][10] == 'k') { hits = hits + 1; }
+  if (argv[1][11] == 'l') { hits = hits + 1; }
+  if (argv[1][12] == 'm') { hits = hits + 1; }
+  if (argv[1][13] == 'n') { hits = hits + 1; }
+  if (argv[1][14] == 'o') { hits = hits + 1; }
+  if (argv[1][15] == 'p') { hits = hits + 1; }
+  if (hits == 16) { crash(3); }
+  return 0;
+}
+)";
+  auto pipeline = MustBuild(kWideSearch);
+  // A *partial* plan — the paper's actual regime: a third of the
+  // branches logged, the rest unlogged symbolic (case 1). The unlogged
+  // guards keep the frontier wide, while the logged ones produce
+  // forced-direction (2b) aborts — the nonzero on-log rates promotion
+  // ranks by. (All-branches plans have no case-1 branches and drain in
+  // a few dozen runs; empty plans never abort 2b, and an all-zero rate
+  // field must NOT promote — it would collapse the portfolio's
+  // randomized hedge onto DFS.)
+  InstrumentationPlan plan =
+      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+  plan.branches = DenseBitset(pipeline->module().branches.size());
+  for (size_t b = 0; b < pipeline->module().branches.size(); b += 3) {
+    plan.branches.Set(b);
+  }
+  InputSpec spec;
+  spec.argv = {"prog", "abcdefghijklmnop"};
+  spec.world.listen_fd = -1;
+  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  ASSERT_TRUE(user.result.Crashed());
+
+  // Redirect the reported crash site so no run ever "reproduces": the
+  // fleet searches until the run cap, which is what promotion needs.
+  BugReport report = user.report;
+  report.crash.loc.line += 1000;
+
+  ReplayConfig config;
+  config.num_workers = 6;  // Workers 4 and 5 are adaptive.
+  config.pick = ReplayConfig::Pick::kPortfolio;
+  config.max_runs = 2000;
+  const ReplayResult replay = pipeline->Reproduce(report, plan, config);
+  EXPECT_FALSE(replay.reproduced);
+  EXPECT_GE(replay.stats.promotions, 1u);
+  // Attribution covers the fleet: every completed run landed in exactly
+  // one discipline bucket, and no bucket exceeds the total.
+  u64 attributed = 0;
+  for (const u64 runs : replay.stats.discipline_runs) {
+    attributed += runs;
+  }
+  EXPECT_GT(attributed, 0u);
+  EXPECT_LE(attributed, replay.stats.runs);
+}
+
 // (c) Aggregation is lossless: every counter in the aggregate equals the
 // sum over per-worker entries — every abort is counted exactly once.
 TEST(ReplayParallelTest, StatsAggregateLosslessly) {
@@ -352,6 +555,26 @@ TEST(ReplayParallelTest, WorkQueueDrainTerminates) {
   int out = 0;
   bool stolen = false;
   EXPECT_FALSE(queue.Pop(0, PopOrder::kNewestFirst, &out, &stolen));
+}
+
+// After first-crash-wins Close(), a donor pump must not carve pendings
+// for peers: the search is over, exporting would be wasted wire traffic
+// and a misleading pendings_exported count.
+TEST(ReplayParallelTest, WorkQueueRefusesExportWhenClosed) {
+  WorkStealingQueue<int> queue(2);
+  queue.Push(0, 1);
+  queue.Push(0, 2);
+  queue.Push(0, 3);
+  queue.Push(1, 4);
+
+  std::vector<int> out;
+  EXPECT_EQ(queue.ExportDeepest(/*max_items=*/2, /*min_keep=*/0, &out), 2u);
+  EXPECT_EQ(out.size(), 2u);
+
+  queue.Close();
+  out.clear();
+  EXPECT_EQ(queue.ExportDeepest(/*max_items=*/8, /*min_keep=*/0, &out), 0u);
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

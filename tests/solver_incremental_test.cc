@@ -231,6 +231,94 @@ TEST(IncrementalSolverTest, WorkQueuePopBatchDrainsOwnDequeOnly) {
   EXPECT_EQ(stolen, 1u);
 }
 
+// The direction key is independent of the priority key: the same frontier
+// serves log-bits and direction-aware consumers with different orders.
+TEST(IncrementalSolverTest, WorkQueueHighestDirectionOrder) {
+  WorkStealingQueue<int> queue(1);
+  queue.Push(0, 1, /*priority=*/100, /*direction=*/1);
+  queue.Push(0, 2, /*priority=*/1, /*direction=*/50);
+  queue.Push(0, 3, /*priority=*/50, /*direction=*/50);  // Direction tie: newest first.
+
+  int out = 0;
+  bool stolen = false;
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestDirection, &out, &stolen));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestDirection, &out, &stolen));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestDirection, &out, &stolen));
+  EXPECT_EQ(out, 1);
+}
+
+// Batched priority takes must return the same multiset as repeated
+// single pops, in descending key order — the batch path is one selection
+// pass with swap-removals, not one O(n) scan per extra.
+TEST(IncrementalSolverTest, WorkQueuePopBatchHighestPriorityOrder) {
+  WorkStealingQueue<int> queue(1);
+  const u64 priorities[] = {10, 30, 20, 30, 5, 40, 20};
+  for (int i = 0; i < 7; ++i) {
+    queue.Push(0, i + 1, priorities[i]);
+  }
+
+  std::vector<int> out;
+  u64 stolen = 0;
+  ASSERT_TRUE(queue.PopBatch(0, PopOrder::kHighestPriority, 5, &out, &stolen));
+  EXPECT_EQ(stolen, 0u);
+  // 40 first, then the 30s (newest of the tie first), then the 20s.
+  EXPECT_EQ(out, (std::vector<int>{6, 4, 2, 7, 3}));
+  // The remainder is still poppable in priority order.
+  int one = 0;
+  bool was_stolen = false;
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestPriority, &one, &was_stolen));
+  EXPECT_EQ(one, 1);  // priority 10.
+  ASSERT_TRUE(queue.Pop(0, PopOrder::kHighestPriority, &one, &was_stolen));
+  EXPECT_EQ(one, 5);  // priority 5.
+}
+
+// ----- Prefix-subsumption index -----
+
+TEST(IncrementalSolverTest, FingerprintSetInsertSemantics) {
+  FingerprintSet set;
+  EXPECT_FALSE(set.Contains(42));
+  EXPECT_TRUE(set.Insert(42));    // First sighting.
+  EXPECT_FALSE(set.Insert(42));   // Duplicate: the push-side prune signal.
+  EXPECT_TRUE(set.Contains(42));
+  for (u64 fp = 0; fp < 1000; ++fp) {
+    EXPECT_TRUE(set.Insert(fp * 0x9e3779b97f4a7c15ull + 1));
+  }
+  EXPECT_EQ(set.size(), 1001u);
+}
+
+// The chain primitives must agree with FingerprintConstraints at every
+// prefix, and a negate-last pending set must fingerprint exactly like a
+// run that executed the opposite polarity — the subsumption identity.
+TEST(IncrementalSolverTest, FingerprintChainMatchesPrefixFingerprints) {
+  ExprArena arena;
+  std::vector<Constraint> cs;
+  for (int i = 0; i < 6; ++i) {
+    const ExprRef cmp = arena.MkBin(ExprOp::kGt, arena.MkVar(i), arena.MkConst(10 * i));
+    cs.push_back(Constraint{cmp, (i % 2) == 0});
+  }
+  const PortableTrace trace = ExportTrace(arena, cs);
+  const std::vector<u64> node_hash = PortableNodeHashes(trace);
+
+  u64 chain = kConstraintFingerprintSeed;
+  for (size_t i = 0; i < trace.constraints.size(); ++i) {
+    const Constraint& c = trace.constraints[i];
+    // Prefix [0, i) as executed == the chain so far.
+    EXPECT_EQ(chain, FingerprintConstraints(trace, i, /*negate_last=*/false)) << i;
+    // A pending that negates constraint i fingerprints as the chain
+    // extended with the flipped polarity...
+    EXPECT_EQ(ExtendConstraintFingerprint(chain, node_hash[c.expr], !c.want_true),
+              FingerprintConstraints(trace, i + 1, /*negate_last=*/true))
+        << i;
+    chain = ExtendConstraintFingerprint(chain, node_hash[c.expr], c.want_true);
+    // ...which is exactly the fingerprint of a trace that *executed* the
+    // opposite direction there (checked via the arena-side hash too).
+    EXPECT_EQ(chain, FingerprintConstraints(trace, i + 1, /*negate_last=*/false)) << i;
+    EXPECT_EQ(arena.StructuralHash(cs[i].expr), node_hash[trace.constraints[i].expr]) << i;
+  }
+}
+
 // ----- Engine wiring -----
 
 constexpr const char* kDeepGuardedCrash = R"(

@@ -2,8 +2,9 @@
 # Knob-consistency check between docs/BENCHMARKS.md and the source tree.
 #
 # Fails when:
-#   1. a RETRACE_* environment knob read by the source (std::getenv) is
-#      not documented in docs/BENCHMARKS.md, or
+#   1. a RETRACE_* environment knob read by the source (std::getenv or
+#      the strict EnvKnob* wrappers of src/support/env.h) is not
+#      documented in docs/BENCHMARKS.md, or
 #   2. a RETRACE_* name mentioned in docs/BENCHMARKS.md appears nowhere
 #      in the repo (stale documentation).
 #
@@ -18,8 +19,9 @@ if [ ! -f "$doc" ]; then
 fi
 
 doc_knobs=$(grep -oE 'RETRACE_[A-Z0-9_]+' "$doc" | sort -u)
-src_knobs=$(grep -rhoE 'getenv\("RETRACE_[A-Z0-9_]+"\)' src bench tests tools 2>/dev/null |
-  grep -oE 'RETRACE_[A-Z0-9_]+' | sort -u)
+src_knobs=$(grep -rhoE '(getenv|EnvKnobI64|EnvKnobBool)\("RETRACE_[A-Z0-9_]+"' \
+  src bench tests tools 2>/dev/null |
+  grep -oE 'RETRACE_[A-Z0-9_]+' | grep -v '^RETRACE_TEST_' | sort -u)
 
 fail=0
 for knob in $src_knobs; do
