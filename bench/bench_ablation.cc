@@ -29,10 +29,10 @@ int Main() {
   for (const auto* label : {"lc", "hc"}) {
     const AnalysisResult& dyn = std::string(label) == "lc" ? lc : hc;
     const auto plan_on =
-        pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat, with_rule);
+        pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat), with_rule);
     const auto plan_off =
-        pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat, no_rule);
-    const auto static_plan = pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat);
+        pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat), no_rule);
+    const auto static_plan = pipeline->MakePlan(PlanInputs::Static(stat));
     std::printf("  %s: with rule %zu, without %zu (static alone: %zu)\n", label,
                 plan_on.NumInstrumented(), plan_off.NumInstrumented(),
                 static_plan.NumInstrumented());
@@ -44,9 +44,9 @@ int Main() {
   {
     const InputSpec load = UserverLoadSpec(100 * BenchScale());
     const auto plan_on =
-        pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat, with_rule);
+        pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat), with_rule);
     const auto plan_off =
-        pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat, no_rule);
+        pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat), no_rule);
     const auto on = pipeline->MeasureOverhead(load, plan_on, nullptr, 2);
     const auto off = pipeline->MeasureOverhead(load, plan_off, nullptr, 2);
     std::printf("  logged executions: with rule %llu, without %llu (%.0f%% more)\n\n",
@@ -62,16 +62,16 @@ int Main() {
   // --- B. Pending-set pick heuristic at replay. ---
   std::printf("B. pending-set pick heuristic (scenario 3, dynamic-lc plan — the\n");
   std::printf("   configuration with real searching to do):\n");
-  const auto plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat);
+  const auto plan = pipeline->MakePlan(PlanInputs::Dynamic(lc));
   const Scenario scenario = UserverScenario(3);
   Pipeline::UserRunOptions options;
   options.policy = scenario.policy.get();
-  const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
+  const auto user = pipeline->RecordUserRun(scenario.spec, plan, options).take();
   if (user.result.Crashed()) {
     for (const auto pick : {ReplayConfig::Pick::kDfs, ReplayConfig::Pick::kFifo}) {
       ReplayConfig config = DefaultReplayConfig();
       config.pick = pick;
-      const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+      const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
       std::printf("  %-5s: %s in %llu runs (%llu solver calls, pending peak %llu)\n",
                   pick == ReplayConfig::Pick::kDfs ? "DFS" : "FIFO",
                   ReplayCell(replay).c_str(),

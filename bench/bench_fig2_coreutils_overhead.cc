@@ -23,7 +23,7 @@ void BenchTool(const char* tool) {
   for (const InstrumentMethod method :
        {InstrumentMethod::kDynamic, InstrumentMethod::kDynamicStatic, InstrumentMethod::kStatic,
         InstrumentMethod::kAllBranches}) {
-    const InstrumentationPlan plan = pipeline->MakePlan(method, &dyn, &stat);
+    const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(method, &dyn, &stat));
     const auto sample = pipeline->MeasureOverhead(benign.spec, plan, benign.policy.get(), reps);
     std::printf("%-16s %-12.1f %-14llu %-12llu %-10llu\n", InstrumentMethodName(method),
                 ModeledNativeCpuPercent(sample),

@@ -34,18 +34,18 @@ int Main() {
   };
   std::vector<Config> configs;
   configs.push_back({"dynamic (lc)",
-                     pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat), "~117%"});
+                     pipeline->MakePlan(PlanInputs::Dynamic(lc)), "~117%"});
   configs.push_back({"dynamic (hc)",
-                     pipeline->MakePlan(InstrumentMethod::kDynamic, &hc, &stat), "~117%"});
+                     pipeline->MakePlan(PlanInputs::Dynamic(hc)), "~117%"});
   configs.push_back({"dynamic+static (lc)",
-                     pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &lc, &stat), "~120%"});
+                     pipeline->MakePlan(PlanInputs::DynamicStatic(lc, stat)), "~120%"});
   configs.push_back({"dynamic+static (hc)",
-                     pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat), "~120%"});
+                     pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat)), "~120%"});
   configs.push_back({"static",
-                     pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat),
+                     pipeline->MakePlan(PlanInputs::Static(stat)),
                      "near all-branches"});
   configs.push_back({"all branches",
-                     pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr),
+                     pipeline->MakePlan(PlanInputs::AllBranches()),
                      "highest"});
 
   const InputSpec spec = UserverLoadSpec(requests);

@@ -38,7 +38,7 @@ int Main() {
       {InstrumentMethod::kAllBranches, "highest (8840 locations)"},
   };
   for (const auto& row : kRows) {
-    const InstrumentationPlan plan = pipeline->MakePlan(row.method, &dyn, &stat);
+    const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(row.method, &dyn, &stat));
     const auto sample = pipeline->MeasureOverhead(benign.spec, plan, nullptr, reps);
     std::printf("%-16s %-12.1f %-12zu %-14llu %-12llu %s\n", InstrumentMethodName(row.method),
                 ModeledNativeCpuPercent(sample), plan.NumInstrumented(),

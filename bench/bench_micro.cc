@@ -71,7 +71,7 @@ Listing1Fixture& Fixture() {
 void RunListing1(benchmark::State& state, InstrumentMethod method, bool instrumented) {
   Listing1Fixture& fixture = Fixture();
   const InstrumentationPlan plan =
-      fixture.pipeline->MakePlan(method, &fixture.dyn, &fixture.stat);
+      fixture.pipeline->MakePlan(PlanInputs::ForMethod(method, &fixture.dyn, &fixture.stat));
   for (auto _ : state) {
     const auto sample =
         fixture.pipeline->MeasureOverhead(Listing1Spec('b'), plan, nullptr, 1);

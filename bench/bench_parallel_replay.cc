@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/concolic/corpus_mutate.h"
 
 namespace retrace {
 namespace {
@@ -69,14 +70,20 @@ int Main() {
   StaticAnalysisOptions opaque;
   opaque.analyze_library = false;
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(opaque);
-  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat);
+  const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::Dynamic(lc));
 
   const i64 cap_ms = BenchCapMs(30'000 * static_cast<i64>(BenchScale()));
   // The exp-5 offensive knobs: corpus seeds come from the lc dynamic
   // analysis above — exactly the paper's "leverage the dynamic analysis"
   // move, now feeding replay instead of the plan alone.
   const bool corpus_enabled = ReplayCorpusEnabled();
-  const std::vector<std::vector<i64>>& corpus = lc.corpus;
+  const u32 corpus_mutants = ReplayCorpusMutants();
+  // Optionally fuzz the harvested models into their neighborhoods
+  // (RETRACE_REPLAY_CORPUS_MUTATE=N mutants per seed).
+  const std::vector<std::vector<i64>> corpus =
+      corpus_mutants == 0 ? lc.corpus
+                          : MutateCorpus(lc.corpus, /*seed=*/7, corpus_mutants,
+                                         /*max_total=*/256);
   std::printf("budget %" PRId64 ".%03" PRId64 "s per cell; 'inf' = not reproduced within "
               "budget (RETRACE_BENCH_CAP_MS overrides)\n",
               cap_ms / 1000, cap_ms % 1000);
@@ -86,6 +93,8 @@ int Main() {
               ReplayPickName());
   std::printf("subsumption pruning: %s (RETRACE_REPLAY_PRUNE=1 enables)\n",
               ReplayPruneEnabled() ? "on" : "off");
+  std::printf("corpus mutation: %u mutants/seed (RETRACE_REPLAY_CORPUS_MUTATE)\n",
+              corpus_mutants);
   std::printf("corpus seeding: %s, %zu dynamic-analysis seeds (RETRACE_REPLAY_CORPUS=1 "
               "enables)\n",
               corpus_enabled ? "on" : "off", corpus.size());
@@ -140,7 +149,7 @@ int Main() {
       const Scenario scenario = UserverScenario(experiment);
       Pipeline::UserRunOptions options;
       options.policy = scenario.policy.get();
-      const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
+      const auto user = pipeline->RecordUserRun(scenario.spec, plan, options).take();
       if (!user.result.Crashed()) {
         std::printf("exp %d: user run did not crash!\n", experiment);
         continue;
@@ -154,7 +163,7 @@ int Main() {
         if (corpus_enabled) {
           config.corpus_seeds = corpus;
         }
-        const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+        const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
         // Budget-capped cells charge the full cap, like the paper's inf rows.
         total_seconds[i] +=
             replay.reproduced ? replay.wall_seconds : static_cast<double>(cap_ms) / 1000.0;

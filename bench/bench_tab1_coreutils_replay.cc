@@ -28,13 +28,13 @@ int Main() {
     for (const InstrumentMethod method :
          {InstrumentMethod::kDynamic, InstrumentMethod::kStatic,
           InstrumentMethod::kDynamicStatic, InstrumentMethod::kAllBranches}) {
-      const InstrumentationPlan plan = pipeline->MakePlan(method, &dyn, &stat);
-      const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+      const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(method, &dyn, &stat));
+      const auto user = pipeline->RecordUserRun(bug.spec, plan, {}).take();
       if (!user.result.Crashed()) {
         cells[i++] = "no-crash!";
         continue;
       }
-      const ReplayResult replay = pipeline->Reproduce(user.report, plan, DefaultReplayConfig());
+      const ReplayResult replay = pipeline->Reproduce(user.report, plan, DefaultReplayConfig()).take();
       cells[i++] = ReplayCell(replay) + " (" + std::to_string(replay.stats.runs) + " runs)";
     }
     std::printf("%-8s | %-12s %-12s %-16s %-12s\n", tool, cells[0].c_str(), cells[1].c_str(),

@@ -36,7 +36,7 @@ int Main() {
   std::printf("%-22s %-10s %-10s   %s\n", "version", "LC", "HC", "paper (LC/HC)");
   auto plan_size = [&](InstrumentMethod method, const AnalysisResult& dyn,
                        const PlanOptions& options = PlanOptions{}) {
-    return pipeline->MakePlan(method, &dyn, &stat, options).NumInstrumented();
+    return pipeline->MakePlan(PlanInputs::ForMethod(method, &dyn, &stat), options).NumInstrumented();
   };
   std::printf("%-22s %-10zu %-10zu   78 / 246\n", "dynamic",
               plan_size(InstrumentMethod::kDynamic, lc),
@@ -45,10 +45,10 @@ int Main() {
               plan_size(InstrumentMethod::kDynamicStatic, lc),
               plan_size(InstrumentMethod::kDynamicStatic, hc));
   std::printf("%-22s %-10zu %-10s   2104\n", "static",
-              pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat).NumInstrumented(),
+              pipeline->MakePlan(PlanInputs::Static(stat)).NumInstrumented(),
               "(same)");
   std::printf("%-22s %-10zu %-10s   5104 (+8516 lib)\n", "all branches",
-              pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)
+              pipeline->MakePlan(PlanInputs::AllBranches())
                   .NumInstrumented(),
               "(same)");
 

@@ -32,15 +32,15 @@ int Main() {
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(opaque);
 
   std::vector<ConfigRow> configs;
-  configs.push_back({"dynamic (lc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat)});
-  configs.push_back({"dynamic (hc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &hc, &stat)});
+  configs.push_back({"dynamic (lc)", pipeline->MakePlan(PlanInputs::Dynamic(lc))});
+  configs.push_back({"dynamic (hc)", pipeline->MakePlan(PlanInputs::Dynamic(hc))});
   configs.push_back(
-      {"dyn+static (lc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &lc, &stat)});
+      {"dyn+static (lc)", pipeline->MakePlan(PlanInputs::DynamicStatic(lc, stat))});
   configs.push_back(
-      {"dyn+static (hc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat)});
-  configs.push_back({"static", pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat)});
+      {"dyn+static (hc)", pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat))});
+  configs.push_back({"static", pipeline->MakePlan(PlanInputs::Static(stat))});
   configs.push_back(
-      {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)});
+      {"all branches", pipeline->MakePlan(PlanInputs::AllBranches())});
 
   std::printf("replay workers: %u (RETRACE_REPLAY_WORKERS; >1 engages the parallel\n"
               "scheduler — see bench_parallel_replay for the speedup sweep)\n\n",
@@ -59,13 +59,13 @@ int Main() {
     for (const ConfigRow& config : configs) {
       Pipeline::UserRunOptions options;
       options.policy = scenario.policy.get();
-      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, options);
+      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, options).take();
       if (!user.result.Crashed()) {
         std::printf("%-18s user run did not crash!\n", config.name.c_str());
         continue;
       }
       const ReplayResult replay =
-          pipeline->Reproduce(user.report, config.plan, DefaultReplayConfig());
+          pipeline->Reproduce(user.report, config.plan, DefaultReplayConfig()).take();
       char logged[64];
       char unlogged[64];
       std::snprintf(logged, sizeof(logged), "%llu / %llu",

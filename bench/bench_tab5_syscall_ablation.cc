@@ -36,15 +36,15 @@ int Main() {
     InstrumentationPlan plan;
   };
   std::vector<ConfigRow> configs;
-  configs.push_back({"dynamic (lc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat)});
-  configs.push_back({"dynamic (hc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &hc, &stat)});
+  configs.push_back({"dynamic (lc)", pipeline->MakePlan(PlanInputs::Dynamic(lc))});
+  configs.push_back({"dynamic (hc)", pipeline->MakePlan(PlanInputs::Dynamic(hc))});
   configs.push_back(
-      {"dyn+static (lc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &lc, &stat)});
+      {"dyn+static (lc)", pipeline->MakePlan(PlanInputs::DynamicStatic(lc, stat))});
   configs.push_back(
-      {"dyn+static (hc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat)});
-  configs.push_back({"static", pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat)});
+      {"dyn+static (hc)", pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat))});
+  configs.push_back({"static", pipeline->MakePlan(PlanInputs::Static(stat))});
   configs.push_back(
-      {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)});
+      {"all branches", pipeline->MakePlan(PlanInputs::AllBranches())});
 
   for (int experiment : {1, 4}) {
     const Scenario scenario = UserverScenario(experiment);
@@ -55,18 +55,18 @@ int Main() {
       Pipeline::UserRunOptions options;
       options.policy = scenario.policy.get();
       options.log_syscalls = true;
-      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, options);
+      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, options).take();
       if (!user.result.Crashed()) {
         std::printf("%-18s user run did not crash!\n", config.name.c_str());
         continue;
       }
       ReplayConfig with_log = DefaultReplayConfig();
       with_log.use_syscall_log = true;
-      const ReplayResult fast = pipeline->Reproduce(user.report, config.plan, with_log);
+      const ReplayResult fast = pipeline->Reproduce(user.report, config.plan, with_log).take();
 
       ReplayConfig no_log = DefaultReplayConfig();
       no_log.use_syscall_log = false;
-      const ReplayResult slow = pipeline->Reproduce(user.report, config.plan, no_log);
+      const ReplayResult slow = pipeline->Reproduce(user.report, config.plan, no_log).take();
 
       char unlogged[64];
       std::snprintf(unlogged, sizeof(unlogged), "%llu / %llu",
@@ -82,7 +82,7 @@ int Main() {
 
   // User-site cost of keeping syscall logging on (paper: ~0.2%).
   const InputSpec load = UserverLoadSpec(100 * BenchScale());
-  const auto plan = pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat);
+  const auto plan = pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat));
   const auto with_syscalls = pipeline->MeasureOverhead(load, plan, nullptr, 3, true);
   std::printf("Syscall log size for %d requests: %llu bytes (branch log: %llu bytes)\n",
               100 * BenchScale(),

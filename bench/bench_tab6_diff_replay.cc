@@ -27,12 +27,12 @@ int Main() {
     InstrumentationPlan plan;
   };
   std::vector<ConfigRow> configs;
-  configs.push_back({"dynamic", pipeline->MakePlan(InstrumentMethod::kDynamic, &dyn, &stat)});
+  configs.push_back({"dynamic", pipeline->MakePlan(PlanInputs::Dynamic(dyn))});
   configs.push_back(
-      {"dyn+static", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat)});
-  configs.push_back({"static", pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat)});
+      {"dyn+static", pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat))});
+  configs.push_back({"static", pipeline->MakePlan(PlanInputs::Static(stat))});
   configs.push_back(
-      {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)});
+      {"all branches", pipeline->MakePlan(PlanInputs::AllBranches())});
 
   for (int experiment = 1; experiment <= 2; ++experiment) {
     const Scenario scenario = DiffScenario(experiment);
@@ -40,13 +40,13 @@ int Main() {
     std::printf("%-14s %-14s %-8s %-22s %-22s\n", "version", "replay", "runs",
                 "sym logged loc/exec", "sym UNLOGGED loc/exec");
     for (const ConfigRow& config : configs) {
-      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, {});
+      const auto user = pipeline->RecordUserRun(scenario.spec, config.plan, {}).take();
       if (!user.result.Crashed()) {
         std::printf("%-14s user run did not crash!\n", config.name.c_str());
         continue;
       }
       const ReplayResult replay =
-          pipeline->Reproduce(user.report, config.plan, DefaultReplayConfig());
+          pipeline->Reproduce(user.report, config.plan, DefaultReplayConfig()).take();
       char logged[64];
       char unlogged[64];
       std::snprintf(logged, sizeof(logged), "%llu / %llu",

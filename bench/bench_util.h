@@ -66,47 +66,16 @@ inline AnalysisConfig HighCoverageConfig() {
   return config;
 }
 
-// Replay worker count for the table benches: RETRACE_REPLAY_WORKERS
-// (default 1, the sequential engine, so historical numbers stay
-// comparable; bench_parallel_replay sweeps counts explicitly). Strictly
-// parsed: a negative or garbage count aborts instead of silently
-// running sequentially.
-inline u32 ReplayWorkers() {
-  return static_cast<u32>(EnvKnobI64("RETRACE_REPLAY_WORKERS", 1, 1, 4096));
-}
+// Single-value replay knobs (workers, pick, solver cache, pruning,
+// shards, transport, gossip cadence) are parsed by the engine's own
+// ReplayConfig::FromEnv (src/replay/replay_engine.h) — one strict,
+// documented parser shared by benches, CI legs, and tools, instead of
+// per-bench getenv scatter. The thin wrappers below exist for benches
+// that print or branch on one knob; ReplayShardsSweep stays bench-side
+// because sweeping a *list* of shard counts is a bench concept.
+inline u32 ReplayWorkers() { return ReplayConfig::FromEnv().num_workers; }
 
-// Pending-pick heuristic for the table benches: RETRACE_REPLAY_PICK =
-// dfs (default) | fifo | logbits | direction | portfolio. logbits was
-// PR 2's exp-5 bet (deepest on-log prefix first); direction is PR 5's
-// (most forced logged directions first). An unrecognized value aborts —
-// a typo silently falling back to DFS produced untrustworthy sweeps.
-inline ReplayConfig::Pick ReplayPick() {
-  const char* env = std::getenv("RETRACE_REPLAY_PICK");
-  if (env == nullptr) {
-    return ReplayConfig::Pick::kDfs;
-  }
-  const std::string pick = env;
-  if (pick == "dfs") {
-    return ReplayConfig::Pick::kDfs;
-  }
-  if (pick == "fifo") {
-    return ReplayConfig::Pick::kFifo;
-  }
-  if (pick == "logbits") {
-    return ReplayConfig::Pick::kLogBits;
-  }
-  if (pick == "direction") {
-    return ReplayConfig::Pick::kDirection;
-  }
-  if (pick == "portfolio") {
-    return ReplayConfig::Pick::kPortfolio;
-  }
-  std::fprintf(stderr,
-               "RETRACE_REPLAY_PICK: invalid value '%s' "
-               "(expected dfs|fifo|logbits|direction|portfolio)\n",
-               env);
-  std::exit(2);
-}
+inline ReplayConfig::Pick ReplayPick() { return ReplayConfig::FromEnv().pick; }
 
 inline const char* ReplayPickName() {
   switch (ReplayPick()) {
@@ -119,23 +88,9 @@ inline const char* ReplayPickName() {
   return "dfs";
 }
 
-// Incremental-solver layer knob for the table benches, mirroring
-// RETRACE_REPLAY_WORKERS: RETRACE_SOLVER_CACHE=0/off/false disables the
-// partition/slice-cache pipeline (the monolithic solver of the original
-// engine); unset or 1/on/true leaves it on. Strictly parsed —
-// historically `RETRACE_SOLVER_CACHE=true` atoi'd to 0 and *disabled*
-// the cache the user asked for.
-inline bool SolverCacheEnabled() {
-  return EnvKnobBool("RETRACE_SOLVER_CACHE", true);
-}
+inline bool SolverCacheEnabled() { return ReplayConfig::FromEnv().solver_cache; }
 
-// Prefix-subsumption pruning knob (ReplayConfig::prune_subsumed):
-// RETRACE_REPLAY_PRUNE=1 drops pendings whose constraint set was already
-// executed or published, at Push time. Off by default so the historical
-// run counts stay comparable.
-inline bool ReplayPruneEnabled() {
-  return EnvKnobBool("RETRACE_REPLAY_PRUNE", false);
-}
+inline bool ReplayPruneEnabled() { return ReplayConfig::FromEnv().prune_subsumed; }
 
 // Corpus-seeding knob: RETRACE_REPLAY_CORPUS=1 hands the dynamic
 // analysis' model corpus (AnalysisResult::corpus) to the replay engine
@@ -143,6 +98,15 @@ inline bool ReplayPruneEnabled() {
 // owns the dynamic-analysis result); off by default.
 inline bool ReplayCorpusEnabled() {
   return EnvKnobBool("RETRACE_REPLAY_CORPUS", false);
+}
+
+// Corpus-mutation knob: RETRACE_REPLAY_CORPUS_MUTATE=N derives N
+// deterministic mutants per harvested corpus model (point / nudge /
+// splice operators, src/concolic/corpus_mutate.h) before seeding the
+// replay engine. 0 (default) seeds the corpus unmutated. Only read by
+// benches that also wire RETRACE_REPLAY_CORPUS.
+inline u32 ReplayCorpusMutants() {
+  return static_cast<u32>(EnvKnobI64("RETRACE_REPLAY_CORPUS_MUTATE", 0, 0, 64));
 }
 
 // Distributed-shard knob: RETRACE_REPLAY_SHARDS is a comma-separated
@@ -178,44 +142,24 @@ inline std::vector<u32> ReplayShardsSweep() {
   return out;
 }
 
-inline u32 ReplayShards() { return ReplayShardsSweep().front(); }
+inline u32 ReplayShards() { return ReplayConfig::FromEnv().num_shards; }
 
-// Distributed transport knob: RETRACE_REPLAY_TRANSPORT = fork (default,
-// socketpairs on this host) | tcp (listener + loopback self-spawned
-// shards — the same path a remote retrace_shardd takes). Only matters
-// when the shard count is > 1.
-inline ReplayTransport ReplayTransportMode() {
-  const char* env = std::getenv("RETRACE_REPLAY_TRANSPORT");
-  if (env != nullptr && std::string(env) == "tcp") {
-    return ReplayTransport::kTcp;
-  }
-  return ReplayTransport::kFork;
-}
+inline ReplayTransport ReplayTransportMode() { return ReplayConfig::FromEnv().transport; }
 
 inline const char* ReplayTransportName() {
   return ReplayTransportMode() == ReplayTransport::kTcp ? "tcp" : "fork";
 }
 
-// Shard gossip pump cadence: RETRACE_GOSSIP_INTERVAL_MS (default 20),
-// within the engine's [1, 1000] clamp. Strictly parsed: a garbage
-// cadence aborts instead of silently pumping at the default.
-inline int GossipIntervalMs() {
-  return static_cast<int>(EnvKnobI64("RETRACE_GOSSIP_INTERVAL_MS", 20, 1, 1000));
-}
+inline int GossipIntervalMs() { return ReplayConfig::FromEnv().gossip_interval_ms; }
 
 // The paper allots one hour of replay; scaled here.
 inline ReplayConfig DefaultReplayConfig() {
-  ReplayConfig config;
+  ReplayConfig config = ReplayConfig::FromEnv();
+  // Budget and seed are bench policy, not env knobs: historical numbers
+  // depend on them staying fixed.
   config.wall_ms = BenchCapMs(20'000 * static_cast<i64>(BenchScale()));
   config.max_runs = 50'000;
   config.seed = 31;
-  config.num_workers = ReplayWorkers();
-  config.num_shards = ReplayShards();
-  config.solver_cache = SolverCacheEnabled();
-  config.pick = ReplayPick();
-  config.prune_subsumed = ReplayPruneEnabled();
-  config.transport = ReplayTransportMode();
-  config.gossip_interval_ms = GossipIntervalMs();
   return config;
 }
 

@@ -36,13 +36,13 @@ int main() {
   for (const InstrumentMethod method :
        {InstrumentMethod::kDynamic, InstrumentMethod::kStatic, InstrumentMethod::kDynamicStatic,
         InstrumentMethod::kAllBranches}) {
-    const InstrumentationPlan plan = pipeline->MakePlan(method, &dyn, &stat);
-    const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+    const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(method, &dyn, &stat));
+    const auto user = pipeline->RecordUserRun(bug.spec, plan, {}).take();
     if (!user.result.Crashed()) {
       std::printf("%-16s user run did not crash?!\n", InstrumentMethodName(method));
       continue;
     }
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{}).take();
     if (!replay.reproduced) {
       std::printf("%-16s NOT reproduced within budget\n", InstrumentMethodName(method));
       continue;

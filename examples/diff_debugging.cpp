@@ -23,12 +23,12 @@ int main() {
   auto pipeline = built.take();
 
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
-  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat);
+  const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::Static(stat));
   std::printf("static plan: %zu of %zu branch locations instrumented\n",
               plan.NumInstrumented(), pipeline->module().NumBranchLocations());
 
   const Scenario scenario = DiffScenario(1);
-  const auto user = pipeline->RecordUserRun(scenario.spec, plan, {});
+  const auto user = pipeline->RecordUserRun(scenario.spec, plan, {}).take();
   if (!user.result.Crashed()) {
     std::printf("diff did not crash?!\n");
     return 1;
@@ -40,7 +40,7 @@ int main() {
               static_cast<unsigned long long>(user.report.stats.log_bytes),
               static_cast<unsigned long long>(user.report.stats.syscall_log_bytes));
 
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{}).take();
   if (!replay.reproduced) {
     std::printf("not reproduced within budget\n");
     return 1;

@@ -71,7 +71,7 @@ int main() {
 
   // 3. The combined dynamic+static plan (the paper's best tradeoff).
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat);
+      pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat));
   std::printf("instrumentation plan (%s): %zu of %zu branch locations\n",
               InstrumentMethodName(plan.method), plan.NumInstrumented(),
               pipeline->module().NumBranchLocations());
@@ -80,7 +80,7 @@ int main() {
   InputSpec user_input;
   user_input.argv = {"demo", "go", "9314159"};
   user_input.world.listen_fd = -1;
-  const auto user = pipeline->RecordUserRun(user_input, plan, {});
+  const auto user = pipeline->RecordUserRun(user_input, plan, {}).take();
   if (!user.result.Crashed()) {
     std::printf("unexpected: user run did not crash\n");
     return 1;
@@ -92,7 +92,7 @@ int main() {
 
   // 5. Developer site: reproduce from the report alone.
   ReplayConfig replay_config;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config).take();
   if (!replay.reproduced) {
     std::printf("reproduction failed within budget\n");
     return 1;

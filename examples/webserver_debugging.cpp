@@ -52,12 +52,12 @@ int main() {
     InstrumentationPlan plan;
   };
   Row rows[] = {
-      {"dynamic (lc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &lc, &stat)},
-      {"dynamic (hc)", pipeline->MakePlan(InstrumentMethod::kDynamic, &hc, &stat)},
-      {"dyn+static (lc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &lc, &stat)},
-      {"dyn+static (hc)", pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &hc, &stat)},
-      {"static", pipeline->MakePlan(InstrumentMethod::kStatic, nullptr, &stat)},
-      {"all branches", pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr)},
+      {"dynamic (lc)", pipeline->MakePlan(PlanInputs::Dynamic(lc))},
+      {"dynamic (hc)", pipeline->MakePlan(PlanInputs::Dynamic(hc))},
+      {"dyn+static (lc)", pipeline->MakePlan(PlanInputs::DynamicStatic(lc, stat))},
+      {"dyn+static (hc)", pipeline->MakePlan(PlanInputs::DynamicStatic(hc, stat))},
+      {"static", pipeline->MakePlan(PlanInputs::Static(stat))},
+      {"all branches", pipeline->MakePlan(PlanInputs::AllBranches())},
   };
 
   std::printf("%-18s %-8s %-10s %-10s %-8s %s\n", "method", "plan", "log_bytes", "replay",
@@ -65,14 +65,14 @@ int main() {
   for (const Row& row : rows) {
     Pipeline::UserRunOptions options;
     options.policy = scenario.policy.get();
-    const auto user = pipeline->RecordUserRun(scenario.spec, row.plan, options);
+    const auto user = pipeline->RecordUserRun(scenario.spec, row.plan, options).take();
     if (!user.result.Crashed()) {
       std::printf("%-18s user run did not crash?!\n", row.name);
       continue;
     }
     ReplayConfig replay_config;
     replay_config.wall_ms = 15'000;
-    const ReplayResult replay = pipeline->Reproduce(user.report, row.plan, replay_config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, row.plan, replay_config).take();
     char replay_cell[32];
     if (replay.reproduced) {
       std::snprintf(replay_cell, sizeof(replay_cell), "%.2fs", replay.wall_seconds);

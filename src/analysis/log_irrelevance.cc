@@ -1,0 +1,379 @@
+#include "src/analysis/log_irrelevance.h"
+
+#include <deque>
+
+namespace retrace {
+namespace {
+
+// Successor blocks of `block`; kRet (and a defensively-empty block) maps
+// to the virtual exit, which callers represent as `num_blocks`.
+void SuccsOf(const IrFunction& func, size_t block, size_t num_blocks,
+             std::vector<size_t>* out) {
+  out->clear();
+  if (func.blocks[block].instrs.empty()) {
+    out->push_back(num_blocks);
+    return;
+  }
+  const Instr& term = func.blocks[block].instrs.back();
+  switch (term.op) {
+    case Opcode::kBr:
+      out->push_back(static_cast<size_t>(term.bb_true));
+      out->push_back(static_cast<size_t>(term.bb_false));
+      return;
+    case Opcode::kJmp:
+      out->push_back(static_cast<size_t>(term.bb_true));
+      return;
+    default:
+      out->push_back(num_blocks);  // kRet or a fallthrough-less block.
+      return;
+  }
+}
+
+// Kahn's algorithm over the block graph restricted to `members` (empty
+// `members` = the whole function). True when the subgraph is acyclic.
+bool Acyclic(const IrFunction& func, const std::vector<char>& members) {
+  const size_t n = func.blocks.size();
+  std::vector<size_t> indegree(n, 0);
+  std::vector<size_t> succs;
+  auto in_graph = [&](size_t b) { return members.empty() || members[b] != 0; };
+  for (size_t b = 0; b < n; ++b) {
+    if (!in_graph(b)) {
+      continue;
+    }
+    SuccsOf(func, b, n, &succs);
+    for (size_t s : succs) {
+      if (s < n && in_graph(s)) {
+        ++indegree[s];
+      }
+    }
+  }
+  std::deque<size_t> ready;
+  size_t total = 0;
+  for (size_t b = 0; b < n; ++b) {
+    if (in_graph(b)) {
+      ++total;
+      if (indegree[b] == 0) {
+        ready.push_back(b);
+      }
+    }
+  }
+  size_t removed = 0;
+  while (!ready.empty()) {
+    const size_t b = ready.front();
+    ready.pop_front();
+    ++removed;
+    SuccsOf(func, b, n, &succs);
+    for (size_t s : succs) {
+      if (s < n && in_graph(s) && --indegree[s] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  return removed == total;
+}
+
+// Post-dominator sets over blocks + the virtual exit (index n), by
+// straightforward fixpoint: pdom(b) = {b} ∪ ⋂ pdom(succ). Functions here
+// are small enough that the dense quadratic form is fine.
+std::vector<std::vector<bool>> PostDominators(const IrFunction& func) {
+  const size_t n = func.blocks.size();
+  std::vector<std::vector<bool>> pdom(n + 1, std::vector<bool>(n + 1, true));
+  pdom[n].assign(n + 1, false);
+  pdom[n][n] = true;
+  std::vector<size_t> succs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = n; b-- > 0;) {
+      SuccsOf(func, b, n, &succs);
+      std::vector<bool> meet(n + 1, true);
+      for (size_t s : succs) {
+        for (size_t i = 0; i <= n; ++i) {
+          meet[i] = meet[i] && pdom[s][i];
+        }
+      }
+      meet[b] = true;
+      if (meet != pdom[b]) {
+        pdom[b] = std::move(meet);
+        changed = true;
+      }
+    }
+  }
+  return pdom;
+}
+
+// Slots an operand reads (only kSlot operands are frame-slot reads).
+void AddSlotRead(const Operand& op, DenseBitset* read) {
+  if (op.kind == Operand::Kind::kSlot) {
+    read->Set(static_cast<size_t>(op.index));
+  }
+}
+
+// Every frame slot an instruction reads. `dst` is a write, not a read.
+void SlotReadsOf(const Instr& instr, DenseBitset* read) {
+  AddSlotRead(instr.a, read);
+  AddSlotRead(instr.b, read);
+  AddSlotRead(instr.c, read);
+  for (const Operand& arg : instr.args) {
+    AddSlotRead(arg, read);
+  }
+}
+
+// Transitive function purity for the kCall rule: a pure callee has no
+// loads, stores, global-scalar writes, builtins, branches, div/rem, an
+// acyclic CFG, and calls only pure functions.
+std::vector<char> PureFunctions(const IrModule& module) {
+  const size_t nfuncs = module.funcs.size();
+  std::vector<char> pure(nfuncs, 0);
+  for (size_t f = 0; f < nfuncs; ++f) {
+    const IrFunction& func = module.funcs[f];
+    bool ok = Acyclic(func, {});
+    for (const BasicBlock& block : func.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (!ok) {
+          break;
+        }
+        switch (instr.op) {
+          case Opcode::kLoad:
+          case Opcode::kStore:
+          case Opcode::kBr:
+            ok = false;
+            break;
+          case Opcode::kBin:
+            ok = ok && instr.bin_op != BinaryOp::kDiv && instr.bin_op != BinaryOp::kRem;
+            break;
+          case Opcode::kCall:
+            ok = ok && !instr.callee_is_builtin;
+            break;
+          default:
+            break;
+        }
+        if (instr.dst.kind == Operand::Kind::kGlobalSlot) {
+          ok = false;
+        }
+      }
+    }
+    pure[f] = ok ? 1 : 0;
+  }
+  // Strike functions calling impure (or unknown) callees, to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t f = 0; f < nfuncs; ++f) {
+      if (pure[f] == 0) {
+        continue;
+      }
+      for (const BasicBlock& block : module.funcs[f].blocks) {
+        for (const Instr& instr : block.instrs) {
+          if (instr.op == Opcode::kCall && instr.callee >= 0 &&
+              pure[static_cast<size_t>(instr.callee)] == 0) {
+            pure[f] = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return pure;
+}
+
+// Abstract objects some load — or some builtin, which may read anything
+// it is handed a pointer to — can observe, closed transitively over
+// pointer cells (a reader can traverse from any reachable object).
+DenseBitset LoadedObjects(const IrModule& module, const PointsTo& points_to) {
+  DenseBitset loaded(points_to.num_objects());
+  for (const IrFunction& func : module.funcs) {
+    for (const BasicBlock& block : func.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (instr.op == Opcode::kLoad) {
+          loaded.UnionWith(points_to.PointeesOfOperand(func.index, instr.a));
+        } else if (instr.op == Opcode::kCall && instr.callee_is_builtin) {
+          for (const Operand& arg : instr.args) {
+            loaded.UnionWith(points_to.PointeesOfOperand(func.index, arg));
+          }
+        }
+      }
+    }
+  }
+  // Transitive closure over the may-point-to cells of loaded objects.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t obj = 0; obj < points_to.num_objects(); ++obj) {
+      if (loaded.Test(obj)) {
+        changed = loaded.UnionWith(points_to.CellsOf(static_cast<i32>(obj))) || changed;
+      }
+    }
+  }
+  return loaded;
+}
+
+}  // namespace
+
+LogIrrelevance LogIrrelevance::Compute(const IrModule& module, const PointsTo& points_to) {
+  LogIrrelevance result;
+  result.branches_.resize(module.branches.size());
+  const std::vector<char> pure_funcs = PureFunctions(module);
+  const DenseBitset loaded = LoadedObjects(module, points_to);
+
+  std::vector<size_t> succs;
+  for (const IrFunction& func : module.funcs) {
+    const size_t n = func.blocks.size();
+    if (n == 0) {
+      continue;
+    }
+    std::vector<std::vector<bool>> pdom;  // Lazily computed per function.
+    // Per-block frame-slot read sets (flow-insensitive).
+    std::vector<DenseBitset> block_reads(n, DenseBitset(static_cast<size_t>(func.num_slots)));
+    for (size_t b = 0; b < n; ++b) {
+      for (const Instr& instr : func.blocks[b].instrs) {
+        SlotReadsOf(instr, &block_reads[b]);
+      }
+    }
+
+    for (size_t b = 0; b < n; ++b) {
+      if (func.blocks[b].instrs.empty()) {
+        continue;
+      }
+      const Instr& term = func.blocks[b].instrs.back();
+      if (term.op != Opcode::kBr || term.branch_id < 0) {
+        continue;
+      }
+      BranchIrrelevance& info = result.branches_[static_cast<size_t>(term.branch_id)];
+      if (pdom.empty()) {
+        pdom = PostDominators(func);
+      }
+      // Controlled region: blocks reachable from either successor before
+      // the first strict post-dominator of the branch block (the paths'
+      // convergence point; the virtual exit never enters the region
+      // because kRet blocks have no in-region successors).
+      std::vector<char> region(n, 0);
+      std::deque<size_t> frontier;
+      auto stop = [&](size_t block) { return block != b && pdom[b][block]; };
+      for (const size_t s :
+           {static_cast<size_t>(term.bb_true), static_cast<size_t>(term.bb_false)}) {
+        if (!stop(s) && region[s] == 0) {
+          region[s] = 1;
+          frontier.push_back(s);
+        }
+      }
+      while (!frontier.empty()) {
+        const size_t cur = frontier.front();
+        frontier.pop_front();
+        SuccsOf(func, cur, n, &succs);
+        for (const size_t s : succs) {
+          if (s < n && !stop(s) && region[s] == 0) {
+            region[s] = 1;
+            frontier.push_back(s);
+          }
+        }
+      }
+
+      // Rule checks. `pure` survives only if every instruction in the
+      // region is discharged; region branch ids are collected either way
+      // (an impure region's list is still informative).
+      bool pure = Acyclic(func, region);
+      DenseBitset written(static_cast<size_t>(func.num_slots));
+      for (size_t rb = 0; rb < n; ++rb) {
+        if (region[rb] == 0) {
+          continue;
+        }
+        for (const Instr& instr : func.blocks[rb].instrs) {
+          switch (instr.op) {
+            case Opcode::kBr:
+              if (instr.branch_id >= 0) {
+                info.region_branches.push_back(instr.branch_id);
+              }
+              break;
+            case Opcode::kJmp:
+            case Opcode::kAssign:
+            case Opcode::kUn:
+            case Opcode::kPtrAdd:
+              break;
+            case Opcode::kBin:
+              if (instr.bin_op == BinaryOp::kDiv || instr.bin_op == BinaryOp::kRem) {
+                pure = false;
+              }
+              break;
+            case Opcode::kRet:
+            case Opcode::kLoad:
+              pure = false;
+              break;
+            case Opcode::kCall:
+              if (instr.callee_is_builtin || instr.callee < 0 ||
+                  pure_funcs[static_cast<size_t>(instr.callee)] == 0) {
+                pure = false;
+              }
+              break;
+            case Opcode::kStore: {
+              // Provably in-bounds direct store to a write-only object.
+              i32 obj = -1;
+              i64 size = 0;
+              if (instr.a.kind == Operand::Kind::kObjAddr) {
+                obj = points_to.StaticObj(instr.a.index);
+                size = module.static_objects[static_cast<size_t>(instr.a.index)].size;
+              } else if (instr.a.kind == Operand::Kind::kFrameObjAddr) {
+                obj = points_to.FrameObj(func.index, instr.a.index);
+                size = func.frame_objects[static_cast<size_t>(instr.a.index)].size;
+              }
+              if (obj < 0 || !instr.b.IsConst() || instr.b.imm < 0 || instr.b.imm >= size ||
+                  loaded.Test(static_cast<size_t>(obj))) {
+                pure = false;
+              }
+              break;
+            }
+          }
+          if (instr.dst.kind == Operand::Kind::kGlobalSlot) {
+            pure = false;
+          } else if (instr.dst.kind == Operand::Kind::kSlot) {
+            written.Set(static_cast<size_t>(instr.dst.index));
+          }
+        }
+      }
+      // Region-written slots must be unread outside the region
+      // (flow-insensitive: any outside read kills the proof).
+      if (pure && written.Count() > 0) {
+        DenseBitset outside_reads(static_cast<size_t>(func.num_slots));
+        for (size_t ob = 0; ob < n; ++ob) {
+          if (region[ob] == 0) {
+            outside_reads.UnionWith(block_reads[ob]);
+          }
+        }
+        for (size_t slot = 0; pure && slot < written.size(); ++slot) {
+          if (written.Test(slot) && outside_reads.Test(slot)) {
+            pure = false;
+          }
+        }
+      }
+      info.pure = pure;
+    }
+  }
+  return result;
+}
+
+bool LogIrrelevance::Irrelevant(i32 branch_id, const DenseBitset& instrumented) const {
+  if (branch_id < 0 || static_cast<size_t>(branch_id) >= branches_.size()) {
+    return false;
+  }
+  const BranchIrrelevance& info = branches_[static_cast<size_t>(branch_id)];
+  if (!info.pure) {
+    return false;
+  }
+  for (const i32 region_branch : info.region_branches) {
+    if (static_cast<size_t>(region_branch) < instrumented.size() &&
+        instrumented.Test(static_cast<size_t>(region_branch))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t LogIrrelevance::num_pure() const {
+  size_t n = 0;
+  for (const BranchIrrelevance& info : branches_) {
+    n += info.pure ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace retrace

@@ -1,0 +1,80 @@
+// Log-irrelevance learning: proves that flipping an unlogged branch
+// cannot change any logged outcome, so the adaptive refinement layer
+// (src/instrument/refine.h) can skip it instead of spending log budget
+// on a branch whose blindness is harmless.
+//
+// A branch is *provably log-irrelevant* when its controlled region — the
+// blocks between its two successors and its immediate post-dominator —
+// is observably pure: both arms converge with no effect the rest of the
+// execution (and therefore the branch log, the crash site, or the
+// syscall log) could distinguish. The proof is conservative; "not
+// irrelevant" only means the proof failed, never that the branch
+// matters.
+#ifndef RETRACE_ANALYSIS_LOG_IRRELEVANCE_H_
+#define RETRACE_ANALYSIS_LOG_IRRELEVANCE_H_
+
+#include <vector>
+
+#include "src/analysis/points_to.h"
+#include "src/ir/ir.h"
+#include "src/support/dense_bitset.h"
+
+namespace retrace {
+
+/// Per-branch result of the controlled-region purity proof.
+struct BranchIrrelevance {
+  // The region passed every side-effect rule (see LogIrrelevance).
+  // Whether the branch is irrelevant under a *plan* additionally
+  // depends on region_branches staying uninstrumented.
+  bool pure = false;
+  // Branch locations whose kBr lies inside the controlled region. A
+  // pure region containing an instrumented branch is still relevant:
+  // the two arms would consume different log bits.
+  std::vector<i32> region_branches;
+};
+
+/// \brief Module-wide log-irrelevance analysis.
+///
+/// The purity rules for a controlled region (everything is conservative
+/// — any instruction the rules cannot discharge fails the proof):
+///   - no kRet (an arm could leave the function early);
+///   - region subgraph is acyclic (an arm could diverge in steps or not
+///     terminate);
+///   - no kLoad (an out-of-bounds load can crash, and the loaded value
+///     feeds downstream state);
+///   - no kDiv/kRem (divide-by-zero traps);
+///   - no writes to global scalars;
+///   - frame-slot writes only to slots never read outside the region
+///     (flow-insensitive over the enclosing function);
+///   - kStore only through a direct object address (kObjAddr /
+///     kFrameObjAddr) with a constant in-bounds index — provably cannot
+///     crash — and only to objects no kLoad anywhere in the module may
+///     read (the points-to relaxation: writes into write-only buffers
+///     are unobservable);
+///   - kCall only to transitively pure callees: no loads, stores,
+///     global writes, builtins, branches, div/rem, or calls to impure
+///     functions, and an acyclic CFG.
+///
+/// **Ownership:** self-contained; copies nothing from the module beyond
+/// derived facts. Compute once per module and reuse across plans.
+class LogIrrelevance {
+ public:
+  static LogIrrelevance Compute(const IrModule& module, const PointsTo& points_to);
+
+  /// True when flipping `branch_id` provably cannot change any logged
+  /// outcome under a plan instrumenting exactly `instrumented`.
+  bool Irrelevant(i32 branch_id, const DenseBitset& instrumented) const;
+
+  const BranchIrrelevance& Info(i32 branch_id) const { return branches_[branch_id]; }
+  size_t num_branches() const { return branches_.size(); }
+  /// Branches whose controlled region passed the purity rules
+  /// (plan-independent part of the proof).
+  size_t num_pure() const;
+
+ private:
+  std::vector<BranchIrrelevance> branches_;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_ANALYSIS_LOG_IRRELEVANCE_H_

@@ -1,0 +1,62 @@
+#include "src/concolic/corpus_mutate.h"
+
+#include <algorithm>
+
+#include "src/support/rng.h"
+
+namespace retrace {
+
+std::vector<std::vector<i64>> MutateCorpus(const std::vector<std::vector<i64>>& corpus,
+                                           u64 seed, u32 mutants_per_seed, size_t max_total) {
+  std::vector<std::vector<i64>> out;
+  if (corpus.empty() || max_total == 0) {
+    return out;
+  }
+  out.reserve(std::min<size_t>(max_total, corpus.size() * (1 + mutants_per_seed)));
+  for (const std::vector<i64>& model : corpus) {
+    if (out.size() >= max_total) {
+      return out;
+    }
+    out.push_back(model);
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (u32 m = 0; m < mutants_per_seed; ++m) {
+      if (out.size() >= max_total) {
+        return out;
+      }
+      const std::vector<i64>& base = corpus[i];
+      if (base.empty()) {
+        continue;
+      }
+      std::vector<i64> mutant = base;
+      switch (rng.NextBelow(3)) {
+        case 0: {  // Point: one cell re-rolled to a printable byte.
+          mutant[rng.NextBelow(mutant.size())] = rng.NextPrintable();
+          break;
+        }
+        case 1: {  // Nudge: one cell +/- 1 (byte-ladder neighbors).
+          const size_t cell = rng.NextBelow(mutant.size());
+          mutant[cell] += (rng.Next() & 1) != 0 ? 1 : -1;
+          break;
+        }
+        default: {  // Splice: suffix from an equal-length sibling.
+          const std::vector<i64>& donor = corpus[rng.NextBelow(corpus.size())];
+          if (donor.size() == mutant.size() && mutant.size() > 1) {
+            const size_t cut = 1 + rng.NextBelow(mutant.size() - 1);
+            for (size_t c = cut; c < mutant.size(); ++c) {
+              mutant[c] = donor[c];
+            }
+          } else {
+            mutant[rng.NextBelow(mutant.size())] = rng.NextPrintable();
+          }
+          break;
+        }
+      }
+      out.push_back(std::move(mutant));
+    }
+  }
+  return out;
+}
+
+}  // namespace retrace

@@ -1,0 +1,30 @@
+// Corpus mutation: deterministic fuzzing of the dynamic analysis'
+// harvested input models (AnalysisResult::corpus), so the replay fleet
+// radiates from *neighborhoods* of exploration-discovered prefixes
+// instead of only the exact inputs exploration happened to produce.
+#ifndef RETRACE_CONCOLIC_CORPUS_MUTATE_H_
+#define RETRACE_CONCOLIC_CORPUS_MUTATE_H_
+
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+/// Returns the corpus followed by deterministic mutants of it, capped at
+/// `max_total` models. Mutation operators (chosen pseudo-randomly from
+/// `seed`, reproducible across runs):
+///   - point: one cell replaced by a random printable byte;
+///   - nudge: one cell incremented or decremented by one;
+///   - splice: prefix of one seed + suffix of another (equal-length
+///     seeds only — models are fixed cell layouts).
+/// `mutants_per_seed` mutants are derived from each corpus entry, in
+/// corpus order, until `max_total` is reached. An empty corpus returns
+/// empty; duplicates are not filtered (the replay engine's fleet-wide
+/// dedup handles collisions).
+std::vector<std::vector<i64>> MutateCorpus(const std::vector<std::vector<i64>>& corpus,
+                                           u64 seed, u32 mutants_per_seed, size_t max_total);
+
+}  // namespace retrace
+
+#endif  // RETRACE_CONCOLIC_CORPUS_MUTATE_H_

@@ -1,7 +1,11 @@
 #include "src/core/pipeline.h"
 
 #include <chrono>
+#include <cstdio>
 
+#include "src/analysis/log_irrelevance.h"
+#include "src/analysis/points_to.h"
+#include "src/concolic/corpus_mutate.h"
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
 
@@ -54,12 +58,17 @@ StaticAnalysisResult Pipeline::RunStaticAnalysis(const StaticAnalysisOptions& op
   return analyzer.Run();
 }
 
-InstrumentationPlan Pipeline::MakePlan(InstrumentMethod method,
-                                       const AnalysisResult* dynamic_result,
-                                       const StaticAnalysisResult* static_result,
-                                       const PlanOptions& options) {
-  return BuildPlan(*module_, method, dynamic_result ? &dynamic_result->labels : nullptr,
-                   static_result, options);
+InstrumentationPlan Pipeline::MakePlan(const PlanInputs& inputs, const PlanOptions& options) {
+  return BuildPlan(*module_, inputs, options);
+}
+
+Error Pipeline::PlanMismatch(const InstrumentationPlan& plan) const {
+  char message[160];
+  std::snprintf(message, sizeof(message),
+                "instrumentation plan covers %zu branches but this module has %zu; "
+                "the plan was built for a different program",
+                plan.branches.size(), module_->branches.size());
+  return Error{message, {}};
 }
 
 AnalysisResult Pipeline::ProfileBranchBehavior(const InputSpec& spec, NondetPolicy* policy) {
@@ -106,9 +115,12 @@ class SymbolicSplitObserver : public BranchObserver {
 
 }  // namespace
 
-Pipeline::UserRunOutput Pipeline::RecordUserRun(const InputSpec& spec,
-                                                const InstrumentationPlan& plan,
-                                                const UserRunOptions& options) {
+Result<Pipeline::UserRunOutput> Pipeline::RecordUserRun(const InputSpec& spec,
+                                                        const InstrumentationPlan& plan,
+                                                        const UserRunOptions& options) {
+  if (!PlanMatches(plan)) {
+    return PlanMismatch(plan);
+  }
   UserRunOutput out;
   CellRunner runner(*module_, spec);
 
@@ -204,8 +216,12 @@ Pipeline::OverheadSample Pipeline::MeasureOverhead(const InputSpec& spec,
   return sample;
 }
 
-ReplayResult Pipeline::Reproduce(const BugReport& report, const InstrumentationPlan& plan,
-                                 const ReplayConfig& config) {
+Result<ReplayResult> Pipeline::Reproduce(const BugReport& report,
+                                         const InstrumentationPlan& plan,
+                                         const ReplayConfig& config) {
+  if (!PlanMatches(plan)) {
+    return PlanMismatch(plan);
+  }
   // The shared arena only backs the sequential path; parallel workers
   // build thread-confined arenas of their own.
   ReplayEngine engine(*module_, plan, report, &arena_);
@@ -218,6 +234,134 @@ ReplayResult Pipeline::Reproduce(const BugReport& report, const InstrumentationP
     return engine.Reproduce(with_program);
   }
   return engine.Reproduce(config);
+}
+
+Result<Pipeline::AdaptiveResult> Pipeline::ReproduceAdaptive(const BugReport& report,
+                                                             const InstrumentationPlan& plan,
+                                                             const AdaptiveConfig& config) {
+  if (!PlanMatches(plan)) {
+    return PlanMismatch(plan);
+  }
+  AdaptiveResult out;
+  out.final_plan = plan;
+
+  // Every round searches from neighborhoods of the harvested corpus;
+  // mutation is deterministic, so one expansion up front suffices.
+  ReplayConfig replay = config.replay;
+  if (!config.corpus.empty()) {
+    replay.corpus_seeds = MutateCorpus(config.corpus, config.mutation_seed,
+                                       config.corpus_mutants_per_seed, config.corpus_max_total);
+  }
+
+  // The irrelevance proof is plan-independent (it consults the plan only
+  // at query time), so compute it once, lazily — round 0 may reproduce
+  // without ever needing it.
+  std::unique_ptr<LogIrrelevance> irrelevance;
+  auto irrelevance_for = [&]() -> const LogIrrelevance* {
+    if (!config.refine.use_irrelevance_filter) {
+      return nullptr;
+    }
+    if (irrelevance == nullptr) {
+      irrelevance = std::make_unique<LogIrrelevance>(
+          LogIrrelevance::Compute(*module_, PointsTo::Compute(*module_)));
+    }
+    return irrelevance.get();
+  };
+
+  BugReport current = report;
+  for (u32 round = 0; round < config.max_rounds; ++round) {
+    AdaptiveRound trace;
+    trace.round = round;
+    trace.plan_branches = static_cast<u32>(out.final_plan.branches.Count());
+    trace.log_bytes = current.stats.log_bytes;
+
+    Result<ReplayResult> search = Reproduce(current, out.final_plan, replay);
+    if (!search.ok()) {
+      return search.error();
+    }
+    ReplayResult result = search.take();
+    trace.runs = result.stats.runs;
+    trace.on_log_rate =
+        result.stats.runs == 0
+            ? 0.0
+            : static_cast<double>(result.stats.aborts_forced_direction) / result.stats.runs;
+    trace.reproduced = result.reproduced;
+    trace.wall_seconds = result.wall_seconds;
+
+    const bool last_round = round + 1 == config.max_rounds;
+    if (result.reproduced || last_round) {
+      out.reproduced = result.reproduced;
+      out.final_result = std::move(result);
+      out.rounds.push_back(trace);
+      return out;
+    }
+
+    // Mine this round's failure telemetry into added log bits.
+    RefineOutcome refined =
+        RefinePlan(out.final_plan, result.stats.failure_profile, irrelevance_for(), config.refine);
+    trace.candidates = refined.candidates;
+    trace.skipped_irrelevant = refined.skipped_irrelevant;
+
+    // Overhead budget: measure the refined plan at the user site and,
+    // while the modeled native CPU cost exceeds the ceiling, halve the
+    // additions (RefinePlan's ranking is deterministic, so re-running it
+    // with a smaller cap keeps exactly the highest-yield prefix).
+    const size_t proposed = refined.added.size();
+    if (config.overhead_reps > 0 && config.refine.max_overhead_percent > 0.0 && proposed > 0) {
+      size_t keep = proposed;
+      for (;;) {
+        const OverheadSample sample =
+            MeasureOverhead(config.user_spec, refined.plan, config.user_run.policy,
+                            config.overhead_reps, config.user_run.log_syscalls);
+        trace.predicted_overhead_percent =
+            100.0 + 100.0 * config.refine.log_cost_ratio *
+                        (sample.branch_execs == 0
+                             ? 0.0
+                             : static_cast<double>(sample.instrumented_execs) /
+                                   static_cast<double>(sample.branch_execs));
+        if (trace.predicted_overhead_percent <= config.refine.max_overhead_percent ||
+            keep == 0) {
+          break;
+        }
+        keep /= 2;
+        RefineConfig trimmed = config.refine;
+        trimmed.max_added_branches = static_cast<u32>(keep);
+        refined = RefinePlan(out.final_plan, result.stats.failure_profile, irrelevance_for(),
+                             trimmed);
+      }
+      trace.skipped_budget = static_cast<u32>(proposed - refined.added.size());
+    }
+    trace.added_branches = static_cast<u32>(refined.added.size());
+
+    if (refined.added.empty()) {
+      // Nothing survived the filters: more rounds would redo this exact
+      // search. Report the round honestly and stop.
+      out.converged = true;
+      out.final_result = std::move(result);
+      out.rounds.push_back(trace);
+      return out;
+    }
+
+    // Re-record at the user site under the refined plan. The report's
+    // shape is privacy-stripped, which is why the adaptive loop needs
+    // the original spec.
+    Result<UserRunOutput> rerun =
+        RecordUserRun(config.user_spec, refined.plan, config.user_run);
+    if (!rerun.ok()) {
+      return rerun.error();
+    }
+    UserRunOutput user = rerun.take();
+    if (!user.result.Crashed()) {
+      return Error{
+          "adaptive re-record: user_spec no longer crashes — the refined plan cannot be "
+          "exercised at the user site",
+          {}};
+    }
+    out.final_plan = refined.plan;
+    current = std::move(user.report);
+    out.rounds.push_back(trace);
+  }
+  return out;  // Unreachable: the loop returns on its last round.
 }
 
 bool Pipeline::VerifyWitness(const BugReport& report, const std::vector<i64>& witness_cells) {

@@ -502,6 +502,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       result.stats.pendings_pruned += ss.pendings_pruned;
       result.stats.corpus_runs += ss.corpus_runs;
       result.stats.promotions += ss.promotions;
+      result.stats.failure_profile.Merge(ss.failure_profile);
       for (size_t d = 0; d < kNumDisciplines; ++d) {
         result.stats.discipline_runs[d] += ss.discipline_runs[d];
         result.stats.discipline_on_log[d] += ss.discipline_on_log[d];

@@ -406,6 +406,19 @@ bool DecodeVerdicts(WireReader* r, WireVerdicts* out) {
 
 namespace {
 
+// Ceilings for payloads accepted from the network by a listening
+// retrace_shardd. Generous for any real program in this repo; a frame
+// near them is hostile or corrupt.
+constexpr u32 kMaxJobStrings = 4096;      // argv entries, streams, files.
+constexpr i64 kMaxJobStreamLen = 1 << 24; // Logical stream length (cells!).
+constexpr u32 kMaxJobBranches = 1 << 24;  // Plan bitset size.
+constexpr u64 kMaxJobLogBits = 1ull << 32;
+// v4 plan provenance ceilings: detail_level counts refinement rounds
+// (every round adds at least one branch, so it can never exceed the
+// branch ceiling) and provenance is a short human-readable lineage.
+constexpr u32 kMaxPlanDetailLevel = kMaxJobBranches;
+constexpr size_t kMaxPlanProvenanceLen = 4096;
+
 void EncodeCrashSite(const CrashSite& crash, WireWriter* w) {
   w->U8(static_cast<u8>(crash.kind));
   w->I32(crash.func);
@@ -483,6 +496,7 @@ void EncodeStats(const ReplayStats& s, WireWriter* out) {
   for (const ReplayWorkerStats& w : s.per_worker) {
     EncodeWorkerStats(w, out);
   }
+  EncodeFailureProfile(s.failure_profile, out);  // v4.
 }
 
 bool DecodeStats(WireReader* r, ReplayStats* s) {
@@ -516,10 +530,46 @@ bool DecodeStats(WireReader* r, ReplayStats* s) {
       return false;
     }
   }
-  return true;
+  return DecodeFailureProfile(r, &s->failure_profile);
 }
 
 }  // namespace
+
+// v4: nested in every stats payload; declared in wire.h so the codec
+// tests can exercise hostile shapes (non-monotone ids, forged counts)
+// without hand-building a whole shard result.
+void EncodeFailureProfile(const ReplayFailureProfile& profile, WireWriter* w) {
+  w->U32(static_cast<u32>(profile.branches.size()));
+  for (const BranchFailureCounts& c : profile.branches) {
+    w->U32(c.branch_id);
+    w->U64(c.deaths_concrete);
+    w->U64(c.deaths_exhausted);
+    w->U64(c.deaths_wrong_crash);
+    w->U64(c.blind_execs);
+  }
+  w->U64(profile.deaths_unattributed);
+}
+
+bool DecodeFailureProfile(WireReader* r, ReplayFailureProfile* out) {
+  u32 count = 0;
+  if (!r->U32(&count) || !r->FitsCount(count, 4 + 4 * 8) || count > kMaxJobBranches) {
+    return false;
+  }
+  out->branches.resize(count);
+  u64 prev_id = 0;
+  for (u32 i = 0; i < count; ++i) {
+    BranchFailureCounts& c = out->branches[i];
+    if (!r->U32(&c.branch_id) || !r->U64(&c.deaths_concrete) || !r->U64(&c.deaths_exhausted) ||
+        !r->U64(&c.deaths_wrong_crash) || !r->U64(&c.blind_execs)) {
+      return false;
+    }
+    if (c.branch_id >= kMaxJobBranches || (i > 0 && c.branch_id <= prev_id)) {
+      return false;
+    }
+    prev_id = c.branch_id;
+  }
+  return r->U64(&out->deaths_unattributed);
+}
 
 void EncodeShardResult(const WireShardResult& shard, WireWriter* w) {
   const ReplayResult& result = shard.result;
@@ -644,13 +694,6 @@ bool DecodePendingExport(WireReader* r, WirePendingExport* out) {
 
 namespace {
 
-// Ceilings for job payloads accepted from the network by a listening
-// retrace_shardd. Generous for any real program in this repo; a frame
-// near them is hostile or corrupt.
-constexpr u32 kMaxJobStrings = 4096;      // argv entries, streams, files.
-constexpr i64 kMaxJobStreamLen = 1 << 24; // Logical stream length (cells!).
-constexpr u32 kMaxJobBranches = 1 << 24;  // Plan bitset size.
-constexpr u64 kMaxJobLogBits = 1ull << 32;
 
 void EncodeConfig(const ReplayConfig& c, WireWriter* w) {
   w->U64(c.max_runs);
@@ -733,6 +776,10 @@ bool DecodeConfig(WireReader* r, ReplayConfig* c) {
 
 void EncodePlan(const InstrumentationPlan& plan, WireWriter* w) {
   w->U8(static_cast<u8>(plan.method));
+  // v4: refinement provenance travels with the plan, so a remote shard
+  // reports the same plan identity the coordinator chose.
+  w->U32(plan.detail_level);
+  w->Str(plan.provenance);
   const u32 size = static_cast<u32>(plan.branches.size());
   w->U32(size);
   for (u32 byte = 0; byte * 8 < size; ++byte) {
@@ -748,6 +795,8 @@ bool DecodePlan(WireReader* r, InstrumentationPlan* out) {
   u8 method = 0;
   u32 size = 0;
   if (!r->U8(&method) || method > static_cast<u8>(InstrumentMethod::kAllBranches) ||
+      !r->U32(&out->detail_level) || out->detail_level > kMaxPlanDetailLevel ||
+      !r->Str(&out->provenance) || out->provenance.size() > kMaxPlanProvenanceLen ||
       !r->U32(&size) || size > kMaxJobBranches || !r->FitsCount((size + 7) / 8, 1)) {
     return false;
   }

@@ -36,7 +36,10 @@ inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
 // prune/corpus config fields (corpus seeds ride the kJob config codec),
 // pendings_pruned/corpus_runs/promotions + per-discipline run accounting
 // in the stats codecs.
-inline constexpr u16 kWireVersion = 3;
+// v4: adaptive planning — plan detail_level/provenance in the plan codec,
+// and the off-log failure profile (sparse per-branch death counters,
+// strictly increasing branch ids) in the stats codec.
+inline constexpr u16 kWireVersion = 4;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {
@@ -183,6 +186,14 @@ struct WireShardResult {
 
 void EncodeShardResult(const WireShardResult& result, WireWriter* w);
 bool DecodeShardResult(WireReader* r, WireShardResult* out);
+
+/// v4: the sparse off-log failure profile, nested in every stats
+/// payload. Entries must arrive strictly increasing by branch_id with
+/// every id below the job branch cap — the engine emits them that way,
+/// and the invariant keeps ReplayFailureProfile::Merge a linear
+/// sorted-union no hostile peer can skew.
+void EncodeFailureProfile(const ReplayFailureProfile& profile, WireWriter* w);
+bool DecodeFailureProfile(WireReader* r, ReplayFailureProfile* out);
 
 /// First frame a TCP shard sends after connecting (either direction of
 /// dialing): identifies the joiner. The framing layer has already

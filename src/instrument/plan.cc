@@ -22,14 +22,30 @@ size_t InstrumentationPlan::NumInstrumentedApp(const IrModule& module) const {
   return n;
 }
 
-InstrumentationPlan BuildPlan(const IrModule& module, InstrumentMethod method,
-                              const std::vector<BranchLabel>* dynamic_labels,
-                              const StaticAnalysisResult* static_result,
+PlanInputs PlanInputs::ForMethod(InstrumentMethod method, const AnalysisResult* dynamic_result,
+                                 const StaticAnalysisResult* static_result) {
+  const bool needs_dynamic =
+      method == InstrumentMethod::kDynamic || method == InstrumentMethod::kDynamicStatic;
+  const bool needs_static =
+      method == InstrumentMethod::kStatic || method == InstrumentMethod::kDynamicStatic;
+  Check(!needs_dynamic || dynamic_result != nullptr,
+        "PlanInputs::ForMethod: method requires a dynamic analysis result");
+  Check(!needs_static || static_result != nullptr,
+        "PlanInputs::ForMethod: method requires a static analysis result");
+  return PlanInputs(method, needs_dynamic ? &dynamic_result->labels : nullptr,
+                    needs_static ? static_result : nullptr);
+}
+
+InstrumentationPlan BuildPlan(const IrModule& module, const PlanInputs& inputs,
                               const PlanOptions& options) {
   const size_t n = module.branches.size();
+  const InstrumentMethod method = inputs.method();
+  const std::vector<BranchLabel>* dynamic_labels = inputs.dynamic_labels();
+  const StaticAnalysisResult* static_result = inputs.static_result();
   InstrumentationPlan plan;
   plan.method = method;
   plan.branches = DenseBitset(n);
+  plan.provenance = InstrumentMethodName(method);
 
   switch (method) {
     case InstrumentMethod::kAllBranches:
@@ -38,7 +54,6 @@ InstrumentationPlan BuildPlan(const IrModule& module, InstrumentMethod method,
       }
       break;
     case InstrumentMethod::kDynamic:
-      Check(dynamic_labels != nullptr, "dynamic plan requires dynamic labels");
       for (size_t i = 0; i < n; ++i) {
         if ((*dynamic_labels)[i] == BranchLabel::kSymbolic) {
           plan.branches.Set(i);
@@ -46,13 +61,10 @@ InstrumentationPlan BuildPlan(const IrModule& module, InstrumentMethod method,
       }
       break;
     case InstrumentMethod::kStatic:
-      Check(static_result != nullptr, "static plan requires static results");
       plan.branches = static_result->symbolic_branches;
       plan.method = method;
       break;
     case InstrumentMethod::kDynamicStatic: {
-      Check(dynamic_labels != nullptr && static_result != nullptr,
-            "combined plan requires both analyses");
       for (size_t i = 0; i < n; ++i) {
         const BranchLabel dyn = (*dynamic_labels)[i];
         if (dyn == BranchLabel::kSymbolic) {

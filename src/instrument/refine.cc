@@ -1,0 +1,62 @@
+#include "src/instrument/refine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace retrace {
+
+RefineOutcome RefinePlan(const InstrumentationPlan& plan, const ReplayFailureProfile& profile,
+                         const LogIrrelevance* irrelevance, const RefineConfig& config) {
+  RefineOutcome out;
+  out.plan = plan;
+
+  // Candidates: unlogged branches with enough attributed deaths.
+  std::vector<const BranchFailureCounts*> candidates;
+  for (const BranchFailureCounts& counts : profile.branches) {
+    if (plan.Instrumented(static_cast<i32>(counts.branch_id))) {
+      continue;
+    }
+    if (counts.Deaths() < config.min_deaths) {
+      continue;
+    }
+    ++out.candidates;
+    if (config.use_irrelevance_filter && irrelevance != nullptr &&
+        irrelevance->Irrelevant(static_cast<i32>(counts.branch_id), plan.branches)) {
+      ++out.skipped_irrelevant;
+      continue;
+    }
+    candidates.push_back(&counts);
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const BranchFailureCounts* a, const BranchFailureCounts* b) {
+                     if (a->Deaths() != b->Deaths()) {
+                       return a->Deaths() > b->Deaths();
+                     }
+                     if (a->blind_execs != b->blind_execs) {
+                       return a->blind_execs > b->blind_execs;
+                     }
+                     return a->branch_id < b->branch_id;
+                   });
+
+  for (const BranchFailureCounts* counts : candidates) {
+    if (out.added.size() >= config.max_added_branches) {
+      break;
+    }
+    if (counts->branch_id < out.plan.branches.size()) {
+      out.plan.branches.Set(counts->branch_id);
+      out.added.push_back(static_cast<i32>(counts->branch_id));
+    }
+  }
+
+  if (!out.added.empty()) {
+    out.plan.detail_level = plan.detail_level + 1;
+    char note[64];
+    std::snprintf(note, sizeof(note), " +refine#%u(%zu)", out.plan.detail_level,
+                  out.added.size());
+    out.plan.provenance += note;
+  }
+  return out;
+}
+
+}  // namespace retrace

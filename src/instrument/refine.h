@@ -1,0 +1,58 @@
+// Plan refinement: mines a replay search's off-log failure telemetry
+// (ReplayFailureProfile) into added log bits exactly where the search
+// was blind. The adaptive loop (Pipeline::ReproduceAdaptive) calls this
+// once per round: search -> mine -> refine -> re-record -> re-search.
+#ifndef RETRACE_INSTRUMENT_REFINE_H_
+#define RETRACE_INSTRUMENT_REFINE_H_
+
+#include <vector>
+
+#include "src/analysis/log_irrelevance.h"
+#include "src/instrument/plan.h"
+#include "src/replay/replay_engine.h"
+
+namespace retrace {
+
+struct RefineConfig {
+  // Branches promoted into the plan per refinement round. Small on
+  // purpose: each round re-records and re-searches, so the loop probes
+  // whether a handful of well-chosen bits unblocks the search before
+  // paying for more.
+  u32 max_added_branches = 8;
+  // Attributed-death floor for a candidate. A branch the search merely
+  // *executed* blindly is not evidence; a branch runs *died* flipping is.
+  u64 min_deaths = 1;
+  // Skip candidates the log-irrelevance proof discharges (flipping them
+  // cannot change any logged outcome, so logging them buys nothing).
+  bool use_irrelevance_filter = true;
+  // Per-round overhead ceiling, as a modeled native CPU percentage
+  // (100 = uninstrumented). Enforced by ReproduceAdaptive against
+  // Pipeline::MeasureOverhead — RefinePlan itself never runs the
+  // program. 0 disables the ceiling.
+  double max_overhead_percent = 0.0;
+  // Modeled cost of logging one branch execution relative to executing
+  // it (the paper's ~17 instructions per logged branch; see
+  // bench/bench_util.h kLogCostRatio).
+  double log_cost_ratio = 3.0;
+};
+
+/// One refinement round's outcome. `plan` is the refined plan
+/// (detail_level bumped, provenance extended) — identical to the input
+/// plan when `added` is empty, which callers treat as convergence.
+struct RefineOutcome {
+  InstrumentationPlan plan;
+  std::vector<i32> added;      // Branch ids promoted, highest-yield first.
+  u32 candidates = 0;          // Unlogged branches clearing min_deaths.
+  u32 skipped_irrelevant = 0;  // Candidates the irrelevance proof dropped.
+};
+
+/// Promotes the unlogged branches with the most attributed off-log
+/// deaths (ties: more blind executions first, then lower id) into the
+/// plan, after the irrelevance filter, up to max_added_branches.
+/// `irrelevance` may be null (filter off, whatever the config says).
+RefineOutcome RefinePlan(const InstrumentationPlan& plan, const ReplayFailureProfile& profile,
+                         const LogIrrelevance* irrelevance, const RefineConfig& config);
+
+}  // namespace retrace
+
+#endif  // RETRACE_INSTRUMENT_REFINE_H_

@@ -13,16 +13,62 @@
 
 #include "src/dist/coordinator.h"
 #include "src/solver/incremental.h"
+#include "src/support/env.h"
 #include "src/support/stop_token.h"
 #include "src/support/workqueue.h"
 
 namespace retrace {
 namespace {
 
+// Dense per-branch accumulator behind the failure-telemetry layer: one
+// slot per branch location, bumped with plain array writes so telemetry
+// stays invisible to the search (no allocation, no decision changes —
+// run counts remain bit-identical to the pre-telemetry engine). Each
+// worker owns one and folds it into the sparse aggregate profile once,
+// when its search ends.
+struct FailureAccum {
+  explicit FailureAccum(size_t num_branches)
+      : deaths_concrete(num_branches, 0),
+        deaths_exhausted(num_branches, 0),
+        deaths_wrong_crash(num_branches, 0),
+        blind_execs(num_branches, 0) {}
+
+  std::vector<u64> deaths_concrete;
+  std::vector<u64> deaths_exhausted;
+  std::vector<u64> deaths_wrong_crash;
+  std::vector<u64> blind_execs;
+  u64 unattributed = 0;
+
+  void Death(i32 last_blind_branch, std::vector<u64>& cls) {
+    if (last_blind_branch >= 0 && static_cast<size_t>(last_blind_branch) < cls.size()) {
+      ++cls[last_blind_branch];
+    } else {
+      ++unattributed;
+    }
+  }
+
+  // Sparse, branch-id-sorted view (the wire/merge shape).
+  ReplayFailureProfile ToProfile() const {
+    ReplayFailureProfile profile;
+    for (size_t id = 0; id < blind_execs.size(); ++id) {
+      if (blind_execs[id] == 0 && deaths_concrete[id] == 0 && deaths_exhausted[id] == 0 &&
+          deaths_wrong_crash[id] == 0) {
+        continue;
+      }
+      profile.branches.push_back(BranchFailureCounts{
+          static_cast<u32>(id), deaths_concrete[id], deaths_exhausted[id],
+          deaths_wrong_crash[id], blind_execs[id]});
+    }
+    profile.deaths_unattributed = unattributed;
+    return profile;
+  }
+};
+
 // Branch observer implementing the four replay cases of paper §3.1.
 class ReplayObserver : public BranchObserver {
  public:
-  ReplayObserver(const InstrumentationPlan& plan, const BitVec& log) : plan_(plan), log_(log) {
+  ReplayObserver(const InstrumentationPlan& plan, const BitVec& log, FailureAccum* failures)
+      : plan_(plan), log_(log), failures_(failures) {
     debug_ = std::getenv("RETRACE_DEBUG_REPLAY") != nullptr;
   }
 
@@ -31,11 +77,19 @@ class ReplayObserver : public BranchObserver {
     const bool symbolic = cond_shadow != kNoExpr;
     if (!instrumented) {
       if (symbolic) {
-        // Case 1: both directions remain explorable.
+        // Case 1: both directions remain explorable. This is also where
+        // the search is blind — the log cannot check the direction — so
+        // the telemetry layer remembers the most recent such branch as
+        // the attribution point for an off-log death later in the run.
         flippable.push_back(trace.size());
         trace.push_back(Constraint{cond_shadow, taken});
         bits_at.push_back(cursor);
         dir_at.push_back(logged_forced);
+        last_blind_branch = branch_id;
+        if (failures_ != nullptr && static_cast<size_t>(branch_id) <
+                                        failures_->blind_execs.size()) {
+          ++failures_->blind_execs[branch_id];
+        }
       }
       // Case 4: nothing to do.
       return Action::kContinue;
@@ -89,10 +143,14 @@ class ReplayObserver : public BranchObserver {
   bool forced_direction = false;
   bool concrete_mismatch = false;
   bool log_exhausted = false;
+  // Last case-1 branch this run executed (-1: none yet) — the telemetry
+  // attribution point for an off-log death.
+  i32 last_blind_branch = -1;
 
  private:
   const InstrumentationPlan& plan_;
   const BitVec& log_;
+  FailureAccum* failures_ = nullptr;
   bool debug_ = false;
 };
 
@@ -155,7 +213,124 @@ SearchDiscipline DisciplineOfPick(ReplayConfig::Pick pick) {
 constexpr u64 kPromoteInterval = 32;
 constexpr u64 kPromoteMinRuns = 16;
 
+// Strict enum-knob parsing for ReplayConfig::FromEnv — same contract as
+// src/support/env.h: unset keeps the default, garbage exits loudly.
+[[noreturn]] void BadReplayKnob(const char* name, const char* value, const char* expected) {
+  std::fprintf(stderr, "%s: invalid value '%s' (expected %s)\n", name, value, expected);
+  std::exit(2);
+}
+
+ReplayConfig::Pick PickFromEnv() {
+  const char* env = std::getenv("RETRACE_REPLAY_PICK");
+  if (env == nullptr) {
+    return ReplayConfig::Pick::kDfs;
+  }
+  const std::string pick = env;
+  if (pick == "dfs") return ReplayConfig::Pick::kDfs;
+  if (pick == "fifo") return ReplayConfig::Pick::kFifo;
+  if (pick == "logbits") return ReplayConfig::Pick::kLogBits;
+  if (pick == "direction") return ReplayConfig::Pick::kDirection;
+  if (pick == "portfolio") return ReplayConfig::Pick::kPortfolio;
+  BadReplayKnob("RETRACE_REPLAY_PICK", env, "dfs|fifo|logbits|direction|portfolio");
+}
+
+ReplayTransport TransportFromEnv() {
+  const char* env = std::getenv("RETRACE_REPLAY_TRANSPORT");
+  if (env == nullptr) {
+    return ReplayTransport::kFork;
+  }
+  const std::string transport = env;
+  if (transport == "fork") return ReplayTransport::kFork;
+  if (transport == "tcp") return ReplayTransport::kTcp;
+  BadReplayKnob("RETRACE_REPLAY_TRANSPORT", env, "fork|tcp");
+}
+
+// First entry of the comma-separated RETRACE_REPLAY_SHARDS sweep list
+// ("1,2,4" — benches sweep the whole list; a single config uses the
+// head). The first entry must be a plain positive integer.
+u32 FirstShardCountFromEnv() {
+  const char* env = std::getenv("RETRACE_REPLAY_SHARDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  u64 value = 0;
+  const char* c = env;
+  if (*c < '0' || *c > '9') {
+    BadReplayKnob("RETRACE_REPLAY_SHARDS", env, "comma-separated positive shard counts");
+  }
+  for (; *c >= '0' && *c <= '9'; ++c) {
+    value = value * 10 + static_cast<u64>(*c - '0');
+    if (value > 64) {
+      BadReplayKnob("RETRACE_REPLAY_SHARDS", env, "shard counts in [1, 64]");
+    }
+  }
+  if (*c != '\0' && *c != ',') {
+    BadReplayKnob("RETRACE_REPLAY_SHARDS", env, "comma-separated positive shard counts");
+  }
+  if (value == 0) {
+    BadReplayKnob("RETRACE_REPLAY_SHARDS", env, "shard counts in [1, 64]");
+  }
+  return static_cast<u32>(value);
+}
+
 }  // namespace
+
+void ReplayFailureProfile::Merge(const ReplayFailureProfile& other) {
+  if (other.branches.empty()) {
+    deaths_unattributed += other.deaths_unattributed;
+    return;
+  }
+  std::vector<BranchFailureCounts> merged;
+  merged.reserve(branches.size() + other.branches.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < branches.size() || j < other.branches.size()) {
+    if (j >= other.branches.size() ||
+        (i < branches.size() && branches[i].branch_id < other.branches[j].branch_id)) {
+      merged.push_back(branches[i++]);
+    } else if (i >= branches.size() || other.branches[j].branch_id < branches[i].branch_id) {
+      merged.push_back(other.branches[j++]);
+    } else {
+      BranchFailureCounts sum = branches[i++];
+      const BranchFailureCounts& o = other.branches[j++];
+      sum.deaths_concrete += o.deaths_concrete;
+      sum.deaths_exhausted += o.deaths_exhausted;
+      sum.deaths_wrong_crash += o.deaths_wrong_crash;
+      sum.blind_execs += o.blind_execs;
+      merged.push_back(sum);
+    }
+  }
+  branches = std::move(merged);
+  deaths_unattributed += other.deaths_unattributed;
+}
+
+const BranchFailureCounts* ReplayFailureProfile::Find(u32 branch_id) const {
+  auto it = std::lower_bound(
+      branches.begin(), branches.end(), branch_id,
+      [](const BranchFailureCounts& c, u32 id) { return c.branch_id < id; });
+  return it != branches.end() && it->branch_id == branch_id ? &*it : nullptr;
+}
+
+u64 ReplayFailureProfile::TotalDeaths() const {
+  u64 total = deaths_unattributed;
+  for (const BranchFailureCounts& c : branches) {
+    total += c.Deaths();
+  }
+  return total;
+}
+
+ReplayConfig ReplayConfig::FromEnv() {
+  ReplayConfig config;
+  config.num_workers = static_cast<u32>(EnvKnobI64("RETRACE_REPLAY_WORKERS", 1, 1, 4096));
+  config.num_shards = FirstShardCountFromEnv();
+  config.pick = PickFromEnv();
+  config.solver_cache = EnvKnobBool("RETRACE_SOLVER_CACHE", true);
+  config.prune_subsumed = EnvKnobBool("RETRACE_REPLAY_PRUNE", false);
+  config.transport = TransportFromEnv();
+  config.gossip_interval_ms =
+      static_cast<int>(EnvKnobI64("RETRACE_GOSSIP_INTERVAL_MS", 20, 1, 1000));
+  return config;
+}
 
 u32 DefaultReplayWorkers() {
   return std::clamp(std::thread::hardware_concurrency(), 1u, 16u);
@@ -281,6 +456,7 @@ ReplayResult ReplayEngine::ReproduceShard(const ReplayConfig& config, ShardConte
 ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   ReplayResult result;
+  FailureAccum failures(module_.branches.size());
 
   CellRunner runner(module_, report_.shape);
   Budget budget = config.wall_ms > 0
@@ -346,6 +522,7 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     const size_t disc = static_cast<size_t>(DisciplineOfPick(config.pick));
     result.stats.discipline_runs[disc] = result.stats.runs;
     result.stats.discipline_on_log[disc] = result.stats.aborts_forced_direction;
+    result.stats.failure_profile = failures.ToProfile();
     ReplayWorkerStats worker;
     worker.runs = result.stats.runs;
     worker.solver_calls = result.stats.solver_calls;
@@ -365,7 +542,7 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
 
   // Runs one input; returns true when the bug is reproduced.
   auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
-    ReplayObserver observer(plan_, report_.branch_log);
+    ReplayObserver observer(plan_, report_.branch_log, &failures);
     CellRunConfig run_config;
     run_config.model = model;
     run_config.arena = arena_;
@@ -385,12 +562,15 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     }
     if (out.result.Crashed()) {
       ++result.stats.crashes_wrong_site;
+      failures.Death(observer.last_blind_branch, failures.deaths_wrong_crash);
     }
     if (observer.concrete_mismatch) {
       ++result.stats.aborts_concrete_mismatch;
+      failures.Death(observer.last_blind_branch, failures.deaths_concrete);
     }
     if (observer.log_exhausted) {
       ++result.stats.aborts_log_exhausted;
+      failures.Death(observer.last_blind_branch, failures.deaths_exhausted);
     }
 
     auto trace = std::make_shared<std::vector<Constraint>>(std::move(observer.trace));
@@ -507,6 +687,9 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
   std::unordered_set<u64> tried;
   std::atomic<u64> runs_admitted{0};
   std::vector<ReplayWorkerStats> worker_stats(num_workers);
+  // Thread-confined failure telemetry: each worker bumps its own dense
+  // accumulator; the join below folds them into the aggregate profile.
+  std::vector<FailureAccum> worker_failures(num_workers, FailureAccum(module_.branches.size()));
   // Fleet-wide slice verdict store: once any worker proves a slice
   // SAT/UNSAT, every worker reuses the verdict (null = layer disabled).
   // A distributed shard shares its process-wide cache instead — the
@@ -562,6 +745,7 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
 
   auto worker_fn = [&](u32 wid) {
     ReplayWorkerStats& ws = worker_stats[wid];
+    FailureAccum& failures = worker_failures[wid];
     // Thread-confined execution context: arena, interpreter harness and
     // solver are all single-threaded by design.
     ExprArena arena;
@@ -638,7 +822,7 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     // Runs one input; returns true when the search is over for this worker
     // (it reproduced the bug, or lost the race to another worker's crash).
     auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
-      ReplayObserver observer(plan_, report_.branch_log);
+      ReplayObserver observer(plan_, report_.branch_log, &failures);
       CancelObserver cancel(stop);
       CellRunConfig run_config;
       run_config.model = model;
@@ -671,12 +855,15 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       }
       if (out.result.Crashed()) {
         ++ws.crashes_wrong_site;
+        failures.Death(observer.last_blind_branch, failures.deaths_wrong_crash);
       }
       if (observer.concrete_mismatch) {
         ++ws.aborts_concrete_mismatch;
+        failures.Death(observer.last_blind_branch, failures.deaths_concrete);
       }
       if (observer.log_exhausted) {
         ++ws.aborts_log_exhausted;
+        failures.Death(observer.last_blind_branch, failures.deaths_exhausted);
       }
       if (observer.forced_direction) {
         ++ws.aborts_forced_direction;
@@ -939,6 +1126,9 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
     result.stats.corpus_runs += ws.corpus_runs;
     result.stats.promotions += ws.promotions;
   }
+  for (const FailureAccum& fa : worker_failures) {
+    result.stats.failure_profile.Merge(fa.ToProfile());
+  }
   for (size_t d = 0; d < kNumDisciplines; ++d) {
     result.stats.discipline_runs[d] = disc_runs[d].load(std::memory_order_relaxed);
     result.stats.discipline_on_log[d] = disc_on_log[d].load(std::memory_order_relaxed);
@@ -967,6 +1157,7 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
   const auto t0 = std::chrono::steady_clock::now();
   HarvestOutput out;
   ReplayResult& result = out.result;
+  FailureAccum failures(module_.branches.size());
 
   CellRunner runner(module_, report_.shape);
   Budget budget = config.wall_ms > 0
@@ -988,7 +1179,7 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
   std::deque<Pending> pendings;
 
   auto do_run = [&](const std::vector<i64>& model, size_t start_depth) -> bool {
-    ReplayObserver observer(plan_, report_.branch_log);
+    ReplayObserver observer(plan_, report_.branch_log, &failures);
     CellRunConfig run_config;
     run_config.model = model;
     run_config.arena = arena_;
@@ -1008,12 +1199,15 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
     }
     if (run_out.result.Crashed()) {
       ++result.stats.crashes_wrong_site;
+      failures.Death(observer.last_blind_branch, failures.deaths_wrong_crash);
     }
     if (observer.concrete_mismatch) {
       ++result.stats.aborts_concrete_mismatch;
+      failures.Death(observer.last_blind_branch, failures.deaths_concrete);
     }
     if (observer.log_exhausted) {
       ++result.stats.aborts_log_exhausted;
+      failures.Death(observer.last_blind_branch, failures.deaths_exhausted);
     }
 
     auto trace = std::make_shared<std::vector<Constraint>>(std::move(observer.trace));
@@ -1081,6 +1275,7 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
   worker.aborts_log_exhausted = result.stats.aborts_log_exhausted;
   worker.crashes_wrong_site = result.stats.crashes_wrong_site;
   result.stats.per_worker = {worker};
+  result.stats.failure_profile = failures.ToProfile();
   result.budget_exhausted = !result.reproduced && budget.Exhausted();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

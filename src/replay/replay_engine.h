@@ -63,6 +63,18 @@ struct ReplayProgramSources {
 };
 
 struct ReplayConfig {
+  /// Builds a config from the documented RETRACE_* environment knobs
+  /// (docs/BENCHMARKS.md): RETRACE_REPLAY_WORKERS, RETRACE_REPLAY_SHARDS
+  /// (first entry of a comma-separated sweep list), RETRACE_REPLAY_PICK,
+  /// RETRACE_SOLVER_CACHE, RETRACE_REPLAY_PRUNE, RETRACE_REPLAY_TRANSPORT
+  /// and RETRACE_GOSSIP_INTERVAL_MS. Every knob is parsed strictly
+  /// (src/support/env.h): an unset knob keeps the field default, garbage
+  /// prints the offending value and exits with code 2 — a replay whose
+  /// configuration was silently ignored produces numbers nobody should
+  /// trust. Budget fields (max_runs, wall_ms, seed) are NOT environment
+  /// knobs; callers set them explicitly.
+  static ReplayConfig FromEnv();
+
   u64 max_runs = 20'000;
   i64 wall_ms = -1;               // The paper's 1-hour allotment (scaled).
   u64 total_steps = 4'000'000'000ull;
@@ -180,6 +192,45 @@ inline const char* SearchDisciplineName(size_t d) {
   return "?";
 }
 
+/// Off-log death telemetry for one unlogged branch location (wire v4).
+///
+/// When a replay run aborts off the log (case 3b concrete mismatch, an
+/// exhausted log, or a crash at the wrong site), the death is attributed
+/// to the *last case-1 branch* the run executed — the most recent point
+/// where the search took an unlogged turn the log could not check. A
+/// branch collecting many attributed deaths is where the search is
+/// blind: the refinement layer (src/instrument/refine.h) promotes such
+/// branches into the plan.
+struct BranchFailureCounts {
+  u32 branch_id = 0;
+  u64 deaths_concrete = 0;   // Case-3b aborts attributed here.
+  u64 deaths_exhausted = 0;  // Log-exhausted aborts attributed here.
+  u64 deaths_wrong_crash = 0;  // Wrong-site crashes attributed here.
+  u64 blind_execs = 0;       // Case-1 (unlogged symbolic) executions.
+
+  u64 Deaths() const { return deaths_concrete + deaths_exhausted + deaths_wrong_crash; }
+};
+
+/// Per-branch off-log death counts for a whole search, aggregated
+/// losslessly across workers and shards (the per-branch counters sum,
+/// exactly like ReplayWorkerStats into ReplayStats). Sparse and sorted
+/// by branch_id — only branches with at least one case-1 execution or
+/// attributed death appear.
+struct ReplayFailureProfile {
+  std::vector<BranchFailureCounts> branches;
+  // Off-log deaths with no preceding case-1 branch in the run (the
+  // divergence predates any unlogged symbolic turn — e.g. a different
+  // random seed diverging at the very first instrumented branch).
+  u64 deaths_unattributed = 0;
+
+  // Losslessly folds `other` into this profile (counters sum per
+  // branch id; the sparse union stays sorted).
+  void Merge(const ReplayFailureProfile& other);
+  const BranchFailureCounts* Find(u32 branch_id) const;
+  u64 TotalDeaths() const;
+  bool Empty() const { return branches.empty() && deaths_unattributed == 0; }
+};
+
 /// Counters for one worker of the parallel scheduler. The aggregate
 /// ReplayStats sums these losslessly, so `stats.runs` etc. keep their
 /// pre-parallel meaning at any worker count.
@@ -273,6 +324,13 @@ struct ReplayStats {
   u64 pendings_exported = 0;
   u64 pendings_imported = 0;
   u64 rebalance_rounds = 0;
+  // Off-log death telemetry (wire v4): which unlogged branches aborted
+  // runs died flipping, split by abort class. Always collected — the
+  // accumulators never influence a search decision, so run counts stay
+  // bit-identical to the pre-telemetry engine. Workers fold their dense
+  // per-branch accumulators in here losslessly; the distributed
+  // coordinator merges every shard's profile the same way.
+  ReplayFailureProfile failure_profile;
   // One entry per worker (a single entry mirroring the totals when the
   // sequential engine ran). In-process: sum of any counter over
   // per_worker equals the aggregate above. Distributed: aggregates are

@@ -73,14 +73,14 @@ InputSpec DeepGuardedCrashInput() {
 TEST(DistReplayTest, TwoShardsReproduceGuardedCrash) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 2;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   ASSERT_GE(replay.witness_argv.size(), 3u);
   EXPECT_EQ(replay.witness_argv[1][0], 'k');
@@ -92,14 +92,14 @@ TEST(DistReplayTest, TwoShardsReproduceGuardedCrash) {
 TEST(DistReplayTest, TwoShardsReproduceDeepCrashAndAggregateStats) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 2;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 
@@ -138,22 +138,22 @@ TEST(DistReplayTest, TwoShardsReproduceDeepCrashAndAggregateStats) {
 TEST(DistReplayTest, TwoShardsReproduceFromCorpusSeeds) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   // Obtain a witness in-process first, then hand it to both shards as
   // corpus seeds (index % 2 partitions one to each).
   ReplayConfig warm;
   warm.num_workers = 4;
-  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm);
+  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm).take();
   ASSERT_TRUE(baseline.reproduced);
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 1;
   config.corpus_seeds = {baseline.witness_cells, baseline.witness_cells};
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
   if (replay.stats.harvest_runs < replay.stats.runs) {
@@ -169,14 +169,14 @@ TEST(DistReplayTest, ScoutShortCircuitsWithoutForking) {
   // forked: no wire traffic, no per-shard entries.
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 4;  // Scout cap = max(4, 2*shards) = 8 runs.
   config.seed = 11;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   if (replay.stats.per_shard.empty()) {
     // Scout finished the job: the distributed layer added zero overhead.
     EXPECT_EQ(replay.stats.wire_bytes_tx, 0u);
@@ -190,17 +190,17 @@ TEST(DistReplayTest, ScoutShortCircuitsWithoutForking) {
 TEST(DistReplayTest, SingleShardConfigStaysInProcess) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig base;
   base.seed = 11;
-  const ReplayResult a = pipeline->Reproduce(user.report, plan, base);
+  const ReplayResult a = pipeline->Reproduce(user.report, plan, base).take();
 
   ReplayConfig explicit_one = base;
   explicit_one.num_shards = 1;
-  const ReplayResult b = pipeline->Reproduce(user.report, plan, explicit_one);
+  const ReplayResult b = pipeline->Reproduce(user.report, plan, explicit_one).take();
 
   // num_shards == 1 must be byte-for-byte the in-process engine: same
   // witness, same counters, no distributed bookkeeping.
@@ -225,15 +225,15 @@ TEST(DistReplayTest, SingleShardConfigStaysInProcess) {
 TEST(DistReplayTest, TcpTwoShardsReproduceGuardedCrash) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 2;
   config.transport = ReplayTransport::kTcp;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   ASSERT_GE(replay.witness_argv.size(), 3u);
   EXPECT_EQ(replay.witness_argv[1][0], 'k');
@@ -245,15 +245,15 @@ TEST(DistReplayTest, TcpTwoShardsReproduceGuardedCrash) {
 TEST(DistReplayTest, TcpTwoShardsReproduceDeepCrashWithWireStats) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 2;
   config.transport = ReplayTransport::kTcp;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
   // The job ship (sources + plan + report) makes the TCP handshake far
@@ -281,7 +281,7 @@ TEST(DistReplayTest, TcpTwoShardsReproduceSyscallBug) {
   )";
   auto pipeline = MustBuild(kReadBug);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   spec.argv = {"prog"};
   spec.world.listen_fd = -1;
@@ -293,14 +293,14 @@ TEST(DistReplayTest, TcpTwoShardsReproduceSyscallBug) {
   stream.length = 13;
   spec.world.streams.push_back(stream);
 
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 1;  // 2 processes x 1 thread, over TCP loopback.
   config.transport = ReplayTransport::kTcp;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
 }
 
@@ -320,7 +320,8 @@ TEST(DistReplayTest, StarvedShardImportsReBalancedWork) {
   // frontier).
   InstrumentationPlan plan;
   plan.method = InstrumentMethod::kDynamic;
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  plan.branches = DenseBitset(pipeline->module().branches.size());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   // Real pendings to donate: harvest a small frontier the same way the
@@ -429,7 +430,8 @@ int main(int argc, char **argv) {
   auto pipeline = MustBuild(kBusyDeepGuardedCrash);
   InstrumentationPlan plan;  // Nothing instrumented: wide case-1 frontier.
   plan.method = InstrumentMethod::kDynamic;
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+  plan.branches = DenseBitset(pipeline->module().branches.size());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig harvest_cfg;
@@ -542,7 +544,7 @@ TEST(DistReplayTest, TwoShardsReproduceSyscallBug) {
   )";
   auto pipeline = MustBuild(kReadBug);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   spec.argv = {"prog"};
   spec.world.listen_fd = -1;
@@ -554,13 +556,13 @@ TEST(DistReplayTest, TwoShardsReproduceSyscallBug) {
   stream.length = 13;
   spec.world.streams.push_back(stream);
 
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_shards = 2;
   config.num_workers = 1;  // 2 processes x 1 thread.
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
 }
 

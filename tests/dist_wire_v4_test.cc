@@ -1,0 +1,261 @@
+// Wire v4 codec tests: the off-log failure profile nested in every
+// stats payload, and the plan detail_level/provenance metadata added to
+// the kJob codec. Same rigor as the v3 suite (tests/dist_wire_test.cc):
+// byte-exact and randomized round trips, every-prefix truncation,
+// digest corruption, and hostile-shape rejection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dist/wire.h"
+#include "src/support/rng.h"
+
+namespace retrace {
+namespace {
+
+ReplayFailureProfile MakeProfile() {
+  ReplayFailureProfile profile;
+  profile.branches.push_back(BranchFailureCounts{3, 7, 0, 1, 120});
+  profile.branches.push_back(BranchFailureCounts{4, 0, 11, 0, 95});
+  profile.branches.push_back(BranchFailureCounts{90, 1, 2, 3, 4});
+  profile.deaths_unattributed = 13;
+  return profile;
+}
+
+std::vector<u8> EncodeProfilePayload(const ReplayFailureProfile& profile) {
+  WireWriter w;
+  EncodeFailureProfile(profile, &w);
+  return w.Take();
+}
+
+TEST(DistWireV4Test, FailureProfileRoundTripsByteExactly) {
+  const ReplayFailureProfile original = MakeProfile();
+  const std::vector<u8> payload = EncodeProfilePayload(original);
+
+  WireReader r(payload.data(), payload.size());
+  ReplayFailureProfile decoded;
+  ASSERT_TRUE(DecodeFailureProfile(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  ASSERT_EQ(decoded.branches.size(), 3u);
+  EXPECT_EQ(decoded.branches[0].branch_id, 3u);
+  EXPECT_EQ(decoded.branches[0].deaths_concrete, 7u);
+  EXPECT_EQ(decoded.branches[0].deaths_wrong_crash, 1u);
+  EXPECT_EQ(decoded.branches[0].blind_execs, 120u);
+  EXPECT_EQ(decoded.branches[1].deaths_exhausted, 11u);
+  EXPECT_EQ(decoded.branches[2].branch_id, 90u);
+  EXPECT_EQ(decoded.deaths_unattributed, 13u);
+
+  EXPECT_EQ(EncodeProfilePayload(decoded), payload);
+}
+
+TEST(DistWireV4Test, FailureProfileEmptyIsLegal) {
+  const std::vector<u8> payload = EncodeProfilePayload(ReplayFailureProfile{});
+  WireReader r(payload.data(), payload.size());
+  ReplayFailureProfile decoded;
+  ASSERT_TRUE(DecodeFailureProfile(&r, &decoded));
+  EXPECT_TRUE(decoded.Empty());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// Randomized sweep: any strictly-increasing id sequence with arbitrary
+// 64-bit counters survives encode -> decode -> encode byte-exactly.
+TEST(DistWireV4Test, FailureProfileRoundTripProperty) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 100; ++iter) {
+    ReplayFailureProfile profile;
+    u32 id = 0;
+    const size_t count = rng.Next() % 20;
+    for (size_t i = 0; i < count; ++i) {
+      id += 1 + static_cast<u32>(rng.Next() % 1000);
+      profile.branches.push_back(BranchFailureCounts{id, rng.Next(), rng.Next(), rng.Next(),
+                                                     rng.Next()});
+    }
+    profile.deaths_unattributed = rng.Next();
+
+    const std::vector<u8> payload = EncodeProfilePayload(profile);
+    WireReader r(payload.data(), payload.size());
+    ReplayFailureProfile decoded;
+    ASSERT_TRUE(DecodeFailureProfile(&r, &decoded)) << "iter " << iter;
+    EXPECT_EQ(r.remaining(), 0u) << "iter " << iter;
+    EXPECT_EQ(EncodeProfilePayload(decoded), payload) << "iter " << iter;
+  }
+}
+
+TEST(DistWireV4Test, FailureProfileRejectsEveryTruncatedPrefix) {
+  const std::vector<u8> payload = EncodeProfilePayload(MakeProfile());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireReader r(payload.data(), cut);
+    ReplayFailureProfile decoded;
+    EXPECT_FALSE(DecodeFailureProfile(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireV4Test, FailureProfileRejectsForgedCounts) {
+  // A count far past the payload size: refused before any allocation.
+  WireWriter absurd;
+  absurd.U32(0x7fffffff);
+  WireReader r(absurd.buf().data(), absurd.buf().size());
+  ReplayFailureProfile decoded;
+  EXPECT_FALSE(DecodeFailureProfile(&r, &decoded));
+}
+
+TEST(DistWireV4Test, FailureProfileRejectsBranchIdsPastTheJobCap) {
+  // branch_id must stay below the job branch cap (1 << 24): a forged id
+  // would index far outside any real module.
+  WireWriter w;
+  w.U32(1);
+  w.U32(1u << 24);
+  w.U64(1);
+  w.U64(0);
+  w.U64(0);
+  w.U64(0);
+  w.U64(0);  // deaths_unattributed
+  WireReader r(w.buf().data(), w.buf().size());
+  ReplayFailureProfile decoded;
+  EXPECT_FALSE(DecodeFailureProfile(&r, &decoded));
+}
+
+TEST(DistWireV4Test, FailureProfileRejectsNonIncreasingIds) {
+  for (const u32 second_id : {5u, 3u}) {  // Duplicate and decreasing.
+    WireWriter w;
+    w.U32(2);
+    w.U32(5);
+    w.U64(1);
+    w.U64(0);
+    w.U64(0);
+    w.U64(9);
+    w.U32(second_id);
+    w.U64(0);
+    w.U64(2);
+    w.U64(0);
+    w.U64(9);
+    w.U64(0);  // deaths_unattributed
+    WireReader r(w.buf().data(), w.buf().size());
+    ReplayFailureProfile decoded;
+    EXPECT_FALSE(DecodeFailureProfile(&r, &decoded)) << "second id " << second_id;
+  }
+}
+
+// The profile rides inside every shard-result stats payload: the whole
+// nested codec must round trip byte-exactly, and a flipped payload bit
+// must die at the framing digest before the decoder sees it.
+TEST(DistWireV4Test, ShardResultCarriesFailureProfile) {
+  WireShardResult shard;
+  shard.result.reproduced = false;
+  shard.result.budget_exhausted = true;
+  shard.result.stats.runs = 500;
+  shard.result.stats.aborts_forced_direction = 5;
+  shard.result.stats.failure_profile = MakeProfile();
+
+  WireWriter w;
+  EncodeShardResult(shard, &w);
+  const std::vector<u8> payload = w.Take();
+
+  WireReader r(payload.data(), payload.size());
+  WireShardResult decoded;
+  ASSERT_TRUE(DecodeShardResult(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  ASSERT_EQ(decoded.result.stats.failure_profile.branches.size(), 3u);
+  EXPECT_EQ(decoded.result.stats.failure_profile.TotalDeaths(),
+            shard.result.stats.failure_profile.TotalDeaths());
+  EXPECT_EQ(decoded.result.stats.failure_profile.deaths_unattributed, 13u);
+
+  WireWriter w2;
+  EncodeShardResult(decoded, &w2);
+  EXPECT_EQ(w2.buf(), payload);
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireReader tr(payload.data(), cut);
+    WireShardResult truncated;
+    EXPECT_FALSE(DecodeShardResult(&tr, &truncated)) << "cut " << cut;
+  }
+
+  std::vector<u8> stream;
+  AppendFrame(WireMsg::kResult, payload, &stream);
+  stream[stream.size() - 9] ^= 0x10;  // Inside the profile bytes.
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kCorrupt);
+}
+
+// ----- Plan metadata (detail_level / provenance) in the kJob codec -----
+
+WireJob MakeJobWithRefinedPlan() {
+  WireJob job;
+  job.config.max_runs = 100;
+  job.config.seed = 5;
+  job.plan.method = InstrumentMethod::kDynamic;
+  job.plan.branches = DenseBitset(16);
+  job.plan.branches.Set(2);
+  job.plan.branches.Set(7);
+  job.plan.detail_level = 2;
+  job.plan.provenance = "dynamic +refine#1(4) +refine#2(2)";
+  job.report.method = InstrumentMethod::kDynamic;
+  for (int i = 0; i < 9; ++i) {
+    job.report.branch_log.PushBit((i & 1) != 0);
+  }
+  job.report.crash.kind = CrashSite::Kind::kExplicit;
+  job.report.crash.func = 1;
+  job.report.crash.loc = SourceLoc{0, 3, 2};
+  job.report.shape.argv = {"prog", "x"};
+  job.report.shape.argv_public = {false};
+  return job;
+}
+
+std::vector<u8> EncodeJobPayload(const WireJob& job) {
+  WireWriter w;
+  EncodeJob(job, &w);
+  return w.Take();
+}
+
+TEST(DistWireV4Test, JobPlanMetadataRoundTripsByteExactly) {
+  const WireJob job = MakeJobWithRefinedPlan();
+  const std::vector<u8> payload = EncodeJobPayload(job);
+
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.plan.detail_level, 2u);
+  EXPECT_EQ(decoded.plan.provenance, job.plan.provenance);
+  EXPECT_EQ(decoded.plan.branches, job.plan.branches);
+  EXPECT_EQ(EncodeJobPayload(decoded), payload);
+}
+
+TEST(DistWireV4Test, JobPlanMetadataRejectsEveryTruncatedPrefix) {
+  const std::vector<u8> payload = EncodeJobPayload(MakeJobWithRefinedPlan());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireReader r(payload.data(), cut);
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireV4Test, JobRejectsHostilePlanMetadata) {
+  // A provenance string past the cap (it is diagnostic text, not a
+  // payload channel).
+  {
+    WireJob job = MakeJobWithRefinedPlan();
+    job.plan.provenance = std::string(100'000, 'p');
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+  // A detail level past the job branch cap: no real refinement loop can
+  // add more rounds than there are branches.
+  {
+    WireJob job = MakeJobWithRefinedPlan();
+    job.plan.detail_level = (1u << 24) + 1;
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded));
+  }
+}
+
+}  // namespace
+}  // namespace retrace

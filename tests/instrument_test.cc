@@ -23,18 +23,19 @@ Compiled SixBranchModule() {
 
 TEST(PlanTest, AllBranchesInstrumentsEverything) {
   Compiled c = SixBranchModule();
-  const InstrumentationPlan plan =
-      BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const InstrumentationPlan plan = BuildPlan(*c.module, PlanInputs::AllBranches());
   EXPECT_EQ(plan.NumInstrumented(), c.module->branches.size());
+  EXPECT_EQ(plan.detail_level, 0u);
+  EXPECT_EQ(plan.provenance, InstrumentMethodName(InstrumentMethod::kAllBranches));
 }
 
 TEST(PlanTest, DynamicUsesOnlySymbolicLabels) {
   Compiled c = SixBranchModule();
-  std::vector<BranchLabel> labels(c.module->branches.size(), BranchLabel::kUnvisited);
-  labels[0] = BranchLabel::kSymbolic;
-  labels[1] = BranchLabel::kConcrete;
-  const InstrumentationPlan plan =
-      BuildPlan(*c.module, InstrumentMethod::kDynamic, &labels, nullptr);
+  AnalysisResult dyn;
+  dyn.labels.assign(c.module->branches.size(), BranchLabel::kUnvisited);
+  dyn.labels[0] = BranchLabel::kSymbolic;
+  dyn.labels[1] = BranchLabel::kConcrete;
+  const InstrumentationPlan plan = BuildPlan(*c.module, PlanInputs::Dynamic(dyn));
   EXPECT_EQ(plan.NumInstrumented(), 1u);
   EXPECT_TRUE(plan.Instrumented(0));
 }
@@ -45,8 +46,7 @@ TEST(PlanTest, StaticUsesStaticBitset) {
   stat.symbolic_branches = DenseBitset(c.module->branches.size());
   stat.symbolic_branches.Set(2);
   stat.symbolic_branches.Set(4);
-  const InstrumentationPlan plan =
-      BuildPlan(*c.module, InstrumentMethod::kStatic, nullptr, &stat);
+  const InstrumentationPlan plan = BuildPlan(*c.module, PlanInputs::Static(stat));
   EXPECT_EQ(plan.NumInstrumented(), 2u);
 }
 
@@ -54,7 +54,9 @@ TEST(PlanTest, CombinedRule) {
   Compiled c = SixBranchModule();
   const size_t n = c.module->branches.size();
   ASSERT_GE(n, 4u);
-  std::vector<BranchLabel> labels(n, BranchLabel::kUnvisited);
+  AnalysisResult dyn;
+  dyn.labels.assign(n, BranchLabel::kUnvisited);
+  std::vector<BranchLabel>& labels = dyn.labels;
   StaticAnalysisResult stat;
   stat.symbolic_branches = DenseBitset(n);
 
@@ -69,7 +71,7 @@ TEST(PlanTest, CombinedRule) {
   // Branch 3: unvisited, static says concrete -> not instrumented.
 
   const InstrumentationPlan plan =
-      BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat);
+      BuildPlan(*c.module, PlanInputs::DynamicStatic(dyn, stat));
   EXPECT_TRUE(plan.Instrumented(0));
   EXPECT_FALSE(plan.Instrumented(1));
   EXPECT_TRUE(plan.Instrumented(2));
@@ -79,7 +81,7 @@ TEST(PlanTest, CombinedRule) {
   PlanOptions no_override;
   no_override.dynamic_overrides_static = false;
   const InstrumentationPlan plan2 =
-      BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat, no_override);
+      BuildPlan(*c.module, PlanInputs::DynamicStatic(dyn, stat), no_override);
   EXPECT_TRUE(plan2.Instrumented(1));
 }
 
@@ -88,7 +90,9 @@ TEST(PlanTest, MethodOrderingInvariant) {
   // consistent with a sound static analysis.
   Compiled c = SixBranchModule();
   const size_t n = c.module->branches.size();
-  std::vector<BranchLabel> labels(n, BranchLabel::kUnvisited);
+  AnalysisResult dynr;
+  dynr.labels.assign(n, BranchLabel::kUnvisited);
+  std::vector<BranchLabel>& labels = dynr.labels;
   StaticAnalysisResult stat;
   stat.symbolic_branches = DenseBitset(n);
   // Static over-approximates: everything dynamic saw as symbolic plus more.
@@ -98,10 +102,10 @@ TEST(PlanTest, MethodOrderingInvariant) {
   labels[2] = BranchLabel::kConcrete;
   stat.symbolic_branches.Set(2);
 
-  const auto dyn = BuildPlan(*c.module, InstrumentMethod::kDynamic, &labels, &stat);
-  const auto combo = BuildPlan(*c.module, InstrumentMethod::kDynamicStatic, &labels, &stat);
-  const auto stat_plan = BuildPlan(*c.module, InstrumentMethod::kStatic, &labels, &stat);
-  const auto all = BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const auto dyn = BuildPlan(*c.module, PlanInputs::Dynamic(dynr));
+  const auto combo = BuildPlan(*c.module, PlanInputs::DynamicStatic(dynr, stat));
+  const auto stat_plan = BuildPlan(*c.module, PlanInputs::Static(stat));
+  const auto all = BuildPlan(*c.module, PlanInputs::AllBranches());
   for (size_t i = 0; i < n; ++i) {
     if (dyn.Instrumented(static_cast<i32>(i))) {
       EXPECT_TRUE(combo.Instrumented(static_cast<i32>(i)));
@@ -153,8 +157,7 @@ TEST(RecorderTest, EndToEndBitsMatchExecution) {
   // Record a run, then check the log length equals the number of
   // instrumented branch executions.
   Compiled c = SixBranchModule();
-  const InstrumentationPlan plan =
-      BuildPlan(*c.module, InstrumentMethod::kAllBranches, nullptr, nullptr);
+  const InstrumentationPlan plan = BuildPlan(*c.module, PlanInputs::AllBranches());
   BranchTraceRecorder recorder(plan);
   InstrumentedExecCounter counter(plan);
   Interp interp(*c.module, InterpOptions{});

@@ -30,7 +30,7 @@ TEST(WorkloadTest, BenignCoreutilsRunsExitCleanly) {
     const Scenario scenario = CoreutilsBenignScenario(tool);
     InstrumentationPlan none;
     none.branches = DenseBitset(pipeline->module().branches.size());
-    const auto user = pipeline->RecordUserRun(scenario.spec, none, {});
+    const auto user = pipeline->RecordUserRun(scenario.spec, none, {}).take();
     EXPECT_FALSE(user.result.Crashed()) << tool << ": " << user.result.crash.ToString();
     EXPECT_EQ(user.result.exit_code, 0) << tool << " stdout: " << user.stdout_text;
   }
@@ -51,7 +51,7 @@ TEST(WorkloadTest, BuggyCoreutilsCrashWhereExpected) {
     const Scenario scenario = CoreutilsBugScenario(test_case.tool);
     InstrumentationPlan none;
     none.branches = DenseBitset(pipeline->module().branches.size());
-    const auto user = pipeline->RecordUserRun(scenario.spec, none, {});
+    const auto user = pipeline->RecordUserRun(scenario.spec, none, {}).take();
     ASSERT_TRUE(user.result.Crashed()) << test_case.tool;
     EXPECT_EQ(user.result.crash.kind, test_case.kind) << test_case.tool;
   }
@@ -64,7 +64,7 @@ TEST(WorkloadTest, PasteBenignOutput) {
   spec.world.listen_fd = -1;
   InstrumentationPlan none;
   none.branches = DenseBitset(pipeline->module().branches.size());
-  const auto user = pipeline->RecordUserRun(spec, none, {});
+  const auto user = pipeline->RecordUserRun(spec, none, {}).take();
   EXPECT_EQ(user.stdout_text, "aa,bb,cc\n");
 }
 
@@ -73,7 +73,7 @@ TEST(WorkloadTest, DiffBenignFindsHunks) {
   const Scenario scenario = DiffBenignScenario();
   InstrumentationPlan none;
   none.branches = DenseBitset(pipeline->module().branches.size());
-  const auto user = pipeline->RecordUserRun(scenario.spec, none, {});
+  const auto user = pipeline->RecordUserRun(scenario.spec, none, {}).take();
   ASSERT_FALSE(user.result.Crashed()) << user.result.crash.ToString();
   EXPECT_NE(user.stdout_text.find("hunks: 3"), std::string::npos) << user.stdout_text;
   EXPECT_NE(user.stdout_text.find("< two\n"), std::string::npos);
@@ -86,7 +86,7 @@ TEST(WorkloadTest, DiffExperimentsCrashInHunkTable) {
     const Scenario scenario = DiffScenario(experiment);
     InstrumentationPlan none;
     none.branches = DenseBitset(pipeline->module().branches.size());
-    const auto user = pipeline->RecordUserRun(scenario.spec, none, {});
+    const auto user = pipeline->RecordUserRun(scenario.spec, none, {}).take();
     ASSERT_TRUE(user.result.Crashed()) << "exp" << experiment;
     EXPECT_EQ(user.result.crash.kind, CrashSite::Kind::kOutOfBounds);
   }
@@ -97,7 +97,7 @@ TEST(WorkloadTest, UserverServesRequests) {
   const InputSpec spec = UserverLoadSpec(6);
   InstrumentationPlan none;
   none.branches = DenseBitset(pipeline->module().branches.size());
-  const auto user = pipeline->RecordUserRun(spec, none, {});
+  const auto user = pipeline->RecordUserRun(spec, none, {}).take();
   EXPECT_FALSE(user.result.Crashed()) << user.result.crash.ToString();
   EXPECT_EQ(user.result.exit_code, 0);
 }
@@ -110,7 +110,7 @@ TEST(WorkloadTest, UserverRespondsToEachMethod) {
     none.branches = DenseBitset(pipeline->module().branches.size());
     Pipeline::UserRunOptions options;
     options.policy = scenario.policy.get();
-    const auto user = pipeline->RecordUserRun(scenario.spec, none, options);
+    const auto user = pipeline->RecordUserRun(scenario.spec, none, options).take();
     // The signal arrives after the requests: the run must end at crash(7).
     ASSERT_TRUE(user.result.Crashed()) << scenario.name;
     EXPECT_EQ(user.result.crash.kind, CrashSite::Kind::kExplicit) << scenario.name;
@@ -133,12 +133,12 @@ TEST(PipelineTest, CoreutilsEndToEndAllMethods) {
     for (const InstrumentMethod method :
          {InstrumentMethod::kDynamic, InstrumentMethod::kStatic,
           InstrumentMethod::kDynamicStatic, InstrumentMethod::kAllBranches}) {
-      const InstrumentationPlan plan = pipeline->MakePlan(method, &dyn, &stat);
-      const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+      const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(method, &dyn, &stat));
+      const auto user = pipeline->RecordUserRun(bug.spec, plan, {}).take();
       ASSERT_TRUE(user.result.Crashed()) << tool << "/" << InstrumentMethodName(method);
       ReplayConfig replay_config;
       replay_config.max_runs = 3000;
-      const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config);
+      const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config).take();
       EXPECT_TRUE(replay.reproduced) << tool << "/" << InstrumentMethodName(method)
                                      << " runs=" << replay.stats.runs;
       if (replay.reproduced) {
@@ -157,17 +157,17 @@ TEST(PipelineTest, UserverExperimentOneCombined) {
   stat_options.analyze_library = false;  // The paper's uServer setup.
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis(stat_options);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat);
+      pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat));
 
   const Scenario scenario = UserverScenario(1);
   Pipeline::UserRunOptions options;
   options.policy = scenario.policy.get();
-  const auto user = pipeline->RecordUserRun(scenario.spec, plan, options);
+  const auto user = pipeline->RecordUserRun(scenario.spec, plan, options).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig replay_config;
   replay_config.max_runs = 4000;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, replay_config).take();
   EXPECT_TRUE(replay.reproduced) << "runs=" << replay.stats.runs;
 }
 
@@ -181,9 +181,9 @@ TEST(PipelineTest, OverheadOrderingOnCoreutils) {
   const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign.spec, dyn_config);
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
 
-  const auto all = pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto dyn_plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &dyn, nullptr);
-  const auto combo = pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat);
+  const auto all = pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto dyn_plan = pipeline->MakePlan(PlanInputs::Dynamic(dyn));
+  const auto combo = pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat));
 
   const auto all_sample = pipeline->MeasureOverhead(benign.spec, all, nullptr, 1);
   const auto dyn_sample = pipeline->MeasureOverhead(benign.spec, dyn_plan, nullptr, 1);
@@ -197,8 +197,8 @@ TEST(PipelineTest, OverheadOrderingOnCoreutils) {
 TEST(PipelineTest, ReportStripsPrivateData) {
   auto pipeline = BuildWorkload("mkdir");
   const Scenario bug = CoreutilsBugScenario("mkdir");
-  const auto plan = pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+  const auto plan = pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(bug.spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
   // Shape preserved, contents gone.
   ASSERT_EQ(user.report.shape.argv.size(), bug.spec.argv.size());
@@ -211,8 +211,8 @@ TEST(PipelineTest, ReportStripsPrivateData) {
 TEST(PipelineTest, SymbolicSplitStatsPopulated) {
   auto pipeline = BuildWorkload("mkdir");
   const Scenario bug = CoreutilsBugScenario("mkdir");
-  const auto plan = pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(bug.spec, plan, {});
+  const auto plan = pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(bug.spec, plan, {}).take();
   // Under all-branches every symbolic execution is logged.
   EXPECT_GT(user.report.stats.symbolic_execs_logged, 0u);
   EXPECT_EQ(user.report.stats.symbolic_execs_unlogged, 0u);

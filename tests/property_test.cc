@@ -173,7 +173,7 @@ TEST_P(DeterminismProperty, RunsAreBitIdentical) {
   const WorkloadSources sources = GetWorkload(GetParam());
   auto pipeline = Pipeline::FromSources(sources.app, sources.libs).take();
   InstrumentationPlan all =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   if (std::string(GetParam()) == "listing1") {
     spec.argv = {"listing1", "b"};
@@ -181,8 +181,8 @@ TEST_P(DeterminismProperty, RunsAreBitIdentical) {
     spec.argv = {GetParam(), "-m", "0755", "x"};
   }
   spec.world.listen_fd = -1;
-  const auto first = pipeline->RecordUserRun(spec, all, {});
-  const auto second = pipeline->RecordUserRun(spec, all, {});
+  const auto first = pipeline->RecordUserRun(spec, all, {}).take();
+  const auto second = pipeline->RecordUserRun(spec, all, {}).take();
   EXPECT_EQ(first.result.status, second.result.status);
   EXPECT_EQ(first.result.exit_code, second.result.exit_code);
   EXPECT_EQ(first.result.stats.instrs, second.result.stats.instrs);
@@ -239,18 +239,18 @@ int main(int argc, char **argv) {
     dyn_ptr = &dyn;
     stat_ptr = &stat;
   }
-  const InstrumentationPlan plan = pipeline->MakePlan(param.method, dyn_ptr, stat_ptr);
+  const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::ForMethod(param.method, dyn_ptr, stat_ptr));
 
   InputSpec bug;
   bug.argv = {"prog", "zzzzKzzz"};
   bug.argv[1][param.position] = 'K';
   bug.world.listen_fd = -1;
-  const auto user = pipeline->RecordUserRun(bug, plan, {});
+  const auto user = pipeline->RecordUserRun(bug, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.max_runs = 4000;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced)
       << "position " << param.position << " method " << InstrumentMethodName(param.method);
   EXPECT_EQ(replay.witness_argv[1][param.position], 'K');

@@ -52,14 +52,14 @@ InputSpec PollLoopInput() {
 TEST(ReplayCriterionTest, WitnessRetracesExactBitSequence) {
   auto pipeline = Pipeline::FromSources(kPollLoop, {}).take();
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
 
   // The signal arrives on the 4th poll: three loop iterations of real work
   // happen first.
   SignalAfterPolicy policy(3);
   Pipeline::UserRunOptions options;
   options.policy = &policy;
-  const auto user = pipeline->RecordUserRun(PollLoopInput(), plan, options);
+  const auto user = pipeline->RecordUserRun(PollLoopInput(), plan, options).take();
   ASSERT_TRUE(user.result.Crashed());
   ASSERT_GT(user.report.branch_log.size(), 10u);
 
@@ -68,7 +68,7 @@ TEST(ReplayCriterionTest, WitnessRetracesExactBitSequence) {
   // most of the branch log unconsumed and must be rejected.
   ReplayConfig config;
   config.use_syscall_log = false;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
 
   // Re-run the witness with a recorder: it must produce the identical log.
@@ -94,12 +94,12 @@ TEST(ReplayCriterionTest, EmptyPlanAcceptsAnyCrashAtSite) {
   SignalAfterPolicy policy(3);
   Pipeline::UserRunOptions options;
   options.policy = &policy;
-  const auto user = pipeline->RecordUserRun(PollLoopInput(), empty, options);
+  const auto user = pipeline->RecordUserRun(PollLoopInput(), empty, options).take();
   ASSERT_TRUE(user.result.Crashed());
   EXPECT_EQ(user.report.branch_log.size(), 0u);
   ReplayConfig config;
   config.use_syscall_log = false;
-  const ReplayResult replay = pipeline->Reproduce(user.report, empty, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, empty, config).take();
   EXPECT_TRUE(replay.reproduced);
 }
 

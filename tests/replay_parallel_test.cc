@@ -78,18 +78,18 @@ void ExpectStatsEqual(const ReplayStats& a, const ReplayStats& b) {
 TEST(ReplayParallelTest, SingleWorkerMatchesLegacyPath) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig legacy;
   legacy.seed = 11;  // num_workers defaults to 1: the sequential engine.
-  const ReplayResult base = pipeline->Reproduce(user.report, plan, legacy);
+  const ReplayResult base = pipeline->Reproduce(user.report, plan, legacy).take();
   ASSERT_TRUE(base.reproduced);
 
   ReplayConfig explicit_one = legacy;
   explicit_one.num_workers = 1;
-  const ReplayResult again = pipeline->Reproduce(user.report, plan, explicit_one);
+  const ReplayResult again = pipeline->Reproduce(user.report, plan, explicit_one).take();
   ASSERT_TRUE(again.reproduced);
 
   EXPECT_EQ(base.witness_cells, again.witness_cells);
@@ -112,13 +112,13 @@ TEST(ReplayParallelTest, SingleWorkerMatchesLegacyPath) {
 TEST(ReplayParallelTest, FourWorkersReproduceAllBranches) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   ASSERT_GE(replay.witness_argv.size(), 3u);
   EXPECT_EQ(replay.witness_argv[1][0], 'k');
@@ -136,13 +136,13 @@ TEST(ReplayParallelTest, FourWorkersReproduceWithDynamicPlan) {
   benign.argv = {"prog", "ab", "c"};
   benign.world.listen_fd = -1;
   const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign, dyn_config);
-  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &dyn, nullptr);
+  const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::Dynamic(dyn));
 
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
   ReplayConfig config;
   config.num_workers = 4;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 }
@@ -150,13 +150,13 @@ TEST(ReplayParallelTest, FourWorkersReproduceWithDynamicPlan) {
 TEST(ReplayParallelTest, FourWorkersReproduceDeepCrash) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 }
@@ -174,7 +174,7 @@ TEST(ReplayParallelTest, FourWorkersReproduceSyscallBug) {
   )";
   auto pipeline = MustBuild(kReadBug);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   spec.argv = {"prog"};
   spec.world.listen_fd = -1;
@@ -186,26 +186,26 @@ TEST(ReplayParallelTest, FourWorkersReproduceSyscallBug) {
   stream.length = 13;
   spec.world.streams.push_back(stream);
 
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
 }
 
 TEST(ReplayParallelTest, PortfolioPickReproduces) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
   config.pick = ReplayConfig::Pick::kPortfolio;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 }
@@ -217,15 +217,15 @@ TEST(ReplayParallelTest, PortfolioPickReproduces) {
 TEST(ReplayParallelTest, DirectionPickReproduces) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   for (const u32 workers : {1u, 4u}) {
     ReplayConfig config;
     config.num_workers = workers;
     config.pick = ReplayConfig::Pick::kDirection;
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced) << workers << " workers";
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
     // All completed runs are attributed to the direction discipline.
@@ -244,8 +244,8 @@ TEST(ReplayParallelTest, DirectionPickReproduces) {
 TEST(ReplayParallelTest, SubsumptionPruneKeepsCrashReachable) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
@@ -255,7 +255,7 @@ TEST(ReplayParallelTest, SubsumptionPruneKeepsCrashReachable) {
   // identical seed 1, so whoever publishes second collides on every set.
   const std::vector<i64> benign(16, 120);
   config.corpus_seeds = {benign, benign};
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
   EXPECT_GT(replay.stats.pendings_pruned, 0u);
@@ -277,15 +277,15 @@ TEST(ReplayParallelTest, SubsumptionPruneKeepsCrashReachable) {
 TEST(ReplayParallelTest, SequentialPruneStillReproduces) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.prune_subsumed = true;
   const std::vector<i64> benign(16, 120);
   config.corpus_seeds = {benign, benign};  // Identical runs back to back.
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
   // The second identical corpus run re-publishes the first one's entire
@@ -299,14 +299,14 @@ TEST(ReplayParallelTest, SequentialPruneStillReproduces) {
 TEST(ReplayParallelTest, CorpusSeedShortCircuitsSearch) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   // Obtain a known witness, then replay with it as a corpus seed.
   ReplayConfig warm;
   warm.num_workers = 4;
-  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm);
+  const ReplayResult baseline = pipeline->Reproduce(user.report, plan, warm).take();
   ASSERT_TRUE(baseline.reproduced);
 
   {
@@ -316,7 +316,7 @@ TEST(ReplayParallelTest, CorpusSeedShortCircuitsSearch) {
     ReplayConfig config;
     config.max_runs = 3;
     config.corpus_seeds = {baseline.witness_cells};
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced);
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
     EXPECT_EQ(replay.stats.corpus_runs, 1u);
@@ -329,7 +329,7 @@ TEST(ReplayParallelTest, CorpusSeedShortCircuitsSearch) {
     config.num_workers = 4;
     config.corpus_seeds = {baseline.witness_cells, baseline.witness_cells,
                            baseline.witness_cells, baseline.witness_cells};
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced);
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
     EXPECT_GE(replay.stats.corpus_runs, 1u);
@@ -380,7 +380,7 @@ int main(int argc, char **argv) {
   // field must NOT promote — it would collapse the portfolio's
   // randomized hedge onto DFS.)
   InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   plan.branches = DenseBitset(pipeline->module().branches.size());
   for (size_t b = 0; b < pipeline->module().branches.size(); b += 3) {
     plan.branches.Set(b);
@@ -388,7 +388,7 @@ int main(int argc, char **argv) {
   InputSpec spec;
   spec.argv = {"prog", "abcdefghijklmnop"};
   spec.world.listen_fd = -1;
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   // Redirect the reported crash site so no run ever "reproduces": the
@@ -400,7 +400,7 @@ int main(int argc, char **argv) {
   config.num_workers = 6;  // Workers 4 and 5 are adaptive.
   config.pick = ReplayConfig::Pick::kPortfolio;
   config.max_runs = 2000;
-  const ReplayResult replay = pipeline->Reproduce(report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(report, plan, config).take();
   EXPECT_FALSE(replay.reproduced);
   EXPECT_GE(replay.stats.promotions, 1u);
   // Attribution covers the fleet: every completed run landed in exactly
@@ -418,13 +418,13 @@ int main(int argc, char **argv) {
 TEST(ReplayParallelTest, StatsAggregateLosslessly) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   const ReplayStats& s = replay.stats;
   ASSERT_EQ(s.per_worker.size(), 4u);
 
@@ -454,15 +454,15 @@ TEST(ReplayParallelTest, StatsAggregateLosslessly) {
 TEST(ReplayParallelTest, RunCapIsGlobal) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.num_workers = 4;
   config.max_runs = 2;
   config.seed = 5;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   EXPECT_LE(replay.stats.runs, 2u);
   if (!replay.reproduced) {
     EXPECT_TRUE(replay.budget_exhausted);

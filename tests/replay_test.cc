@@ -40,14 +40,14 @@ InputSpec GuardedCrashInput() {
 TEST(ReplayTest, ReproducesWithAllBranches) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
   EXPECT_EQ(user.result.crash.kind, CrashSite::Kind::kExplicit);
 
   ReplayConfig config;
   config.seed = 11;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   // The witness must satisfy the guard but need not equal the original.
   ASSERT_GE(replay.witness_argv.size(), 3u);
@@ -67,12 +67,12 @@ TEST(ReplayTest, ReproducesWithDynamicPlan) {
   benign.argv = {"prog", "ab", "c"};
   benign.world.listen_fd = -1;
   const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign, dyn_config);
-  const InstrumentationPlan plan = pipeline->MakePlan(InstrumentMethod::kDynamic, &dyn, nullptr);
+  const InstrumentationPlan plan = pipeline->MakePlan(PlanInputs::Dynamic(dyn));
   EXPECT_LT(plan.NumInstrumented(), pipeline->module().branches.size());
 
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{}).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 }
@@ -87,11 +87,11 @@ TEST(ReplayTest, ReproducesWithCombinedPlan) {
   const AnalysisResult dyn = pipeline->RunDynamicAnalysis(benign, dyn_config);
   const StaticAnalysisResult stat = pipeline->RunStaticAnalysis({});
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kDynamicStatic, &dyn, &stat);
+      pipeline->MakePlan(PlanInputs::DynamicStatic(dyn, stat));
 
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{});
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, ReplayConfig{}).take();
   ASSERT_TRUE(replay.reproduced);
 }
 
@@ -103,10 +103,10 @@ TEST(ReplayTest, EmptyPlanStillSearches) {
   InstrumentationPlan empty;
   empty.method = InstrumentMethod::kDynamic;
   empty.branches = DenseBitset(pipeline->module().branches.size());
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), empty, {});
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), empty, {}).take();
   ASSERT_TRUE(user.result.Crashed());
   EXPECT_EQ(user.report.branch_log.size(), 0u);
-  const ReplayResult replay = pipeline->Reproduce(user.report, empty, ReplayConfig{});
+  const ReplayResult replay = pipeline->Reproduce(user.report, empty, ReplayConfig{}).take();
   EXPECT_TRUE(replay.reproduced);
 }
 
@@ -122,15 +122,15 @@ TEST(ReplayTest, WitnessDiffersButActivatesBug) {
     }
   )");
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec original;
   original.argv = {"prog", "k", "private-payload-data"};
   original.world.listen_fd = -1;
-  const auto user = pipeline->RecordUserRun(original, plan, {});
+  const auto user = pipeline->RecordUserRun(original, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
   ReplayConfig config;
   config.seed = 99;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_EQ(replay.witness_argv[1][0], 'k');
   // The unconstrained payload should not have been reconstructed.
@@ -152,7 +152,7 @@ TEST(ReplayTest, SyscallLogSpeedsUpReplay) {
   )";
   auto pipeline = MustBuild(kReadBug);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   spec.argv = {"prog"};
   spec.world.listen_fd = -1;
@@ -164,17 +164,17 @@ TEST(ReplayTest, SyscallLogSpeedsUpReplay) {
   stream.length = 13;
   spec.world.streams.push_back(stream);
 
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig with_log;
   with_log.use_syscall_log = true;
-  const ReplayResult fast = pipeline->Reproduce(user.report, plan, with_log);
+  const ReplayResult fast = pipeline->Reproduce(user.report, plan, with_log).take();
   ASSERT_TRUE(fast.reproduced);
 
   ReplayConfig without_log;
   without_log.use_syscall_log = false;
-  const ReplayResult slow = pipeline->Reproduce(user.report, plan, without_log);
+  const ReplayResult slow = pipeline->Reproduce(user.report, plan, without_log).take();
   ASSERT_TRUE(slow.reproduced);
   EXPECT_LE(fast.stats.runs, slow.stats.runs);
 }
@@ -182,12 +182,12 @@ TEST(ReplayTest, SyscallLogSpeedsUpReplay) {
 TEST(ReplayTest, BudgetExhaustionReported) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ReplayConfig config;
   config.max_runs = 1;  // The initial random run almost surely misses.
   config.seed = 5;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   EXPECT_FALSE(replay.reproduced);
   EXPECT_TRUE(replay.budget_exhausted);
 }
@@ -195,11 +195,11 @@ TEST(ReplayTest, BudgetExhaustionReported) {
 TEST(ReplayTest, FifoPickAlsoWorks) {
   auto pipeline = MustBuild(kGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(GuardedCrashInput(), plan, {}).take();
   ReplayConfig config;
   config.pick = ReplayConfig::Pick::kFifo;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   EXPECT_TRUE(replay.reproduced);
 }
 

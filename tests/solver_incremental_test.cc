@@ -353,15 +353,15 @@ InputSpec DeepGuardedCrashInput() {
 TEST(IncrementalSolverTest, EngineCacheSoundAtOneAndFourWorkers) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   for (const u32 workers : {1u, 4u}) {
     ReplayConfig config;
     config.num_workers = workers;
     config.solver_cache = true;
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced) << workers << " workers";
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
     EXPECT_GT(replay.stats.slices_solved + replay.stats.slice_sat_hits +
@@ -378,13 +378,13 @@ TEST(IncrementalSolverTest, EngineCacheSoundAtOneAndFourWorkers) {
 TEST(IncrementalSolverTest, EngineCacheOffReportsNoSliceActivity) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   ReplayConfig config;
   config.solver_cache = false;
-  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+  const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
   ASSERT_TRUE(replay.reproduced);
   EXPECT_EQ(replay.stats.slices_solved, 0u);
   EXPECT_EQ(replay.stats.slice_sat_hits, 0u);
@@ -396,15 +396,15 @@ TEST(IncrementalSolverTest, EngineCacheOffReportsNoSliceActivity) {
 TEST(IncrementalSolverTest, LogBitsPickReproduces) {
   auto pipeline = MustBuild(kDeepGuardedCrash);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
-  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {});
+      pipeline->MakePlan(PlanInputs::AllBranches());
+  const auto user = pipeline->RecordUserRun(DeepGuardedCrashInput(), plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   for (const u32 workers : {1u, 4u}) {
     ReplayConfig config;
     config.num_workers = workers;
     config.pick = ReplayConfig::Pick::kLogBits;
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced) << workers << " workers";
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
 
@@ -517,18 +517,18 @@ TEST(IncrementalSolverTest, EngineHonorsSliceCacheCapacity) {
   src += "  if (hits == 32) { crash(9); }\n  return 0;\n}\n";
   auto pipeline = MustBuild(src);
   const InstrumentationPlan plan =
-      pipeline->MakePlan(InstrumentMethod::kAllBranches, nullptr, nullptr);
+      pipeline->MakePlan(PlanInputs::AllBranches());
   InputSpec spec;
   spec.argv = {"prog", input};
   spec.world.listen_fd = -1;
-  const auto user = pipeline->RecordUserRun(spec, plan, {});
+  const auto user = pipeline->RecordUserRun(spec, plan, {}).take();
   ASSERT_TRUE(user.result.Crashed());
 
   for (const u32 workers : {1u, 4u}) {
     ReplayConfig config;
     config.num_workers = workers;
     config.slice_cache_capacity = 16;
-    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config);
+    const ReplayResult replay = pipeline->Reproduce(user.report, plan, config).take();
     ASSERT_TRUE(replay.reproduced) << workers << " workers";
     EXPECT_TRUE(pipeline->VerifyWitness(user.report, replay.witness_cells));
     EXPECT_GT(replay.stats.slice_evictions, 0u) << workers << " workers";
@@ -536,7 +536,7 @@ TEST(IncrementalSolverTest, EngineHonorsSliceCacheCapacity) {
   // Unbounded default reports zero evictions on the same scenario.
   ReplayConfig unbounded;
   unbounded.num_workers = 4;
-  const ReplayResult base = pipeline->Reproduce(user.report, plan, unbounded);
+  const ReplayResult base = pipeline->Reproduce(user.report, plan, unbounded).take();
   ASSERT_TRUE(base.reproduced);
   EXPECT_EQ(base.stats.slice_evictions, 0u);
 }
