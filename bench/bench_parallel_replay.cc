@@ -128,6 +128,10 @@ int Main() {
     u64 total_corpus_runs = 0;
     u64 total_promotions = 0;
     u64 total_runs = 0;
+    u64 total_shards_lost = 0;
+    u64 total_pendings_recovered = 0;
+    u64 total_heartbeats_missed = 0;
+    u64 total_fallbacks = 0;
     std::array<u64, kNumDisciplines> disc_runs{};
     std::array<u64, kNumDisciplines> disc_on_log{};
     // Per-shard aggregation over every cell of this table: process-level
@@ -176,6 +180,10 @@ int Main() {
         total_corpus_runs += replay.stats.corpus_runs;
         total_promotions += replay.stats.promotions;
         total_runs += replay.stats.runs;
+        total_shards_lost += replay.stats.shards_lost;
+        total_pendings_recovered += replay.stats.pendings_recovered;
+        total_heartbeats_missed += replay.stats.heartbeats_missed;
+        total_fallbacks += replay.stats.fallback_inprocess ? 1 : 0;
         for (size_t d = 0; d < kNumDisciplines; ++d) {
           disc_runs[d] += replay.stats.discipline_runs[d];
           disc_on_log[d] += replay.stats.discipline_on_log[d];
@@ -257,6 +265,13 @@ int Main() {
                     agg.verdicts_in, agg.pendings_exported, agg.pendings_imported,
                     agg.rebalance_rounds);
       }
+      // 0s across the board on a healthy fleet; the CI fault-injection
+      // smoke leg greps this line under RETRACE_FAULT_SPEC.
+      std::printf("fault recovery (all cells): %" PRIu64 " shards lost, %" PRIu64
+                  " pendings recovered, %" PRIu64 " heartbeats missed, %" PRIu64
+                  " in-process fallbacks\n",
+                  total_shards_lost, total_pendings_recovered, total_heartbeats_missed,
+                  total_fallbacks);
     }
   }
 

@@ -5,11 +5,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "src/dist/fault.h"
 #include "src/dist/shard.h"
 #include "src/dist/transport.h"
 #include "src/dist/wire.h"
@@ -25,12 +27,43 @@ constexpr u32 kMaxShards = 64;
 // hard-kills shards that stopped responding.
 constexpr i64 kKillGraceMs = 30'000;
 
+// Recovered pendings re-inject in batches of this many per
+// kPendingExport frame — small enough to interleave with gossip, far
+// under the decoder's kMaxWorkRequestWant ceiling.
+constexpr u32 kRecoverBatch = 64;
+
+i64 NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 struct ShardProc {
   std::unique_ptr<WireChannel> chan;
   bool done = false;
   bool have_result = false;
+  bool lost = false;           // Died, hung or broke before delivering kResult.
+  u64 heartbeats_missed = 0;   // 1 when the heartbeat deadline declared it dead.
+  u64 recovered_from = 0;      // Pendings re-injected after this shard's death.
+  i64 last_heard_ms = 0;       // Any received frame counts as liveness.
   WireShardResult res;
 };
+
+// One entry of the per-shard pending-ownership ledger: a pending the
+// coordinator believes shard `holder` is responsible for, keyed by the
+// same constraint fingerprint the shards' dedup uses. The ledger is the
+// recovery source of truth: seeded partitions and every re-balance
+// carve move through it, a clean kResult clears it, and a death
+// re-injects whatever is still unaccounted (at-least-once — duplicates
+// die in the receivers' FingerprintSet subsumption).
+struct LedgerEntry {
+  u64 fp = 0;
+  PortablePending pending;
+};
+
+u64 PendingFingerprint(const PortablePending& p) {
+  return FingerprintConstraints(*p.trace, p.len, p.negate_last);
+}
 
 // Counts the verdicts in a batch without decoding it (no allocations on
 // the relay hot path — the payload is forwarded verbatim anyway).
@@ -73,7 +106,7 @@ std::unique_ptr<Transport> MakeTransport(const IrModule& module, const Instrumen
         config.tcp_listen, config.shard_endpoints, w.Take(),
         [](const std::string& endpoint) {
           const int fd = TcpConnect(endpoint);
-          return fd >= 0 && ServeShardJob(fd, "loopback-selfspawn");
+          return fd >= 0 && ServeShardJob(fd, "loopback-selfspawn") == ShardRunStatus::kOk;
         });
   }
   return std::make_unique<LocalForkTransport>([&module, &plan, &report, shard_cfg](
@@ -104,6 +137,18 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   };
   const u32 num_shards = std::clamp(config.num_shards, 2u, kMaxShards);
+
+  // Parse the fault schedule before any work is spent: like every other
+  // knob, garbage must fail loudly up front, not after the scout ran.
+  FaultSpec fault_spec;
+  if (!config.fault_spec.empty()) {
+    std::string fault_err;
+    if (!ParseFaultSpec(config.fault_spec, &fault_spec, &fault_err)) {
+      std::fprintf(stderr, "retrace: bad RETRACE_FAULT_SPEC \"%s\": %s\n",
+                   config.fault_spec.c_str(), fault_err.c_str());
+      std::exit(2);
+    }
+  }
 
   // ----- 1. Scout: grow (or finish) the frontier in-process. -----
   ExprArena arena;
@@ -175,6 +220,11 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
 
   // ----- 3. Spawn/connect the shard fleet (transport-agnostic). -----
   std::unique_ptr<Transport> transport = MakeTransport(module, plan, report, shard_cfg, config);
+  if (!fault_spec.empty()) {
+    std::fprintf(stderr, "[dist] fault injection armed: %s\n", config.fault_spec.c_str());
+    transport = std::make_unique<FaultInjectingTransport>(std::move(transport),
+                                                          std::move(fault_spec), config.seed);
+  }
   std::vector<std::unique_ptr<WireChannel>> channels = transport->Start(num_shards);
   std::vector<ShardProc> procs(num_shards);
   for (u32 s = 0; s < num_shards; ++s) {
@@ -236,20 +286,23 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
         EncodePending(parts[s][pendings_queued[s]], &w);
         if (!chan.Queue(WireMsg::kPending, w.buf(), /*droppable=*/false)) {
           procs[s].done = true;
-          // Undelivered remainder re-deals round-robin to the shards
-          // still standing; the next sweep ships it.
+          procs[s].lost = true;
+          // The whole partition re-deals round-robin to the shards still
+          // standing, prefix included: frames queued into a channel that
+          // broke mid-sweep were never delivered (the shard dies without
+          // kHello/kStart, so nothing here can run twice).
           std::vector<u32> targets;
           for (const u32 other : live) {
             if (other != s && !procs[other].done) {
               targets.push_back(other);
             }
           }
-          for (size_t j = pendings_queued[s], deal = 0; j < parts[s].size() && !targets.empty();
-               ++j, ++deal) {
+          for (size_t j = 0, deal = 0; j < parts[s].size() && !targets.empty(); ++j, ++deal) {
             parts[targets[deal % targets.size()]].push_back(std::move(parts[s][j]));
             redealt = true;
           }
           parts[s].clear();
+          pendings_queued[s] = 0;
           break;
         }
         ++pendings_queued[s];
@@ -266,7 +319,22 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     if (!chan.Queue(WireMsg::kHello, hello.buf(), /*droppable=*/false) ||
         !chan.Queue(WireMsg::kStart, {}, /*droppable=*/false)) {
       procs[s].done = true;
+      procs[s].lost = true;  // Its ledger recovers below, pre-relay.
     }
+  }
+
+  // ----- Ownership ledger: what each shard must answer for. -----
+  // Seeded from the final partition (parts[s] still holds exactly what
+  // was queued to s after every re-deal above); re-balance carves move
+  // entries between shards as the relay routes them, a clean kResult
+  // clears a shard's column, and a death re-injects the remainder.
+  std::vector<std::vector<LedgerEntry>> ledger(num_shards);
+  for (u32 s = 0; s < num_shards; ++s) {
+    ledger[s].reserve(parts[s].size());
+    for (PortablePending& pending : parts[s]) {
+      ledger[s].push_back(LedgerEntry{PendingFingerprint(pending), std::move(pending)});
+    }
+    parts[s].clear();
   }
 
   // ----- 4. Relay loop: gossip verdicts, route re-balance traffic,
@@ -274,6 +342,9 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
   bool have_winner = false;
   u32 winner = 0;
   u64 verdicts_gossiped = 0;
+  // Ledger entries whose every possible home is dead: the in-process
+  // fallback search (step 6) runs these if nobody reproduced the crash.
+  std::vector<PortablePending> orphan_pool;
   auto broadcast_stop = [&](u32 except) {
     for (u32 s = 0; s < num_shards; ++s) {
       if (s != except && !procs[s].done && procs[s].chan != nullptr) {
@@ -308,6 +379,34 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     // on hearing an answer.
     procs[request.requester].chan->Queue(WireMsg::kPendingExport, w.buf(),
                                          /*droppable=*/false);
+  };
+  // Moves ownership of every pending a routed kPendingExport carries
+  // from `from`'s ledger column to `to`'s, so recovery always re-injects
+  // from the column of the shard that actually held the work. A pending
+  // the `from` column does not know (work the shard discovered itself
+  // and is now exporting) starts being tracked at the receiver — the
+  // first moment the coordinator can know it exists.
+  auto transfer_ledger = [&](u32 from, u32 to, const WireFrame& frame) {
+    WireReader r(frame.payload.data(), frame.payload.size());
+    WirePendingExport batch;
+    if (!DecodePendingExport(&r, &batch)) {
+      return;  // Digest-checked upstream; tracked best-effort.
+    }
+    for (PortablePending& pending : batch.pendings) {
+      const u64 fp = PendingFingerprint(pending);
+      bool moved = false;
+      for (size_t i = 0; i < ledger[from].size(); ++i) {
+        if (ledger[from][i].fp == fp) {
+          ledger[to].push_back(std::move(ledger[from][i]));
+          ledger[from].erase(ledger[from].begin() + static_cast<std::ptrdiff_t>(i));
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) {
+        ledger[to].push_back(LedgerEntry{fp, std::move(pending)});
+      }
+    }
   };
   auto route_work_request = [&](u32 requester, const WireFrame& frame) {
     WireWorkRequest request;
@@ -347,6 +446,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       }
       donor_rr = target + 1;
       procs[target].chan->Queue(WireMsg::kPendingExport, frame.payload, /*droppable=*/false);
+      transfer_ledger(from, target, frame);
       return;
     }
     // No peer left: hand it back to the sender if it still searches
@@ -364,8 +464,100 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     u32 count = 0;
     return r.U32(&requester) && r.U64(&seq) && r.U32(&count) && count > 0;
   };
+  // Re-injects a dead shard's unaccounted ledger column into the live
+  // fleet as unsolicited kPendingExport batches (seq 0 — matches no
+  // requester's outstanding answer; the pumps import unsolicited work
+  // unconditionally). At-least-once by design: a pending the shard
+  // already solved re-proves cheaply and dies in FingerprintSet
+  // subsumption, while the one pending that held the reproducing input
+  // is guaranteed a new home. With nobody live the column moves to the
+  // orphan pool for the in-process fallback.
+  auto recover_ledger = [&](u32 dead) {
+    if (ledger[dead].empty()) {
+      return;
+    }
+    std::vector<u32> targets;
+    for (u32 t = 0; t < num_shards; ++t) {
+      if (t != dead && !procs[t].done && procs[t].chan != nullptr) {
+        targets.push_back(t);
+      }
+    }
+    const u64 column = ledger[dead].size();
+    if (targets.empty()) {
+      for (LedgerEntry& entry : ledger[dead]) {
+        orphan_pool.push_back(std::move(entry.pending));
+      }
+      ledger[dead].clear();
+      procs[dead].recovered_from += column;
+      return;
+    }
+    size_t rr = 0;
+    size_t i = 0;
+    while (i < ledger[dead].size()) {
+      const u32 target = targets[rr++ % targets.size()];
+      WirePendingExport batch;
+      batch.requester_shard_id = target;
+      batch.seq = 0;
+      const size_t end = std::min(i + kRecoverBatch, ledger[dead].size());
+      for (size_t j = i; j < end; ++j) {
+        batch.pendings.push_back(ledger[dead][j].pending);
+      }
+      WireWriter w;
+      EncodePendingExport(batch, &w);
+      procs[target].chan->Queue(WireMsg::kPendingExport, w.buf(), /*droppable=*/false);
+      for (size_t j = i; j < end; ++j) {
+        ledger[target].push_back(std::move(ledger[dead][j]));
+      }
+      i = end;
+    }
+    ledger[dead].clear();
+    procs[dead].recovered_from += column;
+    std::fprintf(stderr, "[dist] shard %u lost: re-injected %llu pending(s) into %zu survivor(s)\n",
+                 dead, static_cast<unsigned long long>(column), targets.size());
+  };
+  // Single exit for every way a shard dies mid-search (closed channel,
+  // corrupt stream, missed heartbeat deadline): stop talking to it,
+  // recover what it owned, and answer requests waiting on it as a donor.
+  auto declare_lost = [&](u32 s, bool heartbeat_death) {
+    ShardProc& proc = procs[s];
+    if (proc.done) {
+      return;
+    }
+    proc.done = true;
+    proc.lost = true;
+    if (heartbeat_death) {
+      proc.heartbeats_missed = 1;
+      std::fprintf(stderr, "[dist] shard %u missed its heartbeat deadline (%d ms): declared dead\n",
+                   s, config.heartbeat_timeout_ms);
+    }
+    if (!have_winner) {
+      recover_ledger(s);
+    } else {
+      ledger[s].clear();  // Race already won; nothing left worth re-running.
+    }
+    flush_donor_queue(s);
+  };
+
+  // Shards that broke while the handshake was still queueing never reach
+  // the relay loop's loss path: recover their columns before the search.
+  for (u32 s = 0; s < num_shards; ++s) {
+    if (procs[s].lost) {
+      recover_ledger(s);
+    }
+  }
 
   const i64 kill_after_ms = config.wall_ms > 0 ? config.wall_ms + kKillGraceMs : -1;
+  // Liveness: the coordinator rides its own kHeartbeat down every
+  // channel on this cadence, and any frame a shard sends resets that
+  // shard's silence clock. The clocks start now — transport Start() can
+  // legitimately spend seconds handshaking a TCP fleet.
+  u64 heartbeat_seq = 0;
+  i64 next_heartbeat_ms =
+      config.heartbeat_interval_ms > 0 ? NowMs() + config.heartbeat_interval_ms : 0;
+  const i64 relay_start_ms = NowMs();
+  for (ShardProc& proc : procs) {
+    proc.last_heard_ms = relay_start_ms;
+  }
   std::vector<struct pollfd> pfds;
   for (;;) {
     // One poll() over every open channel (not a per-channel timeout, so
@@ -383,6 +575,19 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     if (!pfds.empty()) {
       ::poll(pfds.data(), pfds.size(), 10);
     }
+    // Heartbeats ride the relay cadence, droppable: a channel backlogged
+    // enough to shed one is moving real frames, which proves the same
+    // thing a heartbeat would.
+    if (config.heartbeat_interval_ms > 0 && NowMs() >= next_heartbeat_ms) {
+      WireWriter hb;
+      EncodeHeartbeat(WireHeartbeat{heartbeat_seq++}, &hb);
+      for (u32 s = 0; s < num_shards; ++s) {
+        if (!procs[s].done && procs[s].chan != nullptr) {
+          procs[s].chan->Queue(WireMsg::kHeartbeat, hb.buf(), /*droppable=*/true);
+        }
+      }
+      next_heartbeat_ms = NowMs() + config.heartbeat_interval_ms;
+    }
     bool any_open = false;
     for (u32 s = 0; s < num_shards; ++s) {
       ShardProc& proc = procs[s];
@@ -392,6 +597,9 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       any_open = true;
       std::vector<WireFrame> frames;
       const WireChannel::RecvStatus status = proc.chan->Poll(0, &frames);
+      if (!frames.empty()) {
+        proc.last_heard_ms = NowMs();
+      }
       for (const WireFrame& frame : frames) {
         if (frame.type == WireMsg::kVerdicts) {
           verdicts_gossiped += CountVerdicts(frame);
@@ -418,6 +626,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
                 procs[request.requester].chan != nullptr) {
               procs[request.requester].chan->Queue(WireMsg::kPendingExport, frame.payload,
                                                    /*droppable=*/false);
+              transfer_ledger(s, request.requester, frame);
             } else if (export_carries_work(frame)) {
               reroute_export(s, frame);
             }
@@ -437,13 +646,27 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
             }
           }
           proc.done = true;
+          // A delivered result accounts for everything the shard owned.
+          ledger[s].clear();
         }
       }
       if (!proc.done && status != WireChannel::RecvStatus::kOk) {
-        proc.done = true;  // Shard died or its stream is untrustworthy.
+        declare_lost(s, /*heartbeat_death=*/false);  // Died or untrustworthy.
       }
       if (proc.done) {
         flush_donor_queue(s);
+      }
+    }
+    // Silence past the deadline is death the socket cannot report: a
+    // shard wedged mid-run (or muted by fault injection) holds its fd
+    // open forever.
+    if (config.heartbeat_timeout_ms > 0) {
+      const i64 now = NowMs();
+      for (u32 s = 0; s < num_shards; ++s) {
+        if (!procs[s].done && procs[s].chan != nullptr &&
+            now - procs[s].last_heard_ms > config.heartbeat_timeout_ms) {
+          declare_lost(s, /*heartbeat_death=*/true);
+        }
       }
     }
     if (!any_open) {
@@ -452,10 +675,23 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     if (kill_after_ms > 0 && elapsed_seconds() * 1000.0 > static_cast<double>(kill_after_ms)) {
       transport->Kill();
       for (ShardProc& proc : procs) {
+        if (!proc.done && proc.chan != nullptr) {
+          proc.lost = true;  // Wall-overrun stragglers, killed unheard.
+        }
         proc.done = true;
       }
       break;
     }
+  }
+  // A lost shard may be a live-but-wedged child that will never exit on
+  // its own; SIGKILL up front so Reap's bounded grace is a backstop,
+  // not a stall.
+  bool any_lost = false;
+  for (const ShardProc& proc : procs) {
+    any_lost = any_lost || proc.lost;
+  }
+  if (any_lost) {
+    transport->Kill();
   }
   transport->Reap();
 
@@ -464,6 +700,19 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     const ShardProc& proc = procs[s];
     ReplayShardStats shard_stats;
     shard_stats.shard_id = s;
+    shard_stats.lost = proc.lost;
+    shard_stats.heartbeats_missed = proc.heartbeats_missed;
+    shard_stats.pendings_recovered = proc.recovered_from;
+    if (proc.lost) {
+      result.stats.shards_lost += 1;
+      if (!proc.have_result) {
+        // The shard never reported; the coordinator's send-side count is
+        // the honest value for what it was seeded with.
+        shard_stats.pendings_seeded = pendings_queued[s];
+      }
+    }
+    result.stats.pendings_recovered += proc.recovered_from;
+    result.stats.heartbeats_missed += proc.heartbeats_missed;
     if (proc.chan != nullptr) {
       shard_stats.wire_bytes_tx = proc.chan->tx_bytes();
       shard_stats.wire_bytes_rx = proc.chan->rx_bytes();
@@ -521,6 +770,57 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     result.witness_cells = won.witness_cells;
     result.crash = won.crash;
   }
+
+  // ----- 6. In-process fallback: the whole fleet died with work
+  // outstanding. -----
+  // The orphan pool holds every pending that could not be re-homed —
+  // possibly including the one subtree that reproduces the crash.
+  // Spending the remaining wall budget searching it in-process beats
+  // reporting exhaustion because the infrastructure failed.
+  if (!have_winner && !result.reproduced && !orphan_pool.empty()) {
+    std::fprintf(stderr,
+                 "[dist] whole fleet lost: falling back to in-process search over %zu "
+                 "orphaned pending(s)\n",
+                 orphan_pool.size());
+    ReplayConfig fb_cfg = config;
+    fb_cfg.num_shards = 1;
+    fb_cfg.max_runs =
+        config.max_runs > result.stats.runs ? config.max_runs - result.stats.runs : 1;
+    if (config.wall_ms > 0) {
+      fb_cfg.wall_ms =
+          std::max<i64>(1, config.wall_ms - static_cast<i64>(elapsed_seconds() * 1000.0));
+    }
+    ShardContext fb_ctx;
+    fb_ctx.seed_frontier = std::move(orphan_pool);
+    // One stream past every fleet member's range: the fallback must not
+    // redraw any dead shard's exact inputs.
+    fb_ctx.rng_stream = static_cast<u64>(num_shards) * 1024 + 1;
+    fb_ctx.shard_id = 0;
+    fb_ctx.num_shards = 1;
+    ReplayResult fb = scout.ReproduceShard(fb_cfg, &fb_ctx);
+    result.stats.fallback_inprocess = true;
+    result.stats.runs += fb.stats.runs;
+    result.stats.solver_calls += fb.stats.solver_calls;
+    result.stats.aborts_forced_direction += fb.stats.aborts_forced_direction;
+    result.stats.aborts_concrete_mismatch += fb.stats.aborts_concrete_mismatch;
+    result.stats.aborts_log_exhausted += fb.stats.aborts_log_exhausted;
+    result.stats.crashes_wrong_site += fb.stats.crashes_wrong_site;
+    result.stats.dedup_skips += fb.stats.dedup_skips;
+    result.stats.cancelled_runs += fb.stats.cancelled_runs;
+    result.stats.slices_solved += fb.stats.slices_solved;
+    result.stats.slice_sat_hits += fb.stats.slice_sat_hits;
+    result.stats.slice_unsat_hits += fb.stats.slice_unsat_hits;
+    result.stats.corpus_runs += fb.stats.corpus_runs;
+    result.stats.promotions += fb.stats.promotions;
+    result.stats.failure_profile.Merge(fb.stats.failure_profile);
+    if (fb.reproduced) {
+      result.reproduced = true;
+      result.witness_argv = fb.witness_argv;
+      result.witness_cells = fb.witness_cells;
+      result.crash = fb.crash;
+    }
+  }
+
   result.budget_exhausted = !result.reproduced;
   result.wall_seconds = elapsed_seconds();
   return result;

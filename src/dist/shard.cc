@@ -86,9 +86,10 @@ void AnswerWorkRequest(const WireFrame& frame, FrontierPort* port, WireChannel* 
 
 }  // namespace
 
-bool RunShardOn(WireChannel& chan, const IrModule& module, const InstrumentationPlan& plan,
-                const BugReport& report, const ReplayConfig& config, u32 expected_shard_id,
-                std::vector<WireFrame> preread) {
+ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
+                          const InstrumentationPlan& plan, const BugReport& report,
+                          const ReplayConfig& config, u32 expected_shard_id,
+                          std::vector<WireFrame> preread) {
   // ----- Handshake: hello, seed frontier, start. -----
   // Frames that legitimately follow kStart in the same read batch (a
   // verdict another shard proved before we finished starting, an early
@@ -102,16 +103,30 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
   std::vector<PortablePending> seed_frontier;
   std::vector<WireFrame> carried_over;
   std::unordered_map<u64, std::vector<std::shared_ptr<const PortableTrace>>> trace_dedup;
+  // Handshake silence deadline is fixed, not the configured heartbeat
+  // timeout: the coordinator handshakes a TCP fleet serially, so a slow
+  // peer ahead of us must not read as coordinator death. 60s matches
+  // ServeShardJob's kJob window.
+  i64 handshake_silence_deadline = NowMs() + 60'000;
   while (!started) {
     // Frames the caller pre-read (bundled behind kJob) come first; only
     // then does the channel get polled, preserving stream order.
     std::vector<WireFrame> frames = std::move(preread);
     preread.clear();
     if (frames.empty()) {
-      const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
-      if (status != WireChannel::RecvStatus::kOk) {
-        return false;  // Coordinator died or speaks another version.
+      if (NowMs() >= handshake_silence_deadline) {
+        return ShardRunStatus::kCoordinatorLost;
       }
+      const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
+      if (status == WireChannel::RecvStatus::kClosed) {
+        return ShardRunStatus::kCoordinatorLost;
+      }
+      if (status != WireChannel::RecvStatus::kOk) {
+        return ShardRunStatus::kProtocolError;  // Corrupt or version skew.
+      }
+    }
+    if (!frames.empty()) {
+      handshake_silence_deadline = NowMs() + 60'000;
     }
     for (WireFrame& frame : frames) {
       if (started) {
@@ -123,7 +138,7 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
           WireReader r(frame.payload.data(), frame.payload.size());
           if (!DecodeHello(&r, &hello) ||
               (expected_shard_id != kAnyShardId && hello.shard_id != expected_shard_id)) {
-            return false;
+            return ShardRunStatus::kProtocolError;
           }
           have_hello = true;
           break;
@@ -132,7 +147,7 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
           WireReader r(frame.payload.data(), frame.payload.size());
           PortablePending pending;
           if (!DecodePending(&r, &pending)) {
-            return false;
+            return ShardRunStatus::kProtocolError;
           }
           // Sibling pendings of one scouted run arrive as separate frames
           // but described the same trace before encoding; re-share a
@@ -164,16 +179,18 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
           stopped_early = true;  // Race won elsewhere before we started.
           started = true;
           break;
+        case WireMsg::kHeartbeat:
+          break;  // Pure liveness; the deadline reset above consumed it.
         default:
-          return false;
+          return ShardRunStatus::kProtocolError;
       }
     }
   }
   if (stopped_early) {
-    return true;
+    return ShardRunStatus::kOk;
   }
   if (!have_hello || seed_frontier.size() != hello.pending_count) {
-    return false;
+    return ShardRunStatus::kProtocolError;
   }
 
   // ----- Search, with the gossip pump on this thread. -----
@@ -238,6 +255,14 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
   i64 request_sent_ms = 0;
   int empty_responses = 0;
   bool channel_ok = true;
+  // Liveness bookkeeping. Any received frame proves the coordinator
+  // lives; our own kHeartbeat rides the same pump so the coordinator's
+  // deadline sees us even when no verdict has been proved for a while.
+  bool coordinator_lost = false;
+  i64 last_heard_ms = NowMs();
+  u64 heartbeat_seq = 0;
+  i64 next_heartbeat_ms =
+      config.heartbeat_interval_ms > 0 ? NowMs() + config.heartbeat_interval_ms : 0;
   // Carves that could not enter the frontier (search already over):
   // returned to the coordinator before kResult so the work stays in the
   // fleet instead of dying with this shard.
@@ -248,6 +273,8 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
       case WireMsg::kStop:
         cancel.store(true, std::memory_order_release);
         break;
+      case WireMsg::kHeartbeat:
+        break;  // Pure liveness; arrival already reset the deadline.
       case WireMsg::kVerdicts:
         if (cache != nullptr) {
           verdicts_imported += MergeVerdicts(frame, cache.get());
@@ -310,6 +337,19 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
     const WireChannel::RecvStatus status = chan.Poll(pump_ms, &frames);
     if (status != WireChannel::RecvStatus::kOk) {
       channel_ok = false;
+      coordinator_lost = status == WireChannel::RecvStatus::kClosed;
+      continue;
+    }
+    if (!frames.empty()) {
+      last_heard_ms = NowMs();
+    } else if (config.heartbeat_timeout_ms > 0 &&
+               NowMs() - last_heard_ms > config.heartbeat_timeout_ms) {
+      // The coordinator went silent past the deadline — hung, partitioned
+      // or dead without the socket noticing. Same wind-down as a closed
+      // channel, so a `--listen` daemon is never orphaned searching for
+      // a fleet that no longer exists.
+      channel_ok = false;
+      coordinator_lost = true;
       continue;
     }
     for (const WireFrame& frame : frames) {
@@ -317,6 +357,16 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
     }
     if (cache != nullptr) {
       verdicts_published += PublishVerdicts(cache.get(), &chan);
+    }
+    if (config.heartbeat_interval_ms > 0 && NowMs() >= next_heartbeat_ms) {
+      WireWriter w;
+      EncodeHeartbeat(WireHeartbeat{heartbeat_seq++}, &w);
+      if (!chan.Send(WireMsg::kHeartbeat, w.buf())) {
+        channel_ok = false;
+        coordinator_lost = true;
+        continue;
+      }
+      next_heartbeat_ms = NowMs() + config.heartbeat_interval_ms;
     }
     // ----- Re-balance state machine (requester side). -----
     if (rebalance && !cancel.load(std::memory_order_acquire)) {
@@ -357,7 +407,7 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
   search.join();
 
   if (!channel_ok) {
-    return false;
+    return coordinator_lost ? ShardRunStatus::kCoordinatorLost : ShardRunStatus::kProtocolError;
   }
   // Drain frames that raced against the search's end: late work
   // requests get an (empty — the frontier is gone) answer so peers'
@@ -398,21 +448,24 @@ bool RunShardOn(WireChannel& chan, const IrModule& module, const Instrumentation
   shard_result.pendings_seeded = pendings_seeded;
   WireWriter w;
   EncodeShardResult(shard_result, &w);
-  return chan.Send(WireMsg::kResult, w.buf());
+  if (!chan.Send(WireMsg::kResult, w.buf())) {
+    return ShardRunStatus::kCoordinatorLost;
+  }
+  return ShardRunStatus::kOk;
 }
 
 bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
               const ReplayConfig& config, u32 shard_id, int fd) {
   WireChannel chan(fd);
-  return RunShardOn(chan, module, plan, report, config, shard_id);
+  return RunShardOn(chan, module, plan, report, config, shard_id) == ShardRunStatus::kOk;
 }
 
-bool ServeShardJob(int fd, const std::string& ident, u32 worker_override) {
+ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override) {
   WireChannel chan(fd);
   WireWriter join_writer;
   EncodeJoin(WireJoin{ident, worker_override}, &join_writer);
   if (!chan.Send(WireMsg::kJoin, join_writer.buf())) {
-    return false;
+    return ShardRunStatus::kCoordinatorLost;
   }
   // The job frame carries full program sources; give a slow coordinator
   // (or a big program) a generous-but-bounded window.
@@ -421,33 +474,36 @@ bool ServeShardJob(int fd, const std::string& ident, u32 worker_override) {
   while (frames.empty()) {
     const i64 remaining = deadline - NowMs();
     if (remaining <= 0) {
-      return false;
+      return ShardRunStatus::kCoordinatorLost;
     }
     const WireChannel::RecvStatus status =
         chan.Poll(static_cast<int>(std::min<i64>(remaining, 200)), &frames);
+    if (status == WireChannel::RecvStatus::kClosed) {
+      return ShardRunStatus::kCoordinatorLost;
+    }
     if (status != WireChannel::RecvStatus::kOk) {
-      return false;
+      return ShardRunStatus::kProtocolError;
     }
   }
   if (frames[0].type != WireMsg::kJob) {
-    return false;
+    return ShardRunStatus::kProtocolError;
   }
   WireJob job;
   {
     WireReader r(frames[0].payload.data(), frames[0].payload.size());
     if (!DecodeJob(&r, &job)) {
-      return false;
+      return ShardRunStatus::kProtocolError;
     }
   }
   if (job.config.program.app.empty()) {
-    return false;
+    return ShardRunStatus::kProtocolError;
   }
   if (worker_override > 0) {
     job.config.num_workers = worker_override;
   }
   auto built = Pipeline::FromSources(job.config.program.app, job.config.program.libs);
   if (!built.ok()) {
-    return false;  // Source skew between coordinator and daemon builds.
+    return ShardRunStatus::kProtocolError;  // Source skew between builds.
   }
   std::unique_ptr<Pipeline> pipeline = built.take();
   // Frames bundled behind kJob in the same read batch (the coordinator

@@ -26,6 +26,18 @@ namespace retrace {
 /// forked child does and passes its slot to catch cross-wiring bugs).
 inline constexpr u32 kAnyShardId = 0xffffffffu;
 
+/// How a shard run ended, from the shard's point of view. The
+/// distinction matters to daemons (tools/retrace_shardd): a lost
+/// coordinator is an operational event worth its own exit code — the
+/// daemon can go back to listening — while a protocol error means one
+/// of the two builds is wrong and retrying is pointless.
+enum class ShardRunStatus {
+  kOk,               // Job ran to completion and the result was delivered.
+  kProtocolError,    // Corrupt/version-skewed frames or a broken handshake.
+  kCoordinatorLost,  // Channel closed or went silent past the heartbeat
+                     // deadline mid-job.
+};
+
 /// \brief Runs one shard to completion over an established channel.
 ///
 /// Protocol, in order: receive kHello (refusing version mismatches at the
@@ -43,16 +55,24 @@ inline constexpr u32 kAnyShardId = 0xffffffffu;
 /// (ServeShardJob may read kPending/kHello bytes bundled behind kJob);
 /// they are served before any new poll, preserving stream order.
 ///
-/// Never throws. Returns false when the protocol broke down (coordinator
-/// vanished, corrupt or version-skewed frames, wrong shard id).
-bool RunShardOn(WireChannel& chan, const IrModule& module, const InstrumentationPlan& plan,
-                const BugReport& report, const ReplayConfig& config, u32 expected_shard_id,
-                std::vector<WireFrame> preread = {});
+/// Liveness: while searching, the shard rides a kHeartbeat on the gossip
+/// pump every ReplayConfig::heartbeat_interval_ms, and treats *any*
+/// received frame as proof the coordinator lives. Silence longer than
+/// ReplayConfig::heartbeat_timeout_ms (or a closed channel) means the
+/// coordinator is gone: the search cancels and kCoordinatorLost is
+/// returned, so a `--listen` daemon never orphans on a dead fleet.
+///
+/// Never throws.
+ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
+                          const InstrumentationPlan& plan, const BugReport& report,
+                          const ReplayConfig& config, u32 expected_shard_id,
+                          std::vector<WireFrame> preread = {});
 
 /// \brief Fork-transport entry point: wraps `fd` and runs RunShardOn.
 ///
 /// Takes ownership of `fd`. Never writes to stdio — the caller is a
-/// forked child that must _exit() immediately after.
+/// forked child that must _exit() immediately after, which is also why
+/// this collapses the run status to a bool exit code.
 bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const BugReport& report,
               const ReplayConfig& config, u32 shard_id, int fd);
 
@@ -65,7 +85,7 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
 /// host knows its own core count better than the coordinator does).
 /// Takes ownership of `fd`; never writes to stdio (callers log). Used by
 /// tools/retrace_shardd and the TCP transport's loopback self-spawn.
-bool ServeShardJob(int fd, const std::string& ident, u32 worker_override = 0);
+ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override = 0);
 
 }  // namespace retrace
 

@@ -71,6 +71,38 @@ bool PortIsEphemeral(const std::string& endpoint) {
   return SplitEndpoint(endpoint, &host, &port) && port == "0";
 }
 
+// Reaps `pids` with a bounded grace window, then escalates to SIGKILL.
+// A plain blocking waitpid() here would hang the coordinator forever on
+// a child that is wedged (hung shard, fault-injection mute) — the exact
+// children a teardown path most needs to collect.
+constexpr i64 kReapGraceMs = 2'000;
+
+void ReapWithDeadline(std::vector<int>* pids) {
+  const i64 deadline = NowMs() + kReapGraceMs;
+  bool all_done = false;
+  while (!all_done && NowMs() < deadline) {
+    all_done = true;
+    for (int& pid : *pids) {
+      if (pid <= 0) continue;
+      int wstatus = 0;
+      const pid_t got = ::waitpid(pid, &wstatus, WNOHANG);
+      if (got == pid || (got < 0 && errno == ECHILD)) {
+        pid = -1;
+      } else {
+        all_done = false;
+      }
+    }
+    if (!all_done) ::usleep(10'000);
+  }
+  for (int& pid : *pids) {
+    if (pid <= 0) continue;
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);  // SIGKILL is not ignorable: bounded.
+    pid = -1;
+  }
+}
+
 // Non-blocking connect bounded by kConnectTimeoutMs; restores blocking
 // mode on success (WireChannel::Send relies on it).
 bool ConnectWithTimeout(int fd, const struct sockaddr* addr, socklen_t len) {
@@ -214,14 +246,7 @@ void LocalForkTransport::Kill() {
   }
 }
 
-void LocalForkTransport::Reap() {
-  for (const int pid : pids_) {
-    if (pid > 0) {
-      int wstatus = 0;
-      ::waitpid(pid, &wstatus, 0);
-    }
-  }
-}
+void LocalForkTransport::Reap() { ReapWithDeadline(&pids_); }
 
 // ----- TcpTransport -----
 
@@ -365,13 +390,6 @@ void TcpTransport::Kill() {
   // when the coordinator drops their channel and wind down on their own.
 }
 
-void TcpTransport::Reap() {
-  for (const int pid : pids_) {
-    if (pid > 0) {
-      int wstatus = 0;
-      ::waitpid(pid, &wstatus, 0);
-    }
-  }
-}
+void TcpTransport::Reap() { ReapWithDeadline(&pids_); }
 
 }  // namespace retrace

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace retrace {
@@ -486,6 +487,12 @@ void EncodeStats(const ReplayStats& s, WireWriter* out) {
   out->U64(s.pendings_pruned);
   out->U64(s.corpus_runs);
   out->U64(s.promotions);
+  // v5: graceful-degradation counters. Zero in shard-originated payloads
+  // (only the coordinator observes deaths), carried for codec fidelity.
+  out->U64(s.shards_lost);
+  out->U64(s.pendings_recovered);
+  out->U64(s.heartbeats_missed);
+  out->U8(s.fallback_inprocess ? 1 : 0);
   for (const u64 v : s.discipline_runs) {
     out->U64(v);
   }
@@ -510,6 +517,12 @@ bool DecodeStats(WireReader* r, ReplayStats* s) {
         r->U64(&s->pendings_pruned) && r->U64(&s->corpus_runs) && r->U64(&s->promotions))) {
     return false;
   }
+  u8 fallback = 0;
+  if (!r->U64(&s->shards_lost) || !r->U64(&s->pendings_recovered) ||
+      !r->U64(&s->heartbeats_missed) || !r->U8(&fallback)) {
+    return false;
+  }
+  s->fallback_inprocess = fallback != 0;
   for (u64& v : s->discipline_runs) {
     if (!r->U64(&v)) {
       return false;
@@ -690,6 +703,12 @@ bool DecodePendingExport(WireReader* r, WirePendingExport* out) {
   return r->ok();
 }
 
+void EncodeHeartbeat(const WireHeartbeat& beat, WireWriter* w) { w->U64(beat.seq); }
+
+bool DecodeHeartbeat(WireReader* r, WireHeartbeat* out) {
+  return r->U64(&out->seq) && r->ok();
+}
+
 // ----- Job codec (TCP transport handshake) -----
 
 namespace {
@@ -710,6 +729,10 @@ void EncodeConfig(const ReplayConfig& c, WireWriter* w) {
   w->U64(c.slice_cache_capacity);
   w->U32(c.solve_batch);
   w->I32(c.gossip_interval_ms);
+  // v5: heartbeat knobs travel with the job so a remote shard's
+  // self-termination deadline matches the coordinator's expectations.
+  w->I32(c.heartbeat_interval_ms);
+  w->I32(c.heartbeat_timeout_ms);
   w->U8(c.prune_subsumed ? 1 : 0);
   w->U32(static_cast<u32>(c.corpus_seeds.size()));
   for (const std::vector<i64>& seed : c.corpus_seeds) {
@@ -730,11 +753,19 @@ bool DecodeConfig(WireReader* r, ReplayConfig* c) {
         r->U64(&c->solver.max_enumeration) && r->U64(&c->seed) && r->U8(&use_log) &&
         r->U8(&pick) && r->U32(&c->num_workers) && r->U8(&cache) &&
         r->U64(&c->slice_cache_capacity) && r->U32(&c->solve_batch) &&
-        r->I32(&c->gossip_interval_ms) && r->U8(&prune))) {
+        r->I32(&c->gossip_interval_ms) && r->I32(&c->heartbeat_interval_ms) &&
+        r->I32(&c->heartbeat_timeout_ms) && r->U8(&prune))) {
     return false;
   }
   if (pick > static_cast<u8>(ReplayConfig::Pick::kDirection) || c->num_workers > 4096 ||
       c->solve_batch > 65536) {
+    return false;
+  }
+  // A listening retrace_shardd decodes this off the network: hostile
+  // heartbeat knobs must not disable its self-termination deadline into
+  // a negative wait or a decades-long one.
+  if (c->heartbeat_interval_ms < 0 || c->heartbeat_interval_ms > 60'000 ||
+      c->heartbeat_timeout_ms < 0 || c->heartbeat_timeout_ms > 600'000) {
     return false;
   }
   // Corpus seeds ride the config: bounded counts (a listening
@@ -771,6 +802,9 @@ bool DecodeConfig(WireReader* r, ReplayConfig* c) {
   c->transport = ReplayTransport::kFork;
   c->shard_endpoints.clear();
   c->program = ReplayProgramSources{};
+  // Fault injection is a coordinator-side test harness; a shard must
+  // never inject faults into its own (only) channel.
+  c->fault_spec.clear();
   return true;
 }
 
@@ -1119,16 +1153,25 @@ WireChannel::RecvStatus WireChannel::Poll(int timeout_ms, std::vector<WireFrame>
   pfd.fd = fd_;
   pfd.events = POLLIN;
   bool saw_eof = false;
+  // EINTR wakeups (a reaped child's SIGCHLD, a profiler tick) must
+  // neither restart the full timeout nor — the old bug — collapse the
+  // remaining wait to zero: recompute what is left against a deadline.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   int wait_ms = timeout_ms;
   for (;;) {
     const int ready = ::poll(&pfd, 1, wait_ms);
-    wait_ms = 0;  // Only the first poll blocks; drain without waiting.
     if (ready < 0) {
       if (errno == EINTR) {
+        if (wait_ms > 0) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+          wait_ms = static_cast<int>(std::max<i64>(0, left.count()));
+        }
         continue;
       }
       return RecvStatus::kClosed;
     }
+    wait_ms = 0;  // Only the first poll blocks; drain without waiting.
     if (ready == 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
       break;
     }

@@ -39,7 +39,11 @@ inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
 // v4: adaptive planning — plan detail_level/provenance in the plan codec,
 // and the off-log failure profile (sparse per-branch death counters,
 // strictly increasing branch ids) in the stats codec.
-inline constexpr u16 kWireVersion = 4;
+// v5: failure handling — kHeartbeat liveness frames, heartbeat knobs in
+// the kJob config codec, and the graceful-degradation counters
+// (shards_lost/pendings_recovered/heartbeats_missed/fallback_inprocess)
+// in the stats codec.
+inline constexpr u16 kWireVersion = 5;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {
@@ -55,6 +59,8 @@ enum class WireMsg : u16 {
   // ----- Frontier re-balancing -----
   kWorkRequest = 9,     // Starved shard -> coordinator -> donor shard.
   kPendingExport = 10,  // Donor shard -> coordinator -> starved shard.
+  // ----- Failure handling (v5) -----
+  kHeartbeat = 11,  // Both ways: liveness beat on the gossip cadence.
 };
 
 /// \brief Append-only little-endian payload writer.
@@ -274,6 +280,18 @@ struct WirePendingExport {
 void EncodePendingExport(const WirePendingExport& batch, WireWriter* w);
 bool DecodePendingExport(WireReader* r, WirePendingExport* out);
 
+/// v5 liveness beat, sent both ways on the gossip cadence
+/// (ReplayConfig::heartbeat_interval_ms). Any frame proves liveness —
+/// the beat only exists so an idle channel still carries proof at a
+/// bounded interval. `seq` is sender-local and strictly increasing
+/// (diagnostics; receivers only care that the frame arrived).
+struct WireHeartbeat {
+  u64 seq = 0;
+};
+
+void EncodeHeartbeat(const WireHeartbeat& beat, WireWriter* w);
+bool DecodeHeartbeat(WireReader* r, WireHeartbeat* out);
+
 // ----- Transport -----
 
 /// \brief One end of a coordinator<->shard socketpair.
@@ -290,18 +308,22 @@ bool DecodePendingExport(WireReader* r, WirePendingExport* out);
 /// opportunistically (non-blocking) on every Queue()/Poll(), so the
 /// relay loop always returns to reading. With one side guaranteed to
 /// keep draining, the other side's blocking writes always complete.
+/// The virtual methods exist for exactly one subclass — the
+/// deterministic fault-injecting decorator of src/dist/fault.h, which
+/// the coordinator wraps around transport channels under
+/// ReplayConfig::fault_spec. Production paths always hold the base.
 class WireChannel {
  public:
   explicit WireChannel(int fd) : fd_(fd) {}
   WireChannel(const WireChannel&) = delete;
   WireChannel& operator=(const WireChannel&) = delete;
   WireChannel(WireChannel&& other) noexcept;
-  ~WireChannel();
+  virtual ~WireChannel();
 
   /// Frames and sends one message, blocking until fully written (any
   /// queued backlog flushes first, preserving frame order). False on a
   /// broken peer.
-  bool Send(WireMsg type, const std::vector<u8>& payload);
+  virtual bool Send(WireMsg type, const std::vector<u8>& payload);
 
   /// Frames one message onto the non-blocking send backlog and flushes
   /// whatever the socket accepts right now. When `droppable` and the
@@ -309,18 +331,18 @@ class WireChannel {
   /// best-effort: a dropped verdict batch only costs a re-prove);
   /// non-droppable frames are queued regardless. False when the frame
   /// was dropped or the peer is broken.
-  bool Queue(WireMsg type, const std::vector<u8>& payload, bool droppable);
+  virtual bool Queue(WireMsg type, const std::vector<u8>& payload, bool droppable);
 
   enum class RecvStatus { kOk, kClosed, kCorrupt, kVersionMismatch };
   /// Flushes queued sends, then waits up to `timeout_ms` for readable
   /// data and appends every frame that completed to `out`. kOk with an
   /// empty append simply means "nothing yet".
-  RecvStatus Poll(int timeout_ms, std::vector<WireFrame>* out);
+  virtual RecvStatus Poll(int timeout_ms, std::vector<WireFrame>* out);
 
-  u64 tx_bytes() const { return tx_; }
-  u64 rx_bytes() const { return rx_; }
-  u64 dropped_frames() const { return dropped_; }
-  int fd() const { return fd_; }
+  virtual u64 tx_bytes() const { return tx_; }
+  virtual u64 rx_bytes() const { return rx_; }
+  virtual u64 dropped_frames() const { return dropped_; }
+  virtual int fd() const { return fd_; }
 
  private:
   // Writes as much of `out_` as the socket accepts; `blocking` waits for

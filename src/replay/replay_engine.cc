@@ -329,6 +329,16 @@ ReplayConfig ReplayConfig::FromEnv() {
   config.transport = TransportFromEnv();
   config.gossip_interval_ms =
       static_cast<int>(EnvKnobI64("RETRACE_GOSSIP_INTERVAL_MS", 20, 1, 1000));
+  config.heartbeat_interval_ms =
+      static_cast<int>(EnvKnobI64("RETRACE_HEARTBEAT_INTERVAL_MS", 100, 0, 60'000));
+  config.heartbeat_timeout_ms =
+      static_cast<int>(EnvKnobI64("RETRACE_HEARTBEAT_TIMEOUT_MS", 10'000, 0, 600'000));
+  // Stored raw; the coordinator parses it (src/dist/fault.h) and exits 2
+  // on garbage, matching the strict contract of every other knob —
+  // validating here would invert the replay -> dist layering.
+  if (const char* fault = std::getenv("RETRACE_FAULT_SPEC")) {
+    config.fault_spec = fault;
+  }
   return config;
 }
 

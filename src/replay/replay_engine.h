@@ -169,6 +169,27 @@ struct ReplayConfig {
   // verdict gossip, stop delivery and re-balance traffic. Clamped to
   // [1, 1000].
   int gossip_interval_ms = 20;
+  // Heartbeat cadence riding the gossip pump (wire v5): the shard sends
+  // kHeartbeat to the coordinator and the coordinator to every shard at
+  // least this often, so silence is meaningful on an otherwise idle
+  // channel. 0 disables outbound heartbeats. Ships in the kJob config.
+  int heartbeat_interval_ms = 100;
+  // Liveness deadline: a shard silent for this long is declared dead by
+  // the coordinator (its unaccounted frontier pendings re-deal to live
+  // shards); a shard that hears nothing from the coordinator for this
+  // long self-terminates, so `retrace_shardd --listen` daemons never
+  // orphan on a hung or partitioned coordinator. 0 disables both
+  // deadlines (death is then only detected on channel close/corruption).
+  int heartbeat_timeout_ms = 10'000;
+  // Deterministic fault injection for the dist layer (tests/CI only):
+  // comma-separated `<target>:<action><trigger>` clauses, where target is
+  // `shardN` or `all`, action is `drop|delay|dup|corrupt|close|hang`, and
+  // trigger is `@frameN` (the Nth frame received from that shard) or `%P`
+  // (each frame with probability P percent, seeded from `seed`). Example:
+  // "shard1:close@frame20,shard2:hang@frame5,all:corrupt%1". Parsed by
+  // src/dist/fault.h; a malformed spec aborts loudly (exit 2, like every
+  // other strict knob). Empty = no faults. Never shipped to shards.
+  std::string fault_spec;
   // Program sources for kTcp (see ReplayProgramSources). Ignored by
   // kFork, which inherits the module by copy-on-write.
   ReplayProgramSources program;
@@ -272,6 +293,17 @@ struct ReplayShardStats {
   u64 wire_bytes_tx = 0;         // Coordinator -> shard bytes.
   u64 wire_bytes_rx = 0;         // Shard -> coordinator bytes.
   double wall_seconds = 0.0;
+  // ----- Failure handling (wire v5) -----
+  // This shard was declared dead mid-search (channel closed/corrupted or
+  // the missed-heartbeat deadline expired) without reporting a result.
+  bool lost = false;
+  // Ledgered frontier pendings the coordinator re-injected into live
+  // shards when *this* shard died. For lost shards `pendings_seeded` is
+  // the coordinator's queue-time count (the shard never echoed one).
+  u64 pendings_recovered = 0;
+  // Missed-heartbeat deadline expiries the coordinator charged to this
+  // shard (0 or 1 today: the first expiry declares it dead).
+  u64 heartbeats_missed = 0;
 };
 
 /// Aggregate search statistics.
@@ -324,6 +356,21 @@ struct ReplayStats {
   u64 pendings_exported = 0;
   u64 pendings_imported = 0;
   u64 rebalance_rounds = 0;
+  // ----- Failure handling (wire v5; all zero when nothing fails) -----
+  // Shards declared dead mid-search (channel loss, corrupt stream, or a
+  // missed-heartbeat deadline) that never reported a result.
+  u64 shards_lost = 0;
+  // Ownership-ledger pendings re-injected into live shards (or, with no
+  // live shard left, into the in-process fallback) on shard death.
+  // At-least-once: a dead shard may have already run some of them, and
+  // FingerprintSet subsumption dedups the re-execution.
+  u64 pendings_recovered = 0;
+  // Missed-heartbeat deadline expiries across the fleet (sum of the
+  // per-shard counters).
+  u64 heartbeats_missed = 0;
+  // The whole fleet died without a result and the coordinator fell back
+  // to an in-process search on the remaining wall budget.
+  bool fallback_inprocess = false;
   // Off-log death telemetry (wire v4): which unlogged branches aborted
   // runs died flipping, split by abort class. Always collected — the
   // accumulators never influence a search decision, so run counts stay

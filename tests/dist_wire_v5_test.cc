@@ -1,0 +1,233 @@
+// Wire v5 tests: the failure-handling additions to the distributed
+// replay protocol. kHeartbeat codec round trip and truncation, the new
+// graceful-degradation stats fields riding in every stats payload, and
+// the heartbeat config knobs shipped (and range-validated) in kJob.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dist/wire.h"
+
+namespace retrace {
+namespace {
+
+std::vector<u8> OneFrame(WireMsg type, const std::vector<u8>& payload) {
+  std::vector<u8> bytes;
+  AppendFrame(type, payload, &bytes);
+  return bytes;
+}
+
+// ----- kHeartbeat -----
+
+TEST(DistWireV5Test, HeartbeatRoundTripsByteExactly) {
+  WireHeartbeat beat;
+  beat.seq = 0xfeedfacecafe0042ull;
+
+  WireWriter w;
+  EncodeHeartbeat(beat, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireHeartbeat decoded;
+  ASSERT_TRUE(DecodeHeartbeat(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.seq, beat.seq);
+
+  // Byte-exact: re-encoding the decoded beat reproduces the stream.
+  WireWriter w2;
+  EncodeHeartbeat(decoded, &w2);
+  EXPECT_EQ(w2.buf(), w.buf());
+}
+
+TEST(DistWireV5Test, HeartbeatDecodeRejectsEveryTruncation) {
+  WireWriter w;
+  EncodeHeartbeat(WireHeartbeat{77}, &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WireHeartbeat decoded;
+    EXPECT_FALSE(DecodeHeartbeat(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireV5Test, HeartbeatFrameSurvivesFraming) {
+  WireWriter w;
+  EncodeHeartbeat(WireHeartbeat{9}, &w);
+  const std::vector<u8> stream = OneFrame(WireMsg::kHeartbeat, w.buf());
+
+  FrameParser parser;
+  parser.Append(stream.data(), stream.size());
+  WireFrame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, WireMsg::kHeartbeat);
+  WireReader r(frame.payload.data(), frame.payload.size());
+  WireHeartbeat decoded;
+  ASSERT_TRUE(DecodeHeartbeat(&r, &decoded));
+  EXPECT_EQ(decoded.seq, 9u);
+}
+
+TEST(DistWireV5Test, TruncatedHeartbeatFramesAreNeverAccepted) {
+  WireWriter w;
+  EncodeHeartbeat(WireHeartbeat{12345}, &w);
+  const std::vector<u8> stream = OneFrame(WireMsg::kHeartbeat, w.buf());
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameParser parser;
+    parser.Append(stream.data(), cut);
+    WireFrame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore) << "cut " << cut;
+  }
+}
+
+// ----- Failure stats in kResult -----
+
+TEST(DistWireV5Test, ShardResultCarriesFailureStats) {
+  WireShardResult shard;
+  shard.result.reproduced = false;
+  shard.result.budget_exhausted = true;
+  shard.result.stats.runs = 41;
+  shard.result.stats.shards_lost = 3;
+  shard.result.stats.pendings_recovered = 129;
+  shard.result.stats.heartbeats_missed = 2;
+  shard.result.stats.fallback_inprocess = true;
+  shard.pendings_seeded = 8;
+
+  WireWriter w;
+  EncodeShardResult(shard, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireShardResult decoded;
+  ASSERT_TRUE(DecodeShardResult(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.result.stats.runs, 41u);
+  EXPECT_EQ(decoded.result.stats.shards_lost, 3u);
+  EXPECT_EQ(decoded.result.stats.pendings_recovered, 129u);
+  EXPECT_EQ(decoded.result.stats.heartbeats_missed, 2u);
+  EXPECT_TRUE(decoded.result.stats.fallback_inprocess);
+  EXPECT_EQ(decoded.pendings_seeded, 8u);
+
+  // Byte-exact both ways: decode then re-encode is the identity.
+  WireWriter w2;
+  EncodeShardResult(decoded, &w2);
+  EXPECT_EQ(w2.buf(), w.buf());
+}
+
+TEST(DistWireV5Test, ShardResultFailureStatsDefaultToZero) {
+  WireShardResult shard;
+  shard.result.stats.runs = 1;
+
+  WireWriter w;
+  EncodeShardResult(shard, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireShardResult decoded;
+  ASSERT_TRUE(DecodeShardResult(&r, &decoded));
+  EXPECT_EQ(decoded.result.stats.shards_lost, 0u);
+  EXPECT_EQ(decoded.result.stats.pendings_recovered, 0u);
+  EXPECT_EQ(decoded.result.stats.heartbeats_missed, 0u);
+  EXPECT_FALSE(decoded.result.stats.fallback_inprocess);
+}
+
+TEST(DistWireV5Test, ShardResultDecodeRejectsEveryTruncation) {
+  WireShardResult shard;
+  shard.result.stats.runs = 7;
+  shard.result.stats.shards_lost = 1;
+  shard.result.stats.fallback_inprocess = true;
+  WireWriter w;
+  EncodeShardResult(shard, &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WireShardResult decoded;
+    EXPECT_FALSE(DecodeShardResult(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+// ----- Heartbeat knobs in kJob -----
+
+WireJob MakeJob() {
+  WireJob job;
+  job.config.max_runs = 10;
+  job.config.program.app = "int main() { return 0; }";
+  job.plan.method = InstrumentMethod::kDynamic;
+  job.plan.branches = DenseBitset(4);
+  job.plan.branches.Set(1);
+  job.report.method = InstrumentMethod::kDynamic;
+  job.report.branch_log.PushBit(true);
+  job.report.crash.kind = CrashSite::Kind::kExplicit;
+  job.report.crash.func = 0;
+  job.report.crash.loc = SourceLoc{0, 1, 1};
+  job.report.shape.argv = {"prog"};
+  return job;
+}
+
+std::vector<u8> EncodeJobPayload(const WireJob& job) {
+  WireWriter w;
+  EncodeJob(job, &w);
+  return w.Take();
+}
+
+TEST(DistWireV5Test, JobShipsHeartbeatKnobs) {
+  WireJob job = MakeJob();
+  job.config.heartbeat_interval_ms = 250;
+  job.config.heartbeat_timeout_ms = 30'000;
+
+  const std::vector<u8> payload = EncodeJobPayload(job);
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_EQ(decoded.config.heartbeat_interval_ms, 250);
+  EXPECT_EQ(decoded.config.heartbeat_timeout_ms, 30'000);
+  EXPECT_EQ(EncodeJobPayload(decoded), payload);
+}
+
+TEST(DistWireV5Test, JobDisabledHeartbeatsRoundTrip) {
+  WireJob job = MakeJob();
+  job.config.heartbeat_interval_ms = 0;   // 0 = sends disabled.
+  job.config.heartbeat_timeout_ms = 0;    // 0 = deadline disabled.
+
+  const std::vector<u8> payload = EncodeJobPayload(job);
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_EQ(decoded.config.heartbeat_interval_ms, 0);
+  EXPECT_EQ(decoded.config.heartbeat_timeout_ms, 0);
+}
+
+TEST(DistWireV5Test, JobDecodeRejectsHostileHeartbeatKnobs) {
+  // A listening retrace_shardd decodes kJob straight off the network; a
+  // hostile coordinator must not be able to smuggle absurd deadlines.
+  const struct {
+    i32 interval_ms;
+    i32 timeout_ms;
+  } bad[] = {
+      {-1, 10'000},      // Negative interval.
+      {60'001, 10'000},  // Interval above the 60 s cap.
+      {100, -1},         // Negative timeout.
+      {100, 600'001},    // Timeout above the 10 min cap.
+  };
+  for (const auto& knobs : bad) {
+    WireJob job = MakeJob();
+    job.config.heartbeat_interval_ms = knobs.interval_ms;
+    job.config.heartbeat_timeout_ms = knobs.timeout_ms;
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    EXPECT_FALSE(DecodeJob(&r, &decoded))
+        << "interval=" << knobs.interval_ms << " timeout=" << knobs.timeout_ms;
+  }
+}
+
+TEST(DistWireV5Test, JobNeverShipsFaultSpec) {
+  // Fault injection is a coordinator-local test harness; the spec must
+  // not leak to (or survive decode on) a remote daemon.
+  WireJob job = MakeJob();
+  job.config.fault_spec = "all:close@frame1";
+
+  const std::vector<u8> payload = EncodeJobPayload(job);
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  decoded.config.fault_spec = "stale-from-last-job";
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_TRUE(decoded.config.fault_spec.empty());
+
+  // And the spec does not change the bytes on the wire at all.
+  WireJob clean = MakeJob();
+  EXPECT_EQ(EncodeJobPayload(clean), payload);
+}
+
+}  // namespace
+}  // namespace retrace

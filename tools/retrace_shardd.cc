@@ -12,20 +12,34 @@
 //
 // Usage:
 //   retrace_shardd <host:port>             join a coordinator, serve one
-//                                          job, exit (0 = clean).
+//                                          job, exit.
 //   retrace_shardd --listen <host:port>    wait for coordinators to dial
 //                                          in (ReplayConfig::
 //                                          shard_endpoints); serves jobs
-//                                          until killed.
+//                                          until killed. A coordinator
+//                                          that dies mid-job (heartbeat
+//                                          deadline, closed channel)
+//                                          only costs that job — the
+//                                          daemon goes back to listening.
 // Options:
 //   --workers N   override the job's worker-thread count (0 = job's
 //                 value; a remote host knows its own core count best).
-//   --retry N     connect mode: retry the connection N times, 1s apart
-//                 (a fleet launcher may start daemons before the
-//                 coordinator binds its port).
+//   --retry N     connect mode: retry the connection up to N times with
+//                 exponential backoff and jitter (a fleet launcher may
+//                 start daemons before the coordinator binds its port;
+//                 jitter keeps a mass daemon restart from dialing in
+//                 lockstep).
+//
+// Exit codes (connect mode):
+//   0  job served and the result delivered.
+//   1  job failed (unreachable coordinator, protocol error, bad job).
+//   2  usage error.
+//   3  coordinator lost mid-job (crashed or went silent past the
+//      heartbeat deadline) — the job is gone, but this host is healthy.
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +47,7 @@
 
 #include "src/dist/shard.h"
 #include "src/dist/transport.h"
+#include "src/support/rng.h"
 
 namespace {
 
@@ -42,6 +57,18 @@ int Usage(const char* argv0) {
                "       %s --listen <host:port> [--workers N]\n",
                argv0, argv0);
   return 2;
+}
+
+const char* StatusWord(retrace::ShardRunStatus status) {
+  switch (status) {
+    case retrace::ShardRunStatus::kOk:
+      return "done";
+    case retrace::ShardRunStatus::kCoordinatorLost:
+      return "abandoned (coordinator lost)";
+    case retrace::ShardRunStatus::kProtocolError:
+      return "failed";
+  }
+  return "failed";
 }
 
 }  // namespace
@@ -101,15 +128,30 @@ int main(int argc, char** argv) {
         continue;
       }
       std::fprintf(stderr, "retrace_shardd: coordinator connected, serving job\n");
-      const bool ok = retrace::ServeShardJob(fd, ident, workers);
-      std::fprintf(stderr, "retrace_shardd: job %s\n", ok ? "done" : "failed");
+      const retrace::ShardRunStatus status = retrace::ServeShardJob(fd, ident, workers);
+      std::fprintf(stderr, "retrace_shardd: job %s\n", StatusWord(status));
+      if (status == retrace::ShardRunStatus::kCoordinatorLost) {
+        // The fleet died under us; the next coordinator gets a fresh
+        // daemon, not an exit. This is the whole point of --listen.
+        std::fprintf(stderr, "retrace_shardd: rejoining listen loop on %s\n", bound.c_str());
+      }
     }
   }
 
+  // Exponential backoff with deterministic-per-process jitter: 1s, 2s,
+  // 4s, ... capped at 30s, each widened by up to +50%. A fleet of
+  // daemons restarted together must not dial the coordinator in
+  // lockstep forever.
+  retrace::Rng jitter(static_cast<retrace::u64>(::getpid()) * 0x9e3779b97f4a7c15ull + 1);
   int fd = -1;
   for (int attempt = 0; attempt <= retries && fd < 0; ++attempt) {
     if (attempt > 0) {
-      ::sleep(1);
+      const unsigned shift = attempt - 1 < 5 ? static_cast<unsigned>(attempt - 1) : 5u;
+      const retrace::u64 base_ms = std::min<retrace::u64>(1000ull << shift, 30'000);
+      const retrace::u64 sleep_ms = base_ms + jitter.NextBelow(base_ms / 2 + 1);
+      std::fprintf(stderr, "retrace_shardd: retrying %s in %llu ms (attempt %d/%d)\n",
+                   target.c_str(), static_cast<unsigned long long>(sleep_ms), attempt, retries);
+      ::usleep(static_cast<useconds_t>(sleep_ms * 1000));
     }
     fd = retrace::TcpConnect(target);
   }
@@ -119,7 +161,15 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "retrace_shardd: joined fleet at %s as %s\n", target.c_str(),
                ident.c_str());
-  const bool ok = retrace::ServeShardJob(fd, ident, workers);
-  std::fprintf(stderr, "retrace_shardd: job %s\n", ok ? "done" : "failed");
-  return ok ? 0 : 1;
+  const retrace::ShardRunStatus status = retrace::ServeShardJob(fd, ident, workers);
+  std::fprintf(stderr, "retrace_shardd: job %s\n", StatusWord(status));
+  switch (status) {
+    case retrace::ShardRunStatus::kOk:
+      return 0;
+    case retrace::ShardRunStatus::kCoordinatorLost:
+      return 3;
+    case retrace::ShardRunStatus::kProtocolError:
+      return 1;
+  }
+  return 1;
 }
