@@ -1,0 +1,195 @@
+// Execution-core microbenchmark: tree-walking interpreter vs bytecode VM.
+//
+// The inner loop of every phase — dynamic analysis, replay search,
+// overhead measurement — is "run the program once". This bench measures
+// that loop in isolation on the §5.1 counting-loop microbenchmark
+// (dispatch-bound: one branch + three arithmetic ops per iteration) and
+// end-to-end on a uServer request-serving run, across the axes that
+// change the per-instruction work:
+//
+//   shadow off/on       symbolic shadow lanes (kShadow template split)
+//   plan none/all       kBrFast vs kBrObserved site density with a
+//                       recorder attached (the paper's instrumentation)
+//
+// Both engines are contractually bit-identical (tests/exec_vm_test.cc),
+// so every ratio here is pure dispatch/representation win. Emits
+// BENCH_interp.json next to the human table.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/concolic/cellrun.h"
+#include "src/instrument/recorder.h"
+
+namespace retrace {
+namespace {
+
+struct Cell {
+  double seconds = 0;
+  u64 runs = 0;
+  u64 instrs = 0;
+  double SecsPerRun() const { return runs == 0 ? 0 : seconds / static_cast<double>(runs); }
+  double MinstrsPerSec() const {
+    return seconds <= 0 ? 0 : static_cast<double>(instrs) / seconds / 1e6;
+  }
+};
+
+struct Row {
+  std::string name;
+  Cell tree;
+  Cell vm;
+  double Speedup() const {
+    return vm.seconds <= 0 ? 0 : tree.SecsPerRun() / vm.SecsPerRun();
+  }
+};
+
+// Runs `spec` through the cell runner `runs` times on `kind`, optionally
+// with shadow tracking and a recorder specialized on `plan`.
+Cell Measure(const IrModule& module, const InputSpec& spec, NondetPolicy* policy,
+             ExecEngineKind kind, u64 runs, bool shadow, const InstrumentationPlan* plan) {
+  CellRunner runner(module, spec);
+  Cell cell;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < runs; ++i) {
+    ExprArena arena;
+    BranchTraceRecorder recorder(plan != nullptr ? *plan : InstrumentationPlan{});
+    CellRunConfig config;
+    config.policy = policy;
+    config.engine = kind;
+    config.symbolic_syscalls = shadow;
+    if (shadow) {
+      config.arena = &arena;
+    }
+    if (plan != nullptr) {
+      config.observers = {&recorder};
+      config.plan = plan;
+    }
+    const CellRunOutput out = runner.Run(config);
+    cell.instrs += out.result.stats.instrs;
+  }
+  cell.runs = runs;
+  cell.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return cell;
+}
+
+InstrumentationPlan AllBranchesPlan(const IrModule& module) {
+  InstrumentationPlan plan;
+  plan.branches = DenseBitset(module.branches.size());
+  for (size_t b = 0; b < module.branches.size(); ++b) {
+    plan.branches.Set(b);
+  }
+  return plan;
+}
+
+InstrumentationPlan NoBranchesPlan(const IrModule& module) {
+  InstrumentationPlan plan;
+  plan.branches = DenseBitset(module.branches.size());
+  return plan;
+}
+
+}  // namespace
+}  // namespace retrace
+
+int main() {
+  using namespace retrace;
+  const int scale = BenchScale();
+
+  std::printf("==============================================================\n");
+  std::printf("Execution core: tree-walking interpreter vs bytecode VM\n");
+  std::printf("==============================================================\n");
+  std::printf("both engines bit-identical by contract (tests/exec_vm_test.cc);\n");
+  std::printf("RETRACE_EXEC_ENGINE=tree|bytecode flips every pipeline phase\n\n");
+
+  std::vector<Row> rows;
+
+  // ----- Dispatch-bound micro: the §5.1 counting loop -----
+  {
+    auto pipeline = BuildWorkloadOrDie("loop_micro");
+    const IrModule& module = pipeline->module();
+    const InputSpec spec = LoopMicroSpec(100'000);
+    const u64 runs = 20 * static_cast<u64>(scale);
+    const InstrumentationPlan all = AllBranchesPlan(module);
+    const InstrumentationPlan none = NoBranchesPlan(module);
+    const struct {
+      const char* name;
+      bool shadow;
+      const InstrumentationPlan* plan;
+    } kConfigs[] = {
+        {"loop/concrete", false, nullptr},
+        {"loop/concrete+rec-none", false, &none},
+        {"loop/concrete+rec-all", false, &all},
+        {"loop/shadow", true, nullptr},
+        {"loop/shadow+rec-all", true, &all},
+    };
+    for (const auto& c : kConfigs) {
+      Row row;
+      row.name = c.name;
+      row.tree = Measure(module, spec, nullptr, ExecEngineKind::kTree, runs, c.shadow, c.plan);
+      row.vm =
+          Measure(module, spec, nullptr, ExecEngineKind::kBytecode, runs, c.shadow, c.plan);
+      rows.push_back(row);
+    }
+  }
+
+  // ----- End-to-end: uServer serving scripted requests -----
+  // The replay-search inner loop: full shadow-symbolic run of a server
+  // scenario, syscalls through the virtual OS, recorder attached.
+  {
+    auto pipeline = BuildWorkloadOrDie("userver");
+    const IrModule& module = pipeline->module();
+    const Scenario scenario = UserverScenario(1);
+    const u64 runs = 30 * static_cast<u64>(scale);
+    const InstrumentationPlan all = AllBranchesPlan(module);
+    const struct {
+      const char* name;
+      bool shadow;
+      const InstrumentationPlan* plan;
+    } kConfigs[] = {
+        {"userver/concrete", false, nullptr},
+        {"userver/shadow+rec-all", true, &all},
+    };
+    for (const auto& c : kConfigs) {
+      Row row;
+      row.name = c.name;
+      row.tree = Measure(module, scenario.spec, scenario.policy.get(), ExecEngineKind::kTree,
+                         runs, c.shadow, c.plan);
+      row.vm = Measure(module, scenario.spec, scenario.policy.get(),
+                       ExecEngineKind::kBytecode, runs, c.shadow, c.plan);
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("%-26s %14s %14s %10s %10s %9s\n", "configuration", "tree Mi/s", "vm Mi/s",
+              "tree ms", "vm ms", "speedup");
+  for (const Row& row : rows) {
+    std::printf("%-26s %14.1f %14.1f %10.3f %10.3f %8.2fx\n", row.name.c_str(),
+                row.tree.MinstrsPerSec(), row.vm.MinstrsPerSec(),
+                row.tree.SecsPerRun() * 1e3, row.vm.SecsPerRun() * 1e3, row.Speedup());
+  }
+
+  FILE* json = std::fopen("BENCH_interp.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_interp.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"interp\",\n  \"scale\": %d,\n  \"rows\": [\n", scale);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"runs\": %" PRIu64
+                 ", \"tree_minstrs_per_sec\": %.1f, \"vm_minstrs_per_sec\": %.1f, "
+                 "\"tree_ms_per_run\": %.3f, \"vm_ms_per_run\": %.3f, \"speedup\": %.2f}%s\n",
+                 row.name.c_str(), row.tree.runs, row.tree.MinstrsPerSec(),
+                 row.vm.MinstrsPerSec(), row.tree.SecsPerRun() * 1e3,
+                 row.vm.SecsPerRun() * 1e3, row.Speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_interp.json\n");
+  return 0;
+}

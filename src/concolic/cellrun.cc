@@ -1,8 +1,18 @@
 #include "src/concolic/cellrun.h"
 
+#include "src/exec/vm.h"
+
 namespace retrace {
 
-CellRunOutput CellRunner::Run(const CellRunConfig& config) const {
+ExecEngine* CellRunner::EngineFor(ExecEngineKind kind) {
+  std::unique_ptr<ExecEngine>& slot = kind == ExecEngineKind::kBytecode ? bytecode_ : tree_;
+  if (slot == nullptr) {
+    slot = MakeExecEngine(kind, module_, InterpOptions{});
+  }
+  return slot.get();
+}
+
+CellRunOutput CellRunner::Run(const CellRunConfig& config) {
   CellStore cells(layout_, config.model);
   cells.set_policy(config.policy);
   VirtualOs vos(spec_.world, &cells, &layout_);
@@ -12,21 +22,22 @@ CellRunOutput CellRunner::Run(const CellRunConfig& config) const {
   InterpOptions options;
   options.max_steps = config.max_steps;
   options.external_budget = config.external_budget;
-  Interp interp(module_, options);
-  interp.set_syscall_handler(&vos);
-  if (config.arena != nullptr) {
-    interp.set_shadow_arena(config.arena);
-  }
+  ExecEngine* engine = EngineFor(ResolveExecEngineKind(config.engine));
+  engine->set_options(options);
+  engine->set_syscall_handler(&vos);
+  engine->set_shadow_arena(config.arena);
+  engine->ClearObservers();
   for (BranchObserver* obs : config.observers) {
-    interp.AddObserver(obs);
+    engine->AddObserver(obs);
   }
+  engine->SpecializePlan(config.plan);
 
   const std::vector<std::string> argv = layout_.MaterializeArgv(spec_, cells.values());
   const std::vector<std::vector<i32>> argv_cells =
       config.arena != nullptr ? layout_.ArgvCells(spec_) : std::vector<std::vector<i32>>{};
 
   CellRunOutput out;
-  out.result = interp.Run(argv, argv_cells);
+  out.result = engine->Run(argv, argv_cells);
   out.cells = cells.values();
   out.domains = cells.domains();
   out.cell_info = cells.info();

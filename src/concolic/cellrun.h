@@ -3,14 +3,18 @@
 // Every phase of the pipeline — dynamic analysis, user-site recording,
 // developer-site replay — is "interpret the program with some assignment of
 // input cells". CellRunner packages the setup: layout construction, cell
-// store, virtual OS, argv materialization, interpreter wiring.
+// store, virtual OS, argv materialization, engine wiring. The runner owns
+// one engine instance per kind and re-uses it across runs (pooled frames
+// and object storage), so a search performing millions of runs pays engine
+// setup once.
 #ifndef RETRACE_CONCOLIC_CELLRUN_H_
 #define RETRACE_CONCOLIC_CELLRUN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/exec/interp.h"
+#include "src/exec/engine.h"
 #include "src/ir/ir.h"
 #include "src/vos/vos.h"
 
@@ -25,6 +29,12 @@ struct CellRunConfig {
   bool symbolic_syscalls = true;        // Attach cells to syscall results.
   u64 max_steps = 200'000'000;
   Budget* external_budget = nullptr;
+  // Which engine executes the run; kDefault resolves RETRACE_EXEC_ENGINE.
+  ExecEngineKind engine = ExecEngineKind::kDefault;
+  // Instrumentation plan baked into the engine's branch dispatch
+  // (ExecEngine::SpecializePlan). Must be set whenever an observer in
+  // `observers` overrides OnBranchCompiled and trusts the site hint.
+  const InstrumentationPlan* plan = nullptr;
 };
 
 struct CellRunOutput {
@@ -45,12 +55,17 @@ class CellRunner {
   const CellLayout& layout() const { return layout_; }
   const InputSpec& spec() const { return spec_; }
 
-  CellRunOutput Run(const CellRunConfig& config) const;
+  CellRunOutput Run(const CellRunConfig& config);
 
  private:
+  ExecEngine* EngineFor(ExecEngineKind kind);
+
   const IrModule& module_;
   InputSpec spec_;
   CellLayout layout_;
+  // Lazily constructed, one per engine kind, re-used across runs.
+  std::unique_ptr<ExecEngine> tree_;
+  std::unique_ptr<ExecEngine> bytecode_;
 };
 
 }  // namespace retrace

@@ -43,7 +43,10 @@ inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
 // the kJob config codec, and the graceful-degradation counters
 // (shards_lost/pendings_recovered/heartbeats_missed/fallback_inprocess)
 // in the stats codec.
-inline constexpr u16 kWireVersion = 5;
+// v6: execution engine — the resolved ExecEngineKind rides the kJob
+// config codec so every shard runs the coordinator's engine choice
+// (tree vs bytecode), keeping fleet-wide run accounting comparable.
+inline constexpr u16 kWireVersion = 6;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {

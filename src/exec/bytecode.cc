@@ -1,0 +1,189 @@
+#include "src/exec/bytecode.h"
+
+#include <unordered_map>
+
+#include "src/exec/mem_rt.h"
+
+namespace retrace {
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(const IrModule& module) : module_(module) {
+    bc_.num_globals = static_cast<i32>(module.global_scalars.size());
+    bc_.num_statics = static_cast<i32>(module.static_objects.size());
+    bc_.main_func = module.main_index;
+  }
+
+  BcModule Compile() {
+    bc_.funcs.resize(module_.funcs.size());
+    for (size_t f = 0; f < module_.funcs.size(); ++f) {
+      CompileFunction(static_cast<i32>(f));
+    }
+    return std::move(bc_);
+  }
+
+ private:
+  BcReg ConstReg(i64 imm) {
+    auto [it, inserted] = const_index_.try_emplace(imm, static_cast<i32>(bc_.const_pool.size()));
+    if (inserted) {
+      bc_.const_pool.push_back(imm);
+    }
+    return ~(bc_.num_globals + bc_.num_statics + it->second);
+  }
+
+  BcReg RegOf(const Operand& op, const IrFunction& fn) {
+    switch (op.kind) {
+      case Operand::Kind::kNone:
+        return kBcNone;
+      case Operand::Kind::kConstInt:
+        return ConstReg(op.imm);
+      case Operand::Kind::kSlot:
+        return op.index;
+      case Operand::Kind::kGlobalSlot:
+        return ~op.index;
+      case Operand::Kind::kObjAddr:
+        return ~(bc_.num_globals + op.index);
+      case Operand::Kind::kFrameObjAddr:
+        return fn.num_slots + op.index;
+    }
+    FatalError("RegOf: bad operand kind");
+  }
+
+  void CompileFunction(i32 f) {
+    const IrFunction& fn = module_.funcs[f];
+    BcFunction& out = bc_.funcs[f];
+    out.func_index = fn.index;
+    out.num_slots = fn.num_slots;
+    out.num_regs = fn.num_slots + static_cast<i32>(fn.frame_objects.size());
+    out.ir = &fn;
+    out.entry_pc = static_cast<i32>(bc_.code.size());
+
+    // First pass: emit every block in order, recording block start pcs and
+    // the pcs whose targets still hold block ids.
+    std::vector<i32> block_pc(fn.blocks.size(), 0);
+    std::vector<i32> patch_pcs;
+    for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+      block_pc[bb] = static_cast<i32>(bc_.code.size());
+      bool terminated = false;
+      for (const Instr& instr : fn.blocks[bb].instrs) {
+        patchable_ = false;
+        Emit(instr, fn);
+        if (patchable_) {
+          patch_pcs.push_back(static_cast<i32>(bc_.code.size()) - 1);
+        }
+        terminated = instr.op == Opcode::kBr || instr.op == Opcode::kJmp ||
+                     instr.op == Opcode::kRet;
+      }
+      if (!terminated) {
+        // The tree walker reports "fell off the end of a basic block" when
+        // it fetches past the last instruction; kHalt is that fetch.
+        BcInstr halt;
+        halt.op = BcOp::kHalt;
+        bc_.code.push_back(halt);
+      }
+    }
+
+    // Second pass: rewrite block ids into absolute pcs.
+    for (i32 pc : patch_pcs) {
+      BcInstr& instr = bc_.code[pc];
+      instr.b = block_pc[instr.b];
+      if (instr.op == BcOp::kBrFast) {
+        instr.c = block_pc[instr.c];
+      }
+    }
+  }
+
+  void Emit(const Instr& instr, const IrFunction& fn) {
+    BcInstr out;
+    out.loc = instr.loc;
+    switch (instr.op) {
+      case Opcode::kAssign:
+        out.op = BcOp::kAssign;
+        out.flags = instr.store_char ? kBcFlagChar : 0;
+        out.dst = RegOf(instr.dst, fn);
+        out.a = RegOf(instr.a, fn);
+        break;
+      case Opcode::kBin:
+        out.op = BcOp::kBin;
+        out.sub = static_cast<u8>(ToExprOp(instr.bin_op));
+        out.dst = RegOf(instr.dst, fn);
+        out.a = RegOf(instr.a, fn);
+        out.b = RegOf(instr.b, fn);
+        break;
+      case Opcode::kUn:
+        out.op = BcOp::kUn;
+        out.sub = static_cast<u8>(ToExprOp(instr.un_op));
+        out.dst = RegOf(instr.dst, fn);
+        out.a = RegOf(instr.a, fn);
+        break;
+      case Opcode::kLoad:
+        out.op = BcOp::kLoad;
+        out.dst = RegOf(instr.dst, fn);
+        out.a = RegOf(instr.a, fn);
+        out.b = RegOf(instr.b, fn);
+        break;
+      case Opcode::kStore:
+        out.op = BcOp::kStore;
+        out.a = RegOf(instr.a, fn);
+        out.b = RegOf(instr.b, fn);
+        out.c = RegOf(instr.c, fn);
+        break;
+      case Opcode::kPtrAdd:
+        out.op = BcOp::kPtrAdd;
+        out.dst = RegOf(instr.dst, fn);
+        out.a = RegOf(instr.a, fn);
+        out.b = RegOf(instr.b, fn);
+        break;
+      case Opcode::kCall: {
+        out.op = instr.callee_is_builtin ? BcOp::kCallBuiltin : BcOp::kCall;
+        out.dst = RegOf(instr.dst, fn);
+        out.aux = instr.callee;
+        out.args_begin = static_cast<i32>(bc_.call_args.size());
+        out.args_count = static_cast<i32>(instr.args.size());
+        const IrFunction* callee =
+            instr.callee_is_builtin ? nullptr : &module_.funcs[instr.callee];
+        for (size_t i = 0; i < instr.args.size(); ++i) {
+          BcCallArg arg;
+          arg.reg = RegOf(instr.args[i], fn);
+          arg.trunc_char = callee != nullptr && i < callee->param_types.size() &&
+                           callee->param_types[i].kind == TypeKind::kChar;
+          bc_.call_args.push_back(arg);
+        }
+        break;
+      }
+      case Opcode::kBr:
+        // Sites compile to kBrFast until SpecializePlan patches the ones
+        // the instrumentation plan observes to kBrObserved.
+        out.op = BcOp::kBrFast;
+        out.a = RegOf(instr.a, fn);
+        out.b = instr.bb_true;   // Patched to a pc.
+        out.c = instr.bb_false;  // Patched to a pc.
+        out.aux = instr.branch_id;
+        bc_.branch_pcs.push_back(static_cast<i32>(bc_.code.size()));
+        patchable_ = true;
+        break;
+      case Opcode::kJmp:
+        out.op = BcOp::kJmp;
+        out.b = instr.bb_true;  // Patched to a pc.
+        patchable_ = true;
+        break;
+      case Opcode::kRet:
+        out.op = BcOp::kRet;
+        out.a = RegOf(instr.a, fn);
+        break;
+    }
+    bc_.code.push_back(out);
+  }
+
+  const IrModule& module_;
+  BcModule bc_;
+  std::unordered_map<i64, i32> const_index_;
+  bool patchable_ = false;
+};
+
+}  // namespace
+
+BcModule CompileModule(const IrModule& module) { return Compiler(module).Compile(); }
+
+}  // namespace retrace

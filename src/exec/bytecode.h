@@ -1,0 +1,103 @@
+// One-time IR -> register bytecode compiler for the VM (src/exec/vm.h).
+//
+// Lowering resolves every Operand at compile time instead of switching on
+// Operand::Kind at every use the way the tree walker does:
+//   - kSlot           -> a frame register (BcReg >= 0),
+//   - kGlobalSlot     -> a bank slot (BcReg < 0, index ~reg),
+//   - kObjAddr        -> a bank slot holding the static's address value,
+//                        patched once per run with the current generation,
+//   - kConstInt       -> a pooled bank constant (deduplicated),
+//   - kFrameObjAddr   -> a frame register holding the frame object's
+//                        address, materialized once at frame entry.
+// Basic blocks are fused into one flat code array per module with branch
+// targets patched to absolute pcs. Every IR instruction keeps exactly one
+// bytecode instruction (jumps included) so RunStats::instrs and the step
+// budget are bit-identical with the tree walker.
+#ifndef RETRACE_EXEC_BYTECODE_H_
+#define RETRACE_EXEC_BYTECODE_H_
+
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/support/common.h"
+
+namespace retrace {
+
+// A register reference: >= 0 names a register in the current frame
+// window, < 0 names bank slot ~reg (globals | static addresses | pooled
+// constants), kBcNone means "no operand".
+using BcReg = i32;
+inline constexpr BcReg kBcNone = INT32_MIN;
+
+enum class BcOp : u8 {
+  kAssign,       // dst = a (flags kBcFlagChar: trunc to u8 + kTruncChar shadow)
+  kBin,          // dst = a <sub:ExprOp> b
+  kUn,           // dst = <sub:ExprOp> a
+  kLoad,         // dst = mem[a][b]
+  kStore,        // mem[a][b] = c (char-trunc decided by the object at run time)
+  kPtrAdd,       // dst = a + b (pointer arithmetic, shadow always dropped)
+  kCall,         // dst = funcs[aux](call_args[args_begin .. +args_count))
+  kCallBuiltin,  // dst = builtin(aux)(...)
+  kBrFast,       // branch a ? pc b : pc c, branch_id aux; site unobserved by plan
+  kBrObserved,   // same, site observed by the specialized plan
+  kJmp,          // pc = b
+  kRet,          // return a (kBcNone: return 0)
+  kHalt,         // fell off the end of a basic block (lowering bug backstop)
+};
+
+inline constexpr u8 kBcFlagChar = 1;  // kAssign: destination is a char slot.
+
+struct BcInstr {
+  BcOp op = BcOp::kHalt;
+  u8 sub = 0;    // ExprOp ordinal (kBin/kUn): resolved at compile time.
+  u8 flags = 0;
+  BcReg dst = kBcNone;
+  BcReg a = kBcNone;
+  i32 b = 0;     // Register, or branch/jump target pc.
+  i32 c = 0;     // Register, or false-branch target pc.
+  i32 aux = 0;   // branch_id (kBr*), callee (kCall*).
+  i32 args_begin = 0;
+  i32 args_count = 0;
+  SourceLoc loc;
+};
+
+struct BcCallArg {
+  BcReg reg = kBcNone;
+  bool trunc_char = false;  // Callee parameter is char-typed.
+};
+
+struct BcFunction {
+  i32 func_index = 0;  // IrFunction::index, for crash-site attribution.
+  i32 entry_pc = 0;
+  i32 num_slots = 0;
+  i32 num_regs = 0;    // num_slots + frame object registers.
+  const IrFunction* ir = nullptr;  // Frame object shapes (sizes, is_char).
+};
+
+struct BcModule {
+  std::vector<BcInstr> code;
+  std::vector<BcFunction> funcs;
+  std::vector<BcCallArg> call_args;
+  // Bank layout: [0, num_globals) mutable global scalars,
+  // [num_globals, num_globals + num_statics) static object addresses,
+  // [num_globals + num_statics, ...) pooled constants. The VM owns the
+  // runtime bank; this carries the pooled constant values.
+  std::vector<i64> const_pool;
+  i32 num_globals = 0;
+  i32 num_statics = 0;
+  // pcs of every kBrFast/kBrObserved instruction, for plan specialization.
+  std::vector<i32> branch_pcs;
+  i32 main_func = 0;
+
+  i32 bank_size() const {
+    return num_globals + num_statics + static_cast<i32>(const_pool.size());
+  }
+};
+
+// Compiles the whole module. The result is owned by one VM instance:
+// SpecializePlan patches branch opcodes in place.
+BcModule CompileModule(const IrModule& module);
+
+}  // namespace retrace
+
+#endif  // RETRACE_EXEC_BYTECODE_H_

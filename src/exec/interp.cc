@@ -2,42 +2,9 @@
 
 #include <algorithm>
 
+#include "src/exec/mem_rt.h"
+
 namespace retrace {
-namespace {
-
-ExprOp ToExprOp(BinaryOp op) {
-  switch (op) {
-    case BinaryOp::kAdd: return ExprOp::kAdd;
-    case BinaryOp::kSub: return ExprOp::kSub;
-    case BinaryOp::kMul: return ExprOp::kMul;
-    case BinaryOp::kDiv: return ExprOp::kDiv;
-    case BinaryOp::kRem: return ExprOp::kRem;
-    case BinaryOp::kBitAnd: return ExprOp::kAnd;
-    case BinaryOp::kBitOr: return ExprOp::kOr;
-    case BinaryOp::kBitXor: return ExprOp::kXor;
-    case BinaryOp::kShl: return ExprOp::kShl;
-    case BinaryOp::kShr: return ExprOp::kShr;
-    case BinaryOp::kEq: return ExprOp::kEq;
-    case BinaryOp::kNe: return ExprOp::kNe;
-    case BinaryOp::kLt: return ExprOp::kLt;
-    case BinaryOp::kLe: return ExprOp::kLe;
-    case BinaryOp::kGt: return ExprOp::kGt;
-    case BinaryOp::kGe: return ExprOp::kGe;
-  }
-  FatalError("unreachable binary op");
-}
-
-ExprOp ToExprOp(IrUnOp op) {
-  switch (op) {
-    case IrUnOp::kNeg: return ExprOp::kNeg;
-    case IrUnOp::kBitNot: return ExprOp::kBitNot;
-    case IrUnOp::kLogicalNot: return ExprOp::kLogicalNot;
-    case IrUnOp::kTruncChar: return ExprOp::kTruncChar;
-  }
-  FatalError("unreachable unary op");
-}
-
-}  // namespace
 
 Interp::Interp(const IrModule& module, InterpOptions options)
     : module_(module), options_(options) {}
@@ -68,10 +35,24 @@ void Interp::FreeObject(i32 id) {
   obj.alive = false;
   ++obj.gen;
   obj.cells.clear();
-  obj.cells.shrink_to_fit();
   obj.shadows.clear();
-  obj.shadows.shrink_to_fit();
   free_objects_.push_back(id);
+}
+
+void Interp::ResetObjectPool() {
+  free_objects_.clear();
+  for (i32 id = static_cast<i32>(objects_.size()) - 1; id >= 0; --id) {
+    MemObject& obj = objects_[id];
+    if (obj.alive) {
+      obj.alive = false;
+      ++obj.gen;
+    }
+    obj.cells.clear();
+    obj.shadows.clear();
+    // Descending push: pop_back then hands out ids 0, 1, 2, ... — the
+    // same allocation order a freshly constructed interpreter produces.
+    free_objects_.push_back(id);
+  }
 }
 
 Value Interp::EvalOperand(const Operand& op, const Frame& frame) const {
@@ -127,63 +108,18 @@ void Interp::Trap(CrashSite::Kind kind, const Instr& instr, const Frame& frame, 
 
 bool Interp::CheckMemAccess(const Value& addr, i64 index, const Instr& instr, const Frame& frame,
                             i32* obj, i64* off) {
-  if (!addr.IsPtr()) {
-    Trap(CrashSite::Kind::kNullDeref, instr, frame);
+  CrashSite::Kind kind = CrashSite::Kind::kNone;
+  if (!CheckMemAccessRt(objects_, addr, index, &kind, obj, off)) {
+    Trap(kind, instr, frame);
     return false;
   }
-  if (addr.obj < 0 || addr.obj >= static_cast<i32>(objects_.size())) {
-    Trap(CrashSite::Kind::kPtrDomain, instr, frame);
-    return false;
-  }
-  const MemObject& m = objects_[addr.obj];
-  if (!m.alive || m.gen != addr.gen) {
-    Trap(CrashSite::Kind::kDangling, instr, frame);
-    return false;
-  }
-  const i64 o = addr.num + index;
-  if (o < 0 || o >= static_cast<i64>(m.cells.size())) {
-    Trap(CrashSite::Kind::kOutOfBounds, instr, frame);
-    return false;
-  }
-  *obj = addr.obj;
-  *off = o;
   return true;
-}
-
-bool Interp::ExtractCString(const Value& ptr, const Instr& instr, const Frame& frame,
-                            std::string* out) {
-  if (!ptr.IsPtr()) {
-    Trap(CrashSite::Kind::kNullDeref, instr, frame);
-    return false;
-  }
-  const MemObject& m = objects_[ptr.obj];
-  if (!m.alive || m.gen != ptr.gen) {
-    Trap(CrashSite::Kind::kDangling, instr, frame);
-    return false;
-  }
-  out->clear();
-  for (i64 i = ptr.num;; ++i) {
-    if (i < 0 || i >= static_cast<i64>(m.cells.size())) {
-      Trap(CrashSite::Kind::kOutOfBounds, instr, frame);
-      return false;
-    }
-    const Value& cell = m.cells[i];
-    if (!cell.IsInt()) {
-      Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-      return false;
-    }
-    if (cell.num == 0) {
-      return true;
-    }
-    out->push_back(static_cast<char>(static_cast<u8>(cell.num)));
-  }
 }
 
 RunResult Interp::Run(const std::vector<std::string>& argv,
                       const std::vector<std::vector<i32>>& argv_cells) {
-  // Reset per-run state.
-  objects_.clear();
-  free_objects_.clear();
+  // Reset per-run state (object storage is pooled, not reallocated).
+  ResetObjectPool();
   frames_.clear();
   stats_ = RunStats{};
   has_crash_ = false;
@@ -591,162 +527,23 @@ bool Interp::ExecBuiltin(const Instr& instr, Frame& frame) {
     args.push_back(EvalOperand(op, frame));
   }
 
-  switch (b) {
-    case Builtin::kCrash: {
-      const i64 code = !args.empty() && args[0].IsInt() ? args[0].num : 0;
-      Trap(CrashSite::Kind::kExplicit, instr, frame, code);
+  const BuiltinRtResult out =
+      ExecBuiltinRt(b, args, /*want_ret=*/!instr.dst.IsNone(), objects_, arena_, syscalls_);
+  switch (out.status) {
+    case BuiltinRtResult::Status::kTrap:
+      Trap(out.trap_kind, instr, frame, out.trap_code);
       return false;
-    }
-    case Builtin::kExit: {
+    case BuiltinRtResult::Status::kStall:
+      return false;
+    case BuiltinRtResult::Status::kExit:
       exit_requested_ = true;
-      exit_code_ = !args.empty() && args[0].IsInt() ? args[0].num : 0;
+      exit_code_ = out.exit_code;
       return true;
-    }
-    default:
+    case BuiltinRtResult::Status::kOk:
       break;
   }
-
-  if (syscalls_ == nullptr) {
-    Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-    return false;
-  }
-
-  std::vector<i64> int_args;
-  std::string str_arg;
-  std::vector<u8> write_data;
-
-  switch (b) {
-    case Builtin::kRead: {
-      if (args.size() != 3 || !args[0].IsInt() || !args[1].IsPtr() || !args[2].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      int_args = {args[0].num, args[2].num};
-      break;
-    }
-    case Builtin::kWrite: {
-      if (args.size() != 3 || !args[0].IsInt() || !args[1].IsPtr() || !args[2].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      const Value& buf = args[1];
-      const i64 n = args[2].num;
-      i32 obj;
-      i64 off;
-      if (n < 0 || !CheckMemAccess(buf, 0, instr, frame, &obj, &off) ||
-          (n > 0 && !CheckMemAccess(buf, n - 1, instr, frame, &obj, &off))) {
-        return false;
-      }
-      const MemObject& m = objects_[buf.obj];
-      for (i64 i = 0; i < n; ++i) {
-        const Value& cell = m.cells[buf.num + i];
-        write_data.push_back(cell.IsInt() ? static_cast<u8>(cell.num) : 0);
-      }
-      int_args = {args[0].num, n};
-      break;
-    }
-    case Builtin::kOpen: {
-      if (args.size() != 2 || !args[1].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      if (!ExtractCString(args[0], instr, frame, &str_arg)) {
-        return false;
-      }
-      int_args = {args[1].num};
-      break;
-    }
-    case Builtin::kClose: {
-      if (args.size() != 1 || !args[0].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      int_args = {args[0].num};
-      break;
-    }
-    case Builtin::kSelectFd: {
-      if (args.size() != 2 || !args[0].IsPtr() || !args[1].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      const i64 nfds = args[1].num;
-      i32 obj;
-      i64 off;
-      if (nfds < 0 || (nfds > 0 && !CheckMemAccess(args[0], nfds - 1, instr, frame, &obj, &off))) {
-        if (nfds < 0) {
-          Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        }
-        return false;
-      }
-      int_args.push_back(nfds);
-      const MemObject& m = objects_[args[0].obj];
-      for (i64 i = 0; i < nfds; ++i) {
-        const Value& cell = m.cells[args[0].num + i];
-        int_args.push_back(cell.IsInt() ? cell.num : -1);
-      }
-      break;
-    }
-    case Builtin::kAcceptConn: {
-      if (args.size() != 1 || !args[0].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      int_args = {args[0].num};
-      break;
-    }
-    case Builtin::kPollSignal:
-      break;
-    case Builtin::kPrintInt: {
-      if (args.size() != 1 || !args[0].IsInt()) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      int_args = {args[0].num};
-      break;
-    }
-    case Builtin::kPrintStr: {
-      if (args.size() != 1) {
-        Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-        return false;
-      }
-      if (!ExtractCString(args[0], instr, frame, &str_arg)) {
-        return false;
-      }
-      break;
-    }
-    default:
-      Trap(CrashSite::Kind::kBadBuiltinArg, instr, frame);
-      return false;
-  }
-
-  const SyscallOutcome outcome = syscalls_->OnSyscall(b, int_args, str_arg, write_data);
-
-  // Deliver read() data into the buffer.
-  if (b == Builtin::kRead && !outcome.data.empty()) {
-    const Value& buf = args[1];
-    i32 obj;
-    i64 off;
-    if (!CheckMemAccess(buf, static_cast<i64>(outcome.data.size()) - 1, instr, frame, &obj,
-                        &off)) {
-      return false;  // Input larger than buffer: an OOB crash, as native code would corrupt.
-    }
-    MemObject& m = objects_[buf.obj];
-    for (size_t i = 0; i < outcome.data.size(); ++i) {
-      m.cells[buf.num + i] = Value::Int(outcome.data[i]);
-      if (shadow_on() && !m.shadows.empty()) {
-        m.shadows[buf.num + i] =
-            i < outcome.data_cells.size() && outcome.data_cells[i] >= 0
-                ? arena_->MkVar(outcome.data_cells[i])
-                : kNoExpr;
-      }
-    }
-  }
-
-  if (!instr.dst.IsNone()) {
-    const ExprRef shadow = shadow_on() && outcome.ret_cell >= 0
-                               ? arena_->MkVar(outcome.ret_cell)
-                               : kNoExpr;
-    WriteSlot(instr.dst, frame, Value::Int(outcome.ret), shadow);
+  if (out.has_ret) {
+    WriteSlot(instr.dst, frame, out.ret, out.ret_shadow);
   }
   ++frame.ip;
   return true;

@@ -1,77 +1,51 @@
 // Concrete IR interpreter with optional shadow-symbolic tracking.
 //
-// The interpreter executes the program deterministically given (a) argv
-// byte values, and (b) a SyscallHandler deciding every nondeterministic
-// system-call outcome. With an ExprArena attached it additionally
-// propagates shadow expressions over input cells alongside the concrete
-// values; branch observers then see, for every executed branch, whether its
-// condition was symbolic — the raw signal behind the paper's dynamic
-// analysis, the branch recorder, and the replay engine.
+// The tree-walking reference implementation of the ExecEngine contract
+// (src/exec/engine.h). The interpreter executes the program
+// deterministically given (a) argv byte values, and (b) a SyscallHandler
+// deciding every nondeterministic system-call outcome. With an ExprArena
+// attached it additionally propagates shadow expressions over input cells
+// alongside the concrete values; branch observers then see, for every
+// executed branch, whether its condition was symbolic — the raw signal
+// behind the paper's dynamic analysis, the branch recorder, and the
+// replay engine. The bytecode VM (src/exec/vm.h) is the performance
+// implementation; this walker stays the readable semantics reference the
+// differential suite checks the VM against.
 #ifndef RETRACE_EXEC_INTERP_H_
 #define RETRACE_EXEC_INTERP_H_
 
 #include <string>
 #include <vector>
 
+#include "src/exec/engine.h"
 #include "src/exec/value.h"
 #include "src/ir/ir.h"
 #include "src/support/budget.h"
 
 namespace retrace {
 
-// One nondeterministic system call outcome, decided by the handler.
-struct SyscallOutcome {
-  i64 ret = 0;
-  i32 ret_cell = -1;                // Input cell backing `ret` (-1: concrete).
-  std::vector<u8> data;             // Bytes delivered into the buffer (read).
-  std::vector<i32> data_cells;      // Input cells backing `data` (may be empty).
-};
-
-class SyscallHandler {
- public:
-  virtual ~SyscallHandler() = default;
-  // `int_args` carries the scalar arguments in builtin-specific order;
-  // `str_arg` the extracted C string (open/print_str); `write_data` the
-  // buffer contents (write).
-  virtual SyscallOutcome OnSyscall(Builtin b, const std::vector<i64>& int_args,
-                                   const std::string& str_arg,
-                                   const std::vector<u8>& write_data) = 0;
-};
-
-class BranchObserver {
- public:
-  enum class Action { kContinue, kAbort };
-  virtual ~BranchObserver() = default;
-  // `cond_shadow` is kNoExpr for concrete conditions.
-  virtual Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) = 0;
-};
-
-struct InterpOptions {
-  u64 max_steps = 500'000'000;
-  int max_call_depth = 512;
-  // External budget shared with an enclosing analysis; checked coarsely
-  // (every 1024 instructions).
-  Budget* external_budget = nullptr;
-};
-
-class Interp {
+class Interp : public ExecEngine {
  public:
   Interp(const IrModule& module, InterpOptions options);
 
-  void set_syscall_handler(SyscallHandler* handler) { syscalls_ = handler; }
-  void AddObserver(BranchObserver* observer) { observers_.push_back(observer); }
-  void ClearObservers() { observers_.clear(); }
+  void set_syscall_handler(SyscallHandler* handler) override { syscalls_ = handler; }
+  void AddObserver(BranchObserver* observer) override { observers_.push_back(observer); }
+  void ClearObservers() override { observers_.clear(); }
   // Enables shadow tracking. The arena must outlive the interpreter runs.
-  void set_shadow_arena(ExprArena* arena) { arena_ = arena; }
+  void set_shadow_arena(ExprArena* arena) override { arena_ = arena; }
+  void set_options(const InterpOptions& options) override { options_ = options; }
+  // The tree walker has nothing to specialize: its observers consult the
+  // plan themselves (OnBranch path), which is exactly the per-branch cost
+  // the VM's compiled kBrFast/kBrObserved split removes.
+  void SpecializePlan(const InstrumentationPlan* /*plan*/) override {}
 
   // Runs main. `argv` are the concrete argument strings (argv[0] included);
   // `argv_cells[i]` optionally names the input cell ids backing argv[i]'s
   // bytes (shadow mode).
   RunResult Run(const std::vector<std::string>& argv,
-                const std::vector<std::vector<i32>>& argv_cells);
+                const std::vector<std::vector<i32>>& argv_cells) override;
 
-  // Convenience for programs whose main takes no arguments.
-  RunResult Run() { return Run({"prog"}, {}); }
+  using ExecEngine::Run;
 
  private:
   struct Frame {
@@ -89,6 +63,13 @@ class Interp {
 
   i32 AllocObject(i64 size, bool is_char);
   void FreeObject(i32 id);
+  // Pooled between-runs reset: marks every object dead and rebuilds the
+  // free list so allocation order (and thus every object id) matches a
+  // freshly constructed interpreter, while cell storage keeps its
+  // capacity. Generation counters keep monotonically increasing across
+  // runs — unobservable, since no output carries absolute generations and
+  // every generation comparison is between values captured in one run.
+  void ResetObjectPool();
 
   Value EvalOperand(const Operand& op, const Frame& frame) const;
   ExprRef EvalShadow(const Operand& op, const Frame& frame) const;
@@ -101,7 +82,6 @@ class Interp {
 
   bool ExecCall(const Instr& instr, Frame& frame);
   bool ExecBuiltin(const Instr& instr, Frame& frame);
-  bool ExtractCString(const Value& ptr, const Instr& instr, const Frame& frame, std::string* out);
 
   const IrModule& module_;
   InterpOptions options_;
@@ -109,7 +89,7 @@ class Interp {
   std::vector<BranchObserver*> observers_;
   ExprArena* arena_ = nullptr;
 
-  // Per-run state.
+  // Per-run state (pooled across runs; see ResetObjectPool).
   std::vector<MemObject> objects_;
   std::vector<i32> free_objects_;
   std::vector<Value> global_slots_;

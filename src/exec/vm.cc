@@ -1,0 +1,672 @@
+#include "src/exec/vm.h"
+
+#include <algorithm>
+
+#include "src/exec/interp.h"
+#include "src/exec/mem_rt.h"
+#include "src/instrument/plan.h"
+#include "src/support/budget.h"
+
+// Direct threading: GCC and Clang support computed goto; elsewhere the
+// loop degrades to a switch with identical handler bodies (VM_CASE /
+// VM_NEXT expand differently).
+#if defined(__GNUC__) || defined(__clang__)
+#define RETRACE_VM_COMPUTED_GOTO 1
+#define RETRACE_VM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define RETRACE_VM_COMPUTED_GOTO 0
+#define RETRACE_VM_UNLIKELY(x) (x)
+#endif
+
+namespace retrace {
+
+BytecodeVm::BytecodeVm(const IrModule& module, InterpOptions options)
+    : module_(module), bc_(CompileModule(module)), options_(options) {
+  bank_.assign(bc_.bank_size(), Value::Int(0));
+  bank_shadows_.assign(bc_.bank_size(), kNoExpr);
+  const i32 const_base = bc_.num_globals + bc_.num_statics;
+  for (size_t i = 0; i < bc_.const_pool.size(); ++i) {
+    bank_[const_base + static_cast<i32>(i)] = Value::Int(bc_.const_pool[i]);
+  }
+}
+
+void BytecodeVm::SpecializePlan(const InstrumentationPlan* plan) {
+  for (i32 pc : bc_.branch_pcs) {
+    BcInstr& instr = bc_.code[pc];
+    instr.op = plan != nullptr && plan->Instrumented(instr.aux) ? BcOp::kBrObserved
+                                                                : BcOp::kBrFast;
+  }
+}
+
+i32 BytecodeVm::AllocObject(i64 size, bool is_char) {
+  i32 id;
+  if (!free_objects_.empty()) {
+    id = free_objects_.back();
+    free_objects_.pop_back();
+  } else {
+    id = static_cast<i32>(objects_.size());
+    objects_.emplace_back();
+  }
+  MemObject& obj = objects_[id];
+  obj.cells.assign(static_cast<size_t>(size), Value::Int(0));
+  if (shadow_on()) {
+    obj.shadows.assign(static_cast<size_t>(size), kNoExpr);
+  } else {
+    obj.shadows.clear();
+  }
+  obj.alive = true;
+  obj.is_char = is_char;
+  return id;
+}
+
+void BytecodeVm::FreeObject(i32 id) {
+  MemObject& obj = objects_[id];
+  obj.alive = false;
+  ++obj.gen;
+  obj.cells.clear();
+  obj.shadows.clear();
+  free_objects_.push_back(id);
+}
+
+void BytecodeVm::ResetObjectPool() {
+  free_objects_.clear();
+  for (i32 id = static_cast<i32>(objects_.size()) - 1; id >= 0; --id) {
+    MemObject& obj = objects_[id];
+    if (obj.alive) {
+      obj.alive = false;
+      ++obj.gen;
+    }
+    obj.cells.clear();
+    obj.shadows.clear();
+    // Descending push: pop_back hands out ids 0, 1, 2, ... — the same
+    // allocation order a fresh engine produces (id parity with Interp).
+    free_objects_.push_back(id);
+  }
+}
+
+void BytecodeVm::EnsureWindow(i32 need) {
+  if (static_cast<i32>(regs_.size()) < need) {
+    const size_t n = std::max<size_t>(static_cast<size_t>(need), regs_.size() * 2 + 64);
+    regs_.resize(n, Value::Int(0));
+    reg_shadows_.resize(n, kNoExpr);
+  }
+}
+
+RunResult BytecodeVm::Run(const std::vector<std::string>& argv,
+                          const std::vector<std::vector<i32>>& argv_cells) {
+  // Per-run reset; storage is pooled, mirrors Interp::Run exactly.
+  ResetObjectPool();
+  frames_.clear();
+  top_ = 0;
+  stats_ = RunStats{};
+
+  // Static objects (ids 0 .. num_statics-1, same as a fresh Interp).
+  for (const StaticObjectInfo& info : module_.static_objects) {
+    const i32 id = AllocObject(info.size, info.is_char);
+    MemObject& obj = objects_[id];
+    for (size_t i = 0; i < info.init.size() && i < obj.cells.size(); ++i) {
+      obj.cells[i] = Value::Int(info.init[i]);
+    }
+  }
+  // Global scalars, and static addresses with this run's generations.
+  for (size_t i = 0; i < module_.global_scalars.size(); ++i) {
+    bank_[i] = Value::Int(module_.global_scalars[i].init);
+    bank_shadows_[i] = kNoExpr;
+  }
+  for (i32 j = 0; j < bc_.num_statics; ++j) {
+    bank_[bc_.num_globals + j] = Value::Ptr(j, objects_[j].gen, 0);
+  }
+
+  // argv objects.
+  std::vector<Value> argv_ptrs;
+  for (size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    const i32 id = AllocObject(static_cast<i64>(arg.size()) + 1, /*is_char=*/true);
+    MemObject& obj = objects_[id];
+    for (size_t j = 0; j < arg.size(); ++j) {
+      obj.cells[j] = Value::Int(static_cast<u8>(arg[j]));
+    }
+    if (shadow_on() && i < argv_cells.size()) {
+      // Shadows cover the content bytes and, when provided, the NUL cell.
+      for (size_t j = 0; j < argv_cells[i].size() && j <= arg.size(); ++j) {
+        if (argv_cells[i][j] >= 0) {
+          obj.shadows[j] = arena_->MkVar(argv_cells[i][j]);
+        }
+      }
+    }
+    argv_ptrs.push_back(Value::Ptr(id, obj.gen, 0));
+  }
+  const i32 argv_array = AllocObject(static_cast<i64>(argv_ptrs.size()), /*is_char=*/false);
+  for (size_t i = 0; i < argv_ptrs.size(); ++i) {
+    objects_[argv_array].cells[i] = argv_ptrs[i];
+  }
+
+  // Entry frame.
+  const BcFunction& main_fn = bc_.funcs[bc_.main_func];
+  EnsureWindow(main_fn.num_regs);
+  for (i32 i = 0; i < main_fn.num_slots; ++i) {
+    regs_[i] = Value::Int(0);
+    reg_shadows_[i] = kNoExpr;
+  }
+  for (size_t i = 0; i < main_fn.ir->frame_objects.size(); ++i) {
+    const FrameObjectInfo& info = main_fn.ir->frame_objects[i];
+    const i32 id = AllocObject(info.size, info.is_char);
+    regs_[main_fn.num_slots + static_cast<i32>(i)] = Value::Ptr(id, objects_[id].gen, 0);
+    reg_shadows_[main_fn.num_slots + static_cast<i32>(i)] = kNoExpr;
+  }
+  if (main_fn.ir->num_params == 2) {
+    regs_[0] = Value::Int(static_cast<i64>(argv.size()));
+    regs_[1] = Value::Ptr(argv_array, objects_[argv_array].gen, 0);
+  }
+  VmFrame main_frame;
+  main_frame.fn = &main_fn;
+  frames_.push_back(main_frame);
+  top_ = main_fn.num_regs;
+
+  return shadow_on() ? RunLoop<true>(main_fn.entry_pc) : RunLoop<false>(main_fn.entry_pc);
+}
+
+template <bool kShadow>
+RunResult BytecodeVm::RunLoop(i32 pc) {
+  const BcInstr* code = bc_.code.data();
+  Value* bank = bank_.data();
+  const ExprRef* bank_sh = bank_shadows_.data();
+  VmFrame* frame = &frames_.back();
+  Value* R = regs_.data() + frame->base;
+  ExprRef* SH = reg_shadows_.data() + frame->base;
+  const BcInstr* insn = nullptr;
+  RunResult result;
+  // The instruction counter lives in a register for the whole loop (the
+  // member store per instruction is measurable); every exit flushes it.
+  u64 instrs = stats_.instrs;
+  const u64 max_steps = options_.max_steps;
+  Budget* const xbudget = options_.external_budget;
+  // Fold the two budget checks into one compare per instruction:
+  // `next_pause` is the instruction count at which something must happen
+  // (max_steps overrun, or an external-budget check every 1024). The slow
+  // path re-runs the exact checks in the tree walker's order.
+  u64 next_pause = 0;
+  const auto arm_pause = [&] {
+    next_pause = max_steps + 1;
+    if (xbudget != nullptr) {
+      const u64 next_budget = (instrs & ~static_cast<u64>(1023)) + 1024;
+      if (next_budget < next_pause) {
+        next_pause = next_budget;
+      }
+    }
+  };
+  arm_pause();
+
+  // Refresh cached pointers after anything that moves regs_/frames_.
+  auto reload = [&] {
+    frame = &frames_.back();
+    R = regs_.data() + frame->base;
+    SH = reg_shadows_.data() + frame->base;
+  };
+
+// Operand access: register window or bank.
+#define RVAL(r) ((r) >= 0 ? R[(r)] : bank[~(r)])
+#define RSH(r) ((r) >= 0 ? SH[(r)] : bank_sh[~(r)])
+#define WREG(d, v, s)               \
+  do {                              \
+    const BcReg wd_ = (d);          \
+    if (wd_ >= 0) {                 \
+      R[wd_] = (v);                 \
+      if (kShadow) {                \
+        SH[wd_] = (s);              \
+      }                             \
+    } else {                        \
+      bank[~wd_] = (v);             \
+      if (kShadow) {                \
+        bank_shadows_[~wd_] = (s);  \
+      }                             \
+    }                               \
+  } while (0)
+#define VM_TRAP(kind_, code_)                                                          \
+  do {                                                                                 \
+    result.status = RunResult::Status::kCrash;                                         \
+    result.crash = CrashSite{(kind_), frame->fn->func_index, insn->loc, (code_)};      \
+    stats_.instrs = instrs;                                                            \
+    result.stats = stats_;                                                             \
+    return result;                                                                     \
+  } while (0)
+
+// The fetch prelude replicates Interp's main-loop order exactly:
+// count the instruction, check max_steps, check the external budget every
+// 1024 instructions, then execute.
+#if RETRACE_VM_COMPUTED_GOTO
+  // Must match BcOp declaration order.
+  static const void* kLabels[] = {
+      &&L_kAssign, &&L_kBin, &&L_kUn,     &&L_kLoad,       &&L_kStore, &&L_kPtrAdd, &&L_kCall,
+      &&L_kCallBuiltin, &&L_kBrFast, &&L_kBrObserved, &&L_kJmp,   &&L_kRet,    &&L_kHalt};
+#define VM_DISPATCH()                                                                   \
+  do {                                                                                  \
+    insn = &code[pc];                                                                   \
+    ++instrs;                                                                           \
+    if (RETRACE_VM_UNLIKELY(instrs >= next_pause)) {                                    \
+      if (instrs > max_steps) goto budget_exhausted;                                    \
+      if (xbudget != nullptr && (instrs & 1023) == 0 && !xbudget->Consume(1024))        \
+        goto budget_exhausted;                                                          \
+      arm_pause();                                                                      \
+    }                                                                                   \
+    goto* kLabels[static_cast<int>(insn->op)];                                          \
+  } while (0)
+#define VM_CASE(name) L_##name:
+#define VM_NEXT VM_DISPATCH()
+  VM_DISPATCH();
+#else
+#define VM_CASE(name) case BcOp::name:
+#define VM_NEXT break
+  for (;;) {
+    insn = &code[pc];
+    ++instrs;
+    if (instrs >= next_pause) {
+      if (instrs > max_steps) {
+        goto budget_exhausted;
+      }
+      if (xbudget != nullptr && (instrs & 1023) == 0 && !xbudget->Consume(1024)) {
+        goto budget_exhausted;
+      }
+      arm_pause();
+    }
+    switch (insn->op) {
+#endif
+
+  VM_CASE(kAssign) {
+    Value v = RVAL(insn->a);
+    ExprRef s = kShadow ? RSH(insn->a) : kNoExpr;
+    if (insn->flags & kBcFlagChar) {
+      if (v.IsInt()) {
+        v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+        if (kShadow && s != kNoExpr) {
+          s = arena_->MkUn(ExprOp::kTruncChar, s);
+        }
+      }
+    }
+    WREG(insn->dst, v, s);
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kBin) {
+    const Value& a = RVAL(insn->a);
+    const Value& b = RVAL(insn->b);
+    const ExprOp bop = static_cast<ExprOp>(insn->sub);  // Resolved at compile time.
+    Value out;
+    ExprRef shadow = kNoExpr;
+    if (a.IsInt() && b.IsInt()) {
+      // Inline fast path for the dispatch-dominating ops; EvalBin stays
+      // the semantic reference for the rest (shifts mask, div truncates).
+      i64 r;
+      switch (bop) {
+        case ExprOp::kAdd: r = a.num + b.num; break;
+        case ExprOp::kSub: r = a.num - b.num; break;
+        case ExprOp::kLt: r = a.num < b.num ? 1 : 0; break;
+        case ExprOp::kLe: r = a.num <= b.num ? 1 : 0; break;
+        case ExprOp::kGt: r = a.num > b.num ? 1 : 0; break;
+        case ExprOp::kGe: r = a.num >= b.num ? 1 : 0; break;
+        case ExprOp::kEq: r = a.num == b.num ? 1 : 0; break;
+        case ExprOp::kNe: r = a.num != b.num ? 1 : 0; break;
+        default:
+          if ((bop == ExprOp::kDiv || bop == ExprOp::kRem) && b.num == 0) {
+            VM_TRAP(CrashSite::Kind::kDivByZero, 0);
+          }
+          r = ExprArena::EvalBin(bop, a.num, b.num);
+          break;
+      }
+      out = Value::Int(r);
+      if (kShadow) {
+        const ExprRef sa = RSH(insn->a);
+        const ExprRef sb = RSH(insn->b);
+        if (sa != kNoExpr || sb != kNoExpr) {
+          shadow = arena_->MkBin(bop, sa != kNoExpr ? sa : arena_->MkConst(a.num),
+                                 sb != kNoExpr ? sb : arena_->MkConst(b.num));
+        }
+      }
+    } else if (a.IsPtr() && b.IsPtr()) {
+      switch (bop) {
+        case ExprOp::kEq:
+          out = Value::Int(a == b ? 1 : 0);
+          break;
+        case ExprOp::kNe:
+          out = Value::Int(a == b ? 0 : 1);
+          break;
+        case ExprOp::kSub:
+        case ExprOp::kLt:
+        case ExprOp::kLe:
+        case ExprOp::kGt:
+        case ExprOp::kGe: {
+          if (a.obj != b.obj || a.gen != b.gen) {
+            VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+          }
+          if (bop == ExprOp::kSub) {
+            out = Value::Int(a.num - b.num);
+          } else {
+            out = Value::Int(ExprArena::EvalBin(bop, a.num, b.num));
+          }
+          break;
+        }
+        default:
+          VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+      }
+    } else {
+      // Mixed pointer/integer: only null comparisons are meaningful.
+      const Value& other = a.IsPtr() ? b : a;
+      if (bop == ExprOp::kEq) {
+        out = Value::Int(0);  // A live pointer never equals an integer.
+      } else if (bop == ExprOp::kNe) {
+        out = Value::Int(1);
+      } else if (other.num == 0 && (bop == ExprOp::kLt || bop == ExprOp::kLe ||
+                                    bop == ExprOp::kGt || bop == ExprOp::kGe)) {
+        // Relational against null: treat pointer as nonzero address.
+        const bool ptr_is_a = a.IsPtr();
+        const i64 av = ptr_is_a ? 1 : 0;
+        const i64 bv = ptr_is_a ? 0 : 1;
+        out = Value::Int(ExprArena::EvalBin(bop, av, bv));
+      } else {
+        VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+      }
+    }
+    WREG(insn->dst, out, shadow);
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kUn) {
+    const Value& a = RVAL(insn->a);
+    const ExprOp uop = static_cast<ExprOp>(insn->sub);  // Resolved at compile time.
+    Value out;
+    ExprRef shadow = kNoExpr;
+    if (uop == ExprOp::kLogicalNot) {
+      out = Value::Int(a.Truthy() ? 0 : 1);
+      if (kShadow && a.IsInt()) {
+        const ExprRef sa = RSH(insn->a);
+        if (sa != kNoExpr) {
+          shadow = arena_->MkUn(ExprOp::kLogicalNot, sa);
+        }
+      }
+    } else if (a.IsInt()) {
+      out = Value::Int(ExprArena::EvalUn(uop, a.num));
+      if (kShadow) {
+        const ExprRef sa = RSH(insn->a);
+        if (sa != kNoExpr) {
+          shadow = arena_->MkUn(uop, sa);
+        }
+      }
+    } else {
+      VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+    }
+    WREG(insn->dst, out, shadow);
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kLoad) {
+    const Value addr = RVAL(insn->a);
+    const Value index = RVAL(insn->b);
+    if (!index.IsInt()) {
+      VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+    }
+    CrashSite::Kind kind = CrashSite::Kind::kNone;
+    i32 obj;
+    i64 off;
+    if (!CheckMemAccessRt(objects_, addr, index.num, &kind, &obj, &off)) {
+      VM_TRAP(kind, 0);
+    }
+    const MemObject& m = objects_[obj];
+    WREG(insn->dst, m.cells[off], kShadow && !m.shadows.empty() ? m.shadows[off] : kNoExpr);
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kStore) {
+    const Value addr = RVAL(insn->a);
+    const Value index = RVAL(insn->b);
+    if (!index.IsInt()) {
+      VM_TRAP(CrashSite::Kind::kPtrDomain, 0);
+    }
+    CrashSite::Kind kind = CrashSite::Kind::kNone;
+    i32 obj;
+    i64 off;
+    if (!CheckMemAccessRt(objects_, addr, index.num, &kind, &obj, &off)) {
+      VM_TRAP(kind, 0);
+    }
+    Value v = RVAL(insn->c);
+    ExprRef shadow = kShadow ? RSH(insn->c) : kNoExpr;
+    MemObject& m = objects_[obj];
+    if (m.is_char && v.IsInt()) {
+      v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+      if (kShadow && shadow != kNoExpr) {
+        shadow = arena_->MkUn(ExprOp::kTruncChar, shadow);
+      }
+    }
+    m.cells[off] = v;
+    if (kShadow && !m.shadows.empty()) {
+      m.shadows[off] = shadow;
+    }
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kPtrAdd) {
+    const Value addr = RVAL(insn->a);
+    const Value delta = RVAL(insn->b);
+    if (!addr.IsPtr() || !delta.IsInt()) {
+      VM_TRAP(addr.IsPtr() ? CrashSite::Kind::kPtrDomain : CrashSite::Kind::kNullDeref, 0);
+    }
+    WREG(insn->dst, Value::Ptr(addr.obj, addr.gen, addr.num + delta.num), kNoExpr);
+    ++pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kCall) {
+    ++stats_.calls;
+    if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+      VM_TRAP(CrashSite::Kind::kStackOverflow, 0);
+    }
+    const BcFunction& callee = bc_.funcs[insn->aux];
+    const i32 callee_base = top_;
+    EnsureWindow(top_ + callee.num_regs);
+    reload();  // regs_ may have moved.
+    Value* CR = regs_.data() + callee_base;
+    ExprRef* CSH = reg_shadows_.data() + callee_base;
+    for (i32 i = 0; i < callee.num_slots; ++i) {
+      CR[i] = Value::Int(0);
+      if (kShadow) {
+        CSH[i] = kNoExpr;
+      }
+    }
+    const BcCallArg* cargs = bc_.call_args.data() + insn->args_begin;
+    for (i32 i = 0; i < insn->args_count; ++i) {
+      Value v = RVAL(cargs[i].reg);
+      ExprRef s = kShadow ? RSH(cargs[i].reg) : kNoExpr;
+      if (cargs[i].trunc_char && v.IsInt()) {
+        v = Value::Int(static_cast<i64>(static_cast<u8>(v.num)));
+        if (kShadow && s != kNoExpr) {
+          s = arena_->MkUn(ExprOp::kTruncChar, s);
+        }
+      }
+      CR[i] = v;
+      if (kShadow) {
+        CSH[i] = s;
+      }
+    }
+    for (size_t i = 0; i < callee.ir->frame_objects.size(); ++i) {
+      const FrameObjectInfo& info = callee.ir->frame_objects[i];
+      const i32 id = AllocObject(info.size, info.is_char);
+      CR[callee.num_slots + static_cast<i32>(i)] = Value::Ptr(id, objects_[id].gen, 0);
+      if (kShadow) {
+        CSH[callee.num_slots + static_cast<i32>(i)] = kNoExpr;
+      }
+    }
+    VmFrame next;
+    next.fn = &callee;
+    next.base = callee_base;
+    next.ret_pc = pc + 1;
+    next.ret_dst = insn->dst;
+    frames_.push_back(next);
+    top_ = callee_base + callee.num_regs;
+    reload();
+    pc = callee.entry_pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kCallBuiltin) {
+    ++stats_.calls;
+    ++stats_.syscalls;
+    const Builtin b = static_cast<Builtin>(insn->aux);
+    arg_scratch_.clear();
+    const BcCallArg* cargs = bc_.call_args.data() + insn->args_begin;
+    for (i32 i = 0; i < insn->args_count; ++i) {
+      arg_scratch_.push_back(RVAL(cargs[i].reg));
+    }
+    const BuiltinRtResult rt =
+        ExecBuiltinRt(b, arg_scratch_, /*want_ret=*/insn->dst != kBcNone, objects_,
+                      kShadow ? arena_ : nullptr, syscalls_);
+    if (rt.status == BuiltinRtResult::Status::kTrap) {
+      VM_TRAP(rt.trap_kind, rt.trap_code);
+    }
+    if (rt.status == BuiltinRtResult::Status::kExit) {
+      result.status = RunResult::Status::kExit;
+      result.exit_code = rt.exit_code;
+      stats_.instrs = instrs;
+      result.stats = stats_;
+      return result;
+    }
+    if (rt.status == BuiltinRtResult::Status::kOk) {
+      if (rt.has_ret) {
+        WREG(insn->dst, rt.ret, rt.ret_shadow);
+      }
+      ++pc;
+    }
+    // kStall: pc unchanged — the call re-executes while the step budget
+    // ticks, exactly like the tree walker.
+    VM_NEXT;
+  }
+
+  VM_CASE(kBrFast) {
+    const Value cond = RVAL(insn->a);
+    const bool taken = cond.Truthy();
+    ++stats_.branch_execs;
+    const ExprRef shadow = kShadow && cond.IsInt() ? RSH(insn->a) : kNoExpr;
+    bool abort_requested = false;
+    for (BranchObserver* obs : observers_) {
+      if (obs->OnBranchCompiled(insn->aux, taken, shadow, /*site_observed=*/false) ==
+          BranchObserver::Action::kAbort) {
+        abort_requested = true;
+      }
+    }
+    if (abort_requested) {
+      result.status = RunResult::Status::kAborted;
+      stats_.instrs = instrs;
+      result.stats = stats_;
+      return result;
+    }
+    pc = taken ? insn->b : insn->c;
+    VM_NEXT;
+  }
+
+  VM_CASE(kBrObserved) {
+    const Value cond = RVAL(insn->a);
+    const bool taken = cond.Truthy();
+    ++stats_.branch_execs;
+    const ExprRef shadow = kShadow && cond.IsInt() ? RSH(insn->a) : kNoExpr;
+    bool abort_requested = false;
+    for (BranchObserver* obs : observers_) {
+      if (obs->OnBranchCompiled(insn->aux, taken, shadow, /*site_observed=*/true) ==
+          BranchObserver::Action::kAbort) {
+        abort_requested = true;
+      }
+    }
+    if (abort_requested) {
+      result.status = RunResult::Status::kAborted;
+      stats_.instrs = instrs;
+      result.stats = stats_;
+      return result;
+    }
+    pc = taken ? insn->b : insn->c;
+    VM_NEXT;
+  }
+
+  VM_CASE(kJmp) {
+    pc = insn->b;
+    VM_NEXT;
+  }
+
+  VM_CASE(kRet) {
+    Value ret = Value::Int(0);
+    ExprRef ret_shadow = kNoExpr;
+    if (insn->a != kBcNone) {
+      ret = RVAL(insn->a);
+      if (kShadow) {
+        ret_shadow = RSH(insn->a);
+      }
+    }
+    const BcFunction* fn = frame->fn;
+    const i32 base = frame->base;
+    for (i32 i = fn->num_slots; i < fn->num_regs; ++i) {
+      FreeObject(regs_[base + i].obj);
+    }
+    const i32 ret_pc = frame->ret_pc;
+    const BcReg ret_dst = frame->ret_dst;
+    frames_.pop_back();
+    top_ = base;
+    if (frames_.empty()) {
+      result.status = RunResult::Status::kExit;
+      result.exit_code = ret.IsInt() ? ret.num : 0;
+      stats_.instrs = instrs;
+      result.stats = stats_;
+      return result;
+    }
+    reload();
+    if (ret_dst != kBcNone) {
+      // Call destinations are never char-typed (ret_dst_char is a dead
+      // feature in the tree walker), so no truncation here.
+      WREG(ret_dst, ret, ret_shadow);
+    }
+    pc = ret_pc;
+    VM_NEXT;
+  }
+
+  VM_CASE(kHalt) {
+    // The tree walker detects this at fetch time, before counting the
+    // instruction; undo the prelude's count to match its RunStats.
+    --instrs;
+    result.status = RunResult::Status::kError;
+    result.message = "fell off the end of a basic block";
+    stats_.instrs = instrs;
+    result.stats = stats_;
+    return result;
+  }
+
+#if !RETRACE_VM_COMPUTED_GOTO
+    }
+  }
+#endif
+
+budget_exhausted:
+  result.status = RunResult::Status::kBudget;
+  stats_.instrs = instrs;
+  result.stats = stats_;
+  return result;
+
+#undef RVAL
+#undef RSH
+#undef WREG
+#undef VM_TRAP
+#undef VM_CASE
+#undef VM_NEXT
+#if RETRACE_VM_COMPUTED_GOTO
+#undef VM_DISPATCH
+#endif
+}
+
+std::unique_ptr<ExecEngine> MakeExecEngine(ExecEngineKind kind, const IrModule& module,
+                                           InterpOptions options) {
+  if (ResolveExecEngineKind(kind) == ExecEngineKind::kBytecode) {
+    return std::make_unique<BytecodeVm>(module, options);
+  }
+  return std::make_unique<Interp>(module, options);
+}
+
+}  // namespace retrace

@@ -1,0 +1,94 @@
+// Bytecode VM: the performance implementation of the ExecEngine contract.
+//
+// Compiles the IR module once (src/exec/bytecode.h), then runs it with
+// direct-threaded dispatch (computed goto under GCC/Clang, a tight switch
+// elsewhere), a contiguous reusable register/shadow stack instead of
+// per-frame vectors, and pooled MemObject storage reset between runs.
+// Shadow tracking is a template parameter of the run loop, so the
+// shadow-off configuration carries no ExprRef work at all. Branch sites
+// are plan-specialized: SpecializePlan patches each site to kBrFast or
+// kBrObserved so observers receive the plan's answer as a compiled-in
+// hint (BranchObserver::OnBranchCompiled) instead of a per-branch bitset
+// lookup. Behavior is bit-identical to Interp by contract; the
+// differential suite (tests/exec_vm_test.cc) enforces it.
+#ifndef RETRACE_EXEC_VM_H_
+#define RETRACE_EXEC_VM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/bytecode.h"
+#include "src/exec/engine.h"
+#include "src/ir/ir.h"
+
+namespace retrace {
+
+class BytecodeVm : public ExecEngine {
+ public:
+  BytecodeVm(const IrModule& module, InterpOptions options);
+
+  void set_syscall_handler(SyscallHandler* handler) override { syscalls_ = handler; }
+  void AddObserver(BranchObserver* observer) override { observers_.push_back(observer); }
+  void ClearObservers() override { observers_.clear(); }
+  void set_shadow_arena(ExprArena* arena) override { arena_ = arena; }
+  void set_options(const InterpOptions& options) override { options_ = options; }
+  // Patches every branch site to kBrObserved (plan observes it) or
+  // kBrFast. O(branch sites) per call, so calling it before every run
+  // with the current plan is cheap. Null plan: no site is observed.
+  void SpecializePlan(const InstrumentationPlan* plan) override;
+
+  RunResult Run(const std::vector<std::string>& argv,
+                const std::vector<std::vector<i32>>& argv_cells) override;
+
+  using ExecEngine::Run;
+
+ private:
+  struct VmFrame {
+    const BcFunction* fn = nullptr;
+    i32 base = 0;          // Register window start in regs_.
+    i32 ret_pc = -1;       // Caller resume pc (-1 for main).
+    BcReg ret_dst = kBcNone;  // Caller register for the return value.
+  };
+
+  bool shadow_on() const { return arena_ != nullptr; }
+
+  i32 AllocObject(i64 size, bool is_char);
+  void FreeObject(i32 id);
+  void ResetObjectPool();
+  void EnsureWindow(i32 need);
+
+  template <bool kShadow>
+  RunResult RunLoop(i32 pc);
+
+  const IrModule& module_;
+  BcModule bc_;
+  InterpOptions options_;
+  SyscallHandler* syscalls_ = nullptr;
+  std::vector<BranchObserver*> observers_;
+  ExprArena* arena_ = nullptr;
+
+  // Operand bank: globals | static addresses | constants (bytecode.h).
+  // Constants are filled at construction; globals and static addresses
+  // are re-patched at the start of every run.
+  std::vector<Value> bank_;
+  std::vector<ExprRef> bank_shadows_;
+
+  // Pooled per-run state (reset, not reallocated, between runs).
+  std::vector<MemObject> objects_;
+  std::vector<i32> free_objects_;
+  std::vector<Value> regs_;
+  std::vector<ExprRef> reg_shadows_;
+  std::vector<VmFrame> frames_;
+  std::vector<Value> arg_scratch_;
+  i32 top_ = 0;
+  RunStats stats_;
+};
+
+// Constructs the engine `kind` resolves to (kDefault: RETRACE_EXEC_ENGINE).
+std::unique_ptr<ExecEngine> MakeExecEngine(ExecEngineKind kind, const IrModule& module,
+                                           InterpOptions options);
+
+}  // namespace retrace
+
+#endif  // RETRACE_EXEC_VM_H_

@@ -73,7 +73,17 @@ class ReplayObserver : public BranchObserver {
   }
 
   Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
-    const bool instrumented = plan_.Instrumented(branch_id);
+    return Step(branch_id, taken, cond_shadow, plan_.Instrumented(branch_id));
+  }
+
+  // The bytecode VM bakes plan membership into its branch dispatch and
+  // hands it over here, skipping the per-branch bitset lookup.
+  Action OnBranchCompiled(i32 branch_id, bool taken, ExprRef cond_shadow,
+                          bool site_observed) override {
+    return Step(branch_id, taken, cond_shadow, site_observed);
+  }
+
+  Action Step(i32 branch_id, bool taken, ExprRef cond_shadow, bool instrumented) {
     const bool symbolic = cond_shadow != kNoExpr;
     if (!instrumented) {
       if (symbolic) {
@@ -324,6 +334,7 @@ ReplayConfig ReplayConfig::FromEnv() {
   config.num_workers = static_cast<u32>(EnvKnobI64("RETRACE_REPLAY_WORKERS", 1, 1, 4096));
   config.num_shards = FirstShardCountFromEnv();
   config.pick = PickFromEnv();
+  config.engine = ExecEngineKindFromEnv();
   config.solver_cache = EnvKnobBool("RETRACE_SOLVER_CACHE", true);
   config.prune_subsumed = EnvKnobBool("RETRACE_REPLAY_PRUNE", false);
   config.transport = TransportFromEnv();
@@ -560,6 +571,8 @@ ReplayResult ReplayEngine::ReproduceSequential(const ReplayConfig& config) {
     run_config.replay_log = replay_log;
     run_config.max_steps = config.max_steps_per_run;
     run_config.external_budget = &budget;
+    run_config.engine = config.engine;
+    run_config.plan = &plan_;
     CellRunOutput out = runner.Run(run_config);
     ++result.stats.runs;
 
@@ -841,6 +854,8 @@ ReplayResult ReplayEngine::ReproduceParallel(const ReplayConfig& config, u32 num
       run_config.replay_log = replay_log;
       run_config.max_steps = config.max_steps_per_run;
       run_config.external_budget = &budget;
+      run_config.engine = config.engine;
+      run_config.plan = &plan_;
       CellRunOutput out = runner.Run(run_config);
       ++ws.runs;
 
@@ -1197,6 +1212,8 @@ ReplayEngine::HarvestOutput ReplayEngine::HarvestFrontier(const ReplayConfig& co
     run_config.replay_log = replay_log;
     run_config.max_steps = config.max_steps_per_run;
     run_config.external_budget = &budget;
+    run_config.engine = config.engine;
+    run_config.plan = &plan_;
     CellRunOutput run_out = runner.Run(run_config);
     ++result.stats.runs;
 

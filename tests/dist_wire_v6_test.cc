@@ -1,0 +1,83 @@
+// Wire v6 tests: the execution-engine byte riding the kJob config codec.
+// The coordinator resolves kDefault (RETRACE_EXEC_ENGINE) before encoding
+// so every shard runs the same engine regardless of its own environment;
+// a listening retrace_shardd must reject out-of-range engine values.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/dist/wire.h"
+
+namespace retrace {
+namespace {
+
+WireJob MinimalJob() {
+  WireJob job;
+  job.config.max_runs = 10;
+  job.config.program.app = "int main() { return 0; }";
+  return job;
+}
+
+std::vector<u8> EncodeJobPayload(const WireJob& job) {
+  WireWriter w;
+  EncodeJob(job, &w);
+  return w.buf();
+}
+
+TEST(DistWireV6Test, EngineKindRoundTripsThroughJob) {
+  for (const ExecEngineKind kind : {ExecEngineKind::kTree, ExecEngineKind::kBytecode}) {
+    WireJob job = MinimalJob();
+    job.config.engine = kind;
+    const std::vector<u8> payload = EncodeJobPayload(job);
+    WireReader r(payload.data(), payload.size());
+    WireJob decoded;
+    ASSERT_TRUE(DecodeJob(&r, &decoded));
+    EXPECT_EQ(decoded.config.engine, kind);
+    // Byte-exact: re-encoding the decoded job reproduces the stream.
+    EXPECT_EQ(EncodeJobPayload(decoded), payload);
+  }
+}
+
+TEST(DistWireV6Test, DefaultEngineResolvedBeforeEncode) {
+  // A kDefault config must never reach the wire: the coordinator's
+  // environment decides, and with the knob unset that means kTree.
+  unsetenv("RETRACE_EXEC_ENGINE");
+  WireJob job = MinimalJob();
+  job.config.engine = ExecEngineKind::kDefault;
+  const std::vector<u8> payload = EncodeJobPayload(job);
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_EQ(decoded.config.engine, ExecEngineKind::kTree);
+}
+
+TEST(DistWireV6Test, HostileEngineByteRejected) {
+  WireJob job = MinimalJob();
+  job.config.engine = ExecEngineKind::kBytecode;
+  std::vector<u8> payload = EncodeJobPayload(job);
+  // The engine byte is the last field of the config codec. With no corpus
+  // seeds the fields before it are fixed-size: 7xU64 + 2xU8 + U32 + U8 +
+  // U64 + U32 + 3xI32 + U8 + U32(corpus count) = 92 bytes.
+  constexpr size_t kEngineOffset = 92;
+  ASSERT_EQ(payload[kEngineOffset], static_cast<u8>(ExecEngineKind::kBytecode));
+  payload[kEngineOffset] = 7;  // No such engine.
+  WireReader r(payload.data(), payload.size());
+  WireJob decoded;
+  EXPECT_FALSE(DecodeJob(&r, &decoded));
+}
+
+TEST(DistWireV6Test, EngineByteTruncationRejected) {
+  // A config stream cut exactly before the engine byte must fail to
+  // decode, not silently default.
+  WireJob job = MinimalJob();
+  job.config.engine = ExecEngineKind::kTree;
+  const std::vector<u8> payload = EncodeJobPayload(job);
+  constexpr size_t kEngineOffset = 92;
+  WireReader r(payload.data(), kEngineOffset);
+  WireJob decoded;
+  EXPECT_FALSE(DecodeJob(&r, &decoded));
+}
+
+}  // namespace
+}  // namespace retrace

@@ -1,0 +1,417 @@
+// Differential parity suite: the bytecode VM against the tree-walking
+// interpreter. The two engines are contractually bit-identical (same
+// RunResult, observer sequence, shadow refs, crash sites, RunStats);
+// this file enforces the contract on randomized IR programs, on every
+// miniature scenario the experiments run, and across plan-specialized
+// and pooled-reuse paths.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/concolic/cellrun.h"
+#include "src/exec/interp.h"
+#include "src/exec/vm.h"
+#include "src/instrument/recorder.h"
+#include "src/support/rng.h"
+#include "src/workloads/scenarios.h"
+#include "src/workloads/workloads.h"
+#include "tests/testutil.h"
+
+namespace retrace {
+namespace {
+
+// Records the full observer-visible branch sequence. Both engines reach
+// OnBranch (the VM through the default OnBranchCompiled forwarding), so
+// identical sequences mean identical branch ids, directions, and shadow
+// expression refs in arena-construction order.
+class SeqObserver : public BranchObserver {
+ public:
+  Action OnBranch(i32 branch_id, bool taken, ExprRef cond_shadow) override {
+    ids.push_back(branch_id);
+    taken_bits.push_back(taken);
+    shadows.push_back(cond_shadow);
+    return Action::kContinue;
+  }
+
+  std::vector<i32> ids;
+  std::vector<bool> taken_bits;
+  std::vector<ExprRef> shadows;
+};
+
+struct Capture {
+  RunResult result;
+  std::vector<i32> ids;
+  std::vector<bool> taken_bits;
+  std::vector<ExprRef> shadows;
+  BitVec recorder_log;
+};
+
+// Runs `module` on a fresh engine of `kind`. Each capture gets its own
+// arena so shadow refs are comparable as raw integers (interning order
+// must match between engines).
+Capture RunEngine(ExecEngineKind kind, const IrModule& module,
+                  const std::vector<std::string>& argv,
+                  const std::vector<std::vector<i32>>& argv_cells, bool shadow,
+                  const InstrumentationPlan* plan = nullptr) {
+  InterpOptions options;
+  options.max_steps = 3'000'000;
+  std::unique_ptr<ExecEngine> engine = MakeExecEngine(kind, module, options);
+  SeqObserver seq;
+  engine->AddObserver(&seq);
+  InstrumentationPlan empty;
+  BranchTraceRecorder recorder(plan != nullptr ? *plan : empty);
+  if (plan != nullptr) {
+    engine->AddObserver(&recorder);
+    engine->SpecializePlan(plan);
+  }
+  ExprArena arena;
+  if (shadow) {
+    engine->set_shadow_arena(&arena);
+  }
+  Capture capture;
+  capture.result = engine->Run(argv, argv_cells);
+  capture.ids = std::move(seq.ids);
+  capture.taken_bits = std::move(seq.taken_bits);
+  capture.shadows = std::move(seq.shadows);
+  if (plan != nullptr) {
+    capture.recorder_log = recorder.TakeLog();
+  }
+  return capture;
+}
+
+void ExpectSameCapture(const Capture& tree, const Capture& vm, const std::string& label) {
+  EXPECT_EQ(static_cast<int>(tree.result.status), static_cast<int>(vm.result.status)) << label;
+  EXPECT_EQ(tree.result.exit_code, vm.result.exit_code) << label;
+  EXPECT_EQ(tree.result.message, vm.result.message) << label;
+  EXPECT_TRUE(tree.result.crash.SameSite(vm.result.crash)) << label;
+  EXPECT_EQ(tree.result.crash.code, vm.result.crash.code) << label;
+  EXPECT_EQ(tree.result.stats.instrs, vm.result.stats.instrs) << label;
+  EXPECT_EQ(tree.result.stats.branch_execs, vm.result.stats.branch_execs) << label;
+  EXPECT_EQ(tree.result.stats.calls, vm.result.stats.calls) << label;
+  EXPECT_EQ(tree.result.stats.syscalls, vm.result.stats.syscalls) << label;
+  EXPECT_EQ(tree.ids, vm.ids) << label;
+  EXPECT_EQ(tree.taken_bits, vm.taken_bits) << label;
+  EXPECT_EQ(tree.shadows, vm.shadows) << label;
+  EXPECT_EQ(tree.recorder_log, vm.recorder_log) << label;
+}
+
+// ----- Randomized IR programs -----
+//
+// A fixed skeleton with randomized expressions, branch structure, loops,
+// array traffic and helper calls. Deliberately allowed to divide by zero
+// or index out of bounds: crash parity is part of the contract.
+
+std::string GenExpr(Rng& rng, int depth, const std::vector<std::string>& vars) {
+  if (depth <= 0 || rng.NextBelow(3) == 0) {
+    if (!vars.empty() && rng.NextBelow(2) == 0) {
+      return vars[rng.NextBelow(vars.size())];
+    }
+    return std::to_string(static_cast<i64>(rng.NextBelow(40)) - 6);
+  }
+  static const char* kOps[] = {"+", "-", "*", "/",  "%",  "<",  "<=", ">",  ">=",
+                               "==", "!=", "&", "|", "^",  "<<", ">>", "&&", "||"};
+  static const char* kUn[] = {"-", "~", "!"};
+  if (rng.NextBelow(5) == 0) {
+    // The space keeps "-(-3)" from lexing as the "--" operator.
+    return std::string("(") + kUn[rng.NextBelow(3)] + " " + GenExpr(rng, depth - 1, vars) + ")";
+  }
+  return "(" + GenExpr(rng, depth - 1, vars) + " " + kOps[rng.NextBelow(18)] + " " +
+         GenExpr(rng, depth - 1, vars) + ")";
+}
+
+void GenStmts(Rng& rng, int depth, int count, std::vector<std::string>* vars, int* next_var,
+              std::ostringstream* os, const std::string& indent) {
+  for (int s = 0; s < count; ++s) {
+    switch (rng.NextBelow(depth > 0 ? 8 : 6)) {
+      case 0: {  // New local.
+        std::string name = "v" + std::to_string((*next_var)++);
+        *os << indent << "int " << name << " = " << GenExpr(rng, 2, *vars) << ";\n";
+        vars->push_back(name);
+        break;
+      }
+      case 1:  // Assignment.
+        *os << indent << (*vars)[rng.NextBelow(vars->size())] << " = "
+            << GenExpr(rng, 3, *vars) << ";\n";
+        break;
+      case 2: {  // Array store; mostly masked in-bounds, sometimes not.
+        const bool masked = rng.NextBelow(8) != 0;
+        *os << indent << "arr[" << (masked ? "(" : "") << GenExpr(rng, 2, *vars)
+            << (masked ? ") & 7" : "") << "] = " << GenExpr(rng, 2, *vars) << ";\n";
+        break;
+      }
+      case 3:  // Array load.
+        *os << indent << (*vars)[rng.NextBelow(vars->size())] << " = arr[("
+            << GenExpr(rng, 2, *vars) << ") & 7];\n";
+        break;
+      case 4:  // Helper call (char param truncation rides along).
+        *os << indent << (*vars)[rng.NextBelow(vars->size())] << " = helper("
+            << GenExpr(rng, 2, *vars) << ", " << GenExpr(rng, 2, *vars) << ");\n";
+        break;
+      case 5:  // argv byte; index 8 is the NUL, 9 is out of bounds.
+        *os << indent << (*vars)[rng.NextBelow(vars->size())] << " = argv[1]["
+            << rng.NextBelow(10) << "];\n";
+        break;
+      case 6: {  // Branch. Inner declarations are block-scoped: each arm
+        // works on a scoped COPY of the variable list.
+        *os << indent << "if (" << GenExpr(rng, 3, *vars) << ") {\n";
+        std::vector<std::string> then_vars = *vars;
+        GenStmts(rng, depth - 1, 1 + static_cast<int>(rng.NextBelow(3)), &then_vars, next_var,
+                 os, indent + "  ");
+        *os << indent << "} else {\n";
+        std::vector<std::string> else_vars = *vars;
+        GenStmts(rng, depth - 1, 1 + static_cast<int>(rng.NextBelow(2)), &else_vars, next_var,
+                 os, indent + "  ");
+        *os << indent << "}\n";
+        break;
+      }
+      default: {  // Bounded loop over a dedicated counter.
+        std::string counter = "c" + std::to_string((*next_var)++);
+        *os << indent << "int " << counter << " = " << (1 + rng.NextBelow(12)) << ";\n";
+        *os << indent << "while (" << counter << " > 0) {\n";
+        *os << indent << "  " << counter << " = " << counter << " - 1;\n";
+        std::vector<std::string> body_vars = *vars;
+        body_vars.push_back(counter);
+        GenStmts(rng, depth - 1, 1 + static_cast<int>(rng.NextBelow(2)), &body_vars, next_var,
+                 os, indent + "  ");
+        *os << indent << "}\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string GenProgram(Rng& rng) {
+  std::ostringstream os;
+  os << "int helper(char a, int b) { if (a > b) { return a - b; } return a + b * 2; }\n";
+  os << "int main(int argc, char **argv) {\n";
+  os << "  int arr[8];\n";
+  os << "  for (int z = 0; z < 8; z = z + 1) { arr[z] = z * 3; }\n";
+  std::vector<std::string> vars = {"argc"};
+  int next_var = 0;
+  GenStmts(rng, 2, 6 + static_cast<int>(rng.NextBelow(8)), &vars, &next_var, &os, "  ");
+  os << "  return " << GenExpr(rng, 3, vars) << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+class RandomProgramParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramParity, BitIdentical) {
+  Rng rng(GetParam() * 2654435761u + 17);
+  const std::string src = GenProgram(rng);
+  SCOPED_TRACE(src);
+  Compiled c = CompileOrDie(src);
+  ASSERT_NE(c.module, nullptr);
+
+  const std::vector<std::string> argv = {"prog", "AbC19xyz"};
+  // Cells backing argv[1]'s bytes: symbolic argv in shadow mode.
+  std::vector<std::vector<i32>> argv_cells(2);
+  for (i32 i = 0; i < 8; ++i) {
+    argv_cells[1].push_back(i);
+  }
+  for (const bool shadow : {false, true}) {
+    const Capture tree =
+        RunEngine(ExecEngineKind::kTree, *c.module, argv, argv_cells, shadow);
+    const Capture vm =
+        RunEngine(ExecEngineKind::kBytecode, *c.module, argv, argv_cells, shadow);
+    ExpectSameCapture(tree, vm, shadow ? "shadow" : "concrete");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramParity, ::testing::Range(1, 25));
+
+// ----- Plan-specialized dispatch -----
+
+TEST(ExecVmTest, PlanSpecializedRecorderParity) {
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      int s = 0;
+      for (int i = 0; i < 6; i = i + 1) {
+        if (argv[1][0] == 'a') { s = s + 1; }
+        if (i % 2 == 0) { s = s + 2; }
+        while (s > 100) { s = s - 7; }
+      }
+      return s;
+    }
+  )");
+  ASSERT_NE(c.module, nullptr);
+  const size_t n = c.module->branches.size();
+  ASSERT_GT(n, 2u);
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    InstrumentationPlan plan;
+    plan.branches = DenseBitset(n);
+    for (size_t b = 0; b < n; ++b) {
+      if (rng.NextBelow(2) == 0) {
+        plan.branches.Set(b);
+      }
+    }
+    const std::vector<std::string> argv = {"prog", trial % 2 == 0 ? "abc" : "xyz"};
+    const Capture tree =
+        RunEngine(ExecEngineKind::kTree, *c.module, argv, {}, false, &plan);
+    const Capture vm =
+        RunEngine(ExecEngineKind::kBytecode, *c.module, argv, {}, false, &plan);
+    ExpectSameCapture(tree, vm, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(ExecVmTest, RespecializationTracksPlanMutation) {
+  // Adaptive refinement mutates the plan in place between runs; the VM
+  // must re-bake branch opcodes on every SpecializePlan call.
+  Compiled c = CompileOrDie(R"(
+    int main(int argc, char **argv) {
+      int s = 0;
+      for (int i = 0; i < 5; i = i + 1) { if (i < 3) { s = s + i; } }
+      return s;
+    }
+  )");
+  ASSERT_NE(c.module, nullptr);
+  const size_t n = c.module->branches.size();
+  BytecodeVm vm(*c.module, InterpOptions{});
+  InstrumentationPlan plan;
+  plan.branches = DenseBitset(n);
+
+  InstrumentedExecCounter none_counter(plan);
+  vm.AddObserver(&none_counter);
+  vm.SpecializePlan(&plan);
+  ASSERT_EQ(vm.Run({"prog", "x"}, {}).status, RunResult::Status::kExit);
+  EXPECT_EQ(none_counter.count(), 0u);
+
+  for (size_t b = 0; b < n; ++b) {
+    plan.branches.Set(b);  // In-place mutation, same plan object.
+  }
+  vm.ClearObservers();
+  InstrumentedExecCounter all_counter(plan);
+  vm.AddObserver(&all_counter);
+  vm.SpecializePlan(&plan);
+  const RunResult r = vm.Run({"prog", "x"}, {});
+  ASSERT_EQ(r.status, RunResult::Status::kExit);
+  EXPECT_EQ(all_counter.count(), r.stats.branch_execs);
+}
+
+// ----- Pooled reuse -----
+
+TEST(ExecVmTest, PooledEngineRunsAreReproducible) {
+  // The same engine instance re-run must be indistinguishable from a
+  // fresh engine: object-pool generations never leak into results.
+  Compiled c = CompileOrDie(R"(
+    int leaf(int n) { int buf[4]; buf[n & 3] = n; return buf[n & 3] * 2; }
+    int main(int argc, char **argv) {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) { s = s + leaf(i + argv[1][0]); }
+      return s % 251;
+    }
+  )");
+  ASSERT_NE(c.module, nullptr);
+  for (const ExecEngineKind kind : {ExecEngineKind::kTree, ExecEngineKind::kBytecode}) {
+    InterpOptions options;
+    std::unique_ptr<ExecEngine> engine = MakeExecEngine(kind, *c.module, options);
+    const RunResult first = engine->Run({"prog", "k"}, {});
+    const RunResult again = engine->Run({"prog", "k"}, {});
+    const RunResult other = engine->Run({"prog", "Q"}, {});
+    const RunResult back = engine->Run({"prog", "k"}, {});
+    EXPECT_EQ(first.exit_code, again.exit_code);
+    EXPECT_EQ(first.exit_code, back.exit_code);
+    EXPECT_EQ(first.stats.instrs, again.stats.instrs);
+    EXPECT_EQ(first.stats.instrs, back.stats.instrs);
+    EXPECT_NE(first.exit_code, other.exit_code);
+  }
+}
+
+// ----- Scenario parity through the cell runner -----
+
+struct ScenarioCase {
+  std::string name;
+  WorkloadSources sources;
+  InputSpec spec;
+  std::shared_ptr<NondetPolicy> policy;
+};
+
+std::vector<ScenarioCase> AllScenarioCases() {
+  std::vector<ScenarioCase> cases;
+  cases.push_back({"listing1", Listing1Workload(), Listing1Spec('a'), nullptr});
+  cases.push_back({"loop_micro", LoopMicroWorkload(), LoopMicroSpec(500), nullptr});
+  for (const std::string tool : {"mkdir", "mknod", "mkfifo", "paste"}) {
+    Scenario bug = CoreutilsBugScenario(tool);
+    cases.push_back({"bug_" + tool, GetWorkload(tool), bug.spec, bug.policy});
+    Scenario benign = CoreutilsBenignScenario(tool);
+    cases.push_back({"benign_" + tool, GetWorkload(tool), benign.spec, benign.policy});
+  }
+  for (int exp = 1; exp <= 5; ++exp) {
+    Scenario s = UserverScenario(exp);
+    cases.push_back({"userver_" + std::to_string(exp), UserverWorkload(), s.spec, s.policy});
+  }
+  for (int exp = 1; exp <= 2; ++exp) {
+    Scenario s = DiffScenario(exp);
+    cases.push_back({"diff_" + std::to_string(exp), DiffWorkload(), s.spec, s.policy});
+  }
+  return cases;
+}
+
+TEST(ExecVmTest, ScenariosBitIdenticalAcrossEngines) {
+  for (const ScenarioCase& sc : AllScenarioCases()) {
+    SCOPED_TRACE(sc.name);
+    Compiled c = CompileOrDie(sc.sources.app, sc.sources.libs);
+    ASSERT_NE(c.module, nullptr);
+    InstrumentationPlan plan;
+    plan.branches = DenseBitset(c.module->branches.size());
+    for (size_t b = 0; b < c.module->branches.size(); ++b) {
+      plan.branches.Set(b);
+    }
+    CellRunner runner(*c.module, sc.spec);
+    Capture captures[2];
+    CellRunOutput outputs[2];
+    const ExecEngineKind kinds[2] = {ExecEngineKind::kTree, ExecEngineKind::kBytecode};
+    for (int e = 0; e < 2; ++e) {
+      ExprArena arena;
+      SeqObserver seq;
+      BranchTraceRecorder recorder(plan);
+      CellRunConfig config;
+      config.policy = sc.policy.get();
+      config.arena = &arena;
+      config.observers = {&seq, &recorder};
+      config.plan = &plan;
+      config.engine = kinds[e];
+      outputs[e] = runner.Run(config);
+      captures[e].result = outputs[e].result;
+      captures[e].ids = std::move(seq.ids);
+      captures[e].taken_bits = std::move(seq.taken_bits);
+      captures[e].shadows = std::move(seq.shadows);
+      captures[e].recorder_log = recorder.TakeLog();
+    }
+    ExpectSameCapture(captures[0], captures[1], sc.name);
+    EXPECT_EQ(outputs[0].cells, outputs[1].cells) << sc.name;
+    EXPECT_EQ(outputs[0].stdout_text, outputs[1].stdout_text) << sc.name;
+    EXPECT_EQ(outputs[0].domains.size(), outputs[1].domains.size()) << sc.name;
+    EXPECT_EQ(outputs[0].dyn_trace.size(), outputs[1].dyn_trace.size()) << sc.name;
+  }
+}
+
+// ----- Environment knob -----
+
+TEST(ExecVmDeathTest, HostileEngineEnvExitsLoudly) {
+  EXPECT_EXIT(
+      {
+        setenv("RETRACE_EXEC_ENGINE", "jit", 1);
+        ExecEngineKindFromEnv();
+      },
+      ::testing::ExitedWithCode(2), "invalid value 'jit'");
+}
+
+TEST(ExecVmTest, EngineEnvParsesStrictly) {
+  setenv("RETRACE_EXEC_ENGINE", "bytecode", 1);
+  EXPECT_EQ(ExecEngineKindFromEnv(), ExecEngineKind::kBytecode);
+  setenv("RETRACE_EXEC_ENGINE", "tree", 1);
+  EXPECT_EQ(ExecEngineKindFromEnv(), ExecEngineKind::kTree);
+  unsetenv("RETRACE_EXEC_ENGINE");
+  EXPECT_EQ(ExecEngineKindFromEnv(), ExecEngineKind::kTree);
+  EXPECT_EQ(ResolveExecEngineKind(ExecEngineKind::kBytecode), ExecEngineKind::kBytecode);
+  EXPECT_EQ(ResolveExecEngineKind(ExecEngineKind::kDefault), ExecEngineKind::kTree);
+}
+
+}  // namespace
+}  // namespace retrace
