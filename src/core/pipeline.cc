@@ -240,6 +240,18 @@ Result<ReplayResult> Pipeline::Reproduce(const BugReport& report,
   return engine.Reproduce(config);
 }
 
+Result<std::unique_ptr<ReplayService>> Pipeline::MakeService(const InstrumentationPlan& plan,
+                                                             ServiceConfig config) {
+  if (!PlanMatches(plan)) {
+    return PlanMismatch(plan);
+  }
+  // The fleet ships the whole job to whoever joins; shards rebuild the
+  // module from these sources (same contract as the TCP transport).
+  config.replay.program.app = app_source_;
+  config.replay.program.libs = lib_sources_;
+  return std::make_unique<ReplayService>(*module_, plan, std::move(config));
+}
+
 Result<Pipeline::AdaptiveResult> Pipeline::ReproduceAdaptive(const BugReport& report,
                                                              const InstrumentationPlan& plan,
                                                              const AdaptiveConfig& config) {

@@ -38,6 +38,7 @@
 #include "src/ir/ir.h"
 #include "src/lang/sema.h"
 #include "src/replay/replay_engine.h"
+#include "src/service/service.h"
 
 namespace retrace {
 
@@ -168,6 +169,19 @@ class Pipeline {
   Result<AdaptiveResult> ReproduceAdaptive(const BugReport& report,
                                            const InstrumentationPlan& plan,
                                            const AdaptiveConfig& config);
+
+  // ----- Replay-as-a-service: resident, multi-tenant -----
+  // Builds a ReplayService bound to this pipeline's module: incoming
+  // reports cluster by crash fingerprint, one search runs per cluster
+  // (on a standing shard fleet when config.replay.num_shards > 1), and
+  // duplicates get the cached verdict. Fills config.replay.program from
+  // this pipeline's sources, like Reproduce does for TCP shards. The
+  // caller still drives the lifecycle: Start() the returned service
+  // before submitting (from a single-threaded context when the fleet
+  // self-spawns — it forks). Reproduce() is unchanged; a service is
+  // additive. Errors on a plan/module branch-count mismatch.
+  Result<std::unique_ptr<ReplayService>> MakeService(const InstrumentationPlan& plan,
+                                                     ServiceConfig config);
 
   // Replay worker count that saturates this host; the resolution applied
   // to ReplayConfig::num_workers == 0.

@@ -39,13 +39,15 @@ i64 NowMs() {
 }
 
 struct ShardProc {
-  std::unique_ptr<WireChannel> chan;
+  WireChannel* chan = nullptr;  // Fleet-owned; nulled before FinishJob.
   bool done = false;
   bool have_result = false;
   bool lost = false;           // Died, hung or broke before delivering kResult.
   u64 heartbeats_missed = 0;   // 1 when the heartbeat deadline declared it dead.
   u64 recovered_from = 0;      // Pendings re-injected after this shard's death.
   i64 last_heard_ms = 0;       // Any received frame counts as liveness.
+  u64 wire_tx = 0;             // Channel byte counters, snapshotted at job
+  u64 wire_rx = 0;             // end (the channel may not outlive the job).
   WireShardResult res;
 };
 
@@ -102,18 +104,88 @@ std::unique_ptr<Transport> MakeTransport(const IrModule& module, const Instrumen
     job.report = report;
     WireWriter w;
     EncodeJob(job, &w);
+    TcpTransportOptions options;
+    options.token = config.shard_token;
     return std::make_unique<TcpTransport>(
         config.tcp_listen, config.shard_endpoints, w.Take(),
-        [](const std::string& endpoint) {
+        [token = config.shard_token](const std::string& endpoint) {
           const int fd = TcpConnect(endpoint);
-          return fd >= 0 && ServeShardJob(fd, "loopback-selfspawn") == ShardRunStatus::kOk;
-        });
+          return fd >= 0 &&
+                 ServeShardJob(fd, "loopback-selfspawn", 0, token) == ShardRunStatus::kOk;
+        },
+        std::move(options));
   }
   return std::make_unique<LocalForkTransport>([&module, &plan, &report, shard_cfg](
                                                   u32 slot, int fd) {
     return RunShard(module, plan, report, shard_cfg, slot, fd);
   });
 }
+
+// The historical process tree behind the JobFleet seam: the transport is
+// created when the job attaches and torn down when it finishes, so
+// ReproduceDistributed keeps its exact pre-service behavior (fork or
+// TCP handshake per search, fault injection wrap included).
+class OneShotJobFleet final : public JobFleet {
+ public:
+  OneShotJobFleet(const IrModule& module, const ReplayConfig& config, FaultSpec fault_spec,
+                  u32 num_shards)
+      : module_(module),
+        config_(config),
+        fault_spec_(std::move(fault_spec)),
+        num_shards_(num_shards) {}
+
+  u32 num_shards() const override { return num_shards_; }
+
+  std::vector<WireChannel*> AttachJob(const ReplayConfig& shard_cfg,
+                                      const InstrumentationPlan& plan,
+                                      const BugReport& report) override {
+    transport_ = MakeTransport(module_, plan, report, shard_cfg, config_);
+    if (!fault_spec_.empty()) {
+      std::fprintf(stderr, "[dist] fault injection armed: %s\n", config_.fault_spec.c_str());
+      transport_ = std::make_unique<FaultInjectingTransport>(std::move(transport_),
+                                                             std::move(fault_spec_), config_.seed);
+    }
+    channels_ = transport_->Start(num_shards_);
+    std::vector<WireChannel*> out(num_shards_, nullptr);
+    for (u32 s = 0; s < num_shards_ && s < channels_.size(); ++s) {
+      out[s] = channels_[s].get();
+    }
+    return out;
+  }
+
+  void KillAll() override {
+    if (transport_ != nullptr) {
+      transport_->Kill();
+    }
+  }
+
+  void FinishJob(const std::vector<bool>& lost) override {
+    if (transport_ == nullptr) {
+      return;
+    }
+    // A lost shard may be a live-but-wedged child that will never exit
+    // on its own; SIGKILL up front so Reap's bounded grace is a
+    // backstop, not a stall.
+    bool any_lost = false;
+    for (const bool flag : lost) {
+      any_lost = any_lost || flag;
+    }
+    if (any_lost) {
+      transport_->Kill();
+    }
+    transport_->Reap();
+    channels_.clear();
+    transport_.reset();
+  }
+
+ private:
+  const IrModule& module_;
+  const ReplayConfig& config_;
+  FaultSpec fault_spec_;  // Moved into the wrap on the first attach.
+  u32 num_shards_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<WireChannel>> channels_;
+};
 
 }  // namespace
 
@@ -132,11 +204,6 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
                  "(Pipeline::Reproduce fills them); using fork transport instead\n");
     config.transport = ReplayTransport::kFork;
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  auto elapsed_seconds = [&t0] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  };
-  const u32 num_shards = std::clamp(config.num_shards, 2u, kMaxShards);
 
   // Parse the fault schedule before any work is spent: like every other
   // knob, garbage must fail loudly up front, not after the scout ran.
@@ -149,6 +216,20 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       std::exit(2);
     }
   }
+
+  const u32 num_shards = std::clamp(config.num_shards, 2u, kMaxShards);
+  OneShotJobFleet fleet(module, config, std::move(fault_spec), num_shards);
+  return RunDistributedJob(module, plan, report, config, &fleet);
+}
+
+ReplayResult RunDistributedJob(const IrModule& module, const InstrumentationPlan& plan,
+                               const BugReport& report, const ReplayConfig& config,
+                               JobFleet* fleet) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed_seconds = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  const u32 num_shards = std::max<u32>(1, fleet->num_shards());
 
   // ----- 1. Scout: grow (or finish) the frontier in-process. -----
   ExprArena arena;
@@ -218,18 +299,13 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
         std::max<i64>(1, config.wall_ms - static_cast<i64>(elapsed_seconds() * 1000.0));
   }
 
-  // ----- 3. Spawn/connect the shard fleet (transport-agnostic). -----
-  std::unique_ptr<Transport> transport = MakeTransport(module, plan, report, shard_cfg, config);
-  if (!fault_spec.empty()) {
-    std::fprintf(stderr, "[dist] fault injection armed: %s\n", config.fault_spec.c_str());
-    transport = std::make_unique<FaultInjectingTransport>(std::move(transport),
-                                                          std::move(fault_spec), config.seed);
-  }
-  std::vector<std::unique_ptr<WireChannel>> channels = transport->Start(num_shards);
+  // ----- 3. Attach the job to the shard fleet (fleet-agnostic). -----
+  std::vector<WireChannel*> channels = fleet->AttachJob(shard_cfg, plan, report);
+  channels.resize(num_shards, nullptr);
   std::vector<ShardProc> procs(num_shards);
   for (u32 s = 0; s < num_shards; ++s) {
     if (channels[s] != nullptr) {
-      procs[s].chan = std::move(channels[s]);
+      procs[s].chan = channels[s];
     } else {
       procs[s].done = true;
     }
@@ -246,7 +322,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
   }
   if (live.empty()) {
     // The whole fleet failed to spawn: the scout's result is all we have.
-    transport->Reap();
+    fleet->FinishJob(std::vector<bool>(num_shards, false));
     result.budget_exhausted = !result.reproduced;
     result.wall_seconds = elapsed_seconds();
     return result;
@@ -673,7 +749,7 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       break;
     }
     if (kill_after_ms > 0 && elapsed_seconds() * 1000.0 > static_cast<double>(kill_after_ms)) {
-      transport->Kill();
+      fleet->KillAll();
       for (ShardProc& proc : procs) {
         if (!proc.done && proc.chan != nullptr) {
           proc.lost = true;  // Wall-overrun stragglers, killed unheard.
@@ -683,17 +759,20 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
       break;
     }
   }
-  // A lost shard may be a live-but-wedged child that will never exit on
-  // its own; SIGKILL up front so Reap's bounded grace is a backstop,
-  // not a stall.
-  bool any_lost = false;
-  for (const ShardProc& proc : procs) {
-    any_lost = any_lost || proc.lost;
+  // Return the channels to the fleet: snapshot the byte counters first
+  // (a one-shot fleet destroys the channels; a standing fleet keeps the
+  // survivors for the next job) and tell it which slots broke so it can
+  // kill/retire them.
+  std::vector<bool> lost_slots(num_shards, false);
+  for (u32 s = 0; s < num_shards; ++s) {
+    lost_slots[s] = procs[s].lost;
+    if (procs[s].chan != nullptr) {
+      procs[s].wire_tx = procs[s].chan->tx_bytes();
+      procs[s].wire_rx = procs[s].chan->rx_bytes();
+      procs[s].chan = nullptr;
+    }
   }
-  if (any_lost) {
-    transport->Kill();
-  }
-  transport->Reap();
+  fleet->FinishJob(lost_slots);
 
   // ----- 5. Shard-aware aggregation. -----
   for (u32 s = 0; s < num_shards; ++s) {
@@ -713,12 +792,10 @@ ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationP
     }
     result.stats.pendings_recovered += proc.recovered_from;
     result.stats.heartbeats_missed += proc.heartbeats_missed;
-    if (proc.chan != nullptr) {
-      shard_stats.wire_bytes_tx = proc.chan->tx_bytes();
-      shard_stats.wire_bytes_rx = proc.chan->rx_bytes();
-      result.stats.wire_bytes_tx += shard_stats.wire_bytes_tx;
-      result.stats.wire_bytes_rx += shard_stats.wire_bytes_rx;
-    }
+    shard_stats.wire_bytes_tx = proc.wire_tx;
+    shard_stats.wire_bytes_rx = proc.wire_rx;
+    result.stats.wire_bytes_tx += shard_stats.wire_bytes_tx;
+    result.stats.wire_bytes_rx += shard_stats.wire_bytes_rx;
     if (proc.have_result) {
       const ReplayStats& ss = proc.res.result.stats;
       shard_stats.reproduced = proc.res.result.reproduced;

@@ -21,9 +21,51 @@
 #ifndef RETRACE_DIST_COORDINATOR_H_
 #define RETRACE_DIST_COORDINATOR_H_
 
+#include <vector>
+
+#include "src/dist/wire.h"
 #include "src/replay/replay_engine.h"
 
 namespace retrace {
+
+/// \brief Where the shard processes for one distributed search come
+/// from — the seam that lets the per-job scheduler core run against
+/// either a freshly forked process tree (the historical one-shot path)
+/// or a standing fleet that outlives any single search (ShardFleet in
+/// src/dist/fleet.h, used by the replay service).
+///
+/// Per-job protocol, driven by RunDistributedJob:
+///   1. AttachJob() hands back one channel per slot (null = that slot is
+///      unavailable; the scheduler re-deals its frontier partition).
+///   2. The scheduler runs the search over those channels.
+///   3. FinishJob() reports which slots broke mid-job so the fleet can
+///      retire them; one-shot fleets tear the whole process tree down
+///      here. KillAll() may fire first on a wall-budget overrun.
+///
+/// The returned channels stay owned by the fleet — the scheduler must
+/// not hold them past FinishJob().
+class JobFleet {
+ public:
+  virtual ~JobFleet() = default;
+
+  /// Number of shard slots AttachJob will return. Stable for the
+  /// fleet's lifetime (dead slots return null rather than shrinking the
+  /// vector, so shard ids stay dense and stable).
+  virtual u32 num_shards() const = 0;
+
+  /// Makes every live slot ready to run `plan`/`report` under
+  /// `shard_cfg` and returns its channel, null per unavailable slot.
+  virtual std::vector<WireChannel*> AttachJob(const ReplayConfig& shard_cfg,
+                                              const InstrumentationPlan& plan,
+                                              const BugReport& report) = 0;
+
+  /// Hard-stops every shard (wall-budget overrun past the kill grace).
+  virtual void KillAll() = 0;
+
+  /// Ends the job. `lost[s]` marks slots that died, wedged or broke
+  /// mid-search — a standing fleet retires those and keeps the rest.
+  virtual void FinishJob(const std::vector<bool>& lost) = 0;
+};
 
 /// \brief Multi-process reproduction entry point.
 ///
@@ -34,6 +76,19 @@ namespace retrace {
 /// reentrant; one distributed search per process at a time.
 ReplayResult ReproduceDistributed(const IrModule& module, const InstrumentationPlan& plan,
                                   const BugReport& report, const ReplayConfig& config);
+
+/// \brief Per-job scheduler core: scout, partition, seed, relay,
+/// aggregate — against whatever fleet is passed in.
+///
+/// ReproduceDistributed is exactly this over a one-shot fork/TCP fleet;
+/// the replay service calls it repeatedly against a standing ShardFleet
+/// so consecutive reports reuse live shard processes (and their warm
+/// slice caches). `config` must already be usable as-is: transport
+/// fallbacks resolved and fault specs parsed by the caller. Runs the
+/// scout (and any fallback search) on the calling thread.
+ReplayResult RunDistributedJob(const IrModule& module, const InstrumentationPlan& plan,
+                               const BugReport& report, const ReplayConfig& config,
+                               JobFleet* fleet);
 
 }  // namespace retrace
 

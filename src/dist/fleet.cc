@@ -1,0 +1,129 @@
+#include "src/dist/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/dist/shard.h"
+#include "src/dist/wire.h"
+
+namespace retrace {
+namespace {
+
+// Mirrors the coordinator's per-search backstop: a standing fleet has
+// no business being wider than the widest search it can serve.
+constexpr u32 kMaxFleetShards = 64;
+
+}  // namespace
+
+ShardFleet::ShardFleet(const ReplayConfig& config)
+    : config_(config), num_shards_(std::clamp(config.num_shards, 1u, kMaxFleetShards)) {}
+
+ShardFleet::~ShardFleet() { Shutdown(); }
+
+bool ShardFleet::Start() {
+  if (started_) {
+    return live_shards() > 0;
+  }
+  TcpTransportOptions options;
+  options.token = config_.shard_token;
+  options.persistent = true;
+  transport_ = std::make_unique<TcpTransport>(
+      config_.tcp_listen, config_.shard_endpoints, std::vector<u8>{},
+      [token = config_.shard_token](const std::string& endpoint) {
+        const int fd = TcpConnect(endpoint);
+        return fd >= 0 &&
+               ServeShardJobs(fd, "fleet-selfspawn", 0, token) == ShardRunStatus::kOk;
+      },
+      std::move(options));
+  channels_ = transport_->Start(num_shards_);
+  channels_.resize(num_shards_);
+  started_ = true;
+  const u32 live = live_shards();
+  if (live < num_shards_) {
+    std::fprintf(stderr, "[fleet] %u of %u shard slot(s) failed to join\n", num_shards_ - live,
+                 num_shards_);
+  }
+  return live > 0;
+}
+
+std::vector<WireChannel*> ShardFleet::AttachJob(const ReplayConfig& shard_cfg,
+                                                const InstrumentationPlan& plan,
+                                                const BugReport& report) {
+  std::vector<WireChannel*> out(num_shards_, nullptr);
+  if (!started_) {
+    return out;
+  }
+  WireJobBegin begin;
+  begin.job_id = ++jobs_dispatched_;
+  begin.job.config = shard_cfg;
+  begin.job.plan = plan;
+  begin.job.report = report;
+  WireWriter w;
+  EncodeJobBegin(begin, &w);
+  for (u32 s = 0; s < num_shards_; ++s) {
+    if (channels_[s] == nullptr) {
+      continue;
+    }
+    // Blocking send: it also flushes any relay tail still queued from
+    // the previous job, so the shard sees stale frames strictly before
+    // the new kJobBegin (its between-jobs loop discards them).
+    if (!channels_[s]->Send(WireMsg::kJobBegin, w.buf())) {
+      // Broke while idle: retire the slot now rather than letting the
+      // scheduler seed a frontier partition into a dead channel.
+      channels_[s].reset();
+      std::fprintf(stderr, "[fleet] shard %u retired: channel broke between jobs\n", s);
+      continue;
+    }
+    out[s] = channels_[s].get();
+  }
+  return out;
+}
+
+void ShardFleet::KillAll() {
+  if (transport_ != nullptr) {
+    transport_->Kill();
+  }
+}
+
+void ShardFleet::FinishJob(const std::vector<bool>& lost) {
+  for (u32 s = 0; s < num_shards_ && s < lost.size(); ++s) {
+    if (lost[s] && channels_[s] != nullptr) {
+      // Closing the channel is the retire signal: a local child gets
+      // reaped at Shutdown, a remote shardd sees EOF and exits its
+      // serve loop.
+      channels_[s].reset();
+      std::fprintf(stderr, "[fleet] shard %u retired: lost mid-job\n", s);
+    }
+  }
+}
+
+void ShardFleet::Shutdown() {
+  if (!started_) {
+    transport_.reset();
+    return;
+  }
+  WireWriter w;
+  EncodeJobEnd(WireJobEnd{jobs_dispatched_}, &w);
+  for (auto& chan : channels_) {
+    if (chan != nullptr) {
+      chan->Send(WireMsg::kJobEnd, w.buf());
+    }
+  }
+  channels_.clear();  // Closes every fd — the backstop for shards that missed kJobEnd.
+  if (transport_ != nullptr) {
+    transport_->Reap();
+    transport_.reset();
+  }
+  started_ = false;
+}
+
+u32 ShardFleet::live_shards() const {
+  u32 live = 0;
+  for (const auto& chan : channels_) {
+    live += chan != nullptr ? 1 : 0;
+  }
+  return live;
+}
+
+}  // namespace retrace

@@ -1,0 +1,83 @@
+// Standing shard fleet for the replay service.
+//
+// The one-shot scheduler (ReproduceDistributed) builds a process tree
+// per search and tears it down with the result. A service ingesting a
+// stream of bug reports cannot afford that: every report would pay the
+// fork/dial/handshake tax again and — worse — every shard would start
+// with a cold slice cache, re-proving path constraints the previous
+// report already settled. ShardFleet keeps the shard processes (and
+// their caches) alive across searches:
+//
+//   Start()      — TCP transport in persistent mode: shards join with
+//                  kJoin (token-checked) and then wait; no job ships in
+//                  the handshake. Each shard runs ServeShardJobs.
+//   AttachJob()  — sends kJobBegin{job_id, job} down every live channel;
+//                  the shard rebuilds the pipeline from the shipped
+//                  sources and serves the search like any one-shot job,
+//                  kResult last. Implements the coordinator's JobFleet
+//                  seam, so RunDistributedJob drives the search itself.
+//   FinishJob()  — retires slots that died mid-job (closing the channel
+//                  is the retire signal); survivors idle until the next
+//                  AttachJob, slice caches warm.
+//   Shutdown()   — kJobEnd to every live shard, then reap.
+//
+// **Thread safety:** none — drive a fleet from one thread (the service's
+// worker thread). **Stats caveat:** channel byte counters are cumulative
+// per shard process, not per job.
+#ifndef RETRACE_DIST_FLEET_H_
+#define RETRACE_DIST_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dist/coordinator.h"
+#include "src/dist/transport.h"
+
+namespace retrace {
+
+/// \brief A shard fleet that outlives any single search.
+class ShardFleet final : public JobFleet {
+ public:
+  /// `config` supplies the fleet shape and transport knobs: num_shards
+  /// (clamped to [1, 64]), tcp_listen, shard_endpoints, shard_token.
+  /// With no endpoints and an ephemeral listen port the fleet
+  /// self-spawns loopback shard processes, exactly like the one-shot
+  /// TCP transport.
+  explicit ShardFleet(const ReplayConfig& config);
+  ~ShardFleet() override;
+
+  /// Launches/connects the shards (kJoin handshake, no job). Returns
+  /// false when not a single shard could be established.
+  bool Start();
+
+  u32 num_shards() const override { return num_shards_; }
+  std::vector<WireChannel*> AttachJob(const ReplayConfig& shard_cfg,
+                                      const InstrumentationPlan& plan,
+                                      const BugReport& report) override;
+  void KillAll() override;
+  void FinishJob(const std::vector<bool>& lost) override;
+
+  /// Graceful end: kJobEnd to every live shard, close the channels,
+  /// reap local children. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Slots still holding a live channel (monotonically non-increasing —
+  /// lost shards retire, the fleet never respawns).
+  u32 live_shards() const;
+
+  /// Jobs handed to AttachJob so far (also the next kJobBegin job_id).
+  u64 jobs_dispatched() const { return jobs_dispatched_; }
+
+ private:
+  ReplayConfig config_;
+  u32 num_shards_ = 0;
+  u64 jobs_dispatched_ = 0;
+  bool started_ = false;
+  std::unique_ptr<TcpTransport> transport_;
+  std::vector<std::unique_ptr<WireChannel>> channels_;  // null = retired.
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_DIST_FLEET_H_

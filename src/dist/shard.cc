@@ -89,7 +89,7 @@ void AnswerWorkRequest(const WireFrame& frame, FrontierPort* port, WireChannel* 
 ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
                           const InstrumentationPlan& plan, const BugReport& report,
                           const ReplayConfig& config, u32 expected_shard_id,
-                          std::vector<WireFrame> preread) {
+                          std::vector<WireFrame> preread, SliceCache* external_cache) {
   // ----- Handshake: hello, seed frontier, start. -----
   // Frames that legitimately follow kStart in the same read batch (a
   // verdict another shard proved before we finished starting, an early
@@ -194,10 +194,19 @@ ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
   }
 
   // ----- Search, with the gossip pump on this thread. -----
-  std::unique_ptr<SliceCache> cache;
+  // The cache is externally owned for standing shards (cross-job
+  // warmth), private for one-shot runs; either way gossip journaling is
+  // on, and a job with solver_cache off runs cache-less regardless.
+  std::unique_ptr<SliceCache> owned_cache;
+  SliceCache* cache = nullptr;
   if (config.solver_cache) {
-    cache = std::make_unique<SliceCache>(config.slice_cache_capacity);
-    cache->EnableJournal();
+    if (external_cache != nullptr) {
+      cache = external_cache;
+    } else {
+      owned_cache = std::make_unique<SliceCache>(config.slice_cache_capacity);
+      owned_cache->EnableJournal();
+      cache = owned_cache.get();
+    }
   }
   std::atomic<bool> cancel{false};
   ExprArena arena;
@@ -206,7 +215,7 @@ ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
   ShardContext ctx;
   ctx.seed_frontier = std::move(seed_frontier);
   const u64 pendings_seeded = hello.pending_count;
-  ctx.cache = cache.get();
+  ctx.cache = cache;
   ctx.cancel = &cancel;
   ctx.port = &port;
   // Distinct rng streams per shard: worker w of shard s draws from stream
@@ -277,7 +286,7 @@ ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
         break;  // Pure liveness; arrival already reset the deadline.
       case WireMsg::kVerdicts:
         if (cache != nullptr) {
-          verdicts_imported += MergeVerdicts(frame, cache.get());
+          verdicts_imported += MergeVerdicts(frame, cache);
         }
         break;
       case WireMsg::kWorkRequest:
@@ -356,7 +365,7 @@ ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
       handle_frame(frame);
     }
     if (cache != nullptr) {
-      verdicts_published += PublishVerdicts(cache.get(), &chan);
+      verdicts_published += PublishVerdicts(cache, &chan);
     }
     if (config.heartbeat_interval_ms > 0 && NowMs() >= next_heartbeat_ms) {
       WireWriter w;
@@ -438,7 +447,7 @@ ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
   // Final flush so a verdict proved in the last pump interval still
   // reaches slower shards, then the result.
   if (cache != nullptr) {
-    verdicts_published += PublishVerdicts(cache.get(), &chan);
+    verdicts_published += PublishVerdicts(cache, &chan);
   }
   result.stats.rebalance_rounds = rebalance_rounds;
   WireShardResult shard_result;
@@ -460,10 +469,11 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
   return RunShardOn(chan, module, plan, report, config, shard_id) == ShardRunStatus::kOk;
 }
 
-ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override) {
+ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override,
+                             const std::string& token) {
   WireChannel chan(fd);
   WireWriter join_writer;
-  EncodeJoin(WireJoin{ident, worker_override}, &join_writer);
+  EncodeJoin(WireJoin{ident, worker_override, token}, &join_writer);
   if (!chan.Send(WireMsg::kJoin, join_writer.buf())) {
     return ShardRunStatus::kCoordinatorLost;
   }
@@ -511,6 +521,121 @@ ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_overri
   // nothing already parsed is lost.
   return RunShardOn(chan, pipeline->module(), job.plan, job.report, job.config, kAnyShardId,
                     std::vector<WireFrame>(frames.begin() + 1, frames.end()));
+}
+
+ShardRunStatus ServeShardJobs(int fd, const std::string& ident, u32 worker_override,
+                              const std::string& token) {
+  WireChannel chan(fd);
+  WireWriter join_writer;
+  EncodeJoin(WireJoin{ident, worker_override, token}, &join_writer);
+  if (!chan.Send(WireMsg::kJoin, join_writer.buf())) {
+    return ShardRunStatus::kCoordinatorLost;
+  }
+  // Persists across jobs: the whole point of a standing shard. Sized by
+  // the first cache-enabled job (later capacity changes are ignored —
+  // resizing a warm cache would throw away exactly the warmth a
+  // duplicate-cluster report came back for).
+  std::unique_ptr<SliceCache> cache;
+  u64 jobs_served = 0;
+  std::vector<WireFrame> frames;
+  for (;;) {
+    if (frames.empty()) {
+      // Between jobs a standing shard waits indefinitely; the fleet owns
+      // the lifecycle and ends it with kJobEnd or by closing the channel.
+      const WireChannel::RecvStatus status = chan.Poll(1000, &frames);
+      if (status == WireChannel::RecvStatus::kClosed) {
+        // A vanished coordinator after at least one served job is an
+        // abrupt-but-survivable teardown; before any job it is a failure.
+        return jobs_served > 0 ? ShardRunStatus::kOk : ShardRunStatus::kCoordinatorLost;
+      }
+      if (status != WireChannel::RecvStatus::kOk) {
+        return ShardRunStatus::kProtocolError;
+      }
+      continue;
+    }
+    WireFrame frame = std::move(frames.front());
+    frames.erase(frames.begin());
+    switch (frame.type) {
+      case WireMsg::kJobEnd:
+        return ShardRunStatus::kOk;
+      case WireMsg::kHeartbeat:
+      case WireMsg::kVerdicts:
+      case WireMsg::kStop:
+      case WireMsg::kPendingExport:
+        // Tail relay traffic from a job that ended for us but not for
+        // the fleet (slower peers still gossiping). Nothing to do with
+        // it between jobs.
+        continue;
+      case WireMsg::kWorkRequest: {
+        // Honest "nothing to spare" so a starved peer's give-up counter
+        // keeps moving even when the donor the relay picked is idle.
+        WireReader r(frame.payload.data(), frame.payload.size());
+        WireWorkRequest request;
+        WirePendingExport batch;
+        if (DecodeWorkRequest(&r, &request)) {
+          batch.requester_shard_id = request.shard_id;
+          batch.seq = request.seq;
+        }
+        WireWriter w;
+        EncodePendingExport(batch, &w);
+        chan.Send(WireMsg::kPendingExport, w.buf());
+        continue;
+      }
+      case WireMsg::kJobBegin:
+      case WireMsg::kJob:
+        break;  // A job — handled below.
+      default:
+        return ShardRunStatus::kProtocolError;
+    }
+    const bool one_shot = frame.type == WireMsg::kJob;
+    WireJob job;
+    {
+      WireReader r(frame.payload.data(), frame.payload.size());
+      if (one_shot) {
+        if (!DecodeJob(&r, &job)) {
+          return ShardRunStatus::kProtocolError;
+        }
+      } else {
+        WireJobBegin begin;
+        if (!DecodeJobBegin(&r, &begin)) {
+          return ShardRunStatus::kProtocolError;
+        }
+        job = std::move(begin.job);
+      }
+    }
+    if (job.config.program.app.empty()) {
+      return ShardRunStatus::kProtocolError;
+    }
+    if (worker_override > 0) {
+      job.config.num_workers = worker_override;
+    }
+    auto built = Pipeline::FromSources(job.config.program.app, job.config.program.libs);
+    if (!built.ok()) {
+      return ShardRunStatus::kProtocolError;  // Source skew between builds.
+    }
+    std::unique_ptr<Pipeline> pipeline = built.take();
+    SliceCache* job_cache = nullptr;
+    if (job.config.solver_cache) {
+      if (cache == nullptr) {
+        cache = std::make_unique<SliceCache>(job.config.slice_cache_capacity);
+        cache->EnableJournal();
+      }
+      job_cache = cache.get();
+    }
+    // Frames pipelined behind the job frame (kPending/kHello/kStart)
+    // are handed through so nothing already parsed is lost.
+    const ShardRunStatus status =
+        RunShardOn(chan, pipeline->module(), job.plan, job.report, job.config, kAnyShardId,
+                   std::move(frames), job_cache);
+    frames.clear();
+    if (status != ShardRunStatus::kOk) {
+      return status;
+    }
+    ++jobs_served;
+    if (one_shot) {
+      return ShardRunStatus::kOk;
+    }
+  }
 }
 
 }  // namespace retrace

@@ -55,6 +55,12 @@ enum class ShardRunStatus {
 /// (ServeShardJob may read kPending/kHello bytes bundled behind kJob);
 /// they are served before any new poll, preserving stream order.
 ///
+/// `external_cache` lets a standing shard (ServeShardJobs) keep one
+/// slice cache alive across jobs: when non-null (and the job enables
+/// solver_cache) the run uses it instead of creating a private one, so
+/// a later report whose slices a prior report already proved starts
+/// warm. The caller owns the cache and must have journaling enabled.
+///
 /// Liveness: while searching, the shard rides a kHeartbeat on the gossip
 /// pump every ReplayConfig::heartbeat_interval_ms, and treats *any*
 /// received frame as proof the coordinator lives. Silence longer than
@@ -66,7 +72,8 @@ enum class ShardRunStatus {
 ShardRunStatus RunShardOn(WireChannel& chan, const IrModule& module,
                           const InstrumentationPlan& plan, const BugReport& report,
                           const ReplayConfig& config, u32 expected_shard_id,
-                          std::vector<WireFrame> preread = {});
+                          std::vector<WireFrame> preread = {},
+                          SliceCache* external_cache = nullptr);
 
 /// \brief Fork-transport entry point: wraps `fd` and runs RunShardOn.
 ///
@@ -79,13 +86,31 @@ bool RunShard(const IrModule& module, const InstrumentationPlan& plan, const Bug
 /// \brief TCP-transport entry point: serves one job on a connected
 /// coordinator socket.
 ///
-/// Sends kJoin (tagged `ident`), receives kJob, rebuilds the pipeline
-/// from the shipped program sources, then runs RunShardOn. When
+/// Sends kJoin (tagged `ident`, carrying `token` for the listener's
+/// shared-secret check), receives kJob, rebuilds the pipeline from the
+/// shipped program sources, then runs RunShardOn. When
 /// `worker_override` > 0 it replaces the job's num_workers (a remote
 /// host knows its own core count better than the coordinator does).
 /// Takes ownership of `fd`; never writes to stdio (callers log). Used by
 /// tools/retrace_shardd and the TCP transport's loopback self-spawn.
-ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override = 0);
+ShardRunStatus ServeShardJob(int fd, const std::string& ident, u32 worker_override = 0,
+                             const std::string& token = "");
+
+/// \brief Standing-fleet entry point: serves jobs on a connected
+/// coordinator socket until the fleet says goodbye.
+///
+/// Sends kJoin once, then loops: wait (indefinitely — the fleet owns the
+/// lifecycle) for kJobBegin, rebuild the pipeline for that job, run
+/// RunShardOn, repeat. kJobEnd — or a channel closed after at least one
+/// served job — is an orderly shutdown (kOk). One slice cache persists
+/// across jobs (sized by the first cache-enabled job), which is where
+/// cross-report cache warmth on a shard fleet comes from. Also accepts a
+/// legacy one-shot kJob as "serve exactly one job, then exit", so
+/// retrace_shardd speaks both protocols with one loop. Relay traffic
+/// that arrives between jobs (heartbeats, another job's tail gossip) is
+/// discarded; work requests get an honest empty answer.
+ShardRunStatus ServeShardJobs(int fd, const std::string& ident, u32 worker_override = 0,
+                              const std::string& token = "");
 
 }  // namespace retrace
 

@@ -251,11 +251,13 @@ void LocalForkTransport::Reap() { ReapWithDeadline(&pids_); }
 // ----- TcpTransport -----
 
 TcpTransport::TcpTransport(std::string listen_endpoint, std::vector<std::string> endpoints,
-                           std::vector<u8> job, SelfSpawnMain self_spawn)
+                           std::vector<u8> job, SelfSpawnMain self_spawn,
+                           TcpTransportOptions options)
     : listen_(std::move(listen_endpoint)),
       endpoints_(std::move(endpoints)),
       job_(std::move(job)),
-      self_spawn_(std::move(self_spawn)) {}
+      self_spawn_(std::move(self_spawn)),
+      options_(std::move(options)) {}
 
 TcpTransport::~TcpTransport() {
   if (listen_fd_ >= 0) {
@@ -283,7 +285,17 @@ std::unique_ptr<WireChannel> TcpTransport::Handshake(int fd, i64 deadline_ms) {
   if (frames.size() != 1 || frames[0].type != WireMsg::kJoin || !DecodeJoin(&r, &join)) {
     return nullptr;
   }
-  if (!chan->Send(WireMsg::kJob, job_)) {
+  // Shared-secret check happens here, before any job bytes ship: a
+  // joiner with the wrong token learns nothing about the program under
+  // replay, it just sees its socket close.
+  if (!options_.token.empty() && join.token != options_.token) {
+    std::fprintf(stderr, "[dist] tcp: refused joiner '%s': bad auth token\n",
+                 join.ident.c_str());
+    return nullptr;
+  }
+  // A standing fleet ships no job at join time; jobs attach later via
+  // kJobBegin on the live channel.
+  if (!options_.persistent && !chan->Send(WireMsg::kJob, job_)) {
     return nullptr;
   }
   return chan;

@@ -90,6 +90,18 @@ class LocalForkTransport : public Transport {
   std::vector<int> pids_;  // -1 for slots that failed to spawn.
 };
 
+/// Listener-side policy knobs for TcpTransport (v7).
+struct TcpTransportOptions {
+  /// Shared-secret auth (RETRACE_SHARD_TOKEN). When non-empty, a kJoin
+  /// whose token differs is refused before any job bytes ship; empty
+  /// means auth off (trusted local setups, the historical behavior).
+  std::string token;
+  /// Standing-fleet mode: the handshake validates kJoin (and the token)
+  /// but ships no kJob — the fleet attaches jobs later with kJobBegin,
+  /// so the channels outlive any single search.
+  bool persistent = false;
+};
+
 /// \brief TCP transport: listener on the coordinator, kJoin/kJob
 /// handshake per shard connection.
 class TcpTransport : public Transport {
@@ -99,13 +111,15 @@ class TcpTransport : public Transport {
   using SelfSpawnMain = std::function<bool(const std::string& endpoint)>;
 
   /// `job` is the encoded WireJob payload shipped to every shard after
-  /// its kJoin. `endpoints` are dialed out to. With no endpoints and an
-  /// *ephemeral* listen port (":0" — unknowable to remote hosts), the
-  /// transport forks `self_spawn` children that connect back over
-  /// loopback; a fixed listen port instead waits for real inbound
-  /// joiners (`retrace_shardd <host:port>`).
+  /// its kJoin (unused in persistent mode). `endpoints` are dialed out
+  /// to. With no endpoints and an *ephemeral* listen port (":0" —
+  /// unknowable to remote hosts), the transport forks `self_spawn`
+  /// children that connect back over loopback; a fixed listen port
+  /// instead waits for real inbound joiners (`retrace_shardd
+  /// <host:port>`).
   TcpTransport(std::string listen_endpoint, std::vector<std::string> endpoints,
-               std::vector<u8> job, SelfSpawnMain self_spawn);
+               std::vector<u8> job, SelfSpawnMain self_spawn,
+               TcpTransportOptions options = {});
   ~TcpTransport() override;
 
   std::vector<std::unique_ptr<WireChannel>> Start(u32 num_shards) override;
@@ -118,14 +132,16 @@ class TcpTransport : public Transport {
   const std::string& bound_endpoint() const { return bound_; }
 
  private:
-  // Completes the shard-side of one connection: waits for kJoin, ships
-  // the job. Returns the ready channel or null on handshake failure.
+  // Completes the shard-side of one connection: waits for kJoin, checks
+  // the auth token, ships the job (unless persistent). Returns the
+  // ready channel or null on handshake/auth failure.
   std::unique_ptr<WireChannel> Handshake(int fd, i64 deadline_ms);
 
   std::string listen_;
   std::vector<std::string> endpoints_;
   std::vector<u8> job_;
   SelfSpawnMain self_spawn_;
+  TcpTransportOptions options_;
   std::string bound_;
   int listen_fd_ = -1;
   std::vector<int> pids_;  // Self-spawned children only.

@@ -646,6 +646,7 @@ bool DecodeShardResult(WireReader* r, WireShardResult* out) {
 void EncodeJoin(const WireJoin& join, WireWriter* w) {
   w->Str(join.ident);
   w->U32(join.num_workers);
+  w->Str(join.token);
 }
 
 bool DecodeJoin(WireReader* r, WireJoin* out) {
@@ -653,6 +654,9 @@ bool DecodeJoin(WireReader* r, WireJoin* out) {
     return false;  // An identity tag this long is hostile, not helpful.
   }
   if (!r->U32(&out->num_workers) || out->num_workers > 4096) {
+    return false;
+  }
+  if (!r->Str(&out->token) || out->token.size() > 256) {
     return false;
   }
   return r->ok();
@@ -813,6 +817,8 @@ bool DecodeConfig(WireReader* r, ReplayConfig* c) {
   // Fault injection is a coordinator-side test harness; a shard must
   // never inject faults into its own (only) channel.
   c->fault_spec.clear();
+  // The auth token authenticates the channel; it never rides the job.
+  c->shard_token.clear();
   return true;
 }
 
@@ -980,6 +986,8 @@ bool DecodeInputShape(WireReader* r, InputSpec* out) {
   return r->I32(&world.listen_fd) && world.listen_fd >= -1;
 }
 
+}  // namespace
+
 void EncodeReport(const BugReport& report, WireWriter* w) {
   w->U8(static_cast<u8>(report.method));
   w->U64(report.branch_log.size());
@@ -1034,7 +1042,11 @@ bool DecodeReport(WireReader* r, BugReport* out) {
   return DecodeCrashSite(r, &out->crash) && DecodeInputShape(r, &out->shape);
 }
 
-}  // namespace
+u64 ReportFingerprint(const BugReport& report) {
+  WireWriter w;
+  EncodeReport(report, &w);
+  return WireDigest(w.buf().data(), w.buf().size());
+}
 
 void EncodeJob(const WireJob& job, WireWriter* w) {
   EncodeConfig(job.config, w);
@@ -1070,6 +1082,102 @@ bool DecodeJob(WireReader* r, WireJob* out) {
     return false;
   }
   return DecodeReport(r, &out->report) && r->ok();
+}
+
+// ----- Standing-fleet job exchange (v7) -----
+
+void EncodeJobBegin(const WireJobBegin& begin, WireWriter* w) {
+  w->U64(begin.job_id);
+  EncodeJob(begin.job, w);
+}
+
+bool DecodeJobBegin(WireReader* r, WireJobBegin* out) {
+  return r->U64(&out->job_id) && DecodeJob(r, &out->job);
+}
+
+void EncodeJobEnd(const WireJobEnd& end, WireWriter* w) { w->U64(end.jobs_served); }
+
+bool DecodeJobEnd(WireReader* r, WireJobEnd* out) {
+  return r->U64(&out->jobs_served) && r->ok();
+}
+
+// ----- Service ingest codecs (v7) -----
+
+void EncodeReportSubmit(const WireReportSubmit& submit, WireWriter* w) {
+  w->Str(submit.tenant);
+  EncodeReport(submit.report, w);
+}
+
+bool DecodeReportSubmit(WireReader* r, WireReportSubmit* out) {
+  if (!r->Str(&out->tenant) || out->tenant.size() > 256) {
+    return false;  // Tenant tags are short labels; anything longer is hostile.
+  }
+  return DecodeReport(r, &out->report) && r->ok();
+}
+
+void EncodeReportVerdict(const WireReportVerdict& verdict, WireWriter* w) {
+  w->U64(verdict.cluster);
+  w->U8(verdict.origin);
+  EncodeShardResult(verdict.result, w);
+}
+
+bool DecodeReportVerdict(WireReader* r, WireReportVerdict* out) {
+  if (!r->U64(&out->cluster) || !r->U8(&out->origin) ||
+      out->origin > static_cast<u8>(VerdictOrigin::kRejected)) {
+    return false;
+  }
+  return DecodeShardResult(r, &out->result) && r->ok();
+}
+
+void EncodeHealthStats(const WireHealthStats& stats, WireWriter* w) {
+  w->U64(stats.reports_ingested);
+  w->U64(stats.clusters);
+  w->U64(stats.searches_run);
+  w->U64(stats.duplicates_attached);
+  w->U64(stats.cached_verdicts);
+  w->U64(stats.rejected);
+  w->U64(stats.queue_depth);
+  w->U64(stats.in_flight);
+  w->U64(stats.cache_sat_entries);
+  w->U64(stats.cache_unsat_entries);
+  w->U64(stats.cache_evictions);
+  w->U8(stats.snapshot_loaded);
+  w->U32(stats.fleet_shards);
+  w->U32(stats.fleet_live);
+  w->U64(stats.fleet_jobs);
+  w->U32(static_cast<u32>(stats.rows.size()));
+  for (const WireClusterRow& row : stats.rows) {
+    w->U64(row.fp);
+    w->U8(row.state);
+    w->U8(row.reproduced);
+    w->U64(row.reports);
+  }
+}
+
+bool DecodeHealthStats(WireReader* r, WireHealthStats* out) {
+  if (!(r->U64(&out->reports_ingested) && r->U64(&out->clusters) &&
+        r->U64(&out->searches_run) && r->U64(&out->duplicates_attached) &&
+        r->U64(&out->cached_verdicts) && r->U64(&out->rejected) &&
+        r->U64(&out->queue_depth) && r->U64(&out->in_flight) &&
+        r->U64(&out->cache_sat_entries) && r->U64(&out->cache_unsat_entries) &&
+        r->U64(&out->cache_evictions) && r->U8(&out->snapshot_loaded) &&
+        r->U32(&out->fleet_shards) && r->U32(&out->fleet_live) &&
+        r->U64(&out->fleet_jobs))) {
+    return false;
+  }
+  u32 row_count = 0;
+  if (!r->U32(&row_count) || row_count > kMaxHealthClusterRows ||
+      !r->FitsCount(row_count, 8 + 1 + 1 + 8)) {
+    return false;
+  }
+  out->rows.resize(row_count);
+  for (WireClusterRow& row : out->rows) {
+    if (!r->U64(&row.fp) || !r->U8(&row.state) || row.state > 2 ||
+        !r->U8(&row.reproduced) || !r->U64(&row.reports)) {
+      return false;
+    }
+  }
+  return r->ok();
 }
 
 // ----- Transport -----

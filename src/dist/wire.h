@@ -46,7 +46,13 @@ inline constexpr u32 kWireMagic = 0x43525452u;  // "RTRC" little-endian.
 // v6: execution engine — the resolved ExecEngineKind rides the kJob
 // config codec so every shard runs the coordinator's engine choice
 // (tree vs bytecode), keeping fleet-wide run accounting comparable.
-inline constexpr u16 kWireVersion = 6;
+// v7: replay-as-a-service — kJoin carries the shared-secret auth token
+// (checked before any job bytes ship), kJobBegin/kJobEnd attach and
+// detach jobs on a standing shard fleet that outlives a single search,
+// and the service ingest frames (kReportSubmit/kReportVerdict/
+// kHealthQuery/kHealthStats) let clients stream bug reports at a
+// resident daemon and read its health.
+inline constexpr u16 kWireVersion = 7;
 
 /// Message types carried in the frame header.
 enum class WireMsg : u16 {
@@ -64,6 +70,14 @@ enum class WireMsg : u16 {
   kPendingExport = 10,  // Donor shard -> coordinator -> starved shard.
   // ----- Failure handling (v5) -----
   kHeartbeat = 11,  // Both ways: liveness beat on the gossip cadence.
+  // ----- Standing shard fleet (v7) -----
+  kJobBegin = 12,  // Coordinator -> shard: attach one job to a live shard.
+  kJobEnd = 13,    // Coordinator -> shard: fleet shutdown, no more jobs.
+  // ----- Service ingest (v7; client <-> retrace_serviced) -----
+  kReportSubmit = 14,   // Client -> daemon: tenant tag + bug report.
+  kReportVerdict = 15,  // Daemon -> client: cluster fp + verdict + result.
+  kHealthQuery = 16,    // Client -> daemon: empty payload, stats request.
+  kHealthStats = 17,    // Daemon -> client: queue/cluster/cache/fleet stats.
 };
 
 /// \brief Append-only little-endian payload writer.
@@ -213,6 +227,10 @@ bool DecodeFailureProfile(WireReader* r, ReplayFailureProfile* out);
 struct WireJoin {
   std::string ident;       // Free-form "host/pid" tag for diagnostics.
   u32 num_workers = 0;     // Worker threads the daemon will use (0 = job's).
+  // v7: shared-secret auth (RETRACE_SHARD_TOKEN). The listener compares
+  // this against its own token before any job bytes ship; when the
+  // coordinator's token is empty, auth is off (trusted local setups).
+  std::string token;
 };
 
 void EncodeJoin(const WireJoin& join, WireWriter* w);
@@ -233,6 +251,108 @@ struct WireJob {
 
 void EncodeJob(const WireJob& job, WireWriter* w);
 bool DecodeJob(WireReader* r, WireJob* out);
+
+/// BugReport <-> bytes, shared by the kJob codec and the v7 service
+/// ingest path (kReportSubmit carries a bare report). Decode applies the
+/// same hostile-input validation as the job codec.
+void EncodeReport(const BugReport& report, WireWriter* w);
+bool DecodeReport(WireReader* r, BugReport* out);
+
+/// Structural crash fingerprint: the wire digest of the canonical report
+/// encoding. Two users hitting the same crash produce the same bytes
+/// (method, branch log, syscall log, crash site, input shape) and land
+/// in the same cluster; any structural difference lands elsewhere.
+u64 ReportFingerprint(const BugReport& report);
+
+// ----- Standing shard fleet (v7) -----
+
+/// Attaches one job to an already-joined shard. The standing fleet sends
+/// this instead of the one-shot kJob handshake frame; the payload nests
+/// the full job codec, so a shard rebuilds the pipeline per job exactly
+/// as a one-shot TCP shard would.
+struct WireJobBegin {
+  u64 job_id = 0;  // Coordinator-local, strictly increasing (diagnostics).
+  WireJob job;
+};
+
+void EncodeJobBegin(const WireJobBegin& begin, WireWriter* w);
+bool DecodeJobBegin(WireReader* r, WireJobBegin* out);
+
+/// Orderly fleet shutdown: no more jobs will follow; the shard exits
+/// cleanly instead of treating the closed channel as a lost coordinator.
+struct WireJobEnd {
+  u64 jobs_served = 0;  // Coordinator's dispatch count (diagnostics).
+};
+
+void EncodeJobEnd(const WireJobEnd& end, WireWriter* w);
+bool DecodeJobEnd(WireReader* r, WireJobEnd* out);
+
+// ----- Service ingest (v7) -----
+
+/// One bug report submitted to the resident daemon by a tenant.
+struct WireReportSubmit {
+  std::string tenant;  // Free-form tenant tag; drives admission budgets.
+  BugReport report;
+};
+
+void EncodeReportSubmit(const WireReportSubmit& submit, WireWriter* w);
+bool DecodeReportSubmit(WireReader* r, WireReportSubmit* out);
+
+/// How a submitted report got its verdict (WireReportVerdict::origin).
+enum class VerdictOrigin : u8 {
+  kFresh = 0,     // This report admitted a new search.
+  kAttached = 1,  // Duplicate: attached to an in-flight search.
+  kCached = 2,    // Duplicate of an already-solved cluster.
+  kRejected = 3,  // Admission refused (queue full / tenant over budget).
+};
+
+/// The daemon's answer to one kReportSubmit. For kRejected the nested
+/// result is empty; otherwise it is the search's final ReplayResult.
+struct WireReportVerdict {
+  u64 cluster = 0;  // ReportFingerprint of the submitted report.
+  u8 origin = 0;    // VerdictOrigin.
+  WireShardResult result;
+};
+
+void EncodeReportVerdict(const WireReportVerdict& verdict, WireWriter* w);
+bool DecodeReportVerdict(WireReader* r, WireReportVerdict* out);
+
+/// One row of the daemon's cluster table (kHealthStats payload).
+struct WireClusterRow {
+  u64 fp = 0;
+  u8 state = 0;      // 0 = queued, 1 = in-flight, 2 = solved.
+  u8 reproduced = 0;  // Meaningful once solved.
+  u64 reports = 0;    // Reports that landed in this cluster so far.
+};
+
+/// Ceiling on cluster rows a health reply may carry; the daemon sends
+/// the most recent rows when its table is larger.
+inline constexpr u32 kMaxHealthClusterRows = 4096;
+
+/// Daemon health snapshot: queue depth, cluster table, cache occupancy,
+/// fleet liveness — everything the ops side needs to see that the
+/// service is ingesting, deduplicating, and keeping its fleet alive.
+struct WireHealthStats {
+  u64 reports_ingested = 0;
+  u64 clusters = 0;
+  u64 searches_run = 0;
+  u64 duplicates_attached = 0;
+  u64 cached_verdicts = 0;
+  u64 rejected = 0;
+  u64 queue_depth = 0;
+  u64 in_flight = 0;
+  u64 cache_sat_entries = 0;
+  u64 cache_unsat_entries = 0;
+  u64 cache_evictions = 0;
+  u8 snapshot_loaded = 0;
+  u32 fleet_shards = 0;
+  u32 fleet_live = 0;
+  u64 fleet_jobs = 0;
+  std::vector<WireClusterRow> rows;
+};
+
+void EncodeHealthStats(const WireHealthStats& stats, WireWriter* w);
+bool DecodeHealthStats(WireReader* r, WireHealthStats* out);
 
 /// Re-balance request from a shard whose frontier drained below its
 /// watermark. The coordinator relays it to a donor shard verbatim (the

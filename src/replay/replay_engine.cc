@@ -350,6 +350,30 @@ ReplayConfig ReplayConfig::FromEnv() {
   if (const char* fault = std::getenv("RETRACE_FAULT_SPEC")) {
     config.fault_spec = fault;
   }
+  // Free-form shared secret; any value is valid, so no strict parse.
+  if (const char* token = std::getenv("RETRACE_SHARD_TOKEN")) {
+    config.shard_token = token;
+  }
+  // Comma-separated host:port list of waiting retrace_shardd daemons to
+  // dial out to. Free-form here — the connect attempt is the validator,
+  // and an unreachable endpoint already fails loudly in the transport.
+  if (const char* endpoints = std::getenv("RETRACE_SHARD_ENDPOINTS")) {
+    config.shard_endpoints.clear();
+    std::string current;
+    for (const char* c = endpoints;; ++c) {
+      if (*c == ',' || *c == '\0') {
+        if (!current.empty()) {
+          config.shard_endpoints.push_back(current);
+          current.clear();
+        }
+        if (*c == '\0') {
+          break;
+        }
+      } else {
+        current.push_back(*c);
+      }
+    }
+  }
   return config;
 }
 

@@ -200,6 +200,12 @@ struct ReplayConfig {
   // Program sources for kTcp (see ReplayProgramSources). Ignored by
   // kFork, which inherits the module by copy-on-write.
   ReplayProgramSources program;
+  // Shared-secret auth token for the kTcp listener (RETRACE_SHARD_TOKEN,
+  // wire v7). Non-empty: every joiner's kJoin must carry the same token
+  // or the connection is refused before any job bytes ship. Empty: auth
+  // off (trusted local setups). Never shipped inside the kJob codec —
+  // the secret authenticates the channel, it must not ride it.
+  std::string shard_token;
 };
 
 /// The search disciplines a portfolio fleet runs, in the index order of

@@ -1,0 +1,87 @@
+// Admission queue of the replay service: strict FIFO over admitted
+// clusters, with two budgets enforced at the door —
+//
+//   - a global capacity on queued searches (a daemon drowning in novel
+//     crashes sheds load instead of growing an unbounded backlog), and
+//   - a per-tenant cap on queued + in-flight searches, so one chatty
+//     tenant cannot starve the rest of the fleet.
+//
+// The queue holds cluster fingerprints, not reports: duplicates never
+// reach admission (they attach to the existing cluster upstream), so
+// every entry here is exactly one future search. Not thread-safe — the
+// service's mutex guards it.
+#ifndef RETRACE_SERVICE_REPORT_QUEUE_H_
+#define RETRACE_SERVICE_REPORT_QUEUE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/support/common.h"
+
+namespace retrace {
+
+class ReportQueue {
+ public:
+  ReportQueue(u64 capacity, u64 per_tenant_cap)
+      : capacity_(capacity), per_tenant_cap_(per_tenant_cap) {}
+
+  /// Admits one cluster for `tenant`, or refuses: the global queue is
+  /// full, or the tenant already has per_tenant_cap searches queued or
+  /// running. A tenant's budget is released when its search finishes
+  /// (Release), not when it pops.
+  bool Admit(const std::string& tenant, u64 fingerprint) {
+    if (fifo_.size() >= capacity_) {
+      return false;
+    }
+    auto [it, inserted] = load_.try_emplace(tenant, 0);
+    if (it->second >= per_tenant_cap_) {
+      return false;
+    }
+    it->second += 1;
+    fifo_.push_back(Item{fingerprint, tenant});
+    return true;
+  }
+
+  bool Empty() const { return fifo_.empty(); }
+  u64 depth() const { return fifo_.size(); }
+
+  /// Pops the oldest admitted cluster. The tenant stays charged until
+  /// Release — popping only moves the search from queued to running.
+  bool Pop(u64* fingerprint, std::string* tenant) {
+    if (fifo_.empty()) {
+      return false;
+    }
+    *fingerprint = fifo_.front().fingerprint;
+    *tenant = std::move(fifo_.front().tenant);
+    fifo_.pop_front();
+    return true;
+  }
+
+  /// The search admitted for `tenant` finished (however it ended).
+  void Release(const std::string& tenant) {
+    auto it = load_.find(tenant);
+    if (it == load_.end()) {
+      return;
+    }
+    if (--it->second == 0) {
+      load_.erase(it);
+    }
+  }
+
+ private:
+  struct Item {
+    u64 fingerprint = 0;
+    std::string tenant;
+  };
+
+  std::deque<Item> fifo_;
+  std::unordered_map<std::string, u64> load_;  // Queued + running per tenant.
+  u64 capacity_ = 0;
+  u64 per_tenant_cap_ = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SERVICE_REPORT_QUEUE_H_

@@ -1,0 +1,90 @@
+// Cluster table of the replay service: every report the daemon has ever
+// ingested lands in exactly one cluster, keyed by its structural crash
+// fingerprint (ReportFingerprint — the wire digest of the canonical
+// report encoding). The cluster carries the search lifecycle:
+//
+//   kQueued  — admitted, waiting its FIFO turn,
+//   kRunning — the worker is searching it right now,
+//   kSolved  — verdict cached; every later duplicate is answered from
+//              here without spending a single run.
+//
+// Duplicates at any stage attach to the cluster (reports counter), so N
+// users hitting the same crash cost one search and N verdicts. Not
+// thread-safe — the service's mutex guards it.
+#ifndef RETRACE_SERVICE_SEARCH_REGISTRY_H_
+#define RETRACE_SERVICE_SEARCH_REGISTRY_H_
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/replay/replay_engine.h"
+
+namespace retrace {
+
+enum class ClusterState : u8 {
+  kQueued = 0,
+  kRunning = 1,
+  kSolved = 2,
+};
+
+struct ClusterEntry {
+  u64 fingerprint = 0;
+  ClusterState state = ClusterState::kQueued;
+  bool reproduced = false;  // Meaningful once kSolved.
+  u64 reports = 0;          // Reports that landed here (the first included).
+  u64 order = 0;            // Ingest order, for most-recent-first listings.
+  std::string tenant;       // The admitting tenant (owns the budget slot).
+  BugReport report;         // Representative report the search runs on.
+  ReplayResult result;      // The cached verdict, once kSolved.
+};
+
+class SearchRegistry {
+ public:
+  /// Null when no cluster with this fingerprint exists yet. The pointer
+  /// is invalidated by the next Insert.
+  ClusterEntry* Find(u64 fingerprint) {
+    auto it = clusters_.find(fingerprint);
+    return it == clusters_.end() ? nullptr : &it->second;
+  }
+
+  ClusterEntry* Insert(u64 fingerprint, std::string tenant, BugReport report) {
+    ClusterEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.reports = 1;
+    entry.order = next_order_++;
+    entry.tenant = std::move(tenant);
+    entry.report = std::move(report);
+    return &clusters_.emplace(fingerprint, std::move(entry)).first->second;
+  }
+
+  u64 size() const { return clusters_.size(); }
+
+  /// The cluster table, most recent first, capped at `max_rows` (the
+  /// health endpoint's row ceiling).
+  std::vector<const ClusterEntry*> MostRecent(u64 max_rows) const {
+    std::vector<const ClusterEntry*> rows;
+    rows.reserve(clusters_.size());
+    for (const auto& [fp, entry] : clusters_) {
+      rows.push_back(&entry);
+    }
+    std::sort(rows.begin(), rows.end(), [](const ClusterEntry* a, const ClusterEntry* b) {
+      return a->order > b->order;
+    });
+    if (rows.size() > max_rows) {
+      rows.resize(max_rows);
+    }
+    return rows;
+  }
+
+ private:
+  std::unordered_map<u64, ClusterEntry> clusters_;
+  u64 next_order_ = 0;
+};
+
+}  // namespace retrace
+
+#endif  // RETRACE_SERVICE_SEARCH_REGISTRY_H_

@@ -1,6 +1,8 @@
 #include "src/solver/incremental.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <iterator>
 
 namespace retrace {
@@ -155,6 +157,254 @@ u64 SliceCache::unsat_entries() const {
     n += shard.unsat.size();
   }
   return n;
+}
+
+void SliceCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.sat.clear();
+    shard.unsat.clear();
+    shard.lru.clear();
+    shard.sat_journal.clear();
+    shard.unsat_journal.clear();
+  }
+}
+
+// ----- Snapshot persistence -----
+
+namespace {
+
+constexpr u32 kSnapshotMagic = 0x43535452u;  // "RTSC" little-endian.
+constexpr u16 kSnapshotVersion = 1;
+// Header: magic u32 | version u16 | reserved u16 | payload_len u64 |
+// digest u64. Fixed width, little-endian, mirroring the wire framing.
+constexpr size_t kSnapshotHeaderBytes = 4 + 2 + 2 + 8 + 8;
+// A snapshot is a local file, but it sizes allocations on load exactly
+// like a network payload would: cap it the same way (the wire layer's
+// whole-payload ceiling is 1 GiB; a slice cache that big is a bug).
+constexpr u64 kMaxSnapshotPayload = 1ull << 30;
+
+void SnapPutU16(u16 v, std::vector<u8>* out) {
+  out->push_back(static_cast<u8>(v & 0xff));
+  out->push_back(static_cast<u8>((v >> 8) & 0xff));
+}
+
+void SnapPutU32(u32 v, std::vector<u8>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<u8>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void SnapPutU64(u64 v, std::vector<u8>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<u8>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Structural digest of the payload: HashMix chain over 8-byte words,
+// length-mixed so a truncated-but-zero-padded payload cannot collide.
+u64 SnapshotDigest(const u8* data, size_t n) {
+  u64 h = 0x5851f42d4c957f2dull;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 word = 0;
+    std::memcpy(&word, data + i, 8);
+    h = HashMix(h, word);
+  }
+  u64 tail = 0;
+  for (size_t j = 0; i + j < n; ++j) {
+    tail |= static_cast<u64>(data[i + j]) << (8 * j);
+  }
+  h = HashMix(h, tail);
+  return HashMix(h, static_cast<u64>(n));
+}
+
+// Bounds-checked little-endian reader over the snapshot payload; any
+// overrun poisons it, so the decode loop can bail once.
+struct SnapReader {
+  const u8* p = nullptr;
+  size_t n = 0;
+  size_t off = 0;
+  bool ok = true;
+
+  bool Raw(void* out, size_t count) {
+    if (!ok || n - off < count) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, p + off, count);
+    off += count;
+    return true;
+  }
+  bool U32(u32* v) { return Raw(v, 4); }
+  bool U64(u64* v) { return Raw(v, 8); }
+  bool I32(i32* v) { return Raw(v, 4); }
+  bool I64(i64* v) { return Raw(v, 8); }
+  size_t remaining() const { return n - off; }
+};
+
+}  // namespace
+
+bool SliceCache::SaveSnapshot(const std::string& path, SnapshotInfo* info) const {
+  std::vector<u8> payload;
+  u64 sat_count = 0;
+  u64 unsat_count = 0;
+  // Per-section counts are back-patched after the sweep; the sweep locks
+  // one internal shard at a time, so a save concurrent with stores is a
+  // coherent point-in-time view per shard, not fleet-wide.
+  SnapPutU64(0, &payload);  // sat_count placeholder.
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, node] : shard.sat) {
+      SnapPutU64(key, &payload);
+      SnapPutU32(static_cast<u32>(node.model.size()), &payload);
+      for (const auto& [var, value] : node.model) {
+        SnapPutU32(static_cast<u32>(var), &payload);
+        SnapPutU64(static_cast<u64>(value), &payload);
+      }
+      ++sat_count;
+    }
+  }
+  SnapPutU64(0, &payload);  // unsat_count placeholder (offset noted below).
+  const size_t unsat_count_off = payload.size() - 8;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, node] : shard.unsat) {
+      SnapPutU64(key, &payload);
+      SnapPutU64(node.check, &payload);
+      ++unsat_count;
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    payload[static_cast<size_t>(i)] = static_cast<u8>((sat_count >> (8 * i)) & 0xff);
+    payload[unsat_count_off + static_cast<size_t>(i)] =
+        static_cast<u8>((unsat_count >> (8 * i)) & 0xff);
+  }
+
+  std::vector<u8> file;
+  file.reserve(kSnapshotHeaderBytes + payload.size());
+  SnapPutU32(kSnapshotMagic, &file);
+  SnapPutU16(kSnapshotVersion, &file);
+  SnapPutU16(0, &file);
+  SnapPutU64(static_cast<u64>(payload.size()), &file);
+  SnapPutU64(SnapshotDigest(payload.data(), payload.size()), &file);
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool wrote = std::fwrite(file.data(), 1, file.size(), f) == file.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (info != nullptr) {
+    info->sat_entries = sat_count;
+    info->unsat_entries = unsat_count;
+    info->bytes = file.size();
+  }
+  return true;
+}
+
+bool SliceCache::LoadSnapshot(const std::string& path, SnapshotInfo* info) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::vector<u8> file;
+  u8 chunk[64 * 1024];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    file.insert(file.end(), chunk, chunk + got);
+    if (file.size() > kSnapshotHeaderBytes + kMaxSnapshotPayload) {
+      std::fclose(f);
+      return false;
+    }
+  }
+  std::fclose(f);
+
+  if (file.size() < kSnapshotHeaderBytes) {
+    return false;
+  }
+  SnapReader hdr{file.data(), kSnapshotHeaderBytes, 0, true};
+  u32 magic = 0;
+  u32 version_reserved = 0;
+  u64 payload_len = 0;
+  u64 digest = 0;
+  hdr.U32(&magic);
+  hdr.U32(&version_reserved);
+  hdr.U64(&payload_len);
+  hdr.U64(&digest);
+  if (!hdr.ok || magic != kSnapshotMagic || (version_reserved & 0xffffu) != kSnapshotVersion) {
+    return false;
+  }
+  if (payload_len > kMaxSnapshotPayload ||
+      file.size() - kSnapshotHeaderBytes != payload_len) {
+    return false;  // Truncated or trailing garbage.
+  }
+  const u8* payload = file.data() + kSnapshotHeaderBytes;
+  if (SnapshotDigest(payload, payload_len) != digest) {
+    return false;
+  }
+
+  // Decode into staging vectors first: a payload that goes bad half-way
+  // (impossible counts, short entries) must leave the cache untouched.
+  SnapReader r{payload, static_cast<size_t>(payload_len), 0, true};
+  u64 sat_count = 0;
+  if (!r.U64(&sat_count) || sat_count > r.remaining() / 12) {
+    return false;
+  }
+  std::vector<SatEntry> sat;
+  sat.reserve(sat_count);
+  for (u64 i = 0; i < sat_count; ++i) {
+    SatEntry entry;
+    u32 model_size = 0;
+    if (!r.U64(&entry.key) || !r.U32(&model_size) || model_size > r.remaining() / 12) {
+      return false;
+    }
+    entry.model.reserve(model_size);
+    for (u32 j = 0; j < model_size; ++j) {
+      i32 var = 0;
+      i64 value = 0;
+      if (!r.I32(&var) || !r.I64(&value)) {
+        return false;
+      }
+      entry.model.emplace_back(var, value);
+    }
+    sat.push_back(std::move(entry));
+  }
+  u64 unsat_count = 0;
+  if (!r.U64(&unsat_count) || unsat_count > r.remaining() / 16) {
+    return false;
+  }
+  std::vector<UnsatEntry> unsat;
+  unsat.reserve(unsat_count);
+  for (u64 i = 0; i < unsat_count; ++i) {
+    UnsatEntry entry;
+    if (!r.U64(&entry.key) || !r.U64(&entry.check)) {
+      return false;
+    }
+    unsat.push_back(entry);
+  }
+  if (!r.ok || r.remaining() != 0) {
+    return false;
+  }
+
+  for (SatEntry& entry : sat) {
+    MergeSat(entry.key, std::move(entry.model));
+  }
+  for (const UnsatEntry& entry : unsat) {
+    MergeUnsat(entry.key, entry.check);
+  }
+  if (info != nullptr) {
+    info->sat_entries = sat.size();
+    info->unsat_entries = unsat.size();
+    info->bytes = file.size();
+  }
+  return true;
 }
 
 const std::vector<i32>& IncrementalSolver::VarsOf(ExprRef expr) {

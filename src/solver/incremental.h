@@ -32,6 +32,7 @@
 #include <atomic>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -151,6 +152,40 @@ class SliceCache {
   u64 unsat_entries() const;
   /// Entries dropped by the LRU bound so far (0 while unbounded).
   u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  // ----- Cross-report retention (replay-as-a-service) -----
+  //
+  // A resident service keeps one cache alive across many reports. The
+  // default policy is retain-everything (slice keys cover structure,
+  // polarity and domains, so entries are sound across unrelated
+  // reports); Clear() is the isolate-reports policy, and the snapshot
+  // pair persists warmth across daemon restarts.
+
+  /// Drops every resident entry and any undrained journal delta. The
+  /// LRU bound and eviction counter survive.
+  void Clear();
+
+  /// What a snapshot save/load touched (diagnostics).
+  struct SnapshotInfo {
+    u64 sat_entries = 0;
+    u64 unsat_entries = 0;
+    u64 bytes = 0;  // Snapshot file size including the header.
+  };
+
+  /// Writes every resident verdict to `path` (via a temp file + rename,
+  /// so a crashed save never leaves a torn snapshot behind). The file is
+  /// versioned and digest-checked like the wire format:
+  ///   | magic u32 | version u16 | reserved u16 | payload_len u64 |
+  ///   | digest u64 | payload ... |
+  /// False on I/O failure.
+  bool SaveSnapshot(const std::string& path, SnapshotInfo* info = nullptr) const;
+
+  /// Loads a SaveSnapshot file and merges its entries (journal-free,
+  /// first-store-wins, LRU bound enforced). Rejects wrong magic or
+  /// version, truncation, trailing garbage, and digest mismatch — on
+  /// any rejection the cache is untouched. False on rejection or a
+  /// missing/unreadable file.
+  bool LoadSnapshot(const std::string& path, SnapshotInfo* info = nullptr);
 
  private:
   static constexpr size_t kShards = 16;

@@ -1,0 +1,335 @@
+// Wire v7 tests: the standing-fleet job exchange (kJobBegin/kJobEnd),
+// the service ingest codecs (kReportSubmit/kReportVerdict/kHealthStats),
+// the structural report fingerprint behind crash clustering, and the
+// shared-secret join token. Every decoder faces network bytes from a
+// listening daemon, so each one gets the same hostile-input treatment as
+// the older codecs: truncation sweeps, forged enums, absurd counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dist/wire.h"
+
+namespace retrace {
+namespace {
+
+BugReport MakeReport(char salt) {
+  BugReport report;
+  report.method = InstrumentMethod::kDynamic;
+  for (int i = 0; i < 17; ++i) {
+    report.branch_log.PushBit(((i + salt) % 3) == 0);
+  }
+  report.has_syscall_log = true;
+  report.syscall_log = {{Builtin::kRead, 13}, {Builtin::kPollSignal, 1}};
+  report.crash.kind = CrashSite::Kind::kExplicit;
+  report.crash.func = 2;
+  report.crash.loc = SourceLoc{0, 5, 3};
+  report.crash.code = 7;
+  report.shape.argv = {"prog", std::string(1, salt), "7"};
+  report.shape.argv_public = {false, true};
+  report.shape.world.listen_fd = -1;
+  return report;
+}
+
+WireJob MakeJob() {
+  WireJob job;
+  job.config.max_runs = 321;
+  job.config.program.app = "int main() { return 0; }";
+  job.report = MakeReport('a');
+  return job;
+}
+
+// ----- Standing-fleet job exchange -----
+
+TEST(DistWireV7Test, JobBeginRoundTripsByteExactly) {
+  WireJobBegin begin;
+  begin.job_id = 42;
+  begin.job = MakeJob();
+  WireWriter w;
+  EncodeJobBegin(begin, &w);
+  const std::vector<u8> payload = w.Take();
+
+  WireReader r(payload.data(), payload.size());
+  WireJobBegin decoded;
+  ASSERT_TRUE(DecodeJobBegin(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.job_id, 42u);
+  EXPECT_EQ(decoded.job.config.max_runs, 321u);
+  EXPECT_EQ(decoded.job.config.program.app, begin.job.config.program.app);
+
+  WireWriter w2;
+  EncodeJobBegin(decoded, &w2);
+  EXPECT_EQ(w2.buf(), payload);
+}
+
+TEST(DistWireV7Test, JobBeginRejectsTruncationEverywhere) {
+  WireJobBegin begin;
+  begin.job_id = 7;
+  begin.job = MakeJob();
+  WireWriter w;
+  EncodeJobBegin(begin, &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WireJobBegin decoded;
+    EXPECT_FALSE(DecodeJobBegin(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+TEST(DistWireV7Test, JobEndRoundTripsAndRejectsTruncation) {
+  WireJobEnd end;
+  end.jobs_served = 99;
+  WireWriter w;
+  EncodeJobEnd(end, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireJobEnd decoded;
+  ASSERT_TRUE(DecodeJobEnd(&r, &decoded));
+  EXPECT_EQ(decoded.jobs_served, 99u);
+
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader rc(w.buf().data(), cut);
+    EXPECT_FALSE(DecodeJobEnd(&rc, &decoded)) << "cut " << cut;
+  }
+}
+
+// ----- Report fingerprint (crash clustering) -----
+
+TEST(DistWireV7Test, FingerprintIsStableAcrossCopies) {
+  const BugReport a = MakeReport('a');
+  const BugReport b = MakeReport('a');  // Same crash, independently built.
+  EXPECT_EQ(ReportFingerprint(a), ReportFingerprint(b));
+}
+
+TEST(DistWireV7Test, FingerprintSeparatesStructurallyDifferentReports) {
+  const BugReport base = MakeReport('a');
+  // A different argv shape is a different cluster.
+  EXPECT_NE(ReportFingerprint(base), ReportFingerprint(MakeReport('b')));
+  // So is one flipped branch-log bit.
+  BugReport flipped = base;
+  flipped.branch_log = BitVec();
+  for (int i = 0; i < 17; ++i) {
+    flipped.branch_log.PushBit(i == 0);
+  }
+  EXPECT_NE(ReportFingerprint(base), ReportFingerprint(flipped));
+  // And a different crash site.
+  BugReport moved = base;
+  moved.crash.func = 3;
+  EXPECT_NE(ReportFingerprint(base), ReportFingerprint(moved));
+}
+
+// ----- Service ingest: kReportSubmit -----
+
+TEST(DistWireV7Test, ReportSubmitRoundTripsByteExactly) {
+  WireReportSubmit submit;
+  submit.tenant = "alice";
+  submit.report = MakeReport('c');
+  WireWriter w;
+  EncodeReportSubmit(submit, &w);
+  const std::vector<u8> payload = w.Take();
+
+  WireReader r(payload.data(), payload.size());
+  WireReportSubmit decoded;
+  ASSERT_TRUE(DecodeReportSubmit(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.tenant, "alice");
+  EXPECT_EQ(ReportFingerprint(decoded.report), ReportFingerprint(submit.report));
+
+  WireWriter w2;
+  EncodeReportSubmit(decoded, &w2);
+  EXPECT_EQ(w2.buf(), payload);
+}
+
+TEST(DistWireV7Test, ReportSubmitRejectsHostileTenantAndTruncation) {
+  WireReportSubmit hostile;
+  hostile.tenant = std::string(100'000, 't');
+  hostile.report = MakeReport('c');
+  WireWriter w;
+  EncodeReportSubmit(hostile, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireReportSubmit decoded;
+  EXPECT_FALSE(DecodeReportSubmit(&r, &decoded));
+
+  WireReportSubmit ok;
+  ok.tenant = "bob";
+  ok.report = MakeReport('d');
+  WireWriter w2;
+  EncodeReportSubmit(ok, &w2);
+  for (size_t cut = 0; cut < w2.buf().size(); ++cut) {
+    WireReader rc(w2.buf().data(), cut);
+    EXPECT_FALSE(DecodeReportSubmit(&rc, &decoded)) << "cut " << cut;
+  }
+}
+
+// ----- Service ingest: kReportVerdict -----
+
+TEST(DistWireV7Test, ReportVerdictRoundTripsEveryOrigin) {
+  for (const VerdictOrigin origin :
+       {VerdictOrigin::kFresh, VerdictOrigin::kAttached, VerdictOrigin::kCached,
+        VerdictOrigin::kRejected}) {
+    WireReportVerdict verdict;
+    verdict.cluster = 0xfeedfaceull;
+    verdict.origin = static_cast<u8>(origin);
+    verdict.result.result.reproduced = (origin != VerdictOrigin::kRejected);
+    verdict.result.result.stats.runs = 55;
+    WireWriter w;
+    EncodeReportVerdict(verdict, &w);
+    const std::vector<u8> payload = w.Take();
+
+    WireReader r(payload.data(), payload.size());
+    WireReportVerdict decoded;
+    ASSERT_TRUE(DecodeReportVerdict(&r, &decoded));
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_EQ(decoded.cluster, verdict.cluster);
+    EXPECT_EQ(decoded.origin, static_cast<u8>(origin));
+    EXPECT_EQ(decoded.result.result.reproduced, verdict.result.result.reproduced);
+    EXPECT_EQ(decoded.result.result.stats.runs, 55u);
+
+    WireWriter w2;
+    EncodeReportVerdict(decoded, &w2);
+    EXPECT_EQ(w2.buf(), payload);
+  }
+}
+
+TEST(DistWireV7Test, ReportVerdictRejectsForgedOriginByte) {
+  WireReportVerdict verdict;
+  verdict.cluster = 1;
+  verdict.origin = static_cast<u8>(VerdictOrigin::kFresh);
+  WireWriter w;
+  EncodeReportVerdict(verdict, &w);
+  std::vector<u8> payload = w.Take();
+  // The origin byte sits right after the u64 cluster fingerprint.
+  payload[8] = 4;  // One past kRejected: no such origin.
+  WireReader r(payload.data(), payload.size());
+  WireReportVerdict decoded;
+  EXPECT_FALSE(DecodeReportVerdict(&r, &decoded));
+}
+
+// ----- Service ingest: kHealthStats -----
+
+WireHealthStats MakeStats() {
+  WireHealthStats stats;
+  stats.reports_ingested = 10;
+  stats.clusters = 3;
+  stats.searches_run = 3;
+  stats.duplicates_attached = 4;
+  stats.cached_verdicts = 2;
+  stats.rejected = 1;
+  stats.queue_depth = 5;
+  stats.in_flight = 1;
+  stats.cache_sat_entries = 1234;
+  stats.cache_unsat_entries = 567;
+  stats.cache_evictions = 8;
+  stats.snapshot_loaded = 1;
+  stats.fleet_shards = 4;
+  stats.fleet_live = 3;
+  stats.fleet_jobs = 17;
+  stats.rows = {{0xaaull, 2, 1, 6}, {0xbbull, 1, 0, 1}, {0xccull, 0, 0, 1}};
+  return stats;
+}
+
+TEST(DistWireV7Test, HealthStatsRoundTripsByteExactly) {
+  const WireHealthStats stats = MakeStats();
+  WireWriter w;
+  EncodeHealthStats(stats, &w);
+  const std::vector<u8> payload = w.Take();
+
+  WireReader r(payload.data(), payload.size());
+  WireHealthStats decoded;
+  ASSERT_TRUE(DecodeHealthStats(&r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(decoded.reports_ingested, 10u);
+  EXPECT_EQ(decoded.duplicates_attached, 4u);
+  EXPECT_EQ(decoded.cache_sat_entries, 1234u);
+  EXPECT_EQ(decoded.snapshot_loaded, 1u);
+  EXPECT_EQ(decoded.fleet_live, 3u);
+  ASSERT_EQ(decoded.rows.size(), 3u);
+  EXPECT_EQ(decoded.rows[0].fp, 0xaaull);
+  EXPECT_EQ(decoded.rows[0].state, 2u);
+  EXPECT_EQ(decoded.rows[0].reproduced, 1u);
+  EXPECT_EQ(decoded.rows[0].reports, 6u);
+
+  WireWriter w2;
+  EncodeHealthStats(decoded, &w2);
+  EXPECT_EQ(w2.buf(), payload);
+}
+
+TEST(DistWireV7Test, HealthStatsRejectsHostileRows) {
+  // A row count past the protocol ceiling is refused before allocation.
+  {
+    WireHealthStats stats = MakeStats();
+    stats.rows.clear();
+    WireWriter w;
+    EncodeHealthStats(stats, &w);
+    std::vector<u8> payload = w.Take();
+    // The row count is the last u32 of the payload (no rows follow).
+    const size_t off = payload.size() - 4;
+    payload[off] = 0xff;
+    payload[off + 1] = 0xff;
+    payload[off + 2] = 0xff;
+    payload[off + 3] = 0x7f;
+    WireReader r(payload.data(), payload.size());
+    WireHealthStats decoded;
+    EXPECT_FALSE(DecodeHealthStats(&r, &decoded));
+  }
+  // A forged cluster state byte (valid states are 0..2).
+  {
+    WireHealthStats stats = MakeStats();
+    stats.rows = {{0x11ull, 3, 0, 1}};
+    WireWriter w;
+    EncodeHealthStats(stats, &w);
+    WireReader r(w.buf().data(), w.buf().size());
+    WireHealthStats decoded;
+    EXPECT_FALSE(DecodeHealthStats(&r, &decoded));
+  }
+}
+
+TEST(DistWireV7Test, HealthStatsRejectsTruncationEverywhere) {
+  WireWriter w;
+  EncodeHealthStats(MakeStats(), &w);
+  for (size_t cut = 0; cut < w.buf().size(); ++cut) {
+    WireReader r(w.buf().data(), cut);
+    WireHealthStats decoded;
+    EXPECT_FALSE(DecodeHealthStats(&r, &decoded)) << "cut " << cut;
+  }
+}
+
+// ----- Shared-secret join token -----
+
+TEST(DistWireV7Test, JoinTokenRoundTripsAndLengthIsCapped) {
+  WireJoin join;
+  join.ident = "shard-7/991";
+  join.num_workers = 4;
+  join.token = "fleet-secret";
+  WireWriter w;
+  EncodeJoin(join, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireJoin decoded;
+  ASSERT_TRUE(DecodeJoin(&r, &decoded));
+  EXPECT_EQ(decoded.token, "fleet-secret");
+
+  WireJoin hostile = join;
+  hostile.token = std::string(100'000, 's');
+  WireWriter w2;
+  EncodeJoin(hostile, &w2);
+  WireReader r2(w2.buf().data(), w2.buf().size());
+  EXPECT_FALSE(DecodeJoin(&r2, &decoded));
+}
+
+TEST(DistWireV7Test, AuthTokenNeverRidesTheJob) {
+  // The token authenticates the channel at join time; a shipped job must
+  // never leak the coordinator's secret to the remote process beyond the
+  // handshake it already passed.
+  WireJob job = MakeJob();
+  job.config.shard_token = "super-secret";
+  WireWriter w;
+  EncodeJob(job, &w);
+  WireReader r(w.buf().data(), w.buf().size());
+  WireJob decoded;
+  ASSERT_TRUE(DecodeJob(&r, &decoded));
+  EXPECT_TRUE(decoded.config.shard_token.empty());
+  // Same for the coordinator's shard endpoint list.
+  EXPECT_TRUE(decoded.config.shard_endpoints.empty());
+}
+
+}  // namespace
+}  // namespace retrace

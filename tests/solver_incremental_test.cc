@@ -3,6 +3,12 @@
 // priority frontier, and their wiring into the replay engine.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "src/core/pipeline.h"
 #include "src/solver/incremental.h"
 #include "src/support/rng.h"
@@ -539,6 +545,160 @@ TEST(IncrementalSolverTest, EngineHonorsSliceCacheCapacity) {
   const ReplayResult base = pipeline->Reproduce(user.report, plan, unbounded).take();
   ASSERT_TRUE(base.reproduced);
   EXPECT_EQ(base.stats.slice_evictions, 0u);
+}
+
+// ----- Snapshot persistence (replay-as-a-service warm restarts) -----
+
+std::string SnapshotPath(const char* name) { return testing::TempDir() + name; }
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SliceCacheSnapshotTest, RoundTripRestoresEveryVerdict) {
+  SliceCache cache;
+  cache.StoreSat(0x11, SliceCache::SliceModel{{0, 42}, {3, -7}});
+  cache.StoreSat(0x22, SliceCache::SliceModel{});
+  cache.StoreUnsat(0x33, 0x44);
+  cache.StoreUnsat(0x55, 0x66);
+
+  const std::string path = SnapshotPath("slice_cache_roundtrip.bin");
+  SliceCache::SnapshotInfo saved;
+  ASSERT_TRUE(cache.SaveSnapshot(path, &saved));
+  EXPECT_EQ(saved.sat_entries, 2u);
+  EXPECT_EQ(saved.unsat_entries, 2u);
+  EXPECT_GT(saved.bytes, 0u);
+
+  SliceCache fresh;
+  SliceCache::SnapshotInfo loaded;
+  ASSERT_TRUE(fresh.LoadSnapshot(path, &loaded));
+  EXPECT_EQ(loaded.sat_entries, 2u);
+  EXPECT_EQ(loaded.unsat_entries, 2u);
+  SliceCache::SliceModel model;
+  ASSERT_TRUE(fresh.LookupSat(0x11, &model));
+  EXPECT_EQ(model, (SliceCache::SliceModel{{0, 42}, {3, -7}}));
+  ASSERT_TRUE(fresh.LookupSat(0x22, &model));
+  EXPECT_TRUE(model.empty());
+  EXPECT_TRUE(fresh.LookupUnsat(0x33, 0x44));
+  EXPECT_FALSE(fresh.LookupUnsat(0x33, 0x45));  // Check key still enforced.
+  EXPECT_TRUE(fresh.LookupUnsat(0x55, 0x66));
+  std::remove(path.c_str());
+}
+
+TEST(SliceCacheSnapshotTest, LoadedEntriesAreNeverReJournaled) {
+  // A restarted shard must not gossip the whole restored cache as if it
+  // had just proved every entry.
+  SliceCache cache;
+  cache.StoreSat(0x77, SliceCache::SliceModel{{1, 2}});
+  const std::string path = SnapshotPath("slice_cache_journal.bin");
+  ASSERT_TRUE(cache.SaveSnapshot(path));
+
+  SliceCache fresh;
+  fresh.EnableJournal();
+  ASSERT_TRUE(fresh.LoadSnapshot(path));
+  std::vector<SliceCache::SatEntry> sat;
+  std::vector<SliceCache::UnsatEntry> unsat;
+  fresh.DrainJournal(&sat, &unsat);
+  EXPECT_TRUE(sat.empty());
+  EXPECT_TRUE(unsat.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SliceCacheSnapshotTest, TruncationAndCorruptionAreRejectedUntouched) {
+  SliceCache cache;
+  cache.StoreSat(0xaa, SliceCache::SliceModel{{0, 1}, {1, 2}, {2, 3}});
+  cache.StoreUnsat(0xbb, 0xcc);
+  const std::string path = SnapshotPath("slice_cache_hostile.bin");
+  ASSERT_TRUE(cache.SaveSnapshot(path));
+  const std::vector<char> good = ReadAll(path);
+  ASSERT_GT(good.size(), 8u);
+
+  const std::string bad = SnapshotPath("slice_cache_hostile_bad.bin");
+  // Every strict prefix is a refused load, and the target cache stays
+  // exactly as it was.
+  for (const size_t cut : {good.size() - 1, good.size() / 2, size_t{5}, size_t{0}}) {
+    WriteAll(bad, std::vector<char>(good.begin(), good.begin() + cut));
+    SliceCache victim;
+    victim.StoreSat(0x1, SliceCache::SliceModel{{0, 9}});
+    EXPECT_FALSE(victim.LoadSnapshot(bad)) << "cut " << cut;
+    EXPECT_EQ(victim.sat_entries(), 1u) << "cut " << cut;
+    EXPECT_EQ(victim.unsat_entries(), 0u) << "cut " << cut;
+  }
+  // One flipped payload byte fails the digest.
+  {
+    std::vector<char> flipped = good;
+    flipped.back() = static_cast<char>(flipped.back() ^ 0x01);
+    WriteAll(bad, flipped);
+    SliceCache victim;
+    EXPECT_FALSE(victim.LoadSnapshot(bad));
+    EXPECT_EQ(victim.sat_entries() + victim.unsat_entries(), 0u);
+  }
+  // Trailing garbage after a valid payload is refused, not ignored.
+  {
+    std::vector<char> padded = good;
+    padded.push_back('x');
+    WriteAll(bad, padded);
+    SliceCache victim;
+    EXPECT_FALSE(victim.LoadSnapshot(bad));
+  }
+  // Wrong magic (a random file is not a snapshot).
+  {
+    std::vector<char> wrong = good;
+    wrong[0] = static_cast<char>(wrong[0] ^ 0xff);
+    WriteAll(bad, wrong);
+    SliceCache victim;
+    EXPECT_FALSE(victim.LoadSnapshot(bad));
+  }
+  // Missing file.
+  {
+    SliceCache victim;
+    EXPECT_FALSE(victim.LoadSnapshot(SnapshotPath("no_such_snapshot.bin")));
+  }
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(SliceCacheSnapshotTest, LoadMergesFirstStoreWins) {
+  SliceCache donor;
+  donor.StoreSat(0xd1, SliceCache::SliceModel{{0, 100}});
+  donor.StoreSat(0xd2, SliceCache::SliceModel{{0, 200}});
+  const std::string path = SnapshotPath("slice_cache_merge.bin");
+  ASSERT_TRUE(donor.SaveSnapshot(path));
+
+  // The receiving cache already proved 0xd1 with a different (equally
+  // valid) model; the resident proof wins, the novel entry merges in.
+  SliceCache receiver;
+  receiver.StoreSat(0xd1, SliceCache::SliceModel{{0, 7}});
+  ASSERT_TRUE(receiver.LoadSnapshot(path));
+  SliceCache::SliceModel model;
+  ASSERT_TRUE(receiver.LookupSat(0xd1, &model));
+  EXPECT_EQ(model, (SliceCache::SliceModel{{0, 7}}));
+  ASSERT_TRUE(receiver.LookupSat(0xd2, &model));
+  EXPECT_EQ(model, (SliceCache::SliceModel{{0, 200}}));
+  EXPECT_EQ(receiver.sat_entries(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SliceCacheSnapshotTest, LoadRespectsLruBound) {
+  SliceCache donor;
+  for (u64 k = 1; k <= 64; ++k) {
+    donor.StoreSat(k, SliceCache::SliceModel{{0, static_cast<i64>(k)}});
+  }
+  const std::string path = SnapshotPath("slice_cache_bound.bin");
+  ASSERT_TRUE(donor.SaveSnapshot(path));
+
+  SliceCache bounded(16);
+  ASSERT_TRUE(bounded.LoadSnapshot(path));
+  EXPECT_LE(bounded.sat_entries(), 16u);
+  EXPECT_GT(bounded.evictions(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -10,9 +10,19 @@
 // shard search, streams verdict gossip and re-balance traffic while it
 // runs, and reports the result.
 //
+// The daemon speaks both job protocols: a one-shot coordinator ships
+// kJob in the handshake (serve it, then the connection is done); a
+// standing fleet (retrace_serviced) validates the join and attaches
+// jobs later with kJobBegin — the daemon then serves job after job on
+// the same connection, slice cache warm across them, until kJobEnd or
+// the fleet closes the channel.
+//
 // Usage:
-//   retrace_shardd <host:port>             join a coordinator, serve one
-//                                          job, exit.
+//   retrace_shardd <host:port>             join a coordinator; serve its
+//                                          jobs until the connection
+//                                          ends (one job for a one-shot
+//                                          coordinator, many for a
+//                                          standing fleet), then exit.
 //   retrace_shardd --listen <host:port>    wait for coordinators to dial
 //                                          in (ReplayConfig::
 //                                          shard_endpoints); serves jobs
@@ -21,6 +31,11 @@
 //                                          deadline, closed channel)
 //                                          only costs that job — the
 //                                          daemon goes back to listening.
+//
+// Auth: when the coordinator's listener is started with a shared secret
+// (RETRACE_SHARD_TOKEN), set the same variable in this daemon's
+// environment — the token rides the kJoin frame and a mismatch is
+// refused before any job bytes ship.
 // Options:
 //   --workers N   override the job's worker-thread count (0 = job's
 //                 value; a remote host knows its own core count best).
@@ -113,6 +128,10 @@ int main(int argc, char** argv) {
   char host_buf[256] = "shardd";
   ::gethostname(host_buf, sizeof(host_buf) - 1);
   const std::string ident = std::string(host_buf) + "/" + std::to_string(::getpid());
+  std::string token;
+  if (const char* env_token = std::getenv("RETRACE_SHARD_TOKEN")) {
+    token = env_token;
+  }
 
   if (listen_mode) {
     std::string bound;
@@ -127,9 +146,9 @@ int main(int argc, char** argv) {
       if (fd < 0) {
         continue;
       }
-      std::fprintf(stderr, "retrace_shardd: coordinator connected, serving job\n");
-      const retrace::ShardRunStatus status = retrace::ServeShardJob(fd, ident, workers);
-      std::fprintf(stderr, "retrace_shardd: job %s\n", StatusWord(status));
+      std::fprintf(stderr, "retrace_shardd: coordinator connected, serving jobs\n");
+      const retrace::ShardRunStatus status = retrace::ServeShardJobs(fd, ident, workers, token);
+      std::fprintf(stderr, "retrace_shardd: connection %s\n", StatusWord(status));
       if (status == retrace::ShardRunStatus::kCoordinatorLost) {
         // The fleet died under us; the next coordinator gets a fresh
         // daemon, not an exit. This is the whole point of --listen.
@@ -161,8 +180,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "retrace_shardd: joined fleet at %s as %s\n", target.c_str(),
                ident.c_str());
-  const retrace::ShardRunStatus status = retrace::ServeShardJob(fd, ident, workers);
-  std::fprintf(stderr, "retrace_shardd: job %s\n", StatusWord(status));
+  const retrace::ShardRunStatus status = retrace::ServeShardJobs(fd, ident, workers, token);
+  std::fprintf(stderr, "retrace_shardd: connection %s\n", StatusWord(status));
   switch (status) {
     case retrace::ShardRunStatus::kOk:
       return 0;
